@@ -1,0 +1,84 @@
+"""CIRC — ablation: queued message switching vs circuit switching.
+
+Section 3.1.2 rejects two alternatives to the queued, pipelined design:
+circuit switching ("incompatible with pipelining") and kill-on-conflict
+("also limits bandwidth to O(N/log N)").  This benchmark measures both
+machines' sustained throughput and asserts the scaling shape: per-PE
+throughput of the queued network stays ~flat with machine size; the
+circuit-switched network's decays like 1 / log N (and worse, with
+conflicts).
+"""
+
+from __future__ import annotations
+
+import math
+
+from bench_utils import banner
+
+from repro.network.circuit import sustained_throughput
+from repro.workloads.synthetic import run_uniform_traffic
+
+
+def queued_throughput(n_pes: int, cycles: int = 500) -> float:
+    stats, _ = run_uniform_traffic(
+        n_pes, rate=0.45, cycles=cycles, queue_capacity_packets=15, seed=9
+    )
+    return stats.completed / cycles
+
+
+def test_circ_throughput_scaling(report, benchmark):
+    sizes = (8, 16, 32, 64)
+    lines = [banner("CIRC: queued+pipelined vs circuit-switched throughput")]
+    lines.append(
+        f"{'N':>4} {'queued msg/cyc':>15} {'circuit msg/cyc':>16} "
+        f"{'queued/PE':>10} {'circuit/PE':>11}"
+    )
+    queued_per_pe = {}
+    circuit_per_pe = {}
+    for n in sizes:
+        queued = queued_throughput(n)
+        circuit = sustained_throughput(n, cycles=500, seed=3)
+        queued_per_pe[n] = queued / n
+        circuit_per_pe[n] = circuit / n
+        lines.append(
+            f"{n:>4} {queued:>15.2f} {circuit:>16.2f} "
+            f"{queued_per_pe[n]:>10.3f} {circuit_per_pe[n]:>11.3f}"
+        )
+    report("\n".join(lines))
+
+    # queued network: per-PE throughput ~flat (bandwidth linear in N)
+    assert queued_per_pe[64] > 0.6 * queued_per_pe[8]
+    # circuit network: per-PE throughput decays with N (O(N / log N)
+    # aggregate at best, and conflicts bite harder as N grows)
+    assert circuit_per_pe[64] < 0.75 * circuit_per_pe[8]
+    # and the queued design simply wins at scale
+    assert queued_per_pe[64] > 2 * circuit_per_pe[64]
+
+    benchmark.pedantic(
+        sustained_throughput, args=(16, 300), kwargs=dict(seed=3),
+        rounds=2, iterations=1,
+    )
+
+
+def test_circ_hold_time_is_the_bottleneck(report, benchmark):
+    """The circuit's aggregate ceiling is ~N / hold_time with perfect
+    scheduling; measured throughput must sit below it, and the ceiling
+    itself is O(N / log N)."""
+    from repro.network.circuit import CircuitSwitchedOmega
+
+    lines = [banner("CIRC companion: circuit ceiling N / (2 lg N + mm)")]
+    for n in (8, 32, 128):
+        network = CircuitSwitchedOmega(n, 2)
+        ceiling = n / network.circuit_hold_time
+        measured = sustained_throughput(n, cycles=400, seed=1)
+        lines.append(
+            f"  N={n:>4}: ceiling {ceiling:>6.2f} msg/cyc "
+            f"(= N / {network.circuit_hold_time}), measured {measured:>6.2f}"
+        )
+        assert measured <= ceiling
+        assert network.circuit_hold_time == 2 * round(math.log2(n)) + 2
+    report("\n".join(lines))
+    benchmark.pedantic(
+        sustained_throughput, args=(32, 200), kwargs=dict(seed=1),
+        rounds=2, iterations=1,
+    )

@@ -1,0 +1,78 @@
+"""HOT — ablation: combining on/off under hot-spot traffic.
+
+The design-choice ablation DESIGN.md calls out: with combining switches
+disabled, concurrent references to one cell serialize at the memory
+module (the Burroughs-style behaviour the paper rejects); with combining
+on, they collapse into ~one access.  Also ablates pairwise-only versus
+unlimited in-switch combining (section 3.3's simplification).
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd
+
+
+def hotspot(n_pes, *, combining=True, pairwise_only=True, rounds=6):
+    machine = Ultracomputer(
+        MachineConfig(
+            n_pes=n_pes, combining=combining, pairwise_only=pairwise_only
+        )
+    )
+
+    def program(pe_id):
+        for _ in range(rounds):
+            yield FetchAdd(0, 1)
+        return True
+
+    machine.spawn_many(n_pes, program)
+    stats = machine.run()
+    assert machine.peek(0) == n_pes * rounds
+    return stats
+
+
+def test_hot_combining_ablation(report, benchmark):
+    lines = [banner("HOT: combining ablation under hot-spot fetch-and-adds")]
+    lines.append(
+        f"{'N':>4} | {'rtt(comb)':>10} {'rtt(none)':>10} {'speedup':>8} "
+        f"| {'mem(comb)':>10} {'mem(none)':>10}"
+    )
+    speedups = {}
+    for n in (4, 8, 16, 32):
+        on = hotspot(n, combining=True)
+        off = hotspot(n, combining=False)
+        speedup = off.mean_round_trip / on.mean_round_trip
+        speedups[n] = speedup
+        lines.append(
+            f"{n:>4} | {on.mean_round_trip:>10.1f} {off.mean_round_trip:>10.1f} "
+            f"{speedup:>8.2f} | {on.memory_accesses:>10} {off.memory_accesses:>10}"
+        )
+    report("\n".join(lines))
+
+    # Shape: the serialized machine degrades with N; combining doesn't.
+    assert speedups[32] > speedups[4]
+    assert speedups[32] > 3.0
+
+    benchmark.pedantic(hotspot, args=(16,), rounds=3, iterations=1)
+
+
+def test_hot_pairwise_vs_unlimited(report, benchmark):
+    """Pairwise-only combining (the paper's simplified switch) versus
+    unlimited in-switch combining: pairwise already captures most of the
+    benefit because combining trees form *across stages*."""
+    lines = [banner("HOT companion: pairwise-only vs unlimited combining")]
+    lines.append(f"{'N':>4} | {'mem(pairwise)':>14} {'mem(unlimited)':>15}")
+    benchmark.pedantic(hotspot, args=(8,), kwargs={'pairwise_only': False}, rounds=1, iterations=1)
+    for n in (8, 16, 32):
+        pairwise = hotspot(n, pairwise_only=True)
+        unlimited = hotspot(n, pairwise_only=False)
+        lines.append(
+            f"{n:>4} | {pairwise.memory_accesses:>14} "
+            f"{unlimited.memory_accesses:>15}"
+        )
+        # both collapse each simultaneous wave to ~one access (6 waves)
+        assert pairwise.memory_accesses <= 8
+        assert unlimited.memory_accesses <= pairwise.memory_accesses
+    report("\n".join(lines))

@@ -1,0 +1,78 @@
+"""COPIES — ablation: network copies (the d of section 4.1), measured.
+
+"It is also possible to use several copies of the same network, thereby
+reducing the effective load on each one of them and enhancing network
+reliability."  The analytic model says d copies divide the per-copy
+intensity by d; this ablation measures the effect on the cycle-accurate
+machine and checks it against the analytic prediction's direction and
+rough magnitude.
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.analysis.queueing import round_trip_time
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+
+def loaded_latency(copies: int, rate: float = 0.30, cycles: int = 800) -> float:
+    machine = Ultracomputer(
+        MachineConfig(n_pes=16, copies=copies, combining=False)
+    )
+    driver = SyntheticTrafficDriver(machine, TrafficSpec(rate=rate, seed=4))
+    machine.attach_driver(driver)
+    machine.run_cycles(cycles)
+    return driver.stats().mean_latency
+
+
+def test_copies_ablation(report, benchmark):
+    lines = [banner("COPIES: measured latency vs network copies "
+                    "(16 PEs, p=0.30 offered, combining off)")]
+    lines.append(f"{'d':>3} {'measured rtt':>13} {'analytic rtt':>13}")
+    measured = {}
+    for copies in (1, 2, 3):
+        measured[copies] = loaded_latency(copies)
+        analytic = round_trip_time(16, 2, 2, 0.30, d=copies)
+        lines.append(
+            f"{copies:>3} {measured[copies]:>13.2f} {analytic:>13.2f}"
+        )
+    report("\n".join(lines))
+
+    # duplexing cuts queueing delay; triplexing cuts it further
+    assert measured[2] < measured[1]
+    assert measured[3] <= measured[2] + 0.5
+    # and the analytic model agrees on the direction and rough size of
+    # the d=1 -> d=2 improvement
+    analytic_gain = round_trip_time(16, 2, 2, 0.30, d=1) - round_trip_time(
+        16, 2, 2, 0.30, d=2
+    )
+    measured_gain = measured[1] - measured[2]
+    assert measured_gain > 0.3 * analytic_gain
+
+    benchmark.pedantic(loaded_latency, args=(2,), kwargs=dict(cycles=300),
+                       rounds=2, iterations=1)
+
+
+def test_copies_unloaded_latency_unchanged(report, benchmark):
+    """Copies buy bandwidth, not unloaded latency: a single request's
+    round trip is identical on every copy count."""
+    from repro.core.memory_ops import Load
+
+    def single_rtt(copies: int) -> float:
+        machine = Ultracomputer(MachineConfig(n_pes=16, copies=copies))
+
+        def program(pe_id):
+            yield Load(0)
+
+        machine.spawn(program)
+        return machine.run().mean_round_trip
+
+    rtts = {copies: single_rtt(copies) for copies in (1, 2, 4)}
+    report(
+        banner("COPIES companion: unloaded round trip vs d")
+        + "\n  " + "  ".join(f"d={d}: {rtt:.1f}" for d, rtt in rtts.items())
+    )
+    assert max(rtts.values()) - min(rtts.values()) <= 1.0
+    benchmark.pedantic(single_rtt, args=(2,), rounds=2, iterations=1)

@@ -1,0 +1,82 @@
+"""HASH — ablation: address hashing vs module hot spots (section 3.1.4).
+
+"If every PE simultaneously requests a distinct word from the same MM,
+these N requests are serviced one at a time.  However, introducing a
+hashing function when translating the virtual address to a physical
+address assures that this unfavorable situation occurs with probability
+approaching zero."
+
+The workload is stride-N_module traffic (PEs sweeping one column of a
+row-major matrix): catastrophic under low-order interleaving, uniform
+under the multiplicative hash.
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+
+def stride_run(translation: str, *, n_pes=16, rate=0.2, cycles=500):
+    machine = Ultracomputer(
+        MachineConfig(n_pes=n_pes, translation=translation, words_per_module=64)
+    )
+    driver = SyntheticTrafficDriver(
+        machine, TrafficSpec(rate=rate, pattern="stride", stride=n_pes, seed=2)
+    )
+    machine.attach_driver(driver)
+    machine.run_cycles(cycles)
+    return driver.stats(), machine
+
+
+def test_hash_stride_ablation(report, benchmark):
+    rows = [banner("HASH: stride traffic, interleaved vs hashed translation")]
+    rows.append(
+        f"{'translation':>12} {'mean rtt':>10} {'completed':>10} "
+        f"{'module imbalance':>17}"
+    )
+    measured = {}
+    for translation in ("interleaved", "hashed"):
+        stats, machine = stride_run(translation)
+        imbalance = machine.memory.imbalance()
+        measured[translation] = (stats, imbalance)
+        rows.append(
+            f"{translation:>12} {stats.mean_latency:>10.2f} "
+            f"{stats.completed:>10} {imbalance:>17.2f}"
+        )
+    report("\n".join(rows))
+
+    interleaved_stats, interleaved_imbalance = measured["interleaved"]
+    hashed_stats, hashed_imbalance = measured["hashed"]
+    # the hot module concentrates essentially all traffic unhashed...
+    assert interleaved_imbalance > 8.0
+    # ...and hashing spreads it to near-uniform
+    assert hashed_imbalance < 2.0
+    # with a real latency payoff
+    assert hashed_stats.mean_latency < interleaved_stats.mean_latency
+
+    benchmark.pedantic(stride_run, args=("hashed",), rounds=2, iterations=1)
+
+
+def test_hash_preserves_uniform_traffic(report, benchmark):
+    """Hashing must not hurt already-uniform traffic (no regression on
+    the common case)."""
+    from repro.workloads.synthetic import run_uniform_traffic
+
+    rows = [banner("HASH companion: uniform traffic is unharmed")]
+    latencies = {}
+    benchmark.pedantic(
+        run_uniform_traffic, args=(16,),
+        kwargs=dict(rate=0.15, cycles=200, translation="hashed", seed=3),
+        rounds=1, iterations=1,
+    )
+    for translation in ("interleaved", "hashed"):
+        stats, _ = run_uniform_traffic(
+            16, rate=0.15, cycles=600, translation=translation, seed=3
+        )
+        latencies[translation] = stats.mean_latency
+        rows.append(f"  {translation:<12} mean rtt {stats.mean_latency:.2f}")
+    report("\n".join(rows))
+    assert latencies["hashed"] < latencies["interleaved"] * 1.15

@@ -1,0 +1,76 @@
+"""QSAT — ablation: switch queue sizing and the capacity threshold.
+
+Two section 4 claims on the cycle-accurate network:
+
+* "Simulations have shown that queues of modest size (18) give
+  essentially the same performance as infinite queues" — a queue-size
+  sweep under uniform traffic;
+* the network "can accommodate any traffic below [the 1/m] threshold":
+  latency stays bounded below capacity, and completed throughput scales
+  with offered load (bandwidth linear in N).
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.workloads.synthetic import run_uniform_traffic
+
+
+def sweep_queue_sizes(rate=0.20, cycles=800):
+    results = {}
+    for capacity in (3, 6, 9, 15, 18, 30, None):
+        stats, _machine = run_uniform_traffic(
+            16, rate=rate, cycles=cycles, queue_capacity_packets=capacity, seed=5
+        )
+        results[capacity] = stats
+    return results
+
+
+def test_qsat_queue_size_sweep(report, benchmark):
+    results = benchmark.pedantic(sweep_queue_sizes, rounds=1, iterations=1)
+
+    lines = [banner("QSAT: switch queue size vs performance "
+                    "(uniform traffic, p=0.20, 16 PEs)")]
+    lines.append(f"{'queue (packets)':>16} {'mean rtt':>10} {'completed':>10}")
+    for capacity, stats in results.items():
+        label = "infinite" if capacity is None else str(capacity)
+        lines.append(
+            f"{label:>16} {stats.mean_latency:>10.2f} {stats.completed:>10}"
+        )
+    report("\n".join(lines))
+
+    infinite = results[None]
+    modest = results[18]
+    # the paper's claim: 18 packets ~ infinite
+    assert modest.mean_latency < infinite.mean_latency * 1.15 + 1.0
+    assert modest.completed > infinite.completed * 0.9
+    # while tiny queues visibly backpressure
+    assert results[3].mean_latency >= modest.mean_latency * 0.9
+
+
+def test_qsat_capacity_threshold(report, benchmark):
+    """Latency vs offered load: gentle below the threshold, sharply
+    rising near it — the knee of Figure 7 measured on the cycle
+    simulator."""
+    lines = [banner("QSAT companion: latency vs offered load (16 PEs, k=2)")]
+    lines.append(f"{'rate p':>8} {'mean rtt':>10} {'issued':>8} {'completed':>10}")
+    latencies = {}
+    def one_point():
+        return run_uniform_traffic(16, rate=0.05, cycles=300, queue_capacity_packets=None, seed=6)[0]
+    benchmark.pedantic(one_point, rounds=1, iterations=1)
+    for rate in (0.05, 0.15, 0.30, 0.45):
+        stats, _ = run_uniform_traffic(
+            16, rate=rate, cycles=900, queue_capacity_packets=None, seed=6
+        )
+        latencies[rate] = stats.mean_latency
+        lines.append(
+            f"{rate:>8.2f} {stats.mean_latency:>10.2f} "
+            f"{stats.issued:>8} {stats.completed:>10}"
+        )
+    report("\n".join(lines))
+    assert latencies[0.15] < latencies[0.45]
+    # the low-load latency is near the unloaded round trip (~12 cycles)
+    assert latencies[0.05] < 25
+    # near the threshold, queueing dominates
+    assert latencies[0.45] > latencies[0.05] * 1.5

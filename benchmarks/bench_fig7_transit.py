@@ -1,0 +1,98 @@
+"""FIG7 — transit time vs traffic intensity (Figure 7 of the paper).
+
+Regenerates the analytic curves T(p) for the candidate 4096-PE network
+configurations and asserts the paper's reading of the figure:
+
+* "for reasonable traffic intensities a duplexed network composed of 4x4
+  switches yields the best performance";
+* "a network with 8x8 switches and d=6 also yields an acceptable
+  performance, at approximately the same cost";
+* the 8x8/d6 design's higher bandwidth (0.75 vs 0.5) makes it less
+  heavily loaded at high intensity — a crossover exists.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_utils import banner
+
+from repro.analysis.configurations import (
+    FIGURE7_DESIGNS,
+    NetworkDesign,
+    best_design_at,
+    crossover_intensity,
+    equal_cost_designs,
+    figure7_series,
+)
+
+
+def figure7_table() -> str:
+    grid = tuple(round(0.04 * i, 2) for i in range(9))  # 0 .. 0.32
+    lines = [banner("FIG7: average transit time T vs traffic intensity p "
+                    "(4096 PEs)")]
+    header = f"{'p':>6} | " + " ".join(
+        f"{d.label():>14}" for d in FIGURE7_DESIGNS
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for p in grid:
+        cells = []
+        for design in FIGURE7_DESIGNS:
+            if p < design.capacity * 0.999:
+                cells.append(f"{design.transit_time(p, 4096):>14.2f}")
+            else:
+                cells.append(f"{'sat':>14}")
+        lines.append(f"{p:>6.2f} | " + " ".join(cells))
+    lines.append(
+        "cost factors C = d/(k lg k): "
+        + ", ".join(f"{d.label()}={d.cost_factor:.3f}" for d in FIGURE7_DESIGNS)
+    )
+    return "\n".join(lines)
+
+
+def test_fig7_series(report, benchmark):
+    report(figure7_table())
+    series = benchmark(figure7_series)
+    assert len(series) == len(FIGURE7_DESIGNS)
+
+    # Paper reading 1: 4x4 duplexed best at reasonable intensity.
+    assert (best_design_at(0.10).k, best_design_at(0.10).d) == (4, 2)
+
+    # Paper reading 2: the equal-cost pair at C = 0.25.
+    pair = {(d.k, d.d) for d in equal_cost_designs(0.25)}
+    assert pair == {(4, 2), (8, 6)}
+
+    # Paper reading 3: 8x8/d6 is acceptable — within 40% of the winner
+    # at moderate intensity — and wins past the crossover.
+    a, b = NetworkDesign(k=4, d=2), NetworkDesign(k=8, d=6)
+    assert b.transit_time(0.10, 4096) < 1.4 * a.transit_time(0.10, 4096)
+    crossover = crossover_intensity(a, b)
+    assert crossover is not None and 0.2 < crossover < 0.5
+
+
+def test_fig7_capacity_walls(report, benchmark):
+    """Each curve diverges at its own capacity d/m — the 1/m threshold
+    of section 4.1 scaled by copies."""
+    def walls():
+        out = []
+        for design in FIGURE7_DESIGNS:
+            near = design.capacity * 0.98
+            out.append((design.transit_time(near, 4096), design.transit_time(0.0, 4096)))
+        return out
+
+    for loaded, unloaded in benchmark(walls):
+        assert loaded > 3 * unloaded
+
+
+def test_fig7_bandwidth_linear_in_n(benchmark):
+    """Design objective 1 as the figure's companion fact: capacity per
+    PE is independent of N, so aggregate bandwidth is linear in N."""
+
+    def capacities():
+        return [
+            NetworkDesign(k=4, d=2).capacity * n for n in (256, 1024, 4096)
+        ]
+
+    totals = benchmark(capacities)
+    assert totals[1] / totals[0] == pytest.approx(4.0)
+    assert totals[2] / totals[1] == pytest.approx(4.0)

@@ -1,0 +1,89 @@
+"""VALID — cross-validation of the three performance models.
+
+Section 4.2's methodological move: check the analytic queueing model
+against simulation ("our preliminary analyses and partial simulations
+have yielded encouraging results").  This benchmark runs the same
+uniform workload through the cycle-accurate simulator and evaluates the
+analytic T(p) at the same intensities, printing the comparison and
+asserting the models agree on level (low load) and on shape (growth
+with p), with the documented divergence: the analytic model prices all
+messages at m packets while the machine sends 1-packet requests and
+3-packet replies.
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_utils import banner
+
+from repro.analysis.queueing import round_trip_time
+from repro.network.stochastic import StochasticConfig, StochasticNetwork
+from repro.workloads.synthetic import run_uniform_traffic
+
+
+def measured_curve(rates, n_pes=16):
+    out = {}
+    for rate in rates:
+        stats, _ = run_uniform_traffic(
+            n_pes, rate=rate, cycles=900, queue_capacity_packets=None, seed=11
+        )
+        out[rate] = stats.mean_latency
+    return out
+
+
+def test_valid_cycle_vs_analytic(report, benchmark):
+    rates = (0.02, 0.08, 0.16, 0.24)
+    measured = benchmark.pedantic(
+        measured_curve, args=(rates,), rounds=1, iterations=1
+    )
+
+    lines = [banner("VALID: cycle simulator vs analytic model "
+                    "(16 PEs, k=2, uniform traffic)")]
+    lines.append(f"{'p':>6} {'measured rtt':>13} {'analytic rtt':>13} {'ratio':>7}")
+    for rate in rates:
+        analytic = round_trip_time(16, 2, 2, rate)
+        ratio = measured[rate] / analytic
+        lines.append(
+            f"{rate:>6.2f} {measured[rate]:>13.2f} {analytic:>13.2f} {ratio:>7.2f}"
+        )
+    report("\n".join(lines))
+
+    # level agreement at low load (within ~25%)
+    low = rates[0]
+    assert measured[low] == pytest.approx(
+        round_trip_time(16, 2, 2, low), rel=0.25
+    )
+    # shape agreement: both strictly increasing
+    measured_values = [measured[r] for r in rates]
+    analytic_values = [round_trip_time(16, 2, 2, r) for r in rates]
+    assert measured_values == sorted(measured_values)
+    assert analytic_values == sorted(analytic_values)
+    # bounded divergence across the sweep (the 3-packet replies tax)
+    for rate in rates:
+        assert measured[rate] < 3.0 * round_trip_time(16, 2, 2, rate)
+
+
+def test_valid_stochastic_vs_cycle(report, benchmark):
+    """The queueing-model simulator against the cycle machine on an
+    identical k=4 configuration, unloaded and under a hot module."""
+    from repro.core.machine import MachineConfig, Ultracomputer
+    from repro.core.memory_ops import Load
+
+    def cycle_single() -> float:
+        machine = Ultracomputer(MachineConfig(n_pes=16, k=4))
+
+        def program(pe_id):
+            yield Load(0)
+
+        machine.spawn(program)
+        return machine.run().mean_round_trip
+
+    cycle_rtt = benchmark.pedantic(cycle_single, rounds=2, iterations=1)
+    model = StochasticNetwork(StochasticConfig(n_ports=16, k=4, service_jitter=0.0))
+    model_rtt = model.round_trip(0, 0, 0.0).round_trip
+
+    report(
+        banner("VALID companion: stochastic model vs cycle machine (k=4)")
+        + f"\n  single request: cycle {cycle_rtt:.1f} vs model {model_rtt:.1f} cycles"
+    )
+    assert abs(cycle_rtt - model_rtt) <= 4.0

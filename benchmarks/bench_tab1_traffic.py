@@ -1,0 +1,109 @@
+"""TAB1 — network traffic and performance of four programs (Table 1).
+
+Regenerates the paper's Table 1: the weather PDE code on 16 and 48 PEs,
+parallel TRED2 on 16 PEs, and the multigrid Poisson solver on 16 PEs,
+each replayed through the section 4.2 queueing-model network (six stages
+of 4x4 switches, 4096 ports, 15-packet queues, MM access = PE
+instruction = 2 network cycles).
+
+Shape targets from the paper's row values:
+
+* average CM access time close to the 8-instruction minimum (paper:
+  8.81-8.94);
+* idle fraction well under half (paper: 19-39%);
+* idle per CM load below the access time, thanks to prefetch (paper:
+  3.5-5.3);
+* about one data memory reference per 4-5 instructions (paper:
+  0.19-0.25);
+* shared references 0.05-0.08 per instruction, lower for the two codes
+  "designed to minimize the number of accesses to shared data".
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.apps import poisson, tred2, weather
+from repro.apps.traces import Table1Row, replay
+from repro.network.stochastic import StochasticConfig, StochasticNetwork
+
+PAPER_ROWS = {
+    "weather-16": dict(avg=8.94, idle=0.37, idle_per_load=5.3, refs=0.21, shared=0.08),
+    "weather-48": dict(avg=8.83, idle=0.39, idle_per_load=4.5, refs=0.19, shared=0.08),
+    "tred2-16": dict(avg=8.81, idle=0.22, idle_per_load=4.9, refs=0.25, shared=0.05),
+    "poisson-16": dict(avg=8.85, idle=0.19, idle_per_load=3.5, refs=0.24, shared=0.06),
+}
+
+
+def build_all_traces():
+    return [
+        ("weather-16", weather.build_traces(16, 8, 16)),
+        ("weather-48", weather.build_traces(48, 4, 48)),
+        ("tred2-16", tred2.build_traces(32, 16)),
+        ("poisson-16", poisson.build_traces(32, 2, 16)),
+    ]
+
+
+def run_table1() -> list[Table1Row]:
+    rows = []
+    for name, traces in build_all_traces():
+        network = StochasticNetwork(StochasticConfig(seed=1))
+        rows.append(replay(name, traces, network))
+    return rows
+
+
+def test_tab1_traffic(report, benchmark):
+    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+
+    lines = [banner("TAB1: network traffic and performance (Table 1)")]
+    lines.append(Table1Row.header() + "   | paper: avgCM idle% idl/ld")
+    for row in rows:
+        paper = PAPER_ROWS[row.program]
+        lines.append(
+            row.formatted()
+            + f"   | {paper['avg']:>6.2f} {paper['idle'] * 100:>4.0f}% "
+            f"{paper['idle_per_load']:>5.1f}"
+        )
+    minimum = StochasticNetwork(StochasticConfig()).minimum_round_trip() / 2
+    lines.append(f"(minimum CM access time = {minimum:.0f} instruction times, "
+                 "as in the paper)")
+    report("\n".join(lines))
+
+    for row in rows:
+        # avg access close to the 8-instruction minimum, below ~11
+        assert 8.0 <= row.avg_cm_access_time < 11.0, row.program
+        # idle well under half
+        assert 0.02 < row.idle_fraction < 0.45, row.program
+        # prefetch keeps idle-per-load below the access time
+        assert row.idle_per_cm_load < row.avg_cm_access_time, row.program
+        # roughly one data ref per 4-6 instructions
+        assert 0.12 < row.mem_refs_per_instr < 0.30, row.program
+        # shared refs in the paper's band
+        assert 0.03 < row.shared_refs_per_instr < 0.10, row.program
+
+    by_name = {row.program: row for row in rows}
+    # the weather code shares more per instruction than tred2/poisson
+    assert (
+        by_name["weather-16"].shared_refs_per_instr
+        > by_name["poisson-16"].shared_refs_per_instr
+    )
+    assert (
+        by_name["weather-48"].shared_refs_per_instr
+        > by_name["tred2-16"].shared_refs_per_instr
+    )
+
+
+def test_tab1_traffic_below_capacity(report, benchmark):
+    """'The number of requests to central memory are comfortably below
+    the maximal number that the network can support': offered shared
+    traffic per PE per cycle stays under the 1/m capacity."""
+    lines = [banner("TAB1 companion: offered intensity vs capacity (1/m = 0.25)")]
+    all_traces = benchmark.pedantic(build_all_traces, rounds=1, iterations=1)
+    for name, traces in all_traces:
+        instructions = sum(t.instructions for t in traces)
+        shared = sum(t.shared_refs for t in traces)
+        # 2 network cycles per instruction: p = shared / (2 * instr)
+        p = shared / (2 * instructions)
+        lines.append(f"  {name:<12} p = {p:.4f}")
+        assert p < 0.05  # paper: p < .04, far below capacity
+    report("\n".join(lines))

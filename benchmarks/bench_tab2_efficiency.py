@@ -1,0 +1,84 @@
+"""TAB2 — measured and projected TRED2 efficiencies (Table 2).
+
+Follows the paper's procedure exactly: simulate the parallel TRED2 on
+the paracomputer for several (P, N) pairs, measure total time T and
+waiting time W, fit T(P, N) = a N + d N^3 / P + W(P, N), then print the
+paper's (N x P) table with measured entries unstarred and projections
+starred.
+
+Shape targets: efficiency rises down each column (bigger matrices),
+falls across each row (more processors), with the high-N/low-P corner
+approaching 100% — the paper's Table 2 gradient from 62% at (16, 16)
+to ~100% at (1024, 16).
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.analysis.efficiency import (
+    TABLE_MATRIX_SIZES,
+    TABLE_PROCESSOR_COUNTS,
+    efficiency_table,
+    fit_cost_model,
+    format_efficiency_table,
+    prediction_error,
+)
+from repro.apps.tred2 import collect_samples
+
+#: (P, N) pairs actually simulated — the 'measured' entries.  Small by
+#: necessity (the paracomputer is cycle-accurate Python), exactly as the
+#: paper could only simulate its upper-left corner.
+MEASURED_PAIRS = [
+    (1, 8), (1, 12), (1, 16), (1, 20),
+    (2, 12), (2, 16),
+    (4, 12), (4, 16), (4, 20),
+    (8, 16), (8, 20), (8, 24),
+    (16, 16), (16, 24),
+]
+
+
+def fit_model():
+    samples = collect_samples(MEASURED_PAIRS, seed=11)
+    model = fit_cost_model(samples)
+    return model, samples
+
+
+def test_tab2_efficiency_table(report, benchmark):
+    model, samples = benchmark.pedantic(fit_model, rounds=1, iterations=1)
+
+    table = efficiency_table(model, include_waiting=True)
+    measured = {(n, p) for p, n in MEASURED_PAIRS}
+    text = format_efficiency_table(table, measured=measured)
+    error = prediction_error(model, samples)
+    report(
+        banner("TAB2: measured and projected efficiencies (Table 2)")
+        + f"\nfitted: a={model.overhead:.1f}  d={model.work:.2f}  "
+        f"w_n={model.wait_n:.1f}  w_p={model.wait_p:.1f}  "
+        f"(max fit error {error * 100:.0f}%)\n"
+        + text
+        + "\n(* = projected, beyond what the simulator can run — "
+        "the paper stars its extrapolations the same way)"
+    )
+
+    # fit quality: in-sample predictions within 35% (paper: 1% with
+    # far more simulation budget; the gradient is what must survive)
+    assert error < 0.35
+
+    # shape: monotone down columns, monotone across rows
+    for column in range(len(TABLE_PROCESSOR_COUNTS)):
+        values = [row[column] for row in table]
+        assert values == sorted(values)
+    for row in table:
+        assert list(row) == sorted(row, reverse=True)
+
+    # corner targets (paper: 62% at (N=16,P=16) ... 100% at (1024,16);
+    # 0-7% in the top-right corner)
+    by = {
+        (n, p): table[i][j]
+        for i, n in enumerate(TABLE_MATRIX_SIZES)
+        for j, p in enumerate(TABLE_PROCESSOR_COUNTS)
+    }
+    assert by[(1024, 16)] > 0.90
+    assert by[(16, 4096)] < 0.10
+    assert 0.05 < by[(16, 16)] < 0.80

@@ -1,0 +1,76 @@
+"""TAB3 — projected efficiencies without waiting time (Table 3).
+
+"If we make the optimistic assumption that all the waiting time can be
+recovered, the efficiencies rise to the values given in Table 3" — the
+paper's model of hardware multiprogramming (section 3.5) recovering the
+W(P, N) term.  Same fitted model as TAB2 with W := 0.
+
+Shape targets: Table 3 dominates Table 2 pointwise; the dominance gap is
+largest where waiting dominates (small N, large P); the (N=16, P=16)
+entry rises from ~62% to ~71% in the paper — i.e., a substantial but
+not transformative lift at the measured corner.
+"""
+
+from __future__ import annotations
+
+from bench_utils import banner
+
+from repro.analysis.efficiency import (
+    TABLE_MATRIX_SIZES,
+    TABLE_PROCESSOR_COUNTS,
+    efficiency_table,
+    fit_cost_model,
+    format_efficiency_table,
+)
+from repro.apps.tred2 import collect_samples
+
+from bench_tab2_efficiency import MEASURED_PAIRS
+
+
+def build_tables():
+    samples = collect_samples(MEASURED_PAIRS, seed=11)
+    model = fit_cost_model(samples)
+    with_wait = efficiency_table(model, include_waiting=True)
+    without_wait = efficiency_table(model, include_waiting=False)
+    return model, with_wait, without_wait
+
+
+def test_tab3_projected_efficiencies(report, benchmark):
+    model, with_wait, without_wait = benchmark.pedantic(
+        build_tables, rounds=1, iterations=1
+    )
+    report(
+        banner("TAB3: projected efficiencies without waiting time (Table 3)")
+        + "\n"
+        + format_efficiency_table(without_wait, measured=set())
+        + "\n(every entry projected: waiting recovered by hardware "
+        "multiprogramming, as the paper assumes)"
+    )
+
+    # Table 3 >= Table 2 pointwise
+    for row3, row2 in zip(without_wait, with_wait):
+        for b, a in zip(row3, row2):
+            assert b >= a - 1e-12
+
+    by3 = {
+        (n, p): without_wait[i][j]
+        for i, n in enumerate(TABLE_MATRIX_SIZES)
+        for j, p in enumerate(TABLE_PROCESSOR_COUNTS)
+    }
+    by2 = {
+        (n, p): with_wait[i][j]
+        for i, n in enumerate(TABLE_MATRIX_SIZES)
+        for j, p in enumerate(TABLE_PROCESSOR_COUNTS)
+    }
+
+    # recovering waits helps most where waiting dominates
+    lift_small = by3[(16, 256)] - by2[(16, 256)]
+    lift_large = by3[(1024, 16)] - by2[(1024, 16)]
+    assert lift_small > lift_large
+
+    # the big-matrix corner approaches perfect efficiency
+    assert by3[(1024, 16)] > 0.95
+    # shape preserved: monotone rows/columns, bounded by 1
+    for row in without_wait:
+        assert all(0 < value <= 1 + 1e-9 for value in row)
+        assert list(row) == sorted(row, reverse=True)

@@ -1,0 +1,8 @@
+"""Shared helpers for the benchmark modules (kept out of conftest.py so
+the name never collides with the test suite's conftest when both run in
+a single pytest session)."""
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(64, len(title) + 4)
+    return f"\n{rule}\n{title}\n{rule}"

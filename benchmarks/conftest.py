@@ -1,0 +1,25 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure from the paper's
+evaluation and prints it (run with ``pytest benchmarks/ --benchmark-only
+-s`` to see the tables).  Shape assertions — who wins, by roughly what
+factor, where crossovers fall — are part of each benchmark, so a
+regression in the reproduction fails the harness, not just the eye.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import banner  # noqa: F401  (re-exported for plugins)
+
+
+@pytest.fixture
+def report(capsys):
+    """Print a reproduction table so it survives pytest's capture."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print(text)
+
+    return _report

@@ -1,0 +1,62 @@
+"""Monte Carlo particle transport: the MIMD-versus-SIMD argument.
+
+Section 2.5 quotes Lawrence Livermore: vector machines "do not lend
+themselves well to particle tracking calculations" — each particle's
+history is an unpredictable branch sequence.  The Ultracomputer's
+answer is MIMD self-scheduling: a fetch-and-add dispenser hands each PE
+the next particle; the tally cells absorb concurrent updates without a
+critical section.
+
+This example runs a slab-transmission problem serially and in parallel
+at several PE counts, validates against the closed-form answer for the
+absorber-only case, and prints the MIMD scaling curve.
+
+Run:  python examples/montecarlo_transport.py
+"""
+
+from repro.apps.montecarlo import (
+    SlabProblem,
+    pure_absorber_transmission,
+    simulate,
+    simulate_parallel,
+)
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # validation: absorber-only slab has a closed form
+    # ------------------------------------------------------------------
+    absorber = SlabProblem(thickness=2.0, sigma_total=1.0, scatter_probability=0.0)
+    result = simulate(absorber, 40_000, seed=3)
+    exact = pure_absorber_transmission(absorber)
+    print("absorber-only slab (closed form exp(-sigma L)):")
+    print(f"  exact transmission     {exact:.4f}")
+    print(f"  Monte Carlo (40k hist) {result.transmission:.4f}")
+
+    # ------------------------------------------------------------------
+    # a scattering problem, run in parallel at several PE counts
+    # ------------------------------------------------------------------
+    problem = SlabProblem(thickness=3.0, sigma_total=1.0, scatter_probability=0.4)
+    histories = 2_000
+    serial = simulate(problem, histories, seed=5)
+    print(f"\nscattering slab, {histories} histories:")
+    print(f"  serial estimate: T={serial.transmission:.3f} "
+          f"R={serial.reflection:.3f}")
+
+    print(f"\n  {'PEs':>4} {'cycles':>8} {'speedup':>8} {'transmission':>13}")
+    base_cycles = None
+    for pes in (1, 4, 16, 64):
+        parallel, cycles = simulate_parallel(problem, histories, pes, seed=5)
+        if base_cycles is None:
+            base_cycles = cycles
+        print(f"  {pes:>4} {cycles:>8} {base_cycles / cycles:>8.1f} "
+              f"{parallel.transmission:>13.3f}")
+        assert parallel.histories == histories  # F&A dispenser: exact
+
+    print("\nthe dispenser and tallies are single shared cells — on the")
+    print("Ultracomputer their traffic combines, so the near-linear")
+    print("scaling above survives arbitrarily many PEs (section 2.3).")
+
+
+if __name__ == "__main__":
+    main()

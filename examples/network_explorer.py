@@ -1,0 +1,67 @@
+"""Network design exploration: the section 4 configuration study.
+
+Walks the (k, m, d) design space of the 4096-PE machine exactly as
+section 4.1 does — transit-time curves, capacities, costs, and the
+Figure 7 comparison — then sanity-checks the analytic model against the
+cycle-accurate simulator on a small machine.
+
+Run:  python examples/network_explorer.py
+"""
+
+from repro.analysis.configurations import (
+    FIGURE7_DESIGNS,
+    best_design_at,
+    crossover_intensity,
+    equal_cost_designs,
+)
+from repro.analysis.packaging import package_machine
+from repro.workloads.synthetic import run_uniform_traffic
+
+
+def design_study() -> None:
+    print("Figure 7 design space (4096 PEs):")
+    print(f"{'design':>16} {'capacity':>9} {'cost C':>7} "
+          f"{'T(p=0)':>7} {'T(p=.1)':>8} {'T(p=.2)':>8}")
+    for design in FIGURE7_DESIGNS:
+        cells = [f"{design.label():>16}", f"{design.capacity:>9.2f}",
+                 f"{design.cost_factor:>7.3f}",
+                 f"{design.transit_time(0.0, 4096):>7.1f}"]
+        for p in (0.1, 0.2):
+            if p < design.capacity * 0.999:
+                cells.append(f"{design.transit_time(p, 4096):>8.2f}")
+            else:
+                cells.append(f"{'sat':>8}")
+        print(" ".join(cells))
+
+    best = best_design_at(0.10)
+    print(f"\nbest at p=0.10: {best.label()} "
+          "(the paper's 'duplexed 4x4' conclusion)")
+    a, b = equal_cost_designs(0.25)
+    crossover = crossover_intensity(a, b)
+    print(f"equal-cost pair {a.label()} vs {b.label()}: "
+          f"crossover at p = {crossover:.3f}")
+
+
+def packaging_study() -> None:
+    print("\npackaging the 4096-PE machine (section 3.6):")
+    report = package_machine(4096)
+    for label, value in report.summary_rows():
+        print(f"  {label:<32} {value}")
+
+
+def validate_against_cycle_simulator() -> None:
+    print("\nanalytic model vs cycle-accurate simulator (16 PEs, k=2):")
+    from repro.analysis.queueing import round_trip_time
+
+    for rate in (0.05, 0.20):
+        stats, _ = run_uniform_traffic(16, rate=rate, cycles=800, seed=1)
+        analytic = round_trip_time(16, 2, 2, rate)
+        print(f"  p={rate:.2f}: measured {stats.mean_latency:>6.2f} cycles, "
+              f"analytic {analytic:>6.2f} (loads are 1 packet, replies 3 — "
+              "the model splits the difference)")
+
+
+if __name__ == "__main__":
+    design_study()
+    packaging_study()
+    validate_against_cycle_simulator()

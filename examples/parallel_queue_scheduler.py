@@ -1,0 +1,87 @@
+"""The critical-section-free queue and the decentralized scheduler.
+
+Reproduces the paper's appendix demonstration: "when a queue is neither
+full nor empty our program allows many insertions and many deletions to
+proceed completely in parallel with no serial code executed", and builds
+the section 2.3 "totally decentralized operating system scheduler" on
+top of it — every PE runs the identical worker loop; no PE is special.
+
+Run:  python examples/parallel_queue_scheduler.py
+"""
+
+from repro.algorithms import (
+    QueueLayout,
+    SchedulerLayout,
+    delete,
+    insert,
+    make_fanout_workload,
+    seed_direct,
+    worker,
+)
+from repro.core.paracomputer import Paracomputer
+
+
+def queue_demo() -> None:
+    print("parallel FIFO queue (paper appendix)")
+    queue = QueueLayout(base=100, capacity=16)
+    para = Paracomputer(seed=7)
+    received: list[int] = []
+
+    def producer(pe_id, items):
+        for item in items:
+            while not (yield from insert(queue, item)):
+                pass  # retry on transient overflow
+        return True
+
+    def consumer(pe_id, count):
+        taken = 0
+        while taken < count:
+            item = yield from delete(queue)
+            if item is not None:
+                received.append(item)
+                taken += 1
+        return True
+
+    for pe in range(4):
+        para.spawn(producer, list(range(pe * 100, pe * 100 + 10)))
+    for pe in range(4):
+        para.spawn(consumer, 10)
+    stats = para.run()
+
+    expected = sorted(x for pe in range(4) for x in range(pe * 100, pe * 100 + 10))
+    print(f"  4 producers + 4 consumers, 40 items, {stats.cycles} cycles")
+    print(f"  nothing lost, nothing duplicated: {sorted(received) == expected}")
+    print(f"  shared-memory ops issued: {stats.ops_issued} "
+          "(all fetch-and-add / load / store — zero locks)")
+
+
+def scheduler_demo() -> None:
+    print("\ndecentralized scheduler (section 2.3)")
+    layout = SchedulerLayout.at(base=1000, capacity=128)
+    task_fn, roots, total = make_fanout_workload(fanout=3, depth=3)
+
+    para = Paracomputer(seed=3)
+    seed_direct(layout, roots, para.poke)
+
+    def run_worker(pe_id):
+        trace = yield from worker(pe_id, layout, task_fn)
+        return trace
+
+    para.spawn_many(8, run_worker)
+    stats = para.run()
+
+    executed = sorted(
+        t for trace in stats.return_values.values() for t in trace.executed
+    )
+    per_pe = {
+        trace.pe_id: len(trace.executed) for trace in stats.return_values.values()
+    }
+    print(f"  {total} tasks in a fanout-3 tree, dynamically spawned")
+    print(f"  every task ran exactly once: {executed == list(range(total))}")
+    print(f"  work spread over the 8 identical workers: {per_pe}")
+    print(f"  completed in {stats.cycles} cycles with no coordinator PE")
+
+
+if __name__ == "__main__":
+    queue_demo()
+    scheduler_demo()

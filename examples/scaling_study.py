@@ -1,0 +1,57 @@
+"""A scaling study with the WASHCLOTH-style harness (section 5's method).
+
+Defines a small parallel workload (self-scheduled array-of-work via
+fetch-and-add), measures T(P, size) over a grid on the paracomputer, and
+prints the efficiency table — the same procedure that produced Table 2's
+measured entries, packaged for any user workload.
+
+Run:  python examples/scaling_study.py
+"""
+
+from repro.apps.harness import run_study
+from repro.core.memory_ops import FetchAdd, Load, Store
+
+
+def stencil_workload(processors, size):
+    """A 1-D three-point smoothing pass over `size` cells: work items
+    are dealt out by fetch-and-add; each item reads three shared cells
+    and writes one."""
+
+    def setup(machine):
+        machine.poke(0, 0)  # dispenser
+        for i in range(size + 2):
+            machine.poke(100 + i, i * i % 17)
+
+    def program(pe_id, items):
+        while True:
+            item = yield FetchAdd(0, 1)
+            if item >= items:
+                return True
+            left = yield Load(100 + item)
+            mid = yield Load(100 + item + 1)
+            right = yield Load(100 + item + 2)
+            yield 3  # the arithmetic
+            yield Store(1000 + item, left + 2 * mid + right)
+
+    return setup, program, (size,)
+
+
+def main() -> None:
+    study = run_study(
+        stencil_workload,
+        name="3-point stencil (F&A self-scheduled)",
+        processor_counts=[1, 2, 4, 8, 16],
+        sizes=[64, 256, 1024],
+        seed=7,
+    )
+    print(study.table())
+    print()
+    for size in (64, 1024):
+        speedup = study.speedup(16, size)
+        print(f"speedup at P=16, size={size}: {speedup:.1f}x")
+    print("\nlarger problems amortize the dispenser and ramp-down —")
+    print("the same N/P gradient as the paper's Table 2.")
+
+
+if __name__ == "__main__":
+    main()

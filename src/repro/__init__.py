@@ -1,0 +1,50 @@
+"""repro — a reproduction of the NYU Ultracomputer.
+
+A MIMD, shared-memory parallel machine built around two ideas:
+
+* the **fetch-and-add** synchronization primitive, which lets many
+  processors coordinate without critical sections; and
+* a **combining Omega network**, whose enhanced message switches merge
+  concurrent references to the same memory cell so that "any number of
+  concurrent memory references to the same location can be satisfied in
+  the time required for just one central memory access".
+
+Public entry points:
+
+* :class:`repro.Paracomputer` — the idealized machine model (section 2);
+* :class:`repro.Ultracomputer` — the cycle-accurate machine with the
+  combining network (section 3);
+* :mod:`repro.algorithms` — the completely-parallel coordination
+  algorithms (queue, readers–writers, barrier, scheduler);
+* :mod:`repro.analysis` — the analytic network-performance and
+  packaging models (sections 3.6 and 4.1);
+* :mod:`repro.apps` — the scientific workloads of the evaluation
+  (TRED2, weather PDE, multigrid Poisson, Monte Carlo).
+"""
+
+from .core import (
+    FetchAdd,
+    FetchPhi,
+    Load,
+    MachineConfig,
+    Paracomputer,
+    Store,
+    Swap,
+    TestAndSet,
+    Ultracomputer,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FetchAdd",
+    "FetchPhi",
+    "Load",
+    "MachineConfig",
+    "Paracomputer",
+    "Store",
+    "Swap",
+    "TestAndSet",
+    "Ultracomputer",
+    "__version__",
+]

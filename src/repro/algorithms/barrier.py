@@ -1,0 +1,82 @@
+"""Fetch-and-add barrier synchronization.
+
+Barriers are the workhorse of the parallel scientific programs in
+section 5 (each sweep of the weather PDE, each Householder step of
+TRED2).  A fetch-and-add barrier needs no critical section: the last
+arrival — identified by the value fetch-and-add returns — flips a shared
+sense word on which everyone else spins.  All N arrivals are concurrent
+fetch-and-adds on one cell, so on the Ultracomputer they combine into a
+single memory access: barrier arrival is O(network latency), not O(N).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..core.memory_ops import FetchAdd, Load, Op, Store
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A sense-reversing barrier in two shared words.
+
+    ``base``     — arrival counter;
+    ``base + 1`` — sense word (generation number).
+    """
+
+    base: int
+    participants: int
+
+    @property
+    def counter(self) -> int:
+        return self.base
+
+    @property
+    def sense(self) -> int:
+        return self.base + 1
+
+    @property
+    def footprint(self) -> int:
+        return 2
+
+
+def wait(barrier: Barrier) -> Generator[Op, int, int]:
+    """Arrive at the barrier and wait for the other participants.
+
+    Returns the arrival rank (0-based) — callers use rank 0 as an
+    elected leader for per-phase sequential snippets, a pattern the
+    scientific codes rely on.  Reusable across generations: the counter
+    resets each time and the sense word counts generations.
+    """
+    generation = yield Load(barrier.sense)
+    rank = yield FetchAdd(barrier.counter, 1)
+    if rank == barrier.participants - 1:
+        # Last arrival: reset the counter for the next generation, then
+        # release everyone by advancing the sense word.
+        yield Store(barrier.counter, 0)
+        yield Store(barrier.sense, generation + 1)
+        return rank
+    while True:
+        current = yield Load(barrier.sense)
+        if current != generation:
+            return rank
+
+
+def fuzzy_wait(barrier: Barrier, work) -> Generator[Op, int, int]:
+    """A "fuzzy" barrier: arrive, run ``work`` (a generator of useful
+    local computation), then wait.  Overlapping the wait with work is the
+    paper's own suggestion for hiding latency ("software designed for
+    such processors attempts to prefetch data sufficiently early")."""
+    generation = yield Load(barrier.sense)
+    rank = yield FetchAdd(barrier.counter, 1)
+    if rank == barrier.participants - 1:
+        yield Store(barrier.counter, 0)
+        yield from work
+        yield Store(barrier.sense, generation + 1)
+        return rank
+    yield from work
+    while True:
+        current = yield Load(barrier.sense)
+        if current != generation:
+            return rank

@@ -1,0 +1,93 @@
+"""Bounded-counter primitives TIR and TDR (paper appendix).
+
+The appendix's queue management rests on two fetch-and-add idioms:
+
+* **TIR** (test-increment-retest): atomically increment a counter only
+  if the result would not exceed a bound;
+* **TDR** (test-decrement-retest): atomically decrement only if the
+  result would not go negative.
+
+Both are optimistic: they fetch-and-add, re-test the returned old value,
+and undo on failure.  The paper stresses that "although the initial test
+in both TIR and TDR may appear to be redundant, a closer inspection
+shows that their removal permits unacceptable race conditions" — without
+the pre-test, a crowd of failing attempts could push the counter past
+its bound far enough to make *other* correct attempts fail; the pre-test
+bounds the overshoot.  Tests exercise exactly that scenario.
+
+These are generator sub-programs: call them with ``yield from`` inside a
+machine program.  Each returns a bool.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from ..core.memory_ops import FetchAdd, Load, Op
+
+
+def tir(
+    counter: int, delta: int, bound: int
+) -> Generator[Op, int, bool]:
+    """Test-increment-retest: add ``delta`` to ``counter`` iff the result
+    stays at most ``bound``.
+
+    Mirrors the appendix verbatim::
+
+        Boolean Procedure TIR(S, Delta, Bound)
+            If S + Delta <= Bound Then
+                If FetchAdd(S, Delta) + Delta <= Bound Then TIR <- true
+                Else { FetchAdd(S, -Delta); TIR <- false }
+            Else TIR <- false
+    """
+    if delta <= 0:
+        raise ValueError("TIR delta must be positive")
+    current = yield Load(counter)
+    if current + delta > bound:
+        return False
+    old = yield FetchAdd(counter, delta)
+    if old + delta <= bound:
+        return True
+    yield FetchAdd(counter, -delta)
+    return False
+
+
+def tdr(counter: int, delta: int) -> Generator[Op, int, bool]:
+    """Test-decrement-retest: subtract ``delta`` iff the result stays
+    non-negative.
+
+    Mirrors the appendix::
+
+        Boolean Procedure TDR(S, Delta)
+            If S - Delta >= 0 Then
+                If FetchAdd(S, -Delta) - Delta >= 0 Then TDR <- True
+                Else { FetchAdd(S, Delta); TDR <- false }
+            Else TDR <- false
+    """
+    if delta <= 0:
+        raise ValueError("TDR delta must be positive")
+    current = yield Load(counter)
+    if current - delta < 0:
+        return False
+    old = yield FetchAdd(counter, -delta)
+    if old - delta >= 0:
+        return True
+    yield FetchAdd(counter, delta)
+    return False
+
+
+def unsafe_increment_if_below(
+    counter: int, delta: int, bound: int
+) -> Generator[Op, int, bool]:
+    """The race-prone variant *without* the initial test.
+
+    Kept (clearly labelled) as the ablation the appendix argues against:
+    concurrent failing attempts overshoot the bound unboundedly, which
+    the tests demonstrate by driving the counter past ``bound`` with
+    enough simultaneous callers.
+    """
+    old = yield FetchAdd(counter, delta)
+    if old + delta <= bound:
+        return True
+    yield FetchAdd(counter, -delta)
+    return False

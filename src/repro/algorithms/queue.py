@@ -1,0 +1,197 @@
+"""The critical-section-free parallel FIFO queue (paper appendix).
+
+"Although at first glance the important problem of queue management may
+appear to require use of at least a few inherently serial operations, a
+queue can be shared among processors without using any code that could
+create serial bottlenecks."
+
+The queue is a public circular array ``Q[0:Size-1]`` with insert/delete
+pointers ``I`` and ``D`` and two occupancy counters: ``#Qu``, an upper
+bound incremented *before* an insertion deposits data, and ``#Qi``, a
+lower bound incremented *after*; deletions mirror this.  TIR/TDR guard
+the counters so overflow/underflow are detected without locks; the
+winning fetch-and-add on ``I`` (or ``D``) hands each participant a
+distinct slot; and a per-slot phase word implements the appendix's
+"wait turn at MyI", which is required because a slot may be claimed for
+round ``r+1`` while the round-``r`` occupant is still being consumed.
+
+FIFO property preserved (the paper's formulation): "If insertion of a
+data item p is completed before insertion of another data item q is
+started, then it must not be possible for a deletion yielding q to
+complete before a deletion yielding p has started."  The property-based
+tests check exactly this relation on traced histories.
+
+Memory layout (base address ``B``, capacity ``S``)::
+
+    B+0   I      insert pointer (ever-increasing; slot = I mod S)
+    B+1   D      delete pointer
+    B+2   #Qu    upper bound on occupancy
+    B+3   #Qi    lower bound on occupancy
+    B+4+2j       data word of slot j
+    B+5+2j       phase word of slot j (2r = empty for round r,
+                                       2r+1 = full for round r)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Optional
+
+from ..core.memory_ops import FetchAdd, Load, Op, Store
+from .counters import tdr, tir
+
+
+@dataclass(frozen=True)
+class QueueLayout:
+    """Addresses of one parallel queue's words in shared memory."""
+
+    base: int
+    capacity: int
+
+    @property
+    def insert_ptr(self) -> int:
+        return self.base
+
+    @property
+    def delete_ptr(self) -> int:
+        return self.base + 1
+
+    @property
+    def upper_bound(self) -> int:
+        return self.base + 2
+
+    @property
+    def lower_bound(self) -> int:
+        return self.base + 3
+
+    def data_addr(self, slot: int) -> int:
+        return self.base + 4 + 2 * slot
+
+    def phase_addr(self, slot: int) -> int:
+        return self.base + 5 + 2 * slot
+
+    @property
+    def footprint(self) -> int:
+        """Words of shared memory the queue occupies."""
+        return 4 + 2 * self.capacity
+
+
+class QueueOverflow(Exception):
+    """Insertion attempted on a (possibly transiently) full queue."""
+
+
+class QueueUnderflow(Exception):
+    """Deletion attempted on a (possibly transiently) empty queue."""
+
+
+def insert(
+    queue: QueueLayout, data: int, *, spin_limit: Optional[int] = None
+) -> Generator[Op, int, bool]:
+    """Insert ``data``; returns True, or False on queue overflow.
+
+    Matches the appendix's ``Procedure Insert(Data, Q, QueueOverflow)``:
+    TIR on ``#Qu`` reserves space, fetch-and-add on ``I`` assigns the
+    slot, the phase word serializes per-slot round turnover, and finally
+    ``#Qi`` is incremented to publish the item.
+    """
+    ok = yield from tir(queue.upper_bound, 1, queue.capacity)
+    if not ok:
+        return False
+    ticket = yield FetchAdd(queue.insert_ptr, 1)
+    slot = ticket % queue.capacity
+    round_number = ticket // queue.capacity
+    # Wait turn at MyI: the slot is writable for round r when its phase
+    # word reads 2r (the round-(r-1) occupant has been deleted).
+    spins = 0
+    while True:
+        phase = yield Load(queue.phase_addr(slot))
+        if phase == 2 * round_number:
+            break
+        spins += 1
+        if spin_limit is not None and spins > spin_limit:
+            raise RuntimeError(
+                f"insert spun {spins} times waiting for slot {slot} round "
+                f"{round_number}; queue protocol violated"
+            )
+    yield Store(queue.data_addr(slot), data)
+    yield Store(queue.phase_addr(slot), 2 * round_number + 1)
+    yield FetchAdd(queue.lower_bound, 1)
+    return True
+
+
+def delete(
+    queue: QueueLayout, *, spin_limit: Optional[int] = None
+) -> Generator[Op, int, Optional[int]]:
+    """Delete and return the front item, or None on queue underflow.
+
+    Matches the appendix's ``Procedure Delete``: TDR on ``#Qi`` claims an
+    item, fetch-and-add on ``D`` assigns the slot, the phase word waits
+    for the matching round's data, and ``#Qu`` is decremented last —
+    "since deletions do not decrement #Qu until after they have removed
+    their data, a full queue may actually have cells that could be used
+    by another insertion."
+    """
+    ok = yield from tdr(queue.lower_bound, 1)
+    if not ok:
+        return None
+    ticket = yield FetchAdd(queue.delete_ptr, 1)
+    slot = ticket % queue.capacity
+    round_number = ticket // queue.capacity
+    spins = 0
+    while True:
+        phase = yield Load(queue.phase_addr(slot))
+        if phase == 2 * round_number + 1:
+            break
+        spins += 1
+        if spin_limit is not None and spins > spin_limit:
+            raise RuntimeError(
+                f"delete spun {spins} times waiting for slot {slot} round "
+                f"{round_number}; queue protocol violated"
+            )
+    data = yield Load(queue.data_addr(slot))
+    # Deletion of data is "the insertion of vacant space": open the slot
+    # for the next round's inserter.
+    yield Store(queue.phase_addr(slot), 2 * (round_number + 1))
+    yield FetchAdd(queue.upper_bound, -1)
+    return data
+
+
+def insert_or_raise(
+    queue: QueueLayout, data: int
+) -> Generator[Op, int, None]:
+    """Insert, raising :class:`QueueOverflow` on failure (example sugar)."""
+    ok = yield from insert(queue, data)
+    if not ok:
+        raise QueueOverflow(f"queue at base {queue.base} is full")
+
+
+def delete_or_raise(queue: QueueLayout) -> Generator[Op, int, int]:
+    """Delete, raising :class:`QueueUnderflow` on failure (example sugar)."""
+    item = yield from delete(queue)
+    if item is None:
+        raise QueueUnderflow(f"queue at base {queue.base} is empty")
+    return item
+
+
+def occupancy_bounds(
+    queue: QueueLayout,
+) -> Generator[Op, int, tuple[int, int]]:
+    """Read the (lower, upper) occupancy bounds.
+
+    The invariant — checked by property tests — is ``#Qi <= #items <=
+    #Qu`` whenever the queue is momentarily quiescent, and the two
+    "never differ by more than the number of active insertions and
+    deletions".
+    """
+    lower = yield Load(queue.lower_bound)
+    upper = yield Load(queue.upper_bound)
+    return lower, upper
+
+
+def initialize(queue: QueueLayout, memory_poke) -> None:
+    """Zero-initialize a queue's words via a machine's ``poke`` function.
+
+    All words start at 0: empty queue, round 0 for every slot.
+    """
+    for offset in range(queue.footprint):
+        memory_poke(queue.base + offset, 0)

@@ -1,0 +1,98 @@
+"""The completely parallel readers–writers protocol (section 2.3).
+
+The paper cites a "completely parallel solution to the readers-writers
+problem" built on fetch-and-add, with the honest footnote that "since
+writers are inherently serial, the solution cannot strictly speaking be
+considered completely parallel.  However, the only critical section used
+is required by the problem specification.  In particular, during periods
+when no writers are active, no serial code is executed."
+
+This implementation follows the classic Gottlieb–Lubachevsky–Rudolph
+construction on a single shared word: readers add 1, writers add a large
+constant W (any value exceeding the maximum number of simultaneous
+readers).  A reader that observes a writer's weight backs out and spins;
+a writer that fails to find the word at zero backs out and spins.  All
+reader arrivals and departures during writer-free periods are pure
+fetch-and-adds — they combine in the network and never serialize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..core.memory_ops import FetchAdd, Load, Op
+
+#: Writer weight; must exceed any possible simultaneous reader count.
+WRITER_WEIGHT = 1 << 20
+
+
+@dataclass(frozen=True)
+class RWLock:
+    """A readers–writers lock occupying one word of shared memory."""
+
+    address: int
+    writer_weight: int = WRITER_WEIGHT
+
+
+def acquire_read(lock: RWLock) -> Generator[Op, int, int]:
+    """Enter a read section; returns the number of retry rounds (0 when
+    no writer was contending — the completely-parallel fast path)."""
+    retries = 0
+    while True:
+        observed = yield FetchAdd(lock.address, 1)
+        if observed < lock.writer_weight:
+            return retries
+        # A writer holds or awaits the lock: back out and wait for the
+        # word to drop below the writer weight.
+        yield FetchAdd(lock.address, -1)
+        retries += 1
+        while True:
+            value = yield Load(lock.address)
+            if value < lock.writer_weight:
+                break
+
+
+def release_read(lock: RWLock) -> Generator[Op, int, None]:
+    yield FetchAdd(lock.address, -1)
+
+
+def acquire_write(lock: RWLock) -> Generator[Op, int, int]:
+    """Enter the (inherently serial) write section; returns retry rounds."""
+    retries = 0
+    while True:
+        observed = yield FetchAdd(lock.address, lock.writer_weight)
+        if observed == 0:
+            return retries
+        # Readers are draining or another writer won: back out, spin.
+        yield FetchAdd(lock.address, -lock.writer_weight)
+        retries += 1
+        while True:
+            value = yield Load(lock.address)
+            if value == 0:
+                break
+
+
+def release_write(lock: RWLock) -> Generator[Op, int, None]:
+    yield FetchAdd(lock.address, -lock.writer_weight)
+
+
+def read_section(lock: RWLock, body) -> Generator[Op, int, object]:
+    """Run generator ``body`` under read protection (convenience)."""
+    yield from acquire_read(lock)
+    try:
+        result = yield from body
+    finally:
+        # Release must execute even if the body raises, or the lock leaks.
+        yield from release_read(lock)
+    return result
+
+
+def write_section(lock: RWLock, body) -> Generator[Op, int, object]:
+    """Run generator ``body`` under write protection (convenience)."""
+    yield from acquire_write(lock)
+    try:
+        result = yield from body
+    finally:
+        yield from release_write(lock)
+    return result

@@ -1,0 +1,137 @@
+"""Collective operations from fetch-and-add: reduce, all-reduce,
+broadcast, and ordered prefix (section 2.2's idiom library).
+
+Fetch-and-add makes three collectives nearly free:
+
+* **reduction** — every PE fetch-and-adds its contribution into one
+  cell; the network combines the storm into ~one memory access;
+* **ordered prefix** — the *returned* values of those fetch-and-adds
+  are exactly the prefix sums of the contributions in the serialization
+  order, plus a unique rank for each participant (the paper's shared
+  array-index example generalized: F&A is an atomic "take a ticket and
+  learn the running total");
+* **broadcast** — a store by the owner plus a generation flip, the same
+  sense-word trick as the barrier.
+
+The scientific programs (TRED2's sigma and v·p phases) use these shapes
+inline; this module packages them as reusable generators with tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..core.memory_ops import FetchAdd, Load, Op, Store
+from .barrier import Barrier, wait
+
+
+@dataclass(frozen=True)
+class Reduction:
+    """A reduction cell paired with a barrier for completion detection.
+
+    ``base`` holds the accumulator; ``base + 1``/``base + 2`` hold the
+    barrier.  The accumulator must start at the reduction's identity
+    (0 for sums) — :func:`reset` arranges that between rounds.
+    """
+
+    base: int
+    participants: int
+
+    @property
+    def cell(self) -> int:
+        return self.base
+
+    @property
+    def barrier(self) -> Barrier:
+        return Barrier(base=self.base + 1, participants=self.participants)
+
+    @property
+    def footprint(self) -> int:
+        return 1 + self.barrier.footprint
+
+
+def contribute(reduction: Reduction, value) -> Generator[Op, int, int]:
+    """Add ``value``; returns the running total *before* this
+    contribution (the ordered-prefix property)."""
+    prefix = yield FetchAdd(reduction.cell, value)
+    return prefix
+
+
+def all_reduce(reduction: Reduction, value) -> Generator[Op, int, int]:
+    """Contribute and wait for everyone; returns the grand total.
+
+    One combinable fetch-and-add, one barrier, one combinable load —
+    every step is a single-cell hot-spot the network absorbs, so the
+    whole collective costs O(log N) time regardless of N.
+    """
+    yield FetchAdd(reduction.cell, value)
+    yield from wait(reduction.barrier)
+    total = yield Load(reduction.cell)
+    return total
+
+
+def reset(reduction: Reduction, rank: int) -> Generator[Op, int, None]:
+    """Zero the accumulator for reuse between rounds.
+
+    Two barriers bracket the clear: the first ensures every participant
+    has read the previous round's total before it vanishes, the second
+    that nobody's next contribution races the clear itself.
+    """
+    yield from wait(reduction.barrier)
+    if rank == 0:
+        yield Store(reduction.cell, 0)
+    yield from wait(reduction.barrier)
+
+
+def ordered_prefix(cell: int, value) -> Generator[Op, int, tuple[int, int]]:
+    """The fetch-and-add ticket idiom as a named primitive.
+
+    Returns ``(prefix_sum, running_total_after)`` — with ``value = 1``
+    the prefix is a unique rank, the section 2.2 array-index example.
+    """
+    prefix = yield FetchAdd(cell, value)
+    return prefix, prefix + value
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """One-to-all broadcast: a data word plus a generation word."""
+
+    base: int
+
+    @property
+    def data(self) -> int:
+        return self.base
+
+    @property
+    def generation(self) -> int:
+        return self.base + 1
+
+    @property
+    def footprint(self) -> int:
+        return 2
+
+
+def publish(channel: Broadcast, value) -> Generator[Op, int, None]:
+    """Owner side: write the datum, then advance the generation."""
+    yield Store(channel.data, value)
+    generation = yield Load(channel.generation)
+    yield Store(channel.generation, generation + 1)
+
+
+def receive(
+    channel: Broadcast, seen_generation: int
+) -> Generator[Op, int, tuple[int, int]]:
+    """Subscriber side: spin (on combinable loads) until a generation
+    newer than ``seen_generation`` appears; returns (value, generation).
+
+    The spin loads all target one cell, so on the Ultracomputer the
+    waiting crowd costs roughly one memory access per cycle in total,
+    not per PE.
+    """
+    while True:
+        generation = yield Load(channel.generation)
+        if generation > seen_generation:
+            value = yield Load(channel.data)
+            return value, generation

@@ -1,0 +1,162 @@
+"""A totally decentralized task scheduler (section 2.3).
+
+The paper credits fetch-and-add with enabling "a highly concurrent queue
+management technique that can be used to implement a totally
+decentralized operating system scheduler."  This module is that
+construction: the ready list is the appendix's critical-section-free
+parallel queue; every PE runs the same worker loop — delete a task,
+execute it, insert any tasks it spawns — and no PE is special.
+
+Tasks are plain integers (task ids) in shared memory; their behaviour
+lives in a host-side task table: a callable ``task_fn(task_id)``
+returning ``(compute_cycles, [spawned task ids])``.  This keeps the
+shared-memory footprint identical to what the 1982 machine would hold
+(the queue of ids) while letting tests and examples script arbitrary
+task DAGs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Generator, Optional
+
+from ..core.memory_ops import FetchAdd, Load, Op
+from .queue import QueueLayout, delete, insert
+
+#: A task's behaviour: id -> (cycles of local work, tasks spawned).
+TaskFn = Callable[[int], tuple[int, list[int]]]
+
+
+@dataclass
+class SchedulerLayout:
+    """Shared-memory layout of the decentralized scheduler.
+
+    ``ready`` — the parallel ready queue;
+    ``pending`` — count of tasks not yet finished (spawned but unrun,
+    queued, or running); workers exit when it reaches zero.  It is
+    maintained entirely with fetch-and-add: +1 per spawn *before* the
+    insert (so the counter never under-reports), -1 per completion.
+    """
+
+    ready: QueueLayout
+    pending_addr: int
+
+    @classmethod
+    def at(cls, base: int, capacity: int) -> "SchedulerLayout":
+        queue = QueueLayout(base=base + 1, capacity=capacity)
+        return cls(ready=queue, pending_addr=base)
+
+    @property
+    def footprint(self) -> int:
+        return 1 + self.ready.footprint
+
+
+@dataclass
+class WorkerTrace:
+    """Per-PE execution record, for fairness and correctness tests."""
+
+    pe_id: int
+    executed: list[int] = field(default_factory=list)
+    idle_polls: int = 0
+    overflow_drops: int = 0
+
+
+def seed_direct(layout: SchedulerLayout, task_ids: list[int], poke) -> None:
+    """Host-side initialization: load the ready queue before the run.
+
+    Writes the queue image directly through a machine's ``poke``
+    function — the analogue of the operating system loading the initial
+    ready list before releasing the PEs.  Using this (rather than
+    :func:`seed_tasks` from a running PE) avoids the startup race where
+    workers observe an all-zero pending counter and exit before any task
+    is enqueued.
+    """
+    queue = layout.ready
+    if len(task_ids) > queue.capacity:
+        raise ValueError("initial task set exceeds ready-queue capacity")
+    for offset in range(layout.footprint):
+        poke(layout.pending_addr + offset, 0)
+    for slot, task_id in enumerate(task_ids):
+        poke(queue.data_addr(slot), task_id)
+        poke(queue.phase_addr(slot), 1)  # round 0, full
+    poke(queue.insert_ptr, len(task_ids))
+    poke(queue.upper_bound, len(task_ids))
+    poke(queue.lower_bound, len(task_ids))
+    poke(layout.pending_addr, len(task_ids))
+
+
+def seed_tasks(
+    layout: SchedulerLayout, task_ids: list[int]
+) -> Generator[Op, int, int]:
+    """Enqueue the initial task set (run from one PE before workers).
+
+    Returns how many were enqueued; raises on overflow because losing a
+    seed task would deadlock the run.
+    """
+    yield FetchAdd(layout.pending_addr, len(task_ids))
+    for task_id in task_ids:
+        ok = yield from insert(layout.ready, task_id)
+        if not ok:
+            raise RuntimeError("ready queue overflow while seeding tasks")
+    return len(task_ids)
+
+
+def worker(
+    pe_id: int,
+    layout: SchedulerLayout,
+    task_fn: TaskFn,
+    *,
+    trace: Optional[WorkerTrace] = None,
+) -> Generator[Op, int, WorkerTrace]:
+    """The symmetric worker loop every PE runs.
+
+    Terminates when the pending-task counter reaches zero.  An empty
+    ready queue with pending work simply means other workers are still
+    executing tasks that may spawn more; the worker polls again (the
+    underflow path of the parallel queue is exactly the "proceed to some
+    other task" option the appendix mentions).
+    """
+    if trace is None:
+        trace = WorkerTrace(pe_id=pe_id)
+    while True:
+        pending = yield Load(layout.pending_addr)
+        if pending == 0:
+            return trace
+        task = yield from delete(layout.ready)
+        if task is None:
+            trace.idle_polls += 1
+            continue
+        trace.executed.append(task)
+        compute_cycles, spawned = task_fn(task)
+        if compute_cycles > 0:
+            yield compute_cycles
+        if spawned:
+            yield FetchAdd(layout.pending_addr, len(spawned))
+            for child in spawned:
+                ok = yield from insert(layout.ready, child)
+                if not ok:
+                    # Drop and give the work back: undo the pending
+                    # increment so the system still terminates; the
+                    # trace records the drop for the host to handle.
+                    yield FetchAdd(layout.pending_addr, -1)
+                    trace.overflow_drops += 1
+        yield FetchAdd(layout.pending_addr, -1)
+
+
+def make_fanout_workload(
+    fanout: int, depth: int
+) -> tuple[TaskFn, list[int], int]:
+    """A synthetic spawning workload: a complete ``fanout``-ary tree.
+
+    Task ids encode tree position; every internal task spawns ``fanout``
+    children.  Returns (task_fn, root ids, total task count) so tests
+    can assert every task ran exactly once.
+    """
+    total = sum(fanout**level for level in range(depth + 1))
+
+    def task_fn(task_id: int) -> tuple[int, list[int]]:
+        children = [task_id * fanout + i + 1 for i in range(fanout)]
+        children = [c for c in children if c < total]
+        return (2, children)
+
+    return task_fn, [0], total

@@ -1,0 +1,85 @@
+"""Counting semaphores from fetch-and-add (section 2.3 derived primitive).
+
+P (acquire) is the appendix's TDR idiom — optimistic decrement with
+undo — and V (release) is a bare fetch-and-add, so during uncontended
+periods neither executes any serial code.  A binary semaphore with
+busy-wait acquire doubles as the mutex the paper's *comparison* section
+mentions conventional queue algorithms needing ("current parallel queue
+algorithms ... use small critical sections to update the insert and
+delete pointers"); the benchmark harness uses it to build that baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator
+
+from ..core.memory_ops import FetchAdd, Load, Op, TestAndSet, Store
+from .counters import tdr
+
+
+@dataclass(frozen=True)
+class Semaphore:
+    """A counting semaphore in one shared word (initialized to its
+    capacity by the host program)."""
+
+    address: int
+
+
+def try_acquire(sem: Semaphore, units: int = 1) -> Generator[Op, int, bool]:
+    """P without blocking: claim ``units`` if available, else False."""
+    ok = yield from tdr(sem.address, units)
+    return ok
+
+
+def acquire(sem: Semaphore, units: int = 1) -> Generator[Op, int, int]:
+    """Blocking P: spin until the claim succeeds; returns spin count."""
+    spins = 0
+    while True:
+        ok = yield from tdr(sem.address, units)
+        if ok:
+            return spins
+        spins += 1
+        # Spin on an ordinary load (combinable; does not disturb the
+        # counter) until the semaphore looks acquirable.
+        while True:
+            value = yield Load(sem.address)
+            if value >= units:
+                break
+
+
+def release(sem: Semaphore, units: int = 1) -> Generator[Op, int, None]:
+    """V: a single fetch-and-add — no serial section, fully combinable."""
+    yield FetchAdd(sem.address, units)
+
+
+@dataclass(frozen=True)
+class SpinLock:
+    """Test-and-set spin lock — the *serializing* baseline.
+
+    The paper's point is that algorithms built on locks like this one
+    bottleneck as N grows; the benchmarks quantify it against the
+    lock-free queue.
+    """
+
+    address: int
+
+
+def lock(spin: SpinLock) -> Generator[Op, int, int]:
+    """Acquire by test-and-set; returns the number of failed attempts."""
+    attempts = 0
+    while True:
+        was_set = yield TestAndSet(spin.address)
+        if not was_set:
+            return attempts
+        attempts += 1
+        # test-and-test-and-set: spin on loads to keep the hot word
+        # combinable while waiting.
+        while True:
+            value = yield Load(spin.address)
+            if not value:
+                break
+
+
+def unlock(spin: SpinLock) -> Generator[Op, int, None]:
+    yield Store(spin.address, 0)

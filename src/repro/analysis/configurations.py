@@ -1,0 +1,141 @@
+"""Network configuration space and the Figure 7 study (section 4.1).
+
+"A particular configuration is characterized by the values of the
+following three parameters: k — the size of the switch ...; m — the time
+multiplexing factor ...; d — the number of copies of the network."  The
+chip bandwidth constraint fixes B = k/m (the paper analyzes B = 1, i.e.
+m = k), and the cost of a configuration is C * (n lg n) with cost factor
+C = d / (k lg k).
+
+Figure 7 plots transit time T against traffic intensity p for a 4096-PE
+machine across configurations; the paper's reading of the figure —
+reproduced by ``figure7_series`` and asserted by the benchmarks — is
+that "for reasonable traffic intensities a duplexed network composed of
+4x4 switches yields the best performance", with 8x8/d=6 "also
+acceptable ... at approximately the same cost" and a higher capacity
+(bandwidth d/k = 0.75 versus 0.5).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .queueing import capacity, network_transit_time
+
+
+@dataclass(frozen=True)
+class NetworkDesign:
+    """One point of the (k, m, d) configuration space with B = k/m."""
+
+    k: int
+    d: int = 1
+    bandwidth_constant: float = 1.0
+
+    @property
+    def m(self) -> int:
+        """Time-multiplexing factor implied by the chip pin budget."""
+        m = self.k / self.bandwidth_constant
+        if m != int(m) or m < 1:
+            raise ValueError(
+                f"k={self.k}, B={self.bandwidth_constant} implies non-integral m={m}"
+            )
+        return int(m)
+
+    @property
+    def cost_factor(self) -> float:
+        """C = d / (k lg k); network cost is C * n lg n."""
+        return self.d / (self.k * math.log2(self.k))
+
+    @property
+    def capacity(self) -> float:
+        """Messages/PE/cycle the design accommodates (= d/m)."""
+        return capacity(self.m, self.d)
+
+    @property
+    def relative_bandwidth(self) -> float:
+        """The paper's d/k bandwidth figure (equals capacity when B=1)."""
+        return self.d / self.k
+
+    def cost(self, n: int) -> float:
+        return self.cost_factor * n * math.log2(n)
+
+    def transit_time(self, p: float, n: int) -> float:
+        return network_transit_time(n, self.k, self.m, p, self.d)
+
+    def label(self) -> str:
+        return f"k={self.k} d={self.d} (m={self.m})"
+
+
+#: The configurations Figure 7 compares for the 4096-PE machine.
+FIGURE7_DESIGNS: tuple[NetworkDesign, ...] = (
+    NetworkDesign(k=2, d=1),
+    NetworkDesign(k=2, d=2),
+    NetworkDesign(k=4, d=1),
+    NetworkDesign(k=4, d=2),
+    NetworkDesign(k=8, d=3),
+    NetworkDesign(k=8, d=6),
+)
+
+#: The figure's x-axis, per its printed range 0 .. 0.35.
+FIGURE7_P_GRID: tuple[float, ...] = tuple(i / 100 for i in range(0, 36))
+
+
+def figure7_series(
+    n: int = 4096,
+    designs: tuple[NetworkDesign, ...] = FIGURE7_DESIGNS,
+    p_grid: tuple[float, ...] = FIGURE7_P_GRID,
+) -> dict[str, list[tuple[float, float]]]:
+    """The Figure 7 curves: per design, (p, T) points within capacity."""
+    series: dict[str, list[tuple[float, float]]] = {}
+    for design in designs:
+        points = [
+            (p, design.transit_time(p, n))
+            for p in p_grid
+            if p < design.capacity * 0.999
+        ]
+        series[design.label()] = points
+    return series
+
+
+def best_design_at(
+    p: float,
+    n: int = 4096,
+    designs: tuple[NetworkDesign, ...] = FIGURE7_DESIGNS,
+) -> NetworkDesign:
+    """The design with the lowest transit time at intensity ``p``."""
+    feasible = [d for d in designs if p < d.capacity * 0.999]
+    if not feasible:
+        raise ValueError(f"no design in the set can carry p={p}")
+    return min(feasible, key=lambda d: d.transit_time(p, n))
+
+
+def equal_cost_designs(
+    cost_factor: float,
+    tolerance: float = 1e-9,
+    designs: tuple[NetworkDesign, ...] = FIGURE7_DESIGNS,
+) -> list[NetworkDesign]:
+    """Designs matching a cost factor — e.g. 4x4/d=2 and 8x8/d=6 both
+    cost C = 0.25, the comparison the paper draws."""
+    return [d for d in designs if abs(d.cost_factor - cost_factor) <= tolerance]
+
+
+def crossover_intensity(
+    a: NetworkDesign, b: NetworkDesign, n: int = 4096, steps: int = 4096
+) -> float | None:
+    """Smallest p where design ``b`` becomes no worse than ``a``.
+
+    None when one design dominates over the whole shared feasible range.
+    The Figure 7 reading — low-capacity designs win at low p, higher
+    d/k wins as p grows — shows up as a finite crossover.
+    """
+    limit = min(a.capacity, b.capacity) * 0.999
+    previous_sign = None
+    for i in range(steps + 1):
+        p = limit * i / steps
+        diff = a.transit_time(p, n) - b.transit_time(p, n)
+        sign = diff > 0
+        if previous_sign is not None and sign != previous_sign:
+            return p
+        previous_sign = sign
+    return None

@@ -1,0 +1,188 @@
+"""Machine packaging: chip counts, boards, and layout (section 3.6).
+
+The paper's 1990-technology estimate: "four chips for each PE-PNI pair,
+nine chips for each MM-MNI pair (assuming a 1 megabyte MM built out of
+1 megabit chips), and two chips for each 4-input-4-output switch (which
+replaces four of the 2x2 switches described above).  Thus, a 4096
+processor machine would require roughly 65,000 chips ... only 19% of the
+chips are used for the network."
+
+And the board partition: an N-port Omega network of 2x2 switches splits
+into sqrt(N) input modules and sqrt(N) output modules, each containing
+sqrt(N)*(log N)/4 switches covering half the stages; a 4K machine built
+from two-chip 4x4 switches "would need 64 PE boards and 64 MM boards,
+with each PE board containing 352 chips and each MM board containing
+672 chips."  All of those numbers are *computed* here and asserted by
+the PKG benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+CHIPS_PER_PE_PNI = 4
+CHIPS_PER_MM_MNI = 9
+CHIPS_PER_4X4_SWITCH = 2
+
+
+@dataclass(frozen=True)
+class PackagingReport:
+    """Complete chip/board budget for an N-PE machine."""
+
+    n_pes: int
+    switch_arity: int
+    stages: int
+    switches_per_stage: int
+    total_switches: int
+    pe_chips: int
+    mm_chips: int
+    network_chips: int
+    pe_boards: int
+    mm_boards: int
+    chips_per_pe_board: int
+    chips_per_mm_board: int
+
+    @property
+    def total_chips(self) -> int:
+        return self.pe_chips + self.mm_chips + self.network_chips
+
+    @property
+    def network_chip_fraction(self) -> float:
+        return self.network_chips / self.total_chips
+
+    def summary_rows(self) -> list[tuple[str, float]]:
+        """Printable budget (used by the PKG benchmark's table)."""
+        return [
+            ("PEs", self.n_pes),
+            ("stages (of %dx%d switches)" % (self.switch_arity, self.switch_arity), self.stages),
+            ("switches", self.total_switches),
+            ("PE+PNI chips", self.pe_chips),
+            ("MM+MNI chips", self.mm_chips),
+            ("network chips", self.network_chips),
+            ("total chips", self.total_chips),
+            ("network chip fraction", round(self.network_chip_fraction, 4)),
+            ("PE boards", self.pe_boards),
+            ("MM boards", self.mm_boards),
+            ("chips per PE board", self.chips_per_pe_board),
+            ("chips per MM board", self.chips_per_mm_board),
+        ]
+
+
+def package_machine(n_pes: int, switch_arity: int = 4) -> PackagingReport:
+    """Chip and board budget for an ``n_pes`` machine (section 3.6).
+
+    The board split follows the paper: PE boards hold the PEs, PNIs, and
+    the first half of the network stages; MM boards hold the MMs, MNIs,
+    and the last half.  ``sqrt(n_pes)`` must be integral and the stage
+    count even for the half-and-half split to come out whole, which
+    holds for the 4K machine (and every even power of the arity).
+    """
+    stages = round(math.log(n_pes) / math.log(switch_arity))
+    if switch_arity**stages != n_pes:
+        raise ValueError(f"n_pes={n_pes} is not a power of arity {switch_arity}")
+    if switch_arity != 4:
+        raise ValueError(
+            "the paper's chip estimate is for two-chip 4x4 switches; "
+            "use chip_budget() for other arities"
+        )
+
+    switches_per_stage = n_pes // switch_arity
+    total_switches = switches_per_stage * stages
+    pe_chips = n_pes * CHIPS_PER_PE_PNI
+    mm_chips = n_pes * CHIPS_PER_MM_MNI
+    network_chips = total_switches * CHIPS_PER_4X4_SWITCH
+
+    boards = math.isqrt(n_pes)
+    if boards * boards != n_pes:
+        raise ValueError(f"n_pes={n_pes} is not a perfect square; cannot board-partition")
+    if stages % 2:
+        raise ValueError("board partition needs an even number of stages")
+
+    pes_per_board = n_pes // boards
+    half_stages = stages // 2
+    switches_per_board = (pes_per_board // switch_arity) * half_stages
+    chips_per_pe_board = (
+        pes_per_board * CHIPS_PER_PE_PNI + switches_per_board * CHIPS_PER_4X4_SWITCH
+    )
+    chips_per_mm_board = (
+        pes_per_board * CHIPS_PER_MM_MNI + switches_per_board * CHIPS_PER_4X4_SWITCH
+    )
+
+    return PackagingReport(
+        n_pes=n_pes,
+        switch_arity=switch_arity,
+        stages=stages,
+        switches_per_stage=switches_per_stage,
+        total_switches=total_switches,
+        pe_chips=pe_chips,
+        mm_chips=mm_chips,
+        network_chips=network_chips,
+        pe_boards=boards,
+        mm_boards=boards,
+        chips_per_pe_board=chips_per_pe_board,
+        chips_per_mm_board=chips_per_mm_board,
+    )
+
+
+@dataclass(frozen=True)
+class ModulePartition:
+    """The sqrt(N)-module decomposition of a 2x2-switch network.
+
+    "An input module consists of sqrt(N) network inputs and the
+    sqrt(N)(log N)/4 switches that can be accessed from these inputs in
+    the first (log N)/2 stages"; output modules mirror it.  The layout
+    property that makes assembly tractable: between any two successive
+    stages *within a module* all lines have the same length (Figure 5),
+    and with the two racks mounted orthogonally all off-board lines run
+    nearly vertically (Figure 6).
+    """
+
+    n_ports: int
+
+    @property
+    def modules(self) -> int:
+        root = math.isqrt(self.n_ports)
+        if root * root != self.n_ports:
+            raise ValueError("module partition needs a square port count")
+        return root
+
+    @property
+    def inputs_per_module(self) -> int:
+        return self.modules
+
+    @property
+    def switches_per_module(self) -> int:
+        log_n = round(math.log2(self.n_ports))
+        if 2**log_n != self.n_ports:
+            raise ValueError("module partition defined for power-of-two ports")
+        return self.modules * log_n // 4
+
+    @property
+    def stages_per_module(self) -> int:
+        return round(math.log2(self.n_ports)) // 2
+
+    def total_module_switches(self) -> int:
+        """Both racks together must hold every switch of the network."""
+        return 2 * self.modules * self.switches_per_module
+
+
+def chip_budget(
+    n_pes: int,
+    *,
+    pe_chips: int = CHIPS_PER_PE_PNI,
+    mm_chips: int = CHIPS_PER_MM_MNI,
+    switch_chips: int = CHIPS_PER_4X4_SWITCH,
+    switch_arity: int = 4,
+) -> dict[str, int]:
+    """Parametric chip budget for design-space exploration benches."""
+    stages = round(math.log(n_pes) / math.log(switch_arity))
+    if switch_arity**stages != n_pes:
+        raise ValueError(f"n_pes={n_pes} is not a power of arity {switch_arity}")
+    switches = (n_pes // switch_arity) * stages
+    return {
+        "pe": n_pes * pe_chips,
+        "mm": n_pes * mm_chips,
+        "network": switches * switch_chips,
+        "total": n_pes * (pe_chips + mm_chips) + switches * switch_chips,
+    }

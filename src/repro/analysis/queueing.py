@@ -1,0 +1,148 @@
+"""Analytic network-performance model (section 4.1).
+
+For a network of k-by-k switches with time-multiplexing factor m
+(switch cycles to input one message) carrying traffic of intensity p
+(messages per PE per network cycle), the average switch delay with
+infinite queues is
+
+    delay = 1 + m^2 * p * (1 - 1/k) / (2 * (1 - m*p))
+
+(Kruskal and Snir's result, quoted in the paper), and the average
+network traversal time for an n-port network is
+
+    T = (lg n / lg k) * delay + m - 1
+
+— "the number of stages times the switch delay plus the setting time
+for the pipe".  Using d copies of the network divides the effective load
+on each copy by d.  With the paper's bandwidth constant B = k/m fixed at
+1 (m = k) this reduces to the closed form printed in section 4.1:
+
+    T = (1 + k*(k-1)*p / (2*(d - k*p))) * lg n / lg k + k - 1.
+
+The module exposes the pieces separately so tests can check each
+against the paper's limiting statements: the queueing term vanishes as
+p -> 0 and diverges as p -> d/m (the capacity bound), and the m^2 factor
+reflects that a multiplexed switch behaves like an unmultiplexed one
+with an m-times-longer cycle and m times the traffic per cycle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+class CapacityExceededError(ValueError):
+    """Offered traffic is at or beyond the network's capacity d/m."""
+
+
+def capacity(m: int, d: int = 1) -> float:
+    """Messages per PE per cycle the network can accommodate (< d/m).
+
+    "The network has a capacity of 1/m messages per cycle per PE, that
+    is it can accommodate any traffic below this threshold" — scaled by
+    the number of copies d.  The global bandwidth is therefore
+    proportional to the number of PEs (design objective 1).
+    """
+    if m < 1 or d < 1:
+        raise ValueError("m and d must be positive")
+    return d / m
+
+
+def switch_queueing_delay(k: int, m: int, p: float, d: int = 1) -> float:
+    """Average queueing delay at one switch (infinite-queue model)."""
+    _validate(k, m, p, d)
+    effective = p / d
+    return (m * m) * effective * (1 - 1 / k) / (2 * (1 - m * effective))
+
+
+def switch_delay(k: int, m: int, p: float, d: int = 1) -> float:
+    """Service (1 cycle, cut-through) plus queueing delay."""
+    return 1.0 + switch_queueing_delay(k, m, p, d)
+
+
+def stage_count(n: int, k: int) -> int:
+    stages = round(math.log(n) / math.log(k))
+    if k**stages != n:
+        raise ValueError(f"n={n} is not a power of k={k}")
+    return stages
+
+
+def network_transit_time(n: int, k: int, m: int, p: float, d: int = 1) -> float:
+    """Average one-way network traversal time T(k, m, d; p) in cycles."""
+    return stage_count(n, k) * switch_delay(k, m, p, d) + m - 1
+
+
+def round_trip_time(
+    n: int, k: int, m: int, p: float, d: int = 1, mm_latency: float = 2.0
+) -> float:
+    """Request + memory access + reply: the full CM access time."""
+    return 2 * network_transit_time(n, k, m, p, d) + mm_latency
+
+
+def _validate(k: int, m: int, p: float, d: int) -> None:
+    if k < 2:
+        raise ValueError("switch arity k must be at least 2")
+    if m < 1:
+        raise ValueError("multiplexing factor m must be at least 1")
+    if d < 1:
+        raise ValueError("copy count d must be at least 1")
+    if p < 0:
+        raise ValueError("traffic intensity p cannot be negative")
+    if p >= capacity(m, d):
+        raise CapacityExceededError(
+            f"traffic p={p} at or beyond capacity d/m={d}/{m}"
+        )
+
+
+@dataclass(frozen=True)
+class DelayBreakdown:
+    """T decomposed the way section 4.1 discusses it."""
+
+    stages: int
+    service_per_stage: float
+    queueing_per_stage: float
+    pipe_setting: int
+
+    @property
+    def total(self) -> float:
+        return (
+            self.stages * (self.service_per_stage + self.queueing_per_stage)
+            + self.pipe_setting
+        )
+
+
+def transit_breakdown(
+    n: int, k: int, m: int, p: float, d: int = 1
+) -> DelayBreakdown:
+    return DelayBreakdown(
+        stages=stage_count(n, k),
+        service_per_stage=1.0,
+        queueing_per_stage=switch_queueing_delay(k, m, p, d),
+        pipe_setting=m - 1,
+    )
+
+
+def saturation_intensity(k: int, m: int, d: int, target_delay: float, n: int) -> float:
+    """Invert T(p) = target_delay for p (bisection; tests the curve's
+    monotonicity and gives benchmarks a 'knee' summary statistic)."""
+    lo, hi = 0.0, capacity(m, d) * (1 - 1e-9)
+    if network_transit_time(n, k, m, lo, d) >= target_delay:
+        return 0.0
+    if network_transit_time(n, k, m, hi * (1 - 1e-9), d) <= target_delay:
+        return hi
+    for _ in range(200):
+        mid = (lo + hi) / 2
+        if network_transit_time(n, k, m, mid, d) < target_delay:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2
+
+
+def nonpipelined_bandwidth_bound(n: int, k: int = 2) -> float:
+    """O(N / log N): total messages/cycle a *non-pipelined* network tops
+    out at, since each message occupies its whole path for a transit.
+    Quantifies the paper's note that "nonpipelined networks can have
+    bandwidth at most O(N/log N)" (section 3.1.2, factor 1)."""
+    return n / stage_count(n, k)

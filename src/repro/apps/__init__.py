@@ -1,0 +1,17 @@
+"""Scientific workloads: TRED2, weather PDE, multigrid Poisson, Monte Carlo."""
+
+from . import montecarlo, poisson, tred2, weather
+from .traces import Compute, PETrace, PrivateRef, SharedRef, Table1Row, replay
+
+__all__ = [
+    "Compute",
+    "PETrace",
+    "PrivateRef",
+    "SharedRef",
+    "Table1Row",
+    "montecarlo",
+    "poisson",
+    "replay",
+    "tred2",
+    "weather",
+]

@@ -1,0 +1,124 @@
+"""WASHCLOTH-style scaling studies (section 5's methodology).
+
+The paper's group "routinely run[s] parallel scientific programs under a
+paracomputer simulator ... to measure the speedup obtained ... and to
+judge the difficulty involved in creating parallel programs."  This
+module is that instrument as a public API: give it a program factory
+parameterized by (pe count, problem size) and it measures T(P, N),
+speedup, and efficiency over a grid, exactly as Table 2's "measured"
+entries were produced.
+
+Programs follow the standard coroutine protocol; the factory signature
+is ``factory(processors, size) -> (setup, program_fn, args)`` where
+``setup(machine)`` initializes shared memory and ``program_fn`` is
+spawned once per PE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.paracomputer import Paracomputer
+
+#: setup(machine) -> None; returns the per-PE program and its args.
+WorkloadFactory = Callable[..., tuple[Callable, Callable, tuple]]
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (P, size) measurement."""
+
+    processors: int
+    size: int
+    cycles: int
+    ops_issued: int
+
+    def speedup_vs(self, serial: "ScalingPoint") -> float:
+        return serial.cycles / self.cycles
+
+    def efficiency_vs(self, serial: "ScalingPoint") -> float:
+        return self.speedup_vs(serial) / self.processors
+
+
+@dataclass
+class ScalingStudy:
+    """Measured grid plus derived speedup/efficiency tables."""
+
+    workload_name: str
+    points: dict[tuple[int, int], ScalingPoint] = field(default_factory=dict)
+
+    def serial(self, size: int) -> ScalingPoint:
+        try:
+            return self.points[(1, size)]
+        except KeyError:
+            raise KeyError(
+                f"no serial (P=1) measurement for size {size}; include "
+                "P=1 in the grid to compute speedups"
+            )
+
+    def speedup(self, processors: int, size: int) -> float:
+        return self.points[(processors, size)].speedup_vs(self.serial(size))
+
+    def efficiency(self, processors: int, size: int) -> float:
+        return self.points[(processors, size)].efficiency_vs(self.serial(size))
+
+    def table(self) -> str:
+        sizes = sorted({size for _, size in self.points})
+        processor_counts = sorted({p for p, _ in self.points})
+        corner = "size\\P"
+        header = f"{corner:>8} | " + " ".join(
+            f"{p:>7}" for p in processor_counts
+        )
+        lines = [f"efficiency of {self.workload_name}", header, "-" * len(header)]
+        for size in sizes:
+            cells = []
+            for p in processor_counts:
+                if (p, size) in self.points and (1, size) in self.points:
+                    cells.append(f"{self.efficiency(p, size) * 100:>6.1f}%")
+                else:
+                    cells.append(f"{'-':>7}")
+            lines.append(f"{size:>8} | " + " ".join(cells))
+        return "\n".join(lines)
+
+
+def run_point(
+    factory: WorkloadFactory,
+    processors: int,
+    size: int,
+    *,
+    seed: int = 0,
+    max_cycles: int = 10_000_000,
+) -> ScalingPoint:
+    """Measure one (P, size) configuration on a fresh paracomputer."""
+    setup, program_fn, args = factory(processors, size)
+    para = Paracomputer(seed=seed)
+    setup(para)
+    para.spawn_many(processors, program_fn, *args)
+    stats = para.run(max_cycles)
+    return ScalingPoint(
+        processors=processors,
+        size=size,
+        cycles=stats.cycles,
+        ops_issued=stats.ops_issued,
+    )
+
+
+def run_study(
+    factory: WorkloadFactory,
+    *,
+    name: str,
+    processor_counts: list[int],
+    sizes: list[int],
+    seed: int = 0,
+    max_cycles: int = 10_000_000,
+) -> ScalingStudy:
+    """Measure the full grid (include 1 in ``processor_counts`` so the
+    efficiency table has its serial baselines)."""
+    study = ScalingStudy(workload_name=name)
+    for size in sizes:
+        for processors in processor_counts:
+            study.points[(processors, size)] = run_point(
+                factory, processors, size, seed=seed, max_cycles=max_cycles
+            )
+    return study

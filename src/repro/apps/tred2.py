@@ -1,0 +1,426 @@
+"""TRED2: Householder reduction to tridiagonal form (section 5).
+
+The paper's flagship workload: "we report on experiments with a
+parallelized variant of the program TRED2 (taken from Argonne's
+EISPACK), which uses Householder's method to reduce a real symmetric
+matrix to tridiagonal form."
+
+Three artifacts live here:
+
+* :func:`tred2` — the serial reference (the EISPACK algorithm restated
+  in NumPy), validated by tests against dense eigensolvers: the
+  tridiagonal result is orthogonally similar to the input;
+* :func:`parallel_tred2_program` — the parallel variant as a
+  paracomputer program: the matrix lives in shared memory, each
+  Householder step distributes the matrix–vector product and rank-2
+  update over the PEs by fetch-and-add self-scheduling, with
+  fetch-and-add barriers between phases.  It *computes the real
+  reduction* (integration tests compare its output to :func:`tred2`)
+  while the host collects the timing and waiting measurements the
+  section 5 cost model is fitted from;
+* :func:`measure` / :func:`collect_samples` — the experimental loop that
+  produced Table 2's measured entries: run (P, N) pairs, recording
+  total time T and waiting time W.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..analysis.efficiency import Tred2Sample
+from ..core.memory_ops import FetchAdd, Load, Store
+from ..core.paracomputer import Paracomputer
+from .traces import PETrace
+
+
+# ----------------------------------------------------------------------
+# serial reference (EISPACK TRED2, eigenvector accumulation omitted)
+# ----------------------------------------------------------------------
+def tred2(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Reduce a real symmetric matrix to tridiagonal form.
+
+    Returns ``(d, e)``: the diagonal and subdiagonal (``e[0] = 0``) of a
+    tridiagonal matrix orthogonally similar to the input.  Pure
+    Householder reflections, processed exactly as the parallel variant
+    processes them so the two are comparable step for step.
+    """
+    a = np.array(matrix, dtype=float)
+    n = a.shape[0]
+    if a.shape != (n, n):
+        raise ValueError("matrix must be square")
+    if not np.allclose(a, a.T, atol=1e-10):
+        raise ValueError("matrix must be symmetric")
+
+    for k in range(n - 2):
+        x = a[k + 1 :, k]
+        sigma = float(x @ x)
+        if sigma <= 1e-300:
+            continue
+        alpha = -math.copysign(math.sqrt(sigma), x[0] if x[0] != 0 else 1.0)
+        v = x.copy()
+        v[0] -= alpha
+        beta = float(v @ v)
+        if beta <= 1e-300:
+            continue
+        sub = a[k + 1 :, k + 1 :]
+        p = sub @ v * (2.0 / beta)
+        kappa = float(v @ p) / beta
+        q = p - kappa * v
+        sub -= np.outer(q, v) + np.outer(v, q)
+        a[k + 1, k] = alpha
+        a[k, k + 1] = alpha
+        a[k + 2 :, k] = 0.0
+        a[k, k + 2 :] = 0.0
+
+    d = np.diag(a).copy()
+    e = np.zeros(n)
+    e[1:] = np.diag(a, -1)
+    return d, e
+
+
+def tridiagonal_matrix(d: np.ndarray, e: np.ndarray) -> np.ndarray:
+    """Assemble the explicit tridiagonal matrix from (d, e)."""
+    n = len(d)
+    t = np.diag(d)
+    for i in range(1, n):
+        t[i, i - 1] = t[i - 1, i] = e[i]
+    return t
+
+
+# ----------------------------------------------------------------------
+# the parallel variant (paracomputer program)
+# ----------------------------------------------------------------------
+@dataclass
+class Tred2Layout:
+    """Shared-memory layout for an n-by-n parallel reduction."""
+
+    n: int
+    base: int = 0
+
+    def a(self, i: int, j: int) -> int:
+        return self.base + i * self.n + j
+
+    @property
+    def v(self) -> int:  # Householder vector
+        return self.base + self.n * self.n
+
+    @property
+    def q(self) -> int:  # update vector q = p - kappa v
+        return self.v + self.n
+
+    @property
+    def scalars(self) -> int:
+        return self.q + self.n
+
+    # scalar cells
+    @property
+    def sigma(self) -> int:
+        return self.scalars + 0
+
+    @property
+    def beta(self) -> int:
+        return self.scalars + 1
+
+    @property
+    def alpha(self) -> int:
+        return self.scalars + 2
+
+    @property
+    def vdotp(self) -> int:
+        return self.scalars + 3
+
+    @property
+    def barrier_count(self) -> int:
+        return self.scalars + 4
+
+    @property
+    def barrier_sense(self) -> int:
+        return self.scalars + 5
+
+    def dispenser(self, phase: int) -> int:
+        """One self-scheduling cell per self-scheduled phase (0..4)."""
+        if not 0 <= phase < 5:
+            raise ValueError("phase dispenser index out of range")
+        return self.scalars + 6 + phase
+
+    @property
+    def p_vec(self) -> int:
+        return self.scalars + 11
+
+    def p(self, i: int) -> int:
+        return self.p_vec + i
+
+    @property
+    def footprint(self) -> int:
+        return self.n * self.n + 2 * self.n + 11 + self.n
+
+
+@dataclass
+class Tred2Measurement:
+    """Host-side instrumentation collected during a parallel run."""
+
+    total_cycles: int = 0
+    waiting_cycles: int = 0
+    barriers: int = 0
+
+
+def _barrier(layout: Tred2Layout, participants: int, meas: Tred2Measurement):
+    """Instrumented F&A barrier; spin iterations count as waiting."""
+    generation = yield Load(layout.barrier_sense)
+    rank = yield FetchAdd(layout.barrier_count, 1)
+    if rank == participants - 1:
+        yield Store(layout.barrier_count, 0)
+        yield Store(layout.barrier_sense, generation + 1)
+        return
+    while True:
+        current = yield Load(layout.barrier_sense)
+        if current != generation:
+            return
+        meas.waiting_cycles += 1
+
+
+def parallel_tred2_program(
+    pe: int,
+    layout: Tred2Layout,
+    processors: int,
+    meas: Tred2Measurement,
+):
+    """One PE's share of the parallel Householder reduction.
+
+    Every O(width) phase is self-scheduled over the PEs by fetch-and-add
+    on a per-phase dispenser cell; the only PE-0-serial work per step is
+    O(1) scalar arithmetic (alpha and beta from sigma).  Phase structure
+    per step k, with instrumented barriers between phases:
+
+    0. PE 0 resets the step's scalars and dispensers (O(1));
+    1. sigma = ||A[k+1:, k]||^2 — self-scheduled partial sums merged by
+       fetch-and-add;
+    2. PE 0 publishes alpha = -sign(x0) sqrt(sigma) and
+       beta = v.v = 2 sigma - 2 x0 alpha (O(1) — no vector pass needed);
+    2b. v materialized element-wise, self-scheduled;
+    3. p = (2/beta) A v row by row, self-scheduled, with v.p accumulated
+       by fetch-and-add;
+    4. q = p - (v.p / beta) v element-wise, self-scheduled (kappa is
+       computed locally by every PE from the shared scalars);
+    5. the symmetric rank-2 update A -= q v^T + v q^T, row
+       self-scheduled; PE 0 writes the subdiagonal alpha.
+
+    The overhead term a*N of the section 5 cost model is the per-step
+    work every PE repeats (barriers, dispenser probes, scalar loads);
+    the divided term d*N^3/P is phases 3 and 5; the waiting W(P, N) is
+    the spin time the instrumented barrier records.
+    """
+    n = layout.n
+
+    for k in range(n - 2):
+        width = n - k - 1  # active sub-block dimension
+
+        # --- phase 0: reset scalars and dispensers ---------------------
+        if pe == 0:
+            yield Store(layout.sigma, 0.0)
+            yield Store(layout.vdotp, 0.0)
+            for phase in range(5):
+                yield Store(layout.dispenser(phase), 0)
+        yield from _barrier(layout, processors, meas)
+
+        # --- phase 1: sigma (self-scheduled strip reduction) ----------
+        local = 0.0
+        while True:
+            i = yield FetchAdd(layout.dispenser(0), 1)
+            if i >= width:
+                break
+            x = yield Load(layout.a(k + 1 + i, k))
+            local += x * x
+            yield None  # the multiply-accumulate
+        if local:
+            yield FetchAdd(layout.sigma, local)
+        yield from _barrier(layout, processors, meas)
+
+        # --- phase 2: O(1) scalar work on PE 0 --------------------------
+        if pe == 0:
+            sigma = yield Load(layout.sigma)
+            x0 = yield Load(layout.a(k + 1, k))
+            if sigma <= 1e-300:
+                yield Store(layout.beta, 0.0)
+            else:
+                alpha = -math.copysign(math.sqrt(sigma), x0 if x0 != 0 else 1.0)
+                yield Store(layout.alpha, alpha)
+                yield Store(layout.beta, 2.0 * sigma - 2.0 * x0 * alpha)
+        yield from _barrier(layout, processors, meas)
+
+        beta = yield Load(layout.beta)
+        if beta <= 1e-300:
+            continue
+        alpha = yield Load(layout.alpha)
+
+        # --- phase 2b: materialize v, self-scheduled --------------------
+        while True:
+            i = yield FetchAdd(layout.dispenser(1), 1)
+            if i >= width:
+                break
+            xi = yield Load(layout.a(k + 1 + i, k))
+            yield Store(layout.v + i, xi - alpha if i == 0 else xi)
+        yield from _barrier(layout, processors, meas)
+
+        # --- phase 3: p = (2/beta) A v, accumulate v.p -----------------
+        vdotp_local = 0.0
+        while True:
+            i = yield FetchAdd(layout.dispenser(2), 1)
+            if i >= width:
+                break
+            accum = 0.0
+            for j in range(width):
+                aij = yield Load(layout.a(k + 1 + i, k + 1 + j))
+                vj = yield Load(layout.v + j)
+                accum += aij * vj
+                yield None
+            pi = accum * (2.0 / beta)
+            yield Store(layout.p(i), pi)
+            vi = yield Load(layout.v + i)
+            vdotp_local += vi * pi
+            yield None
+        if vdotp_local:
+            yield FetchAdd(layout.vdotp, vdotp_local)
+        yield from _barrier(layout, processors, meas)
+
+        # --- phase 4: q = p - kappa v, self-scheduled -------------------
+        vdotp = yield Load(layout.vdotp)
+        kappa = vdotp / beta
+        while True:
+            i = yield FetchAdd(layout.dispenser(3), 1)
+            if i >= width:
+                break
+            pi = yield Load(layout.p(i))
+            vi = yield Load(layout.v + i)
+            yield Store(layout.q + i, pi - kappa * vi)
+            yield None
+        yield from _barrier(layout, processors, meas)
+
+        # --- phase 5: rank-2 update of the active block ----------------
+        if pe == 0:
+            yield Store(layout.a(k + 1, k), alpha)
+            yield Store(layout.a(k, k + 1), alpha)
+        while True:
+            i = yield FetchAdd(layout.dispenser(4), 1)
+            if i >= width:
+                break
+            qi = yield Load(layout.q + i)
+            vi = yield Load(layout.v + i)
+            for j in range(width):
+                vj = yield Load(layout.v + j)
+                qj = yield Load(layout.q + j)
+                aij = yield Load(layout.a(k + 1 + i, k + 1 + j))
+                yield Store(
+                    layout.a(k + 1 + i, k + 1 + j), aij - qi * vj - vi * qj
+                )
+                yield None
+            # zero the reduced column entries below the subdiagonal
+            if i > 0:
+                yield Store(layout.a(k + 1 + i, k), 0.0)
+                yield Store(layout.a(k, k + 1 + i), 0.0)
+        yield from _barrier(layout, processors, meas)
+
+    return pe
+
+
+# ----------------------------------------------------------------------
+# the experiment
+# ----------------------------------------------------------------------
+def load_matrix(para: Paracomputer, layout: Tred2Layout, matrix: np.ndarray) -> None:
+    n = layout.n
+    for i in range(n):
+        for j in range(n):
+            para.poke(layout.a(i, j), float(matrix[i, j]))
+
+
+def extract_tridiagonal(
+    para: Paracomputer, layout: Tred2Layout
+) -> tuple[np.ndarray, np.ndarray]:
+    n = layout.n
+    d = np.array([para.peek(layout.a(i, i)) for i in range(n)], dtype=float)
+    e = np.zeros(n)
+    for i in range(1, n):
+        e[i] = para.peek(layout.a(i, i - 1))
+    return d, e
+
+
+def random_symmetric(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.standard_normal((n, n))
+    return (m + m.T) / 2.0
+
+
+def measure(
+    processors: int, n: int, *, seed: int = 0, max_cycles: int = 20_000_000
+) -> tuple[Tred2Sample, Paracomputer, Tred2Layout]:
+    """Run the parallel reduction on a paracomputer; return the sample.
+
+    ``total_time`` is the machine cycle count, ``waiting_time`` the
+    summed barrier spin cycles across PEs divided by P (per-PE waiting,
+    the quantity the cost model adds to per-PE time).
+    """
+    matrix = random_symmetric(n, seed)
+    layout = Tred2Layout(n=n)
+    para = Paracomputer(seed=seed)
+    load_matrix(para, layout, matrix)
+    meas = Tred2Measurement()
+    para.spawn_many(processors, parallel_tred2_program, layout, processors, meas)
+    stats = para.run(max_cycles)
+    meas.total_cycles = stats.cycles
+    sample = Tred2Sample(
+        processors=processors,
+        matrix_size=n,
+        total_time=float(stats.cycles),
+        waiting_time=meas.waiting_cycles / processors,
+    )
+    return sample, para, layout
+
+
+def collect_samples(
+    pairs: list[tuple[int, int]], *, seed: int = 0
+) -> list[Tred2Sample]:
+    """Measure a list of (P, N) pairs — Table 2's 'measured' entries."""
+    return [measure(p, n, seed=seed)[0] for p, n in pairs]
+
+
+# ----------------------------------------------------------------------
+# Table 1 trace (the "TRED2 with 16 PEs" row)
+# ----------------------------------------------------------------------
+def build_traces(n: int, pes: int, *, prefetch: int = 4) -> list[PETrace]:
+    """Reference stream of the parallel TRED2 for the traffic study.
+
+    Reflects the paper's observation that TRED2 (like the multigrid
+    program) "was designed to minimize the number of accesses to shared
+    data": each PE caches its strip of the matrix privately; shared
+    traffic is the Householder/update vectors and the reduction and
+    dispenser cells.  Instruction counts follow the arithmetic of the
+    phases above at roughly one data reference per four instructions.
+    """
+    traces = [PETrace(pe_id=pe) for pe in range(pes)]
+    vector_base = n * n
+    for k in range(n - 2):
+        width = n - k - 1
+        for pe, trace in enumerate(traces):
+            rows = width // pes + (1 if pe < width % pes else 0)
+            # phase 1+2: strip reduction and leader work (amortized)
+            trace.compute(6)
+            trace.shared_load(vector_base + k % n, prefetch=prefetch)
+            for _i in range(rows):
+                # phase 3: row of A (private) times v (shared, but read
+                # once per row block into registers/cache)
+                trace.shared_load(vector_base + (k * 7 + _i) % (2 * n), prefetch=prefetch)
+                trace.private(max(1, width // 4))
+                trace.compute(width)  # multiply-accumulate chain
+                trace.shared_store(vector_base + 2 * n + _i % n)
+            # barrier + reduction traffic
+            trace.shared_store(vector_base + 3 * n + pe % n)
+            trace.compute(4)
+            for _i in range(rows):
+                # phase 5: rank-2 update of private rows using shared q, v
+                trace.shared_load(vector_base + (k * 11 + _i) % (2 * n), prefetch=prefetch)
+                trace.private(max(1, width // 4), store=True)
+                trace.compute(width)
+    return traces

@@ -1,0 +1,212 @@
+"""Command-line interface: regenerate the paper's results from a shell.
+
+::
+
+    python -m repro demo                # the quickstart story
+    python -m repro fig7                # Figure 7 transit-time curves
+    python -m repro table1              # Table 1 traffic study
+    python -m repro table2 [--quick]    # Tables 2 and 3 (fit + project)
+    python -m repro packaging           # section 3.6 chip/board budget
+    python -m repro hotspot [--pes N]   # combining ablation
+    python -m repro queue               # parallel queue vs spin lock
+
+Each subcommand prints the same table the corresponding benchmark
+asserts on; the CLI exists so a reader can poke at the reproduction
+without learning pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro import FetchAdd, MachineConfig, Ultracomputer
+
+    def ticket_taker(pe_id, counter, tickets):
+        claimed = []
+        for _ in range(tickets):
+            claimed.append((yield FetchAdd(counter, 1)))
+        return claimed
+
+    machine = Ultracomputer(MachineConfig(n_pes=args.pes))
+    machine.spawn_many(args.pes, ticket_taker, 0, 4)
+    stats = machine.run()
+    print(f"{args.pes} PEs each claimed 4 tickets from one shared counter")
+    print(f"  final counter:     {machine.peek(0)}")
+    print(f"  requests issued:   {stats.requests_issued}")
+    print(f"  combined en route: {stats.combines}")
+    print(f"  memory accesses:   {stats.memory_accesses}")
+    print(f"  mean round trip:   {stats.mean_round_trip:.1f} cycles")
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.analysis.configurations import FIGURE7_DESIGNS
+
+    if args.plot:
+        from repro.reporting import figure7_ascii
+
+        print(figure7_ascii(n=args.n))
+        return 0
+
+    print(f"Figure 7: transit time vs traffic intensity (n={args.n})")
+    header = f"{'p':>6} | " + " ".join(f"{d.label():>14}" for d in FIGURE7_DESIGNS)
+    print(header)
+    print("-" * len(header))
+    for i in range(0, 33, 4):
+        p = i / 100
+        cells = []
+        for design in FIGURE7_DESIGNS:
+            if p < design.capacity * 0.999:
+                cells.append(f"{design.transit_time(p, args.n):>14.2f}")
+            else:
+                cells.append(f"{'sat':>14}")
+        print(f"{p:>6.2f} | " + " ".join(cells))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.apps import poisson, tred2, weather
+    from repro.apps.traces import Table1Row, replay
+    from repro.network.stochastic import StochasticConfig, StochasticNetwork
+
+    workloads = [
+        ("weather-16", weather.build_traces(16, 8, 16)),
+        ("weather-48", weather.build_traces(48, 4, 48)),
+        ("tred2-16", tred2.build_traces(32, 16)),
+        ("poisson-16", poisson.build_traces(32, 2, 16)),
+    ]
+    print("Table 1: network traffic and performance")
+    print(Table1Row.header())
+    for name, traces in workloads:
+        network = StochasticNetwork(StochasticConfig(seed=1))
+        print(replay(name, traces, network).formatted())
+    minimum = StochasticNetwork(StochasticConfig()).minimum_round_trip() / 2
+    print(f"(minimum CM access time = {minimum:.0f} instruction times)")
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from repro.analysis.efficiency import (
+        efficiency_table,
+        fit_cost_model,
+        format_efficiency_table,
+    )
+    from repro.apps.tred2 import collect_samples
+
+    if args.quick:
+        pairs = [(1, 8), (1, 12), (2, 12), (4, 12), (4, 16), (8, 16), (16, 16)]
+    else:
+        pairs = [
+            (1, 8), (1, 12), (1, 16), (1, 20),
+            (2, 12), (2, 16), (4, 12), (4, 16), (4, 20),
+            (8, 16), (8, 20), (8, 24), (16, 16), (16, 24),
+        ]
+    print(f"simulating {len(pairs)} (P, N) pairs on the paracomputer ...")
+    samples = collect_samples(pairs, seed=11)
+    model = fit_cost_model(samples)
+    measured = {(n, p) for p, n in pairs}
+    print(f"fitted: T = {model.overhead:.1f} N + {model.work:.2f} N^3/P + W")
+    print("\nTable 2 (with waiting):")
+    print(format_efficiency_table(
+        efficiency_table(model, include_waiting=True), measured=measured
+    ))
+    print("\nTable 3 (waiting recovered):")
+    print(format_efficiency_table(
+        efficiency_table(model, include_waiting=False), measured=set()
+    ))
+    return 0
+
+
+def _cmd_packaging(args: argparse.Namespace) -> int:
+    from repro.analysis.packaging import package_machine
+
+    report = package_machine(args.pes)
+    print(f"packaging the {args.pes}-PE machine (section 3.6):")
+    for label, value in report.summary_rows():
+        print(f"  {label:<32} {value}")
+    return 0
+
+
+def _cmd_hotspot(args: argparse.Namespace) -> int:
+    from repro import FetchAdd, MachineConfig, Ultracomputer
+
+    def run(combining: bool):
+        machine = Ultracomputer(
+            MachineConfig(n_pes=args.pes, combining=combining)
+        )
+
+        def program(pe_id):
+            for _ in range(4):
+                yield FetchAdd(0, 1)
+
+        machine.spawn_many(args.pes, program)
+        return machine.run()
+
+    on, off = run(True), run(False)
+    print(f"hot-spot fetch-and-adds, {args.pes} PEs x 4 rounds:")
+    print(f"  {'':>12} {'combining':>10} {'serialized':>11}")
+    print(f"  {'mem access':>12} {on.memory_accesses:>10} {off.memory_accesses:>11}")
+    print(f"  {'mean rtt':>12} {on.mean_round_trip:>10.1f} {off.mean_round_trip:>11.1f}")
+    return 0
+
+
+def _cmd_queue(args: argparse.Namespace) -> int:
+    from repro.workloads.queue_race import lock_free_run, locked_run
+
+    print("parallel queue vs spin-locked queue (cycles, 8 ops/PE):")
+    print(f"  {'PEs':>4} {'lock-free':>10} {'locked':>8}")
+    for n in (2, 4, 8, 16):
+        print(f"  {n:>4} {lock_free_run(n):>10} {locked_run(n):>8}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NYU Ultracomputer reproduction — regenerate the "
+        "paper's tables and figures",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="combining quickstart")
+    demo.add_argument("--pes", type=int, default=8)
+    demo.set_defaults(fn=_cmd_demo)
+
+    fig7 = subparsers.add_parser("fig7", help="Figure 7 transit curves")
+    fig7.add_argument("--n", type=int, default=4096)
+    fig7.add_argument("--plot", action="store_true",
+                      help="ASCII plot instead of a table")
+    fig7.set_defaults(fn=_cmd_fig7)
+
+    table1 = subparsers.add_parser("table1", help="Table 1 traffic study")
+    table1.set_defaults(fn=_cmd_table1)
+
+    table2 = subparsers.add_parser("table2", help="Tables 2 and 3")
+    table2.add_argument("--quick", action="store_true",
+                        help="fewer simulated (P, N) pairs")
+    table2.set_defaults(fn=_cmd_table2)
+
+    packaging = subparsers.add_parser("packaging", help="section 3.6 budget")
+    packaging.add_argument("--pes", type=int, default=4096)
+    packaging.set_defaults(fn=_cmd_packaging)
+
+    hotspot = subparsers.add_parser("hotspot", help="combining ablation")
+    hotspot.add_argument("--pes", type=int, default=16)
+    hotspot.set_defaults(fn=_cmd_hotspot)
+
+    queue = subparsers.add_parser("queue", help="parallel queue race")
+    queue.set_defaults(fn=_cmd_queue)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

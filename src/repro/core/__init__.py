@@ -1,0 +1,59 @@
+"""Core model: operation algebra, serialization, combining, machines."""
+
+from .combining import Combined, ReplyMode, ReplyRule, decombine, try_combine
+from .machine import MachineConfig, MachineStats, Ultracomputer
+from .memory_ops import (
+    Effect,
+    FetchAdd,
+    FetchPhi,
+    Load,
+    Op,
+    OpKind,
+    PhiOperator,
+    PHI_OPERATORS,
+    Store,
+    Swap,
+    TestAndSet,
+    as_fetch_phi,
+    get_phi,
+)
+from .paracomputer import DeadlockError, Paracomputer, ParacomputerStats
+from .serialization import (
+    BatchOutcome,
+    all_serial_outcomes,
+    apply_serially,
+    fetch_add_outcome_valid,
+    is_serializable,
+)
+
+__all__ = [
+    "BatchOutcome",
+    "Combined",
+    "DeadlockError",
+    "Effect",
+    "FetchAdd",
+    "FetchPhi",
+    "Load",
+    "MachineConfig",
+    "MachineStats",
+    "Op",
+    "OpKind",
+    "PHI_OPERATORS",
+    "Paracomputer",
+    "ParacomputerStats",
+    "PhiOperator",
+    "ReplyMode",
+    "ReplyRule",
+    "Store",
+    "Swap",
+    "TestAndSet",
+    "Ultracomputer",
+    "all_serial_outcomes",
+    "apply_serially",
+    "as_fetch_phi",
+    "decombine",
+    "fetch_add_outcome_valid",
+    "get_phi",
+    "is_serializable",
+    "try_combine",
+]

@@ -1,0 +1,243 @@
+"""Pairwise request combining and decombining (sections 3.1.2–3.1.3).
+
+When two requests directed at the same memory location meet at a switch,
+the switch may *combine* them: forward a single request toward memory and
+later, when the reply returns, *decombine* it into a reply for each of
+the original requesters.  The paper gives explicit rules for
+
+* Load–Load, Load–Store, Store–Store (section 3.1.2);
+* FetchAdd–FetchAdd, FetchAdd–Load, FetchAdd–Store (section 3.1.3);
+
+and notes that "a straightforward generalization of the above design
+yields a network implementing the fetch-and-phi primitive for any
+associative operator phi."  This module implements the full rule set in
+one place, phrased so that the combined outcome is *provably* the effect
+of the two requests in some serial order — that is exactly the
+serialization principle, and the property-based tests check it by
+enumeration.
+
+The convention throughout: ``old`` is the request already queued in the
+switch (the paper's R-old) and ``new`` is the request arriving at the
+queue (R-new).  The realized serialization is "old followed immediately
+by new" except where a Store participates, in which case the paper's
+rules realize whichever order lets the switch answer the value-returning
+request from the store's datum without waiting for memory.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from .memory_ops import (
+    Effect,
+    FetchAdd,
+    FetchPhi,
+    Load,
+    Op,
+    PhiOperator,
+    Store,
+    Swap,
+    as_fetch_phi,
+)
+
+
+class ReplyMode(enum.Enum):
+    """How a requester's reply is produced from the memory reply Y."""
+
+    VALUE = "value"  # reply is Y itself
+    PHI = "phi"  # reply is phi(Y, datum) — e.g. Y + e for fetch-and-add
+    CONST = "const"  # reply is a constant known at combine time
+    ACK = "ack"  # bare acknowledgement (stores)
+
+
+@dataclass(frozen=True)
+class ReplyRule:
+    """Recipe for materializing one requester's reply.
+
+    The pair of rules for a combined request is exactly what the paper
+    stores in the switch's wait buffer: "the address of R-old (the entry
+    key); the address of R-new; and, in the case of a combined
+    fetch-and-add, a datum".
+    """
+
+    mode: ReplyMode
+    datum: int = 0
+    phi: Optional[PhiOperator] = None
+
+    def materialize(self, memory_reply: Optional[int]) -> Optional[int]:
+        if self.mode is ReplyMode.ACK:
+            return None
+        if self.mode is ReplyMode.CONST:
+            return self.datum
+        if memory_reply is None:
+            raise ValueError(
+                f"reply rule {self.mode} needs a memory value but the "
+                "returning message carries none"
+            )
+        if self.mode is ReplyMode.VALUE:
+            return memory_reply
+        assert self.phi is not None
+        return self.phi(memory_reply, self.datum)
+
+
+VALUE = ReplyRule(ReplyMode.VALUE)
+ACK = ReplyRule(ReplyMode.ACK)
+
+
+def _const(datum: int) -> ReplyRule:
+    return ReplyRule(ReplyMode.CONST, datum=datum)
+
+
+def _phi_rule(phi: PhiOperator, datum: int) -> ReplyRule:
+    return ReplyRule(ReplyMode.PHI, datum=datum, phi=phi)
+
+
+@dataclass(frozen=True)
+class Combined:
+    """Result of combining two requests at a switch.
+
+    ``forward`` is the single request transmitted toward memory (under
+    the old request's network identity); ``old_rule`` and ``new_rule``
+    turn the eventual memory reply into each requester's reply.
+    """
+
+    forward: Op
+    old_rule: ReplyRule
+    new_rule: ReplyRule
+
+
+def _is_store(op: Op) -> bool:
+    return isinstance(op, Store)
+
+
+def _rebuild(address: int, phi: PhiOperator, operand: int, *, fetch: bool) -> Op:
+    """Build the most specific op for a (phi, operand) pair.
+
+    Keeping the concrete kinds (Load/Store/FetchAdd/...) rather than raw
+    FetchPhi preserves the message-size accounting (loads carry no data)
+    and keeps switch traces legible.
+    """
+    if phi.name == "proj1":
+        return Load(address)
+    if phi.name == "proj2":
+        return Swap(address, operand) if fetch else Store(address, operand)
+    if phi.name == "add":
+        return FetchAdd(address, operand)
+    return FetchPhi(address, operand, phi)
+
+
+def try_combine(old: Op, new: Op) -> Optional[Combined]:
+    """Attempt to combine ``new`` into queued ``old``; None if impossible.
+
+    Requests combine only when they address the same memory cell and
+    their operators admit a serialization-preserving merge: identical
+    associative phis always do, and any mix of {Load, Store, Swap} with a
+    common cell does via the paper's special rules (Load = Fetch&proj1,
+    Store = Fetch&proj2).
+    """
+    if old.address != new.address:
+        return None
+
+    old_phi_op = as_fetch_phi(old)
+    new_phi_op = as_fetch_phi(new)
+    phi_old, phi_new = old_phi_op.phi, new_phi_op.phi
+    e, f = old_phi_op.operand, new_phi_op.operand
+    address = old.address
+
+    # --- homogeneous: same associative operator --------------------------
+    if phi_old == phi_new:
+        if not phi_old.associative:
+            return None
+        combined_operand = phi_old(e, f)
+        if old.expects_value:
+            # Forwarded request must fetch the pre-batch value Y for old.
+            forward = _rebuild(address, phi_old, combined_operand, fetch=True)
+            new_rule = _phi_rule(phi_old, e) if new.expects_value else ACK
+            return Combined(forward=forward, old_rule=VALUE, new_rule=new_rule)
+        # old is a plain store (proj2): serialization old;new means new
+        # observes old's datum e, so new's reply is known at combine time.
+        forward = _rebuild(
+            address, phi_old, combined_operand, fetch=False
+        )
+        new_rule = _const(e) if new.expects_value else ACK
+        return Combined(forward=forward, old_rule=ACK, new_rule=new_rule)
+
+    # --- heterogeneous: a Load paired with a fetching operation ----------
+    if phi_old.name == "proj1" and new.expects_value:
+        # serialization old;new — the load sees the pre-batch value Y,
+        # which the forwarded (fetching) new-op also returns.
+        forward = _rebuild(address, phi_new, f, fetch=True)
+        return Combined(forward=forward, old_rule=VALUE, new_rule=VALUE)
+    if phi_new.name == "proj1" and old.expects_value:
+        # serialization old;new — the trailing load sees phi(Y, e).
+        forward = _rebuild(address, phi_old, e, fetch=True)
+        return Combined(forward=forward, old_rule=VALUE, new_rule=_phi_rule(phi_old, e))
+
+    # --- heterogeneous: a Store absorbs the other request ----------------
+    if _is_store(new):
+        if not phi_old.associative:
+            return None
+        # Realize serialization new;old: the store writes f, then old's
+        # phi reads f and leaves phi(f, e).  Old's reply (f) is known
+        # immediately; the paper's rule "FetchAdd(X,e)-Store(X,f):
+        # transmit Store(e+f) and satisfy the fetch-and-add by returning
+        # f" is this case with phi = add.
+        forward = Store(address, phi_old(f, e))
+        old_rule = _const(f) if old.expects_value else ACK
+        return Combined(forward=forward, old_rule=old_rule, new_rule=ACK)
+    if _is_store(old):
+        if not phi_new.associative:
+            return None
+        # serialization old;new: new's phi reads old's datum e and leaves
+        # phi(e, f); new's reply (e) is known at combine time.
+        forward = Store(address, phi_new(e, f))
+        new_rule = _const(e) if new.expects_value else ACK
+        return Combined(forward=forward, old_rule=ACK, new_rule=new_rule)
+
+    # Different non-trivial operators (e.g. fetch-add with fetch-max)
+    # cannot be merged into a single request.
+    return None
+
+
+def decombine(
+    combined: Combined, memory_reply: Optional[int]
+) -> tuple[Optional[int], Optional[int]]:
+    """Split a memory reply into the two original requesters' replies.
+
+    This is the action the paper's switch performs when a returning
+    request matches a wait-buffer entry: "the switch transmits Y to
+    satisfy the original request F&A(X,e) and transmits Y+e to satisfy
+    the original request F&A(X,f)".
+    """
+    return (
+        combined.old_rule.materialize(memory_reply),
+        combined.new_rule.materialize(memory_reply),
+    )
+
+
+def combined_effect(
+    old: Op, new: Op, combined: Combined, initial_value: int
+) -> tuple[Effect, Optional[int], Optional[int]]:
+    """Simulate the full combine/decombine round trip against one cell.
+
+    Returns the memory effect of the forwarded request plus the replies
+    delivered to the old and new requesters.  Used by tests to check the
+    serialization principle; the network uses the pieces separately.
+    """
+    effect = combined.forward.apply(initial_value)
+    old_reply, new_reply = decombine(combined, effect.result)
+    return effect, old_reply, new_reply
+
+
+__all__ = [
+    "ACK",
+    "Combined",
+    "ReplyMode",
+    "ReplyRule",
+    "VALUE",
+    "combined_effect",
+    "decombine",
+    "try_combine",
+]

@@ -1,0 +1,417 @@
+"""The Ultracomputer: full machine assembly (section 3, Figure 1).
+
+``N = k**D`` processing elements attach through processor network
+interfaces (PNIs) to a combining Omega network, whose memory side feeds
+N memory-network interfaces (MNIs), each fronting one memory module
+(MM).  This module wires those components into a single cycle-accurate
+machine and drives MIMD programs on it using the same generator-coroutine
+protocol as the idealized :class:`~repro.core.paracomputer.Paracomputer`
+— so any program can be run on both and its memory effects compared,
+which is exactly the sense in which the paper claims the Ultracomputer
+"appears to the user as a paracomputer".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Protocol
+
+from ..memory.hashing import AddressTranslation, make_translation
+from ..memory.module import BankedMemory
+from ..network.interfaces import MNI, PNI
+from ..network.message import Message
+from ..network.omega import NetworkConfig, OmegaNetwork
+from .memory_ops import Op
+from .paracomputer import Program, ProgramFactory
+
+
+@dataclass
+class MachineConfig:
+    """Configuration of an Ultracomputer instance.
+
+    Defaults follow the paper's network simulation (section 4.2): 15
+    packets of queueing per switch port and a memory access time of two
+    network cycles.
+    """
+
+    n_pes: int
+    k: int = 2
+    mm_latency: int = 2
+    queue_capacity_packets: Optional[int] = 15
+    wait_buffer_capacity: Optional[int] = None
+    combining: bool = True
+    pairwise_only: bool = True
+    translation: str = "interleaved"
+    words_per_module: int = 1 << 16
+    max_outstanding: Optional[int] = None
+    #: number of network copies (the d of section 4.1).  Requests are
+    #: striped across copies by tag; replies return on the copy that
+    #: carried the request (the amalgam digits live in its switches).
+    copies: int = 1
+    #: MNI input buffering in packets; None is unbounded.  A finite
+    #: value backpressures the last network stage when a module falls
+    #: behind — the hot-module phenomenon of section 3.1.4 made visible
+    #: in the network instead of only at the module.
+    mni_inbound_capacity_packets: Optional[int] = None
+
+    def network_config(self) -> NetworkConfig:
+        return NetworkConfig(
+            n_ports=self.n_pes,
+            k=self.k,
+            queue_capacity_packets=self.queue_capacity_packets,
+            wait_buffer_capacity=self.wait_buffer_capacity,
+            combining=self.combining,
+            pairwise_only=self.pairwise_only,
+        )
+
+
+class Driver(Protocol):
+    """Anything that issues work into the machine each cycle.
+
+    Program PEs, synthetic traffic sources, and instrumented workload
+    replayers all implement this protocol.
+    """
+
+    def tick(self, cycle: int) -> None:
+        """Issue requests / consume replies for this cycle."""
+
+    def done(self) -> bool:
+        """True when the driver will issue no further traffic."""
+
+
+@dataclass
+class _ProgramPE:
+    """A blocking coroutine PE: issues one reference at a time.
+
+    This matches the conservative PE of section 3.5 before prefetching
+    is enabled (an attempt to use a locked register suspends execution);
+    the richer overlap model lives in :mod:`repro.pe.processor`.
+    """
+
+    pe_id: int
+    program: Program
+    pni: PNI
+    running: bool = True
+    compute_remaining: int = 0
+    waiting_tag: Optional[int] = None
+    pending_op: Optional[Op] = None
+    return_value: Any = None
+    finished_cycle: Optional[int] = None
+    compute_cycles: int = 0
+    ops_issued: int = 0
+    idle_cycles: int = 0
+
+
+class ProgramDriver:
+    """Runs generator-coroutine programs on the machine's PEs."""
+
+    def __init__(self, machine: "Ultracomputer") -> None:
+        self.machine = machine
+        self.pes: list[_ProgramPE] = []
+
+    def spawn(self, program_fn: ProgramFactory, *args: Any, **kwargs: Any) -> int:
+        pe_id = len(self.pes)
+        if pe_id >= self.machine.config.n_pes:
+            raise ValueError(
+                f"machine has only {self.machine.config.n_pes} PEs"
+            )
+        program = program_fn(pe_id, *args, **kwargs)
+        self.pes.append(
+            _ProgramPE(pe_id=pe_id, program=program, pni=self.machine.pnis[pe_id])
+        )
+        return pe_id
+
+    def spawn_many(
+        self, n: int, program_fn: ProgramFactory, *args: Any, **kwargs: Any
+    ) -> list[int]:
+        return [self.spawn(program_fn, *args, **kwargs) for _ in range(n)]
+
+    def _advance(self, pe: _ProgramPE, sent: Any, cycle: int) -> None:
+        try:
+            yielded = pe.program.send(sent)
+        except StopIteration as stop:
+            pe.running = False
+            pe.finished_cycle = cycle
+            pe.return_value = stop.value
+            return
+        if yielded is None:
+            pe.compute_remaining = 1
+            pe.compute_cycles += 1
+        elif isinstance(yielded, Op):
+            pe.pending_op = yielded
+        elif isinstance(yielded, int):
+            if yielded <= 0:
+                raise ValueError(f"PE {pe.pe_id} yielded non-positive delay")
+            pe.compute_remaining = yielded
+            pe.compute_cycles += yielded
+        else:
+            raise TypeError(
+                f"PE {pe.pe_id} yielded {yielded!r}; programs must yield an "
+                "Op, None, or a positive integer delay"
+            )
+
+    def tick(self, cycle: int) -> None:
+        for pe in self.pes:
+            if not pe.running:
+                continue
+            if pe.waiting_tag is not None:
+                reply = pe.pni.pop_reply()
+                if reply is None:
+                    pe.idle_cycles += 1
+                    continue
+                assert reply.tag == pe.waiting_tag
+                pe.waiting_tag = None
+                self._advance(pe, reply.value, cycle)
+                continue
+            if pe.compute_remaining > 0:
+                pe.compute_remaining -= 1
+                if pe.compute_remaining == 0:
+                    self._advance(pe, None, cycle)
+                continue
+            if pe.pending_op is not None:
+                op = pe.pending_op
+                if pe.pni.can_issue(op):
+                    tag = pe.pni.issue(op, cycle)
+                    pe.pending_op = None
+                    pe.waiting_tag = tag
+                    pe.ops_issued += 1
+                else:
+                    pe.idle_cycles += 1
+                continue
+            # Fresh PE: prime the generator.
+            self._advance(pe, None, cycle)
+
+    def done(self) -> bool:
+        return all(not pe.running for pe in self.pes)
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def return_values(self) -> dict[int, Any]:
+        return {pe.pe_id: pe.return_value for pe in self.pes if not pe.running}
+
+    @property
+    def total_idle_cycles(self) -> int:
+        return sum(pe.idle_cycles for pe in self.pes)
+
+    @property
+    def total_compute_cycles(self) -> int:
+        return sum(pe.compute_cycles for pe in self.pes)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(pe.ops_issued for pe in self.pes)
+
+
+@dataclass
+class MachineStats:
+    """Aggregate run statistics (the quantities of Table 1)."""
+
+    cycles: int
+    requests_issued: int
+    replies_received: int
+    mean_round_trip: float
+    combines: int
+    decombines: int
+    memory_accesses: int
+    idle_cycles: int = 0
+    compute_cycles: int = 0
+
+    @property
+    def combining_rate(self) -> float:
+        if self.requests_issued == 0:
+            return 0.0
+        return self.combines / self.requests_issued
+
+
+class Ultracomputer:
+    """Cycle-accurate model of the complete machine."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        if config.copies < 1:
+            raise ValueError("network copy count must be at least 1")
+        self.networks = [
+            OmegaNetwork(config.network_config()) for _ in range(config.copies)
+        ]
+        self.memory = BankedMemory(config.n_pes, latency=config.mm_latency)
+        self.translation: AddressTranslation = make_translation(
+            config.translation, config.n_pes, config.words_per_module
+        )
+        self.mnis = [
+            MNI(
+                module,
+                inbound_capacity_packets=config.mni_inbound_capacity_packets,
+            )
+            for module in self.memory.modules
+        ]
+        self.pnis = [
+            PNI(
+                pe,
+                self.network.topology,
+                self.translation,
+                max_outstanding=config.max_outstanding,
+            )
+            for pe in range(config.n_pes)
+        ]
+        for network in self.networks:
+            network.connect(mm_sink=self._mm_sink, pe_sink=self._pe_sink)
+        self.cycle = 0
+        self._healthy_copies: list[int] = list(range(config.copies))
+        self._copy_by_tag: dict[int, int] = {}
+        self.drivers: list[Driver] = []
+        self.programs = ProgramDriver(self)
+        self.drivers.append(self.programs)
+
+    @property
+    def network(self) -> OmegaNetwork:
+        """The first network copy (the whole network when copies == 1)."""
+        return self.networks[0]
+
+    def fail_network_copy(self, index: int) -> None:
+        """Take one network copy out of service (fail-stop).
+
+        Models the reliability benefit section 4.1 attributes to
+        multiple copies ("enhancing network reliability"): subsequent
+        traffic stripes over the surviving copies; correctness is
+        unaffected, only bandwidth degrades.  The copy must be drained
+        (maintenance-style failover) — failing a copy with messages in
+        flight would lose them, which fail-stop hardware would turn into
+        timeouts and retries this model does not simulate.
+        """
+        if index not in self._healthy_copies:
+            raise ValueError(f"network copy {index} is not in service")
+        if len(self._healthy_copies) == 1:
+            raise ValueError("cannot fail the last network copy")
+        if not self.networks[index].is_drained():
+            raise RuntimeError(
+                f"network copy {index} still has traffic in flight; "
+                "drain before failing it"
+            )
+        self._healthy_copies.remove(index)
+
+    def _copy_for_request(self, message: Message) -> OmegaNetwork:
+        """Stripe new requests over the healthy copies; remember the
+        choice so the reply returns on the same copy (its switches hold
+        the amalgam digits and wait-buffer records)."""
+        index = self._healthy_copies[message.tag % len(self._healthy_copies)]
+        self._copy_by_tag[message.tag] = index
+        return self.networks[index]
+
+    # ------------------------------------------------------------------
+    # wiring callbacks
+    # ------------------------------------------------------------------
+    def _mm_sink(self, mm: int, message: Message) -> bool:
+        return self.mnis[mm].offer_inbound(message, self.cycle)
+
+    def _pe_sink(self, pe: int, message: Message) -> bool:
+        accepted = self.pnis[pe].deliver_reply(message, self.cycle)
+        if accepted:
+            self._copy_by_tag.pop(message.tag, None)
+        return accepted
+
+    def _inject_request(self, pe: int, message: Message) -> bool:
+        # A refused injection retries next cycle on the same copy (the
+        # assignment is recorded on first attempt).
+        index = self._copy_by_tag.get(message.tag)
+        if index is None:
+            network = self._copy_for_request(message)
+        else:
+            network = self.networks[index]
+        return network.offer_request(pe, message)
+
+    def _inject_reply(self, mm: int, message: Message) -> bool:
+        return self.networks[self._copy_by_tag[message.tag]].offer_reply(
+            mm, message
+        )
+
+    # ------------------------------------------------------------------
+    # program interface (mirrors the paracomputer API)
+    # ------------------------------------------------------------------
+    def spawn(self, program_fn: ProgramFactory, *args: Any, **kwargs: Any) -> int:
+        return self.programs.spawn(program_fn, *args, **kwargs)
+
+    def spawn_many(
+        self, n: int, program_fn: ProgramFactory, *args: Any, **kwargs: Any
+    ) -> list[int]:
+        return self.programs.spawn_many(n, program_fn, *args, **kwargs)
+
+    def attach_driver(self, driver: Driver) -> None:
+        self.drivers.append(driver)
+
+    # ------------------------------------------------------------------
+    # shared-memory access from outside the simulation (tests/examples)
+    # ------------------------------------------------------------------
+    def peek(self, address: int) -> int:
+        module, offset = self.translation.translate(address)
+        return self.memory[module].peek(offset)
+
+    def poke(self, address: int, value: int) -> None:
+        module, offset = self.translation.translate(address)
+        self.memory[module].poke(offset, value)
+
+    def dump_region(self, base: int, length: int) -> list[int]:
+        return [self.peek(base + i) for i in range(length)]
+
+    # ------------------------------------------------------------------
+    # cycle loop
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        cycle = self.cycle
+        for mni in self.mnis:
+            mni.tick(cycle)
+        for network in self.networks:
+            network.step_forward()
+        for pni in self.pnis:
+            pni.tick_outbound(cycle, self._inject_request)
+        for network in self.networks:
+            network.step_return()
+        for mni in self.mnis:
+            mni.tick_outbound(cycle, self._inject_reply)
+        for driver in self.drivers:
+            driver.tick(cycle)
+        for network in self.networks:
+            network.advance_cycle()
+        self.cycle += 1
+
+    def quiescent(self) -> bool:
+        """No traffic anywhere and every driver is done."""
+        return (
+            all(driver.done() for driver in self.drivers)
+            and all(network.is_drained() for network in self.networks)
+            and all(mni.pending == 0 for mni in self.mnis)
+            and all(not pni.outbound and pni.outstanding() == 0 for pni in self.pnis)
+        )
+
+    def run(self, max_cycles: int = 1_000_000) -> MachineStats:
+        """Run until all programs finish and the network drains."""
+        while not self.quiescent():
+            if self.cycle >= max_cycles:
+                raise RuntimeError(
+                    f"machine did not quiesce within {max_cycles} cycles "
+                    f"({sum(n.pending_messages() for n in self.networks)} "
+                    "messages in flight)"
+                )
+            self.step()
+        return self.stats()
+
+    def run_cycles(self, n: int) -> MachineStats:
+        """Run exactly ``n`` cycles (open-loop traffic studies)."""
+        for _ in range(n):
+            self.step()
+        return self.stats()
+
+    def stats(self) -> MachineStats:
+        return MachineStats(
+            cycles=self.cycle,
+            requests_issued=sum(p.requests_issued for p in self.pnis),
+            replies_received=sum(p.replies_received for p in self.pnis),
+            mean_round_trip=(
+                sum(p.total_round_trip for p in self.pnis)
+                / max(1, sum(p.replies_received for p in self.pnis))
+            ),
+            combines=sum(n.total_combines() for n in self.networks),
+            decombines=sum(n.total_decombines() for n in self.networks),
+            memory_accesses=sum(m.accesses for m in self.memory.modules),
+            idle_cycles=self.programs.total_idle_cycles,
+            compute_cycles=self.programs.total_compute_cycles,
+        )

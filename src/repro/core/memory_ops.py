@@ -1,0 +1,256 @@
+"""Memory-operation algebra for the Ultracomputer.
+
+The paper (section 2) builds the whole machine model around a small family
+of indivisible shared-memory operations:
+
+* ``Load(V)`` and ``Store(V, e)`` — ordinary reads and writes;
+* ``FetchAdd(V, e)`` — return the old value of ``V`` and replace it with
+  ``V + e`` (section 2.2);
+* ``FetchPhi(V, e)`` — the generalization of section 2.4: return the old
+  value and replace it with ``phi(V, e)`` for an arbitrary operator phi;
+* ``Swap(V, e)`` and ``TestAndSet(V)`` — shown in section 2.4 to be
+  special cases of fetch-and-phi.
+
+Every operation in this module knows how to apply itself to an old memory
+value, producing the new memory value and the value returned to the
+issuing processing element.  The rest of the system — the idealized
+paracomputer, the combining switches, and the memory network interfaces —
+is written against this algebra, so the semantics of an operation live in
+exactly one place.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+class PhiOperator:
+    """A named binary operator usable in a fetch-and-phi operation.
+
+    The paper requires phi to be *associative* for combining to preserve
+    the serialization principle, and notes that when phi is additionally
+    *commutative* the final memory value is independent of the
+    serialization order.  Both properties are recorded so the combining
+    logic and the property-based tests can consult them.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[int, int], int],
+        *,
+        associative: bool,
+        commutative: bool,
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.associative = associative
+        self.commutative = commutative
+
+    def __call__(self, a: int, b: int) -> int:
+        return self.fn(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"PhiOperator({self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PhiOperator) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("PhiOperator", self.name))
+
+
+def _proj1(a: int, b: int) -> int:
+    return a
+
+
+def _proj2(a: int, b: int) -> int:
+    return b
+
+
+#: Registry of the operators discussed in the paper.  ``proj1`` gives a
+#: load, ``proj2`` gives a store/swap, ``add`` gives fetch-and-add, and
+#: ``or`` (with operand 1) gives test-and-set.
+PHI_OPERATORS: dict[str, PhiOperator] = {
+    "add": PhiOperator("add", lambda a, b: a + b, associative=True, commutative=True),
+    "proj1": PhiOperator("proj1", _proj1, associative=True, commutative=False),
+    "proj2": PhiOperator("proj2", _proj2, associative=True, commutative=False),
+    "max": PhiOperator("max", max, associative=True, commutative=True),
+    "min": PhiOperator("min", min, associative=True, commutative=True),
+    "or": PhiOperator("or", lambda a, b: a | b, associative=True, commutative=True),
+    "and": PhiOperator("and", lambda a, b: a & b, associative=True, commutative=True),
+    "xor": PhiOperator("xor", lambda a, b: a ^ b, associative=True, commutative=True),
+}
+
+
+def get_phi(name: str) -> PhiOperator:
+    """Look up a phi operator by name, raising ``KeyError`` with a hint."""
+    try:
+        return PHI_OPERATORS[name]
+    except KeyError:
+        known = ", ".join(sorted(PHI_OPERATORS))
+        raise KeyError(f"unknown phi operator {name!r}; known operators: {known}")
+
+
+class OpKind(enum.Enum):
+    """Function indicator carried by a network request (section 3.3)."""
+
+    LOAD = "load"
+    STORE = "store"
+    FETCH_ADD = "fetch-add"
+    FETCH_PHI = "fetch-phi"
+    SWAP = "swap"
+    TEST_AND_SET = "test-and-set"
+
+
+@dataclass(frozen=True)
+class Effect:
+    """Result of applying an operation to an old memory value.
+
+    ``new_value`` is what the memory cell comes to contain; ``result`` is
+    the value returned to the issuing PE (``None`` for a plain store,
+    whose reply is a bare acknowledgement).
+    """
+
+    new_value: int
+    result: Optional[int]
+
+
+@dataclass(frozen=True)
+class Op:
+    """Base class for memory operations; subclasses are immutable."""
+
+    address: int
+
+    #: kind is overridden per subclass; used for dispatch and display.
+    kind = OpKind.LOAD
+
+    def apply(self, old_value: int) -> Effect:
+        raise NotImplementedError
+
+    @property
+    def carries_data(self) -> bool:
+        """Whether the request message carries a data word to memory.
+
+        The paper's simulation (section 4.2) models a request as one
+        packet when it carries no data and three packets otherwise.
+        """
+        return False
+
+    @property
+    def expects_value(self) -> bool:
+        """Whether the reply carries a data word back to the PE."""
+        return True
+
+
+@dataclass(frozen=True)
+class Load(Op):
+    """Read a shared memory cell; equivalent to Fetch&proj1 (section 2.4)."""
+
+    kind = OpKind.LOAD
+
+    def apply(self, old_value: int) -> Effect:
+        return Effect(new_value=old_value, result=old_value)
+
+
+@dataclass(frozen=True)
+class Store(Op):
+    """Write a shared memory cell; equivalent to Fetch&proj2 with the
+    returned value discarded (section 2.4)."""
+
+    value: int
+    kind = OpKind.STORE
+
+    def apply(self, old_value: int) -> Effect:
+        return Effect(new_value=self.value, result=None)
+
+    @property
+    def carries_data(self) -> bool:
+        return True
+
+    @property
+    def expects_value(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class FetchAdd(Op):
+    """The paper's central primitive: return V and replace it by V + e."""
+
+    increment: int
+    kind = OpKind.FETCH_ADD
+
+    def apply(self, old_value: int) -> Effect:
+        return Effect(new_value=old_value + self.increment, result=old_value)
+
+    @property
+    def carries_data(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class FetchPhi(Op):
+    """General fetch-and-phi: return V and replace it by phi(V, e)."""
+
+    operand: int
+    phi: PhiOperator
+    kind = OpKind.FETCH_PHI
+
+    def apply(self, old_value: int) -> Effect:
+        return Effect(new_value=self.phi(old_value, self.operand), result=old_value)
+
+    @property
+    def carries_data(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class Swap(Op):
+    """Exchange a local value with a memory cell: Fetch&proj2 (section 2.4)."""
+
+    value: int
+    kind = OpKind.SWAP
+
+    def apply(self, old_value: int) -> Effect:
+        return Effect(new_value=self.value, result=old_value)
+
+    @property
+    def carries_data(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True)
+class TestAndSet(Op):
+    """Return the old Boolean value and set the cell: Fetch&or(V, 1)."""
+
+    kind = OpKind.TEST_AND_SET
+    __test__ = False  # tells pytest this is not a test class
+
+    def apply(self, old_value: int) -> Effect:
+        return Effect(new_value=old_value | 1, result=old_value)
+
+
+def as_fetch_phi(op: Op) -> FetchPhi:
+    """Normalize any operation to its fetch-and-phi form (section 2.4).
+
+    Loads become Fetch&proj1, stores and swaps Fetch&proj2, fetch-and-add
+    Fetch&add, and test-and-set Fetch&or.  The normalization underlies
+    both the combining rules and the proof in the paper that
+    fetch-and-phi suffices as the sole primitive for accessing central
+    memory.
+    """
+    if isinstance(op, FetchPhi):
+        return op
+    if isinstance(op, Load):
+        return FetchPhi(op.address, 0, PHI_OPERATORS["proj1"])
+    if isinstance(op, Store):
+        return FetchPhi(op.address, op.value, PHI_OPERATORS["proj2"])
+    if isinstance(op, Swap):
+        return FetchPhi(op.address, op.value, PHI_OPERATORS["proj2"])
+    if isinstance(op, FetchAdd):
+        return FetchPhi(op.address, op.increment, PHI_OPERATORS["add"])
+    if isinstance(op, TestAndSet):
+        return FetchPhi(op.address, 1, PHI_OPERATORS["or"])
+    raise TypeError(f"cannot normalize {op!r} to fetch-and-phi")

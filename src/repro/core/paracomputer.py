@@ -1,0 +1,277 @@
+"""The idealized paracomputer of section 2.1.
+
+A paracomputer is an ensemble of autonomous processing elements sharing a
+central memory that every PE can read or write *in one cycle*, with
+simultaneous accesses resolved according to the serialization principle.
+The model is not physically realizable (the paper is explicit about
+this); it serves as the semantic reference that the combining-network
+machine of section 3 approximates, and as the instrument the authors used
+— via their WASHCLOTH/PLUS simulators — for the scientific-program
+studies of section 5.
+
+Programs are Python generator coroutines.  Each ``yield`` consumes one
+machine cycle:
+
+* ``yield op`` where ``op`` is a :class:`~repro.core.memory_ops.Op`
+  issues a shared-memory operation; the generator is resumed with the
+  value the operation returns (``None`` for a store);
+* ``yield None`` spends one cycle of local computation;
+* ``yield n`` for a positive integer spends ``n`` cycles of local
+  computation (loop bodies, floating point, private-memory work).
+
+All operations yielded on the same cycle are *simultaneous* in the
+paper's sense: the simulator serializes them in a uniformly random order
+drawn from a seeded generator, so runs are reproducible and property
+tests can assert that every observed outcome is consistent with some
+serial order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from .memory_ops import Op
+from .serialization import SerializationWitness, serialize_batch
+
+#: The coroutine protocol: programs yield Ops, None, or positive ints and
+#: are resumed with the op result (or None).
+Program = Generator[Any, Any, Any]
+ProgramFactory = Callable[..., Program]
+
+
+@dataclass
+class PEState:
+    """Bookkeeping for one processing element inside the simulator."""
+
+    pe_id: int
+    program: Program
+    running: bool = True
+    #: cycles of local computation still to burn before the next resume.
+    compute_remaining: int = 0
+    #: the operation currently awaiting this cycle's serialization.
+    pending_op: Optional[Op] = None
+    started_cycle: int = 0
+    finished_cycle: Optional[int] = None
+    return_value: Any = None
+    ops_issued: int = 0
+    compute_cycles: int = 0
+
+
+@dataclass
+class ParacomputerStats:
+    """Aggregate statistics from a paracomputer run."""
+
+    cycles: int
+    pes: int
+    ops_issued: int
+    compute_cycles: int
+    finish_times: dict[int, int] = field(default_factory=dict)
+    return_values: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def all_finished(self) -> bool:
+        return len(self.finish_times) == self.pes
+
+
+class DeadlockError(RuntimeError):
+    """Raised when PEs remain but none can make progress.
+
+    On the paracomputer this only happens when a program spins forever
+    past ``max_cycles``; it is surfaced distinctly so tests of the
+    coordination algorithms can detect genuine livelock bugs.
+    """
+
+
+class Paracomputer:
+    """Idealized single-cycle shared-memory MIMD machine.
+
+    Parameters
+    ----------
+    initial_memory:
+        Optional mapping seeding shared memory; unset cells read as 0.
+    seed:
+        Seed for the serialization-order generator; runs are
+        deterministic for a fixed seed and spawn sequence.
+    audit:
+        When true, every cycle's batch and chosen order is recorded in
+        :attr:`witness` for later verification against the
+        serialization principle.
+    """
+
+    def __init__(
+        self,
+        initial_memory: Optional[dict[int, int]] = None,
+        *,
+        seed: int = 0,
+        audit: bool = False,
+    ) -> None:
+        self.memory: dict[int, int] = dict(initial_memory or {})
+        self._rng = random.Random(seed)
+        self._pes: list[PEState] = []
+        self.cycle = 0
+        self.witness: Optional[SerializationWitness] = (
+            SerializationWitness() if audit else None
+        )
+
+    # ------------------------------------------------------------------
+    # program management
+    # ------------------------------------------------------------------
+    def spawn(self, program_fn: ProgramFactory, *args: Any, **kwargs: Any) -> int:
+        """Start a program on a fresh PE; returns the PE identifier.
+
+        The program factory is called as ``program_fn(pe_id, *args,
+        **kwargs)`` and must return a generator following the coroutine
+        protocol.  Spawning is legal at any time, including from inside a
+        running program (by capturing the machine in a closure), which is
+        how the decentralized-scheduler example creates subtasks.
+        """
+        pe_id = len(self._pes)
+        program = program_fn(pe_id, *args, **kwargs)
+        if not hasattr(program, "send"):
+            raise TypeError(
+                f"{program_fn!r} did not return a generator; paracomputer "
+                "programs must be generator functions"
+            )
+        self._pes.append(PEState(pe_id=pe_id, program=program, started_cycle=self.cycle))
+        return pe_id
+
+    def spawn_many(
+        self, n: int, program_fn: ProgramFactory, *args: Any, **kwargs: Any
+    ) -> list[int]:
+        """Spawn ``n`` copies of a program, one per PE."""
+        return [self.spawn(program_fn, *args, **kwargs) for _ in range(n)]
+
+    @property
+    def n_pes(self) -> int:
+        return len(self._pes)
+
+    def pe(self, pe_id: int) -> PEState:
+        return self._pes[pe_id]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _advance(self, state: PEState, sent_value: Any) -> None:
+        """Resume one PE's generator and classify what it yielded."""
+        try:
+            yielded = state.program.send(sent_value)
+        except StopIteration as stop:
+            state.running = False
+            state.finished_cycle = self.cycle
+            state.return_value = stop.value
+            return
+        if yielded is None:
+            state.compute_remaining = 1
+            state.compute_cycles += 1
+        elif isinstance(yielded, Op):
+            state.pending_op = yielded
+        elif isinstance(yielded, int):
+            if yielded <= 0:
+                raise ValueError(
+                    f"PE {state.pe_id} yielded non-positive delay {yielded}"
+                )
+            state.compute_remaining = yielded
+            state.compute_cycles += yielded
+        else:
+            raise TypeError(
+                f"PE {state.pe_id} yielded {yielded!r}; programs must yield "
+                "an Op, None, or a positive integer delay"
+            )
+
+    def step(self) -> bool:
+        """Advance the machine one cycle; returns False when all PEs halt.
+
+        Within the cycle: PEs whose local computation expires are resumed
+        (they may immediately issue an op *this* cycle, matching the
+        one-yield-per-cycle discipline); then all pending operations are
+        serialized in a random order and results delivered; resumed PEs
+        will take their next action on the following cycle.
+        """
+        active = [pe for pe in self._pes if pe.running]
+        if not active:
+            return False
+
+        issuers: list[PEState] = []
+        ops: list[Op] = []
+        for state in active:
+            if state.compute_remaining > 0:
+                state.compute_remaining -= 1
+                if state.compute_remaining == 0:
+                    # Computation ends this cycle; resume the program so
+                    # its next action (op or more computation) takes
+                    # effect on the following cycle.
+                    self._advance(state, None)
+                continue
+            if state.pending_op is not None:
+                issuers.append(state)
+                ops.append(state.pending_op)
+            else:
+                # Fresh PE that has not yet been resumed at all.
+                self._advance(state, None)
+                continue
+
+        if ops:
+            order = list(range(len(ops)))
+            self._rng.shuffle(order)
+            results = serialize_batch(self.memory, ops, order)
+            if self.witness is not None:
+                self.witness.record(ops, order)
+            for state, result in zip(issuers, results):
+                state.pending_op = None
+                state.ops_issued += 1
+                self._advance(state, result)
+
+        self.cycle += 1
+        return any(pe.running for pe in self._pes)
+
+    def run(self, max_cycles: Optional[int] = None) -> ParacomputerStats:
+        """Run until every PE halts or ``max_cycles`` elapse."""
+        while True:
+            if max_cycles is not None and self.cycle >= max_cycles:
+                if any(pe.running for pe in self._pes):
+                    raise DeadlockError(
+                        f"{sum(pe.running for pe in self._pes)} PEs still "
+                        f"running after {max_cycles} cycles"
+                    )
+                break
+            if not self.step():
+                break
+        return self.stats()
+
+    def stats(self) -> ParacomputerStats:
+        return ParacomputerStats(
+            cycles=self.cycle,
+            pes=len(self._pes),
+            ops_issued=sum(pe.ops_issued for pe in self._pes),
+            compute_cycles=sum(pe.compute_cycles for pe in self._pes),
+            finish_times={
+                pe.pe_id: pe.finished_cycle
+                for pe in self._pes
+                if pe.finished_cycle is not None
+            },
+            return_values={
+                pe.pe_id: pe.return_value for pe in self._pes if not pe.running
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # convenience accessors used heavily by tests and examples
+    # ------------------------------------------------------------------
+    def peek(self, address: int) -> int:
+        """Read memory outside the machine (no cycle cost); testing aid."""
+        return self.memory.get(address, 0)
+
+    def poke(self, address: int, value: int) -> None:
+        """Write memory outside the machine (no cycle cost); testing aid."""
+        self.memory[address] = value
+
+    def load_region(self, base: int, values: Iterable[int]) -> None:
+        """Bulk-initialize a contiguous region starting at ``base``."""
+        for i, v in enumerate(values):
+            self.memory[base + i] = v
+
+    def dump_region(self, base: int, length: int) -> list[int]:
+        """Bulk-read a contiguous region; testing aid."""
+        return [self.memory.get(base + i, 0) for i in range(length)]

@@ -1,0 +1,219 @@
+"""The serialization principle (section 2.1) and tools to check it.
+
+The paper makes the effect of simultaneous access to shared memory
+precise with the *serialization principle*: "The effect of simultaneous
+actions by the PEs is as if the actions occurred in some (unspecified)
+serial order."  This module provides
+
+* :func:`apply_serially` — the reference executor that applies a batch of
+  operations in an explicit order;
+* :class:`BatchOutcome` — the observable outcome of a batch (per-op
+  results plus the final cell values);
+* :func:`all_serial_outcomes` — enumeration of the outcomes of every
+  serial order (used by property tests on small batches);
+* :func:`is_serializable` — decide whether an observed outcome is
+  consistent with *some* serial order, which is exactly what the
+  principle demands of the hardware;
+* :func:`fetch_add_outcome_valid` — a special-case checker for batches
+  of fetch-and-adds on one cell, exploiting the paper's observation that
+  each operation must see an intermediate value corresponding to its
+  position in some order (memoized search, far cheaper than permuting
+  the whole batch).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence
+
+from .memory_ops import Op
+
+
+@dataclass(frozen=True)
+class BatchOutcome:
+    """Observable outcome of a batch of simultaneous operations.
+
+    ``results[i]`` is the value returned to the issuer of ``ops[i]``
+    (``None`` for stores); ``final`` maps each touched address to the
+    value the cell comes to contain.
+    """
+
+    results: tuple[Optional[int], ...]
+    final: Mapping[int, int]
+
+    def final_value(self, address: int) -> int:
+        return self.final[address]
+
+
+def apply_serially(
+    initial: Mapping[int, int],
+    ops: Sequence[Op],
+    order: Optional[Sequence[int]] = None,
+) -> BatchOutcome:
+    """Apply ``ops`` to memory ``initial`` in the given serial ``order``.
+
+    ``order`` is a permutation of ``range(len(ops))``; by default the
+    textual order is used.  Addresses absent from ``initial`` read as 0,
+    matching the simulators' zero-initialized shared memory.
+    """
+    if order is None:
+        order = range(len(ops))
+    memory = dict(initial)
+    results: list[Optional[int]] = [None] * len(ops)
+    for index in order:
+        op = ops[index]
+        old = memory.get(op.address, 0)
+        effect = op.apply(old)
+        memory[op.address] = effect.new_value
+        results[index] = effect.result
+    touched = {op.address for op in ops}
+    final = {addr: memory.get(addr, 0) for addr in touched}
+    return BatchOutcome(results=tuple(results), final=final)
+
+
+def all_serial_outcomes(
+    initial: Mapping[int, int], ops: Sequence[Op]
+) -> list[BatchOutcome]:
+    """Enumerate the distinct outcomes over every serial order of ``ops``.
+
+    Exponential in ``len(ops)``; intended for property tests on small
+    batches.  Operations on distinct addresses commute, so permutations
+    are only taken within each address group and the groups are combined
+    independently, which keeps realistic test batches tractable.
+    """
+    by_address: dict[int, list[int]] = {}
+    for i, op in enumerate(ops):
+        by_address.setdefault(op.address, []).append(i)
+
+    seen: set[tuple] = set()
+    outcomes: list[BatchOutcome] = []
+    group_perms = [
+        list(itertools.permutations(indices)) for indices in by_address.values()
+    ]
+    for combo in itertools.product(*group_perms):
+        order = [i for perm in combo for i in perm]
+        outcome = apply_serially(initial, ops, order)
+        key = (outcome.results, tuple(sorted(outcome.final.items())))
+        if key not in seen:
+            seen.add(key)
+            outcomes.append(outcome)
+    return outcomes
+
+
+def _normalized(outcome: BatchOutcome) -> tuple:
+    return (outcome.results, tuple(sorted(outcome.final.items())))
+
+
+def is_serializable(
+    initial: Mapping[int, int],
+    ops: Sequence[Op],
+    observed: BatchOutcome,
+) -> bool:
+    """Decide whether ``observed`` matches *some* serial order of ``ops``.
+
+    This is the acceptance test the serialization principle imposes on
+    any implementation (the paracomputer, the combining network, or a
+    single combining switch).  Brute force over per-address permutations;
+    use only on small batches.
+    """
+    want = _normalized(observed)
+    by_address: dict[int, list[int]] = {}
+    for i, op in enumerate(ops):
+        by_address.setdefault(op.address, []).append(i)
+    group_perms = [
+        list(itertools.permutations(indices)) for indices in by_address.values()
+    ]
+    for combo in itertools.product(*group_perms):
+        order = [i for perm in combo for i in perm]
+        if _normalized(apply_serially(initial, ops, order)) == want:
+            return True
+    return False
+
+
+def fetch_add_outcome_valid(
+    initial_value: int,
+    increments: Sequence[int],
+    results: Sequence[int],
+    final_value: int,
+) -> bool:
+    """Check a batch of fetch-and-adds on one cell without enumeration.
+
+    A batch of F&As with increments e_1..e_n serializes validly iff the
+    multiset of returned values equals the multiset of prefix sums of the
+    increments in *some* order, and the final value is the total sum.
+    When all increments are equal (the common shared-counter case) the
+    valid result multiset is exactly {V, V+e, ..., V+(n-1)e}; in general
+    an order is reconstructed by searching over operations whose
+    returned value equals the current cell value.
+    """
+    if len(increments) != len(results):
+        raise ValueError("increments and results must have equal length")
+    if final_value != initial_value + sum(increments):
+        return False
+
+    # Depth-first reconstruction with memoization: at each step, any
+    # not-yet-placed operation whose recorded result equals the current
+    # cell value may come next.  Ties need search (two ops with equal
+    # results but different increments), so plain greedy is not enough.
+    n = len(increments)
+    seen: set[tuple[frozenset[int], int]] = set()
+
+    def place(remaining: frozenset[int], value: int) -> bool:
+        if not remaining:
+            return value == final_value
+        key = (remaining, value)
+        if key in seen:
+            return False
+        seen.add(key)
+        tried: set[int] = set()
+        for i in remaining:
+            if results[i] != value or increments[i] in tried:
+                continue
+            tried.add(increments[i])  # equal increments are interchangeable
+            if place(remaining - {i}, value + increments[i]):
+                return True
+        return False
+
+    return place(frozenset(range(n)), initial_value)
+
+
+def serialize_batch(
+    memory: dict[int, int],
+    ops: Sequence[Op],
+    order: Iterable[int],
+) -> list[Optional[int]]:
+    """Apply ``ops`` in ``order`` directly onto a mutable ``memory`` dict.
+
+    This is the in-place workhorse used by the paracomputer's cycle loop;
+    it mutates ``memory`` and returns the per-op results positionally.
+    """
+    results: list[Optional[int]] = [None] * len(ops)
+    for index in order:
+        op = ops[index]
+        old = memory.get(op.address, 0)
+        effect = op.apply(old)
+        memory[op.address] = effect.new_value
+        results[index] = effect.result
+    return results
+
+
+@dataclass
+class SerializationWitness:
+    """Records, per cycle, batches applied and the order chosen.
+
+    Attached to the paracomputer when auditing is enabled so tests can
+    replay history and confirm every cycle obeyed the principle.
+    """
+
+    cycles: list[tuple[tuple[Op, ...], tuple[int, ...]]] = field(default_factory=list)
+
+    def record(self, ops: Sequence[Op], order: Sequence[int]) -> None:
+        self.cycles.append((tuple(ops), tuple(order)))
+
+    def replay(self, initial: Mapping[int, int]) -> dict[int, int]:
+        """Re-run the recorded history serially and return final memory."""
+        memory = dict(initial)
+        for ops, order in self.cycles:
+            serialize_batch(memory, ops, order)
+        return memory

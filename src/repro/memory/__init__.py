@@ -1,0 +1,22 @@
+"""Memory system: modules, address hashing, and the write-back cache."""
+
+from .hashing import (
+    AddressTranslation,
+    BlockedTranslation,
+    HashedTranslation,
+    InterleavedTranslation,
+    make_translation,
+    module_load_profile,
+)
+from .module import BankedMemory, MemoryModule
+
+__all__ = [
+    "AddressTranslation",
+    "BankedMemory",
+    "BlockedTranslation",
+    "HashedTranslation",
+    "InterleavedTranslation",
+    "MemoryModule",
+    "make_translation",
+    "module_load_profile",
+]

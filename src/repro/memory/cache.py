@@ -1,0 +1,361 @@
+"""The PE-local cache with ``release`` and ``flush`` (sections 3.2, 3.4).
+
+The Ultracomputer mitigates network latency by giving each PE a local
+memory "implemented as a cache", holding private variables and read-only
+shared data.  "Storing shared read-write data in the local memory of
+multiple PEs must, in general, be prohibited: the resulting memory
+incoherence would otherwise lead to violations of the serialization
+principle."  Two deliberate, software-directed escape hatches relax
+this:
+
+* ``release`` — "marks a cache entry as available without performing a
+  central memory update", used to discard dead private data (block-exit
+  locals) and to end read-only caching periods of shared data;
+* ``flush`` — "enables the PE to force a write-back of cached values",
+  needed before task switches and before spawning subtasks that will
+  read a variable the parent cached.
+
+The cache is write-back with write-allocate: "writes to the cache are
+not written through to central memory; instead, when a cache miss occurs
+and eviction is necessary, updated words within the evicted block are
+written to central memory."  Dirtiness is tracked per word so exactly
+the updated words generate traffic, as the paper specifies.
+
+The cache is parameterized by a backing store (two callables), so it
+runs against a :class:`~repro.memory.module.MemoryModule`, a machine's
+``peek``/``poke``, or a plain dict in tests.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+ReadFn = Callable[[int], int]
+WriteFn = Callable[[int, int], None]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named address range with a cacheability attribute.
+
+    Cacheability is software-managed (section 3.4's protocol): private
+    segments and read-only shared segments are cacheable; shared
+    read-write segments are not, except during declared read-only
+    phases.
+    """
+
+    name: str
+    base: int
+    length: int
+    cacheable: bool = True
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.length
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    write_backs: int = 0  # dirty words written to central memory
+    fills: int = 0  # words fetched from central memory
+    uncacheable_reads: int = 0
+    uncacheable_writes: int = 0
+    releases: int = 0
+    flushes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @property
+    def memory_traffic_words(self) -> int:
+        """Words moved to/from central memory on the cache's behalf."""
+        return (
+            self.write_backs
+            + self.fills
+            + self.uncacheable_reads
+            + self.uncacheable_writes
+        )
+
+
+class _Line:
+    """One cache line: a block of words with per-word dirty bits."""
+
+    __slots__ = ("words", "dirty")
+
+    def __init__(self, words: list[int]) -> None:
+        self.words = words
+        self.dirty = [False] * len(words)
+
+
+class WriteBackCache:
+    """A fully-associative LRU write-back cache with release/flush.
+
+    Parameters
+    ----------
+    capacity_lines:
+        Number of lines the cache holds.
+    line_size:
+        Words per line (block).  Misses fill whole lines; evictions
+        write back only dirty words.
+    read_backing / write_backing:
+        Central-memory access functions.
+    """
+
+    def __init__(
+        self,
+        capacity_lines: int,
+        line_size: int,
+        read_backing: ReadFn,
+        write_backing: WriteFn,
+    ) -> None:
+        if capacity_lines < 1 or line_size < 1:
+            raise ValueError("capacity_lines and line_size must be positive")
+        self.capacity_lines = capacity_lines
+        self.line_size = line_size
+        self._read_backing = read_backing
+        self._write_backing = write_backing
+        self._lines: OrderedDict[int, _Line] = OrderedDict()
+        self.segments: list[Segment] = []
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # segment management (software cacheability protocol)
+    # ------------------------------------------------------------------
+    def add_segment(self, segment: Segment) -> None:
+        self.segments.append(segment)
+
+    def set_cacheable(self, name: str, cacheable: bool) -> Segment:
+        """Flip a segment's cacheability (the "marked shared" step of
+        section 3.4's spawn protocol).  Returns the new segment record."""
+        for i, segment in enumerate(self.segments):
+            if segment.name == name:
+                updated = Segment(
+                    name=segment.name,
+                    base=segment.base,
+                    length=segment.length,
+                    cacheable=cacheable,
+                )
+                self.segments[i] = updated
+                return updated
+        raise KeyError(f"no segment named {name!r}")
+
+    def is_cacheable(self, address: int) -> bool:
+        """Whether the software segment table permits caching this word."""
+        for segment in self.segments:
+            if segment.contains(address):
+                return segment.cacheable
+        return True  # unsegmented addresses default to cacheable
+
+    # retained as the internal spelling used throughout the class
+    _cacheable = is_cacheable
+
+    def _segment_range(self, name: Optional[str]) -> Optional[tuple[int, int]]:
+        if name is None:
+            return None
+        for segment in self.segments:
+            if segment.name == name:
+                return (segment.base, segment.base + segment.length)
+        raise KeyError(f"no segment named {name!r}")
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def _tag_and_offset(self, address: int) -> tuple[int, int]:
+        return address // self.line_size, address % self.line_size
+
+    def _touch(self, tag: int) -> _Line:
+        line = self._lines.pop(tag)
+        self._lines[tag] = line
+        return line
+
+    def _evict_one(self) -> None:
+        tag, line = self._lines.popitem(last=False)  # LRU
+        base = tag * self.line_size
+        for offset, dirty in enumerate(line.dirty):
+            if dirty:
+                self._write_backing(base + offset, line.words[offset])
+                self.stats.write_backs += 1
+
+    def _fill(self, tag: int) -> _Line:
+        if len(self._lines) >= self.capacity_lines:
+            self._evict_one()
+        base = tag * self.line_size
+        words = [self._read_backing(base + offset) for offset in range(self.line_size)]
+        self.stats.fills += self.line_size
+        line = _Line(words)
+        self._lines[tag] = line
+        return line
+
+    def read(self, address: int) -> int:
+        if not self._cacheable(address):
+            self.stats.uncacheable_reads += 1
+            return self._read_backing(address)
+        tag, offset = self._tag_and_offset(address)
+        if tag in self._lines:
+            self.stats.hits += 1
+            return self._touch(tag).words[offset]
+        self.stats.misses += 1
+        return self._fill(tag).words[offset]
+
+    def write(self, address: int, value: int) -> None:
+        if not self._cacheable(address):
+            self.stats.uncacheable_writes += 1
+            self._write_backing(address, value)
+            return
+        tag, offset = self._tag_and_offset(address)
+        if tag in self._lines:
+            self.stats.hits += 1
+            line = self._touch(tag)
+        else:
+            self.stats.misses += 1
+            line = self._fill(tag)  # write-allocate
+        line.words[offset] = value
+        line.dirty[offset] = True
+
+    # ------------------------------------------------------------------
+    # asynchronous-backing interface (used by the machine integration,
+    # where a miss is a network round trip the caller performs itself)
+    # ------------------------------------------------------------------
+    def probe(self, address: int) -> tuple[bool, Optional[int]]:
+        """Hit test without touching the backing store.
+
+        Returns ``(hit, value)``; a hit refreshes LRU recency.  The
+        cached-PE driver uses probe/install instead of read/write so a
+        miss can be satisfied by an explicit network round trip.
+        """
+        if not self._cacheable(address):
+            return False, None
+        tag, offset = self._tag_and_offset(address)
+        if tag not in self._lines:
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, self._touch(tag).words[offset]
+
+    def install(
+        self, address: int, value: int, *, dirty: bool = False
+    ) -> list[tuple[int, int]]:
+        """Place one word in the cache without reading the backing store.
+
+        Only supported at ``line_size == 1`` (word-granularity caching,
+        the configuration the machine integration uses).  Returns the
+        dirty (address, value) pairs evicted to make room — the caller
+        is responsible for writing them to central memory.
+        """
+        if self.line_size != 1:
+            raise ValueError("install() requires line_size == 1")
+        evicted: list[tuple[int, int]] = []
+        tag, _ = self._tag_and_offset(address)
+        if tag not in self._lines and len(self._lines) >= self.capacity_lines:
+            victim_tag, line = self._lines.popitem(last=False)
+            if line.dirty[0]:
+                evicted.append((victim_tag * self.line_size, line.words[0]))
+                self.stats.write_backs += 1
+        if tag in self._lines:
+            line = self._touch(tag)
+            line.words[0] = value
+            line.dirty[0] = line.dirty[0] or dirty
+        else:
+            line = _Line([value])
+            line.dirty[0] = dirty
+            self._lines[tag] = line
+        return evicted
+
+    def invalidate(
+        self, address: int, *, write_back: bool = True
+    ) -> Optional[tuple[int, int]]:
+        """Drop one word's line; returns the (address, value) to write
+        back if it was dirty and ``write_back`` is requested.
+
+        The cached-PE driver invalidates before any read-modify-write
+        operation on the address, keeping the MNI's atomic update the
+        single point of truth (the coherence discipline of section 3.2).
+        """
+        tag, offset = self._tag_and_offset(address)
+        line = self._lines.pop(tag, None)
+        if line is None:
+            return None
+        if write_back and line.dirty[offset]:
+            self.stats.write_backs += 1
+            return (tag * self.line_size + offset, line.words[offset])
+        return None
+
+    # ------------------------------------------------------------------
+    # release and flush
+    # ------------------------------------------------------------------
+    def release(self, segment: Optional[str] = None) -> int:
+        """Drop entries *without* write-back; returns lines released.
+
+        "The release command marks a cache entry as available without
+        performing a central memory update" — correct only for data the
+        program knows is dead or unmodified; misuse silently loses
+        writes, which the coherence tests demonstrate on purpose.
+        """
+        bounds = self._segment_range(segment)
+        dropped = 0
+        for tag in list(self._lines):
+            if self._line_in(bounds, tag):
+                del self._lines[tag]
+                dropped += 1
+        self.stats.releases += dropped
+        return dropped
+
+    def flush(self, segment: Optional[str] = None) -> int:
+        """Write dirty words back (entries stay resident, now clean);
+        returns words written.  Matches the task-switch requirement:
+        "a blocked task may be rescheduled on a different PE"."""
+        bounds = self._segment_range(segment)
+        written = 0
+        for tag, line in self._lines.items():
+            if not self._line_in(bounds, tag):
+                continue
+            base = tag * self.line_size
+            for offset, dirty in enumerate(line.dirty):
+                if dirty:
+                    self._write_backing(base + offset, line.words[offset])
+                    line.dirty[offset] = False
+                    written += 1
+        self.stats.write_backs += written
+        self.stats.flushes += 1
+        return written
+
+    def _line_in(self, bounds: Optional[tuple[int, int]], tag: int) -> bool:
+        if bounds is None:
+            return True
+        base = tag * self.line_size
+        return bounds[0] <= base < bounds[1] or bounds[0] < base + self.line_size <= bounds[1]
+
+    # ------------------------------------------------------------------
+    @property
+    def resident_lines(self) -> int:
+        return len(self._lines)
+
+    def dirty_words(self) -> int:
+        return sum(sum(line.dirty) for line in self._lines.values())
+
+    def contains(self, address: int) -> bool:
+        tag, _ = self._tag_and_offset(address)
+        return tag in self._lines
+
+
+def spawn_protocol(cache: WriteBackCache, segment: str) -> None:
+    """The section 3.4 parent-task protocol before spawning subtasks.
+
+    "Prior to spawning these subtasks, T may treat V as private ...
+    providing that V is flushed, released, and marked shared immediately
+    before the subtasks are spawned."
+    """
+    cache.flush(segment)
+    cache.release(segment)
+    cache.set_cacheable(segment, False)
+
+
+def reclaim_protocol(cache: WriteBackCache, segment: str) -> None:
+    """After subtasks complete, the parent "may again consider V as
+    private and eligible for caching"."""
+    cache.set_cacheable(segment, True)

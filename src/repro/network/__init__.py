@@ -1,0 +1,45 @@
+"""The combining Omega network: topology, switches, queues, interfaces."""
+
+from .circuit import CircuitStats, CircuitSwitchedOmega, sustained_throughput
+from .interfaces import MNI, PNI, OutstandingConflictError, ReplyRecord
+from .message import Message, PACKETS_WITH_DATA, PACKETS_WITHOUT_DATA
+from .omega import NetworkConfig, OmegaNetwork
+from .switch import Switch, SwitchStats
+from .systolic_queue import (
+    CombiningQueue,
+    InsertOutcome,
+    QueueFullError,
+    SystolicExit,
+    SystolicQueue,
+)
+from .topology import Hop, OmegaTopology, digits_of, from_digits
+from .wait_buffer import WaitBuffer, WaitBufferFullError, WaitRecord
+
+__all__ = [
+    "CircuitStats",
+    "CircuitSwitchedOmega",
+    "CombiningQueue",
+    "sustained_throughput",
+    "Hop",
+    "InsertOutcome",
+    "MNI",
+    "Message",
+    "NetworkConfig",
+    "OmegaNetwork",
+    "OmegaTopology",
+    "OutstandingConflictError",
+    "PACKETS_WITHOUT_DATA",
+    "PACKETS_WITH_DATA",
+    "PNI",
+    "QueueFullError",
+    "ReplyRecord",
+    "Switch",
+    "SwitchStats",
+    "SystolicExit",
+    "SystolicQueue",
+    "WaitBuffer",
+    "WaitBufferFullError",
+    "WaitRecord",
+    "digits_of",
+    "from_digits",
+]

@@ -1,0 +1,174 @@
+"""The rejected alternative: a circuit-switched, drop-on-conflict network.
+
+Section 3.1.2 justifies the Ultracomputer's queued message switching by
+contrast with two alternatives:
+
+* circuit switching, which "is incompatible with pipelining" — a
+  request holds its entire switch path for the whole memory round trip;
+* "the alternative adopted by Burroughs [79] of killing one of the two
+  conflicting requests", which "also limits bandwidth to O(N/log N)".
+
+This module implements that rejected design faithfully enough to be the
+quantitative baseline for the paper's bandwidth claim: each request must
+acquire every output port along its unique Omega path simultaneously;
+conflicting requests are killed (the loser retries after a randomized
+backoff); a granted circuit is held for the full round trip
+(2·stages + memory latency cycles).  Aggregate throughput therefore
+tops out near N / log N messages per transit — which the BW ablation
+benchmark measures against the pipelined combining network.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from .topology import OmegaTopology
+
+
+@dataclass
+class CircuitRequest:
+    """One outstanding circuit-switched memory request."""
+
+    pe: int
+    mm: int
+    issued_cycle: int
+    attempts: int = 0
+    retry_at: int = 0
+    granted_at: Optional[int] = None
+    completes_at: Optional[int] = None
+
+
+@dataclass
+class CircuitStats:
+    requests: int = 0
+    completed: int = 0
+    kills: int = 0
+    total_latency: int = 0
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency / self.completed if self.completed else 0.0
+
+    @property
+    def mean_attempts(self) -> float:
+        if self.completed == 0:
+            return 0.0
+        return (self.completed + self.kills) / self.completed
+
+
+class CircuitSwitchedOmega:
+    """Cycle-level model of the unbuffered, kill-on-conflict network.
+
+    Usage: :meth:`submit` a (pe, mm) request (one outstanding per PE,
+    as with the real PNI), then :meth:`step` each cycle; completions are
+    returned as they finish.
+    """
+
+    def __init__(
+        self,
+        n_ports: int,
+        k: int = 2,
+        *,
+        mm_latency: int = 2,
+        max_backoff: int = 4,
+        seed: int = 0,
+    ) -> None:
+        self.topology = OmegaTopology(n_ports, k)
+        self.mm_latency = mm_latency
+        self.max_backoff = max_backoff
+        self._rng = random.Random(seed)
+        self.cycle = 0
+        #: output-port occupancy: (stage, switch, port) -> free-at cycle
+        self._port_free: dict[tuple[int, int, int], int] = {}
+        self._pending: dict[int, CircuitRequest] = {}  # by PE
+        self.stats = CircuitStats()
+
+    @property
+    def circuit_hold_time(self) -> int:
+        """Cycles a granted circuit is held: the full round trip."""
+        return 2 * self.topology.stages + self.mm_latency
+
+    # ------------------------------------------------------------------
+    def submit(self, pe: int, mm: int) -> None:
+        if pe in self._pending:
+            raise ValueError(f"PE {pe} already has an outstanding request")
+        self._pending[pe] = CircuitRequest(pe=pe, mm=mm, issued_cycle=self.cycle)
+        self.stats.requests += 1
+
+    def outstanding(self, pe: int) -> bool:
+        return pe in self._pending
+
+    def _path_ports(self, pe: int, mm: int) -> list[tuple[int, int, int]]:
+        return [
+            (hop.stage, hop.switch, hop.out_port)
+            for hop in self.topology.forward_path(pe, mm)
+        ]
+
+    def step(self) -> list[CircuitRequest]:
+        """Advance one cycle; returns requests completing this cycle.
+
+        Contending attempts are resolved in a random order each cycle:
+        the first claimant of every port on its path wins; any request
+        finding a port taken is killed and backs off — the
+        Burroughs-style conflict rule.
+        """
+        completed: list[CircuitRequest] = []
+        for pe, request in list(self._pending.items()):
+            if request.completes_at is not None and self.cycle >= request.completes_at:
+                self.stats.completed += 1
+                self.stats.total_latency += self.cycle - request.issued_cycle
+                completed.append(request)
+                del self._pending[pe]
+
+        attempts = [
+            r
+            for r in self._pending.values()
+            if r.granted_at is None and self.cycle >= r.retry_at
+        ]
+        self._rng.shuffle(attempts)
+        claimed: set[tuple[int, int, int]] = set()
+        for request in attempts:
+            request.attempts += 1
+            ports = self._path_ports(request.pe, request.mm)
+            free = all(
+                self._port_free.get(port, 0) <= self.cycle and port not in claimed
+                for port in ports
+            )
+            if free:
+                hold_until = self.cycle + self.circuit_hold_time
+                for port in ports:
+                    self._port_free[port] = hold_until
+                    claimed.add(port)
+                request.granted_at = self.cycle
+                request.completes_at = hold_until
+            else:
+                self.stats.kills += 1
+                request.retry_at = self.cycle + 1 + self._rng.randrange(
+                    self.max_backoff
+                )
+        self.cycle += 1
+        return completed
+
+
+def sustained_throughput(
+    n_ports: int,
+    cycles: int,
+    *,
+    k: int = 2,
+    seed: int = 0,
+) -> float:
+    """Saturating-load throughput (messages/cycle): every PE re-submits
+    a uniformly random request the moment its previous one completes."""
+    network = CircuitSwitchedOmega(n_ports, k, seed=seed)
+    rng = random.Random(seed + 1)
+    for pe in range(n_ports):
+        network.submit(pe, rng.randrange(n_ports))
+    completed = 0
+    for _ in range(cycles):
+        finished = network.step()
+        completed += len(finished)
+        for request in finished:
+            network.submit(request.pe, rng.randrange(n_ports))
+    return completed / cycles

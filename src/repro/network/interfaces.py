@@ -1,0 +1,264 @@
+"""Processor and memory network interfaces (section 3.4).
+
+The PNI (processor-network interface) performs "virtual to physical
+address translation, assembly/disassembly of memory requests,
+enforcement of the network pipeline policy, and cache management"; the
+MNI (memory-network interface) is "much simpler, performing only request
+assembly/disassembly and the additions operation necessary to support
+fetch-and-add".
+
+Cache management lives in :mod:`repro.memory.cache`; this module
+implements the other three PNI functions and the complete MNI:
+
+* tag assignment and reply matching;
+* the pipelining policy, including the rule that "the PNI is to prohibit
+  a PE from having more than one outstanding reference to the same
+  memory location" (the wait buffers rely on it) and a configurable
+  outstanding-request window;
+* translation through a pluggable
+  :class:`~repro.memory.hashing.AddressTranslation`;
+* MNI request assembly (a message of p packets is complete p-1 cycles
+  after its head arrives) and the fetch-and-add adder, realized by
+  applying the operation atomically at the module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..core.memory_ops import Op
+from ..memory.hashing import AddressTranslation
+from ..memory.module import MemoryModule
+from .message import Message
+from .topology import OmegaTopology
+
+_tag_counter = itertools.count(1)
+
+
+class OutstandingConflictError(RuntimeError):
+    """A PE tried to issue a second reference to an outstanding location."""
+
+
+@dataclass
+class ReplyRecord:
+    """A completed request as seen by the PE side."""
+
+    tag: int
+    op: Op
+    value: Optional[int]
+    issued_cycle: int
+    completed_cycle: int
+
+    @property
+    def round_trip(self) -> int:
+        return self.completed_cycle - self.issued_cycle
+
+
+class PNI:
+    """Processor-network interface for one PE.
+
+    Parameters
+    ----------
+    pe_id:
+        The PE (and network input line) this interface serves.
+    topology:
+        Network wiring, used to precompute route digits.
+    translation:
+        Virtual-to-physical map; the message carries the module-internal
+        offset so MNIs apply operations locally.
+    max_outstanding:
+        Pipeline window; ``None`` allows unlimited outstanding requests
+        (useful with prefetch-heavy PE models), 1 models a blocking PE.
+    """
+
+    def __init__(
+        self,
+        pe_id: int,
+        topology: OmegaTopology,
+        translation: AddressTranslation,
+        *,
+        max_outstanding: Optional[int] = None,
+    ) -> None:
+        self.pe_id = pe_id
+        self.topology = topology
+        self.translation = translation
+        self.max_outstanding = max_outstanding
+        self.outbound: deque[Message] = deque()
+        self._outstanding_cells: set[tuple[int, int]] = set()
+        self._outstanding_tags: dict[int, Message] = {}
+        self.completed: deque[ReplyRecord] = deque()
+        self._link_busy_until = 0
+        # statistics
+        self.requests_issued = 0
+        self.replies_received = 0
+        self.total_round_trip = 0
+
+    # ------------------------------------------------------------------
+    # PE-side API
+    # ------------------------------------------------------------------
+    def can_issue(self, op: Op) -> bool:
+        if (
+            self.max_outstanding is not None
+            and len(self._outstanding_tags) + len(self.outbound) >= self.max_outstanding
+        ):
+            return False
+        return self.translation.translate(op.address) not in self._outstanding_cells
+
+    def issue(self, op: Op, cycle: int) -> int:
+        """Assemble and enqueue a request; returns its tag.
+
+        Raises :class:`OutstandingConflictError` on a same-location
+        conflict — callers use :meth:`can_issue` to stall instead, but
+        the hard error catches protocol bugs in PE models.
+        """
+        module, offset = self.translation.translate(op.address)
+        cell = (module, offset)
+        if cell in self._outstanding_cells:
+            raise OutstandingConflictError(
+                f"PE {self.pe_id} already has an outstanding reference to "
+                f"module {module} offset {offset}"
+            )
+        physical_op = dataclasses.replace(op, address=offset)
+        tag = next(_tag_counter)
+        message = Message(
+            op=physical_op,
+            mm=module,
+            offset=offset,
+            origin=self.pe_id,
+            tag=tag,
+            digits=self.topology.route_digits(module),
+            issued_cycle=cycle,
+        )
+        self.outbound.append(message)
+        self._outstanding_cells.add(cell)
+        self._outstanding_tags[tag] = message
+        self.requests_issued += 1
+        return tag
+
+    def outstanding(self) -> int:
+        return len(self._outstanding_tags)
+
+    # ------------------------------------------------------------------
+    # network-side operation
+    # ------------------------------------------------------------------
+    def tick_outbound(self, cycle: int, inject: Callable[[int, Message], bool]) -> None:
+        """Push the head request into stage 0 when the link is free."""
+        if not self.outbound or cycle < self._link_busy_until:
+            return
+        head = self.outbound[0]
+        if inject(self.pe_id, head):
+            self.outbound.popleft()
+            self._link_busy_until = cycle + head.packets
+
+    def deliver_reply(self, message: Message, cycle: int) -> bool:
+        """Accept a reply from stage 0 (the PE side always has room)."""
+        original = self._outstanding_tags.pop(message.tag, None)
+        if original is None:
+            raise AssertionError(
+                f"PNI {self.pe_id} received reply with unknown tag {message.tag}"
+            )
+        self._outstanding_cells.discard((original.mm, original.offset))
+        record = ReplyRecord(
+            tag=message.tag,
+            op=original.op,
+            value=message.value,
+            issued_cycle=original.issued_cycle,
+            completed_cycle=cycle,
+        )
+        self.completed.append(record)
+        self.replies_received += 1
+        self.total_round_trip += record.round_trip
+        return True
+
+    def pop_reply(self) -> Optional[ReplyRecord]:
+        return self.completed.popleft() if self.completed else None
+
+    @property
+    def mean_round_trip(self) -> float:
+        if self.replies_received == 0:
+            return 0.0
+        return self.total_round_trip / self.replies_received
+
+
+class MNI:
+    """Memory-network interface fronting one memory module.
+
+    Assembles arriving requests (multi-packet messages complete
+    ``packets - 1`` cycles after the head arrives), applies each
+    operation atomically at the module — this is where the paper's MNI
+    adder performs the fetch-and-add — and disassembles replies back
+    into the network.
+    """
+
+    def __init__(
+        self,
+        module: MemoryModule,
+        *,
+        inbound_capacity_packets: Optional[int] = None,
+    ) -> None:
+        self.module = module
+        self.inbound_capacity_packets = inbound_capacity_packets
+        self._inbound: deque[tuple[Message, int]] = deque()  # (message, ready cycle)
+        self._inbound_packets = 0
+        self._in_service: Optional[tuple[Message, int]] = None  # (message, done cycle)
+        self.outbound: deque[Message] = deque()
+        self._link_busy_until = 0
+        # statistics
+        self.requests_served = 0
+        self.busy_cycles = 0
+
+    # ------------------------------------------------------------------
+    # network-facing intake
+    # ------------------------------------------------------------------
+    def offer_inbound(self, message: Message, cycle: int) -> bool:
+        if (
+            self.inbound_capacity_packets is not None
+            and self._inbound_packets + message.packets > self.inbound_capacity_packets
+        ):
+            return False
+        ready = cycle + max(0, message.packets - 1)
+        self._inbound.append((message, ready))
+        self._inbound_packets += message.packets
+        return True
+
+    # ------------------------------------------------------------------
+    # service
+    # ------------------------------------------------------------------
+    def tick(self, cycle: int) -> None:
+        """Complete / start one memory access (serial server)."""
+        if self._in_service is not None:
+            message, done = self._in_service
+            if cycle >= done:
+                effect = self.module.apply(message.op)
+                value = effect.result if message.op.expects_value else None
+                self.outbound.append(message.make_reply(value))
+                self.module.accesses += 1
+                self.requests_served += 1
+                self._in_service = None
+
+        if self._in_service is None and self._inbound:
+            message, ready = self._inbound[0]
+            if cycle >= ready:
+                self._inbound.popleft()
+                self._inbound_packets -= message.packets
+                self._in_service = (message, cycle + self.module.latency)
+
+        if self._in_service is not None:
+            self.busy_cycles += 1
+
+    def tick_outbound(self, cycle: int, inject: Callable[[int, Message], bool]) -> None:
+        """Push the head reply back into the last network stage."""
+        if not self.outbound or cycle < self._link_busy_until:
+            return
+        head = self.outbound[0]
+        if inject(self.module.index, head):
+            self.outbound.popleft()
+            self._link_busy_until = cycle + head.packets
+
+    @property
+    def pending(self) -> int:
+        return len(self._inbound) + (1 if self._in_service else 0) + len(self.outbound)

@@ -1,0 +1,135 @@
+"""Network messages and the amalgamated return-address scheme.
+
+Section 3.1.1 observes that a message-switched Omega network need not
+carry both the origin and destination addresses: "When a message first
+enters the network, its origin is determined by the input port, so only
+the destination address is needed.  Switches at the j-th stage route
+messages based on bit mj and then replace this bit with the PE number bit
+pj, which equals the number of the input port on which the message
+arrived.  Thus, when the message reaches its destination, the return
+address is available."
+
+:class:`Message` realizes that scheme with a mutable digit vector (base
+``k`` for k-by-k switches).  Packet accounting follows the paper's
+simulation model (section 4.2): a message is one packet if it carries no
+data word and three packets otherwise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.memory_ops import Op
+
+#: Packet sizes from the paper's network simulation (section 4.2).
+PACKETS_WITHOUT_DATA = 1
+PACKETS_WITH_DATA = 3
+
+_message_ids = itertools.count()
+
+
+def packets_for(carries_data: bool) -> int:
+    return PACKETS_WITH_DATA if carries_data else PACKETS_WITHOUT_DATA
+
+
+@dataclass
+class Message:
+    """A request or reply traversing the network.
+
+    Attributes
+    ----------
+    op:
+        The memory operation being transported.  For replies this is the
+        operation that was *performed* at the MNI (which, after
+        combining, may differ in kind from what the original PE issued;
+        PNIs match replies by ``tag``, never by kind).
+    mm:
+        Destination memory-module number (requests) / origin module
+        (replies); kept for statistics and assertions.
+    offset:
+        Address within the module.
+    origin:
+        Issuing PE number; carried for bookkeeping and trace legibility —
+        the routing hardware only ever uses :attr:`digits`.
+    tag:
+        Unique identifier assigned by the PNI; wait buffers and PNIs key
+        on it.
+    digits:
+        The amalgam address, most-significant digit first.  On the
+        forward path, stage ``s`` routes on ``digits[s]`` and overwrites
+        it with the arrival port; on the return path, stage ``s`` routes
+        on ``digits[s]``.
+    is_reply:
+        Direction flag.
+    value:
+        Data word carried by a reply (None for store acknowledgements).
+    combine_depth:
+        How many pairwise combines formed this request (0 for a pristine
+        request); statistics only.
+    """
+
+    op: Op
+    mm: int
+    offset: int
+    origin: int
+    tag: int
+    digits: list[int]
+    is_reply: bool = False
+    value: Optional[int] = None
+    combine_depth: int = 0
+    issued_cycle: int = 0
+    uid: int = field(default_factory=lambda: next(_message_ids))
+
+    @property
+    def packets(self) -> int:
+        """Packets occupied on a link / in a queue (section 4.2 model)."""
+        if self.is_reply:
+            return packets_for(self.value is not None)
+        return packets_for(self.op.carries_data)
+
+    def route_digit(self, stage: int) -> int:
+        return self.digits[stage]
+
+    def record_arrival_port(self, stage: int, port: int) -> None:
+        """Overwrite the consumed destination digit with the origin digit."""
+        self.digits[stage] = port
+
+    def make_reply(self, value: Optional[int]) -> "Message":
+        """Turn this request around at the memory side (MNI action).
+
+        The digit vector at this point holds the origin amalgam written
+        by the switches, so the reply can reuse it unchanged.
+        """
+        return Message(
+            op=self.op,
+            mm=self.mm,
+            offset=self.offset,
+            origin=self.origin,
+            tag=self.tag,
+            digits=list(self.digits),
+            is_reply=True,
+            value=value,
+            combine_depth=self.combine_depth,
+            issued_cycle=self.issued_cycle,
+        )
+
+    def combining_key(self) -> tuple[int, int]:
+        """Queue-search key: the memory cell this request targets.
+
+        The paper keys on (function, MM number, internal address); we key
+        on the cell and let :func:`repro.core.combining.try_combine`
+        decide function compatibility, which subsumes the paper's
+        homogeneous-function restriction and its heterogeneous
+        extensions.
+        """
+        return (self.mm, self.offset)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        direction = "reply" if self.is_reply else "req"
+        return (
+            f"<Message {direction} tag={self.tag} op={self.op.kind.value} "
+            f"mm={self.mm} off={self.offset} origin={self.origin} "
+            f"digits={self.digits} value={self.value}>"
+        )

@@ -1,0 +1,171 @@
+"""The pipelined, message-switched combining Omega network (section 3.1).
+
+Assembles D stages of :class:`~repro.network.switch.Switch` with k-ary
+perfect-shuffle wiring, achieving the paper's five design objectives:
+
+1. bandwidth linear in N (pipelining + queues + combining);
+2. latency logarithmic in N (D = log_k N stages, one cycle per stage
+   when queues are empty);
+3. O(N log N) identical components;
+4. routing decisions local to each switch (destination-digit routing);
+5. no performance penalty for concurrent access to a single cell
+   (pairwise combining at every stage).
+
+The network proper owns only the switches and the wiring; endpoints
+(PNIs on the PE side, MNIs on the memory side) are connected through
+sink callbacks so the same network serves the full machine, the
+synthetic-traffic benchmarks, and the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .message import Message
+from .switch import Switch
+from .topology import OmegaTopology
+
+#: Endpoint sinks: called with (endpoint index, message); return True to
+#: accept the message this cycle.
+Sink = Callable[[int, Message], bool]
+
+
+@dataclass
+class NetworkConfig:
+    """Knobs of a network instance (the k/m/d space of section 4).
+
+    ``queue_capacity_packets=None`` models the infinite queues of the
+    analytic study; the paper's simulations use 15 packets.  ``copies``
+    (the d of section 4.1) is realized by the machine layer instantiating
+    several networks and striping traffic across them.
+    """
+
+    n_ports: int
+    k: int = 2
+    queue_capacity_packets: Optional[int] = None
+    wait_buffer_capacity: Optional[int] = None
+    combining: bool = True
+    pairwise_only: bool = True
+
+
+class OmegaNetwork:
+    """D-stage combining Omega network between N PEs and N MMs."""
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        self.topology = OmegaTopology(config.n_ports, config.k)
+        self.stages: list[list[Switch]] = [
+            [
+                Switch(
+                    config.k,
+                    stage,
+                    index,
+                    queue_capacity_packets=config.queue_capacity_packets,
+                    wait_buffer_capacity=config.wait_buffer_capacity,
+                    combining=config.combining,
+                    pairwise_only=config.pairwise_only,
+                )
+                for index in range(self.topology.switches_per_stage)
+            ]
+            for stage in range(self.topology.stages)
+        ]
+        self.mm_sink: Optional[Sink] = None
+        self.pe_sink: Optional[Sink] = None
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # endpoint attachment
+    # ------------------------------------------------------------------
+    def connect(self, *, mm_sink: Sink, pe_sink: Sink) -> None:
+        self.mm_sink = mm_sink
+        self.pe_sink = pe_sink
+
+    # ------------------------------------------------------------------
+    # injection (PNI -> stage 0, MNI -> stage D-1)
+    # ------------------------------------------------------------------
+    def offer_request(self, pe: int, message: Message) -> bool:
+        """Inject a request from PE ``pe`` into the first stage."""
+        switch_index, in_port = self.topology.stage_input(pe)
+        return self.stages[0][switch_index].offer_forward(
+            in_port, message, self.cycle
+        )
+
+    def offer_reply(self, mm: int, message: Message) -> bool:
+        """Inject a reply from MM ``mm`` into the last stage."""
+        last = self.topology.stages - 1
+        switch_index, mm_port = divmod(mm, self.topology.k)
+        return self.stages[last][switch_index].offer_return(
+            mm_port, message, self.cycle
+        )
+
+    # ------------------------------------------------------------------
+    # cycle advance
+    # ------------------------------------------------------------------
+    def step_forward(self) -> None:
+        """Move requests one hop toward memory (downstream stages first,
+        so a message advances at most one stage per cycle while freed
+        queue slots are reusable within the cycle — full pipelining)."""
+        if self.mm_sink is None:
+            raise RuntimeError("network endpoints not connected")
+        topo = self.topology
+        last = topo.stages - 1
+        for stage in range(last, -1, -1):
+            for switch in self.stages[stage]:
+                if stage == last:
+                    def deliver(out_port: int, msg: Message, _sw: Switch = switch) -> bool:
+                        mm = topo.stage_output_line(_sw.index, out_port)
+                        return self.mm_sink(mm, msg)  # type: ignore[misc]
+                else:
+                    def deliver(out_port: int, msg: Message, _sw: Switch = switch, _stage: int = stage) -> bool:
+                        line = topo.stage_output_line(_sw.index, out_port)
+                        next_switch, next_port = topo.stage_input(line)
+                        return self.stages[_stage + 1][next_switch].offer_forward(
+                            next_port, msg, self.cycle
+                        )
+                switch.tick_forward(self.cycle, deliver)
+
+    def step_return(self) -> None:
+        """Move replies one hop toward the PEs (PE-side stages first)."""
+        if self.pe_sink is None:
+            raise RuntimeError("network endpoints not connected")
+        topo = self.topology
+        for stage in range(topo.stages):
+            for switch in self.stages[stage]:
+                if stage == 0:
+                    def deliver(out_port: int, msg: Message, _sw: Switch = switch) -> bool:
+                        pe = topo.unshuffle(_sw.index * topo.k + out_port)
+                        return self.pe_sink(pe, msg)  # type: ignore[misc]
+                else:
+                    def deliver(out_port: int, msg: Message, _sw: Switch = switch, _stage: int = stage) -> bool:
+                        line = topo.unshuffle(_sw.index * topo.k + out_port)
+                        prev_switch, mm_port = divmod(line, topo.k)
+                        return self.stages[_stage - 1][prev_switch].offer_return(
+                            mm_port, msg, self.cycle
+                        )
+                switch.tick_return(self.cycle, deliver)
+
+    def advance_cycle(self) -> None:
+        self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_messages(self) -> int:
+        return sum(
+            switch.pending_messages() for row in self.stages for switch in row
+        )
+
+    def pending_wait_records(self) -> int:
+        return sum(
+            switch.pending_wait_records() for row in self.stages for switch in row
+        )
+
+    def total_combines(self) -> int:
+        return sum(switch.stats.combines for row in self.stages for switch in row)
+
+    def total_decombines(self) -> int:
+        return sum(switch.stats.decombines for row in self.stages for switch in row)
+
+    def is_drained(self) -> bool:
+        return self.pending_messages() == 0 and self.pending_wait_records() == 0

@@ -1,0 +1,262 @@
+"""The combining network switch (section 3.3).
+
+A switch is "essentially a 2x2 bidirectional routing device transmitting
+a message from its input ports to the appropriate output port on the
+opposite side", generalized here to k-by-k.  It is partitioned — as the
+paper prescribes — into two essentially independent unidirectional
+components:
+
+* the **forward (ToMM) component**: one combining queue per MM-side
+  output port, where requests are routed by destination digit, searched
+  for combinable partners on insertion, and the decombining information
+  of each combined pair is deposited in a wait buffer;
+* the **return (ToPE) component**: one plain FIFO per PE-side output
+  port; each returning request is routed by the recorded origin digit
+  and simultaneously used to search the relevant wait buffer, a hit
+  producing the second reply of a combined pair.
+
+Timing model: queues advance one message per cycle when the downstream
+structure has room, and each output link is occupied for the message's
+packet count (the time-multiplexing factor m of section 4), with
+cut-through so an unqueued message suffers only one cycle of switch
+delay — "the delay at each switch is only one cycle if the queues are
+empty".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .message import Message
+from .systolic_queue import CombiningQueue, QueueFullError
+from .wait_buffer import WaitBuffer, WaitRecord
+
+#: Signature of the delivery callbacks the network wires between stages:
+#: called with the outgoing message; returns True when the downstream
+#: structure accepted it this cycle.
+Deliver = Callable[[Message], bool]
+
+
+@dataclass
+class SwitchStats:
+    """Counters exposed for the experiments and ablations."""
+
+    requests_routed: int = 0
+    replies_routed: int = 0
+    combines: int = 0
+    decombines: int = 0
+    forward_blocked_cycles: int = 0
+    return_blocked_cycles: int = 0
+
+
+@dataclass
+class _Port:
+    """One output link with its occupancy bookkeeping."""
+
+    busy_until: int = 0
+    messages_sent: int = 0
+
+    def free(self, cycle: int) -> bool:
+        return cycle >= self.busy_until
+
+    def occupy(self, cycle: int, packets: int) -> None:
+        self.busy_until = cycle + packets
+        self.messages_sent += 1
+
+
+class Switch:
+    """A k-by-k combining switch at a given network stage."""
+
+    def __init__(
+        self,
+        k: int,
+        stage: int,
+        index: int,
+        *,
+        queue_capacity_packets: Optional[int] = None,
+        wait_buffer_capacity: Optional[int] = None,
+        combining: bool = True,
+        pairwise_only: bool = True,
+    ) -> None:
+        self.k = k
+        self.stage = stage
+        self.index = index
+        self.combining = combining
+        self.to_mm = [
+            CombiningQueue(
+                queue_capacity_packets,
+                combining=combining,
+                pairwise_only=pairwise_only,
+            )
+            for _ in range(k)
+        ]
+        self.wait_buffers = [WaitBuffer(wait_buffer_capacity) for _ in range(k)]
+        self.to_pe = [
+            CombiningQueue(queue_capacity_packets, combining=False) for _ in range(k)
+        ]
+        self.mm_ports = [_Port() for _ in range(k)]
+        self.pe_ports = [_Port() for _ in range(k)]
+        self.stats = SwitchStats()
+
+    # ------------------------------------------------------------------
+    # forward path: requests PE side -> MM side
+    # ------------------------------------------------------------------
+    def offer_forward(self, in_port: int, message: Message, cycle: int) -> bool:
+        """Accept a request arriving on PE-side ``in_port``.
+
+        Routes on the current destination digit, swaps in the origin
+        digit (the amalgam of section 3.1.1), and inserts into the ToMM
+        queue — combining with a queued partner when possible.  Returns
+        False (leaving the message with the caller) when the target
+        queue is full and no combine is possible.
+        """
+        out_port = message.route_digit(self.stage)
+        if not 0 <= out_port < self.k:
+            raise ValueError(
+                f"stage {self.stage} digit {out_port} out of range for k={self.k}"
+            )
+        queue = self.to_mm[out_port]
+        wait_buffer = self.wait_buffers[out_port]
+
+        # Combining must be suppressed while the wait buffer is full —
+        # there would be nowhere to put the decombining record.
+        allow_combine = self.combining and not wait_buffer.is_full()
+        saved_combining = queue.combining
+        queue.combining = allow_combine
+
+        message.record_arrival_port(self.stage, in_port)
+        try:
+            outcome = queue.insert(message)
+        except QueueFullError:
+            # Undo the digit swap; the message will be re-offered.
+            message.digits[self.stage] = out_port
+            return False
+        finally:
+            queue.combining = saved_combining
+
+        if outcome.combined_with is not None:
+            assert outcome.plan is not None
+            wait_buffer.insert(
+                WaitRecord(
+                    key_tag=outcome.combined_with.tag,
+                    plan=outcome.plan,
+                    new_message=message,
+                    stage=self.stage,
+                    created_cycle=cycle,
+                )
+            )
+            self.stats.combines += 1
+        self.stats.requests_routed += 1
+        return True
+
+    def tick_forward(self, cycle: int, deliver: Callable[[int, Message], bool]) -> None:
+        """Try to transmit each ToMM queue head to the next stage.
+
+        ``deliver(out_port, message)`` is the network's wiring callback;
+        it returns False when the downstream queue is full, in which case
+        the head stays (head-of-line blocking, as in the hardware).
+        """
+        for out_port, queue in enumerate(self.to_mm):
+            head = queue.head()
+            if head is None:
+                continue
+            port = self.mm_ports[out_port]
+            if not port.free(cycle):
+                continue
+            if deliver(out_port, head):
+                queue.pop()
+                port.occupy(cycle, head.packets)
+            else:
+                self.stats.forward_blocked_cycles += 1
+
+    # ------------------------------------------------------------------
+    # return path: replies MM side -> PE side
+    # ------------------------------------------------------------------
+    def offer_return(self, mm_port: int, message: Message, cycle: int) -> bool:
+        """Accept a reply arriving on MM-side ``mm_port``.
+
+        The reply is routed to the ToPE queue selected by its recorded
+        origin digit and simultaneously matched against this port's wait
+        buffer.  On a hit the switch unwinds the decombining stack —
+        innermost (most recent) combine first, since its rule applies to
+        the raw memory reply — synthesizing one reply per absorbed
+        partner plus the rewritten reply for R-old.  Space for every
+        reply is verified before anything commits (otherwise the reply
+        is refused and retried); the paper's pairwise switch is the
+        one-record special case.
+        """
+        out_port = message.route_digit(self.stage)
+        records = self.wait_buffers[mm_port].peek_all(message.tag)
+        if not records:
+            if not self.to_pe[out_port].can_accept(message.packets):
+                return False
+            self.to_pe[out_port].insert(message)
+            self.stats.replies_routed += 1
+            return True
+
+        # Unwind most-recent-first, threading the old-side value down.
+        memory_value = message.value
+        value = memory_value
+        partner_replies: list[Message] = []
+        for record in reversed(records):
+            new_value = record.plan.new_rule.materialize(value)
+            partner_replies.append(record.new_message.make_reply(new_value))
+            value = record.plan.old_rule.materialize(value)
+
+        old_reply = message
+        old_reply.value = value
+
+        # Verify capacity per target ToPE port for the whole fan-out.
+        needed: dict[int, int] = {}
+        for reply in (*partner_replies, old_reply):
+            port = reply.route_digit(self.stage)
+            needed[port] = needed.get(port, 0) + reply.packets
+        if not all(
+            self.to_pe[port].can_accept(packets)
+            for port, packets in needed.items()
+        ):
+            old_reply.value = memory_value  # undo the rewrite for retry
+            return False
+
+        self.wait_buffers[mm_port].match_all(message.tag)
+        for reply in partner_replies:
+            self.to_pe[reply.route_digit(self.stage)].insert(reply)
+            self.stats.decombines += 1
+        self.to_pe[out_port].insert(old_reply)
+        self.stats.replies_routed += 1 + len(partner_replies)
+        return True
+
+    def tick_return(self, cycle: int, deliver: Callable[[int, Message], bool]) -> None:
+        """Try to transmit each ToPE queue head toward the PE side."""
+        for out_port, queue in enumerate(self.to_pe):
+            head = queue.head()
+            if head is None:
+                continue
+            port = self.pe_ports[out_port]
+            if not port.free(cycle):
+                continue
+            if deliver(out_port, head):
+                queue.pop()
+                port.occupy(cycle, head.packets)
+            else:
+                self.stats.return_blocked_cycles += 1
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def pending_messages(self) -> int:
+        """Messages resident in this switch (both directions)."""
+        return sum(len(q) for q in self.to_mm) + sum(len(q) for q in self.to_pe)
+
+    def pending_wait_records(self) -> int:
+        return sum(len(wb) for wb in self.wait_buffers)
+
+    def queue_occupancy_packets(self) -> int:
+        return sum(q.used_packets for q in self.to_mm)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Switch stage={self.stage} index={self.index} "
+            f"pending={self.pending_messages()} waits={self.pending_wait_records()}>"
+        )

@@ -1,0 +1,25 @@
+"""Processing elements: the register-locking PE, its ISA, and programs."""
+
+from . import isa, programs
+from .assembler import AssemblyError, assemble, disassemble
+from .cached import CacheControl, CachedProgramDriver
+from .io import IOProcessor, StreamLayout, consumer_program
+from .multiprogram import MultiprogrammedDriver
+from .processor import Processor, ProcessorDriver, ProcessorStats
+
+__all__ = [
+    "AssemblyError",
+    "CacheControl",
+    "CachedProgramDriver",
+    "IOProcessor",
+    "MultiprogrammedDriver",
+    "StreamLayout",
+    "consumer_program",
+    "Processor",
+    "ProcessorDriver",
+    "ProcessorStats",
+    "assemble",
+    "disassemble",
+    "isa",
+    "programs",
+]

@@ -1,0 +1,238 @@
+"""A small two-pass assembler for the PE instruction set.
+
+Lets tests, examples, and exploratory work write PE programs as text
+rather than instruction lists::
+
+    asm = '''
+        li   r1, 0          ; sum
+        li   r2, 1000       ; base address
+        li   r3, 16         ; count
+    loop:
+        load r4, r2
+        add  r1, r1, r4
+        addi r2, r2, 1
+        addi r3, r3, -1
+        bnz  r3, loop
+        halt
+    '''
+    program = assemble(asm)
+
+Syntax: one instruction per line; ``;`` or ``#`` start a comment;
+``name:`` defines a label (alone or before an instruction); registers
+are ``r0``..``rN``; immediates are decimal (with optional sign) or
+``0x`` hexadecimal; branch/jump targets are labels or absolute
+instruction numbers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from . import isa
+
+
+class AssemblyError(ValueError):
+    """A syntax or semantic error, annotated with the source line."""
+
+    def __init__(self, line_number: int, line: str, message: str) -> None:
+        super().__init__(f"line {line_number}: {message!r} in {line.strip()!r}")
+        self.line_number = line_number
+
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)\s*:\s*(.*)$")
+_REGISTER_RE = re.compile(r"^r(\d+)$", re.IGNORECASE)
+
+
+@dataclass(frozen=True)
+class _Line:
+    number: int
+    text: str
+    mnemonic: str
+    operands: tuple[str, ...]
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        if marker in line:
+            line = line.split(marker, 1)[0]
+    return line.strip()
+
+
+def _parse_register(token: str, line: _Line) -> int:
+    match = _REGISTER_RE.match(token)
+    if not match:
+        raise AssemblyError(line.number, line.text, f"expected register, got {token}")
+    return int(match.group(1))
+
+
+def _parse_immediate(token: str, line: _Line) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(
+            line.number, line.text, f"expected immediate, got {token}"
+        )
+
+
+def _parse_target(token: str, labels: dict[str, int], line: _Line) -> int:
+    if token in labels:
+        return labels[token]
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(line.number, line.text, f"unknown label {token}")
+
+
+def _tokenize(source: str) -> tuple[list[_Line], dict[str, int]]:
+    """First pass: split lines, collect labels at instruction indices."""
+    lines: list[_Line] = []
+    labels: dict[str, int] = {}
+    for number, raw in enumerate(source.splitlines(), start=1):
+        text = _strip(raw)
+        while text:
+            match = _LABEL_RE.match(text)
+            if not match:
+                break
+            label, text = match.group(1), match.group(2).strip()
+            if label in labels:
+                raise AssemblyError(number, raw, f"duplicate label {label}")
+            labels[label] = len(lines)
+        if not text:
+            continue
+        parts = text.replace(",", " ").split()
+        lines.append(
+            _Line(
+                number=number,
+                text=raw,
+                mnemonic=parts[0].lower(),
+                operands=tuple(parts[1:]),
+            )
+        )
+    return lines, labels
+
+
+def _expect_operands(line: _Line, count: int) -> None:
+    if len(line.operands) != count:
+        raise AssemblyError(
+            line.number,
+            line.text,
+            f"{line.mnemonic} takes {count} operands, got {len(line.operands)}",
+        )
+
+
+def assemble(source: str, *, n_registers: int = 16) -> list[isa.Instruction]:
+    """Assemble ``source`` into a validated instruction list."""
+    lines, labels = _tokenize(source)
+    program: list[isa.Instruction] = []
+    for line in lines:
+        ops = line.operands
+        mnemonic = line.mnemonic
+        if mnemonic == "li":
+            _expect_operands(line, 2)
+            program.append(
+                isa.Li(_parse_register(ops[0], line), _parse_immediate(ops[1], line))
+            )
+        elif mnemonic == "mov":
+            _expect_operands(line, 2)
+            program.append(
+                isa.Mov(_parse_register(ops[0], line), _parse_register(ops[1], line))
+            )
+        elif mnemonic in ("add", "sub", "mul"):
+            _expect_operands(line, 3)
+            cls = {"add": isa.Add, "sub": isa.Sub, "mul": isa.Mul}[mnemonic]
+            program.append(
+                cls(
+                    _parse_register(ops[0], line),
+                    _parse_register(ops[1], line),
+                    _parse_register(ops[2], line),
+                )
+            )
+        elif mnemonic == "addi":
+            _expect_operands(line, 3)
+            program.append(
+                isa.Addi(
+                    _parse_register(ops[0], line),
+                    _parse_register(ops[1], line),
+                    _parse_immediate(ops[2], line),
+                )
+            )
+        elif mnemonic == "load":
+            _expect_operands(line, 2)
+            program.append(
+                isa.LoadR(_parse_register(ops[0], line), _parse_register(ops[1], line))
+            )
+        elif mnemonic == "store":
+            _expect_operands(line, 2)
+            program.append(
+                isa.StoreR(_parse_register(ops[0], line), _parse_register(ops[1], line))
+            )
+        elif mnemonic in ("faa", "fetchadd"):
+            _expect_operands(line, 3)
+            program.append(
+                isa.FaaR(
+                    _parse_register(ops[0], line),
+                    _parse_register(ops[1], line),
+                    _parse_register(ops[2], line),
+                )
+            )
+        elif mnemonic in ("bnz", "bez"):
+            _expect_operands(line, 2)
+            cls = isa.Bnz if mnemonic == "bnz" else isa.Bez
+            program.append(
+                cls(
+                    _parse_register(ops[0], line),
+                    _parse_target(ops[1], labels, line),
+                )
+            )
+        elif mnemonic in ("jump", "j"):
+            _expect_operands(line, 1)
+            program.append(isa.Jump(_parse_target(ops[0], labels, line)))
+        elif mnemonic == "halt":
+            _expect_operands(line, 0)
+            program.append(isa.Halt())
+        else:
+            raise AssemblyError(
+                line.number, line.text, f"unknown mnemonic {mnemonic}"
+            )
+    try:
+        isa.validate_program(program, n_registers)
+    except ValueError as error:
+        raise AssemblyError(0, source.strip().splitlines()[0], str(error))
+    return program
+
+
+def disassemble(program: list[isa.Instruction]) -> str:
+    """Render an instruction list back to (label-free) assembly text."""
+    out: list[str] = []
+    for pc, instr in enumerate(program):
+        if isinstance(instr, isa.Li):
+            text = f"li r{instr.rd}, {instr.imm}"
+        elif isinstance(instr, isa.Mov):
+            text = f"mov r{instr.rd}, r{instr.rs}"
+        elif isinstance(instr, isa.Sub):
+            text = f"sub r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+        elif isinstance(instr, isa.Mul):
+            text = f"mul r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+        elif isinstance(instr, isa.Add):
+            text = f"add r{instr.rd}, r{instr.rs1}, r{instr.rs2}"
+        elif isinstance(instr, isa.Addi):
+            text = f"addi r{instr.rd}, r{instr.rs}, {instr.imm}"
+        elif isinstance(instr, isa.LoadR):
+            text = f"load r{instr.rd}, r{instr.ra}"
+        elif isinstance(instr, isa.StoreR):
+            text = f"store r{instr.rs}, r{instr.ra}"
+        elif isinstance(instr, isa.FaaR):
+            text = f"faa r{instr.rd}, r{instr.ra}, r{instr.rv}"
+        elif isinstance(instr, isa.Bnz):
+            text = f"bnz r{instr.rs}, {instr.target}"
+        elif isinstance(instr, isa.Bez):
+            text = f"bez r{instr.rs}, {instr.target}"
+        elif isinstance(instr, isa.Jump):
+            text = f"jump {instr.target}"
+        elif isinstance(instr, isa.Halt):
+            text = "halt"
+        else:  # pragma: no cover - exhaustive
+            raise TypeError(f"unknown instruction {instr!r}")
+        out.append(f"{pc:>4}: {text}")
+    return "\n".join(out)

@@ -1,0 +1,184 @@
+"""I/O processors (section 3.5).
+
+"Although we have not given sufficient attention to I/O, we have noticed
+that I/O processors can be substituted for arbitrary PEs in the system.
+More generally, since the design does not require homogeneous PEs, a
+variety of special purpose processors ... can be attached to the
+network."
+
+An :class:`IOProcessor` occupies a PE slot and streams data from a
+"device" (a host-side iterator — a file, a sensor trace, a generator)
+into central memory through the ordinary PNI, publishing a producer
+counter that compute PEs poll.
+
+The publish protocol respects section 3.1.4's warning that "pipelining
+requests indiscriminately can violate the serialization principle": the
+data store and the counter increment target different modules, so their
+completions can reorder in the network.  The I/O processor therefore
+*waits for the store's acknowledgement* before fetch-and-adding the
+producer counter — the ack is the network's completion fence — which
+guarantees a consumer that observes ``produced > n`` will read word
+``n``'s final value.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, Optional
+
+from ..core.machine import Ultracomputer
+from ..core.memory_ops import FetchAdd, Load, Store
+
+
+class StreamLayout:
+    """A ring-buffer stream in shared memory.
+
+    ``base``     — producer counter (total words published);
+    ``base + 1`` — consumer counter (total words consumed);
+    ``base + 2`` onward — the data ring of ``capacity`` words.
+    """
+
+    def __init__(self, base: int, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("stream capacity must be positive")
+        self.base = base
+        self.capacity = capacity
+
+    @property
+    def produced(self) -> int:
+        return self.base
+
+    @property
+    def consumed(self) -> int:
+        return self.base + 1
+
+    def slot(self, index: int) -> int:
+        return self.base + 2 + index % self.capacity
+
+    @property
+    def footprint(self) -> int:
+        return 2 + self.capacity
+
+
+class _State(enum.Enum):
+    IDLE = "idle"
+    AWAIT_STORE_ACK = "await-store-ack"
+    PUBLISH = "publish"
+
+
+class IOProcessor:
+    """A device-to-memory streamer occupying one PE slot.
+
+    Implements the machine ``Driver`` protocol, so it is attached with
+    ``machine.attach_driver`` alongside compute-PE drivers — the
+    heterogeneous-PEs configuration the paper sketches.
+    """
+
+    def __init__(
+        self,
+        machine: Ultracomputer,
+        pe_id: int,
+        stream: StreamLayout,
+        device: Iterator[int],
+    ) -> None:
+        self.machine = machine
+        self.pe_id = pe_id
+        self.stream = stream
+        self.device = device
+        self._state = _State.IDLE
+        self._staged: Optional[int] = None
+        self._store_tag: Optional[int] = None
+        self._exhausted = False
+        self.words_streamed = 0
+        self.backpressure_cycles = 0
+        self._consumed_seen = 0
+
+    # ------------------------------------------------------------------
+    def _stage_next(self) -> bool:
+        if self._staged is not None:
+            return True
+        if self._exhausted:
+            return False
+        try:
+            self._staged = next(self.device)
+            return True
+        except StopIteration:
+            self._exhausted = True
+            return False
+
+    def _ring_full(self) -> bool:
+        if self.words_streamed - self._consumed_seen < self.stream.capacity:
+            return False
+        # refresh the local copy of the consumer counter (the device
+        # controller's cached register; a real one would load it)
+        self._consumed_seen = self.machine.peek(self.stream.consumed)
+        return self.words_streamed - self._consumed_seen >= self.stream.capacity
+
+    def tick(self, cycle: int) -> None:
+        pni = self.machine.pnis[self.pe_id]
+
+        if self._state is _State.AWAIT_STORE_ACK:
+            while True:
+                reply = pni.pop_reply()
+                if reply is None:
+                    break
+                if reply.tag == self._store_tag:
+                    self._store_tag = None
+                    self._state = _State.PUBLISH
+            if self._state is _State.AWAIT_STORE_ACK:
+                return
+
+        if self._state is _State.PUBLISH:
+            publish = FetchAdd(self.stream.produced, 1)
+            if not pni.can_issue(publish):
+                self.backpressure_cycles += 1
+                return
+            pni.issue(publish, cycle)
+            self.words_streamed += 1
+            self._state = _State.IDLE
+            return
+
+        # IDLE: drain publish acks, then start the next word.
+        while pni.pop_reply() is not None:
+            pass
+        if not self._stage_next():
+            return
+        if self._ring_full():
+            self.backpressure_cycles += 1
+            return
+        store = Store(self.stream.slot(self.words_streamed), self._staged)
+        if not pni.can_issue(store):
+            self.backpressure_cycles += 1
+            return
+        self._store_tag = pni.issue(store, cycle)
+        self._staged = None
+        self._state = _State.AWAIT_STORE_ACK
+
+    def done(self) -> bool:
+        pni = self.machine.pnis[self.pe_id]
+        return (
+            self._exhausted
+            and self._staged is None
+            and self._state is _State.IDLE
+            and pni.outstanding() == 0
+            and not pni.outbound
+        )
+
+
+def consumer_program(pe_id, stream: StreamLayout, expected_words: int, sink: list):
+    """A compute-PE program consuming an I/O stream.
+
+    Spins on the producer counter (a combinable hot spot: waiting crowds
+    cost ~one access per cycle in total) and reads each published word
+    exactly once, advancing the consumer counter that releases ring
+    slots back to the device.
+    """
+    taken = 0
+    while taken < expected_words:
+        produced = yield Load(stream.produced)
+        while taken < min(produced, expected_words):
+            value = yield Load(stream.slot(taken))
+            sink.append(value)
+            taken += 1
+            yield FetchAdd(stream.consumed, 1)
+    return taken

@@ -1,0 +1,189 @@
+"""A small register instruction set for the Ultracomputer PE (section 3.5).
+
+The paper's PEs are "relatively standard components" — CDC-6600-class
+register machines — "slightly custom" in two respects: they issue the
+fetch-and-add operation, and they keep executing past a central-memory
+fetch, marking the target register "locked" until the value returns
+("an attempt to use a blocked register would suspend execution").
+
+This ISA is deliberately tiny: enough to express the coordination
+algorithms and latency-hiding kernels, small enough that the processor
+model in :mod:`repro.pe.processor` stays legible.  Register 0 is
+hard-wired to zero, as on many RISC machines, which removes the need
+for load-immediate-zero idioms.
+
+Instruction summary (``r`` = register index, ``imm`` = literal)::
+
+    Li    rd, imm          rd <- imm
+    Mov   rd, rs           rd <- rs
+    Add   rd, rs1, rs2     rd <- rs1 + rs2          (Sub, Mul analogous)
+    Addi  rd, rs, imm      rd <- rs + imm
+    LoadR rd, ra           rd <- MEM[ra]     (locks rd; PE continues)
+    StoreR rs, ra          MEM[ra] <- rs     (fire and forget, acked)
+    FaaR  rd, ra, rv       rd <- F&A(MEM[ra], rv)   (locks rd)
+    Bnz   rs, target       branch if rs != 0
+    Bez   rs, target       branch if rs == 0
+    Jump  target
+    Halt
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """Base class; concrete instructions are frozen dataclasses."""
+
+    #: registers read by this instruction (overridden per subclass).
+    def reads(self) -> tuple[int, ...]:
+        return ()
+
+    def writes(self) -> tuple[int, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Li(Instruction):
+    rd: int
+    imm: int
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class Mov(Instruction):
+    rd: int
+    rs: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class Add(Instruction):
+    rd: int
+    rs1: int
+    rs2: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs1, self.rs2)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class Sub(Add):
+    pass
+
+
+@dataclass(frozen=True)
+class Mul(Add):
+    pass
+
+
+@dataclass(frozen=True)
+class Addi(Instruction):
+    rd: int
+    rs: int
+    imm: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class LoadR(Instruction):
+    """Load from the central-memory address held in ``ra`` into ``rd``.
+
+    Issues the request and *continues execution*; ``rd`` stays locked
+    until the reply arrives.
+    """
+
+    rd: int
+    ra: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.ra,)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class StoreR(Instruction):
+    """Store register ``rs`` to the address held in ``ra``."""
+
+    rs: int
+    ra: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs, self.ra)
+
+
+@dataclass(frozen=True)
+class FaaR(Instruction):
+    """Fetch-and-add: rd <- F&A(MEM[ra], rv); rd locked until reply."""
+
+    rd: int
+    ra: int
+    rv: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.ra, self.rv)
+
+    def writes(self) -> tuple[int, ...]:
+        return (self.rd,)
+
+
+@dataclass(frozen=True)
+class Bnz(Instruction):
+    rs: int
+    target: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+
+@dataclass(frozen=True)
+class Bez(Instruction):
+    rs: int
+    target: int
+
+    def reads(self) -> tuple[int, ...]:
+        return (self.rs,)
+
+
+@dataclass(frozen=True)
+class Jump(Instruction):
+    target: int
+
+
+@dataclass(frozen=True)
+class Halt(Instruction):
+    pass
+
+
+def validate_program(program: list[Instruction], n_registers: int) -> None:
+    """Static checks: register indices in range, branch targets valid,
+    nothing writes register 0.  Raises ``ValueError`` with the offending
+    instruction index."""
+    for pc, instr in enumerate(program):
+        for reg in (*instr.reads(), *instr.writes()):
+            if not 0 <= reg < n_registers:
+                raise ValueError(f"instruction {pc}: register r{reg} out of range")
+        for reg in instr.writes():
+            if reg == 0:
+                raise ValueError(f"instruction {pc}: register r0 is read-only")
+        target = getattr(instr, "target", None)
+        if target is not None and not 0 <= target < len(program):
+            raise ValueError(f"instruction {pc}: branch target {target} out of range")

@@ -1,0 +1,215 @@
+"""Hardware-multiprogrammed PEs (section 3.5).
+
+"If the latency remains an impediment to performance, we would
+hardware-multiprogram the PEs (as in the CHOPP design and the Denelcor
+HEP machine).  Note that k-fold multiprogramming is equivalent to using
+k times as many PEs — each having relative performance 1/k."
+
+This driver runs several program contexts per PE.  Each cycle a PE
+executes one instruction from a runnable context, rotating round-robin;
+a context blocked on a memory reply consumes no issue slots, so its
+latency is hidden behind the other contexts' work — the mechanism by
+which Table 3's "waiting time ... recovered" assumption would be
+realized in hardware.
+
+Contexts on one PE share its PNI, so the machine's pipelining rules
+(the one-outstanding-reference-per-location rule included) apply across
+contexts exactly as they would across hardware threads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..core.machine import Ultracomputer
+from ..core.memory_ops import Op
+from ..core.paracomputer import Program, ProgramFactory
+
+
+@dataclass
+class _Context:
+    """One hardware thread's state."""
+
+    context_id: int
+    program: Program
+    running: bool = True
+    compute_remaining: int = 0
+    waiting_tag: Optional[int] = None
+    pending_op: Optional[Op] = None
+    resume_value: Any = None
+    resume_ready: bool = False
+    primed: bool = False
+    return_value: Any = None
+    issue_slots_used: int = 0
+
+
+@dataclass
+class _MultiPE:
+    pe_id: int
+    contexts: list[_Context] = field(default_factory=list)
+    rotor: int = 0
+    busy_cycles: int = 0
+    idle_cycles: int = 0
+
+
+class MultiprogrammedDriver:
+    """Machine driver with ``ways``-fold multiprogramming per PE."""
+
+    def __init__(self, machine: Ultracomputer, ways: int = 2) -> None:
+        if ways < 1:
+            raise ValueError("multiprogramming degree must be at least 1")
+        self.machine = machine
+        self.ways = ways
+        self.pes = [_MultiPE(pe_id=pe) for pe in range(machine.config.n_pes)]
+        self._next_context_id = 0
+
+    # ------------------------------------------------------------------
+    def spawn(
+        self, pe_id: int, program_fn: ProgramFactory, *args: Any, **kwargs: Any
+    ) -> int:
+        """Add a context to PE ``pe_id``; returns the context id.
+
+        The program factory receives the *context id* (globally unique),
+        which plays the role the PE id plays for single-programmed
+        drivers — "k-fold multiprogramming is equivalent to using k
+        times as many PEs".
+        """
+        pe = self.pes[pe_id]
+        if len(pe.contexts) >= self.ways:
+            raise ValueError(
+                f"PE {pe_id} already runs {self.ways} contexts"
+            )
+        context_id = self._next_context_id
+        self._next_context_id += 1
+        pe.contexts.append(
+            _Context(context_id=context_id, program=program_fn(context_id, *args, **kwargs))
+        )
+        return context_id
+
+    def spawn_everywhere(
+        self, program_fn: ProgramFactory, *args: Any, **kwargs: Any
+    ) -> list[int]:
+        """Fill every PE with ``ways`` contexts of the same program."""
+        ids = []
+        for pe in range(len(self.pes)):
+            for _ in range(self.ways):
+                ids.append(self.spawn(pe, program_fn, *args, **kwargs))
+        return ids
+
+    # ------------------------------------------------------------------
+    def _advance(self, context: _Context, sent: Any) -> None:
+        try:
+            yielded = context.program.send(sent)
+        except StopIteration as stop:
+            context.running = False
+            context.return_value = stop.value
+            return
+        if yielded is None:
+            context.compute_remaining = 1
+        elif isinstance(yielded, int):
+            if yielded <= 0:
+                raise ValueError("non-positive delay yielded")
+            context.compute_remaining = yielded
+        elif isinstance(yielded, Op):
+            context.pending_op = yielded
+        else:
+            raise TypeError(f"context yielded {yielded!r}")
+
+    def _collect_replies(self, pe: _MultiPE) -> None:
+        pni = self.machine.pnis[pe.pe_id]
+        waiting = {
+            c.waiting_tag: c for c in pe.contexts if c.waiting_tag is not None
+        }
+        while True:
+            reply = pni.pop_reply()
+            if reply is None:
+                return
+            context = waiting.get(reply.tag)
+            if context is None:
+                raise AssertionError(
+                    f"PE {pe.pe_id} got a reply for unknown tag {reply.tag}"
+                )
+            context.waiting_tag = None
+            context.resume_value = reply.value
+            context.resume_ready = True
+
+    def _step_context(self, pe: _MultiPE, context: _Context, cycle: int) -> bool:
+        """Give one context the PE's issue slot; True if it used it."""
+        pni = self.machine.pnis[pe.pe_id]
+        if not context.running:
+            return False
+        if context.resume_ready:
+            context.resume_ready = False
+            self._advance(context, context.resume_value)
+            context.issue_slots_used += 1
+            return True
+        if context.waiting_tag is not None:
+            return False  # stalled on memory; costs no slot
+        if context.compute_remaining > 0:
+            context.compute_remaining -= 1
+            if context.compute_remaining == 0:
+                self._advance(context, None)
+            context.issue_slots_used += 1
+            return True
+        if context.pending_op is not None:
+            op = context.pending_op
+            if not pni.can_issue(op):
+                return False  # structural hazard; try another context
+            context.pending_op = None
+            context.waiting_tag = pni.issue(op, cycle)
+            context.issue_slots_used += 1
+            return True
+        if not context.primed:
+            context.primed = True
+            self._advance(context, None)
+            context.issue_slots_used += 1
+            return True
+        return False
+
+    def tick(self, cycle: int) -> None:
+        for pe in self.pes:
+            if not pe.contexts:
+                continue
+            self._collect_replies(pe)
+            issued = False
+            n = len(pe.contexts)
+            for offset in range(n):
+                index = (pe.rotor + offset) % n
+                if self._step_context(pe, pe.contexts[index], cycle):
+                    pe.rotor = (index + 1) % n
+                    issued = True
+                    break
+            if issued:
+                pe.busy_cycles += 1
+            elif any(c.running for c in pe.contexts):
+                pe.idle_cycles += 1
+
+    def done(self) -> bool:
+        return all(
+            not context.running
+            for pe in self.pes
+            for context in pe.contexts
+        )
+
+    # -- statistics ------------------------------------------------------
+    @property
+    def return_values(self) -> dict[int, Any]:
+        return {
+            context.context_id: context.return_value
+            for pe in self.pes
+            for context in pe.contexts
+            if not context.running
+        }
+
+    @property
+    def total_idle_cycles(self) -> int:
+        return sum(pe.idle_cycles for pe in self.pes)
+
+    @property
+    def total_busy_cycles(self) -> int:
+        return sum(pe.busy_cycles for pe in self.pes)
+
+    def utilization(self) -> float:
+        total = self.total_busy_cycles + self.total_idle_cycles
+        return self.total_busy_cycles / total if total else 0.0

@@ -1,0 +1,143 @@
+"""Canned PE programs (assembly builders) for tests and examples.
+
+Two of these form the paper's latency-hiding argument in miniature
+(section 3.5): :func:`dependent_chain_sum` uses each loaded value
+immediately — every load costs a full round trip — while
+:func:`software_pipelined_sum` issues the next load before consuming the
+previous one, so "software ... attempts to prefetch data sufficiently
+early to permit uninterrupted execution".  The register-locking tests
+assert the pipelined variant stalls substantially less on the same
+machine.
+"""
+
+from __future__ import annotations
+
+from .isa import (
+    Add,
+    Addi,
+    Bnz,
+    FaaR,
+    Halt,
+    Instruction,
+    Jump,
+    Li,
+    LoadR,
+    StoreR,
+)
+
+# Register conventions used by the builders (r0 is hard-wired zero).
+R_SUM = 1
+R_ADDR = 2
+R_COUNT = 3
+R_VAL = 4
+R_VAL2 = 5
+R_ADDR2 = 6
+R_ONE = 7
+R_TMP = 8
+
+
+def fetch_add_loop(counter_address: int, iterations: int) -> list[Instruction]:
+    """Repeatedly fetch-and-add 1 to a shared counter; sum the fetches."""
+    return [
+        Li(R_SUM, 0),
+        Li(R_ADDR, counter_address),
+        Li(R_COUNT, iterations),
+        Li(R_ONE, 1),
+        # loop:
+        FaaR(R_VAL, R_ADDR, R_ONE),  # 4
+        Add(R_SUM, R_SUM, R_VAL),
+        Addi(R_COUNT, R_COUNT, -1),
+        Bnz(R_COUNT, 4),
+        Halt(),
+    ]
+
+
+def dependent_chain_sum(base_address: int, count: int) -> list[Instruction]:
+    """Sum ``count`` consecutive words, *using each load immediately*.
+
+    The Add right after each LoadR reads the locked register, so the PE
+    stalls for the full memory round trip on every element — the
+    unpipelined baseline.
+    """
+    return [
+        Li(R_SUM, 0),
+        Li(R_ADDR, base_address),
+        Li(R_COUNT, count),
+        # loop:
+        LoadR(R_VAL, R_ADDR),  # 3
+        Add(R_SUM, R_SUM, R_VAL),  # stalls on locked R_VAL
+        Addi(R_ADDR, R_ADDR, 1),
+        Addi(R_COUNT, R_COUNT, -1),
+        Bnz(R_COUNT, 3),
+        Halt(),
+    ]
+
+
+def software_pipelined_sum(base_address: int, count: int) -> list[Instruction]:
+    """Sum ``count`` consecutive words with one-deep software pipelining.
+
+    Each iteration issues the *next* load before consuming the current
+    value, overlapping the network round trip with the adds — the
+    prefetching discipline section 3.5 describes.  ``count`` must be at
+    least 2.
+    """
+    if count < 2:
+        raise ValueError("pipelined sum needs at least two elements")
+    return [
+        Li(R_SUM, 0),
+        Li(R_ADDR, base_address),
+        Li(R_COUNT, count - 1),
+        LoadR(R_VAL, R_ADDR),  # prologue: first load in flight
+        Addi(R_ADDR, R_ADDR, 1),
+        # loop: issue next load, then consume the previous value.
+        LoadR(R_VAL2, R_ADDR),  # 5
+        Add(R_SUM, R_SUM, R_VAL),  # waits only if the *previous* load is slow
+        Addi(R_ADDR, R_ADDR, 1),
+        Addi(R_COUNT, R_COUNT, -1),
+        Li(R_TMP, 0),
+        Add(R_VAL, R_VAL2, R_TMP),  # rotate: waits on this pass's load
+        Bnz(R_COUNT, 5),
+        Add(R_SUM, R_SUM, R_VAL),  # epilogue: last element
+        Halt(),
+    ]
+
+
+def store_fill(base_address: int, count: int, value: int) -> list[Instruction]:
+    """Store ``value`` into ``count`` consecutive words (write traffic)."""
+    return [
+        Li(R_VAL, value),
+        Li(R_ADDR, base_address),
+        Li(R_COUNT, count),
+        # loop:
+        StoreR(R_VAL, R_ADDR),  # 3
+        Addi(R_ADDR, R_ADDR, 1),
+        Addi(R_COUNT, R_COUNT, -1),
+        Bnz(R_COUNT, 3),
+        Halt(),
+    ]
+
+
+def busy_loop(iterations: int) -> list[Instruction]:
+    """Pure register computation — background load for mixed workloads."""
+    return [
+        Li(R_COUNT, iterations),
+        Li(R_SUM, 0),
+        # loop:
+        Addi(R_SUM, R_SUM, 3),  # 2
+        Addi(R_COUNT, R_COUNT, -1),
+        Bnz(R_COUNT, 2),
+        Halt(),
+    ]
+
+
+def spin_on_flag_then_halt(flag_address: int) -> list[Instruction]:
+    """Spin-load a shared flag until it becomes nonzero (consumer side
+    of a produce/consume handshake test)."""
+    return [
+        Li(R_ADDR, flag_address),
+        # loop:
+        LoadR(R_VAL, R_ADDR),  # 1
+        Bnz(R_VAL, 4),
+        Jump(1),
+        Halt(),  # 4
+    ]

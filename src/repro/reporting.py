@@ -1,0 +1,133 @@
+"""Terminal reporting helpers: ASCII plots and aligned tables.
+
+The benchmarks and the CLI print the paper's tables; this module adds a
+plain-text line plot good enough to eyeball Figure 7's curves in a
+terminal, plus small table-formatting utilities shared by the CLI
+subcommands.  No dependencies beyond the standard library — the
+repository's only hard dependency stays numpy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Glyphs assigned to series, in order.
+SERIES_GLYPHS = "o*x+#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named curve: (x, y) points, pre-sorted by x."""
+
+    label: str
+    points: Sequence[tuple[float, float]]
+
+
+def ascii_plot(
+    series: Sequence[Series],
+    *,
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    y_max: Optional[float] = None,
+) -> str:
+    """Render curves on a character grid with axes and a legend.
+
+    Values above ``y_max`` (when given) are clipped to the top row —
+    useful for Figure 7, whose curves diverge near saturation.
+    """
+    if not series or all(not s.points for s in series):
+        raise ValueError("nothing to plot")
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo = min(ys)
+    y_hi = y_max if y_max is not None else max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi <= y_lo:
+        y_hi = y_lo + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def place(x: float, y: float, glyph: str) -> None:
+        column = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+        clipped = min(y, y_hi)
+        row = round((clipped - y_lo) / (y_hi - y_lo) * (height - 1))
+        grid[height - 1 - row][column] = glyph
+
+    for index, curve in enumerate(series):
+        glyph = SERIES_GLYPHS[index % len(SERIES_GLYPHS)]
+        for x, y in curve.points:
+            place(x, y, glyph)
+
+    lines = []
+    top_label = f"{y_hi:g}"
+    bottom_label = f"{y_lo:g}"
+    margin = max(len(top_label), len(bottom_label)) + 1
+    for row_index, row in enumerate(grid):
+        if row_index == 0:
+            prefix = top_label.rjust(margin)
+        elif row_index == height - 1:
+            prefix = bottom_label.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(prefix + "|" + "".join(row))
+    lines.append(" " * margin + "+" + "-" * width)
+    x_axis = f"{x_lo:g}".ljust(width // 2) + f"{x_hi:g}".rjust(width // 2)
+    lines.append(" " * (margin + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (margin + 1) + f"x: {x_label}   y: {y_label}".strip())
+    legend = "   ".join(
+        f"{SERIES_GLYPHS[i % len(SERIES_GLYPHS)]} {s.label}"
+        for i, s in enumerate(series)
+    )
+    lines.append(" " * (margin + 1) + legend)
+    return "\n".join(lines)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    float_format: str = "{:.2f}",
+) -> str:
+    """A minimal aligned-column table (right-aligned numerics)."""
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.rjust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def figure7_ascii(n: int = 4096, y_max: float = 40.0) -> str:
+    """Figure 7 as an ASCII plot (used by ``python -m repro fig7``)."""
+    from .analysis.configurations import FIGURE7_DESIGNS, figure7_series
+
+    series_map = figure7_series(n=n)
+    series = [
+        Series(label=design.label(), points=series_map[design.label()])
+        for design in FIGURE7_DESIGNS
+    ]
+    return ascii_plot(
+        series,
+        x_label="p (messages/PE/cycle)",
+        y_label="T (cycles)",
+        y_max=y_max,
+    )

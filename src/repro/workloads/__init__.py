@@ -1,0 +1,15 @@
+"""Synthetic traffic generators for the network studies of section 4."""
+
+from .synthetic import (
+    SyntheticTrafficDriver,
+    TrafficSpec,
+    TrafficStats,
+    run_uniform_traffic,
+)
+
+__all__ = [
+    "SyntheticTrafficDriver",
+    "TrafficSpec",
+    "TrafficStats",
+    "run_uniform_traffic",
+]

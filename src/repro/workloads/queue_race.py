@@ -1,0 +1,67 @@
+"""The parallel-queue race: lock-free fetch-and-add queue versus a
+spin-locked sequential queue (the appendix's comparison).
+
+"This should be contrasted with current parallel queue algorithms,
+which use small critical sections to update the insert and delete
+pointers."  Both contenders run the same workload — every PE inserts
+``ops_per_pe`` items then deletes as many — on the paracomputer; the
+returned cycle counts quantify the serial bottleneck the fetch-and-add
+queue removes.  Used by ``benchmarks/bench_parallel_queue.py`` and
+``python -m repro queue``.
+"""
+
+from __future__ import annotations
+
+from ..algorithms.queue import QueueLayout, delete, insert
+from ..algorithms.semaphore import SpinLock, lock, unlock
+from ..core.memory_ops import Load, Store
+from ..core.paracomputer import Paracomputer
+
+
+def lock_free_run(n_pes: int, ops_per_pe: int = 8) -> int:
+    """Cycles for the fetch-and-add queue to finish the workload."""
+    queue = QueueLayout(base=100, capacity=4 * n_pes * ops_per_pe)
+    para = Paracomputer(seed=3)
+
+    def program(pe_id):
+        for i in range(ops_per_pe):
+            ok = yield from insert(queue, pe_id * 1000 + i)
+            assert ok
+        taken = 0
+        while taken < ops_per_pe:
+            item = yield from delete(queue)
+            if item is not None:
+                taken += 1
+        return True
+
+    para.spawn_many(n_pes, program)
+    return para.run(2_000_000).cycles
+
+
+def locked_run(n_pes: int, ops_per_pe: int = 8) -> int:
+    """Cycles for the critical-section baseline (spin-locked pointers)."""
+    para = Paracomputer(seed=3)
+    spin = SpinLock(address=0)
+    head, tail, base = 1, 2, 100
+
+    def program(pe_id):
+        for i in range(ops_per_pe):
+            yield from lock(spin)
+            slot = yield Load(tail)
+            yield Store(tail, slot + 1)
+            yield Store(base + slot, pe_id * 1000 + i)
+            yield from unlock(spin)
+        taken = 0
+        while taken < ops_per_pe:
+            yield from lock(spin)
+            h = yield Load(head)
+            t = yield Load(tail)
+            if h < t:
+                yield Load(base + h)
+                yield Store(head, h + 1)
+                taken += 1
+            yield from unlock(spin)
+        return True
+
+    para.spawn_many(n_pes, program)
+    return para.run(5_000_000).cycles

@@ -1,0 +1,196 @@
+"""Synthetic network traffic (section 4's workload model).
+
+The analytic study assumes "requests are generated at each PE by
+independent identically distributed time-invariant random processes" and
+"MMs are equally likely to be referenced".  This module provides that
+workload — Bernoulli(p) per PE per cycle, uniform destinations — plus
+the two deviations the paper discusses:
+
+* **hot-spot traffic** (section 3.1.2 motivation): a fraction of
+  requests are fetch-and-adds on one shared cell, the pattern combining
+  exists to absorb;
+* **strided traffic** (section 3.1.4 motivation): fixed-stride address
+  sequences that concentrate on one module unless hashing spreads them.
+
+A driver attaches to an :class:`~repro.core.machine.Ultracomputer` and
+implements its ``Driver`` protocol.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..core.machine import Ultracomputer
+from ..core.memory_ops import FetchAdd, Load, Op
+
+
+@dataclass
+class TrafficSpec:
+    """Shape of a synthetic workload.
+
+    ``rate`` is p, the expected requests per PE per network cycle (must
+    stay below the 1/m capacity bound for closed-form comparisons);
+    ``pattern`` is ``uniform``, ``hotspot``, ``stride``, or
+    ``permutation``; ``hot_fraction`` applies to ``hotspot`` only.
+    """
+
+    rate: float
+    pattern: str = "uniform"
+    hot_fraction: float = 0.2
+    hot_address: int = 0
+    stride: int = 1
+    requests_per_pe: Optional[int] = None
+    seed: int = 0
+
+
+@dataclass
+class TrafficStats:
+    """Latency/throughput summary of a synthetic run."""
+
+    offered: int
+    issued: int
+    completed: int
+    blocked_attempts: int
+    mean_latency: float
+    max_latency: int
+    latencies: list[int] = field(default_factory=list)
+
+    @property
+    def completion_ratio(self) -> float:
+        return self.completed / self.issued if self.issued else 0.0
+
+
+class SyntheticTrafficDriver:
+    """Bernoulli(p) open-loop traffic attached to every PE.
+
+    The driver respects the PNI's outstanding-reference rule: an attempt
+    that cannot issue (same-location conflict or a full window) is
+    counted in ``blocked_attempts`` and dropped, keeping the offered
+    process time-invariant as the model assumes.
+    """
+
+    def __init__(self, machine: Ultracomputer, spec: TrafficSpec) -> None:
+        self.machine = machine
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        n = machine.config.n_pes
+        self._address_space = n * 64  # modest footprint, uniform over MMs
+        self.offered = 0
+        self.blocked = 0
+        self.latencies: list[int] = []
+        self._issued_per_pe = [0] * n
+        # Stride traffic models PEs sweeping one column of a row-major
+        # matrix from different rows: all cursors are stride-aligned, so
+        # with stride = n_modules every reference lands on one module
+        # unless hashing intervenes (the section 3.1.4 pathology).
+        self._stride_cursor = [pe * spec.stride * 3 for pe in range(n)]
+
+    # ------------------------------------------------------------------
+    def _next_op(self, pe: int) -> Op:
+        spec = self.spec
+        if spec.pattern == "hotspot" and self._rng.random() < spec.hot_fraction:
+            return FetchAdd(spec.hot_address, 1)
+        if spec.pattern == "stride":
+            address = self._stride_cursor[pe] % self._address_space
+            self._stride_cursor[pe] += spec.stride
+            return Load(address)
+        if spec.pattern == "permutation":
+            # Fixed one-to-one PE -> MM mapping (bit-reversal-free simple
+            # rotation); conflict-free under destination-tag routing.
+            n = self.machine.config.n_pes
+            address = ((pe + 1) % n) + n * (self._issued_per_pe[pe] % 8)
+            return Load(address)
+        address = self._rng.randrange(self._address_space)
+        return Load(address)
+
+    def tick(self, cycle: int) -> None:
+        spec = self.spec
+        for pe, pni in enumerate(self.machine.pnis):
+            if (
+                spec.requests_per_pe is not None
+                and self._issued_per_pe[pe] >= spec.requests_per_pe
+            ):
+                continue
+            if self._rng.random() >= spec.rate:
+                continue
+            self.offered += 1
+            op = self._next_op(pe)
+            if pni.can_issue(op):
+                pni.issue(op, cycle)
+                self._issued_per_pe[pe] += 1
+            else:
+                self.blocked += 1
+        for pni in self.machine.pnis:
+            while True:
+                reply = pni.pop_reply()
+                if reply is None:
+                    break
+                self.latencies.append(reply.round_trip)
+
+    def done(self) -> bool:
+        if self.spec.requests_per_pe is None:
+            return True  # open loop: the caller decides when to stop
+        return all(
+            issued >= self.spec.requests_per_pe for issued in self._issued_per_pe
+        ) and all(pni.outstanding() == 0 for pni in self.machine.pnis)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> TrafficStats:
+        for pni in self.machine.pnis:
+            while True:
+                reply = pni.pop_reply()
+                if reply is None:
+                    break
+                self.latencies.append(reply.round_trip)
+        latencies = list(self.latencies)
+        issued = sum(p.requests_issued for p in self.machine.pnis)
+        completed = sum(p.replies_received for p in self.machine.pnis)
+        total_rtt = sum(p.total_round_trip for p in self.machine.pnis)
+        return TrafficStats(
+            offered=self.offered,
+            issued=issued,
+            completed=completed,
+            blocked_attempts=self.blocked,
+            mean_latency=total_rtt / completed if completed else 0.0,
+            max_latency=max(latencies, default=0),
+            latencies=latencies,
+        )
+
+
+def run_uniform_traffic(
+    n_pes: int,
+    rate: float,
+    cycles: int,
+    *,
+    k: int = 2,
+    queue_capacity_packets: Optional[int] = 15,
+    combining: bool = True,
+    translation: str = "interleaved",
+    seed: int = 0,
+) -> tuple[TrafficStats, Ultracomputer]:
+    """Convenience harness: build a machine, run uniform traffic, then
+    drain, returning (stats, machine) for further inspection."""
+    from ..core.machine import MachineConfig
+
+    machine = Ultracomputer(
+        MachineConfig(
+            n_pes=n_pes,
+            k=k,
+            queue_capacity_packets=queue_capacity_packets,
+            combining=combining,
+            translation=translation,
+        )
+    )
+    driver = SyntheticTrafficDriver(machine, TrafficSpec(rate=rate, seed=seed))
+    machine.attach_driver(driver)
+    machine.run_cycles(cycles)
+    # Drain in-flight traffic so latency statistics are complete.
+    drained = TrafficSpec(rate=0.0, seed=seed)
+    driver.spec = drained
+    for _ in range(cycles * 4):
+        if all(p.outstanding() == 0 for p in machine.pnis):
+            break
+        machine.step()
+    return driver.stats(), machine

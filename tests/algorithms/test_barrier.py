@@ -1,0 +1,117 @@
+"""Tests for the fetch-and-add barrier."""
+
+from repro.algorithms.barrier import Barrier, fuzzy_wait, wait
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.paracomputer import Paracomputer
+
+
+class TestCorrectness:
+    def test_no_pe_passes_early(self):
+        """No participant may leave generation g until all have
+        arrived: phase logs must be perfectly nested by round."""
+        barrier = Barrier(base=0, participants=8)
+        log: list[tuple[str, int, int]] = []
+        para = Paracomputer(seed=3)
+
+        def program(pe_id, rounds):
+            for round_number in range(rounds):
+                log.append(("arrive", round_number, pe_id))
+                yield from wait(barrier)
+                log.append(("leave", round_number, pe_id))
+            return True
+
+        para.spawn_many(8, program, 5)
+        para.run(50_000)
+        # every leave of round r must come after every arrive of round r
+        last_arrive = {}
+        first_leave = {}
+        for position, (kind, round_number, _pe) in enumerate(log):
+            if kind == "arrive":
+                last_arrive[round_number] = position
+            elif round_number not in first_leave:
+                first_leave[round_number] = position
+        for round_number in range(5):
+            assert first_leave[round_number] > last_arrive[round_number]
+
+    def test_ranks_are_distinct(self):
+        barrier = Barrier(base=0, participants=8)
+        para = Paracomputer(seed=5)
+
+        def program(pe_id):
+            rank = yield from wait(barrier)
+            return rank
+
+        para.spawn_many(8, program)
+        stats = para.run(10_000)
+        assert sorted(stats.return_values.values()) == list(range(8))
+
+    def test_reusable_across_many_generations(self):
+        barrier = Barrier(base=0, participants=4)
+        para = Paracomputer(seed=7)
+
+        def program(pe_id):
+            for _ in range(20):
+                yield from wait(barrier)
+            return True
+
+        para.spawn_many(4, program)
+        stats = para.run(100_000)
+        assert stats.all_finished
+        assert para.peek(barrier.sense) == 20
+
+    def test_works_on_the_real_machine(self):
+        barrier = Barrier(base=0, participants=8)
+        machine = Ultracomputer(MachineConfig(n_pes=8))
+
+        def program(pe_id):
+            for _ in range(3):
+                yield from wait(barrier)
+            return True
+
+        machine.spawn_many(8, program)
+        machine.run(2_000_000)
+        assert machine.peek(barrier.sense) == 3
+
+
+class TestFuzzyBarrier:
+    def test_work_runs_before_release(self):
+        barrier = Barrier(base=0, participants=4)
+        para = Paracomputer(seed=2)
+        done_work: list[int] = []
+
+        def local_work(pe_id):
+            yield 5
+            done_work.append(pe_id)
+
+        def program(pe_id):
+            yield from fuzzy_wait(barrier, local_work(pe_id))
+            # at release time, everyone's overlapped work is complete
+            assert len(done_work) == 4
+            return True
+
+        para.spawn_many(4, program)
+        stats = para.run(20_000)
+        assert stats.all_finished
+
+    def test_fuzzy_overlaps_useful_work(self):
+        """The fuzzy barrier hides the wait behind local computation:
+        total time is barely more than the work itself."""
+        def run(use_fuzzy):
+            barrier = Barrier(base=0, participants=4)
+            para = Paracomputer(seed=4)
+
+            def work():
+                yield 40
+
+            def program(pe_id):
+                if use_fuzzy:
+                    yield from fuzzy_wait(barrier, work())
+                else:
+                    yield from work()
+                    yield from wait(barrier)
+                return True
+
+            para.spawn_many(4, program)
+            return para.run(50_000).cycles
+
+        assert run(True) <= run(False) + 2

@@ -1,0 +1,142 @@
+"""Tests for TIR/TDR (paper appendix)."""
+
+from repro.algorithms.counters import tdr, tir, unsafe_increment_if_below
+from repro.core.paracomputer import Paracomputer
+
+
+def run_programs(programs, seed=0, max_cycles=50_000, memory=None):
+    para = Paracomputer(initial_memory=memory, seed=seed)
+    for fn, args in programs:
+        para.spawn(fn, *args)
+    stats = para.run(max_cycles)
+    return para, stats
+
+
+def tir_program(pe_id, counter, delta, bound):
+    ok = yield from tir(counter, delta, bound)
+    return ok
+
+
+def tdr_program(pe_id, counter, delta):
+    ok = yield from tdr(counter, delta)
+    return ok
+
+
+class TestSemantics:
+    def test_tir_succeeds_under_bound(self):
+        para, stats = run_programs([(tir_program, (0, 1, 5))])
+        assert stats.return_values[0] is True
+        assert para.peek(0) == 1
+
+    def test_tir_fails_at_bound(self):
+        para, stats = run_programs(
+            [(tir_program, (0, 1, 5))], memory={0: 5}
+        )
+        assert stats.return_values[0] is False
+        assert para.peek(0) == 5  # unchanged
+
+    def test_tdr_succeeds_when_positive(self):
+        para, stats = run_programs([(tdr_program, (0, 2))], memory={0: 3})
+        assert stats.return_values[0] is True
+        assert para.peek(0) == 1
+
+    def test_tdr_fails_at_zero(self):
+        para, stats = run_programs([(tdr_program, (0, 1))])
+        assert stats.return_values[0] is False
+        assert para.peek(0) == 0
+
+    def test_bad_delta_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            list(tir(0, 0, 5))
+        with pytest.raises(ValueError):
+            list(tdr(0, -1))
+
+
+class TestConcurrentSafety:
+    def test_exactly_bound_many_tirs_succeed(self):
+        """32 concurrent TIR(+1, bound=10) from an empty counter: the
+        counter must end exactly at 10 with exactly 10 winners."""
+        para, stats = run_programs(
+            [(tir_program, (0, 1, 10))] * 32, seed=3
+        )
+        winners = sum(1 for v in stats.return_values.values() if v)
+        assert winners == 10
+        assert para.peek(0) == 10
+
+    def test_tdr_never_overdraws(self):
+        para, stats = run_programs(
+            [(tdr_program, (0, 1))] * 32, seed=4, memory={0: 7}
+        )
+        winners = sum(1 for v in stats.return_values.values() if v)
+        assert winners == 7
+        assert para.peek(0) == 0
+
+    def test_counter_transiently_bounded_overshoot(self):
+        """With the initial test present, overshoot beyond the bound is
+        limited to the concurrent-attempt count, and the final value is
+        exact.  (This is the point of the 'redundant' pre-test.)"""
+
+        def repeat_tir(pe_id, counter, bound, attempts):
+            wins = 0
+            for _ in range(attempts):
+                ok = yield from tir(counter, 1, bound)
+                if ok:
+                    wins += 1
+            return wins
+
+        para, stats = run_programs(
+            [(repeat_tir, (0, 5, 20))] * 16, seed=5
+        )
+        total_wins = sum(stats.return_values.values())
+        assert total_wins == 5
+        assert para.peek(0) == 5
+
+
+class TestUnsafeVariantAblation:
+    """The appendix: removing TIR's 'redundant' initial test 'permits
+    unacceptable race conditions' — failed retries without the pre-test
+    keep disturbing the counter, pushing it transiently far past the
+    bound; with the pre-test, a counter already at its bound is never
+    touched."""
+
+    @staticmethod
+    def _sampler(pe_id, counter, samples, duration, log):
+        from repro.core.memory_ops import Load
+
+        for _ in range(duration):
+            value = yield Load(counter)
+            log.append(value)
+        return max(log)
+
+    @staticmethod
+    def _storm(variant):
+        def hammer(pe_id, counter, bound, attempts):
+            for _ in range(attempts):
+                yield from variant(counter, 1, bound)
+            return True
+
+        return hammer
+
+    def test_unsafe_retry_storm_overshoots_bound(self):
+        log = []
+        para = Paracomputer(initial_memory={0: 2}, seed=6)
+        hammer = self._storm(unsafe_increment_if_below)
+        for _ in range(16):
+            para.spawn(hammer, 0, 2, 10)
+        para.spawn(self._sampler, 0, None, 40, log)
+        para.run(50_000)
+        assert max(log) > 2  # the bound (2) was transiently violated
+        assert para.peek(0) == 2  # though eventually restored
+
+    def test_safe_variant_never_disturbs_full_counter(self):
+        log = []
+        para = Paracomputer(initial_memory={0: 2}, seed=6)
+        hammer = self._storm(lambda c, d, b: tir(c, d, b))
+        for _ in range(16):
+            para.spawn(hammer, 0, 2, 10)
+        para.spawn(self._sampler, 0, None, 40, log)
+        para.run(50_000)
+        assert max(log) == 2  # pre-test keeps every attempt hands-off
+        assert para.peek(0) == 2

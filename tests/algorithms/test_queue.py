@@ -1,0 +1,217 @@
+"""Tests for the critical-section-free parallel queue (paper appendix)."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.algorithms.queue import (
+    QueueLayout,
+    QueueOverflow,
+    QueueUnderflow,
+    delete,
+    delete_or_raise,
+    insert,
+    insert_or_raise,
+    occupancy_bounds,
+)
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.paracomputer import Paracomputer
+
+QUEUE = QueueLayout(base=100, capacity=8)
+
+
+def inserter(pe_id, queue, items, results):
+    for item in items:
+        ok = yield from insert(queue, item)
+        results.append((item, ok))
+    return True
+
+
+def deleter(pe_id, queue, wanted, got):
+    while len([g for g in got if g[0] == pe_id]) < wanted:
+        item = yield from delete(queue)
+        if item is not None:
+            got.append((pe_id, item))
+    return True
+
+
+class TestSequential:
+    def test_insert_then_delete(self):
+        para = Paracomputer(seed=1)
+
+        def program(pe_id):
+            yield from insert(QUEUE, 42)
+            yield from insert(QUEUE, 43)
+            first = yield from delete(QUEUE)
+            second = yield from delete(QUEUE)
+            return (first, second)
+
+        para.spawn(program)
+        stats = para.run(5000)
+        assert stats.return_values[0] == (42, 43)  # FIFO
+
+    def test_underflow_returns_none(self):
+        para = Paracomputer(seed=1)
+
+        def program(pe_id):
+            item = yield from delete(QUEUE)
+            return item
+
+        para.spawn(program)
+        stats = para.run(5000)
+        assert stats.return_values[0] is None
+
+    def test_overflow_returns_false(self):
+        para = Paracomputer(seed=1)
+
+        def program(pe_id):
+            outcomes = []
+            for i in range(QUEUE.capacity + 2):
+                ok = yield from insert(QUEUE, i)
+                outcomes.append(ok)
+            return outcomes
+
+        para.spawn(program)
+        stats = para.run(50_000)
+        outcomes = stats.return_values[0]
+        assert outcomes == [True] * QUEUE.capacity + [False, False]
+
+    def test_wraparound_rounds(self):
+        """The circular array reuses slots across rounds; the phase
+        words keep rounds from colliding."""
+        para = Paracomputer(seed=2)
+
+        def program(pe_id):
+            seen = []
+            for round_number in range(4):
+                for i in range(QUEUE.capacity):
+                    yield from insert(QUEUE, round_number * 100 + i)
+                for i in range(QUEUE.capacity):
+                    seen.append((yield from delete(QUEUE)))
+            return seen
+
+        para.spawn(program)
+        stats = para.run(100_000)
+        expected = [r * 100 + i for r in range(4) for i in range(QUEUE.capacity)]
+        assert stats.return_values[0] == expected
+
+    def test_raising_helpers(self):
+        para = Paracomputer(seed=1)
+
+        def program(pe_id):
+            try:
+                yield from delete_or_raise(QUEUE)
+            except QueueUnderflow:
+                pass
+            else:  # pragma: no cover
+                raise AssertionError("expected underflow")
+            yield from insert_or_raise(QUEUE, 5)
+            return (yield from delete_or_raise(QUEUE))
+
+        para.spawn(program)
+        stats = para.run(5000)
+        assert stats.return_values[0] == 5
+
+
+class TestConcurrent:
+    @pytest.mark.parametrize("machine_kind", ["paracomputer", "ultracomputer"])
+    def test_no_items_lost_or_duplicated(self, machine_kind):
+        queue = QueueLayout(base=100, capacity=16)
+        produced = [list(range(pe * 100, pe * 100 + 12)) for pe in range(4)]
+        results: list = []
+        got: list = []
+
+        if machine_kind == "paracomputer":
+            machine = Paracomputer(seed=9)
+        else:
+            machine = Ultracomputer(MachineConfig(n_pes=8))
+        for pe in range(4):
+            machine.spawn(inserter, queue, produced[pe], results)
+        for pe in range(4):
+            machine.spawn(deleter, queue, 12, got)
+        if machine_kind == "paracomputer":
+            machine.run(200_000)
+        else:
+            machine.run(3_000_000)
+
+        deleted = sorted(item for _, item in got)
+        assert deleted == sorted(x for items in produced for x in items)
+
+    def test_fifo_safety_property(self):
+        """The appendix's FIFO formulation: if insert(p) completes
+        before insert(q) starts, no delete yielding q completes before a
+        delete yielding p starts.  We check it with timestamped
+        histories from the paracomputer."""
+        queue = QueueLayout(base=100, capacity=16)
+        para = Paracomputer(seed=13)
+        insert_windows: dict[int, tuple[int, int]] = {}
+        delete_windows: dict[int, tuple[int, int]] = {}
+
+        def timed_inserter(pe_id, items):
+            for item in items:
+                start = para.cycle
+                ok = yield from insert(queue, item)
+                assert ok
+                insert_windows[item] = (start, para.cycle)
+            return True
+
+        def timed_deleter(pe_id, count):
+            for _ in range(count):
+                while True:
+                    start = para.cycle
+                    item = yield from delete(queue)
+                    if item is not None:
+                        delete_windows[item] = (start, para.cycle)
+                        break
+            return True
+
+        for pe in range(4):
+            para.spawn(timed_inserter, list(range(pe * 10, pe * 10 + 6)))
+        for pe in range(4):
+            para.spawn(timed_deleter, 6)
+        para.run(300_000)
+
+        items = list(insert_windows)
+        for p in items:
+            for q in items:
+                if insert_windows[p][1] < insert_windows[q][0]:
+                    # p fully inserted before q started inserting
+                    assert not (
+                        delete_windows[q][1] < delete_windows[p][0]
+                    ), f"q={q} deleted entirely before p={p}'s delete began"
+
+    def test_bounds_invariant_at_quiescence(self):
+        queue = QueueLayout(base=100, capacity=8)
+        para = Paracomputer(seed=4)
+
+        def program(pe_id):
+            for i in range(3):
+                yield from insert(queue, i)
+            lower, upper = yield from occupancy_bounds(queue)
+            return (lower, upper)
+
+        para.spawn(program)
+        stats = para.run(10_000)
+        assert stats.return_values[0] == (3, 3)
+
+    def test_full_queue_insert_delete_churn(self):
+        """Keep the queue at capacity while concurrent inserts and
+        deletes churn — exercises the note that a 'full' queue may have
+        usable cells mid-deletion."""
+        queue = QueueLayout(base=100, capacity=4)
+        para = Paracomputer(seed=21)
+        got: list = []
+
+        def retrying_inserter(pe_id, items):
+            for item in items:
+                while True:
+                    ok = yield from insert(queue, item)
+                    if ok:
+                        break
+            return True
+
+        para.spawn(retrying_inserter, list(range(20)))
+        para.spawn(deleter, queue, 16, got)
+        para.run(400_000)
+        assert len(got) == 16
+        assert sorted(g for _, g in got) == list(range(16))  # FIFO order

@@ -1,0 +1,79 @@
+"""Model-based (stateful) testing of the parallel queue.
+
+Hypothesis drives random insert/delete sequences against the shared-
+memory queue running on a paracomputer, checking every response against
+a reference ``collections.deque``.  Sequential rules (one operation at a
+time) — the concurrent behaviour is covered by the interleaving tests in
+``test_queue.py``; this machine nails the *functional* specification:
+FIFO order, exact overflow/underflow behaviour, and the occupancy
+bounds.
+"""
+
+from collections import deque
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+import hypothesis.strategies as st
+
+from repro.algorithms.queue import QueueLayout, delete, insert, occupancy_bounds
+from repro.core.paracomputer import Paracomputer
+
+CAPACITY = 4
+
+
+class QueueModel(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.para = Paracomputer(seed=99)
+        self.layout = QueueLayout(base=100, capacity=CAPACITY)
+        self.reference: deque[int] = deque()
+        self.counter = 0
+
+    def _run(self, generator_fn, *args):
+        """Execute one queue operation to completion on a fresh PE."""
+        result_box = []
+
+        def program(pe_id):
+            result = yield from generator_fn(*args)
+            result_box.append(result)
+            return result
+
+        self.para.spawn(program)
+        self.para.run(50_000)
+        return result_box[0]
+
+    @rule()
+    def do_insert(self):
+        self.counter += 1
+        value = self.counter
+        ok = self._run(insert, self.layout, value)
+        if len(self.reference) < CAPACITY:
+            assert ok, "insert refused with space available"
+            self.reference.append(value)
+        else:
+            assert not ok, "insert accepted into a full queue"
+
+    @rule()
+    def do_delete(self):
+        item = self._run(delete, self.layout)
+        if self.reference:
+            expected = self.reference.popleft()
+            assert item == expected, f"FIFO violated: {item} != {expected}"
+        else:
+            assert item is None, "delete produced an item from empty queue"
+
+    @invariant()
+    def bounds_track_occupancy(self):
+        lower, upper = self._run(occupancy_bounds, self.layout)
+        assert lower == upper == len(self.reference)
+
+
+QueueModelTest = QueueModel.TestCase
+QueueModelTest.settings = settings(
+    max_examples=15, stateful_step_count=20, deadline=None
+)

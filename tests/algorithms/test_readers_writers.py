@@ -1,0 +1,173 @@
+"""Tests for the completely parallel readers–writers protocol (section 2.3)."""
+
+from repro.algorithms.readers_writers import (
+    RWLock,
+    acquire_read,
+    acquire_write,
+    read_section,
+    release_read,
+    release_write,
+    write_section,
+)
+from repro.core.memory_ops import FetchAdd, Load
+from repro.core.paracomputer import Paracomputer
+
+LOCK = RWLock(address=0, writer_weight=1 << 10)
+
+
+class Monitor:
+    """Host-side section tracker: verifies the exclusion invariants."""
+
+    def __init__(self):
+        self.readers = 0
+        self.writers = 0
+        self.max_concurrent_readers = 0
+        self.violations = []
+
+    def enter_read(self):
+        self.readers += 1
+        self.max_concurrent_readers = max(self.max_concurrent_readers, self.readers)
+        if self.writers:
+            self.violations.append("reader entered during write")
+
+    def exit_read(self):
+        self.readers -= 1
+
+    def enter_write(self):
+        self.writers += 1
+        if self.writers > 1:
+            self.violations.append("two writers")
+        if self.readers:
+            self.violations.append("writer entered during reads")
+
+    def exit_write(self):
+        self.writers -= 1
+
+
+def reader(pe_id, lock, monitor, rounds):
+    for _ in range(rounds):
+        yield from acquire_read(lock)
+        monitor.enter_read()
+        yield 3  # read work
+        monitor.exit_read()
+        yield from release_read(lock)
+    return True
+
+
+def writer(pe_id, lock, monitor, rounds):
+    for _ in range(rounds):
+        yield from acquire_write(lock)
+        monitor.enter_write()
+        yield 3  # write work
+        monitor.exit_write()
+        yield from release_write(lock)
+    return True
+
+
+class TestExclusion:
+    def test_mixed_load_respects_invariants(self):
+        monitor = Monitor()
+        para = Paracomputer(seed=8)
+        for _ in range(10):
+            para.spawn(reader, LOCK, monitor, 4)
+        for _ in range(2):
+            para.spawn(writer, LOCK, monitor, 3)
+        para.run(200_000)
+        assert monitor.violations == []
+        assert para.peek(LOCK.address) == 0  # fully released
+
+    def test_readers_overlap(self):
+        """Reader concurrency is the whole point: with no writers, many
+        readers must be in-section simultaneously."""
+        monitor = Monitor()
+        para = Paracomputer(seed=2)
+        for _ in range(12):
+            para.spawn(reader, LOCK, monitor, 2)
+        para.run(50_000)
+        assert monitor.violations == []
+        assert monitor.max_concurrent_readers >= 8
+
+    def test_writers_serialize(self):
+        monitor = Monitor()
+        para = Paracomputer(seed=5)
+        for _ in range(4):
+            para.spawn(writer, LOCK, monitor, 3)
+        para.run(100_000)
+        assert monitor.violations == []
+
+
+class TestFastPath:
+    def test_uncontended_reader_needs_no_retry(self):
+        """'During periods when no writers are active, no serial code is
+        executed': a reader's acquire is one fetch-and-add."""
+        para = Paracomputer(seed=1)
+
+        def probe(pe_id):
+            retries = yield from acquire_read(LOCK)
+            yield from release_read(LOCK)
+            return retries
+
+        para.spawn_many(16, probe)
+        stats = para.run(5000)
+        assert all(v == 0 for v in stats.return_values.values())
+
+    def test_reader_backs_off_during_write(self):
+        para = Paracomputer(seed=3)
+        monitor = Monitor()
+
+        def long_writer(pe_id):
+            yield from acquire_write(LOCK)
+            monitor.enter_write()
+            yield 30
+            monitor.exit_write()
+            yield from release_write(LOCK)
+            return True
+
+        def late_reader(pe_id):
+            yield 5  # arrive while the writer holds the lock
+            retries = yield from acquire_read(LOCK)
+            monitor.enter_read()
+            monitor.exit_read()
+            yield from release_read(LOCK)
+            return retries
+
+        para.spawn(long_writer)
+        para.spawn(late_reader)
+        stats = para.run(20_000)
+        assert monitor.violations == []
+        assert stats.return_values[1] >= 1  # had to back off at least once
+
+
+class TestSectionHelpers:
+    def test_read_section_wraps(self):
+        para = Paracomputer(seed=1)
+
+        def body():
+            value = yield Load(50)
+            return value
+
+        def program(pe_id):
+            result = yield from read_section(LOCK, body())
+            return result
+
+        para.poke(50, 77)
+        para.spawn(program)
+        stats = para.run(5000)
+        assert stats.return_values[0] == 77
+        assert para.peek(LOCK.address) == 0
+
+    def test_write_section_wraps(self):
+        para = Paracomputer(seed=1)
+
+        def body():
+            yield FetchAdd(60, 5)
+            return True
+
+        def program(pe_id):
+            yield from write_section(LOCK, body())
+            return True
+
+        para.spawn(program)
+        para.run(5000)
+        assert para.peek(60) == 5
+        assert para.peek(LOCK.address) == 0

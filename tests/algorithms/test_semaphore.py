@@ -1,0 +1,121 @@
+"""Tests for semaphores and the spin-lock baseline."""
+
+from repro.algorithms.semaphore import (
+    Semaphore,
+    SpinLock,
+    acquire,
+    lock,
+    release,
+    try_acquire,
+    unlock,
+)
+from repro.core.paracomputer import Paracomputer
+
+
+class TestCountingSemaphore:
+    def test_try_acquire_when_available(self):
+        para = Paracomputer(initial_memory={0: 3}, seed=1)
+        sem = Semaphore(address=0)
+
+        def program(pe_id):
+            ok = yield from try_acquire(sem)
+            return ok
+
+        para.spawn(program)
+        stats = para.run(5000)
+        assert stats.return_values[0] is True
+        assert para.peek(0) == 2
+
+    def test_try_acquire_fails_empty(self):
+        para = Paracomputer(seed=1)
+        sem = Semaphore(address=0)
+
+        def program(pe_id):
+            ok = yield from try_acquire(sem)
+            return ok
+
+        para.spawn(program)
+        stats = para.run(5000)
+        assert stats.return_values[0] is False
+        assert para.peek(0) == 0
+
+    def test_capacity_respected_under_contention(self):
+        """A 3-unit semaphore guarding a section: never more than three
+        holders at once."""
+        para = Paracomputer(initial_memory={0: 3}, seed=9)
+        sem = Semaphore(address=0)
+        holders = {"now": 0, "peak": 0}
+
+        def program(pe_id):
+            yield from acquire(sem)
+            holders["now"] += 1
+            holders["peak"] = max(holders["peak"], holders["now"])
+            yield 5
+            holders["now"] -= 1
+            yield from release(sem)
+            return True
+
+        para.spawn_many(10, program)
+        stats = para.run(100_000)
+        assert stats.all_finished
+        assert holders["peak"] <= 3
+        assert para.peek(0) == 3
+
+    def test_multi_unit_claims(self):
+        para = Paracomputer(initial_memory={0: 5}, seed=2)
+        sem = Semaphore(address=0)
+
+        def program(pe_id):
+            ok = yield from try_acquire(sem, units=4)
+            return ok
+
+        para.spawn_many(2, program)
+        stats = para.run(10_000)
+        outcomes = sorted(stats.return_values.values())
+        assert outcomes == [False, True]  # only one 4-unit claim fits
+        assert para.peek(0) == 1
+
+
+class TestSpinLock:
+    def test_mutual_exclusion(self):
+        para = Paracomputer(seed=11)
+        spin = SpinLock(address=0)
+        section = {"inside": 0, "violations": 0, "entries": 0}
+
+        def program(pe_id):
+            for _ in range(3):
+                yield from lock(spin)
+                section["inside"] += 1
+                section["entries"] += 1
+                if section["inside"] > 1:
+                    section["violations"] += 1
+                yield 2
+                section["inside"] -= 1
+                yield from unlock(spin)
+            return True
+
+        para.spawn_many(6, program)
+        stats = para.run(200_000)
+        assert stats.all_finished
+        assert section["violations"] == 0
+        assert section["entries"] == 18
+        assert para.peek(0) == 0
+
+    def test_attempt_counting(self):
+        para = Paracomputer(initial_memory={0: 1}, seed=3)
+        spin = SpinLock(address=0)
+
+        def contender(pe_id):
+            attempts = yield from lock(spin)
+            yield from unlock(spin)
+            return attempts
+
+        def releaser(pe_id):
+            yield 10
+            yield from unlock(spin)
+            return 0
+
+        para.spawn(contender)
+        para.spawn(releaser)
+        stats = para.run(10_000)
+        assert stats.return_values[0] >= 1  # lock was initially held

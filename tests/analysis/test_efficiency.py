@@ -1,0 +1,112 @@
+"""Tests for the TRED2 cost model and efficiency tables (section 5)."""
+
+import math
+
+import pytest
+
+from repro.analysis.efficiency import (
+    TABLE_MATRIX_SIZES,
+    TABLE_PROCESSOR_COUNTS,
+    Tred2CostModel,
+    Tred2Sample,
+    efficiency_table,
+    fit_cost_model,
+    format_efficiency_table,
+    prediction_error,
+)
+
+
+def synthetic_samples(a=20.0, d=3.0, wn=50.0, wp=10.0):
+    samples = []
+    for p in (1, 2, 4, 8, 16):
+        for n in (8, 16, 32):
+            wait = (wn * n + wp * math.sqrt(p)) if p > 1 else 0.0
+            total = a * n + d * n**3 / p + wait
+            samples.append(
+                Tred2Sample(
+                    processors=p, matrix_size=n, total_time=total, waiting_time=wait
+                )
+            )
+    return samples
+
+
+class TestFitting:
+    def test_fit_recovers_synthetic_constants(self):
+        model = fit_cost_model(synthetic_samples())
+        assert model.overhead == pytest.approx(20.0, rel=0.05)
+        assert model.work == pytest.approx(3.0, rel=0.05)
+        assert model.wait_n == pytest.approx(50.0, rel=0.05)
+        assert model.wait_p == pytest.approx(10.0, rel=0.2)
+
+    def test_fit_predicts_held_out_pairs(self):
+        """The paper: held-out runs 'have always yielded results within
+        1% of the predicted value' — exact here because the synthetic
+        data is noiseless."""
+        model = fit_cost_model(synthetic_samples())
+        holdout = [
+            Tred2Sample(
+                processors=32,
+                matrix_size=24,
+                total_time=20 * 24 + 3 * 24**3 / 32 + 50 * 24 + 10 * math.sqrt(32),
+                waiting_time=50 * 24 + 10 * math.sqrt(32),
+            )
+        ]
+        assert prediction_error(model, holdout) < 0.01
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            fit_cost_model(synthetic_samples()[:2])
+
+
+class TestModelShape:
+    @pytest.fixture
+    def model(self):
+        return Tred2CostModel(overhead=20.0, work=3.0, wait_n=50.0, wait_p=10.0)
+
+    def test_serial_time_has_no_waiting(self, model):
+        assert model.waiting(1, 64) == 0.0
+
+    def test_efficiency_bounded(self, model):
+        for p in TABLE_PROCESSOR_COUNTS:
+            for n in TABLE_MATRIX_SIZES:
+                e = model.efficiency(p, n)
+                assert 0.0 < e <= 1.0 + 1e-9
+
+    def test_efficiency_increases_with_matrix_size(self, model):
+        """Down each column of Table 2, efficiency rises with N."""
+        for p in TABLE_PROCESSOR_COUNTS:
+            values = [model.efficiency(p, n) for n in TABLE_MATRIX_SIZES]
+            assert values == sorted(values)
+
+    def test_efficiency_decreases_with_processors(self, model):
+        """Across each row of Table 2, efficiency falls with P."""
+        for n in TABLE_MATRIX_SIZES:
+            values = [model.efficiency(p, n) for p in TABLE_PROCESSOR_COUNTS]
+            assert values == sorted(values, reverse=True)
+
+    def test_no_wait_projection_dominates(self, model):
+        """Table 3 >= Table 2 pointwise ('all the waiting time can be
+        recovered')."""
+        with_wait = efficiency_table(model, include_waiting=True)
+        without_wait = efficiency_table(model, include_waiting=False)
+        for row_w, row_n in zip(with_wait, without_wait):
+            for a, b in zip(row_w, row_n):
+                assert b >= a
+
+    def test_large_problems_reach_high_efficiency(self, model):
+        """The bottom-left of Table 3: N >> P pushes efficiency to ~1."""
+        assert model.efficiency(16, 1024, include_waiting=False) > 0.95
+
+
+class TestFormatting:
+    def test_format_matches_paper_layout(self):
+        model = Tred2CostModel(overhead=20.0, work=3.0, wait_n=50.0, wait_p=10.0)
+        table = efficiency_table(model, include_waiting=True)
+        text = format_efficiency_table(table, measured={(16, 16)})
+        lines = text.splitlines()
+        assert "N\\PE" in lines[0]
+        assert len(lines) == 2 + len(TABLE_MATRIX_SIZES)
+        # measured entries unstarred, projections starred
+        first_data_row = lines[2]
+        assert "%*" in text
+        assert first_data_row.startswith("    16")

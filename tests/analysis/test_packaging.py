@@ -1,0 +1,103 @@
+"""Tests for the packaging model — the section 3.6 numbers."""
+
+import pytest
+
+from repro.analysis.packaging import (
+    ModulePartition,
+    chip_budget,
+    package_machine,
+)
+
+
+class TestPaper4KMachine:
+    """Every number in section 3.6, computed rather than quoted."""
+
+    @pytest.fixture
+    def report(self):
+        return package_machine(4096, switch_arity=4)
+
+    def test_roughly_65000_chips(self, report):
+        assert report.total_chips == 65536  # "roughly 65,000 chips"
+
+    def test_network_fraction_19_percent(self, report):
+        assert report.network_chip_fraction == pytest.approx(0.19, abs=0.005)
+
+    def test_memory_chips_dominate(self, report):
+        # "the chip count is still dominated ... by the memory chips"
+        assert report.mm_chips > report.pe_chips
+        assert report.mm_chips > report.network_chips
+
+    def test_64_boards_each_side(self, report):
+        assert report.pe_boards == 64
+        assert report.mm_boards == 64
+
+    def test_chips_per_board(self, report):
+        # "each PE board containing 352 chips and each MM board
+        # containing 672 chips"
+        assert report.chips_per_pe_board == 352
+        assert report.chips_per_mm_board == 672
+
+    def test_six_stages_of_4x4(self, report):
+        assert report.stages == 6
+        assert report.switches_per_stage == 1024
+        assert report.total_switches == 6144
+
+    def test_board_chips_account_for_everything(self, report):
+        total_on_boards = (
+            report.pe_boards * report.chips_per_pe_board
+            + report.mm_boards * report.chips_per_mm_board
+        )
+        assert total_on_boards == report.total_chips
+
+    def test_summary_rows_printable(self, report):
+        rows = dict(report.summary_rows())
+        assert rows["total chips"] == 65536
+        assert rows["PE boards"] == 64
+
+
+class TestModulePartition:
+    def test_4k_partition(self):
+        partition = ModulePartition(4096)
+        assert partition.modules == 64
+        assert partition.inputs_per_module == 64
+        # sqrt(N) (log N) / 4 = 64 * 12 / 4 = 192 switches (2x2)
+        assert partition.switches_per_module == 192
+        assert partition.stages_per_module == 6
+
+    def test_partition_covers_whole_network(self):
+        """Input + output racks together hold all (N/2) log N switches."""
+        partition = ModulePartition(4096)
+        assert partition.total_module_switches() == (4096 // 2) * 12
+
+    def test_small_example(self):
+        partition = ModulePartition(16)
+        assert partition.modules == 4
+        assert partition.switches_per_module == 4
+        assert partition.total_module_switches() == 8 * 4
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            ModulePartition(8).modules
+
+
+class TestParametricBudget:
+    def test_budget_components_sum(self):
+        budget = chip_budget(256)
+        assert budget["total"] == budget["pe"] + budget["mm"] + budget["network"]
+
+    def test_network_share_shrinks_slowly(self):
+        """O(N log N) network vs O(N) endpoints: the network share grows
+        with machine size — the cost pressure the paper flags."""
+        small = chip_budget(256)
+        large = chip_budget(4096)
+        small_share = small["network"] / small["total"]
+        large_share = large["network"] / large["total"]
+        assert large_share > small_share
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            chip_budget(100)
+
+    def test_package_requires_arity_4(self):
+        with pytest.raises(ValueError, match="4x4"):
+            package_machine(4096, switch_arity=2)

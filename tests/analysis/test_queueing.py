@@ -1,0 +1,142 @@
+"""Tests for the analytic network model (section 4.1)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.analysis.queueing import (
+    CapacityExceededError,
+    capacity,
+    network_transit_time,
+    nonpipelined_bandwidth_bound,
+    round_trip_time,
+    saturation_intensity,
+    stage_count,
+    switch_delay,
+    switch_queueing_delay,
+    transit_breakdown,
+)
+
+
+class TestSwitchDelay:
+    def test_zero_traffic_gives_pure_service(self):
+        assert switch_delay(2, 2, 0.0) == 1.0
+
+    def test_queueing_term_matches_formula(self):
+        # delay = 1 + m^2 p (1 - 1/k) / (2 (1 - m p))
+        k, m, p = 2, 2, 0.2
+        expected = (m * m) * p * (1 - 1 / k) / (2 * (1 - m * p))
+        assert switch_queueing_delay(k, m, p) == pytest.approx(expected)
+
+    def test_diverges_at_capacity(self):
+        assert switch_queueing_delay(2, 2, 0.499) > 40
+
+    def test_capacity_error(self):
+        with pytest.raises(CapacityExceededError):
+            switch_delay(2, 2, 0.5)
+
+    def test_copies_divide_load(self):
+        single = switch_queueing_delay(4, 4, 0.2, d=1)
+        double = switch_queueing_delay(4, 4, 0.2, d=2)
+        assert double < single
+        # d=2 at p equals d=1 at p/2
+        assert double == pytest.approx(switch_queueing_delay(4, 4, 0.1, d=1))
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.sampled_from([2, 4, 8]),
+        st.floats(min_value=0.0, max_value=0.1),
+        st.floats(min_value=0.001, max_value=0.01),
+    )
+    def test_monotone_in_traffic(self, k, p, dp):
+        m = k
+        assert switch_delay(k, m, p + dp) >= switch_delay(k, m, p)
+
+
+class TestTransitTime:
+    def test_paper_closed_form_with_m_equals_k(self):
+        """T = (1 + k(k-1)p / 2(d - kp)) lg n / lg k + k - 1."""
+        n, k, d, p = 4096, 4, 2, 0.15
+        expected = (1 + k * (k - 1) * p / (2 * (d - k * p))) * (
+            math.log2(n) / math.log2(k)
+        ) + k - 1
+        assert network_transit_time(n, k, k, p, d) == pytest.approx(expected)
+
+    def test_unloaded_transit_is_stages_plus_pipe(self):
+        assert network_transit_time(4096, 4, 4, 0.0, 1) == 6 + 3
+        assert network_transit_time(1024, 2, 2, 0.0, 1) == 10 + 1
+
+    def test_latency_logarithmic_in_n(self):
+        # Net of the pipe-setting constant, transit scales with stages.
+        m = 2
+        t1 = network_transit_time(64, 2, m, 0.1) - (m - 1)
+        t2 = network_transit_time(4096, 2, m, 0.1) - (m - 1)
+        assert t2 / t1 == pytest.approx(2.0)  # 12 stages vs 6
+
+    def test_stage_count_validation(self):
+        with pytest.raises(ValueError):
+            stage_count(100, 4)
+
+    def test_round_trip_adds_memory(self):
+        one_way = network_transit_time(64, 2, 2, 0.0)
+        assert round_trip_time(64, 2, 2, 0.0, mm_latency=2) == 2 * one_way + 2
+
+    def test_breakdown_totals(self):
+        breakdown = transit_breakdown(4096, 4, 4, 0.2, 2)
+        assert breakdown.total == pytest.approx(
+            network_transit_time(4096, 4, 4, 0.2, 2)
+        )
+        assert breakdown.stages == 6
+        assert breakdown.pipe_setting == 3
+
+
+class TestCapacity:
+    def test_capacity_value(self):
+        assert capacity(4, 2) == 0.5
+        assert capacity(8, 6) == 0.75
+
+    def test_bandwidth_linear_in_n(self):
+        """Design objective 1: total capacity = n * d/m messages/cycle
+        grows linearly, unlike the non-pipelined O(n / log n) bound."""
+        for n in (64, 256, 1024):
+            total = n * capacity(2, 1)
+            assert total == n / 2
+            assert nonpipelined_bandwidth_bound(n, 2) < total
+
+    def test_saturation_intensity_monotone_in_target(self):
+        p_low = saturation_intensity(4, 4, 1, target_delay=10.0, n=4096)
+        p_high = saturation_intensity(4, 4, 1, target_delay=20.0, n=4096)
+        assert p_low <= p_high
+
+    def test_saturation_inverse_of_transit(self):
+        target = 15.0
+        p = saturation_intensity(4, 4, 2, target, n=4096)
+        assert network_transit_time(4096, 4, 4, p, 2) == pytest.approx(
+            target, rel=1e-3
+        )
+
+
+class TestValidation:
+    def test_negative_traffic(self):
+        with pytest.raises(ValueError):
+            switch_delay(2, 2, -0.1)
+
+    def test_bad_arity(self):
+        with pytest.raises(ValueError):
+            switch_delay(1, 1, 0.1)
+
+    def test_bad_copies(self):
+        with pytest.raises(ValueError):
+            switch_delay(2, 2, 0.1, d=0)
+
+    def test_m_squared_interpretation(self):
+        """The paper's 'surprising m^2 factor': a switch with
+        multiplexing m behaves like one with an m-times-longer cycle and
+        m times the traffic per cycle."""
+        k, p = 2, 0.05
+        direct = switch_queueing_delay(k, 4, p)
+        # one cycle 4x longer (delay scales by 4), traffic 4x per cycle
+        rescaled = 4 * switch_queueing_delay(k, 1, 4 * p)
+        assert direct == pytest.approx(rescaled)

@@ -1,0 +1,71 @@
+"""Tests for the WASHCLOTH-style scaling harness."""
+
+import pytest
+
+from repro.apps.harness import ScalingStudy, run_point, run_study
+from repro.core.memory_ops import FetchAdd
+
+
+def counting_workload(processors, size):
+    """A perfectly divisible workload: size items, F&A self-scheduled."""
+
+    def setup(machine):
+        machine.poke(0, 0)
+
+    def program(pe_id, total_items):
+        while True:
+            item = yield FetchAdd(0, 1)
+            if item >= total_items:
+                return True
+            yield 4  # per-item work
+
+    return setup, program, (size,)
+
+
+class TestRunPoint:
+    def test_measures_cycles_and_ops(self):
+        point = run_point(counting_workload, 2, 32, seed=1)
+        assert point.processors == 2
+        assert point.cycles > 0
+        assert point.ops_issued >= 32
+
+    def test_more_processors_fewer_cycles(self):
+        serial = run_point(counting_workload, 1, 64, seed=1)
+        parallel = run_point(counting_workload, 8, 64, seed=1)
+        assert parallel.cycles < serial.cycles
+        assert parallel.speedup_vs(serial) > 4.0
+        assert 0.5 < parallel.efficiency_vs(serial) <= 1.05
+
+
+class TestRunStudy:
+    @pytest.fixture(scope="class")
+    def study(self):
+        return run_study(
+            counting_workload,
+            name="counting",
+            processor_counts=[1, 2, 4, 8],
+            sizes=[32, 128],
+            seed=2,
+        )
+
+    def test_grid_complete(self, study):
+        assert len(study.points) == 8
+
+    def test_efficiency_decreases_with_processors(self, study):
+        for size in (32, 128):
+            values = [study.efficiency(p, size) for p in (2, 4, 8)]
+            assert values == sorted(values, reverse=True)
+
+    def test_bigger_problems_scale_better(self, study):
+        assert study.efficiency(8, 128) > study.efficiency(8, 32)
+
+    def test_table_renders(self, study):
+        text = study.table()
+        assert "counting" in text
+        assert "%" in text
+        assert "128" in text
+
+    def test_missing_serial_raises(self):
+        study = ScalingStudy(workload_name="x")
+        with pytest.raises(KeyError, match="serial"):
+            study.serial(10)

@@ -1,0 +1,99 @@
+"""Tests for the Monte Carlo particle-tracking workload."""
+
+import math
+import random
+
+import pytest
+
+from repro.apps.montecarlo import (
+    SlabProblem,
+    TransportResult,
+    parallel_tracker,
+    pure_absorber_transmission,
+    simulate,
+    simulate_parallel,
+    track_particle,
+)
+
+
+class TestSerial:
+    def test_pure_absorber_matches_closed_form(self):
+        problem = SlabProblem(
+            thickness=2.0, sigma_total=1.0, scatter_probability=0.0
+        )
+        result = simulate(problem, 40_000, seed=7)
+        assert result.transmission == pytest.approx(
+            pure_absorber_transmission(problem), abs=0.01
+        )
+
+    def test_no_reflection_without_scattering(self):
+        problem = SlabProblem(
+            thickness=1.0, sigma_total=1.0, scatter_probability=0.0
+        )
+        result = simulate(problem, 5_000, seed=3)
+        assert result.reflected == 0
+
+    def test_scattering_produces_reflection(self):
+        problem = SlabProblem(
+            thickness=1.0, sigma_total=1.0, scatter_probability=0.8
+        )
+        result = simulate(problem, 5_000, seed=3)
+        assert result.reflected > 0
+
+    def test_tally_conservation(self):
+        problem = SlabProblem()
+        result = simulate(problem, 1_234, seed=1)
+        assert result.histories == 1_234
+
+    def test_thicker_slab_transmits_less(self):
+        thin = simulate(SlabProblem(thickness=1.0), 20_000, seed=5)
+        thick = simulate(SlabProblem(thickness=4.0), 20_000, seed=5)
+        assert thick.transmission < thin.transmission
+
+    def test_track_particle_fates(self):
+        rng = random.Random(0)
+        problem = SlabProblem()
+        fates = {track_particle(problem, rng)[0] for _ in range(500)}
+        assert fates <= {"transmitted", "reflected", "absorbed"}
+        assert "absorbed" in fates
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlabProblem(thickness=-1).validate()
+        with pytest.raises(ValueError):
+            SlabProblem(scatter_probability=1.0).validate()
+
+
+class TestParallel:
+    def test_exact_history_conservation(self):
+        """Fetch-and-add dispensing: every particle tracked exactly once
+        regardless of PE count."""
+        problem = SlabProblem()
+        for processors in (1, 4, 16):
+            result, _ = simulate_parallel(problem, 300, processors, seed=2)
+            assert result.histories == 300
+
+    def test_agrees_with_serial_statistics(self):
+        problem = SlabProblem(
+            thickness=2.0, sigma_total=1.0, scatter_probability=0.0
+        )
+        parallel_result, _ = simulate_parallel(problem, 8_000, 16, seed=9)
+        expected = pure_absorber_transmission(problem)
+        assert parallel_result.transmission == pytest.approx(expected, abs=0.02)
+
+    def test_speedup_with_more_processors(self):
+        problem = SlabProblem()
+        _, cycles_2 = simulate_parallel(problem, 400, 2, seed=4)
+        _, cycles_16 = simulate_parallel(problem, 400, 16, seed=4)
+        assert cycles_16 < cycles_2
+        assert cycles_2 / cycles_16 > 3  # near-linear MIMD scaling
+
+    def test_workers_report_tracked_counts(self):
+        from repro.apps.montecarlo import TallyLayout
+        from repro.core.paracomputer import Paracomputer
+
+        para = Paracomputer(seed=1)
+        layout = TallyLayout(base=0)
+        para.spawn_many(4, parallel_tracker, layout, SlabProblem(), 100)
+        stats = para.run(100_000)
+        assert sum(stats.return_values.values()) == 100

@@ -1,0 +1,107 @@
+"""Tests for the multigrid Poisson solver."""
+
+import numpy as np
+import pytest
+
+from repro.apps.poisson import (
+    build_traces,
+    jacobi,
+    manufactured_problem,
+    prolong,
+    residual,
+    restrict,
+    solve,
+    v_cycle,
+)
+
+
+class TestComponents:
+    def test_residual_of_exact_discrete_solution_small(self):
+        f, exact = manufactured_problem(16)
+        r = residual(exact, f, h=1 / 16)
+        # truncation error only: O(h^2) * ||f|| scale
+        assert float(np.max(np.abs(r))) < 1.0
+
+    def test_jacobi_reduces_residual(self):
+        f, _ = manufactured_problem(16)
+        u0 = np.zeros_like(f)
+        u1 = jacobi(u0, f, 1 / 16, sweeps=10)
+        r0 = np.linalg.norm(residual(u0, f, 1 / 16))
+        r1 = np.linalg.norm(residual(u1, f, 1 / 16))
+        assert r1 < r0
+
+    def test_restrict_prolong_shapes(self):
+        fine = np.random.default_rng(0).standard_normal((17, 17))
+        coarse = restrict(fine)
+        assert coarse.shape == (9, 9)
+        back = prolong(coarse, 16)
+        assert back.shape == (17, 17)
+
+    def test_prolong_interpolates_coarse_points_exactly(self):
+        coarse = np.arange(25.0).reshape(5, 5)
+        fine = prolong(coarse, 8)
+        assert np.allclose(fine[::2, ::2], coarse)
+
+    def test_restriction_preserves_smooth_fields(self):
+        xs = np.linspace(0, 1, 17)
+        smooth = np.sin(np.pi * xs)[:, None] * np.sin(np.pi * xs)[None, :]
+        coarse = restrict(smooth)
+        xc = np.linspace(0, 1, 9)
+        expected = np.sin(np.pi * xc)[:, None] * np.sin(np.pi * xc)[None, :]
+        assert np.allclose(coarse[1:-1, 1:-1], expected[1:-1, 1:-1], atol=0.05)
+
+
+class TestVCycle:
+    def test_contraction_factor(self):
+        f, _ = manufactured_problem(32)
+        _u, norms = solve(f, cycles=6)
+        factors = [b / a for a, b in zip(norms, norms[1:])]
+        assert max(factors) < 0.35  # textbook multigrid contraction
+
+    def test_converges_to_manufactured_solution(self):
+        f, exact = manufactured_problem(32)
+        u, _ = solve(f, cycles=12)
+        assert float(np.max(np.abs(u - exact))) < 5e-3
+
+    def test_second_order_accuracy(self):
+        """Doubling the grid roughly quarters the discretization error."""
+        errors = {}
+        for n in (16, 32):
+            f, exact = manufactured_problem(n)
+            u, _ = solve(f, cycles=15)
+            errors[n] = float(np.max(np.abs(u - exact)))
+        assert errors[32] < errors[16] / 2.5
+
+    def test_boundary_stays_zero(self):
+        f, _ = manufactured_problem(16)
+        u = v_cycle(np.zeros_like(f), f, 1 / 16)
+        assert np.allclose(u[0, :], 0) and np.allclose(u[-1, :], 0)
+        assert np.allclose(u[:, 0], 0) and np.allclose(u[:, -1], 0)
+
+    def test_bad_grid_rejected(self):
+        with pytest.raises(ValueError):
+            solve(np.zeros((10, 10)))
+
+
+class TestTraces:
+    def test_reference_mix_in_paper_band(self):
+        traces = build_traces(32, 2, 16)
+        instructions = sum(t.instructions for t in traces)
+        refs = sum(t.data_refs for t in traces)
+        shared = sum(t.shared_refs for t in traces)
+        assert 0.12 < refs / instructions < 0.35
+        assert 0.02 < shared / instructions < 0.12
+
+    def test_coarse_levels_raise_shared_fraction(self):
+        """With many PEs, coarse grids (strip = 1 row) make both
+        vertical neighbours foreign, so the shared fraction rises versus
+        a few-PE run."""
+        many = build_traces(32, 1, 16)
+        few = build_traces(32, 1, 2)
+        share_many = sum(t.shared_refs for t in many) / sum(
+            t.instructions for t in many
+        )
+        share_few = sum(t.shared_refs for t in few) / sum(
+            t.instructions for t in few
+        )
+        assert share_many > share_few

@@ -1,0 +1,106 @@
+"""Tests for the synthetic traffic generators (section 4 workload model)."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.workloads.synthetic import (
+    SyntheticTrafficDriver,
+    TrafficSpec,
+    run_uniform_traffic,
+)
+
+
+def build(spec, n_pes=16, **config):
+    machine = Ultracomputer(MachineConfig(n_pes=n_pes, **config))
+    driver = SyntheticTrafficDriver(machine, spec)
+    machine.attach_driver(driver)
+    return machine, driver
+
+
+class TestOfferedLoad:
+    def test_offered_rate_matches_spec(self):
+        machine, driver = build(TrafficSpec(rate=0.25, seed=1))
+        machine.run_cycles(800)
+        offered_rate = driver.offered / (800 * 16)
+        assert offered_rate == pytest.approx(0.25, rel=0.15)
+
+    def test_zero_rate_offers_nothing(self):
+        machine, driver = build(TrafficSpec(rate=0.0, seed=1))
+        machine.run_cycles(100)
+        assert driver.offered == 0
+
+    def test_requests_per_pe_limit(self):
+        machine, driver = build(
+            TrafficSpec(rate=0.9, requests_per_pe=5, seed=2)
+        )
+        for _ in range(500):
+            machine.step()
+            if driver.done():
+                break
+        assert driver.done()
+        stats = driver.stats()
+        assert stats.issued == 16 * 5
+
+    def test_deterministic_for_seed(self):
+        results = []
+        for _ in range(2):
+            machine, driver = build(TrafficSpec(rate=0.2, seed=33))
+            machine.run_cycles(300)
+            results.append(driver.stats().issued)
+        assert results[0] == results[1]
+
+
+class TestPatterns:
+    def test_uniform_spreads_over_modules(self):
+        machine, driver = build(TrafficSpec(rate=0.3, seed=3))
+        machine.run_cycles(600)
+        assert machine.memory.imbalance() < 2.5
+
+    def test_hotspot_generates_fetch_adds(self):
+        machine, driver = build(
+            TrafficSpec(rate=0.3, pattern="hotspot", hot_fraction=1.0,
+                        hot_address=0, seed=4)
+        )
+        machine.run_cycles(400)
+        # all traffic was F&A(0, 1): the hot cell counts completions
+        assert machine.peek(0) > 0
+        stats = machine.stats()
+        assert stats.combines > 0  # hot spot combines in flight
+
+    def test_hotspot_fraction_mixes(self):
+        machine, driver = build(
+            TrafficSpec(rate=0.3, pattern="hotspot", hot_fraction=0.3,
+                        hot_address=0, seed=5)
+        )
+        machine.run_cycles(500)
+        hot = machine.peek(0)
+        total = machine.stats().replies_received
+        assert 0 < hot < total  # both kinds of traffic flowed
+
+    def test_permutation_is_conflict_light(self):
+        machine, driver = build(TrafficSpec(rate=0.3, pattern="permutation", seed=6))
+        machine.run_cycles(500)
+        stats = driver.stats()
+        # permutation traffic sees little queueing: latency near minimum
+        assert stats.mean_latency < 18
+
+    def test_stride_concentrates_without_hashing(self):
+        machine, driver = build(
+            TrafficSpec(rate=0.2, pattern="stride", stride=16, seed=7),
+            words_per_module=64,
+        )
+        machine.run_cycles(400)
+        assert machine.memory.imbalance() > 8.0
+
+
+class TestHarness:
+    def test_run_uniform_traffic_drains(self):
+        stats, machine = run_uniform_traffic(8, rate=0.2, cycles=300, seed=8)
+        assert stats.completed == stats.issued
+        assert all(p.outstanding() == 0 for p in machine.pnis)
+
+    def test_stats_latency_population(self):
+        stats, _ = run_uniform_traffic(8, rate=0.2, cycles=300, seed=9)
+        assert len(stats.latencies) == stats.completed
+        assert stats.max_latency >= stats.mean_latency
+        assert stats.completion_ratio == 1.0

@@ -1,0 +1,117 @@
+"""Tests for the trace format and Table 1 replayer."""
+
+import pytest
+
+from repro.apps.traces import Compute, PETrace, SharedRef, Table1Row, replay
+from repro.network.stochastic import StochasticConfig, StochasticNetwork
+
+
+def small_network(**kwargs):
+    defaults = dict(n_ports=64, k=4, service_jitter=0.0, seed=0)
+    defaults.update(kwargs)
+    return StochasticNetwork(StochasticConfig(**defaults))
+
+
+class TestPETrace:
+    def test_builders_and_counts(self):
+        trace = (
+            PETrace(pe_id=0)
+            .compute(10)
+            .private(3)
+            .shared_load(5, prefetch=2)
+            .shared_store(6)
+        )
+        assert trace.instructions == 10 + 3 + 2
+        assert trace.data_refs == 5
+        assert trace.shared_refs == 2
+        assert trace.shared_loads == 1
+
+    def test_zero_compute_ignored(self):
+        trace = PETrace(pe_id=0).compute(0)
+        assert trace.events == []
+
+
+class TestReplay:
+    def test_compute_only_trace_never_idles(self):
+        traces = [PETrace(pe_id=0).compute(100)]
+        row = replay("compute", traces, small_network())
+        assert row.idle_fraction == 0.0
+        assert row.avg_cm_access_time == 0.0
+        assert row.instructions == 100
+
+    def test_immediate_use_idles_full_round_trip(self):
+        """prefetch=0: idle per load = access time minus the reference
+        instruction itself."""
+        network = small_network()
+        traces = [
+            PETrace(pe_id=0).shared_load(1, prefetch=0).compute(5)
+        ]
+        row = replay("blocking", traces, network)
+        minimum_instr = network.minimum_round_trip() / 2
+        assert row.avg_cm_access_time == pytest.approx(minimum_instr)
+        assert row.idle_per_cm_load == pytest.approx(minimum_instr - 1, abs=0.5)
+
+    def test_prefetch_hides_latency(self):
+        def one_trace(prefetch):
+            trace = PETrace(pe_id=0)
+            for i in range(20):
+                trace.shared_load(i * 7 + 1, prefetch=prefetch)
+                trace.compute(12)
+            return [trace]
+
+        eager = replay("eager", one_trace(10), small_network())
+        blocking = replay("blocking", one_trace(0), small_network())
+        assert eager.idle_per_cm_load < blocking.idle_per_cm_load
+        assert eager.idle_fraction < blocking.idle_fraction
+
+    def test_stores_never_stall(self):
+        trace = PETrace(pe_id=0)
+        for i in range(10):
+            trace.shared_store(i)
+            trace.compute(2)
+        row = replay("stores", [trace], small_network())
+        assert row.idle_fraction == 0.0
+
+    def test_contention_raises_access_time(self):
+        def hot_traces(n_pes, spread):
+            out = []
+            for pe in range(n_pes):
+                trace = PETrace(pe_id=pe)
+                for i in range(10):
+                    address = (pe * 31 + i * 17) % 64 if spread else 5
+                    trace.shared_load(address, prefetch=0)
+                    trace.compute(2)
+                out.append(trace)
+            return out
+
+        quiet = replay("spread", hot_traces(16, True), small_network())
+        contended = replay("hot", hot_traces(16, False), small_network())
+        assert contended.avg_cm_access_time > quiet.avg_cm_access_time
+
+    def test_row_formatting(self):
+        row = Table1Row(
+            program="x",
+            pes=16,
+            avg_cm_access_time=8.9,
+            idle_fraction=0.37,
+            idle_per_cm_load=5.3,
+            mem_refs_per_instr=0.21,
+            shared_refs_per_instr=0.08,
+        )
+        text = row.formatted()
+        assert "8.90" in text and "37.0%" in text
+        assert len(Table1Row.header()) > 0
+
+    def test_multi_pe_interleaving_deterministic(self):
+        traces = [
+            PETrace(pe_id=pe).shared_load(pe, prefetch=1).compute(3)
+            for pe in range(8)
+        ]
+        a = replay("a", traces, small_network(seed=5))
+        traces2 = [
+            PETrace(pe_id=pe).shared_load(pe, prefetch=1).compute(3)
+            for pe in range(8)
+        ]
+        b = replay("b", traces2, small_network(seed=5))
+        assert a.avg_cm_access_time == b.avg_cm_access_time
+        assert a.idle_fraction == b.idle_fraction

@@ -1,0 +1,118 @@
+"""Tests for TRED2 — serial, parallel, and the measurement loop."""
+
+import numpy as np
+import pytest
+
+from repro.apps.tred2 import (
+    Tred2Layout,
+    build_traces,
+    collect_samples,
+    extract_tridiagonal,
+    measure,
+    random_symmetric,
+    tred2,
+    tridiagonal_matrix,
+)
+
+
+def eigen_error(matrix, d, e):
+    original = np.sort(np.linalg.eigvalsh(matrix))
+    reduced = np.sort(np.linalg.eigvalsh(tridiagonal_matrix(d, e)))
+    return float(np.max(np.abs(original - reduced)))
+
+
+class TestSerialReference:
+    @pytest.mark.parametrize("n", [3, 5, 8, 16])
+    def test_similarity_preserved(self, n):
+        matrix = random_symmetric(n, seed=n)
+        d, e = tred2(matrix)
+        assert eigen_error(matrix, d, e) < 1e-8
+
+    def test_already_tridiagonal_is_fixed_point(self):
+        matrix = np.diag([1.0, 2.0, 3.0, 4.0])
+        for i in range(3):
+            matrix[i, i + 1] = matrix[i + 1, i] = 0.5
+        d, e = tred2(matrix)
+        assert np.allclose(d, np.diag(matrix))
+        assert np.allclose(np.abs(e[1:]), 0.5)
+
+    def test_diagonal_matrix_untouched(self):
+        matrix = np.diag([3.0, 1.0, 4.0, 1.0, 5.0])
+        d, e = tred2(matrix)
+        assert np.allclose(d, [3, 1, 4, 1, 5])
+        assert np.allclose(e, 0)
+
+    def test_rejects_nonsymmetric(self):
+        with pytest.raises(ValueError, match="symmetric"):
+            tred2(np.arange(9.0).reshape(3, 3))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            tred2(np.zeros((2, 3)))
+
+
+class TestParallelVariant:
+    @pytest.mark.parametrize("processors", [1, 2, 4])
+    def test_parallel_result_matches_serial(self, processors):
+        n = 8
+        sample, para, layout = measure(processors, n, seed=17)
+        d_parallel, e_parallel = extract_tridiagonal(para, layout)
+        matrix = random_symmetric(n, seed=17)
+        assert eigen_error(matrix, d_parallel, e_parallel) < 1e-8
+
+    def test_more_processors_run_faster(self):
+        t1 = measure(1, 12, seed=4)[0].total_time
+        t4 = measure(4, 12, seed=4)[0].total_time
+        assert t4 < t1
+        # the divided N^3 term should give real speedup, not epsilon
+        assert t1 / t4 > 1.5
+
+    def test_waiting_time_grows_with_processors(self):
+        w2 = measure(2, 12, seed=4)[0].waiting_time
+        w8 = measure(8, 12, seed=4)[0].waiting_time
+        assert w8 > w2
+
+    def test_single_pe_has_no_waiting(self):
+        sample = measure(1, 10, seed=1)[0]
+        assert sample.waiting_time == 0.0
+
+    def test_collect_samples(self):
+        samples = collect_samples([(1, 8), (2, 8)], seed=5)
+        assert [s.processors for s in samples] == [1, 2]
+        assert all(s.total_time > 0 for s in samples)
+
+
+class TestLayout:
+    def test_addresses_disjoint(self):
+        layout = Tred2Layout(n=6, base=100)
+        cells = set()
+        for i in range(6):
+            for j in range(6):
+                cells.add(layout.a(i, j))
+        for i in range(6):
+            cells.add(layout.v + i)
+            cells.add(layout.q + i)
+            cells.add(layout.p(i))
+        for scalar in (layout.sigma, layout.beta, layout.alpha,
+                       layout.vdotp, layout.barrier_count,
+                       layout.barrier_sense):
+            cells.add(scalar)
+        for phase in range(5):
+            cells.add(layout.dispenser(phase))
+        assert len(cells) == 6 * 6 + 3 * 6 + 11
+        assert max(cells) < 100 + layout.footprint
+
+
+class TestTraces:
+    def test_reference_mix_in_paper_range(self):
+        traces = build_traces(32, 16)
+        instructions = sum(t.instructions for t in traces)
+        data_refs = sum(t.data_refs for t in traces)
+        shared = sum(t.shared_refs for t in traces)
+        assert 0.15 < data_refs / instructions < 0.35
+        assert 0.03 < shared / instructions < 0.12
+
+    def test_work_split_across_pes(self):
+        traces = build_traces(24, 8)
+        counts = [t.instructions for t in traces]
+        assert max(counts) < 2 * min(counts)  # roughly balanced

@@ -1,0 +1,82 @@
+"""Tests for the weather PDE workload."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.apps.weather import (
+    build_traces,
+    exact_mode_decay,
+    solve,
+    stable_dt,
+    step_field,
+)
+
+
+class TestSolver:
+    def test_pure_diffusion_matches_analytic_decay(self):
+        n, steps = 32, 60
+        u = solve(n, steps, c=0.0, alpha=0.05)
+        amplitude = float(np.max(np.abs(u)))
+        expected = exact_mode_decay(n, steps, c=0.0, alpha=0.05)
+        assert amplitude == pytest.approx(expected, rel=0.05)
+
+    def test_advection_preserves_amplitude_shape(self):
+        """With diffusion, the traveling wave decays but stays smooth
+        and bounded."""
+        u = solve(32, 40, c=0.2, alpha=0.02)
+        assert np.all(np.isfinite(u))
+        assert float(np.max(np.abs(u))) <= 1.0
+
+    def test_conservation_of_mean(self):
+        """Periodic FTCS conserves the grid mean exactly."""
+        rng = np.random.default_rng(1)
+        initial = rng.standard_normal((16, 16))
+        u = solve(16, 25, c=0.1, alpha=0.05, initial=initial)
+        assert float(u.mean()) == pytest.approx(float(initial.mean()), abs=1e-12)
+
+    def test_stability_bound_positive(self):
+        assert stable_dt(0.1, 0.05, 1 / 32) > 0
+        # pure advection and pure diffusion each have a finite bound
+        assert not math.isinf(stable_dt(0.0, 0.05, 1 / 32))
+        assert not math.isinf(stable_dt(0.1, 0.0, 1 / 32))
+
+    def test_step_field_linearity(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal((8, 8))
+        b = rng.standard_normal((8, 8))
+        kwargs = dict(c=0.1, alpha=0.05, dt=1e-4, dx=1 / 8)
+        lhs = step_field(a + b, **kwargs)
+        rhs = step_field(a, **kwargs) + step_field(b, **kwargs)
+        assert np.allclose(lhs, rhs)
+
+
+class TestTraces:
+    def test_reference_mix_matches_paper_band(self):
+        """Roughly one data reference per five instructions (Table 1
+        discussion: 0.21 refs/instr for the weather code)."""
+        traces = build_traces(16, 4, 16)
+        instructions = sum(t.instructions for t in traces)
+        refs = sum(t.data_refs for t in traces)
+        assert 0.15 < refs / instructions < 0.30
+
+    def test_single_row_strips_share_both_neighbours(self):
+        one_row = build_traces(16, 2, 16)  # 1 row per PE
+        thick = build_traces(16, 2, 4)  # 4 rows per PE
+        share_thin = sum(t.shared_refs for t in one_row) / sum(
+            t.instructions for t in one_row
+        )
+        share_thick = sum(t.shared_refs for t in thick) / sum(
+            t.instructions for t in thick
+        )
+        assert share_thin > share_thick
+
+    def test_indivisible_partition_rejected(self):
+        with pytest.raises(ValueError):
+            build_traces(10, 1, 3)
+
+    def test_trace_count_matches_pes(self):
+        traces = build_traces(16, 1, 8)
+        assert len(traces) == 8
+        assert [t.pe_id for t in traces] == list(range(8))

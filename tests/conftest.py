@@ -1,0 +1,20 @@
+"""Shared fixtures for the test suite (strategies live in helpers.py)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def small_machine():
+    """An 8-PE Ultracomputer with the paper's default parameters."""
+    from repro.core.machine import MachineConfig, Ultracomputer
+
+    return Ultracomputer(MachineConfig(n_pes=8))
+
+
+@pytest.fixture
+def paracomputer():
+    from repro.core.paracomputer import Paracomputer
+
+    return Paracomputer(seed=1234)

@@ -1,0 +1,221 @@
+"""Tests for pairwise combining (sections 3.1.2–3.1.3).
+
+The central property: the memory effect plus the two delivered replies
+of a combined pair must equal the effect of the two requests in *some*
+serial order — the serialization principle applied to a single switch.
+Checked exhaustively for the paper's named rules and by hypothesis over
+the whole operation algebra.
+"""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.combining import combined_effect, decombine, try_combine
+from repro.core.memory_ops import (
+    FetchAdd,
+    FetchPhi,
+    Load,
+    PHI_OPERATORS,
+    Store,
+    Swap,
+    TestAndSet,
+)
+from repro.core.serialization import BatchOutcome, is_serializable
+
+from helpers import operations, values
+
+
+def assert_combined_is_serializable(old, new, initial=10):
+    """The workhorse assertion: combine, apply, decombine, then check
+    the observable outcome against the two-op serialization space."""
+    combined = try_combine(old, new)
+    assert combined is not None, f"expected {old} + {new} to combine"
+    effect, old_reply, new_reply = combined_effect(old, new, combined, initial)
+    observed = BatchOutcome(
+        results=(old_reply, new_reply), final={old.address: effect.new_value}
+    )
+    assert is_serializable(
+        {old.address: initial}, [old, new], observed
+    ), f"{old} + {new}: outcome {observed} matches no serial order"
+
+
+class TestPaperRules:
+    """The six named rules, with the paper's exact behaviours."""
+
+    def test_load_load_forwards_one_load(self):
+        combined = try_combine(Load(0), Load(0))
+        assert isinstance(combined.forward, Load)
+        assert decombine(combined, 42) == (42, 42)
+
+    def test_load_store_forwards_store_and_satisfies_load(self):
+        # "Forward the store and return its value to satisfy the load."
+        combined = try_combine(Load(0), Store(0, 9))
+        assert isinstance(combined.forward, Store)
+        assert combined.forward.value == 9
+        old_reply, new_reply = decombine(combined, None)
+        assert old_reply == 9  # the load gets the stored value
+        assert new_reply is None  # the store gets a bare ack
+
+    def test_store_store_keeps_one(self):
+        # "Forward either store and ignore the other" — we realize
+        # old-then-new, so the surviving datum is the new store's.
+        combined = try_combine(Store(0, 3), Store(0, 8))
+        assert isinstance(combined.forward, Store)
+        assert combined.forward.value == 8
+        assert decombine(combined, None) == (None, None)
+
+    def test_fetch_add_pair_matches_figure3(self):
+        # Figure 3: F&A(X,e) + F&A(X,f) -> F&A(X,e+f); on reply Y the
+        # switch returns Y and Y+e.
+        e, f = 5, 11
+        combined = try_combine(FetchAdd(0, e), FetchAdd(0, f))
+        assert isinstance(combined.forward, FetchAdd)
+        assert combined.forward.increment == e + f
+        y = 100
+        assert decombine(combined, y) == (y, y + e)
+
+    def test_fetch_add_load_treats_load_as_zero_add(self):
+        # "FetchAdd-Load. Treat Load(X) as FetchAdd(X, 0)."
+        combined = try_combine(FetchAdd(0, 7), Load(0))
+        assert isinstance(combined.forward, FetchAdd)
+        assert combined.forward.increment == 7
+        assert decombine(combined, 50) == (50, 57)
+
+    def test_load_fetch_add(self):
+        combined = try_combine(Load(0), FetchAdd(0, 7))
+        assert combined.forward.expects_value
+        old_reply, new_reply = decombine(combined, 50)
+        assert old_reply == 50
+        assert new_reply == 50  # F&A serialized after the load sees Y
+
+    def test_fetch_add_store_returns_stored_value(self):
+        # "FetchAdd(X,e)-Store(X,f): transmit Store(e+f) and satisfy the
+        # fetch-and-add by returning f."
+        e, f = 4, 9
+        combined = try_combine(FetchAdd(0, e), Store(0, f))
+        assert isinstance(combined.forward, Store)
+        assert combined.forward.value == e + f
+        old_reply, new_reply = decombine(combined, None)
+        assert old_reply == f
+        assert new_reply is None
+
+    def test_store_fetch_add(self):
+        combined = try_combine(Store(0, 9), FetchAdd(0, 4))
+        assert isinstance(combined.forward, Store)
+        assert combined.forward.value == 13
+        old_reply, new_reply = decombine(combined, None)
+        assert old_reply is None
+        assert new_reply == 9  # F&A sees the stored value
+
+    def test_swap_swap(self):
+        combined = try_combine(Swap(0, 3), Swap(0, 8))
+        assert combined.forward.carries_data
+        old_reply, new_reply = decombine(combined, 77)
+        assert old_reply == 77  # pre-batch value
+        assert new_reply == 3  # the first swap's datum
+
+    def test_test_and_set_pair(self):
+        combined = try_combine(TestAndSet(0), TestAndSet(0))
+        old_reply, new_reply = decombine(combined, 0)
+        assert old_reply == 0
+        assert new_reply == 1  # sees the first TAS's effect
+
+
+class TestNonCombinable:
+    def test_different_addresses(self):
+        assert try_combine(Load(0), Load(1)) is None
+
+    def test_different_nontrivial_phis(self):
+        faa = FetchAdd(0, 1)
+        fmax = FetchPhi(0, 5, PHI_OPERATORS["max"])
+        assert try_combine(faa, fmax) is None
+        assert try_combine(fmax, faa) is None
+
+    def test_fetch_max_pair_combines(self):
+        a = FetchPhi(0, 5, PHI_OPERATORS["max"])
+        b = FetchPhi(0, 9, PHI_OPERATORS["max"])
+        combined = try_combine(a, b)
+        assert combined is not None
+        assert combined.forward.operand == 9
+        old_reply, new_reply = decombine(combined, 7)
+        assert old_reply == 7
+        assert new_reply == 7  # max(7, 5)
+
+
+class TestSerializationProperty:
+    """Every combinable pair's outcome equals some serial order."""
+
+    CASES = [
+        (Load(0), Load(0)),
+        (Load(0), Store(0, 9)),
+        (Store(0, 9), Load(0)),
+        (Store(0, 3), Store(0, 8)),
+        (FetchAdd(0, 5), FetchAdd(0, 11)),
+        (FetchAdd(0, 7), Load(0)),
+        (Load(0), FetchAdd(0, 7)),
+        (FetchAdd(0, 4), Store(0, 9)),
+        (Store(0, 9), FetchAdd(0, 4)),
+        (Swap(0, 3), Swap(0, 8)),
+        (Swap(0, 3), Load(0)),
+        (Load(0), Swap(0, 8)),
+        (Swap(0, 6), Store(0, 2)),
+        (Store(0, 2), Swap(0, 6)),
+        (TestAndSet(0), TestAndSet(0)),
+        (TestAndSet(0), Load(0)),
+        (Load(0), TestAndSet(0)),
+        (TestAndSet(0), Store(0, 4)),
+        (FetchPhi(0, 5, PHI_OPERATORS["max"]), FetchPhi(0, 9, PHI_OPERATORS["max"])),
+        (FetchPhi(0, 5, PHI_OPERATORS["min"]), FetchPhi(0, 9, PHI_OPERATORS["min"])),
+        (FetchPhi(0, 5, PHI_OPERATORS["xor"]), FetchPhi(0, 9, PHI_OPERATORS["xor"])),
+    ]
+
+    @pytest.mark.parametrize("old,new", CASES, ids=lambda op: repr(op))
+    @pytest.mark.parametrize("initial", [0, 10, -5])
+    def test_named_pairs(self, old, new, initial):
+        assert_combined_is_serializable(old, new, initial)
+
+    @settings(max_examples=300, deadline=None)
+    @given(
+        operations(st.just(0)),
+        operations(st.just(0)),
+        st.integers(-20, 20),
+    )
+    def test_random_pairs(self, old, new, initial):
+        combined = try_combine(old, new)
+        if combined is None:
+            return  # not combining is always safe
+        assert_combined_is_serializable(old, new, initial)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(-20, 20), st.data())
+    def test_chained_combining_preserves_totals(self, initial, data):
+        """A tree of pairwise F&A combines is one big F&A whose replies
+        are distinct prefix sums — the 'thousands of F&As in the time of
+        one access' property."""
+        incs = data.draw(st.lists(values, min_size=2, max_size=6))
+        ops = [FetchAdd(0, e) for e in incs]
+        # left fold: combine pairwise like successive queue arrivals
+        current = ops[0]
+        plans = []
+        for op in ops[1:]:
+            plan = try_combine(current, op)
+            assert plan is not None
+            plans.append(plan)
+            current = plan.forward
+        assert isinstance(current, FetchAdd)
+        assert current.increment == sum(incs)
+        # decombine outward: replies unwind in reverse
+        reply = initial
+        replies = []
+        for plan in reversed(plans):
+            old_reply, new_reply = decombine(plan, reply)
+            replies.append(new_reply)
+            reply = old_reply
+        replies.append(reply)
+        # the multiset of replies must be prefix sums of some ordering —
+        # here the fold order itself: initial, +e0, +e0+e1, ...
+        prefix = [initial]
+        for e in incs[:-1]:
+            prefix.append(prefix[-1] + e)
+        assert sorted(replies) == sorted(prefix)

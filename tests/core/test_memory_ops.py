@@ -1,0 +1,143 @@
+"""Unit tests for the memory-operation algebra (paper section 2)."""
+
+import pytest
+from hypothesis import given
+import hypothesis.strategies as st
+
+from repro.core.memory_ops import (
+    Effect,
+    FetchAdd,
+    FetchPhi,
+    Load,
+    PHI_OPERATORS,
+    Store,
+    Swap,
+    TestAndSet,
+    as_fetch_phi,
+    get_phi,
+)
+
+
+class TestBasicSemantics:
+    def test_load_returns_old_value_and_preserves_cell(self):
+        assert Load(0).apply(42) == Effect(new_value=42, result=42)
+
+    def test_store_replaces_value_and_returns_nothing(self):
+        assert Store(0, 7).apply(42) == Effect(new_value=7, result=None)
+
+    def test_fetch_add_returns_old_and_adds(self):
+        # The defining example of section 2.2.
+        assert FetchAdd(0, 5).apply(10) == Effect(new_value=15, result=10)
+
+    def test_fetch_add_negative_increment(self):
+        assert FetchAdd(0, -3).apply(10) == Effect(new_value=7, result=10)
+
+    def test_swap_exchanges(self):
+        assert Swap(0, 9).apply(4) == Effect(new_value=9, result=4)
+
+    def test_test_and_set_on_clear(self):
+        assert TestAndSet(0).apply(0) == Effect(new_value=1, result=0)
+
+    def test_test_and_set_on_set_is_idempotent(self):
+        assert TestAndSet(0).apply(1) == Effect(new_value=1, result=1)
+
+    def test_fetch_phi_max(self):
+        phi = PHI_OPERATORS["max"]
+        assert FetchPhi(0, 7, phi).apply(3) == Effect(new_value=7, result=3)
+        assert FetchPhi(0, 2, phi).apply(3) == Effect(new_value=3, result=3)
+
+
+class TestPacketAccounting:
+    """Message sizing follows the section 4.2 simulation model."""
+
+    def test_load_carries_no_data(self):
+        assert not Load(0).carries_data
+        assert Load(0).expects_value
+
+    def test_store_carries_data_and_expects_no_value(self):
+        assert Store(0, 1).carries_data
+        assert not Store(0, 1).expects_value
+
+    def test_fetch_add_carries_data_and_expects_value(self):
+        op = FetchAdd(0, 1)
+        assert op.carries_data
+        assert op.expects_value
+
+
+class TestPhiRegistry:
+    def test_get_phi_known(self):
+        assert get_phi("add")(2, 3) == 5
+
+    def test_get_phi_unknown_lists_known(self):
+        with pytest.raises(KeyError, match="add"):
+            get_phi("bogus")
+
+    def test_operator_equality_by_name(self):
+        assert get_phi("add") == get_phi("add")
+        assert get_phi("add") != get_phi("max")
+        assert hash(get_phi("or")) == hash(get_phi("or"))
+
+    def test_all_registered_operators_marked_associative_correctly(self):
+        # Every registered operator must actually be associative on a
+        # sample of triples, since combining correctness rests on it.
+        samples = [(-3, 0, 5), (1, 2, 3), (7, 7, 7), (-1, -2, -3)]
+        for name, phi in PHI_OPERATORS.items():
+            if not phi.associative:
+                continue
+            for a, b, c in samples:
+                assert phi(phi(a, b), c) == phi(a, phi(b, c)), name
+
+
+class TestFetchPhiNormalization:
+    """Section 2.4: every operation is a degenerate fetch-and-phi."""
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_load_is_fetch_proj1(self, old, operand):
+        normalized = as_fetch_phi(Load(3))
+        assert normalized.phi.name == "proj1"
+        assert normalized.apply(old).new_value == old
+        assert normalized.apply(old).result == old
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_store_is_fetch_proj2(self, old, value):
+        normalized = as_fetch_phi(Store(3, value))
+        assert normalized.phi.name == "proj2"
+        assert normalized.apply(old).new_value == value
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_fetch_add_normalization_matches(self, old, inc):
+        original = FetchAdd(1, inc).apply(old)
+        normalized = as_fetch_phi(FetchAdd(1, inc)).apply(old)
+        assert original.new_value == normalized.new_value
+        assert original.result == normalized.result
+
+    @given(st.integers(-50, 50), st.integers(-50, 50))
+    def test_swap_normalization_matches(self, old, value):
+        original = Swap(1, value).apply(old)
+        normalized = as_fetch_phi(Swap(1, value)).apply(old)
+        assert original.new_value == normalized.new_value
+        assert original.result == normalized.result
+
+    @given(st.integers(0, 50))
+    def test_test_and_set_is_fetch_or(self, old):
+        original = TestAndSet(1).apply(old)
+        normalized = as_fetch_phi(TestAndSet(1)).apply(old)
+        assert original.new_value == normalized.new_value
+        assert original.result == normalized.result
+
+    def test_normalization_preserves_address(self):
+        assert as_fetch_phi(Load(17)).address == 17
+        assert as_fetch_phi(Store(23, 1)).address == 23
+
+    def test_fetch_phi_normalizes_to_itself(self):
+        op = FetchPhi(2, 5, PHI_OPERATORS["max"])
+        assert as_fetch_phi(op) is op
+
+
+class TestImmutability:
+    def test_operations_are_frozen(self):
+        with pytest.raises(AttributeError):
+            Load(0).address = 1  # type: ignore[misc]
+
+    def test_operations_are_hashable(self):
+        assert len({Load(0), Load(0), Store(0, 1)}) == 2

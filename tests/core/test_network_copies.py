@@ -1,0 +1,86 @@
+"""Tests for multiple network copies in the cycle machine (the d of
+section 4.1, realized: "it is also possible to use several copies of the
+same network, thereby reducing the effective load on each one")."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+
+def counter_program(pe_id, rounds):
+    for _ in range(rounds):
+        yield FetchAdd(0, 1)
+    return True
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("copies", [1, 2, 3])
+    def test_counter_correct_with_any_copy_count(self, copies):
+        machine = Ultracomputer(MachineConfig(n_pes=8, copies=copies))
+        machine.spawn_many(8, counter_program, 6)
+        machine.run()
+        assert machine.peek(0) == 48
+
+    def test_replies_return_on_request_copy(self):
+        """Tag striping is self-describing: every message round-trips
+        even when copies hold different amalgam state."""
+        machine = Ultracomputer(MachineConfig(n_pes=8, copies=2))
+
+        def program(pe_id):
+            for i in range(6):
+                yield Store(100 + pe_id * 8 + i, pe_id + i)
+            values = []
+            for i in range(6):
+                values.append((yield Load(100 + pe_id * 8 + i)))
+            return values
+
+        machine.spawn_many(8, program)
+        machine.run()
+        for pe in range(8):
+            assert machine.programs.return_values[pe] == [pe + i for i in range(6)]
+
+    def test_invalid_copy_count(self):
+        with pytest.raises(ValueError):
+            Ultracomputer(MachineConfig(n_pes=8, copies=0))
+
+    def test_traffic_actually_striped(self):
+        machine = Ultracomputer(MachineConfig(n_pes=8, copies=2))
+        machine.spawn_many(8, counter_program, 4)
+        machine.run()
+        routed = [
+            sum(s.stats.requests_routed for row in net.stages for s in row)
+            for net in machine.networks
+        ]
+        assert all(count > 0 for count in routed)
+
+
+class TestPerformance:
+    def test_copies_reduce_latency_under_load(self):
+        """The section 4.1 effect on the real simulator: d copies divide
+        the effective per-copy load, cutting queueing delay."""
+        latencies = {}
+        for copies in (1, 2):
+            machine = Ultracomputer(
+                MachineConfig(n_pes=16, copies=copies, combining=False)
+            )
+            driver = SyntheticTrafficDriver(
+                machine, TrafficSpec(rate=0.30, seed=4)
+            )
+            machine.attach_driver(driver)
+            machine.run_cycles(800)
+            latencies[copies] = driver.stats().mean_latency
+        assert latencies[2] < latencies[1]
+
+    def test_copies_do_not_hurt_unloaded_latency(self):
+        rtts = {}
+        for copies in (1, 2):
+            machine = Ultracomputer(MachineConfig(n_pes=16, copies=copies))
+
+            def program(pe_id):
+                yield Load(0)
+
+            machine.spawn(program)
+            rtts[copies] = machine.run().mean_round_trip
+        assert rtts[2] == pytest.approx(rtts[1], abs=1.0)

@@ -1,0 +1,147 @@
+"""Tests for the serialization principle machinery (section 2.1)."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.core.serialization import (
+    SerializationWitness,
+    all_serial_outcomes,
+    apply_serially,
+    fetch_add_outcome_valid,
+    is_serializable,
+    serialize_batch,
+)
+
+from helpers import operation_batches
+
+
+class TestApplySerially:
+    def test_textual_order_by_default(self):
+        ops = [Store(0, 1), Load(0)]
+        outcome = apply_serially({}, ops)
+        assert outcome.results == (None, 1)
+        assert outcome.final_value(0) == 1
+
+    def test_explicit_order(self):
+        ops = [Store(0, 1), Load(0)]
+        outcome = apply_serially({}, ops, order=[1, 0])
+        assert outcome.results == (None, 0)  # load first sees initial 0
+        assert outcome.final_value(0) == 1
+
+    def test_unset_addresses_read_zero(self):
+        outcome = apply_serially({}, [Load(5)])
+        assert outcome.results == (0,)
+
+    def test_initial_memory_respected(self):
+        outcome = apply_serially({2: 10}, [FetchAdd(2, 5)])
+        assert outcome.results == (10,)
+        assert outcome.final_value(2) == 15
+
+
+class TestPaperExample:
+    """The section 2.2 example: two simultaneous F&As on V."""
+
+    def test_two_fetch_adds_both_orders(self):
+        ops = [FetchAdd(0, 3), FetchAdd(0, 4)]  # ei = 3, ej = 4
+        outcomes = all_serial_outcomes({0: 10}, ops)
+        results = {o.results for o in outcomes}
+        # "either ANSi <- V, ANSj <- V+ei or ANSi <- V+ej, ANSj <- V"
+        assert results == {(10, 13), (14, 10)}
+        # "in either case, the value of V becomes V+ei+ej"
+        assert all(o.final_value(0) == 17 for o in outcomes)
+
+    def test_one_load_two_stores(self):
+        # The section 2.1 example: cell gets one of the stored values;
+        # the load returns the original value or one of the stores'.
+        ops = [Load(0), Store(0, 7), Store(0, 9)]
+        outcomes = all_serial_outcomes({0: 1}, ops)
+        finals = {o.final_value(0) for o in outcomes}
+        loads = {o.results[0] for o in outcomes}
+        assert finals == {7, 9}
+        assert loads == {1, 7, 9}
+
+
+class TestIsSerializable:
+    def test_accepts_any_enumerated_outcome(self):
+        ops = [FetchAdd(0, 1), FetchAdd(0, 2), Store(1, 5)]
+        for outcome in all_serial_outcomes({}, ops):
+            assert is_serializable({}, ops, outcome)
+
+    def test_rejects_impossible_outcome(self):
+        from repro.core.serialization import BatchOutcome
+
+        ops = [FetchAdd(0, 1), FetchAdd(0, 1)]
+        bogus = BatchOutcome(results=(5, 6), final={0: 2})
+        assert not is_serializable({}, ops, bogus)
+
+    def test_rejects_lost_update(self):
+        from repro.core.serialization import BatchOutcome
+
+        # Both F&As returning 0 would mean one increment was lost.
+        ops = [FetchAdd(0, 1), FetchAdd(0, 1)]
+        bogus = BatchOutcome(results=(0, 0), final={0: 2})
+        assert not is_serializable({}, ops, bogus)
+
+
+class TestFetchAddChecker:
+    def test_valid_uniform_batch(self):
+        assert fetch_add_outcome_valid(0, [1, 1, 1], [0, 2, 1], 3)
+
+    def test_detects_duplicate_intermediate(self):
+        assert not fetch_add_outcome_valid(0, [1, 1, 1], [0, 0, 1], 3)
+
+    def test_detects_wrong_total(self):
+        assert not fetch_add_outcome_valid(0, [1, 1], [0, 1], 3)
+
+    def test_mixed_increments(self):
+        # order: +5 then -2: results must be {0, 5} in that order
+        assert fetch_add_outcome_valid(0, [5, -2], [0, 5], 3)
+        assert fetch_add_outcome_valid(0, [-2, 5], [2, 0], 3) is False
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            fetch_add_outcome_valid(0, [1], [0, 1], 2)
+
+    @given(
+        st.integers(-5, 5),
+        st.lists(st.integers(-4, 4), min_size=1, max_size=6),
+        st.permutations(range(6)),
+    )
+    def test_every_true_serialization_is_accepted(self, initial, incs, perm):
+        order = [i for i in perm if i < len(incs)]
+        outcome = apply_serially({0: initial}, [FetchAdd(0, e) for e in incs], order)
+        assert fetch_add_outcome_valid(
+            initial, incs, list(outcome.results), outcome.final_value(0)
+        )
+
+
+class TestPropertyBatches:
+    @settings(max_examples=60, deadline=None)
+    @given(operation_batches(max_size=4))
+    def test_all_outcomes_share_op_count(self, ops):
+        outcomes = all_serial_outcomes({}, ops)
+        assert outcomes
+        for outcome in outcomes:
+            assert len(outcome.results) == len(ops)
+
+    @settings(max_examples=60, deadline=None)
+    @given(operation_batches(max_size=4))
+    def test_single_address_fetch_adds_commute(self, ops):
+        faa_only = [FetchAdd(0, getattr(op, "increment", 1)) for op in ops]
+        outcomes = all_serial_outcomes({}, faa_only)
+        finals = {o.final_value(0) for o in outcomes}
+        assert len(finals) == 1  # commutative: unique final value
+
+
+class TestWitness:
+    def test_replay_reproduces_memory(self):
+        witness = SerializationWitness()
+        memory = {0: 5}
+        ops = [FetchAdd(0, 1), Store(1, 3)]
+        serialize_batch(memory, ops, [1, 0])
+        witness.record(ops, [1, 0])
+        replayed = witness.replay({0: 5})
+        assert replayed[0] == memory[0]
+        assert replayed[1] == memory[1]

@@ -1,0 +1,46 @@
+"""Shared hypothesis strategies and helpers for the test suite."""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+
+from repro.core.memory_ops import (
+    FetchAdd,
+    FetchPhi,
+    Load,
+    PHI_OPERATORS,
+    Store,
+    Swap,
+    TestAndSet,
+)
+
+addresses = st.integers(min_value=0, max_value=3)
+values = st.integers(min_value=-100, max_value=100)
+
+
+@st.composite
+def operations(draw, address_strategy=addresses):
+    """A random memory operation on a small address range."""
+    address = draw(address_strategy)
+    kind = draw(
+        st.sampled_from(["load", "store", "faa", "swap", "tas", "fmax", "for"])
+    )
+    if kind == "load":
+        return Load(address)
+    if kind == "store":
+        return Store(address, draw(values))
+    if kind == "faa":
+        return FetchAdd(address, draw(values))
+    if kind == "swap":
+        return Swap(address, draw(values))
+    if kind == "tas":
+        return TestAndSet(address)
+    if kind == "fmax":
+        return FetchPhi(address, draw(values), PHI_OPERATORS["max"])
+    return FetchPhi(address, draw(st.integers(0, 7)), PHI_OPERATORS["or"])
+
+
+@st.composite
+def operation_batches(draw, max_size=5):
+    """A small batch of simultaneous operations (same cycle)."""
+    return draw(st.lists(operations(), min_size=1, max_size=max_size))

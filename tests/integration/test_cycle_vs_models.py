@@ -1,0 +1,107 @@
+"""Integration: the three performance models agree where they overlap.
+
+The repository carries an analytic model (section 4.1), a queueing-model
+simulator (section 4.2), and the cycle-accurate machine.  At low traffic
+on a common configuration their latencies must line up — the paper's own
+sanity chain ("our preliminary analyses and partial simulations have
+yielded encouraging results").
+"""
+
+import pytest
+
+from repro.analysis.queueing import round_trip_time
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import Load
+from repro.network.stochastic import StochasticConfig, StochasticNetwork
+from repro.workloads.synthetic import run_uniform_traffic
+
+
+class TestUnloadedAgreement:
+    def test_cycle_machine_matches_analytic_minimum(self):
+        """Unloaded analytic round trip vs the cycle machine's measured
+        single-request latency (16 PEs, k=2, 1-packet requests)."""
+        machine = Ultracomputer(MachineConfig(n_pes=16))
+
+        def program(pe_id):
+            yield Load(0)
+
+        machine.spawn(program)
+        stats = machine.run()
+        analytic = round_trip_time(16, 2, 1, 0.0, mm_latency=2)
+        # allow the reply's extra packets and interface overheads
+        assert stats.mean_round_trip == pytest.approx(analytic, abs=5)
+
+    def test_stochastic_matches_cycle_machine_single_request(self):
+        """Same (n=16, k=4) configuration on both simulators: one
+        request through an empty system."""
+        machine = Ultracomputer(MachineConfig(n_pes=16, k=4))
+
+        def program(pe_id):
+            yield Load(0)
+
+        machine.spawn(program)
+        cycle_stats = machine.run()
+
+        model = StochasticNetwork(
+            StochasticConfig(n_ports=16, k=4, service_jitter=0.0)
+        )
+        modeled = model.round_trip(0, 0, 0.0).round_trip
+        assert cycle_stats.mean_round_trip == pytest.approx(modeled, abs=4)
+
+
+class TestLoadedShapeAgreement:
+    def test_latency_vs_load_curves_move_together(self):
+        """Measured latency on the cycle machine and the analytic T(p)
+        must both rise with p, and the measured increase should be the
+        same order as the analytic one."""
+        measured = {}
+        for rate in (0.05, 0.25):
+            stats, _ = run_uniform_traffic(
+                16, rate=rate, cycles=1500, seed=7, queue_capacity_packets=None
+            )
+            measured[rate] = stats.mean_latency
+        analytic_low = round_trip_time(16, 2, 2, 0.05)
+        analytic_high = round_trip_time(16, 2, 2, 0.25)
+        measured_delta = measured[0.25] - measured[0.05]
+        analytic_delta = analytic_high - analytic_low
+        assert measured_delta > 0
+        assert analytic_delta > 0
+        # Same order of magnitude: the analytic model ignores the
+        # 3-packet replies, so the measured rise runs a few times hotter.
+        assert measured_delta < 6 * analytic_delta + 5
+
+    def test_stochastic_and_cycle_rank_hotspots_identically(self):
+        """Both simulators must agree that hot-module traffic is slower
+        than uniform traffic."""
+        # stochastic
+        model_uniform = StochasticNetwork(
+            StochasticConfig(n_ports=16, k=4, service_jitter=0.0)
+        )
+        model_hot = StochasticNetwork(
+            StochasticConfig(n_ports=16, k=4, service_jitter=0.0)
+        )
+        uniform_latency = sum(
+            model_uniform.round_trip(pe, pe, 0.0).round_trip for pe in range(16)
+        )
+        hot_latency = sum(
+            model_hot.round_trip(pe, 3, 0.0).round_trip for pe in range(16)
+        )
+        assert hot_latency > uniform_latency
+
+        # cycle machine (combining off to expose the raw hot module)
+        def run_pattern(addresses):
+            machine = Ultracomputer(
+                MachineConfig(n_pes=16, combining=False, translation="blocked",
+                              words_per_module=16)
+            )
+
+            def program(pe_id, target):
+                yield Load(target)
+
+            for pe, address in enumerate(addresses):
+                machine.spawn(program, address)
+            return machine.run().mean_round_trip
+
+        uniform_cycle = run_pattern([pe * 16 for pe in range(16)])
+        hot_cycle = run_pattern([3 * 16 + pe for pe in range(16)])
+        assert hot_cycle > uniform_cycle

@@ -1,0 +1,126 @@
+"""Integration: failure injection and pressure tests.
+
+Tiny queues, tiny wait buffers, and protocol violations — the system
+must degrade by backpressure (slower), never by corruption (wrong
+answers) or deadlock.
+"""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load
+from repro.network.interfaces import OutstandingConflictError
+
+
+def counter_workload(machine, n_pes, rounds=6):
+    def program(pe_id):
+        for _ in range(rounds):
+            yield FetchAdd(0, 1)
+        return True
+
+    machine.spawn_many(n_pes, program)
+
+
+class TestTinyQueues:
+    @pytest.mark.parametrize("capacity", [3, 6, 15])
+    def test_correct_under_any_queue_size(self, capacity):
+        machine = Ultracomputer(
+            MachineConfig(n_pes=16, queue_capacity_packets=capacity)
+        )
+        counter_workload(machine, 16)
+        machine.run()
+        assert machine.peek(0) == 96
+
+    def test_small_queues_are_slower_not_wrong(self):
+        cycle_counts = {}
+        for capacity in (3, 30):
+            machine = Ultracomputer(
+                MachineConfig(n_pes=16, queue_capacity_packets=capacity,
+                              combining=False)
+            )
+            counter_workload(machine, 16)
+            stats = machine.run()
+            cycle_counts[capacity] = stats.cycles
+            assert machine.peek(0) == 96
+        assert cycle_counts[3] >= cycle_counts[30]
+
+    def test_paper_queue_size_close_to_infinite(self):
+        """Section 4.2: 'queues of modest size (18) give essentially the
+        same performance as infinite queues.'"""
+        results = {}
+        for capacity in (18, None):
+            machine = Ultracomputer(
+                MachineConfig(n_pes=16, queue_capacity_packets=capacity)
+            )
+            counter_workload(machine, 16, rounds=10)
+            stats = machine.run()
+            results[capacity] = stats.cycles
+        assert results[18] <= results[None] * 1.1
+
+
+class TestTinyWaitBuffers:
+    @pytest.mark.parametrize("capacity", [0, 1, 4, None])
+    def test_correct_under_any_wait_buffer_size(self, capacity):
+        machine = Ultracomputer(
+            MachineConfig(n_pes=16, wait_buffer_capacity=capacity)
+        )
+        counter_workload(machine, 16)
+        stats = machine.run()
+        assert machine.peek(0) == 96
+        if capacity == 0:
+            assert stats.combines == 0  # combining fully suppressed
+
+    def test_limited_wait_buffer_limits_combining(self):
+        combines = {}
+        for capacity in (1, None):
+            machine = Ultracomputer(
+                MachineConfig(n_pes=16, wait_buffer_capacity=capacity)
+            )
+            counter_workload(machine, 16)
+            combines[capacity] = machine.run().combines
+        assert combines[1] <= combines[None]
+
+
+class TestProtocolViolations:
+    def test_second_reference_to_outstanding_cell_rejected(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        pni = machine.pnis[0]
+        pni.issue(Load(0), 0)
+        with pytest.raises(OutstandingConflictError):
+            pni.issue(FetchAdd(0, 1), 0)
+
+    def test_blocking_program_driver_never_violates(self):
+        """The coroutine PE driver issues one op at a time, so even a
+        program hammering one cell cannot trip the PNI rule."""
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+
+        def hammer(pe_id):
+            for _ in range(20):
+                yield FetchAdd(0, 1)
+            return True
+
+        machine.spawn_many(4, hammer)
+        machine.run()
+        assert machine.peek(0) == 80
+
+
+class TestOutstandingWindow:
+    def test_window_one_is_a_blocking_pe(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4, max_outstanding=1))
+        counter_workload(machine, 4)
+        machine.run()
+        assert machine.peek(0) == 24
+
+    def test_window_throttles_synthetic_traffic(self):
+        from repro.workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+        blocked_counts = {}
+        for window in (1, None):
+            machine = Ultracomputer(MachineConfig(n_pes=8, max_outstanding=window))
+            driver = SyntheticTrafficDriver(
+                machine, TrafficSpec(rate=0.5, seed=1)
+            )
+            machine.attach_driver(driver)
+            machine.run_cycles(200)
+            blocked_counts[window] = driver.blocked
+        assert blocked_counts[1] > blocked_counts[None]

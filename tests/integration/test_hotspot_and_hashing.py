@@ -1,0 +1,114 @@
+"""Integration: combining under hot spots, hashing under strides.
+
+These are the two traffic pathologies the paper's design answers
+(sections 3.1.2–3.1.4), demonstrated end to end on the cycle machine.
+"""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd
+from repro.workloads.synthetic import (
+    SyntheticTrafficDriver,
+    TrafficSpec,
+    run_uniform_traffic,
+)
+
+
+def hotspot_run(n_pes=16, combining=True, rounds=8):
+    machine = Ultracomputer(MachineConfig(n_pes=n_pes, combining=combining))
+
+    def program(pe_id):
+        for _ in range(rounds):
+            yield FetchAdd(0, 1)
+        return True
+
+    machine.spawn_many(n_pes, program)
+    stats = machine.run()
+    return machine, stats
+
+
+class TestHotspotCombining:
+    def test_combining_keeps_hot_cell_cheap(self):
+        machine_on, stats_on = hotspot_run(combining=True)
+        machine_off, stats_off = hotspot_run(combining=False)
+        assert machine_on.peek(0) == machine_off.peek(0)
+        # The headline claim: N concurrent references to one location in
+        # roughly the time of one access — so the combined run is much
+        # faster per reference and makes far fewer memory accesses.
+        assert stats_on.memory_accesses * 2 < stats_off.memory_accesses
+        assert stats_on.mean_round_trip < stats_off.mean_round_trip
+
+    def test_hot_module_serialization_without_combining(self):
+        machine_off, stats_off = hotspot_run(combining=False)
+        # all traffic hits module 0; its access count equals requests
+        assert machine_off.memory[0].accesses == stats_off.requests_issued
+
+    def test_combining_rate_grows_with_machine_size(self):
+        rates = []
+        for n in (4, 16):
+            _machine, stats = hotspot_run(n_pes=n)
+            rates.append(stats.combining_rate)
+        assert rates[1] > rates[0]
+
+
+class TestHashingAblation:
+    @pytest.mark.parametrize(
+        "translation,expect_balanced",
+        [("interleaved", False), ("hashed", True)],
+    )
+    def test_stride_traffic_module_balance(self, translation, expect_balanced):
+        machine = Ultracomputer(
+            MachineConfig(n_pes=16, translation=translation, words_per_module=64)
+        )
+        driver = SyntheticTrafficDriver(
+            machine,
+            TrafficSpec(rate=0.2, pattern="stride", stride=16, seed=2),
+        )
+        machine.attach_driver(driver)
+        machine.run_cycles(400)
+        imbalance = machine.memory.imbalance()
+        if expect_balanced:
+            assert imbalance < 3.0
+        else:
+            assert imbalance > 8.0  # everything lands on a few modules
+
+    def test_hashing_lowers_stride_latency(self):
+        latencies = {}
+        for translation in ("interleaved", "hashed"):
+            machine = Ultracomputer(
+                MachineConfig(
+                    n_pes=16, translation=translation, words_per_module=64
+                )
+            )
+            driver = SyntheticTrafficDriver(
+                machine,
+                TrafficSpec(rate=0.15, pattern="stride", stride=16, seed=3),
+            )
+            machine.attach_driver(driver)
+            machine.run_cycles(600)
+            stats = driver.stats()
+            latencies[translation] = stats.mean_latency
+        assert latencies["hashed"] < latencies["interleaved"]
+
+
+class TestUniformTraffic:
+    def test_low_load_latency_near_minimum(self):
+        stats, machine = run_uniform_traffic(16, rate=0.02, cycles=600, seed=1)
+        # 4 stages each way + memory + injection: minimum ~12; queueing
+        # at p=0.02 is negligible.
+        assert stats.mean_latency < 20
+
+    def test_latency_grows_with_load(self):
+        low, _ = run_uniform_traffic(16, rate=0.05, cycles=600, seed=1)
+        high, _ = run_uniform_traffic(16, rate=0.30, cycles=600, seed=1)
+        assert high.mean_latency > low.mean_latency
+
+    def test_throughput_scales_with_rate_below_capacity(self):
+        """Design objective 1 on the real simulator: completed requests
+        scale with offered load while below capacity."""
+        completed = {}
+        for rate in (0.05, 0.10):
+            stats, _ = run_uniform_traffic(16, rate=rate, cycles=800, seed=4)
+            completed[rate] = stats.completed
+        assert completed[0.10] > completed[0.05] * 1.6

@@ -1,0 +1,93 @@
+"""Confidence tests at larger machine scales (64-port, both switch
+arities) — slower than the unit tests but still seconds, they exercise
+deep networks, multi-stage combining trees, and heavy concurrency."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.core.serialization import fetch_add_outcome_valid
+
+
+class TestSixtyFourPEs:
+    @pytest.mark.parametrize("k", [2, 4])
+    def test_hotspot_on_64_pes(self, k):
+        """Pairwise combining halves a simultaneous wave per stage, so
+        the residual is N / 2^stages: 64/2^6 = 1 for k=2, but 64/2^3 = 8
+        for k=4 — larger switches need the multi-combining extension
+        (section 3.3 discusses exactly this trade-off) to reach one
+        access."""
+        machine = Ultracomputer(MachineConfig(n_pes=64, k=k))
+
+        def program(pe_id):
+            old = yield FetchAdd(0, 1)
+            return old
+
+        machine.spawn_many(64, program)
+        stats = machine.run()
+        results = [machine.programs.return_values[pe] for pe in range(64)]
+        assert fetch_add_outcome_valid(0, [1] * 64, results, machine.peek(0))
+        stages = machine.network.topology.stages
+        assert stats.memory_accesses <= 64 // 2**stages
+
+    def test_unlimited_combining_restores_single_access_at_k4(self):
+        """The ablation the k=4 residual motivates: unlimited in-switch
+        combining collapses the wave fully even with 4x4 switches."""
+        machine = Ultracomputer(
+            MachineConfig(n_pes=64, k=4, pairwise_only=False)
+        )
+
+        def program(pe_id):
+            yield FetchAdd(0, 1)
+            return True
+
+        machine.spawn_many(64, program)
+        stats = machine.run()
+        assert machine.peek(0) == 64
+        assert stats.memory_accesses == 1
+
+    def test_deep_network_latency(self):
+        """k=2 at 64 ports is 6 stages; unloaded round trip must stay
+        logarithmic (about 2*6 + memory + packetization)."""
+        machine = Ultracomputer(MachineConfig(n_pes=64, k=2))
+
+        def program(pe_id):
+            yield Load(0)
+
+        machine.spawn(program)
+        stats = machine.run()
+        assert 12 <= stats.mean_round_trip <= 24
+
+    def test_scatter_gather_all_pairs(self):
+        """Every PE writes a unique cell then reads its neighbour's —
+        64 x 2 references across every region of the machine."""
+        machine = Ultracomputer(MachineConfig(n_pes=64, k=4))
+
+        def program(pe_id, n):
+            yield Store(1000 + pe_id, pe_id * 3)
+            value = yield Load(1000 + (pe_id + 1) % n)
+            return value
+
+        machine.spawn_many(64, program, 64)
+        machine.run()
+        for pe in range(64):
+            expected = ((pe + 1) % 64) * 3
+            assert machine.programs.return_values[pe] == expected
+
+    def test_mixed_storm(self):
+        """All op kinds at once on a deep machine: counters, stores,
+        loads, with combining on — final state fully determined for the
+        commutative parts."""
+        machine = Ultracomputer(MachineConfig(n_pes=64, k=2))
+
+        def program(pe_id):
+            yield FetchAdd(0, 1)
+            yield Store(10 + pe_id, pe_id)
+            value = yield Load(10 + pe_id)
+            yield FetchAdd(1, value)
+            return True
+
+        machine.spawn_many(64, program)
+        machine.run()
+        assert machine.peek(0) == 64
+        assert machine.peek(1) == sum(range(64))

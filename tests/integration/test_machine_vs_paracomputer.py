@@ -1,0 +1,136 @@
+"""Integration: the Ultracomputer 'appears to the user as a paracomputer'.
+
+The same coroutine programs run on both machines; schedule-independent
+outcomes (conserved counters, per-PE private results, data-structure
+contents) must agree exactly.
+"""
+
+import pytest
+
+from repro.algorithms import QueueLayout, delete, insert
+from repro.algorithms.barrier import Barrier, wait
+from repro.algorithms.scheduler import (
+    SchedulerLayout,
+    make_fanout_workload,
+    seed_direct,
+    worker,
+)
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.core.paracomputer import Paracomputer
+
+
+def both_machines(n_pes=8):
+    return [
+        ("paracomputer", Paracomputer(seed=5)),
+        ("machine", Ultracomputer(MachineConfig(n_pes=n_pes))),
+    ]
+
+
+def run(machine, cycles=3_000_000):
+    if isinstance(machine, Paracomputer):
+        return machine.run(200_000)
+    return machine.run(cycles)
+
+
+class TestSharedCounterEquivalence:
+    def test_final_counter_identical(self):
+        def program(pe_id, rounds):
+            for _ in range(rounds):
+                yield FetchAdd(0, 1)
+            return True
+
+        finals = {}
+        for name, machine in both_machines():
+            machine.spawn_many(8, program, 10)
+            run(machine)
+            finals[name] = machine.peek(0)
+        assert finals["paracomputer"] == finals["machine"] == 80
+
+
+class TestDistinctIndexEquivalence:
+    def test_claimed_slots_form_permutation(self):
+        """The shared-index idiom: each PE writes its id into the slot
+        its F&A returned; both machines end with a permutation."""
+
+        def program(pe_id, claims):
+            for _ in range(claims):
+                slot = yield FetchAdd(0, 1)
+                yield Store(100 + slot, pe_id)
+            return True
+
+        for name, machine in both_machines():
+            machine.spawn_many(8, program, 4)
+            run(machine)
+            slots = [machine.peek(100 + i) for i in range(32)]
+            assert machine.peek(0) == 32
+            # every slot written exactly once by some PE
+            assert all(0 <= owner < 8 for owner in slots)
+            counts = [slots.count(pe) for pe in range(8)]
+            assert counts == [4] * 8, name
+
+
+class TestQueueEquivalence:
+    def test_queue_contents_conserved_on_both(self):
+        queue = QueueLayout(base=50, capacity=16)
+
+        def producer(pe_id, items):
+            for item in items:
+                while not (yield from insert(queue, item)):
+                    pass
+            return True
+
+        def consumer(pe_id, count, sink):
+            taken = 0
+            while taken < count:
+                item = yield from delete(queue)
+                if item is not None:
+                    sink.append(item)
+                    taken += 1
+            return True
+
+        for name, machine in both_machines():
+            sink: list = []
+            for pe in range(4):
+                machine.spawn(producer, list(range(pe * 10, pe * 10 + 8)))
+            for pe in range(4):
+                machine.spawn(consumer, 8, sink)
+            run(machine)
+            expected = sorted(x for pe in range(4) for x in range(pe * 10, pe * 10 + 8))
+            assert sorted(sink) == expected, name
+
+
+class TestBarrierEquivalence:
+    def test_generation_count_matches(self):
+        for name, machine in both_machines():
+            barrier = Barrier(base=0, participants=8)
+
+            def program(pe_id):
+                for _ in range(4):
+                    yield from wait(barrier)
+                return True
+
+            machine.spawn_many(8, program)
+            run(machine)
+            assert machine.peek(barrier.sense) == 4, name
+
+
+class TestSchedulerEquivalence:
+    def test_task_sets_identical(self):
+        task_fn, roots, total = make_fanout_workload(3, 2)
+        for name, machine in both_machines():
+            layout = SchedulerLayout.at(base=0, capacity=64)
+            seed_direct(layout, roots, machine.poke)
+
+            def run_worker(pe_id):
+                trace = yield from worker(pe_id, layout, task_fn)
+                return trace
+
+            machine.spawn_many(8, run_worker)
+            run(machine)
+            if isinstance(machine, Paracomputer):
+                values = machine.stats().return_values.values()
+            else:
+                values = machine.programs.return_values.values()
+            executed = sorted(t for v in values for t in v.executed)
+            assert executed == list(range(total)), name

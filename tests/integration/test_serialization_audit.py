@@ -1,0 +1,145 @@
+"""Property-based audit: the full machine obeys the serialization
+principle under randomized workloads.
+
+Hypothesis generates random per-PE fetch-and-add/swap/store workloads;
+after the run, every touched cell's observable history must be
+consistent with *some* serial order — checked with the special-case
+validators, since enumerating interleavings of whole executions is
+infeasible.  This is the strongest end-to-end statement the tests make
+about the combining network: no combination of switch queueing,
+pairwise combining, decombining, and module scheduling may ever
+fabricate, lose, or duplicate an operation.
+"""
+
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load, Store, Swap
+from repro.core.paracomputer import Paracomputer
+from repro.core.serialization import fetch_add_outcome_valid
+
+#: Small search space keeps each hypothesis example fast while still
+#: exercising combining (few cells => frequent collisions).
+cells = st.integers(min_value=0, max_value=2)
+increments = st.integers(min_value=-3, max_value=3)
+pe_workloads = st.lists(
+    st.lists(st.tuples(cells, increments), min_size=1, max_size=4),
+    min_size=2,
+    max_size=4,
+)
+
+
+def fetch_add_program(pe_id, workload, journal):
+    for cell, increment in workload:
+        old = yield FetchAdd(cell, increment)
+        journal.append((cell, increment, old))
+    return True
+
+
+class TestFetchAddAudit:
+    @settings(max_examples=25, deadline=None)
+    @given(pe_workloads, st.booleans())
+    def test_machine_histories_serializable(self, workloads, combining):
+        machine = Ultracomputer(
+            MachineConfig(n_pes=4, combining=combining)
+        )
+        journal: list[tuple[int, int, int]] = []
+        for workload in workloads:
+            machine.spawn(fetch_add_program, workload, journal)
+        machine.run(500_000)
+
+        by_cell: dict[int, list[tuple[int, int]]] = {}
+        for cell, increment, old in journal:
+            by_cell.setdefault(cell, []).append((increment, old))
+        for cell, records in by_cell.items():
+            incs = [increment for increment, _ in records]
+            olds = [old for _, old in records]
+            assert fetch_add_outcome_valid(
+                0, incs, olds, machine.peek(cell)
+            ), f"cell {cell}: history {records} not serializable"
+
+    @settings(max_examples=25, deadline=None)
+    @given(pe_workloads)
+    def test_machine_and_paracomputer_agree_on_finals(self, workloads):
+        finals = {}
+        for name, machine in (
+            ("para", Paracomputer(seed=1)),
+            ("ultra", Ultracomputer(MachineConfig(n_pes=4))),
+        ):
+            journal: list = []
+            for workload in workloads:
+                machine.spawn(fetch_add_program, workload, journal)
+            if name == "para":
+                machine.run(100_000)
+            else:
+                machine.run(500_000)
+            finals[name] = {
+                cell: machine.peek(cell) for cell in range(3)
+            }
+        assert finals["para"] == finals["ultra"]
+
+
+class TestSwapAudit:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=2, max_value=6), st.integers(0, 1000))
+    def test_swap_chain_conserves_tokens(self, n_pes_exp, seed):
+        """Random simultaneous swaps on one cell: the multiset
+        {initial value} + {tokens} is conserved between the final cell
+        value and the returned values."""
+        n = min(8, max(2, n_pes_exp))
+        machine = Ultracomputer(MachineConfig(n_pes=8))
+        machine.poke(0, 999)
+
+        def swapper(pe_id, token):
+            received = yield Swap(0, token)
+            return received
+
+        for pe in range(n):
+            machine.spawn(swapper, 1000 + pe)
+        machine.run(200_000)
+        received = [
+            machine.programs.return_values[pe] for pe in range(n)
+        ]
+        conserved = sorted(received + [machine.peek(0)])
+        assert conserved == sorted([999] + [1000 + pe for pe in range(n)])
+
+
+class TestStoreLoadAudit:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(1, 100), min_size=2, max_size=6),
+        st.booleans(),
+    )
+    def test_final_value_is_one_of_the_stores(self, values, combining):
+        machine = Ultracomputer(MachineConfig(n_pes=8, combining=combining))
+
+        def storer(pe_id, value):
+            yield Store(0, value)
+            return True
+
+        for i, value in enumerate(values):
+            machine.spawn(storer, value)
+        machine.run(200_000)
+        assert machine.peek(0) in values
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.integers(1, 100), min_size=1, max_size=5))
+    def test_load_sees_initial_or_some_store(self, values):
+        machine = Ultracomputer(MachineConfig(n_pes=8))
+        machine.poke(0, 7777)
+
+        def storer(pe_id, value):
+            yield Store(0, value)
+            return True
+
+        def loader(pe_id):
+            value = yield Load(0)
+            return value
+
+        for value in values:
+            machine.spawn(storer, value)
+        machine.spawn(loader)
+        machine.run(200_000)
+        seen = machine.programs.return_values[len(values)]
+        assert seen in [7777] + values

@@ -1,0 +1,198 @@
+"""Tests for the write-back cache with release/flush (sections 3.2, 3.4)."""
+
+import pytest
+
+from repro.memory.cache import (
+    Segment,
+    WriteBackCache,
+    reclaim_protocol,
+    spawn_protocol,
+)
+
+
+class Backing:
+    """A central-memory stand-in that counts traffic."""
+
+    def __init__(self):
+        self.store: dict[int, int] = {}
+        self.reads = 0
+        self.writes = 0
+
+    def read(self, address):
+        self.reads += 1
+        return self.store.get(address, 0)
+
+    def write(self, address, value):
+        self.writes += 1
+        self.store[address] = value
+
+
+def make_cache(lines=4, line_size=2):
+    backing = Backing()
+    cache = WriteBackCache(lines, line_size, backing.read, backing.write)
+    return cache, backing
+
+
+class TestReadWrite:
+    def test_miss_then_hit(self):
+        cache, backing = make_cache()
+        backing.store[3] = 30
+        assert cache.read(3) == 30
+        assert cache.stats.misses == 1
+        assert cache.read(3) == 30
+        assert cache.stats.hits == 1
+        assert backing.reads == 2  # one line of 2 words filled once
+
+    def test_write_back_not_write_through(self):
+        """Writes do not reach central memory until eviction/flush."""
+        cache, backing = make_cache()
+        cache.write(0, 99)
+        assert backing.store.get(0) is None
+        assert cache.dirty_words() == 1
+
+    def test_eviction_writes_only_dirty_words(self):
+        cache, backing = make_cache(lines=1, line_size=4)
+        cache.write(1, 11)  # line 0 dirty in word 1 only
+        cache.read(5)  # fill line 1 -> evict line 0
+        assert backing.writes == 1
+        assert backing.store[1] == 11
+
+    def test_lru_eviction_order(self):
+        cache, backing = make_cache(lines=2, line_size=1)
+        cache.write(0, 1)
+        cache.write(1, 2)
+        cache.read(0)  # touch 0: line 1 is now LRU
+        cache.write(2, 3)  # evicts line for address 1
+        assert backing.store.get(1) == 2
+        assert backing.store.get(0) is None
+
+    def test_hit_ratio(self):
+        cache, _ = make_cache()
+        cache.read(0)
+        cache.read(0)
+        cache.read(0)
+        cache.read(0)
+        assert cache.stats.hit_ratio == 0.75
+
+
+class TestFlush:
+    def test_flush_writes_dirty_and_keeps_resident(self):
+        cache, backing = make_cache()
+        cache.write(0, 5)
+        cache.write(1, 6)
+        written = cache.flush()
+        assert written == 2
+        assert backing.store[0] == 5 and backing.store[1] == 6
+        assert cache.resident_lines == 1
+        assert cache.dirty_words() == 0
+        # subsequent read is still a hit
+        assert cache.read(0) == 5
+        assert cache.stats.hits >= 1
+
+    def test_flush_segment_only(self):
+        cache, backing = make_cache(lines=4, line_size=1)
+        cache.add_segment(Segment("a", base=0, length=2))
+        cache.add_segment(Segment("b", base=10, length=2))
+        cache.write(0, 1)
+        cache.write(10, 2)
+        cache.flush("a")
+        assert backing.store.get(0) == 1
+        assert backing.store.get(10) is None
+
+    def test_task_switch_scenario(self):
+        """Flush before a task migrates: the new PE's cache must see the
+        values through central memory."""
+        backing = Backing()
+        cache_a = WriteBackCache(4, 1, backing.read, backing.write)
+        cache_b = WriteBackCache(4, 1, backing.read, backing.write)
+        cache_a.write(7, 123)
+        cache_a.flush()
+        assert cache_b.read(7) == 123
+
+
+class TestRelease:
+    def test_release_drops_without_write_back(self):
+        """'The release command marks a cache entry as available without
+        performing a central memory update' — so dirty private data dies
+        quietly, saving the write-back traffic."""
+        cache, backing = make_cache()
+        cache.write(0, 5)
+        dropped = cache.release()
+        assert dropped == 1
+        assert backing.writes == 0
+        assert cache.resident_lines == 0
+
+    def test_release_loses_unflushed_writes_by_design(self):
+        cache, backing = make_cache()
+        cache.write(0, 5)
+        cache.release()
+        assert cache.read(0) == 0  # refetched from (never-updated) memory
+
+    def test_release_segment_only(self):
+        cache, _ = make_cache(lines=4, line_size=1)
+        cache.add_segment(Segment("dead", base=0, length=2))
+        cache.write(0, 1)
+        cache.write(10, 2)
+        assert cache.release("dead") == 1
+        assert cache.contains(10)
+        assert not cache.contains(0)
+
+    def test_unknown_segment_raises(self):
+        cache, _ = make_cache()
+        with pytest.raises(KeyError):
+            cache.release("nope")
+
+
+class TestCacheability:
+    def test_uncacheable_segment_bypasses(self):
+        cache, backing = make_cache()
+        cache.add_segment(Segment("shared", base=0, length=4, cacheable=False))
+        backing.store[1] = 9
+        assert cache.read(1) == 9
+        assert cache.resident_lines == 0
+        cache.write(1, 10)
+        assert backing.store[1] == 10  # write-through for uncacheable
+        assert cache.stats.uncacheable_reads == 1
+        assert cache.stats.uncacheable_writes == 1
+
+    def test_set_cacheable_flips(self):
+        cache, _ = make_cache()
+        cache.add_segment(Segment("v", base=0, length=4, cacheable=False))
+        cache.set_cacheable("v", True)
+        cache.read(0)
+        assert cache.resident_lines == 1
+
+
+class TestCoherenceProtocol:
+    def test_stale_read_without_protocol(self):
+        """The hazard the paper prohibits: two PEs caching shared
+        read-write data observe incoherent values."""
+        backing = Backing()
+        cache_a = WriteBackCache(4, 1, backing.read, backing.write)
+        cache_b = WriteBackCache(4, 1, backing.read, backing.write)
+        cache_b.read(0)  # B caches stale 0
+        cache_a.write(0, 42)
+        cache_a.flush()
+        assert cache_b.read(0) == 0  # stale! (this is the bug class)
+
+    def test_spawn_protocol_restores_coherence(self):
+        """Section 3.4: 'V is flushed, released, and marked shared
+        immediately before the subtasks are spawned.'"""
+        backing = Backing()
+        parent = WriteBackCache(4, 1, backing.read, backing.write)
+        child = WriteBackCache(4, 1, backing.read, backing.write)
+        parent.add_segment(Segment("v", base=0, length=2))
+        child.add_segment(Segment("v", base=0, length=2, cacheable=False))
+
+        parent.write(0, 42)  # parent treats V as private (cached)
+        spawn_protocol(parent, "v")  # flush + release + mark shared
+        assert backing.store[0] == 42
+        assert child.read(0) == 42  # child sees it (uncached access)
+        # child updates; parent reads uncached too (V marked shared)
+        child.write(0, 43)
+        assert parent.read(0) == 43
+
+        # after subtasks complete the parent may re-privatize
+        reclaim_protocol(parent, "v")
+        assert parent.read(0) == 43  # cached again from memory
+        assert parent.resident_lines == 1

@@ -1,0 +1,102 @@
+"""Unit tests for the cache's asynchronous-backing interface
+(probe/install/invalidate — the machine-integration path)."""
+
+import pytest
+
+from repro.memory.cache import Segment, WriteBackCache
+
+
+def make_cache(lines=2):
+    writes = []
+    cache = WriteBackCache(
+        lines,
+        1,
+        lambda addr: (_ for _ in ()).throw(AssertionError("sync read")),
+        lambda addr, value: writes.append((addr, value)),
+    )
+    return cache, writes
+
+
+class TestProbe:
+    def test_miss_then_install_then_hit(self):
+        cache, _ = make_cache()
+        hit, value = cache.probe(5)
+        assert not hit and value is None
+        cache.install(5, 42)
+        hit, value = cache.probe(5)
+        assert hit and value == 42
+
+    def test_probe_counts_stats(self):
+        cache, _ = make_cache()
+        cache.probe(1)
+        cache.install(1, 7)
+        cache.probe(1)
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+
+    def test_probe_uncacheable_is_not_a_miss(self):
+        cache, _ = make_cache()
+        cache.add_segment(Segment("s", base=0, length=4, cacheable=False))
+        hit, _ = cache.probe(0)
+        assert not hit
+        assert cache.stats.misses == 0
+
+    def test_probe_refreshes_lru(self):
+        cache, _ = make_cache(lines=2)
+        cache.install(1, 10)
+        cache.install(2, 20)
+        cache.probe(1)  # 2 becomes LRU
+        evicted = cache.install(3, 30)
+        assert not cache.contains(2)
+        assert cache.contains(1)
+        assert evicted == []  # 2 was clean
+
+
+class TestInstall:
+    def test_dirty_eviction_returned_not_written(self):
+        cache, writes = make_cache(lines=1)
+        cache.install(1, 10, dirty=True)
+        evicted = cache.install(2, 20)
+        assert evicted == [(1, 10)]
+        assert writes == []  # caller owns the write-back
+
+    def test_clean_eviction_silent(self):
+        cache, _ = make_cache(lines=1)
+        cache.install(1, 10)
+        assert cache.install(2, 20) == []
+
+    def test_reinstall_merges_dirty_bit(self):
+        cache, _ = make_cache()
+        cache.install(1, 10, dirty=True)
+        cache.install(1, 11)  # clean write over dirty line keeps dirty
+        assert cache.dirty_words() == 1
+        hit, value = cache.probe(1)
+        assert value == 11
+
+    def test_requires_word_lines(self):
+        cache = WriteBackCache(2, 4, lambda a: 0, lambda a, v: None)
+        with pytest.raises(ValueError, match="line_size"):
+            cache.install(0, 1)
+
+
+class TestInvalidate:
+    def test_dirty_invalidate_returns_write_back(self):
+        cache, _ = make_cache()
+        cache.install(3, 33, dirty=True)
+        assert cache.invalidate(3) == (3, 33)
+        assert not cache.contains(3)
+
+    def test_clean_invalidate_returns_none(self):
+        cache, _ = make_cache()
+        cache.install(3, 33)
+        assert cache.invalidate(3) is None
+
+    def test_absent_invalidate_is_noop(self):
+        cache, _ = make_cache()
+        assert cache.invalidate(9) is None
+
+    def test_invalidate_without_write_back_discards(self):
+        cache, _ = make_cache()
+        cache.install(3, 33, dirty=True)
+        assert cache.invalidate(3, write_back=False) is None
+        assert not cache.contains(3)

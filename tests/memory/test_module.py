@@ -1,0 +1,88 @@
+"""Tests for memory modules and the banked central memory."""
+
+import pytest
+
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.memory.module import BankedMemory, MemoryModule
+
+
+class TestDirectAccess:
+    def test_peek_defaults_to_zero(self):
+        assert MemoryModule(0).peek(5) == 0
+
+    def test_poke_then_peek(self):
+        module = MemoryModule(0)
+        module.poke(3, 42)
+        assert module.peek(3) == 42
+
+    def test_apply_fetch_add(self):
+        module = MemoryModule(0)
+        module.poke(1, 10)
+        effect = module.apply(FetchAdd(1, 5))
+        assert effect.result == 10
+        assert module.peek(1) == 15
+
+    def test_bad_latency_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryModule(0, latency=0)
+
+
+class TestTimedService:
+    def test_service_takes_latency_cycles(self):
+        module = MemoryModule(0, latency=3)
+        module.enqueue(Store(0, 9), cycle=0)
+        completions = []
+        for cycle in range(10):
+            done = module.tick(cycle)
+            if done:
+                completions.append(cycle)
+        assert completions == [3]
+        assert module.peek(0) == 9
+
+    def test_saturated_module_one_per_latency(self):
+        module = MemoryModule(0, latency=2)
+        for i in range(4):
+            module.enqueue(Store(i, i), cycle=0)
+        completions = []
+        for cycle in range(20):
+            if module.tick(cycle):
+                completions.append(cycle)
+        assert completions == [2, 4, 6, 8]
+
+    def test_history_recording(self):
+        module = MemoryModule(0, latency=2)
+        module.keep_history = True
+        module.enqueue(Load(7), cycle=0)
+        for cycle in range(5):
+            module.tick(cycle)
+        assert len(module.history) == 1
+        assert module.history[0].offset == 7
+        assert module.history[0].finished - module.history[0].started == 2
+
+    def test_queue_length(self):
+        module = MemoryModule(0, latency=2)
+        module.enqueue(Load(0), 0)
+        module.enqueue(Load(1), 0)
+        module.tick(0)
+        assert module.queue_length == 2  # one in service, one waiting
+
+
+class TestBankedMemory:
+    def test_indexing(self):
+        banked = BankedMemory(4)
+        assert len(banked) == 4
+        assert banked[2].index == 2
+
+    def test_imbalance_of_uniform_traffic(self):
+        banked = BankedMemory(4)
+        for module in banked.modules:
+            module.accesses = 10
+        assert banked.imbalance() == 1.0
+
+    def test_imbalance_of_hotspot(self):
+        banked = BankedMemory(4)
+        banked[0].accesses = 40
+        assert banked.imbalance() == 4.0
+
+    def test_imbalance_with_no_traffic(self):
+        assert BankedMemory(4).imbalance() == 1.0

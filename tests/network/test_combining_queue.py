@@ -1,0 +1,142 @@
+"""Tests for the behavioral combining queue (section 3.3.1)."""
+
+import pytest
+
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.network.message import Message
+from repro.network.systolic_queue import CombiningQueue, QueueFullError
+
+
+def msg(op, mm=0, offset=None, tag=None, origin=0):
+    if offset is None:
+        offset = op.address
+    return Message(
+        op=op, mm=mm, offset=offset, origin=origin,
+        tag=tag if tag is not None else id(op) % 100000,
+        digits=[0, 0, 0],
+    )
+
+
+class TestFifoBehavior:
+    def test_fifo_order(self):
+        queue = CombiningQueue()
+        messages = [msg(Load(i), offset=i, tag=i) for i in range(5)]
+        for m in messages:
+            queue.insert(m)
+        assert [queue.pop().tag for _ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_head_without_pop(self):
+        queue = CombiningQueue()
+        queue.insert(msg(Load(1), tag=7))
+        assert queue.head().tag == 7
+        assert len(queue) == 1
+
+    def test_empty_head_is_none(self):
+        assert CombiningQueue().head() is None
+
+
+class TestCapacity:
+    def test_packet_accounting(self):
+        queue = CombiningQueue(capacity_packets=4)
+        queue.insert(msg(Store(0, 1), offset=0, tag=1))  # 3 packets
+        assert queue.used_packets == 3
+        assert queue.can_accept(1)
+        assert not queue.can_accept(3)
+
+    def test_full_queue_rejects_uncombinable(self):
+        queue = CombiningQueue(capacity_packets=3)
+        queue.insert(msg(Store(0, 1), offset=0, tag=1))
+        with pytest.raises(QueueFullError):
+            queue.insert(msg(Load(9), offset=9, tag=2))
+
+    def test_full_queue_still_combines(self):
+        """Combining deletes R-new, so it needs no queue space — the
+        paper's design lets a full queue keep absorbing combinable
+        requests."""
+        queue = CombiningQueue(capacity_packets=3)
+        queue.insert(msg(FetchAdd(0, 1), offset=0, tag=1))
+        outcome = queue.insert(msg(FetchAdd(0, 2), offset=0, tag=2))
+        assert outcome.combined_with is not None
+        assert len(queue) == 1
+
+    def test_pop_releases_packets(self):
+        queue = CombiningQueue(capacity_packets=3)
+        queue.insert(msg(Store(0, 1), offset=0, tag=1))
+        queue.pop()
+        assert queue.used_packets == 0
+        assert queue.can_accept(3)
+
+    def test_infinite_queue_accepts_everything(self):
+        queue = CombiningQueue(capacity_packets=None)
+        for i in range(100):
+            queue.insert(msg(Load(i + 100), offset=i + 100, tag=i))
+        assert len(queue) == 100
+
+
+class TestCombining:
+    def test_combines_matching_cell(self):
+        queue = CombiningQueue()
+        first = msg(FetchAdd(4, 1), offset=4, tag=1)
+        queue.insert(first)
+        outcome = queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2))
+        assert outcome.combined_with is first
+        assert first.op.increment == 3  # forward op replaced in place
+        assert len(queue) == 1
+        assert queue.total_combined == 1
+
+    def test_no_combine_across_cells(self):
+        queue = CombiningQueue()
+        queue.insert(msg(FetchAdd(4, 1), offset=4, tag=1))
+        outcome = queue.insert(msg(FetchAdd(5, 2), offset=5, tag=2))
+        assert outcome.combined_with is None
+        assert len(queue) == 2
+
+    def test_no_combine_across_modules(self):
+        queue = CombiningQueue()
+        queue.insert(msg(FetchAdd(4, 1), mm=0, offset=4, tag=1))
+        outcome = queue.insert(msg(FetchAdd(4, 2), mm=1, offset=4, tag=2))
+        assert outcome.combined_with is None
+
+    def test_pairwise_only_limits_chains(self):
+        """A queued request that already absorbed a partner cannot
+        absorb another (the wait-buffer-simplicity rule)."""
+        queue = CombiningQueue(pairwise_only=True)
+        queue.insert(msg(FetchAdd(4, 1), offset=4, tag=1))
+        assert queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2)).combined_with
+        third = queue.insert(msg(FetchAdd(4, 4), offset=4, tag=3))
+        assert third.combined_with is None  # queued separately
+        assert len(queue) == 2
+
+    def test_unlimited_combining_ablation(self):
+        queue = CombiningQueue(pairwise_only=False)
+        queue.insert(msg(FetchAdd(4, 1), offset=4, tag=1))
+        assert queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2)).combined_with
+        assert queue.insert(msg(FetchAdd(4, 4), offset=4, tag=3)).combined_with
+        assert len(queue) == 1
+        assert queue.head().op.increment == 7
+
+    def test_combining_disabled(self):
+        queue = CombiningQueue(combining=False)
+        queue.insert(msg(FetchAdd(4, 1), offset=4, tag=1))
+        outcome = queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2))
+        assert outcome.combined_with is None
+        assert len(queue) == 2
+
+    def test_packet_growth_on_combine_accounted(self):
+        """Load (1 packet) absorbed into... a Load+FA combine turns the
+        queued 1-packet Load into a 3-packet FetchAdd; occupancy must
+        track it."""
+        queue = CombiningQueue(capacity_packets=10)
+        queue.insert(msg(Load(4), offset=4, tag=1))
+        assert queue.used_packets == 1
+        queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2))
+        assert queue.used_packets == 3
+
+    def test_replies_never_combine(self):
+        queue = CombiningQueue()
+        request = msg(FetchAdd(4, 1), offset=4, tag=1)
+        queue.insert(request)
+        reply = msg(FetchAdd(4, 2), offset=4, tag=2)
+        reply.is_reply = True
+        outcome = queue.insert(reply)
+        assert outcome.combined_with is None

@@ -1,0 +1,88 @@
+"""Tests for network messages and the amalgam addressing (section 3.1.1)."""
+
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.network.message import (
+    Message,
+    PACKETS_WITHOUT_DATA,
+    PACKETS_WITH_DATA,
+)
+from repro.network.topology import OmegaTopology
+
+
+def make_message(op, mm=5, origin=3, tag=1, stages=3, k=2):
+    topo = OmegaTopology(k**stages, k)
+    return Message(
+        op=op,
+        mm=mm,
+        offset=0,
+        origin=origin,
+        tag=tag,
+        digits=topo.route_digits(mm),
+    )
+
+
+class TestPackets:
+    def test_load_request_is_one_packet(self):
+        assert make_message(Load(0)).packets == PACKETS_WITHOUT_DATA
+
+    def test_store_request_is_three_packets(self):
+        assert make_message(Store(0, 5)).packets == PACKETS_WITH_DATA
+
+    def test_fetch_add_request_is_three_packets(self):
+        assert make_message(FetchAdd(0, 1)).packets == PACKETS_WITH_DATA
+
+    def test_value_reply_is_three_packets(self):
+        reply = make_message(Load(0)).make_reply(42)
+        assert reply.packets == PACKETS_WITH_DATA
+
+    def test_ack_reply_is_one_packet(self):
+        reply = make_message(Store(0, 5)).make_reply(None)
+        assert reply.packets == PACKETS_WITHOUT_DATA
+
+
+class TestAmalgamAddressing:
+    def test_digit_swap_reconstructs_origin(self):
+        """Simulate the forward trip: at stage j route on digits[j] and
+        replace it with the arrival port.  At the MM, the digit vector
+        must spell the origin."""
+        topo = OmegaTopology(8, k=2)
+        origin, mm = 0b011, 0b101
+        message = Message(
+            op=Load(0), mm=mm, offset=0, origin=origin, tag=9,
+            digits=topo.route_digits(mm),
+        )
+        for hop in topo.forward_path(origin, mm):
+            assert message.route_digit(hop.stage) == hop.out_port
+            message.record_arrival_port(hop.stage, hop.in_port)
+        # After the trip, the digits are the return address.
+        from repro.network.topology import from_digits
+
+        # The return path consumes digits in reverse stage order; walking
+        # it must land on the origin.
+        line = mm
+        for hop in topo.return_path(origin, mm):
+            assert message.route_digit(hop.stage) == hop.out_port
+            line = topo.unshuffle(hop.switch * topo.k + hop.out_port)
+        assert line == origin
+
+    def test_make_reply_preserves_identity(self):
+        message = make_message(FetchAdd(7, 3), tag=55)
+        message.record_arrival_port(0, 1)
+        reply = message.make_reply(123)
+        assert reply.is_reply
+        assert reply.tag == 55
+        assert reply.value == 123
+        assert reply.digits == message.digits
+        assert reply.digits is not message.digits  # independent copy
+
+    def test_combining_key_is_cell_identity(self):
+        a = make_message(Load(4), mm=2)
+        b = make_message(Store(4, 9), mm=2)
+        assert a.combining_key() == b.combining_key()
+        c = make_message(Load(4), mm=3)
+        assert a.combining_key() != c.combining_key()
+
+    def test_uids_are_unique(self):
+        a = make_message(Load(0))
+        b = make_message(Load(0))
+        assert a.uid != b.uid

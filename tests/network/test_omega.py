@@ -1,0 +1,194 @@
+"""End-to-end tests of the assembled Omega network (section 3.1)."""
+
+import pytest
+
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.network.message import Message
+from repro.network.omega import NetworkConfig, OmegaNetwork
+
+
+class Harness:
+    """Endpoints for a bare network: records deliveries, echoes replies."""
+
+    def __init__(self, network: OmegaNetwork):
+        self.network = network
+        self.at_mm: list[tuple[int, Message]] = []
+        self.at_pe: list[tuple[int, Message]] = []
+        network.connect(mm_sink=self._mm, pe_sink=self._pe)
+
+    def _mm(self, mm: int, message: Message) -> bool:
+        self.at_mm.append((mm, message))
+        return True
+
+    def _pe(self, pe: int, message: Message) -> bool:
+        self.at_pe.append((pe, message))
+        return True
+
+    def step(self, cycles: int = 1):
+        for _ in range(cycles):
+            self.network.step_forward()
+            self.network.step_return()
+            self.network.advance_cycle()
+
+
+def request(network, op, pe, mm, tag):
+    return Message(
+        op=op,
+        mm=mm,
+        offset=op.address,
+        origin=pe,
+        tag=tag,
+        digits=network.topology.route_digits(mm),
+    )
+
+
+@pytest.fixture
+def net8():
+    return OmegaNetwork(NetworkConfig(n_ports=8, k=2))
+
+
+class TestDelivery:
+    def test_single_request_reaches_destination(self, net8):
+        harness = Harness(net8)
+        message = request(net8, Load(0), pe=3, mm=5, tag=1)
+        assert net8.offer_request(3, message)
+        harness.step(10)
+        assert harness.at_mm == [(5, message)]
+
+    def test_latency_is_stage_count_plus_one_when_empty(self, net8):
+        harness = Harness(net8)
+        message = request(net8, Load(0), pe=0, mm=7, tag=1)
+        net8.offer_request(0, message)
+        cycles = 0
+        while not harness.at_mm:
+            harness.step()
+            cycles += 1
+        assert cycles == net8.topology.stages  # one cycle per stage
+
+    def test_all_pairs_delivered(self):
+        network = OmegaNetwork(NetworkConfig(n_ports=8, k=2))
+        harness = Harness(network)
+        tag = 0
+        for pe in range(8):
+            for mm in range(8):
+                tag += 1
+                message = request(network, Load(pe), pe, mm, tag)
+                injected = False
+                for _ in range(200):
+                    if network.offer_request(pe, message):
+                        injected = True
+                        break
+                    harness.step()
+                assert injected
+        harness.step(200)
+        assert len(harness.at_mm) == 64
+        by_mm = {}
+        for mm, message in harness.at_mm:
+            assert message.mm == mm
+            by_mm.setdefault(mm, 0)
+            by_mm[mm] += 1
+        assert all(count == 8 for count in by_mm.values())
+
+    def test_reply_returns_to_origin(self, net8):
+        harness = Harness(net8)
+        message = request(net8, Load(0), pe=6, mm=2, tag=44)
+        net8.offer_request(6, message)
+        harness.step(10)
+        (mm, delivered), = harness.at_mm
+        reply = delivered.make_reply(123)
+        assert net8.offer_reply(mm, reply)
+        harness.step(10)
+        assert harness.at_pe == [(6, reply)]
+
+    def test_k4_network_round_trip(self):
+        network = OmegaNetwork(NetworkConfig(n_ports=16, k=4))
+        harness = Harness(network)
+        message = request(network, Load(3), pe=13, mm=6, tag=9)
+        network.offer_request(13, message)
+        harness.step(10)
+        (mm, delivered), = harness.at_mm
+        assert mm == 6
+        network.offer_reply(mm, delivered.make_reply(7))
+        harness.step(10)
+        assert harness.at_pe[0][0] == 13
+
+
+class TestPipelining:
+    def test_throughput_one_message_per_cycle_per_port(self, net8):
+        """Pipelining (design factor 1): a PE can have a message in
+        every stage; N messages to distinct MMs from one PE drain at
+        one per cycle, not one per transit."""
+        harness = Harness(net8)
+        injected = 0
+        cycle = 0
+        while injected < 6:
+            message = request(net8, Load(injected), pe=0, mm=injected, tag=injected)
+            if net8.offer_request(0, message):
+                injected += 1
+            harness.step()
+            cycle += 1
+        harness.step(12)
+        assert len(harness.at_mm) == 6
+        # non-pipelined would need ~6 transits = 18+ cycles of injection
+        assert cycle <= 8
+
+    def test_combining_collapses_hotspot_tree(self):
+        """All 8 PEs fetch-and-add one cell simultaneously: the switch
+        tree combines them into a single memory access (the section
+        3.1.2 key property)."""
+        network = OmegaNetwork(NetworkConfig(n_ports=8, k=2, combining=True))
+        harness = Harness(network)
+        for pe in range(8):
+            message = request(network, FetchAdd(0, 1), pe=pe, mm=0, tag=100 + pe)
+            assert network.offer_request(pe, message)
+        harness.step(12)
+        assert len(harness.at_mm) == 1  # one combined request
+        combined = harness.at_mm[0][1]
+        assert combined.op.increment == 8
+        # and the reply fans back out to all 8 PEs
+        network.offer_reply(0, combined.make_reply(0))
+        harness.step(12)
+        assert sorted(pe for pe, _ in harness.at_pe) == list(range(8))
+        values = sorted(m.value for _, m in harness.at_pe)
+        assert values == list(range(8))  # distinct prefix sums
+
+    def test_without_combining_all_requests_reach_memory(self):
+        network = OmegaNetwork(NetworkConfig(n_ports=8, k=2, combining=False))
+        harness = Harness(network)
+        for pe in range(8):
+            message = request(network, FetchAdd(0, 1), pe=pe, mm=0, tag=100 + pe)
+            assert network.offer_request(pe, message)
+        harness.step(40)
+        assert len(harness.at_mm) == 8
+
+
+class TestDrainAccounting:
+    def test_is_drained(self, net8):
+        harness = Harness(net8)
+        assert net8.is_drained()
+        message = request(net8, Load(0), pe=0, mm=0, tag=1)
+        net8.offer_request(0, message)
+        assert not net8.is_drained()
+        harness.step(10)
+        assert net8.is_drained()  # delivered out of the network
+
+    def test_wait_records_pending_until_reply(self):
+        network = OmegaNetwork(NetworkConfig(n_ports=8, k=2))
+        harness = Harness(network)
+        for pe in (0, 4):
+            # PEs 0 and 4 share a first-stage switch input pair? inject
+            # to the same MM so they combine somewhere en route
+            message = request(network, FetchAdd(0, 1), pe=pe, mm=0, tag=pe + 1)
+            network.offer_request(pe, message)
+        harness.step(12)
+        if network.total_combines():
+            assert network.pending_wait_records() > 0
+            (mm, delivered) = harness.at_mm[0]
+            network.offer_reply(mm, delivered.make_reply(0))
+            harness.step(12)
+            assert network.pending_wait_records() == 0
+
+    def test_endpoints_required(self):
+        network = OmegaNetwork(NetworkConfig(n_ports=8, k=2))
+        with pytest.raises(RuntimeError, match="not connected"):
+            network.step_forward()

@@ -1,0 +1,112 @@
+"""Tests for the queueing-model network simulator (section 4.2)."""
+
+import pytest
+
+from repro.network.stochastic import StochasticConfig, StochasticNetwork
+
+
+def quiet_config(**kwargs):
+    defaults = dict(n_ports=64, k=4, service_jitter=0.0, seed=0)
+    defaults.update(kwargs)
+    return StochasticConfig(**defaults)
+
+
+class TestUnloadedTiming:
+    def test_paper_minimum_access_time(self):
+        """Six stages of 4x4, MM access = 2 cycles, 1/3-packet messages:
+        the minimum CM access equals 8 PE instruction times (16 network
+        cycles) — quoted verbatim in section 4.2."""
+        network = StochasticNetwork(StochasticConfig(service_jitter=0.0))
+        assert network.minimum_round_trip() == 16
+        assert network.minimum_round_trip() / network.config.pe_instruction_time == 8
+
+    def test_single_request_achieves_minimum(self):
+        network = StochasticNetwork(quiet_config())
+        breakdown = network.round_trip(0, 37, issue_time=0.0)
+        expected = network.minimum_round_trip()
+        assert breakdown.round_trip == pytest.approx(expected)
+
+    def test_breakdown_is_ordered(self):
+        network = StochasticNetwork(quiet_config())
+        b = network.round_trip(3, 9, issue_time=5.0)
+        assert 5.0 <= b.arrive_mm <= b.leave_mm <= b.reply_time
+
+
+class TestContention:
+    def test_hot_module_serializes(self):
+        """N distinct-cell requests to one module are served one at a
+        time — each access is mm_latency later than the previous."""
+        network = StochasticNetwork(quiet_config())
+        finishes = [
+            network.round_trip(pe, 7, issue_time=0.0).leave_mm
+            for pe in range(8)
+        ]
+        finishes.sort()
+        gaps = [b - a for a, b in zip(finishes, finishes[1:])]
+        assert all(g >= network.config.mm_latency - 1e-9 for g in gaps)
+
+    def test_uniform_traffic_faster_than_hotspot(self):
+        hot = StochasticNetwork(quiet_config(seed=1))
+        uniform = StochasticNetwork(quiet_config(seed=1))
+        hot_latency = sum(
+            hot.round_trip(pe, 7, 0.0).round_trip for pe in range(16)
+        )
+        uniform_latency = sum(
+            uniform.round_trip(pe, pe, 0.0).round_trip for pe in range(16)
+        )
+        assert uniform_latency < hot_latency
+
+    def test_port_contention_from_shared_switch(self):
+        """Two PEs sharing a first-stage switch output port queue behind
+        each other; disjoint paths do not."""
+        network = StochasticNetwork(quiet_config())
+        a = network.round_trip(0, 0, 0.0)
+        # PE whose path shares stage-0 switch output with (0 -> 0)
+        b = network.round_trip(1, 0, 0.0)
+        assert b.round_trip > a.round_trip
+
+    def test_queueing_statistic_accumulates(self):
+        network = StochasticNetwork(quiet_config())
+        for pe in range(8):
+            network.round_trip(pe, 3, 0.0)
+        assert network.mean_queueing_per_request > 0
+
+
+class TestJitter:
+    def test_jitter_bounded_and_reproducible(self):
+        config = StochasticConfig(n_ports=64, k=4, service_jitter=0.5, seed=42)
+        a = StochasticNetwork(config)
+        b = StochasticNetwork(config)
+        for pe in range(8):
+            ra = a.round_trip(pe, pe + 8, 0.0)
+            rb = b.round_trip(pe, pe + 8, 0.0)
+            assert ra.round_trip == rb.round_trip  # same seed, same path
+            minimum = a.minimum_round_trip()
+            assert minimum <= ra.round_trip <= minimum + 12 * 0.5 + 1e-9
+
+    def test_different_seeds_differ(self):
+        a = StochasticNetwork(StochasticConfig(n_ports=64, k=4, seed=1))
+        b = StochasticNetwork(StochasticConfig(n_ports=64, k=4, seed=2))
+        ra = [a.round_trip(pe, pe + 8, 0.0).round_trip for pe in range(8)]
+        rb = [b.round_trip(pe, pe + 8, 0.0).round_trip for pe in range(8)]
+        assert ra != rb
+
+
+class TestCapacityShape:
+    def test_latency_grows_with_offered_load(self):
+        """Issue bursts at increasing rates; average round trip must be
+        nondecreasing — the Figure 7 shape on the simulator side."""
+        means = []
+        for gap in (8.0, 2.0, 0.5):
+            network = StochasticNetwork(quiet_config(seed=3))
+            total = 0.0
+            count = 0
+            t = 0.0
+            for i in range(200):
+                pe = i % 16
+                mm = (i * 7 + 3) % 64
+                total += network.round_trip(pe, mm, t).round_trip
+                count += 1
+                t += gap / 16
+            means.append(total / count)
+        assert means[0] <= means[1] <= means[2]

@@ -1,0 +1,187 @@
+"""Tests for the combining switch (section 3.3)."""
+
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.network.message import Message
+from repro.network.switch import Switch
+from repro.network.topology import OmegaTopology
+
+
+def make_request(op, mm, topo, origin=0, tag=None):
+    return Message(
+        op=op,
+        mm=mm,
+        offset=op.address,
+        origin=origin,
+        tag=tag if tag is not None else 1000 + origin,
+        digits=topo.route_digits(mm),
+    )
+
+
+def make_switch(**kwargs):
+    return Switch(2, stage=0, index=0, **kwargs)
+
+
+TOPO = OmegaTopology(8, 2)
+
+
+class TestForwardRouting:
+    def test_routes_by_stage_digit(self):
+        switch = make_switch()
+        # mm=0b100: stage 0 digit is 1 -> lower output port
+        message = make_request(Load(0), mm=0b100, topo=TOPO)
+        assert switch.offer_forward(0, message, cycle=0)
+        assert switch.to_mm[1].head() is message
+        assert len(switch.to_mm[0]) == 0
+
+    def test_digit_swapped_with_arrival_port(self):
+        switch = make_switch()
+        message = make_request(Load(0), mm=0b100, topo=TOPO)
+        switch.offer_forward(1, message, cycle=0)
+        assert message.digits[0] == 1  # arrival port recorded
+
+    def test_full_queue_refuses_and_restores_digit(self):
+        switch = make_switch(queue_capacity_packets=1)
+        first = make_request(Load(0), mm=0b100, topo=TOPO, tag=1)
+        blocked = make_request(Load(1), mm=0b110, topo=TOPO, tag=2)
+        assert switch.offer_forward(0, first, cycle=0)
+        assert not switch.offer_forward(0, blocked, cycle=0)
+        # the refused message must still route correctly on retry
+        assert blocked.digits == TOPO.route_digits(0b110)
+
+    def test_tick_forward_moves_head_downstream(self):
+        switch = make_switch()
+        message = make_request(Load(0), mm=0b000, topo=TOPO)
+        switch.offer_forward(0, message, cycle=0)
+        delivered = []
+        switch.tick_forward(1, lambda port, msg: delivered.append((port, msg)) or True)
+        assert delivered == [(0, message)]
+        assert switch.to_mm[0].head() is None
+
+    def test_link_occupancy_throttles(self):
+        """A 3-packet message holds the output link for 3 cycles."""
+        switch = make_switch()
+        a = make_request(Store(0, 5), mm=0, topo=TOPO, tag=1)  # 3 packets
+        b = make_request(Store(1, 6), mm=0, topo=TOPO, tag=2)
+        switch.offer_forward(0, a, 0)
+        switch.offer_forward(0, b, 0)
+        sent = []
+        for cycle in range(6):
+            switch.tick_forward(cycle, lambda port, msg: sent.append((cycle, msg.tag)) or True)
+        assert sent[0][1] == 1
+        assert sent[1][1] == 2
+        assert sent[1][0] - sent[0][0] >= 3
+
+    def test_backpressure_keeps_head(self):
+        switch = make_switch()
+        message = make_request(Load(0), mm=0, topo=TOPO)
+        switch.offer_forward(0, message, 0)
+        switch.tick_forward(1, lambda port, msg: False)  # downstream full
+        assert switch.to_mm[0].head() is message
+        assert switch.stats.forward_blocked_cycles == 1
+
+
+class TestCombineAndDecombine:
+    def _combined_switch(self):
+        switch = make_switch()
+        old = make_request(FetchAdd(4, 1), mm=0, topo=TOPO, origin=0, tag=10)
+        new = make_request(FetchAdd(4, 2), mm=0, topo=TOPO, origin=1, tag=20)
+        assert switch.offer_forward(0, old, 0)
+        assert switch.offer_forward(1, new, 0)
+        return switch, old, new
+
+    def test_combine_places_wait_record(self):
+        switch, old, new = self._combined_switch()
+        assert switch.stats.combines == 1
+        assert len(switch.to_mm[0]) == 1
+        assert switch.to_mm[0].head().op.increment == 3
+        assert switch.pending_wait_records() == 1
+
+    def test_reply_fans_out_to_both_requesters(self):
+        switch, old, new = self._combined_switch()
+        # simulate the combined request going to memory and returning
+        forwarded = switch.to_mm[0].pop()
+        reply = forwarded.make_reply(100)  # memory held 100
+        assert switch.offer_return(0, reply, 5)
+        assert switch.stats.decombines == 1
+        # two replies queued on the ToPE side, routed by origin digits
+        heads = [q.head() for q in switch.to_pe if q.head() is not None]
+        values = sorted(m.value for m in heads)
+        assert values == [100, 101]  # Y for R-old, Y+e (e=1) for R-new
+        tags = sorted(m.tag for m in heads)
+        assert tags == [10, 20]
+
+    def test_reply_without_record_routes_straight_through(self):
+        switch = make_switch()
+        message = make_request(Load(0), mm=0, topo=TOPO, origin=1, tag=7)
+        switch.offer_forward(1, message, 0)
+        forwarded = switch.to_mm[0].pop()
+        reply = forwarded.make_reply(55)
+        assert switch.offer_return(0, reply, 3)
+        assert switch.to_pe[1].head() is reply  # origin digit = port 1
+
+    def test_reply_refused_when_tope_full_keeps_record(self):
+        switch = Switch(2, stage=0, index=0, queue_capacity_packets=3)
+        old = make_request(FetchAdd(4, 1), mm=0, topo=TOPO, origin=0, tag=10)
+        new = make_request(FetchAdd(4, 2), mm=0, topo=TOPO, origin=0, tag=20)
+        switch.offer_forward(0, old, 0)
+        switch.offer_forward(0, new, 0)
+        # fill the target ToPE queue (both replies head to port 0)
+        filler = make_request(Load(9), mm=0, topo=TOPO, origin=0, tag=99)
+        filler_reply = filler.make_reply(1)  # 3 packets
+        switch.to_pe[0].insert(filler_reply)
+        forwarded = switch.to_mm[0].pop()
+        reply = forwarded.make_reply(100)
+        assert not switch.offer_return(0, reply, 5)
+        assert switch.pending_wait_records() == 1  # record retained
+        assert reply.value == 100  # rewrite undone for retry
+
+    def test_combining_suppressed_when_wait_buffer_full(self):
+        switch = Switch(2, stage=0, index=0, wait_buffer_capacity=0)
+        old = make_request(FetchAdd(4, 1), mm=0, topo=TOPO, tag=10)
+        new = make_request(FetchAdd(4, 2), mm=0, topo=TOPO, tag=20)
+        switch.offer_forward(0, old, 0)
+        switch.offer_forward(0, new, 0)
+        assert switch.stats.combines == 0
+        assert len(switch.to_mm[0]) == 2  # queued separately
+
+    def test_unlimited_combining_unwinds_record_stack(self):
+        """With pairwise_only=False a queued request absorbs several
+        partners; the reply must fan out to every one with correct
+        prefix values, unwinding the wait-record stack innermost-first."""
+        switch = Switch(2, stage=0, index=0, pairwise_only=False)
+        requests = [
+            make_request(FetchAdd(4, inc), mm=0, topo=TOPO, origin=i % 2,
+                         tag=10 * (i + 1))
+            for i, inc in enumerate([1, 2, 4])
+        ]
+        for i, request in enumerate(requests):
+            assert switch.offer_forward(i % 2, request, 0)
+        assert switch.stats.combines == 2
+        assert len(switch.to_mm[0]) == 1
+        forwarded = switch.to_mm[0].pop()
+        assert forwarded.op.increment == 7
+
+        reply = forwarded.make_reply(100)
+        assert switch.offer_return(0, reply, 5)
+        replies = []
+        for queue in switch.to_pe:
+            while queue.head() is not None:
+                replies.append(queue.pop())
+        values = sorted(m.value for m in replies)
+        # prefix sums of (1, 2, 4) in combine order from 100
+        assert values == [100, 101, 103]
+        assert switch.pending_wait_records() == 0
+
+    def test_heterogeneous_combine_load_satisfied_by_store(self):
+        switch = make_switch()
+        old = make_request(Load(4), mm=0, topo=TOPO, origin=0, tag=10)
+        new = make_request(Store(4, 9), mm=0, topo=TOPO, origin=1, tag=20)
+        switch.offer_forward(0, old, 0)
+        switch.offer_forward(1, new, 0)
+        forwarded = switch.to_mm[0].pop()
+        assert isinstance(forwarded.op, Store)
+        ack = forwarded.make_reply(None)
+        assert switch.offer_return(0, ack, 2)
+        replies = {q.head().tag: q.head() for q in switch.to_pe if q.head()}
+        assert replies[10].value == 9  # load satisfied from store datum
+        assert replies[20].value is None  # store acked

@@ -1,0 +1,173 @@
+"""Tests for the structural Guibas–Liang systolic queue (Figure 4)."""
+
+from dataclasses import dataclass
+
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.network.systolic_queue import SystolicQueue
+
+
+@dataclass
+class Item:
+    key: int
+    serial: int
+
+
+def key_match(queued: Item, new: Item) -> bool:
+    return queued.key == new.key
+
+
+def never_match(queued: Item, new: Item) -> bool:
+    return False
+
+
+class TestFifo:
+    def test_items_exit_in_insertion_order(self):
+        queue = SystolicQueue(rows=8, match_fn=never_match)
+        items = [Item(key=i, serial=i) for i in range(6)]
+        order = []
+        pending = list(items)
+        for _ in range(100):
+            if pending and queue.insert(pending[0]):
+                pending.pop(0)
+            exited = queue.step()
+            if exited:
+                order.append(exited.item.serial)
+            if len(order) == len(items):
+                break
+        assert order == [0, 1, 2, 3, 4, 5]
+
+    def test_fall_through_when_empty(self):
+        """Items are not delayed if the queue is empty and the next
+        switch can receive them — the paper's fourth observation."""
+        queue = SystolicQueue(rows=4, match_fn=never_match)
+        queue.insert(Item(key=0, serial=0))
+        exits = []
+        for _ in range(6):
+            exited = queue.step()
+            if exited:
+                exits.append(exited)
+        assert len(exits) == 1
+
+    def test_blocked_exit_holds_items(self):
+        queue = SystolicQueue(rows=4, match_fn=never_match)
+        queue.insert(Item(key=0, serial=0))
+        for _ in range(5):
+            assert queue.step(exit_ready=False) is None
+        assert queue.occupancy() == 1
+        # now allow the exit
+        out = None
+        for _ in range(4):
+            out = out or queue.step(exit_ready=True)
+        assert out is not None and out.item.serial == 0
+
+
+class TestThroughput:
+    def test_sustains_one_in_one_out(self):
+        """As long as the queue is neither full nor empty, one item can
+        enter and one exit per cycle."""
+        queue = SystolicQueue(rows=8, match_fn=never_match)
+        inserted = exited_count = 0
+        serial = 0
+        for cycle in range(64):
+            if queue.insert(Item(key=serial, serial=serial)):
+                inserted += 1
+                serial += 1
+            if queue.step():
+                exited_count += 1
+        assert inserted >= 32  # at least every other cycle
+        assert exited_count >= inserted - queue.rows * 2
+
+    def test_capacity_bounded(self):
+        queue = SystolicQueue(rows=3, match_fn=never_match)
+        accepted = 0
+        for i in range(20):
+            if queue.insert(Item(key=i, serial=i)):
+                accepted += 1
+            queue.step(exit_ready=False)
+        assert accepted <= 7  # 2 columns * 3 rows is the hard ceiling
+
+
+class TestMatching:
+    def test_matched_pair_exits_together(self):
+        # Hold the exit (downstream busy) so the rising new item passes
+        # the queued one — the scenario where the comparators fire.
+        queue = SystolicQueue(rows=8, match_fn=key_match)
+        first = Item(key=7, serial=0)
+        second = Item(key=7, serial=1)
+        queue.insert(first)
+        queue.step(exit_ready=False)
+        queue.insert(second)
+        queue.step(exit_ready=False)
+        exits = queue.drain()
+        combined = [e for e in exits if e.matched is not None]
+        assert len(combined) == 1
+        assert combined[0].item is first
+        assert combined[0].matched is second
+
+    def test_unmatched_keys_exit_separately(self):
+        queue = SystolicQueue(rows=8, match_fn=key_match)
+        queue.insert(Item(key=1, serial=0))
+        queue.step(exit_ready=False)
+        queue.insert(Item(key=2, serial=1))
+        exits = queue.drain()
+        assert all(e.matched is None for e in exits)
+        assert len(exits) == 2
+
+    def test_pairwise_only_in_structure(self):
+        """Three same-key items: the first pairs with the second; the
+        third must exit alone (a queued item matches at most once)."""
+        queue = SystolicQueue(rows=8, match_fn=key_match)
+        items = [Item(key=5, serial=i) for i in range(3)]
+        queue.insert(items[0])
+        queue.step(exit_ready=False)
+        queue.insert(items[1])
+        queue.step(exit_ready=False)
+        queue.insert(items[2])
+        queue.step(exit_ready=False)
+        queue.step(exit_ready=False)
+        exits = queue.drain()
+        matched = [e for e in exits if e.matched is not None]
+        alone = [e for e in exits if e.matched is None]
+        assert len(matched) == 1
+        assert len(alone) == 1
+        assert alone[0].item.serial == 2
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 2), min_size=1, max_size=10))
+    def test_nothing_lost_nothing_duplicated(self, keys):
+        """Conservation: every inserted item leaves exactly once, either
+        as a queue exit or as a match partner."""
+        queue = SystolicQueue(rows=12, match_fn=key_match)
+        items = [Item(key=k, serial=i) for i, k in enumerate(keys)]
+        pending = list(items)
+        seen: list[int] = []
+        for _ in range(400):
+            if pending and queue.insert(pending[0]):
+                pending.pop(0)
+            exited = queue.step()
+            if exited:
+                seen.append(exited.item.serial)
+                if exited.matched is not None:
+                    seen.append(exited.matched.serial)
+            if not pending and queue.occupancy() == 0:
+                break
+        assert sorted(seen) == list(range(len(items)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=1, max_size=12))
+    def test_fifo_without_matches(self, serials):
+        queue = SystolicQueue(rows=16, match_fn=never_match)
+        items = [Item(key=s, serial=i) for i, s in enumerate(serials)]
+        pending = list(items)
+        order: list[int] = []
+        for _ in range(400):
+            if pending and queue.insert(pending[0]):
+                pending.pop(0)
+            exited = queue.step()
+            if exited:
+                order.append(exited.item.serial)
+            if not pending and queue.occupancy() == 0:
+                break
+        assert order == sorted(order)

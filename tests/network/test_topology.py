@@ -1,0 +1,146 @@
+"""Tests for Omega-network topology and routing (section 3.1.1, Fig. 2)."""
+
+import pytest
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.network.topology import OmegaTopology, digits_of, from_digits
+
+
+class TestDigits:
+    def test_round_trip(self):
+        assert from_digits(digits_of(13, 2, 4), 2) == 13
+        assert from_digits(digits_of(13, 4, 2), 4) == 13
+
+    def test_msb_first(self):
+        assert digits_of(0b110, 2, 3) == [1, 1, 0]
+
+    def test_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            digits_of(8, 2, 3)
+
+    def test_bad_digit_rejected(self):
+        with pytest.raises(ValueError):
+            from_digits([2], 2)
+
+
+class TestConstruction:
+    def test_figure2_network(self):
+        topo = OmegaTopology(8, k=2)
+        assert topo.stages == 3
+        assert topo.switches_per_stage == 4
+        assert topo.n_switches == 12
+
+    def test_paper_4k_network(self):
+        topo = OmegaTopology(4096, k=4)
+        assert topo.stages == 6  # "six stages of 4x4 switches"
+        assert topo.switches_per_stage == 1024
+
+    def test_non_power_rejected(self):
+        with pytest.raises(ValueError, match="not a power"):
+            OmegaTopology(12, k=2)
+
+    def test_trivial_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            OmegaTopology(1, k=2)
+        with pytest.raises(ValueError):
+            OmegaTopology(8, k=1)
+
+
+class TestShuffle:
+    @pytest.mark.parametrize("n,k", [(8, 2), (16, 2), (16, 4), (64, 4), (64, 8)])
+    def test_shuffle_is_bijection(self, n, k):
+        topo = OmegaTopology(n, k)
+        assert sorted(topo.shuffle(i) for i in range(n)) == list(range(n))
+
+    @pytest.mark.parametrize("n,k", [(8, 2), (16, 4), (64, 8)])
+    def test_unshuffle_inverts(self, n, k):
+        topo = OmegaTopology(n, k)
+        for line in range(n):
+            assert topo.unshuffle(topo.shuffle(line)) == line
+            assert topo.shuffle(topo.unshuffle(line)) == line
+
+    def test_shuffle_rotates_digits(self):
+        topo = OmegaTopology(8, k=2)
+        # 0b011 -> 0b110
+        assert topo.shuffle(0b011) == 0b110
+
+
+class TestRouting:
+    @pytest.mark.parametrize("n,k", [(8, 2), (16, 2), (16, 4), (64, 4)])
+    def test_every_pair_routes_correctly(self, n, k):
+        """Destination-tag routing delivers every (PE, MM) pair — the
+        forward_path constructor asserts arrival internally."""
+        topo = OmegaTopology(n, k)
+        for source in range(n):
+            for dest in range(n):
+                hops = topo.forward_path(source, dest)
+                assert len(hops) == topo.stages
+                assert topo.stage_output_line(hops[-1].switch, hops[-1].out_port) == dest
+
+    def test_output_ports_follow_destination_digits(self):
+        # Figure 2's rule: "using output port mj when leaving the stage
+        # j switch."
+        topo = OmegaTopology(8, k=2)
+        hops = topo.forward_path(0b000, 0b101)
+        assert [h.out_port for h in hops] == [1, 0, 1]
+
+    def test_path_uniqueness(self):
+        """The Omega network has a *unique* path per pair: two messages
+        for the same destination from the same source always take the
+        same switches."""
+        topo = OmegaTopology(16, k=2)
+        for source in (0, 5, 11):
+            for dest in (3, 8):
+                a = topo.forward_path(source, dest)
+                b = topo.forward_path(source, dest)
+                assert a == b
+
+    def test_return_path_mirrors_forward(self):
+        topo = OmegaTopology(8, k=2)
+        forward = topo.forward_path(3, 6)
+        back = topo.return_path(3, 6)
+        assert [h.switch for h in back] == [h.switch for h in reversed(forward)]
+        # return out_port is the forward arrival port (the amalgam rule)
+        assert [h.out_port for h in back] == [
+            h.in_port for h in reversed(forward)
+        ]
+
+    def test_all_outputs_reachable(self):
+        topo = OmegaTopology(16, k=4)
+        assert topo.reachable_outputs(5) == set(range(16))
+
+    def test_out_of_range_rejected(self):
+        topo = OmegaTopology(8, k=2)
+        with pytest.raises(ValueError):
+            topo.forward_path(-1, 0)
+        with pytest.raises(ValueError):
+            topo.forward_path(0, 8)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_routing_property_k4(self, source, dest):
+        topo = OmegaTopology(64, k=4)
+        hops = topo.forward_path(source, dest)
+        assert [h.out_port for h in hops] == topo.route_digits(dest)
+
+
+class TestStructure:
+    def test_paths_per_switch_uniform(self):
+        """Exhaustive check of the symmetry claim behind
+        paths_through_switch on a small network."""
+        topo = OmegaTopology(8, k=2)
+        counts = {}
+        for s in range(8):
+            for d in range(8):
+                for hop in topo.forward_path(s, d):
+                    counts[(hop.stage, hop.switch)] = (
+                        counts.get((hop.stage, hop.switch), 0) + 1
+                    )
+        expected = topo.paths_through_switch(0, 0)
+        assert all(v == expected for v in counts.values())
+        assert expected == 8 * 8 // 4
+
+    def test_describe_mentions_dimensions(self):
+        text = OmegaTopology(64, k=4).describe()
+        assert "64" in text and "4x4" in text

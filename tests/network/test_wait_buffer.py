@@ -1,0 +1,102 @@
+"""Tests for the switch wait buffer (section 3.3)."""
+
+import pytest
+
+from repro.core.combining import try_combine
+from repro.core.memory_ops import FetchAdd
+from repro.network.message import Message
+from repro.network.wait_buffer import WaitBuffer, WaitBufferFullError, WaitRecord
+
+
+def record(key_tag=1, new_tag=2):
+    old = FetchAdd(0, 1)
+    new = FetchAdd(0, 2)
+    plan = try_combine(old, new)
+    message = Message(
+        op=new, mm=0, offset=0, origin=1, tag=new_tag, digits=[0, 0]
+    )
+    return WaitRecord(key_tag=key_tag, plan=plan, new_message=message, stage=0)
+
+
+class TestBasics:
+    def test_insert_and_match(self):
+        buffer = WaitBuffer()
+        rec = record(key_tag=11)
+        buffer.insert(rec)
+        assert len(buffer) == 1
+        assert buffer.match(11) is rec
+        assert len(buffer) == 0
+
+    def test_match_removes_entry(self):
+        buffer = WaitBuffer()
+        buffer.insert(record(key_tag=5))
+        assert buffer.match(5) is not None
+        assert buffer.match(5) is None
+
+    def test_peek_does_not_remove(self):
+        buffer = WaitBuffer()
+        buffer.insert(record(key_tag=5))
+        assert buffer.peek(5) is not None
+        assert buffer.peek(5) is not None
+        assert len(buffer) == 1
+
+    def test_miss_returns_none(self):
+        assert WaitBuffer().match(99) is None
+
+
+class TestCapacity:
+    def test_capacity_guard(self):
+        buffer = WaitBuffer(capacity=2)
+        buffer.insert(record(key_tag=1))
+        buffer.insert(record(key_tag=2))
+        assert buffer.is_full()
+        with pytest.raises(WaitBufferFullError):
+            buffer.insert(record(key_tag=3))
+
+    def test_match_frees_capacity(self):
+        buffer = WaitBuffer(capacity=1)
+        buffer.insert(record(key_tag=1))
+        buffer.match(1)
+        buffer.insert(record(key_tag=2))  # no error
+
+    def test_unbounded_by_default(self):
+        buffer = WaitBuffer()
+        for i in range(100):
+            buffer.insert(record(key_tag=i))
+        assert not buffer.is_full()
+        assert buffer.peak_occupancy == 100
+
+
+class TestInvariants:
+    def test_stacked_records_unwind_most_recent_first(self):
+        """Unlimited combining stacks records per key; match() pops the
+        innermost (most recent) combine, whose rule applies to the raw
+        memory reply."""
+        buffer = WaitBuffer()
+        first = record(key_tag=7, new_tag=100)
+        second = record(key_tag=7, new_tag=200)
+        buffer.insert(first)
+        buffer.insert(second)
+        assert len(buffer) == 2
+        assert buffer.peek(7) is second
+        assert buffer.peek_all(7) == [first, second]
+        assert buffer.match(7) is second
+        assert buffer.match(7) is first
+        assert buffer.match(7) is None
+
+    def test_match_all_pops_stack_most_recent_first(self):
+        buffer = WaitBuffer()
+        first = record(key_tag=7, new_tag=100)
+        second = record(key_tag=7, new_tag=200)
+        buffer.insert(first)
+        buffer.insert(second)
+        assert buffer.match_all(7) == [second, first]
+        assert len(buffer) == 0
+
+    def test_statistics(self):
+        buffer = WaitBuffer()
+        buffer.insert(record(key_tag=1))
+        buffer.insert(record(key_tag=2))
+        buffer.match(1)
+        assert buffer.total_insertions == 2
+        assert buffer.peak_occupancy == 2

@@ -1,0 +1,113 @@
+"""Tests for the PE assembler."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.pe import isa
+from repro.pe.assembler import AssemblyError, assemble, disassemble
+from repro.pe.processor import Processor, ProcessorDriver
+
+SUM_LOOP = """
+    ; sum 16 consecutive words from central memory
+    li   r1, 0          ; sum
+    li   r2, 1000       ; base address
+    li   r3, 16         ; count
+loop:
+    load r4, r2
+    add  r1, r1, r4
+    addi r2, r2, 1
+    addi r3, r3, -1
+    bnz  r3, loop
+    halt
+"""
+
+
+class TestSyntax:
+    def test_basic_program(self):
+        program = assemble(SUM_LOOP)
+        assert isinstance(program[0], isa.Li)
+        assert isinstance(program[3], isa.LoadR)
+        assert isinstance(program[-1], isa.Halt)
+
+    def test_labels_resolve(self):
+        program = assemble(SUM_LOOP)
+        branch = [i for i in program if isinstance(i, isa.Bnz)][0]
+        assert program[branch.target] == program[3]  # the load
+
+    def test_label_on_its_own_line(self):
+        program = assemble("start:\n  jump start\n")
+        assert program[0].target == 0
+
+    def test_comments_and_blank_lines_ignored(self):
+        program = assemble("# leading comment\n\nli r1, 5 ; trailing\n")
+        assert len(program) == 1
+
+    def test_hex_immediates(self):
+        program = assemble("li r1, 0x10\nhalt\n")
+        assert program[0].imm == 16
+
+    def test_numeric_branch_targets(self):
+        program = assemble("li r1, 1\nbnz r1, 0\n")
+        assert program[1].target == 0
+
+    def test_fetch_add_and_store(self):
+        program = assemble("li r2, 0\nli r3, 1\nfaa r4, r2, r3\nstore r4, r2\nhalt\n")
+        assert isinstance(program[2], isa.FaaR)
+        assert isinstance(program[3], isa.StoreR)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError, match="unknown mnemonic"):
+            assemble("frobnicate r1\n")
+
+    def test_unknown_label(self):
+        with pytest.raises(AssemblyError, match="unknown label"):
+            assemble("jump nowhere\n")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError, match="duplicate label"):
+            assemble("a:\nhalt\na:\nhalt\n")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError, match="takes 2 operands"):
+            assemble("li r1\n")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError, match="expected register"):
+            assemble("mov r1, x9\n")
+
+    def test_register_range_checked(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r99, 1\n")
+
+    def test_writing_r0_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r0, 1\n")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblyError, match="line 2"):
+            assemble("halt\nbogus r1\n")
+
+
+class TestRoundTrip:
+    def test_disassemble_reassembles(self):
+        program = assemble(SUM_LOOP)
+        text = disassemble(program)
+        # disassembly is numeric-target assembly; strip the pc prefixes
+        body = "\n".join(line.split(": ", 1)[1] for line in text.splitlines())
+        again = assemble(body)
+        assert again == program
+
+
+class TestExecution:
+    def test_assembled_program_runs_on_machine(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        for i in range(16):
+            machine.poke(1000 + i, i + 1)
+        processor = Processor(0, assemble(SUM_LOOP), machine.pnis[0])
+        driver = ProcessorDriver()
+        driver.add(processor)
+        machine.attach_driver(driver)
+        machine.run()
+        assert processor.registers[1] == sum(range(1, 17))

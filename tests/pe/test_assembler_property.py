@@ -1,0 +1,68 @@
+"""Property-based tests for the assembler: random programs survive the
+assemble -> disassemble -> assemble round trip unchanged."""
+
+from hypothesis import given, settings
+import hypothesis.strategies as st
+
+from repro.pe import isa
+from repro.pe.assembler import assemble, disassemble
+
+registers = st.integers(min_value=1, max_value=15)  # r0 is read-only
+immediates = st.integers(min_value=-999, max_value=999)
+
+
+@st.composite
+def instructions(draw, program_length):
+    kind = draw(
+        st.sampled_from(
+            ["li", "mov", "add", "sub", "mul", "addi", "load", "store",
+             "faa", "bnz", "bez", "jump", "halt"]
+        )
+    )
+    if kind == "li":
+        return isa.Li(draw(registers), draw(immediates))
+    if kind == "mov":
+        return isa.Mov(draw(registers), draw(registers))
+    if kind in ("add", "sub", "mul"):
+        cls = {"add": isa.Add, "sub": isa.Sub, "mul": isa.Mul}[kind]
+        return cls(draw(registers), draw(registers), draw(registers))
+    if kind == "addi":
+        return isa.Addi(draw(registers), draw(registers), draw(immediates))
+    if kind == "load":
+        return isa.LoadR(draw(registers), draw(registers))
+    if kind == "store":
+        return isa.StoreR(draw(registers), draw(registers))
+    if kind == "faa":
+        return isa.FaaR(draw(registers), draw(registers), draw(registers))
+    target = draw(st.integers(0, program_length - 1))
+    if kind == "bnz":
+        return isa.Bnz(draw(registers), target)
+    if kind == "bez":
+        return isa.Bez(draw(registers), target)
+    if kind == "jump":
+        return isa.Jump(target)
+    return isa.Halt()
+
+
+@st.composite
+def programs(draw):
+    length = draw(st.integers(min_value=1, max_value=12))
+    return [draw(instructions(length)) for _ in range(length)]
+
+
+class TestRoundTripProperty:
+    @settings(max_examples=80, deadline=None)
+    @given(programs())
+    def test_disassemble_reassemble_identity(self, program):
+        text = disassemble(program)
+        body = "\n".join(
+            line.split(": ", 1)[1] for line in text.splitlines()
+        )
+        assert assemble(body) == program
+
+    @settings(max_examples=40, deadline=None)
+    @given(programs())
+    def test_assembled_programs_validate(self, program):
+        # the generator respects the ISA's constraints; validate_program
+        # must agree (no false rejections)
+        isa.validate_program(program, 16)

@@ -1,0 +1,227 @@
+"""Tests for the cache-integrated program driver (sections 3.2, 3.4)."""
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load, Store
+from repro.memory.cache import Segment
+from repro.pe.cached import CacheControl, CachedProgramDriver
+
+
+def make(n_pes=4, segments=None, cache_lines=32):
+    machine = Ultracomputer(MachineConfig(n_pes=n_pes))
+    driver = CachedProgramDriver(
+        machine, cache_lines=cache_lines, segments=segments
+    )
+    machine.attach_driver(driver)
+    return machine, driver
+
+
+class TestReadCaching:
+    def test_repeated_reads_hit(self):
+        machine, driver = make()
+        for i in range(8):
+            machine.poke(1000 + i, i)
+
+        def program(pe_id):
+            total = 0
+            for _round in range(4):
+                for i in range(8):
+                    total += yield Load(1000 + i)
+            return total
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        pe = driver.pes[0]
+        assert pe.return_value == 4 * sum(range(8))
+        assert pe.cache_hits == 3 * 8
+        assert pe.network_refs == 8  # only the first pass misses
+
+    def test_caching_reduces_network_traffic_vs_plain_driver(self):
+        def program(pe_id):
+            total = 0
+            for _round in range(5):
+                for i in range(8):
+                    total += yield Load(1000 + i)
+            return total
+
+        cached_machine, driver = make()
+        driver.spawn(program)
+        cached_machine.run(1_000_000)
+        cached_refs = cached_machine.stats().requests_issued
+
+        plain_machine = Ultracomputer(MachineConfig(n_pes=4))
+        plain_machine.spawn(program)
+        plain_machine.run(1_000_000)
+        plain_refs = plain_machine.stats().requests_issued
+
+        assert cached_refs < plain_refs / 3
+
+    def test_uncacheable_segment_always_misses(self):
+        machine, driver = make(
+            segments=[Segment("shared", base=500, length=8, cacheable=False)]
+        )
+        machine.poke(500, 7)
+
+        def program(pe_id):
+            a = yield Load(500)
+            b = yield Load(500)
+            return a + b
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        pe = driver.pes[0]
+        assert pe.return_value == 14
+        assert pe.cache_hits == 0
+        assert pe.network_refs == 2
+
+
+class TestWriteBack:
+    def test_writes_absorbed_until_flush(self):
+        machine, driver = make()
+
+        def program(pe_id):
+            yield Store(2000, 42)
+            value = yield Load(2000)  # local hit
+            yield CacheControl("flush")
+            return value
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        assert driver.pes[0].return_value == 42
+        assert machine.peek(2000) == 42  # flushed to central memory
+
+    def test_unflushed_write_stays_local(self):
+        machine, driver = make()
+
+        def program(pe_id):
+            yield Store(2000, 42)
+            return True
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        # no flush and no eviction: central memory never saw the write
+        assert machine.peek(2000) == 0
+        assert driver.pes[0].cache.dirty_words() == 1
+
+    def test_eviction_writes_back_dirty_words(self):
+        machine, driver = make(cache_lines=4)
+
+        def program(pe_id):
+            for i in range(4):
+                yield Store(3000 + i, i + 1)
+            # 4 more stores evict the first 4 (LRU)
+            for i in range(4, 8):
+                yield Store(3000 + i, i + 1)
+            return True
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        assert machine.dump_region(3000, 4) == [1, 2, 3, 4]
+        assert machine.dump_region(3004, 4) == [0, 0, 0, 0]  # still cached
+
+    def test_release_discards_dirty_data(self):
+        machine, driver = make()
+
+        def program(pe_id):
+            yield Store(2000, 42)
+            yield CacheControl("release")
+            value = yield Load(2000)  # refetched from memory: 0
+            return value
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        assert driver.pes[0].return_value == 0
+        assert machine.peek(2000) == 0
+
+
+class TestCoherenceDiscipline:
+    def test_rmw_invalidates_cached_copy(self):
+        """A fetch-and-add on a cached, dirty address must write the
+        cached value back first and read-modify-write at the MNI."""
+        machine, driver = make()
+
+        def program(pe_id):
+            yield Store(2000, 10)  # cached + dirty
+            old = yield FetchAdd(2000, 5)  # invalidate -> memory RMW
+            final = yield Load(2000)
+            return (old, final)
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        old, final = driver.pes[0].return_value
+        assert old == 10  # the dirty value reached memory first
+        assert final == 15
+
+    def test_stale_shared_read_hazard_demonstrated(self):
+        """Two PEs caching the same read-write word DO see stale data —
+        the configuration the paper prohibits."""
+        machine, driver = make(n_pes=4)
+
+        def writer(pe_id):
+            yield Load(4000)  # cache the (0) value
+            yield 20
+            yield Store(4000, 99)
+            yield CacheControl("flush")
+            return True
+
+        def reader(pe_id):
+            first = yield Load(4000)  # caches 0
+            yield 60  # wait well past the writer's flush
+            second = yield Load(4000)  # HIT: stale 0
+            return (first, second)
+
+        driver.spawn(writer)
+        driver.spawn(reader)
+        machine.run(1_000_000)
+        first, second = driver.pes[1].return_value
+        assert machine.peek(4000) == 99  # memory has the new value
+        assert second == 0  # ... but the reader's cache is stale
+
+    def test_uncacheable_marking_restores_coherence(self):
+        machine, driver = make(
+            n_pes=4,
+            segments=[Segment("v", base=4000, length=1, cacheable=False)],
+        )
+
+        def writer(pe_id):
+            yield 10
+            yield Store(4000, 99)
+            return True
+
+        def reader(pe_id):
+            while True:
+                value = yield Load(4000)
+                if value == 99:
+                    return value
+                yield 3
+
+        driver.spawn(writer)
+        driver.spawn(reader)
+        machine.run(1_000_000)
+        assert driver.pes[1].return_value == 99
+
+
+class TestProtocol:
+    def test_bad_control_action(self):
+        machine, driver = make()
+
+        def program(pe_id):
+            yield CacheControl("defragment")
+
+        driver.spawn(program)
+        with pytest.raises(ValueError, match="defragment"):
+            machine.run(10_000)
+
+    def test_done_waits_for_write_backlog(self):
+        machine, driver = make(cache_lines=2)
+
+        def program(pe_id):
+            for i in range(6):
+                yield Store(5000 + i, i)
+            yield CacheControl("flush")
+            return True
+
+        driver.spawn(program)
+        machine.run(1_000_000)
+        assert machine.dump_region(5000, 6) == [0, 1, 2, 3, 4, 5]

@@ -1,0 +1,56 @@
+"""Tests for the PE instruction set (section 3.5)."""
+
+import pytest
+
+from repro.pe import isa
+
+
+class TestReadWriteSets:
+    def test_alu_ops(self):
+        add = isa.Add(rd=1, rs1=2, rs2=3)
+        assert add.reads() == (2, 3)
+        assert add.writes() == (1,)
+
+    def test_load_reads_address_writes_dest(self):
+        load = isa.LoadR(rd=4, ra=5)
+        assert load.reads() == (5,)
+        assert load.writes() == (4,)
+
+    def test_store_reads_both(self):
+        store = isa.StoreR(rs=1, ra=2)
+        assert store.reads() == (1, 2)
+        assert store.writes() == ()
+
+    def test_fetch_add_reads_address_and_value(self):
+        faa = isa.FaaR(rd=1, ra=2, rv=3)
+        assert faa.reads() == (2, 3)
+        assert faa.writes() == (1,)
+
+    def test_branches_read_condition(self):
+        assert isa.Bnz(rs=3, target=0).reads() == (3,)
+        assert isa.Bez(rs=3, target=0).reads() == (3,)
+
+    def test_control_flow_neutral(self):
+        assert isa.Jump(target=0).reads() == ()
+        assert isa.Halt().reads() == ()
+
+
+class TestValidation:
+    def test_valid_program_passes(self):
+        isa.validate_program([isa.Li(1, 5), isa.Jump(0), isa.Halt()], 8)
+
+    def test_register_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            isa.validate_program([isa.Li(9, 5)], 8)
+
+    def test_r0_not_writable(self):
+        with pytest.raises(ValueError, match="read-only"):
+            isa.validate_program([isa.Li(0, 5)], 8)
+
+    def test_branch_target_checked(self):
+        with pytest.raises(ValueError, match="target"):
+            isa.validate_program([isa.Bnz(1, 5)], 8)
+
+    def test_error_reports_instruction_index(self):
+        with pytest.raises(ValueError, match="instruction 1"):
+            isa.validate_program([isa.Halt(), isa.Li(0, 1)], 8)

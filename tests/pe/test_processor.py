@@ -1,0 +1,189 @@
+"""Tests for the register-locking processor (section 3.5)."""
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.pe import isa, programs
+from repro.pe.processor import Processor, ProcessorDriver
+
+
+def run_program(program, *, n_pes=4, setup=None, cycles=100_000):
+    machine = Ultracomputer(MachineConfig(n_pes=n_pes))
+    if setup:
+        setup(machine)
+    driver = ProcessorDriver()
+    processor = Processor(0, program, machine.pnis[0])
+    driver.add(processor)
+    machine.attach_driver(driver)
+    machine.run(cycles)
+    return processor, machine
+
+
+class TestExecution:
+    def test_arithmetic(self):
+        program = [
+            isa.Li(1, 6),
+            isa.Li(2, 7),
+            isa.Mul(3, 1, 2),
+            isa.Sub(4, 3, 1),
+            isa.Addi(5, 4, -1),
+            isa.Halt(),
+        ]
+        processor, _ = run_program(program)
+        assert processor.registers[3] == 42
+        assert processor.registers[4] == 36
+        assert processor.registers[5] == 35
+
+    def test_branching_loop(self):
+        processor, _ = run_program(programs.busy_loop(10))
+        assert processor.registers[programs.R_SUM] == 30
+
+    def test_load_store_round_trip(self):
+        def setup(machine):
+            machine.poke(100, 55)
+
+        program = [
+            isa.Li(2, 100),
+            isa.LoadR(3, 2),
+            isa.Li(4, 200),
+            isa.StoreR(3, 4),
+            isa.Halt(),
+        ]
+        processor, machine = run_program(program, setup=setup)
+        assert machine.peek(200) == 55
+
+    def test_fetch_add_instruction(self):
+        program = [
+            isa.Li(2, 0),
+            isa.Li(3, 5),
+            isa.FaaR(4, 2, 3),
+            isa.FaaR(5, 2, 3),
+            isa.Halt(),
+        ]
+        processor, machine = run_program(program)
+        assert machine.peek(0) == 10
+        assert {processor.registers[4], processor.registers[5]} == {0, 5}
+
+    def test_r0_reads_zero(self):
+        program = [isa.Add(1, 0, 0), isa.Halt()]
+        processor, _ = run_program(program)
+        assert processor.registers[1] == 0
+
+    def test_bez_branches_on_zero(self):
+        program = [
+            isa.Li(1, 0),
+            isa.Bez(1, 4),  # taken: r1 == 0
+            isa.Li(2, 111),  # skipped
+            isa.Halt(),
+            isa.Li(2, 222),  # 4: landing pad
+            isa.Bez(2, 3),  # not taken: r2 == 222
+            isa.Li(3, 333),
+            isa.Halt(),
+        ]
+        processor, _ = run_program(program)
+        assert processor.registers[2] == 222
+        assert processor.registers[3] == 333
+
+    def test_jump_is_unconditional(self):
+        program = [
+            isa.Jump(2),
+            isa.Li(1, 111),  # skipped
+            isa.Li(2, 5),  # 2
+            isa.Halt(),
+        ]
+        processor, _ = run_program(program)
+        assert processor.registers[1] == 0
+        assert processor.registers[2] == 5
+
+    def test_mov_copies(self):
+        program = [isa.Li(1, 9), isa.Mov(2, 1), isa.Halt()]
+        processor, _ = run_program(program)
+        assert processor.registers[2] == 9
+
+
+class TestRegisterLocking:
+    def test_execution_continues_past_load(self):
+        """The PE 'must continue execution of the instruction stream
+        immediately after issuing a request': independent instructions
+        after a load retire during the round trip."""
+        program = [
+            isa.Li(2, 100),
+            isa.LoadR(3, 2),  # in flight...
+            isa.Li(4, 1),  # ...these run without stalling
+            isa.Li(5, 2),
+            isa.Add(6, 4, 5),
+            isa.Add(7, 3, 6),  # first use of r3: stalls here
+            isa.Halt(),
+        ]
+        processor, _ = run_program(program)
+        assert processor.registers[7] == 3  # 0 (memory) + 3
+        assert processor.stats.stall_cycles > 0
+
+    def test_use_of_locked_register_suspends(self):
+        program = [
+            isa.Li(2, 100),
+            isa.LoadR(3, 2),
+            isa.Add(4, 3, 3),  # immediate use: full stall
+            isa.Halt(),
+        ]
+        processor, _ = run_program(program)
+        # stall roughly the whole round trip (2 stages + mm + back)
+        assert processor.stats.stall_cycles >= 4
+
+    def test_software_pipelining_reduces_stalls(self):
+        def setup(machine):
+            for i in range(16):
+                machine.poke(1000 + i, i + 1)
+
+        dependent, _ = run_program(
+            programs.dependent_chain_sum(1000, 16), setup=setup
+        )
+        pipelined, _ = run_program(
+            programs.software_pipelined_sum(1000, 16), setup=setup
+        )
+        assert dependent.registers[programs.R_SUM] == sum(range(1, 17))
+        assert pipelined.registers[programs.R_SUM] == sum(range(1, 17))
+        assert pipelined.stats.stall_cycles < dependent.stats.stall_cycles
+
+    def test_store_does_not_lock(self):
+        processor, machine = run_program(programs.store_fill(500, 8, 9))
+        assert machine.dump_region(500, 8) == [9] * 8
+        assert processor.stats.stall_cycles == 0
+
+
+class TestDriver:
+    def test_done_waits_for_store_acks(self):
+        program = [isa.Li(1, 7), isa.Li(2, 300), isa.StoreR(1, 2), isa.Halt()]
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        processor = Processor(0, program, machine.pnis[0])
+        driver = ProcessorDriver()
+        driver.add(processor)
+        machine.attach_driver(driver)
+        machine.run()
+        assert processor.done()
+        assert machine.peek(300) == 7
+
+    def test_multiple_processors_share_memory(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        driver = ProcessorDriver()
+        for pe in range(4):
+            driver.add(
+                Processor(pe, programs.fetch_add_loop(0, 5), machine.pnis[pe])
+            )
+        machine.attach_driver(driver)
+        machine.run()
+        assert machine.peek(0) == 20
+
+    def test_producer_consumer_handshake(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        driver = ProcessorDriver()
+        producer = [
+            isa.Li(1, 1),
+            isa.Li(2, 400),  # flag address
+            isa.StoreR(1, 2),
+            isa.Halt(),
+        ]
+        driver.add(Processor(0, producer, machine.pnis[0]))
+        consumer = Processor(1, programs.spin_on_flag_then_halt(400), machine.pnis[1])
+        driver.add(consumer)
+        machine.attach_driver(driver)
+        machine.run()
+        assert consumer.halted

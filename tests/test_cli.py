@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for command in ("demo", "fig7", "table1", "packaging", "hotspot"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+
+class TestCommands:
+    def test_demo_prints_combining_story(self, capsys):
+        assert main(["demo", "--pes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "final counter:     32" in out
+        assert "memory accesses:" in out
+
+    def test_fig7_prints_curves(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "k=4 d=2" in out
+        assert "sat" in out  # saturated entries rendered
+
+    def test_packaging_prints_paper_numbers(self, capsys):
+        assert main(["packaging"]) == 0
+        out = capsys.readouterr().out
+        assert "65536" in out
+        assert "352" in out and "672" in out
+
+    def test_hotspot_shows_both_columns(self, capsys):
+        assert main(["hotspot", "--pes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "combining" in out and "serialized" in out
+
+    def test_table1_prints_four_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        for name in ("weather-16", "weather-48", "tred2-16", "poisson-16"):
+            assert name in out
+
+    def test_table2_quick(self, capsys):
+        assert main(["table2", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "Table 3" in out
+        assert "N\\PE" in out
+
+    def test_fig7_plot(self, capsys):
+        assert main(["fig7", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "T (cycles)" in out
+        assert "k=4 d=2" in out
+
+    def test_queue_race(self, capsys, monkeypatch):
+        import pathlib
+
+        monkeypatch.chdir(pathlib.Path(__file__).resolve().parents[1])
+        assert main(["queue"]) == 0
+        out = capsys.readouterr().out
+        assert "lock-free" in out and "locked" in out

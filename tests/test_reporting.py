@@ -1,0 +1,74 @@
+"""Tests for the terminal reporting helpers."""
+
+import pytest
+
+from repro.reporting import Series, ascii_plot, figure7_ascii, format_table
+
+
+class TestAsciiPlot:
+    def test_single_series_renders(self):
+        plot = ascii_plot(
+            [Series("line", [(0, 0), (1, 1), (2, 2)])], width=20, height=5
+        )
+        lines = plot.splitlines()
+        assert any("o" in line for line in lines)
+        assert any("+----" in line for line in lines)
+        assert "o line" in plot
+
+    def test_multiple_series_get_distinct_glyphs(self):
+        plot = ascii_plot(
+            [
+                Series("a", [(0, 0), (1, 1)]),
+                Series("b", [(0, 1), (1, 0)]),
+            ],
+            width=16,
+            height=5,
+        )
+        assert "o a" in plot and "* b" in plot
+
+    def test_y_max_clips(self):
+        plot = ascii_plot(
+            [Series("spike", [(0, 1), (1, 1000)])],
+            width=16,
+            height=5,
+            y_max=10.0,
+        )
+        assert "10|" in plot  # the axis tops out at the clip
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([])
+        with pytest.raises(ValueError):
+            ascii_plot([Series("empty", [])])
+
+    def test_axis_labels_present(self):
+        plot = ascii_plot(
+            [Series("s", [(0, 0), (1, 1)])],
+            width=12,
+            height=4,
+            x_label="load",
+            y_label="delay",
+        )
+        assert "x: load" in plot and "y: delay" in plot
+
+    def test_figure7_ascii_has_all_designs(self):
+        plot = figure7_ascii()
+        for label in ("k=2 d=1", "k=4 d=2", "k=8 d=6"):
+            assert label in plot
+
+
+class TestFormatTable:
+    def test_alignment_and_floats(self):
+        table = format_table(
+            ["name", "value"],
+            [["alpha", 1.5], ["b", 22.25]],
+        )
+        lines = table.splitlines()
+        assert lines[0].endswith("value")
+        assert "1.50" in table and "22.25" in table
+        # separator row present
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert "a" in table and "b" in table

@@ -51,7 +51,7 @@ def queue_demo() -> None:
     expected = sorted(x for pe in range(4) for x in range(pe * 100, pe * 100 + 10))
     print(f"  4 producers + 4 consumers, 40 items, {stats.cycles} cycles")
     print(f"  nothing lost, nothing duplicated: {sorted(received) == expected}")
-    print(f"  shared-memory ops issued: {stats.ops_issued} "
+    print(f"  shared-memory ops issued: {stats.requests_issued} "
           "(all fetch-and-add / load / store — zero locks)")
 
 
@@ -71,10 +71,11 @@ def scheduler_demo() -> None:
     stats = para.run()
 
     executed = sorted(
-        t for trace in stats.return_values.values() for t in trace.executed
+        t for r in stats.per_pe.values() for t in r.return_value.executed
     )
     per_pe = {
-        trace.pe_id: len(trace.executed) for trace in stats.return_values.values()
+        r.return_value.pe_id: len(r.return_value.executed)
+        for r in stats.per_pe.values()
     }
     print(f"  {total} tasks in a fanout-3 tree, dynamically spawned")
     print(f"  every task ran exactly once: {executed == list(range(total))}")

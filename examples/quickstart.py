@@ -36,7 +36,7 @@ def main() -> None:
     para = Paracomputer(seed=42)
     para.spawn_many(8, ticket_taker, 0, 4)
     stats = para.run()
-    tickets = sorted(t for v in stats.return_values.values() for t in v)
+    tickets = sorted(t for r in stats.per_pe.values() for t in r.return_value)
     print("paracomputer:")
     print(f"  8 PEs x 4 tickets -> counter = {para.peek(0)}")
     print(f"  every ticket distinct: {tickets == list(range(32))}")

@@ -13,13 +13,41 @@ Public entry points:
 
 * :class:`repro.Paracomputer` — the idealized machine model (section 2);
 * :class:`repro.Ultracomputer` — the cycle-accurate machine with the
-  combining network (section 3);
+  combining network (section 3), configured by
+  :class:`repro.MachineConfig` and returning :class:`repro.RunResult`
+  from ``run()``;
+* :class:`repro.Instrumentation` and friends — the machine-wide metrics
+  registry and cycle tracer (enable with
+  ``MachineConfig(instrument=True)``);
 * :mod:`repro.algorithms` — the completely-parallel coordination
   algorithms (queue, readers–writers, barrier, scheduler);
 * :mod:`repro.analysis` — the analytic network-performance and
   packaging models (sections 3.6 and 4.1);
 * :mod:`repro.apps` — the scientific workloads of the evaluation
   (TRED2, weather PDE, multigrid Poisson, Monte Carlo).
+
+Stability contract
+------------------
+
+Names in ``__all__`` below are the supported surface: they keep working
+across minor versions, and renames go through a deprecation cycle
+(``DeprecationWarning`` for at least one minor version, as the pre-1.1
+stats attributes do now — see :class:`repro.RunResult`).  Key points of
+the contract:
+
+* ``Ultracomputer.run()`` / ``Paracomputer.run()`` return
+  :class:`RunResult`; its core fields (``cycles``, ``requests_issued``,
+  ``combines``, ``memory_accesses``, ``mean_round_trip``, ``per_pe``,
+  ``metrics``) and ``to_dict()``/``to_json()`` are stable.
+* ``MachineConfig`` fields and ``MachineConfig.validate()`` error
+  behavior are stable; new fields are added with backward-compatible
+  defaults.
+* The metric names listed in :mod:`repro.instrumentation`'s table are
+  stable; new metrics may appear in any release.
+* Everything else (module internals, ``repro.network``/``repro.memory``
+  component classes, switch bookkeeping attributes) is implementation
+  detail and may change without notice — simulate through the machine
+  APIs, read results through ``RunResult``.
 """
 
 from .core import (
@@ -28,23 +56,47 @@ from .core import (
     Load,
     MachineConfig,
     Paracomputer,
+    PEResult,
+    RunResult,
     Store,
     Swap,
     TestAndSet,
     Ultracomputer,
 )
+from .instrumentation import (
+    CycleTrace,
+    Histogram,
+    HistogramData,
+    Instrumentation,
+    MetricsRegistry,
+    MetricsSnapshot,
+    TraceEvent,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    # machine models and configuration
+    "MachineConfig",
+    "Paracomputer",
+    "Ultracomputer",
+    # run results
+    "PEResult",
+    "RunResult",
+    # memory operations
     "FetchAdd",
     "FetchPhi",
     "Load",
-    "MachineConfig",
-    "Paracomputer",
     "Store",
     "Swap",
     "TestAndSet",
-    "Ultracomputer",
+    # instrumentation
+    "CycleTrace",
+    "Histogram",
+    "HistogramData",
+    "Instrumentation",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "TraceEvent",
     "__version__",
 ]

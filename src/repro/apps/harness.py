@@ -100,7 +100,7 @@ def run_point(
         processors=processors,
         size=size,
         cycles=stats.cycles,
-        ops_issued=stats.ops_issued,
+        ops_issued=stats.requests_issued,
     )
 
 

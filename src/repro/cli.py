@@ -2,17 +2,20 @@
 
 ::
 
-    python -m repro demo                # the quickstart story
-    python -m repro fig7                # Figure 7 transit-time curves
+    python -m repro demo [--json]       # the quickstart story
+    python -m repro fig7 [--json]       # Figure 7 transit-time curves
     python -m repro table1              # Table 1 traffic study
     python -m repro table2 [--quick]    # Tables 2 and 3 (fit + project)
     python -m repro packaging           # section 3.6 chip/board budget
     python -m repro hotspot [--pes N]   # combining ablation
+    python -m repro stats [--json]      # instrumented run + full metrics
+    python -m repro trace [--json]      # cycle-level event trace
     python -m repro queue               # parallel queue vs spin lock
 
 Each subcommand prints the same table the corresponding benchmark
 asserts on; the CLI exists so a reader can poke at the reproduction
-without learning pytest.
+without learning pytest.  ``--json`` (where offered) emits the same
+data machine-readably via :func:`repro.reporting.render_json`.
 """
 
 from __future__ import annotations
@@ -33,6 +36,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     machine = Ultracomputer(MachineConfig(n_pes=args.pes))
     machine.spawn_many(args.pes, ticket_taker, 0, 4)
     stats = machine.run()
+    if args.json:
+        from repro.reporting import render_json
+
+        payload = stats.to_dict()
+        payload["final_counter"] = machine.peek(0)
+        print(render_json(payload))
+        return 0
     print(f"{args.pes} PEs each claimed 4 tickets from one shared counter")
     print(f"  final counter:     {machine.peek(0)}")
     print(f"  requests issued:   {stats.requests_issued}")
@@ -44,6 +54,27 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
     from repro.analysis.configurations import FIGURE7_DESIGNS
+
+    if args.json:
+        from repro.analysis.configurations import figure7_series
+        from repro.reporting import render_json
+
+        series_map = figure7_series(n=args.n)
+        payload = {
+            "n": args.n,
+            "series": [
+                {
+                    "label": design.label(),
+                    "points": [
+                        {"p": p, "transit_time": t}
+                        for p, t in series_map[design.label()]
+                    ],
+                }
+                for design in FIGURE7_DESIGNS
+            ],
+        }
+        print(render_json(payload))
+        return 0
 
     if args.plot:
         from repro.reporting import figure7_ascii
@@ -130,26 +161,96 @@ def _cmd_packaging(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_hotspot(args: argparse.Namespace) -> int:
+def _run_hot_spot(pes: int, *, combining: bool = True, rounds: int = 4,
+                  trace_capacity: int = 0):
+    """One instrumented hot-spot run: every PE fetch-and-adds one cell."""
     from repro import FetchAdd, MachineConfig, Ultracomputer
 
-    def run(combining: bool):
-        machine = Ultracomputer(
-            MachineConfig(n_pes=args.pes, combining=combining)
-        )
+    machine = Ultracomputer(MachineConfig(
+        n_pes=pes,
+        combining=combining,
+        instrument=True,
+        trace_capacity=trace_capacity,
+    ))
 
-        def program(pe_id):
-            for _ in range(4):
-                yield FetchAdd(0, 1)
+    def program(pe_id):
+        for _ in range(rounds):
+            yield FetchAdd(0, 1)
 
-        machine.spawn_many(args.pes, program)
-        return machine.run()
+    machine.spawn_many(pes, program)
+    return machine.run()
 
-    on, off = run(True), run(False)
+
+def _cmd_hotspot(args: argparse.Namespace) -> int:
+    on = _run_hot_spot(args.pes, combining=True)
+    off = _run_hot_spot(args.pes, combining=False)
     print(f"hot-spot fetch-and-adds, {args.pes} PEs x 4 rounds:")
     print(f"  {'':>12} {'combining':>10} {'serialized':>11}")
     print(f"  {'mem access':>12} {on.memory_accesses:>10} {off.memory_accesses:>11}")
     print(f"  {'mean rtt':>12} {on.mean_round_trip:>10.1f} {off.mean_round_trip:>11.1f}")
+    by_stage = on.metrics.by_label("network.combines", "stage")
+    if by_stage:
+        stages = " ".join(
+            f"stage{stage}={count}" for stage, count in sorted(by_stage.items())
+        )
+        print(f"  combines by switch stage (combining on): {stages}")
+    rtt = on.metrics.histogram("machine.round_trip_cycles")
+    if rtt is not None and rtt.count:
+        print(f"  round-trip histogram (combining on): count={rtt.count} "
+              f"mean={rtt.mean:.1f} p90<={rtt.quantile(0.9)} max={rtt.max_value}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = _run_hot_spot(args.pes, rounds=args.rounds)
+    if args.json:
+        from repro.reporting import render_json
+
+        print(render_json(stats.to_dict()))
+        return 0
+    from repro.reporting import format_metrics
+
+    print(f"instrumented hot-spot run, {args.pes} PEs x {args.rounds} "
+          "fetch-and-adds on one cell:")
+    print(f"  cycles:          {stats.cycles}")
+    print(f"  requests issued: {stats.requests_issued}")
+    print(f"  combines:        {stats.combines}")
+    print(f"  memory accesses: {stats.memory_accesses}")
+    print(f"  mean round trip: {stats.mean_round_trip:.1f} cycles")
+    print()
+    print(format_metrics(stats.metrics))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    stats = _run_hot_spot(
+        args.pes, rounds=args.rounds, trace_capacity=args.capacity
+    )
+    events = stats.trace or []
+    if args.limit is not None:
+        events = events[: args.limit]
+    if args.json:
+        from repro.reporting import render_json
+
+        print(render_json([
+            {k: v for k, v in (
+                ("kind", e.kind), ("cycle", e.cycle), ("tag", e.tag),
+                ("pe", e.pe), ("stage", e.stage), ("mm", e.mm),
+                ("value", e.value),
+            ) if v is not None}
+            for e in events
+        ]))
+        return 0
+    print(f"cycle trace, {args.pes} PEs x {args.rounds} hot-spot "
+          f"fetch-and-adds ({len(events)} events shown):")
+    for e in events:
+        fields = " ".join(
+            f"{k}={v}" for k, v in (
+                ("tag", e.tag), ("pe", e.pe), ("stage", e.stage),
+                ("mm", e.mm), ("value", e.value),
+            ) if v is not None
+        )
+        print(f"  [{e.cycle:>5}] {e.kind:<9} {fields}")
     return 0
 
 
@@ -173,12 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="combining quickstart")
     demo.add_argument("--pes", type=int, default=8)
+    demo.add_argument("--json", action="store_true",
+                      help="emit the RunResult as JSON")
     demo.set_defaults(fn=_cmd_demo)
 
     fig7 = subparsers.add_parser("fig7", help="Figure 7 transit curves")
     fig7.add_argument("--n", type=int, default=4096)
     fig7.add_argument("--plot", action="store_true",
                       help="ASCII plot instead of a table")
+    fig7.add_argument("--json", action="store_true",
+                      help="emit the curves as JSON")
     fig7.set_defaults(fn=_cmd_fig7)
 
     table1 = subparsers.add_parser("table1", help="Table 1 traffic study")
@@ -196,6 +301,30 @@ def build_parser() -> argparse.ArgumentParser:
     hotspot = subparsers.add_parser("hotspot", help="combining ablation")
     hotspot.add_argument("--pes", type=int, default=16)
     hotspot.set_defaults(fn=_cmd_hotspot)
+
+    stats = subparsers.add_parser(
+        "stats", help="instrumented hot-spot run with full metrics"
+    )
+    stats.add_argument("--pes", type=int, default=16)
+    stats.add_argument("--rounds", type=int, default=4,
+                       help="fetch-and-adds per PE")
+    stats.add_argument("--json", action="store_true",
+                       help="emit the RunResult (metrics included) as JSON")
+    stats.set_defaults(fn=_cmd_stats)
+
+    trace = subparsers.add_parser(
+        "trace", help="cycle-level event trace of a hot-spot run"
+    )
+    trace.add_argument("--pes", type=int, default=4)
+    trace.add_argument("--rounds", type=int, default=2,
+                       help="fetch-and-adds per PE")
+    trace.add_argument("--capacity", type=int, default=4096,
+                       help="trace ring-buffer capacity")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="print at most N events")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the events as JSON")
+    trace.set_defaults(fn=_cmd_trace)
 
     queue = subparsers.add_parser("queue", help="parallel queue race")
     queue.set_defaults(fn=_cmd_queue)

@@ -2,6 +2,7 @@
 
 from .combining import Combined, ReplyMode, ReplyRule, decombine, try_combine
 from .machine import MachineConfig, MachineStats, Ultracomputer
+from .results import PEResult, RunResult
 from .memory_ops import (
     Effect,
     FetchAdd,
@@ -38,12 +39,14 @@ __all__ = [
     "MachineStats",
     "Op",
     "OpKind",
+    "PEResult",
     "PHI_OPERATORS",
     "Paracomputer",
     "ParacomputerStats",
     "PhiOperator",
     "ReplyMode",
     "ReplyRule",
+    "RunResult",
     "Store",
     "Swap",
     "TestAndSet",

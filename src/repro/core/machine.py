@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Protocol
 
+from ..instrumentation import DISABLED, Instrumentation
 from ..memory.hashing import AddressTranslation, make_translation
 from ..memory.module import BankedMemory
 from ..network.interfaces import MNI, PNI
@@ -23,6 +24,21 @@ from ..network.message import Message
 from ..network.omega import NetworkConfig, OmegaNetwork
 from .memory_ops import Op
 from .paracomputer import Program, ProgramFactory
+from .results import MachineStats, PEResult, RunResult
+
+__all__ = [
+    "Driver",
+    "MachineConfig",
+    "MachineStats",
+    "ProgramDriver",
+    "RunResult",
+    "Ultracomputer",
+]
+
+#: Translation schemes :func:`repro.memory.hashing.make_translation`
+#: accepts; validated up front so a typo fails at construction, not
+#: deep inside the wiring.
+_TRANSLATION_SCHEMES = ("interleaved", "blocked", "hashed")
 
 
 @dataclass
@@ -53,6 +69,95 @@ class MachineConfig:
     #: behind — the hot-module phenomenon of section 3.1.4 made visible
     #: in the network instead of only at the module.
     mni_inbound_capacity_packets: Optional[int] = None
+    #: enable the metrics registry (off by default; disabled probes cost
+    #: one attribute check, guarded <5% by the overhead benchmark).
+    instrument: bool = False
+    #: ring-buffer capacity of the cycle-level event trace; 0 disables
+    #: tracing.  Requires ``instrument=True``.
+    trace_capacity: int = 0
+
+    def validate(self) -> None:
+        """Reject inconsistent configurations with actionable messages.
+
+        Called from :class:`Ultracomputer.__init__`, so a bad config
+        fails here instead of deep inside the Omega-network wiring.
+        """
+        if self.k < 2:
+            raise ValueError(
+                f"switch arity k={self.k} is invalid; the network needs "
+                "k >= 2 (the paper's switches are 2x2)"
+            )
+        if self.n_pes < self.k:
+            raise ValueError(
+                f"n_pes={self.n_pes} is smaller than k={self.k}; the "
+                f"machine needs at least one {self.k}x{self.k} switch stage"
+            )
+        n = self.n_pes
+        while n % self.k == 0:
+            n //= self.k
+        if n != 1:
+            nearest = self.k
+            while nearest * self.k <= self.n_pes:
+                nearest *= self.k
+            raise ValueError(
+                f"n_pes={self.n_pes} is not a power of k={self.k}; an "
+                f"Omega network requires N = k**D (nearest valid sizes: "
+                f"{nearest} or {nearest * self.k})"
+            )
+        if self.copies < 1:
+            raise ValueError(
+                f"copies={self.copies} is invalid; the machine needs at "
+                "least one network copy (section 4.1's d >= 1)"
+            )
+        if self.mm_latency < 1:
+            raise ValueError(
+                f"mm_latency={self.mm_latency} is invalid; memory access "
+                "takes at least one network cycle"
+            )
+        if self.queue_capacity_packets is not None and self.queue_capacity_packets < 1:
+            raise ValueError(
+                f"queue_capacity_packets={self.queue_capacity_packets} is "
+                "invalid; use None for unbounded queues or a capacity >= 1"
+            )
+        if self.wait_buffer_capacity is not None and self.wait_buffer_capacity < 0:
+            raise ValueError(
+                f"wait_buffer_capacity={self.wait_buffer_capacity} is "
+                "invalid; use None for unbounded wait buffers or a "
+                "capacity >= 0 (0 disables combining entirely)"
+            )
+        if self.mni_inbound_capacity_packets is not None and (
+            self.mni_inbound_capacity_packets < 1
+        ):
+            raise ValueError(
+                f"mni_inbound_capacity_packets="
+                f"{self.mni_inbound_capacity_packets} is invalid; use None "
+                "for unbounded MNI buffers or a capacity >= 1"
+            )
+        if self.max_outstanding is not None and self.max_outstanding < 1:
+            raise ValueError(
+                f"max_outstanding={self.max_outstanding} is invalid; use "
+                "None for an unlimited pipeline window or a window >= 1"
+            )
+        if self.words_per_module < 1:
+            raise ValueError(
+                f"words_per_module={self.words_per_module} is invalid; "
+                "each memory module needs at least one word"
+            )
+        if self.translation not in _TRANSLATION_SCHEMES:
+            raise ValueError(
+                f"unknown translation scheme {self.translation!r}; choose "
+                f"from {sorted(_TRANSLATION_SCHEMES)}"
+            )
+        if self.trace_capacity < 0:
+            raise ValueError(
+                f"trace_capacity={self.trace_capacity} is invalid; use 0 "
+                "to disable tracing or a positive event count"
+            )
+        if self.trace_capacity > 0 and not self.instrument:
+            raise ValueError(
+                "trace_capacity > 0 requires instrument=True; the cycle "
+                "trace rides on the instrumentation layer"
+            )
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(
@@ -202,38 +307,26 @@ class ProgramDriver:
         return sum(pe.ops_issued for pe in self.pes)
 
 
-@dataclass
-class MachineStats:
-    """Aggregate run statistics (the quantities of Table 1)."""
-
-    cycles: int
-    requests_issued: int
-    replies_received: int
-    mean_round_trip: float
-    combines: int
-    decombines: int
-    memory_accesses: int
-    idle_cycles: int = 0
-    compute_cycles: int = 0
-
-    @property
-    def combining_rate(self) -> float:
-        if self.requests_issued == 0:
-            return 0.0
-        return self.combines / self.requests_issued
-
-
 class Ultracomputer:
     """Cycle-accurate model of the complete machine."""
 
     def __init__(self, config: MachineConfig) -> None:
+        config.validate()
         self.config = config
-        if config.copies < 1:
-            raise ValueError("network copy count must be at least 1")
+        self.instrumentation = (
+            Instrumentation(enabled=True, trace_capacity=config.trace_capacity)
+            if config.instrument
+            else DISABLED
+        )
         self.networks = [
-            OmegaNetwork(config.network_config()) for _ in range(config.copies)
+            OmegaNetwork(config.network_config(), instrumentation=self.instrumentation)
+            for _ in range(config.copies)
         ]
-        self.memory = BankedMemory(config.n_pes, latency=config.mm_latency)
+        self.memory = BankedMemory(
+            config.n_pes,
+            latency=config.mm_latency,
+            instrumentation=self.instrumentation,
+        )
         self.translation: AddressTranslation = make_translation(
             config.translation, config.n_pes, config.words_per_module
         )
@@ -241,6 +334,7 @@ class Ultracomputer:
             MNI(
                 module,
                 inbound_capacity_packets=config.mni_inbound_capacity_packets,
+                instrumentation=self.instrumentation,
             )
             for module in self.memory.modules
         ]
@@ -250,6 +344,7 @@ class Ultracomputer:
                 self.network.topology,
                 self.translation,
                 max_outstanding=config.max_outstanding,
+                instrumentation=self.instrumentation,
             )
             for pe in range(config.n_pes)
         ]
@@ -382,7 +477,7 @@ class Ultracomputer:
             and all(not pni.outbound and pni.outstanding() == 0 for pni in self.pnis)
         )
 
-    def run(self, max_cycles: int = 1_000_000) -> MachineStats:
+    def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until all programs finish and the network drains."""
         while not self.quiescent():
             if self.cycle >= max_cycles:
@@ -394,14 +489,15 @@ class Ultracomputer:
             self.step()
         return self.stats()
 
-    def run_cycles(self, n: int) -> MachineStats:
+    def run_cycles(self, n: int) -> RunResult:
         """Run exactly ``n`` cycles (open-loop traffic studies)."""
         for _ in range(n):
             self.step()
         return self.stats()
 
-    def stats(self) -> MachineStats:
-        return MachineStats(
+    def stats(self) -> RunResult:
+        instr = self.instrumentation
+        return RunResult(
             cycles=self.cycle,
             requests_issued=sum(p.requests_issued for p in self.pnis),
             replies_received=sum(p.replies_received for p in self.pnis),
@@ -414,4 +510,17 @@ class Ultracomputer:
             memory_accesses=sum(m.accesses for m in self.memory.modules),
             idle_cycles=self.programs.total_idle_cycles,
             compute_cycles=self.programs.total_compute_cycles,
+            per_pe={
+                pe.pe_id: PEResult(
+                    pe_id=pe.pe_id,
+                    ops_issued=pe.ops_issued,
+                    compute_cycles=pe.compute_cycles,
+                    idle_cycles=pe.idle_cycles,
+                    finished_cycle=pe.finished_cycle,
+                    return_value=pe.return_value,
+                )
+                for pe in self.programs.pes
+            },
+            metrics=instr.snapshot(),
+            trace=instr.trace.events() if instr.trace is not None else None,
         )

@@ -29,10 +29,11 @@ serial order.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .memory_ops import Op
+from .results import ParacomputerStats, PEResult, RunResult  # noqa: F401  (re-export)
 from .serialization import SerializationWitness, serialize_batch
 
 #: The coroutine protocol: programs yield Ops, None, or positive ints and
@@ -57,22 +58,6 @@ class PEState:
     return_value: Any = None
     ops_issued: int = 0
     compute_cycles: int = 0
-
-
-@dataclass
-class ParacomputerStats:
-    """Aggregate statistics from a paracomputer run."""
-
-    cycles: int
-    pes: int
-    ops_issued: int
-    compute_cycles: int
-    finish_times: dict[int, int] = field(default_factory=dict)
-    return_values: dict[int, Any] = field(default_factory=dict)
-
-    @property
-    def all_finished(self) -> bool:
-        return len(self.finish_times) == self.pes
 
 
 class DeadlockError(RuntimeError):
@@ -226,7 +211,7 @@ class Paracomputer:
         self.cycle += 1
         return any(pe.running for pe in self._pes)
 
-    def run(self, max_cycles: Optional[int] = None) -> ParacomputerStats:
+    def run(self, max_cycles: Optional[int] = None) -> RunResult:
         """Run until every PE halts or ``max_cycles`` elapse."""
         while True:
             if max_cycles is not None and self.cycle >= max_cycles:
@@ -240,19 +225,35 @@ class Paracomputer:
                 break
         return self.stats()
 
-    def stats(self) -> ParacomputerStats:
-        return ParacomputerStats(
+    def stats(self) -> RunResult:
+        """Summarize the run as a :class:`~repro.core.results.RunResult`.
+
+        On the idealized machine every operation is one memory access
+        completing in one cycle, and combining is vacuous ("any number
+        of concurrent memory references ... in the time required for
+        just one" is an axiom here, not an achievement), so
+        ``combines`` is 0, ``memory_accesses == requests_issued``, and
+        ``mean_round_trip`` is 1.0 whenever traffic flowed.
+        """
+        ops_issued = sum(pe.ops_issued for pe in self._pes)
+        return RunResult(
             cycles=self.cycle,
-            pes=len(self._pes),
-            ops_issued=sum(pe.ops_issued for pe in self._pes),
+            requests_issued=ops_issued,
+            replies_received=ops_issued,
+            combines=0,
+            decombines=0,
+            memory_accesses=ops_issued,
+            mean_round_trip=1.0 if ops_issued else 0.0,
             compute_cycles=sum(pe.compute_cycles for pe in self._pes),
-            finish_times={
-                pe.pe_id: pe.finished_cycle
+            per_pe={
+                pe.pe_id: PEResult(
+                    pe_id=pe.pe_id,
+                    ops_issued=pe.ops_issued,
+                    compute_cycles=pe.compute_cycles,
+                    finished_cycle=pe.finished_cycle,
+                    return_value=pe.return_value,
+                )
                 for pe in self._pes
-                if pe.finished_cycle is not None
-            },
-            return_values={
-                pe.pe_id: pe.return_value for pe in self._pes if not pe.running
             },
         )
 

@@ -1,0 +1,182 @@
+"""Run results: the single surface for reading a simulation's outcome.
+
+Both machine models return a :class:`RunResult` from ``run()``:
+
+* :meth:`repro.core.machine.Ultracomputer.run` — aggregates of the
+  quantities in Table 1 plus, when instrumentation is enabled, the full
+  :class:`~repro.instrumentation.MetricsSnapshot` (per-stage combine
+  counts, queue-occupancy histograms, round-trip latency histograms)
+  and the captured cycle trace;
+* :meth:`repro.core.paracomputer.Paracomputer.run` — the idealized
+  machine's view of the same fields (every access is one cycle, nothing
+  combines because nothing queues).
+
+The pre-1.1 ad-hoc stats objects (``MachineStats``, the paracomputer's
+``ParacomputerStats``) are aliases of :class:`RunResult`; their renamed
+attributes (``ops_issued``, ``pes``, ``finish_times``,
+``return_values``, ``all_finished``) keep working as properties that
+emit :class:`DeprecationWarning`.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..instrumentation import MetricsSnapshot, TraceEvent
+
+
+@dataclass
+class PEResult:
+    """Per-PE outcome of a run (one entry of :attr:`RunResult.per_pe`)."""
+
+    pe_id: int
+    ops_issued: int = 0
+    compute_cycles: int = 0
+    idle_cycles: int = 0
+    finished_cycle: Optional[int] = None
+    return_value: Any = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finished_cycle is not None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "pe_id": self.pe_id,
+            "ops_issued": self.ops_issued,
+            "compute_cycles": self.compute_cycles,
+            "idle_cycles": self.idle_cycles,
+            "finished": self.finished,
+            "finished_cycle": self.finished_cycle,
+            "return_value": self.return_value,
+        }
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"RunResult.{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+@dataclass
+class RunResult:
+    """Everything a run produced, in one place.
+
+    Core fields (stable API):
+
+    ``cycles``
+        Simulated cycles elapsed.
+    ``requests_issued``
+        Memory requests the PEs injected into the network (ops executed,
+        on the paracomputer).
+    ``combines``
+        Requests absorbed by in-network combining (0 on the paracomputer,
+        where concurrent access is free by assumption).
+    ``memory_accesses``
+        Operations the memory modules actually served.
+    ``mean_round_trip``
+        Mean request round trip in cycles (1.0 on the paracomputer).
+    ``per_pe``
+        ``{pe_id: PEResult}`` for every program PE.
+    ``metrics``
+        :class:`~repro.instrumentation.MetricsSnapshot`; empty unless the
+        machine was built with ``instrument=True``.
+
+    Supporting fields: ``replies_received``, ``decombines``,
+    ``idle_cycles``, ``compute_cycles``, and ``trace`` (the captured
+    cycle trace, None unless tracing was enabled).
+    """
+
+    cycles: int
+    requests_issued: int = 0
+    combines: int = 0
+    memory_accesses: int = 0
+    mean_round_trip: float = 0.0
+    per_pe: dict[int, PEResult] = field(default_factory=dict)
+    metrics: MetricsSnapshot = field(default_factory=MetricsSnapshot.empty)
+    replies_received: int = 0
+    decombines: int = 0
+    idle_cycles: int = 0
+    compute_cycles: int = 0
+    trace: Optional[list[TraceEvent]] = None
+
+    # -- supported derived quantities ----------------------------------
+    @property
+    def combining_rate(self) -> float:
+        """Fraction of issued requests absorbed by combining."""
+        if self.requests_issued == 0:
+            return 0.0
+        return self.combines / self.requests_issued
+
+    # -- deprecated pre-1.1 attribute names ----------------------------
+    @property
+    def ops_issued(self) -> int:
+        _deprecated("ops_issued", "requests_issued")
+        return self.requests_issued
+
+    @property
+    def pes(self) -> int:
+        _deprecated("pes", "len(per_pe)")
+        return len(self.per_pe)
+
+    @property
+    def finish_times(self) -> dict[int, int]:
+        _deprecated("finish_times", "per_pe[pe].finished_cycle")
+        return {
+            pe_id: result.finished_cycle
+            for pe_id, result in self.per_pe.items()
+            if result.finished_cycle is not None
+        }
+
+    @property
+    def return_values(self) -> dict[int, Any]:
+        _deprecated("return_values", "per_pe[pe].return_value")
+        return {
+            pe_id: result.return_value
+            for pe_id, result in self.per_pe.items()
+            if result.finished
+        }
+
+    @property
+    def all_finished(self) -> bool:
+        _deprecated("all_finished", "all(r.finished for r in per_pe.values())")
+        return all(result.finished for result in self.per_pe.values())
+
+    # -- export --------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready dictionary of the whole result."""
+        out: dict[str, Any] = {
+            "cycles": self.cycles,
+            "requests_issued": self.requests_issued,
+            "replies_received": self.replies_received,
+            "combines": self.combines,
+            "decombines": self.decombines,
+            "combining_rate": self.combining_rate,
+            "memory_accesses": self.memory_accesses,
+            "mean_round_trip": self.mean_round_trip,
+            "idle_cycles": self.idle_cycles,
+            "compute_cycles": self.compute_cycles,
+            "per_pe": {
+                pe_id: result.to_dict() for pe_id, result in self.per_pe.items()
+            },
+            "metrics": self.metrics.to_dict()["metrics"],
+        }
+        if self.trace is not None:
+            out["trace"] = [event.to_dict() for event in self.trace]
+        return out
+
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        # Program return values are arbitrary Python objects; repr() any
+        # that JSON cannot express rather than failing the export.
+        return json.dumps(self.to_dict(), indent=indent, default=repr)
+
+
+#: Pre-1.1 names for the run-result type, kept as aliases so existing
+#: ``isinstance`` checks and imports continue to work.
+MachineStats = RunResult
+ParacomputerStats = RunResult

@@ -1,0 +1,517 @@
+"""Machine-wide instrumentation: metrics registry and cycle tracing.
+
+The paper's entire evaluation (Tables 1-3, Figure 7) is built from
+counters the hardware never exposed — combining rates, queue
+occupancies, transit times.  This module is the one place those numbers
+are defined: a zero-dependency metrics registry (counters, gauges,
+fixed-bucket latency histograms) plus an optional cycle-level event
+trace, both owned by an :class:`Instrumentation` facade that every
+simulated component receives.
+
+Design rules, enforced throughout the simulator:
+
+* **Off by default.**  Components default to the shared :data:`DISABLED`
+  instance; nothing is recorded and no instrument objects are created.
+* **One guard per probe.**  Every probe site is gated behind a single
+  ``if instr.enabled:`` attribute check so the disabled-mode wall-clock
+  cost stays under 5% (``benchmarks/bench_overhead_instrumentation.py``
+  guards this).  Components cache their instrument handles at
+  construction time, so the enabled path is one attribute load plus an
+  integer add.
+* **Aggregation by identity.**  Instruments are keyed by
+  ``(name, labels)``; the machine hands the *same* registry to every
+  network copy, switch, and interface, so per-stage counters aggregate
+  across copies automatically.
+
+Metric names used by the machine (stable surface, see
+:mod:`repro.core.results`):
+
+====================================  =========  ==========================
+name                                  kind       labels
+====================================  =========  ==========================
+``machine.requests_issued``           counter    —
+``machine.round_trip_cycles``         histogram  —
+``network.combines``                  counter    ``stage``
+``network.decombines``                counter    ``stage``
+``network.queue_occupancy_packets``   histogram  ``stage``, ``direction``
+``network.wait_residency_cycles``     histogram  ``stage``
+``network.wait_occupancy``            histogram  ``stage``
+``mni.inbound_occupancy_packets``     histogram  ``module``
+``memory.accesses``                   counter    ``module``
+``memory.queue_length``               histogram  ``module``
+``cache.hits`` / ``cache.misses``     counter    ``pe``
+``cache.write_backs``                 counter    ``pe``
+====================================  =========  ==========================
+
+Trace event kinds: ``issue``, ``enqueue``, ``combine``, ``decombine``,
+``reply`` — the life of a memory reference through the combining
+network, each stamped with the cycle it happened on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterator, Optional, Union
+
+Number = Union[int, float]
+LabelItems = tuple[tuple[str, Any], ...]
+
+#: Default bucket upper bounds for latency-style histograms (cycles).
+LATENCY_BUCKETS: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+#: Default bucket upper bounds for occupancy-style histograms (packets
+#: or entries; the paper's simulated queues hold 15 packets).
+OCCUPANCY_BUCKETS: tuple[int, ...] = (0, 1, 2, 4, 8, 15, 30, 60)
+
+
+def _label_key(labels: dict[str, Any]) -> LabelItems:
+    return tuple(sorted(labels.items()))
+
+
+# ----------------------------------------------------------------------
+# live instruments
+# ----------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters are monotonic; use a Gauge to decrease")
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Counter {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Gauge:
+    """A point-in-time numeric metric (may go up or down)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: LabelItems = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+    def dec(self, amount: Number = 1) -> None:
+        self.value -= amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Gauge {self.name}{dict(self.labels)} = {self.value}>"
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper bucket edges in strictly increasing
+    order; one implicit overflow bucket catches everything above the
+    last edge.  Sum, count, and max are tracked exactly, so the mean is
+    exact even though quantiles are bucket-resolution estimates.
+    """
+
+    __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total", "max_value")
+
+    def __init__(
+        self,
+        name: str,
+        bounds: tuple[Number, ...] = LATENCY_BUCKETS,
+        labels: LabelItems = (),
+    ) -> None:
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                f"histogram bounds must be strictly increasing, got {bounds!r}"
+            )
+        self.name = name
+        self.labels = labels
+        self.bounds = tuple(bounds)
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total: Number = 0
+        self.max_value: Number = 0
+
+    def observe(self, value: Number) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def data(self) -> "HistogramData":
+        """Frozen copy of the current state (what snapshots carry)."""
+        return HistogramData(
+            bounds=self.bounds,
+            bucket_counts=tuple(self.bucket_counts),
+            count=self.count,
+            total=self.total,
+            max_value=self.max_value,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Histogram {self.name}{dict(self.labels)} "
+            f"count={self.count} mean={self.mean:.1f}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+
+class MetricTypeError(TypeError):
+    """A metric name was reused with a different instrument type."""
+
+
+class MetricsRegistry:
+    """Get-or-create store of instruments keyed by (name, labels)."""
+
+    def __init__(self) -> None:
+        self._instruments: dict[tuple[str, LabelItems], Any] = {}
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._instruments.values())
+
+    def _get_or_create(self, cls: type, name: str, labels: dict[str, Any], **kwargs: Any):
+        key = (name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = cls(name, labels=key[1], **kwargs)
+            self._instruments[key] = instrument
+        elif not isinstance(instrument, cls):
+            raise MetricTypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[Number, ...] = LATENCY_BUCKETS,
+        **labels: Any,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, bounds=buckets)
+
+    def snapshot(self) -> "MetricsSnapshot":
+        samples = []
+        for instrument in self._instruments.values():
+            if isinstance(instrument, Counter):
+                samples.append(
+                    MetricSample("counter", instrument.name, instrument.labels,
+                                 instrument.value)
+                )
+            elif isinstance(instrument, Gauge):
+                samples.append(
+                    MetricSample("gauge", instrument.name, instrument.labels,
+                                 instrument.value)
+                )
+            else:
+                samples.append(
+                    MetricSample(
+                        "histogram",
+                        instrument.name,
+                        instrument.labels,
+                        HistogramData(
+                            bounds=instrument.bounds,
+                            bucket_counts=tuple(instrument.bucket_counts),
+                            count=instrument.count,
+                            total=instrument.total,
+                            max_value=instrument.max_value,
+                        ),
+                    )
+                )
+        return MetricsSnapshot(tuple(samples))
+
+
+# ----------------------------------------------------------------------
+# snapshots (immutable views carried by RunResult)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class HistogramData:
+    """Frozen copy of a histogram's state at snapshot time."""
+
+    bounds: tuple[Number, ...]
+    bucket_counts: tuple[int, ...]
+    count: int
+    total: Number
+    max_value: Number
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Number:
+        """Bucket-resolution quantile estimate (returns an upper edge)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.count == 0:
+            return 0
+        target = q * self.count
+        cumulative = 0
+        for edge, bucket in zip(self.bounds, self.bucket_counts):
+            cumulative += bucket
+            if cumulative >= target:
+                return edge
+        return self.max_value
+
+    def buckets(self) -> list[tuple[Optional[Number], int]]:
+        """(upper edge, count) pairs; the overflow bucket's edge is None."""
+        edges: list[Optional[Number]] = [*self.bounds, None]
+        return list(zip(edges, self.bucket_counts))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "max": self.max_value,
+            "buckets": [
+                {"le": edge, "count": n} for edge, n in self.buckets()
+            ],
+        }
+
+
+@dataclass(frozen=True)
+class MetricSample:
+    """One instrument's state inside a snapshot."""
+
+    kind: str  # "counter" | "gauge" | "histogram"
+    name: str
+    labels: LabelItems
+    value: Any  # int/float for counter/gauge, HistogramData for histogram
+
+    def label(self, key: str, default: Any = None) -> Any:
+        return dict(self.labels).get(key, default)
+
+    def to_dict(self) -> dict[str, Any]:
+        value = self.value.to_dict() if self.kind == "histogram" else self.value
+        return {
+            "kind": self.kind,
+            "name": self.name,
+            "labels": dict(self.labels),
+            "value": value,
+        }
+
+
+class MetricsSnapshot:
+    """Immutable, queryable view of a registry at one point in time.
+
+    This is what :class:`repro.core.results.RunResult.metrics` holds:
+    the accessors are the supported way to read per-stage combine
+    counts, queue-occupancy histograms, and round-trip latency
+    distributions out of a run.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self, samples: tuple[MetricSample, ...] = ()) -> None:
+        self.samples = samples
+
+    @classmethod
+    def empty(cls) -> "MetricsSnapshot":
+        return cls(())
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __iter__(self) -> Iterator[MetricSample]:
+        return iter(self.samples)
+
+    def __bool__(self) -> bool:
+        return bool(self.samples)
+
+    # -- queries -------------------------------------------------------
+    def _find(self, name: str, labels: dict[str, Any]) -> Optional[MetricSample]:
+        key = _label_key(labels)
+        for sample in self.samples:
+            if sample.name == name and sample.labels == key:
+                return sample
+        return None
+
+    def counter(self, name: str, **labels: Any) -> int:
+        """A counter's value, or 0 when it was never created."""
+        sample = self._find(name, labels)
+        return sample.value if sample is not None else 0
+
+    def gauge(self, name: str, **labels: Any) -> Optional[Number]:
+        sample = self._find(name, labels)
+        return sample.value if sample is not None else None
+
+    def histogram(self, name: str, **labels: Any) -> Optional[HistogramData]:
+        sample = self._find(name, labels)
+        return sample.value if sample is not None else None
+
+    def total(self, name: str) -> Number:
+        """Sum of a counter across every label combination."""
+        return sum(s.value for s in self.samples
+                   if s.name == name and s.kind == "counter")
+
+    def by_label(self, name: str, key: str) -> dict[Any, Any]:
+        """Map a label's values to the instrument values for one name.
+
+        ``snapshot.by_label("network.combines", "stage")`` is the
+        per-switch-stage combine-count table of the hot-spot analysis.
+        """
+        out: dict[Any, Any] = {}
+        for sample in self.samples:
+            if sample.name != name:
+                continue
+            label_value = sample.label(key)
+            if sample.kind == "counter" and label_value in out:
+                out[label_value] += sample.value
+            else:
+                out[label_value] = sample.value
+        return out
+
+    def names(self) -> list[str]:
+        return sorted({s.name for s in self.samples})
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready form: ``{"metrics": [sample dicts...]}`` content."""
+        return {"metrics": [s.to_dict() for s in self.samples]}
+
+
+# ----------------------------------------------------------------------
+# cycle tracing
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class TraceEvent:
+    """One cycle-stamped event in the life of a memory reference."""
+
+    kind: str  # "issue" | "enqueue" | "combine" | "decombine" | "reply"
+    cycle: int
+    tag: Optional[int] = None
+    pe: Optional[int] = None
+    stage: Optional[int] = None
+    mm: Optional[int] = None
+    value: Optional[int] = None
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {"kind": self.kind, "cycle": self.cycle}
+        for name in ("tag", "pe", "stage", "mm", "value"):
+            attr = getattr(self, name)
+            if attr is not None:
+                out[name] = attr
+        return out
+
+
+class CycleTrace:
+    """Ring-buffered event log with a configurable capacity.
+
+    When the buffer is full the oldest events are discarded;
+    :attr:`dropped` counts how many, so a truncated trace is visible
+    rather than silently read as complete.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be at least 1 event")
+        self.capacity = capacity
+        self._events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.total_recorded = 0
+
+    def record(self, kind: str, cycle: int, **fields: Any) -> None:
+        self._events.append(TraceEvent(kind, cycle, **fields))
+        self.total_recorded += 1
+
+    @property
+    def dropped(self) -> int:
+        return self.total_recorded - len(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def events(self, kind: Optional[str] = None) -> list[TraceEvent]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e.kind == kind]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [e.to_dict() for e in self._events]
+
+
+# ----------------------------------------------------------------------
+# facade
+# ----------------------------------------------------------------------
+
+
+class Instrumentation:
+    """The per-machine instrumentation context handed to every component.
+
+    ``enabled`` is the single flag probe sites check; when False (the
+    default) the registry stays empty and the trace is absent, so the
+    simulator's hot loops pay only one attribute load per probe.
+    """
+
+    __slots__ = ("enabled", "registry", "trace")
+
+    def __init__(self, enabled: bool = False, trace_capacity: int = 0) -> None:
+        self.enabled = bool(enabled)
+        self.registry = MetricsRegistry()
+        self.trace: Optional[CycleTrace] = (
+            CycleTrace(trace_capacity) if trace_capacity > 0 else None
+        )
+
+    # Instrument creation delegates to the registry; components call
+    # these once at construction time and cache the handles.
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self.registry.counter(name, **labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self.registry.gauge(name, **labels)
+
+    def histogram(
+        self, name: str, buckets: tuple[Number, ...] = LATENCY_BUCKETS, **labels: Any
+    ) -> Histogram:
+        return self.registry.histogram(name, buckets=buckets, **labels)
+
+    def record(self, kind: str, cycle: int, **fields: Any) -> None:
+        """Append a trace event (no-op when tracing is off)."""
+        if self.trace is not None:
+            self.trace.record(kind, cycle, **fields)
+
+    def snapshot(self) -> MetricsSnapshot:
+        return self.registry.snapshot()
+
+
+#: Shared no-op context; components default to this so that directly
+#: constructed switches/interfaces (unit tests, ad-hoc experiments)
+#: need no wiring.  Never enable or register instruments on it.
+DISABLED = Instrumentation(enabled=False)

@@ -30,7 +30,9 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Optional
+
+from ..instrumentation import DISABLED, Instrumentation
 
 ReadFn = Callable[[int], int]
 WriteFn = Callable[[int, int], None]
@@ -112,6 +114,9 @@ class WriteBackCache:
         line_size: int,
         read_backing: ReadFn,
         write_backing: WriteFn,
+        *,
+        instrumentation: Instrumentation = DISABLED,
+        labels: Optional[dict[str, Any]] = None,
     ) -> None:
         if capacity_lines < 1 or line_size < 1:
             raise ValueError("capacity_lines and line_size must be positive")
@@ -122,6 +127,21 @@ class WriteBackCache:
         self._lines: OrderedDict[int, _Line] = OrderedDict()
         self.segments: list[Segment] = []
         self.stats = CacheStats()
+        # instrumentation mirrors the hit/miss/write-back counts of
+        # CacheStats into the machine-wide registry (labels identify the
+        # owning PE when the cached driver wires the machine's context).
+        self._instr = instrumentation
+        if instrumentation.enabled:
+            label_dict = labels or {}
+            self._hit_counter = instrumentation.counter("cache.hits", **label_dict)
+            self._miss_counter = instrumentation.counter("cache.misses", **label_dict)
+            self._write_back_counter = instrumentation.counter(
+                "cache.write_backs", **label_dict
+            )
+        else:
+            self._hit_counter = None
+            self._miss_counter = None
+            self._write_back_counter = None
 
     # ------------------------------------------------------------------
     # segment management (software cacheability protocol)
@@ -163,6 +183,24 @@ class WriteBackCache:
         raise KeyError(f"no segment named {name!r}")
 
     # ------------------------------------------------------------------
+    # counting (CacheStats plus the optional machine-wide registry)
+    # ------------------------------------------------------------------
+    def _record_hit(self) -> None:
+        self.stats.hits += 1
+        if self._instr.enabled:
+            self._hit_counter.inc()
+
+    def _record_miss(self) -> None:
+        self.stats.misses += 1
+        if self._instr.enabled:
+            self._miss_counter.inc()
+
+    def _record_write_backs(self, words: int = 1) -> None:
+        self.stats.write_backs += words
+        if self._instr.enabled:
+            self._write_back_counter.inc(words)
+
+    # ------------------------------------------------------------------
     # access path
     # ------------------------------------------------------------------
     def _tag_and_offset(self, address: int) -> tuple[int, int]:
@@ -179,7 +217,7 @@ class WriteBackCache:
         for offset, dirty in enumerate(line.dirty):
             if dirty:
                 self._write_backing(base + offset, line.words[offset])
-                self.stats.write_backs += 1
+                self._record_write_backs()
 
     def _fill(self, tag: int) -> _Line:
         if len(self._lines) >= self.capacity_lines:
@@ -197,9 +235,9 @@ class WriteBackCache:
             return self._read_backing(address)
         tag, offset = self._tag_and_offset(address)
         if tag in self._lines:
-            self.stats.hits += 1
+            self._record_hit()
             return self._touch(tag).words[offset]
-        self.stats.misses += 1
+        self._record_miss()
         return self._fill(tag).words[offset]
 
     def write(self, address: int, value: int) -> None:
@@ -209,10 +247,10 @@ class WriteBackCache:
             return
         tag, offset = self._tag_and_offset(address)
         if tag in self._lines:
-            self.stats.hits += 1
+            self._record_hit()
             line = self._touch(tag)
         else:
-            self.stats.misses += 1
+            self._record_miss()
             line = self._fill(tag)  # write-allocate
         line.words[offset] = value
         line.dirty[offset] = True
@@ -232,9 +270,9 @@ class WriteBackCache:
             return False, None
         tag, offset = self._tag_and_offset(address)
         if tag not in self._lines:
-            self.stats.misses += 1
+            self._record_miss()
             return False, None
-        self.stats.hits += 1
+        self._record_hit()
         return True, self._touch(tag).words[offset]
 
     def install(
@@ -255,7 +293,7 @@ class WriteBackCache:
             victim_tag, line = self._lines.popitem(last=False)
             if line.dirty[0]:
                 evicted.append((victim_tag * self.line_size, line.words[0]))
-                self.stats.write_backs += 1
+                self._record_write_backs()
         if tag in self._lines:
             line = self._touch(tag)
             line.words[0] = value
@@ -281,7 +319,7 @@ class WriteBackCache:
         if line is None:
             return None
         if write_back and line.dirty[offset]:
-            self.stats.write_backs += 1
+            self._record_write_backs()
             return (tag * self.line_size + offset, line.words[offset])
         return None
 
@@ -320,7 +358,7 @@ class WriteBackCache:
                     self._write_backing(base + offset, line.words[offset])
                     line.dirty[offset] = False
                     written += 1
-        self.stats.write_backs += written
+        self._record_write_backs(written)
         self.stats.flushes += 1
         return written
 

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from ..core.memory_ops import Effect, Op
+from ..instrumentation import DISABLED, Instrumentation, OCCUPANCY_BUCKETS
 
 
 @dataclass
@@ -39,7 +40,13 @@ class MemoryModule:
         the network cycle time (section 4.2).
     """
 
-    def __init__(self, index: int, latency: int = 2) -> None:
+    def __init__(
+        self,
+        index: int,
+        latency: int = 2,
+        *,
+        instrumentation: Instrumentation = DISABLED,
+    ) -> None:
         if latency < 1:
             raise ValueError("memory latency must be at least one cycle")
         self.index = index
@@ -53,6 +60,18 @@ class MemoryModule:
         self.busy_cycles = 0
         self.history: list[ServiceRecord] = []
         self.keep_history = False
+        # instrumentation (handles cached once; probes gate on .enabled)
+        self._instr = instrumentation
+        if instrumentation.enabled:
+            self._access_counter = instrumentation.counter(
+                "memory.accesses", module=index
+            )
+            self._queue_histogram = instrumentation.histogram(
+                "memory.queue_length", buckets=OCCUPANCY_BUCKETS, module=index
+            )
+        else:
+            self._access_counter = None
+            self._queue_histogram = None
 
     # ------------------------------------------------------------------
     # direct (zero-time) access for initialization and verification
@@ -68,6 +87,8 @@ class MemoryModule:
         old = self.storage.get(op.address, 0)
         effect = op.apply(old)
         self.storage[op.address] = effect.new_value
+        if self._instr.enabled:
+            self._access_counter.inc()
         return effect
 
     # ------------------------------------------------------------------
@@ -75,6 +96,8 @@ class MemoryModule:
     # ------------------------------------------------------------------
     def enqueue(self, op: Op, cycle: int) -> None:
         self._pending.append((op, cycle))
+        if self._instr.enabled:
+            self._queue_histogram.observe(self.queue_length)
 
     @property
     def queue_length(self) -> int:
@@ -117,8 +140,17 @@ class BankedMemory:
     aggregate hot-spot statistics for the hashing experiments.
     """
 
-    def __init__(self, n_modules: int, latency: int = 2) -> None:
-        self.modules = [MemoryModule(i, latency) for i in range(n_modules)]
+    def __init__(
+        self,
+        n_modules: int,
+        latency: int = 2,
+        *,
+        instrumentation: Instrumentation = DISABLED,
+    ) -> None:
+        self.modules = [
+            MemoryModule(i, latency, instrumentation=instrumentation)
+            for i in range(n_modules)
+        ]
 
     def __len__(self) -> int:
         return len(self.modules)

@@ -31,6 +31,12 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..core.memory_ops import Op
+from ..instrumentation import (
+    DISABLED,
+    Instrumentation,
+    LATENCY_BUCKETS,
+    OCCUPANCY_BUCKETS,
+)
 from ..memory.hashing import AddressTranslation
 from ..memory.module import MemoryModule
 from .message import Message
@@ -82,6 +88,7 @@ class PNI:
         translation: AddressTranslation,
         *,
         max_outstanding: Optional[int] = None,
+        instrumentation: Instrumentation = DISABLED,
     ) -> None:
         self.pe_id = pe_id
         self.topology = topology
@@ -96,6 +103,16 @@ class PNI:
         self.requests_issued = 0
         self.replies_received = 0
         self.total_round_trip = 0
+        # instrumentation (handles cached once; probes gate on .enabled)
+        self._instr = instrumentation
+        if instrumentation.enabled:
+            self._issue_counter = instrumentation.counter("machine.requests_issued")
+            self._rtt_histogram = instrumentation.histogram(
+                "machine.round_trip_cycles", buckets=LATENCY_BUCKETS
+            )
+        else:
+            self._issue_counter = None
+            self._rtt_histogram = None
 
     # ------------------------------------------------------------------
     # PE-side API
@@ -137,6 +154,9 @@ class PNI:
         self._outstanding_cells.add(cell)
         self._outstanding_tags[tag] = message
         self.requests_issued += 1
+        if self._instr.enabled:
+            self._issue_counter.inc()
+            self._instr.record("issue", cycle, tag=tag, pe=self.pe_id, mm=module)
         return tag
 
     def outstanding(self) -> int:
@@ -172,6 +192,11 @@ class PNI:
         self.completed.append(record)
         self.replies_received += 1
         self.total_round_trip += record.round_trip
+        if self._instr.enabled:
+            self._rtt_histogram.observe(record.round_trip)
+            self._instr.record(
+                "reply", cycle, tag=message.tag, pe=self.pe_id, value=message.value
+            )
         return True
 
     def pop_reply(self) -> Optional[ReplyRecord]:
@@ -199,6 +224,7 @@ class MNI:
         module: MemoryModule,
         *,
         inbound_capacity_packets: Optional[int] = None,
+        instrumentation: Instrumentation = DISABLED,
     ) -> None:
         self.module = module
         self.inbound_capacity_packets = inbound_capacity_packets
@@ -210,6 +236,16 @@ class MNI:
         # statistics
         self.requests_served = 0
         self.busy_cycles = 0
+        # instrumentation (handles cached once; probes gate on .enabled)
+        self._instr = instrumentation
+        if instrumentation.enabled:
+            self._inbound_histogram = instrumentation.histogram(
+                "mni.inbound_occupancy_packets",
+                buckets=OCCUPANCY_BUCKETS,
+                module=module.index,
+            )
+        else:
+            self._inbound_histogram = None
 
     # ------------------------------------------------------------------
     # network-facing intake
@@ -223,6 +259,8 @@ class MNI:
         ready = cycle + max(0, message.packets - 1)
         self._inbound.append((message, ready))
         self._inbound_packets += message.packets
+        if self._instr.enabled:
+            self._inbound_histogram.observe(self._inbound_packets)
         return True
 
     # ------------------------------------------------------------------

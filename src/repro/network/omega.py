@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..instrumentation import DISABLED, Instrumentation
 from .message import Message
 from .switch import Switch
 from .topology import OmegaTopology
@@ -52,9 +53,15 @@ class NetworkConfig:
 class OmegaNetwork:
     """D-stage combining Omega network between N PEs and N MMs."""
 
-    def __init__(self, config: NetworkConfig) -> None:
+    def __init__(
+        self,
+        config: NetworkConfig,
+        *,
+        instrumentation: Instrumentation = DISABLED,
+    ) -> None:
         self.config = config
         self.topology = OmegaTopology(config.n_ports, config.k)
+        self.instrumentation = instrumentation
         self.stages: list[list[Switch]] = [
             [
                 Switch(
@@ -65,6 +72,7 @@ class OmegaNetwork:
                     wait_buffer_capacity=config.wait_buffer_capacity,
                     combining=config.combining,
                     pairwise_only=config.pairwise_only,
+                    instrumentation=instrumentation,
                 )
                 for index in range(self.topology.switches_per_stage)
             ]

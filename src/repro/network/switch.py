@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from ..instrumentation import DISABLED, Instrumentation, LATENCY_BUCKETS
 from .message import Message
 from .systolic_queue import CombiningQueue, QueueFullError
 from .wait_buffer import WaitBuffer, WaitRecord
@@ -78,6 +79,7 @@ class Switch:
         wait_buffer_capacity: Optional[int] = None,
         combining: bool = True,
         pairwise_only: bool = True,
+        instrumentation: Instrumentation = DISABLED,
     ) -> None:
         self.k = k
         self.stage = stage
@@ -88,16 +90,50 @@ class Switch:
                 queue_capacity_packets,
                 combining=combining,
                 pairwise_only=pairwise_only,
+                instrumentation=instrumentation,
+                labels={"stage": stage, "direction": "to_mm"},
             )
             for _ in range(k)
         ]
-        self.wait_buffers = [WaitBuffer(wait_buffer_capacity) for _ in range(k)]
+        self.wait_buffers = [
+            WaitBuffer(
+                wait_buffer_capacity,
+                instrumentation=instrumentation,
+                labels={"stage": stage},
+            )
+            for _ in range(k)
+        ]
         self.to_pe = [
-            CombiningQueue(queue_capacity_packets, combining=False) for _ in range(k)
+            CombiningQueue(
+                queue_capacity_packets,
+                combining=False,
+                instrumentation=instrumentation,
+                labels={"stage": stage, "direction": "to_pe"},
+            )
+            for _ in range(k)
         ]
         self.mm_ports = [_Port() for _ in range(k)]
         self.pe_ports = [_Port() for _ in range(k)]
         self.stats = SwitchStats()
+        # instrumentation (handles cached once; probes gate on .enabled).
+        # Instruments are keyed by stage, not switch index, so every
+        # switch — and every network copy — sharing a registry
+        # aggregates into the same per-stage instruments.
+        self._instr = instrumentation
+        if instrumentation.enabled:
+            self._combine_counter = instrumentation.counter(
+                "network.combines", stage=stage
+            )
+            self._decombine_counter = instrumentation.counter(
+                "network.decombines", stage=stage
+            )
+            self._wait_residency = instrumentation.histogram(
+                "network.wait_residency_cycles", buckets=LATENCY_BUCKETS, stage=stage
+            )
+        else:
+            self._combine_counter = None
+            self._decombine_counter = None
+            self._wait_residency = None
 
     # ------------------------------------------------------------------
     # forward path: requests PE side -> MM side
@@ -147,6 +183,19 @@ class Switch:
                 )
             )
             self.stats.combines += 1
+            if self._instr.enabled:
+                self._combine_counter.inc()
+                self._instr.record(
+                    "combine",
+                    cycle,
+                    tag=outcome.combined_with.tag,
+                    pe=message.origin,
+                    stage=self.stage,
+                )
+        elif self._instr.enabled:
+            self._instr.record(
+                "enqueue", cycle, tag=message.tag, pe=message.origin, stage=self.stage
+            )
         self.stats.requests_routed += 1
         return True
 
@@ -225,6 +274,17 @@ class Switch:
             self.stats.decombines += 1
         self.to_pe[out_port].insert(old_reply)
         self.stats.replies_routed += 1 + len(partner_replies)
+        if self._instr.enabled:
+            self._decombine_counter.inc(len(records))
+            for record in records:
+                self._wait_residency.observe(cycle - record.created_cycle)
+                self._instr.record(
+                    "decombine",
+                    cycle,
+                    tag=record.new_message.tag,
+                    pe=record.new_message.origin,
+                    stage=self.stage,
+                )
         return True
 
     def tick_return(self, cycle: int, deliver: Callable[[int, Message], bool]) -> None:

@@ -26,9 +26,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Generic, Iterable, Optional, TypeVar
+from typing import Any, Callable, Generic, Iterable, Optional, TypeVar
 
 from ..core.combining import Combined, try_combine
+from ..instrumentation import DISABLED, Instrumentation, OCCUPANCY_BUCKETS
 from .message import Message
 
 
@@ -79,6 +80,11 @@ class CombiningQueue:
         When true (the paper's switch), a queued request that has already
         absorbed a partner cannot absorb another; when false the switch
         models unlimited in-switch combining (ablation).
+    instrumentation / labels:
+        When instrumentation is enabled *and* labels are supplied (the
+        owning switch passes its stage and direction), every successful
+        append observes the post-insert occupancy in a shared per-stage
+        ``network.queue_occupancy_packets`` histogram.
     """
 
     def __init__(
@@ -87,6 +93,8 @@ class CombiningQueue:
         *,
         combining: bool = True,
         pairwise_only: bool = True,
+        instrumentation: Instrumentation = DISABLED,
+        labels: Optional[dict[str, Any]] = None,
     ) -> None:
         self.capacity_packets = capacity_packets
         self.combining = combining
@@ -97,6 +105,15 @@ class CombiningQueue:
         self.total_inserted = 0
         self.total_combined = 0
         self.peak_packets = 0
+        # instrumentation (handle is None unless enabled and labelled)
+        if instrumentation.enabled and labels is not None:
+            self._occupancy_histogram = instrumentation.histogram(
+                "network.queue_occupancy_packets",
+                buckets=OCCUPANCY_BUCKETS,
+                **labels,
+            )
+        else:
+            self._occupancy_histogram = None
 
     def __len__(self) -> int:
         return len(self._slots)
@@ -156,6 +173,8 @@ class CombiningQueue:
         self.used_packets += message.packets
         self.peak_packets = max(self.peak_packets, self.used_packets)
         self.total_inserted += 1
+        if self._occupancy_histogram is not None:
+            self._occupancy_histogram.observe(self.used_packets)
         return InsertOutcome(queued=True)
 
     def head(self) -> Optional[Message]:

@@ -17,9 +17,10 @@ information is the decombining recipe from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from ..core.combining import Combined
+from ..instrumentation import DISABLED, Instrumentation, OCCUPANCY_BUCKETS
 from .message import Message
 
 
@@ -58,12 +59,27 @@ class WaitBuffer:
     its rule applies to the raw memory reply).
     """
 
-    def __init__(self, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        capacity: Optional[int] = None,
+        *,
+        instrumentation: Instrumentation = DISABLED,
+        labels: Optional[dict[str, Any]] = None,
+    ) -> None:
         self.capacity = capacity
         self._records: dict[int, list[WaitRecord]] = {}
         self._occupancy = 0
         self.peak_occupancy = 0
         self.total_insertions = 0
+        # instrumentation: post-insert occupancy, shared per stage by the
+        # owning switches (residency is observed by the switch, which
+        # knows the decombine cycle).
+        if instrumentation.enabled and labels is not None:
+            self._occupancy_histogram = instrumentation.histogram(
+                "network.wait_occupancy", buckets=OCCUPANCY_BUCKETS, **labels
+            )
+        else:
+            self._occupancy_histogram = None
 
     def __len__(self) -> int:
         return self._occupancy
@@ -81,6 +97,8 @@ class WaitBuffer:
         self._occupancy += 1
         self.total_insertions += 1
         self.peak_occupancy = max(self.peak_occupancy, self._occupancy)
+        if self._occupancy_histogram is not None:
+            self._occupancy_histogram.observe(self._occupancy)
 
     def peek(self, tag: int) -> Optional[WaitRecord]:
         """Most recent record for a key, without removal."""

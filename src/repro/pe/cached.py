@@ -103,6 +103,8 @@ class CachedProgramDriver:
             1,
             _unused_read,
             lambda address, value: backlog.append(Store(address, value)),
+            instrumentation=self.machine.instrumentation,
+            labels={"pe": pe_id},
         )
         for segment in self.segments:
             cache.add_segment(segment)

@@ -9,11 +9,58 @@ repository's only hard dependency stays numpy.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 #: Glyphs assigned to series, in order.
 SERIES_GLYPHS = "o*x+#@%&"
+
+
+def render_json(payload: object, *, indent: int = 2) -> str:
+    """Serialize a CLI payload to JSON text.
+
+    Shared by every ``--json``-capable subcommand so they all agree on
+    formatting (sorted keys, trailing newline stripped by ``print``);
+    values without a JSON encoding fall back to ``repr`` rather than
+    raising mid-report.
+    """
+    return json.dumps(payload, indent=indent, sort_keys=True, default=repr)
+
+
+def format_metrics(snapshot: object) -> str:
+    """Render a :class:`~repro.instrumentation.MetricsSnapshot` as a table.
+
+    Counters and gauges print one row each; histograms print a summary
+    row (count/mean/max) followed by their non-empty buckets.
+    """
+    lines: list[str] = []
+    rows: list[tuple[str, str, str]] = []
+    for sample in snapshot.samples:  # type: ignore[attr-defined]
+        name = sample.name
+        if sample.labels:
+            inner = ",".join(f"{k}={v}" for k, v in sample.labels)
+            name = f"{name}{{{inner}}}"
+        if sample.kind == "histogram":
+            data = sample.value
+            rows.append((
+                name,
+                "histogram",
+                f"count={data.count} mean={data.mean:.2f} max={data.max_value}",
+            ))
+            for upper, count in data.buckets():
+                if count:
+                    bound = "inf" if upper is None else str(upper)
+                    rows.append((f"  <= {bound}", "", str(count)))
+        else:
+            rows.append((name, sample.kind, str(sample.value)))
+    if not rows:
+        return "(no metrics recorded)"
+    name_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    for name, kind, value in rows:
+        lines.append(f"{name:<{name_w}}  {kind:<{kind_w}}  {value}")
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,84 @@
+"""MachineConfig.validate(): every rejection carries an actionable message."""
+
+import pytest
+
+from repro import MachineConfig, Ultracomputer
+
+
+def test_valid_config_passes():
+    MachineConfig(n_pes=16).validate()
+
+
+def test_constructor_calls_validate():
+    with pytest.raises(ValueError, match="power of k"):
+        Ultracomputer(MachineConfig(n_pes=6))
+
+
+class TestTopology:
+    def test_k_too_small(self):
+        with pytest.raises(ValueError, match="k"):
+            MachineConfig(n_pes=8, k=1).validate()
+
+    def test_n_pes_below_k(self):
+        with pytest.raises(ValueError, match="n_pes"):
+            MachineConfig(n_pes=1).validate()
+
+    def test_non_power_of_k_suggests_neighbors(self):
+        with pytest.raises(ValueError, match="8 or 16"):
+            MachineConfig(n_pes=12).validate()
+
+    def test_power_of_three_for_k_three(self):
+        MachineConfig(n_pes=27, k=3).validate()
+        with pytest.raises(ValueError, match="power of k"):
+            MachineConfig(n_pes=24, k=3).validate()
+
+
+class TestComponentBounds:
+    def test_copies_must_be_positive(self):
+        with pytest.raises(ValueError, match="copies"):
+            MachineConfig(n_pes=8, copies=0).validate()
+
+    def test_mm_latency_must_be_positive(self):
+        with pytest.raises(ValueError, match="mm_latency"):
+            MachineConfig(n_pes=8, mm_latency=0).validate()
+
+    def test_queue_capacity_rejects_zero(self):
+        with pytest.raises(ValueError, match="queue_capacity_packets"):
+            MachineConfig(n_pes=8, queue_capacity_packets=0).validate()
+
+    def test_wait_buffer_rejects_negative(self):
+        with pytest.raises(ValueError, match="wait_buffer_capacity"):
+            MachineConfig(n_pes=8, wait_buffer_capacity=-1).validate()
+
+    def test_max_outstanding_rejects_zero(self):
+        with pytest.raises(ValueError, match="max_outstanding"):
+            MachineConfig(n_pes=8, max_outstanding=0).validate()
+
+    def test_words_per_module_rejects_zero(self):
+        with pytest.raises(ValueError, match="words_per_module"):
+            MachineConfig(n_pes=8, words_per_module=0).validate()
+
+    def test_none_capacities_mean_unbounded(self):
+        MachineConfig(
+            n_pes=8,
+            queue_capacity_packets=None,
+            wait_buffer_capacity=None,
+            max_outstanding=None,
+        ).validate()
+
+
+class TestTranslationAndInstrumentation:
+    def test_unknown_translation_lists_schemes(self):
+        with pytest.raises(ValueError, match="interleaved"):
+            MachineConfig(n_pes=8, translation="random").validate()
+
+    def test_trace_requires_instrument(self):
+        with pytest.raises(ValueError, match="instrument=True"):
+            MachineConfig(n_pes=8, trace_capacity=100).validate()
+
+    def test_negative_trace_capacity(self):
+        with pytest.raises(ValueError, match="trace_capacity"):
+            MachineConfig(n_pes=8, instrument=True, trace_capacity=-1).validate()
+
+    def test_instrumented_config_valid(self):
+        MachineConfig(n_pes=8, instrument=True, trace_capacity=1000).validate()

@@ -1,0 +1,183 @@
+"""Unit tests for the metrics registry and cycle trace.
+
+Covers the registry's get-or-create semantics, each instrument kind,
+the disabled-mode no-op guarantees, and the ring-buffered trace.
+"""
+
+import pytest
+
+from repro.instrumentation import (
+    DISABLED,
+    CycleTrace,
+    Instrumentation,
+    MetricTypeError,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_negative_increment_rejected(self):
+        counter = MetricsRegistry().counter("requests")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("occupancy")
+        gauge.set(5)
+        gauge.inc(2)
+        gauge.dec()
+        assert gauge.value == 6
+
+
+class TestHistogram:
+    def test_observations_land_in_buckets(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=(2, 4, 8))
+        for value in (1, 2, 3, 9):
+            histogram.observe(value)
+        data = histogram.data()
+        # buckets: <=2, <=4, <=8, overflow
+        assert data.bucket_counts == (2, 1, 0, 1)
+        assert data.count == 4
+        assert data.total == 15
+        assert data.max_value == 9
+        assert data.mean == pytest.approx(15 / 4)
+
+    def test_quantile_returns_bucket_edge(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=(2, 4, 8))
+        for value in (1, 1, 3, 7):
+            histogram.observe(value)
+        assert histogram.data().quantile(0.5) == 2
+        assert histogram.data().quantile(1.0) == 8
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("latency", buckets=(4, 2))
+
+
+class TestRegistry:
+    def test_same_name_and_labels_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        a = registry.counter("combines", stage=0)
+        b = registry.counter("combines", stage=0)
+        assert a is b
+        a.inc()
+        assert b.value == 1
+
+    def test_different_labels_are_distinct(self):
+        registry = MetricsRegistry()
+        a = registry.counter("combines", stage=0)
+        b = registry.counter("combines", stage=1)
+        assert a is not b
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("combines")
+        with pytest.raises(MetricTypeError):
+            registry.gauge("combines")
+
+    def test_snapshot_is_immutable_view(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("combines", stage=0)
+        counter.inc(5)
+        snapshot = registry.snapshot()
+        counter.inc(5)
+        assert snapshot.counter("combines", stage=0) == 5
+        assert registry.snapshot().counter("combines", stage=0) == 10
+
+
+class TestSnapshotQueries:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("combines", stage=0).inc(4)
+        registry.counter("combines", stage=1).inc(2)
+        registry.histogram("latency", buckets=(2, 4)).observe(3)
+        return registry.snapshot()
+
+    def test_total_sums_across_labels(self):
+        assert self._snapshot().total("combines") == 6
+
+    def test_by_label_groups(self):
+        assert self._snapshot().by_label("combines", "stage") == {0: 4, 1: 2}
+
+    def test_missing_counter_defaults_to_zero(self):
+        assert self._snapshot().counter("nonexistent") == 0
+
+    def test_missing_histogram_is_none(self):
+        assert self._snapshot().histogram("nonexistent") is None
+
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        payload = json.dumps(self._snapshot().to_dict())
+        restored = json.loads(payload)
+        assert len(restored["metrics"]) == 3
+
+
+class TestDisabled:
+    def test_disabled_singleton_flags_off(self):
+        assert DISABLED.enabled is False
+        assert DISABLED.trace is None
+
+    def test_disabled_record_is_noop(self):
+        # must not raise, must not allocate trace storage
+        DISABLED.record("issue", 0, tag=1)
+        assert DISABLED.trace is None
+
+    def test_disabled_snapshot_is_empty(self):
+        assert DISABLED.snapshot().samples == ()
+
+    def test_empty_snapshot_classmethod(self):
+        empty = MetricsSnapshot.empty()
+        assert empty.samples == ()
+        assert empty.total("anything") == 0
+
+
+class TestCycleTrace:
+    def test_events_are_recorded_in_order(self):
+        trace = CycleTrace(capacity=10)
+        trace.record("issue", 1, tag=1, pe=0)
+        trace.record("reply", 5, tag=1, pe=0, value=7)
+        events = trace.events()
+        assert [e.kind for e in events] == ["issue", "reply"]
+        assert events[1].value == 7
+
+    def test_ring_buffer_drops_oldest(self):
+        trace = CycleTrace(capacity=3)
+        for cycle in range(5):
+            trace.record("issue", cycle, tag=cycle)
+        events = trace.events()
+        assert len(events) == 3
+        assert [e.cycle for e in events] == [2, 3, 4]
+        assert trace.dropped == 2
+
+    def test_filter_by_kind(self):
+        trace = CycleTrace(capacity=10)
+        trace.record("issue", 1)
+        trace.record("combine", 2)
+        trace.record("issue", 3)
+        assert [e.cycle for e in trace.events("issue")] == [1, 3]
+
+
+class TestInstrumentationFacade:
+    def test_enabled_with_trace(self):
+        instr = Instrumentation(enabled=True, trace_capacity=8)
+        instr.counter("requests").inc()
+        instr.record("issue", 1, tag=1)
+        assert instr.snapshot().counter("requests") == 1
+        assert len(instr.trace.events()) == 1
+
+    def test_enabled_without_trace(self):
+        instr = Instrumentation(enabled=True)
+        assert instr.trace is None
+        instr.record("issue", 1, tag=1)  # silently dropped

@@ -1,0 +1,114 @@
+"""Tests for the RunResult API: real fields, deprecated shims, export."""
+
+import json
+
+import pytest
+
+from repro import FetchAdd, MachineConfig, Paracomputer, RunResult, Ultracomputer
+from repro.core.results import PEResult
+
+
+def _hot_spot_result(pes=8, rounds=4, **config):
+    machine = Ultracomputer(MachineConfig(n_pes=pes, **config))
+
+    def program(pe_id):
+        value = 0
+        for _ in range(rounds):
+            value = yield FetchAdd(0, 1)
+        return value
+
+    machine.spawn_many(pes, program)
+    return machine.run()
+
+
+class TestFields:
+    def test_core_fields_populated(self):
+        result = _hot_spot_result()
+        assert result.cycles > 0
+        assert result.requests_issued == 32
+        assert result.memory_accesses > 0
+        assert result.combines > 0
+        assert result.mean_round_trip > 0
+        assert set(result.per_pe) == set(range(8))
+        assert all(isinstance(r, PEResult) for r in result.per_pe.values())
+
+    def test_metrics_empty_without_instrumentation(self):
+        result = _hot_spot_result()
+        assert len(result.metrics) == 0
+        assert result.trace is None
+
+    def test_paracomputer_returns_run_result(self):
+        para = Paracomputer()
+
+        def program(pe_id):
+            yield FetchAdd(0, 1)
+
+        para.spawn_many(4, program)
+        result = para.run()
+        assert isinstance(result, RunResult)
+        assert result.requests_issued == 4
+        assert result.combines == 0
+        assert result.mean_round_trip == 1.0
+
+
+class TestDeprecatedShims:
+    def test_ops_issued_warns_and_maps(self):
+        result = _hot_spot_result()
+        with pytest.warns(DeprecationWarning, match="requests_issued"):
+            assert result.ops_issued == result.requests_issued
+
+    def test_pes_warns_and_maps(self):
+        result = _hot_spot_result()
+        with pytest.warns(DeprecationWarning, match="per_pe"):
+            assert result.pes == len(result.per_pe)
+
+    def test_finish_times_warns_and_maps(self):
+        result = _hot_spot_result()
+        with pytest.warns(DeprecationWarning):
+            times = result.finish_times
+        assert times == {
+            pe: r.finished_cycle for pe, r in result.per_pe.items()
+        }
+
+    def test_return_values_warns_and_maps(self):
+        result = _hot_spot_result()
+        with pytest.warns(DeprecationWarning):
+            values = result.return_values
+        assert len(values) == 8
+        # fetch-and-add returns the pre-increment value: tickets 0..31
+        assert sorted(values.values())[-1] == 31
+
+    def test_all_finished_warns(self):
+        result = _hot_spot_result()
+        with pytest.warns(DeprecationWarning):
+            assert result.all_finished
+
+    def test_combining_rate_is_supported(self, recwarn):
+        result = _hot_spot_result()
+        rate = result.combining_rate
+        assert 0.0 < rate < 1.0
+        assert not any(
+            isinstance(w.message, DeprecationWarning) for w in recwarn.list
+        )
+
+
+class TestExport:
+    def test_to_dict_shape(self):
+        result = _hot_spot_result(instrument=True)
+        out = result.to_dict()
+        for key in ("cycles", "requests_issued", "combines", "memory_accesses",
+                    "mean_round_trip", "per_pe", "metrics"):
+            assert key in out
+        assert isinstance(out["metrics"], list)
+        assert out["per_pe"][0]["finished"] is True
+
+    def test_to_json_is_valid(self):
+        result = _hot_spot_result(instrument=True)
+        restored = json.loads(result.to_json())
+        assert restored["requests_issued"] == 32
+
+    def test_trace_included_when_enabled(self):
+        result = _hot_spot_result(instrument=True, trace_capacity=64)
+        out = result.to_dict()
+        assert "trace" in out
+        assert all("cycle" in event for event in out["trace"])

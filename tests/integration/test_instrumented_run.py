@@ -1,0 +1,104 @@
+"""Integration: instrumentation agrees with the machine's own bookkeeping.
+
+The hot-spot workload (every PE fetch-and-adds one shared cell) drives
+the combining network hard, so the per-stage counters, histograms, and
+trace must reconcile exactly with the aggregate RunResult fields.
+"""
+
+from repro import FetchAdd, MachineConfig, Ultracomputer
+
+
+def _run(pes=16, rounds=4, **config):
+    machine = Ultracomputer(MachineConfig(n_pes=pes, instrument=True, **config))
+
+    def program(pe_id):
+        for _ in range(rounds):
+            yield FetchAdd(0, 1)
+
+    machine.spawn_many(pes, program)
+    return machine.run()
+
+
+class TestMetricsReconcile:
+    def test_per_stage_combines_sum_to_total(self):
+        result = _run()
+        by_stage = result.metrics.by_label("network.combines", "stage")
+        assert by_stage, "hot-spot run must combine at every stage"
+        assert sum(by_stage.values()) == result.combines
+        # a hot spot halves traffic at each stage: stage 0 combines most
+        stages = sorted(by_stage)
+        counts = [by_stage[s] for s in stages]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_decombines_match_combines(self):
+        result = _run()
+        assert result.metrics.total("network.decombines") == result.combines
+        assert result.decombines == result.combines
+
+    def test_round_trip_histogram_counts_replies(self):
+        result = _run()
+        histogram = result.metrics.histogram("machine.round_trip_cycles")
+        assert histogram is not None
+        assert histogram.count == result.replies_received
+        assert histogram.mean == result.mean_round_trip
+
+    def test_requests_counter_matches(self):
+        result = _run()
+        assert (
+            result.metrics.counter("machine.requests_issued")
+            == result.requests_issued
+        )
+
+    def test_memory_access_counters_sum(self):
+        result = _run()
+        assert result.metrics.total("memory.accesses") == result.memory_accesses
+
+    def test_disabled_machine_has_empty_metrics(self):
+        machine = Ultracomputer(MachineConfig(n_pes=8))
+
+        def program(pe_id):
+            yield FetchAdd(0, 1)
+
+        machine.spawn_many(8, program)
+        result = machine.run()
+        assert len(result.metrics) == 0
+        assert len(machine.instrumentation.registry) == 0
+
+
+class TestTraceReconciles:
+    def test_issue_and_reply_events_match_counters(self):
+        result = _run(pes=8, rounds=2, trace_capacity=100_000)
+        issues = [e for e in result.trace if e.kind == "issue"]
+        replies = [e for e in result.trace if e.kind == "reply"]
+        assert len(issues) == result.requests_issued
+        assert len(replies) == result.replies_received
+
+    def test_combine_events_match_counter(self):
+        result = _run(pes=8, rounds=2, trace_capacity=100_000)
+        combines = [e for e in result.trace if e.kind == "combine"]
+        assert len(combines) == result.combines
+
+    def test_events_are_cycle_ordered_per_tag(self):
+        result = _run(pes=4, rounds=2, trace_capacity=100_000)
+        # every issued tag must see its reply strictly later
+        issue_cycle = {e.tag: e.cycle for e in result.trace if e.kind == "issue"}
+        for event in result.trace:
+            if event.kind == "reply":
+                assert event.cycle > issue_cycle[event.tag]
+
+    def test_ring_buffer_cap_respected(self):
+        result = _run(pes=16, rounds=4, trace_capacity=32)
+        assert len(result.trace) == 32
+
+
+class TestAcrossConfigurations:
+    def test_multi_copy_network_aggregates_per_stage(self):
+        result = _run(copies=2)
+        by_stage = result.metrics.by_label("network.combines", "stage")
+        assert sum(by_stage.values()) == result.combines
+
+    def test_serialized_network_reports_zero_combines(self):
+        result = _run(combining=False)
+        assert result.combines == 0
+        assert result.metrics.total("network.combines") == 0
+        assert result.memory_accesses == result.requests_issued

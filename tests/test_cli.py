@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -12,7 +14,8 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for command in ("demo", "fig7", "table1", "packaging", "hotspot"):
+        for command in ("demo", "fig7", "table1", "packaging", "hotspot",
+                        "stats", "trace"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -40,6 +43,8 @@ class TestCommands:
         assert main(["hotspot", "--pes", "8"]) == 0
         out = capsys.readouterr().out
         assert "combining" in out and "serialized" in out
+        assert "combines by switch stage" in out
+        assert "round-trip histogram" in out
 
     def test_table1_prints_four_rows(self, capsys):
         assert main(["table1"]) == 0
@@ -66,3 +71,47 @@ class TestCommands:
         assert main(["queue"]) == 0
         out = capsys.readouterr().out
         assert "lock-free" in out and "locked" in out
+
+    def test_stats_prints_metrics_table(self, capsys):
+        assert main(["stats", "--pes", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "network.combines{stage=0}" in out
+        assert "machine.round_trip_cycles" in out
+
+    def test_trace_prints_events(self, capsys):
+        assert main(["trace", "--pes", "4", "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "issue" in out
+        assert out.count("\n") <= 7  # header + 5 events + trailing
+
+
+class TestJsonOutput:
+    def test_demo_json(self, capsys):
+        assert main(["demo", "--pes", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["final_counter"] == 32
+        assert payload["requests_issued"] == 32
+
+    def test_fig7_json(self, capsys):
+        assert main(["fig7", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["series"]) == 6
+        assert all("points" in s for s in payload["series"])
+
+    def test_stats_json_carries_metrics(self, capsys):
+        assert main(["stats", "--pes", "8", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {sample["name"] for sample in payload["metrics"]}
+        assert "network.combines" in names
+        assert "machine.round_trip_cycles" in names
+        stage_counts = [
+            sample["value"] for sample in payload["metrics"]
+            if sample["name"] == "network.combines"
+        ]
+        assert sum(stage_counts) == payload["combines"]
+
+    def test_trace_json(self, capsys):
+        assert main(["trace", "--pes", "4", "--limit", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 3
+        assert all(event["kind"] == "issue" for event in payload)

@@ -9,6 +9,15 @@ regression in the reproduction fails the harness, not just the eye.
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Same ergonomics as tests/conftest.py: let `python -m pytest benchmarks/`
+# work from the repo root without the `PYTHONPATH=src` prefix.
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 import pytest
 
 from bench_utils import banner  # noqa: F401  (re-exported for plugins)

@@ -13,6 +13,7 @@ which is exactly the sense in which the paper claims the Ultracomputer
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass
 from typing import Any, Optional, Protocol
 
@@ -25,6 +26,7 @@ from ..network.omega import NetworkConfig, OmegaNetwork
 from .memory_ops import Op
 from .paracomputer import Program, ProgramFactory
 from .results import MachineStats, PEResult, RunResult
+from .scheduler import KERNELS, make_kernel
 
 __all__ = [
     "Driver",
@@ -75,6 +77,11 @@ class MachineConfig:
     #: ring-buffer capacity of the cycle-level event trace; 0 disables
     #: tracing.  Requires ``instrument=True``.
     trace_capacity: int = 0
+    #: simulation kernel: ``"dense"`` ticks every component every cycle
+    #: (the reference semantics); ``"event"`` skips idle components and
+    #: fast-forwards globally quiet cycles, producing bit-identical
+    #: results faster.  See :mod:`repro.core.scheduler`.
+    kernel: str = "dense"
 
     def validate(self) -> None:
         """Reject inconsistent configurations with actionable messages.
@@ -158,6 +165,11 @@ class MachineConfig:
                 "trace_capacity > 0 requires instrument=True; the cycle "
                 "trace rides on the instrumentation layer"
             )
+        if self.kernel not in KERNELS:
+            raise ValueError(
+                f"unknown kernel {self.kernel!r}; choose from "
+                f"{sorted(KERNELS)}"
+            )
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(
@@ -175,6 +187,15 @@ class Driver(Protocol):
 
     Program PEs, synthetic traffic sources, and instrumented workload
     replayers all implement this protocol.
+
+    Drivers may additionally implement the event kernel's wake contract
+    (see :mod:`repro.core.scheduler`): ``next_event_cycle(cycle)``
+    returning the earliest cycle at which ``tick`` would do anything
+    beyond closed-form counter updates (``None`` when purely waiting on
+    in-flight traffic), and ``fast_forward(delta)`` applying those
+    counter updates for ``delta`` skipped cycles.  Drivers without the
+    contract are ticked every cycle by both kernels, so stochastic
+    open-loop sources stay bit-identical.
     """
 
     def tick(self, cycle: int) -> None:
@@ -289,6 +310,51 @@ class ProgramDriver:
     def done(self) -> bool:
         return all(not pe.running for pe in self.pes)
 
+    # -- event-kernel wake contract (see repro.core.scheduler) -----------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle at which some PE does more than bump counters.
+
+        Mirrors :meth:`tick` case by case: a PE waiting on an empty
+        reply queue or blocked on ``can_issue`` only accrues
+        ``idle_cycles`` (closed form); a computing PE only burns
+        ``compute_remaining`` until the cycle its countdown reaches
+        zero; everything else — a deliverable reply, an issuable op, a
+        fresh generator — needs the real tick now.
+        """
+        nxt: Optional[int] = None
+        for pe in self.pes:
+            if not pe.running:
+                continue
+            if pe.waiting_tag is not None:
+                if pe.pni.completed:
+                    return cycle
+                continue
+            if pe.compute_remaining > 0:
+                candidate = cycle + pe.compute_remaining - 1
+                if candidate <= cycle:
+                    return cycle
+                if nxt is None or candidate < nxt:
+                    nxt = candidate
+                continue
+            if pe.pending_op is not None:
+                if pe.pni.can_issue(pe.pending_op):
+                    return cycle
+                continue
+            return cycle  # fresh PE: priming the generator is an event
+        return nxt
+
+    def fast_forward(self, delta: int) -> None:
+        """Apply ``delta`` skipped cycles' counter updates in closed form."""
+        for pe in self.pes:
+            if not pe.running:
+                continue
+            if pe.waiting_tag is not None:
+                pe.idle_cycles += delta
+            elif pe.compute_remaining > 0:
+                pe.compute_remaining -= delta
+            elif pe.pending_op is not None:
+                pe.idle_cycles += delta
+
     # -- statistics ------------------------------------------------------
     @property
     def return_values(self) -> dict[int, Any]:
@@ -338,6 +404,11 @@ class Ultracomputer:
             )
             for module in self.memory.modules
         ]
+        # Machine-local tag stream: every machine assigns tags 1, 2, ...
+        # in issue order, so two identically configured machines running
+        # the same workload produce identical messages, traces, and copy
+        # striping — the property the kernel-equivalence tests rely on.
+        self._tags = itertools.count(1)
         self.pnis = [
             PNI(
                 pe,
@@ -345,6 +416,7 @@ class Ultracomputer:
                 self.translation,
                 max_outstanding=config.max_outstanding,
                 instrumentation=self.instrumentation,
+                tag_counter=self._tags,
             )
             for pe in range(config.n_pes)
         ]
@@ -356,6 +428,7 @@ class Ultracomputer:
         self.drivers: list[Driver] = []
         self.programs = ProgramDriver(self)
         self.drivers.append(self.programs)
+        self.kernel = make_kernel(config.kernel, self)
 
     @property
     def network(self) -> OmegaNetwork:
@@ -448,25 +521,18 @@ class Ultracomputer:
         return [self.peek(base + i) for i in range(length)]
 
     # ------------------------------------------------------------------
-    # cycle loop
+    # cycle loop (delegated to the configured kernel; see
+    # repro.core.scheduler for the dense/event split)
     # ------------------------------------------------------------------
     def step(self) -> None:
-        cycle = self.cycle
-        for mni in self.mnis:
-            mni.tick(cycle)
-        for network in self.networks:
-            network.step_forward()
-        for pni in self.pnis:
-            pni.tick_outbound(cycle, self._inject_request)
-        for network in self.networks:
-            network.step_return()
-        for mni in self.mnis:
-            mni.tick_outbound(cycle, self._inject_reply)
-        for driver in self.drivers:
-            driver.tick(cycle)
-        for network in self.networks:
-            network.advance_cycle()
-        self.cycle += 1
+        """Execute one cycle under the configured kernel.
+
+        Both kernels produce identical per-cycle state; the event kernel
+        merely skips components that provably cannot act.  (Single-cycle
+        stepping never fast-forwards — use :meth:`run` or
+        :meth:`run_cycles` for that.)
+        """
+        self.kernel.step()
 
     def quiescent(self) -> bool:
         """No traffic anywhere and every driver is done."""
@@ -479,21 +545,11 @@ class Ultracomputer:
 
     def run(self, max_cycles: int = 1_000_000) -> RunResult:
         """Run until all programs finish and the network drains."""
-        while not self.quiescent():
-            if self.cycle >= max_cycles:
-                raise RuntimeError(
-                    f"machine did not quiesce within {max_cycles} cycles "
-                    f"({sum(n.pending_messages() for n in self.networks)} "
-                    "messages in flight)"
-                )
-            self.step()
-        return self.stats()
+        return self.kernel.run(max_cycles)
 
     def run_cycles(self, n: int) -> RunResult:
         """Run exactly ``n`` cycles (open-loop traffic studies)."""
-        for _ in range(n):
-            self.step()
-        return self.stats()
+        return self.kernel.run_cycles(n)
 
     def stats(self) -> RunResult:
         instr = self.instrumentation

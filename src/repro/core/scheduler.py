@@ -1,0 +1,262 @@
+"""Simulation kernels: dense reference loop and event-driven wake-list loop.
+
+The Ultracomputer's cycle loop originally ticked every component — every
+switch of every network copy, every PNI/MNI, every PE — on every cycle,
+even when most of the Omega network was idle.  That is faithful but
+wasteful: at low offered load almost all of the work is ticking
+components that provably cannot make progress.  This module separates
+the *semantics* of a cycle from the *schedule* that executes it:
+
+* :class:`DenseKernel` — the reference kernel.  Ticks everything every
+  cycle, exactly as the seed simulator did.  Its behavior is the
+  specification.
+* :class:`EventKernel` — the wake-list kernel.  Two optimizations, both
+  required to be observationally invisible:
+
+  1. **Sparse component iteration.**  Within an executed cycle, only
+     components that can possibly act are visited: switches are tracked
+     in per-stage wake sets (a switch is woken when a message is offered
+     to it and retired when it drains), and whole networks/stages with
+     no resident messages are skipped.  Skipping is safe because ticking
+     an empty component is a no-op by construction (each component
+     exposes a cheap ``is_idle()`` predicate stating exactly that).
+  2. **Quiet-cycle fast-forward.**  When no component can act *now*,
+     the kernel asks each stateful component for the earliest future
+     cycle at which it could (``next_event_cycle``), jumps straight
+     there, and applies the per-cycle counters the skipped cycles would
+     have accumulated in closed form (``fast_forward``): waiting PEs
+     gain ``idle_cycles``, computing PEs burn ``compute_remaining``,
+     busy MNIs gain ``busy_cycles``.
+
+The contract, enforced by ``tests/integration/test_kernel_equivalence.py``:
+for any workload, ``MachineConfig(kernel="event")`` produces a
+:class:`~repro.core.results.RunResult` whose ``to_dict()`` — cycles,
+combines, per-PE finish times and return values, instrumentation
+snapshot, cycle trace — is bit-identical to ``kernel="dense"``.
+
+Driver wake contract (optional; see :class:`repro.core.machine.Driver`):
+
+``next_event_cycle(cycle) -> Optional[int]``
+    The earliest cycle ``>= cycle`` at which ``tick()`` would do
+    anything beyond closed-form counter updates; ``None`` when the
+    driver is purely waiting on external stimulus (a reply in flight)
+    or finished.  Drivers that do not implement the method are treated
+    as active every cycle — the kernel then never fast-forwards, which
+    keeps open-loop stochastic drivers (whose RNG draws are per-cycle)
+    bit-identical.
+``fast_forward(delta) -> None``
+    Apply the counter updates ``delta`` skipped cycles would have made.
+    Only called when the driver's ``next_event_cycle`` reported no
+    activity before ``cycle + delta``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .machine import Ultracomputer
+    from .results import RunResult
+
+__all__ = ["DenseKernel", "EventKernel", "KERNELS", "make_kernel"]
+
+
+class DenseKernel:
+    """Reference kernel: tick every component every cycle.
+
+    The phase order within a cycle is part of the machine's semantics
+    (it realizes the paper's pipelining: an MNI reply injected this
+    cycle is seen by the last switch stage this cycle, and so on) and is
+    identical in both kernels:
+
+    1. MNIs complete/start memory accesses;
+    2. requests move one hop toward memory (downstream stages first);
+    3. PNIs inject queued requests into stage 0;
+    4. replies move one hop toward the PEs;
+    5. MNIs inject queued replies into the last stage;
+    6. drivers (PEs) consume replies and issue new work;
+    7. every clock advances.
+    """
+
+    name = "dense"
+
+    def __init__(self, machine: "Ultracomputer") -> None:
+        self.machine = machine
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one cycle, ticking everything (the seed semantics)."""
+        m = self.machine
+        cycle = m.cycle
+        for mni in m.mnis:
+            mni.tick(cycle)
+        for network in m.networks:
+            network.step_forward()
+        for pni in m.pnis:
+            pni.tick_outbound(cycle, m._inject_request)
+        for network in m.networks:
+            network.step_return()
+        for mni in m.mnis:
+            mni.tick_outbound(cycle, m._inject_reply)
+        for driver in m.drivers:
+            driver.tick(cycle)
+        for network in m.networks:
+            network.advance_cycle()
+        m.cycle += 1
+
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 1_000_000) -> "RunResult":
+        m = self.machine
+        while not m.quiescent():
+            if m.cycle >= max_cycles:
+                raise self._timeout(max_cycles)
+            self.step()
+        return m.stats()
+
+    def run_cycles(self, n: int) -> "RunResult":
+        for _ in range(n):
+            self.step()
+        return self.machine.stats()
+
+    # ------------------------------------------------------------------
+    def _timeout(self, max_cycles: int) -> RuntimeError:
+        m = self.machine
+        return RuntimeError(
+            f"machine did not quiesce within {max_cycles} cycles "
+            f"({sum(n.pending_messages() for n in m.networks)} "
+            "messages in flight)"
+        )
+
+
+class EventKernel(DenseKernel):
+    """Wake-list kernel: skip idle components, fast-forward quiet cycles."""
+
+    name = "event"
+
+    # ------------------------------------------------------------------
+    # one executed cycle, visiting only awake components
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        m = self.machine
+        cycle = m.cycle
+        for mni in m.mnis:
+            mni.tick(cycle)
+        for network in m.networks:
+            if not network.is_idle():
+                network.step_forward_sparse()
+        for pni in m.pnis:
+            if pni.outbound:
+                pni.tick_outbound(cycle, m._inject_request)
+        for network in m.networks:
+            if not network.is_idle():
+                network.step_return_sparse()
+        for mni in m.mnis:
+            if mni.outbound:
+                mni.tick_outbound(cycle, m._inject_reply)
+        for driver in m.drivers:
+            driver.tick(cycle)
+        for network in m.networks:
+            network.advance_cycle()
+        m.cycle += 1
+
+    # ------------------------------------------------------------------
+    # event horizon
+    # ------------------------------------------------------------------
+    def _next_event_cycle(self) -> Optional[int]:
+        """Earliest cycle at which any component can act; None if no
+        component will ever act again without external stimulus."""
+        m = self.machine
+        cycle = m.cycle
+        for network in m.networks:
+            if not network.is_idle():
+                return cycle  # resident messages try to move every cycle
+        best: Optional[int] = None
+        for mni in m.mnis:
+            c = mni.next_event_cycle(cycle)
+            if c is not None:
+                if c <= cycle:
+                    return cycle
+                if best is None or c < best:
+                    best = c
+        for pni in m.pnis:
+            c = pni.next_event_cycle(cycle)
+            if c is not None:
+                if c <= cycle:
+                    return cycle
+                if best is None or c < best:
+                    best = c
+        for driver in m.drivers:
+            probe = getattr(driver, "next_event_cycle", None)
+            # Drivers without the wake contract are assumed active every
+            # cycle (their tick may draw RNG or issue unconditionally).
+            c = cycle if probe is None else probe(cycle)
+            if c is not None:
+                if c <= cycle:
+                    return cycle
+                if best is None or c < best:
+                    best = c
+        return best
+
+    def _fast_forward(self, target: int) -> None:
+        """Jump to ``target``, applying skipped cycles in closed form."""
+        m = self.machine
+        delta = target - m.cycle
+        if delta <= 0:
+            return
+        for mni in m.mnis:
+            mni.fast_forward(delta)
+        for network in m.networks:
+            network.fast_forward(delta)
+        for driver in m.drivers:
+            forward = getattr(driver, "fast_forward", None)
+            if forward is not None:
+                forward(delta)
+        m.cycle = target
+
+    # ------------------------------------------------------------------
+    # runs
+    # ------------------------------------------------------------------
+    def run(self, max_cycles: int = 1_000_000) -> "RunResult":
+        m = self.machine
+        while not m.quiescent():
+            if m.cycle >= max_cycles:
+                raise self._timeout(max_cycles)
+            nxt = self._next_event_cycle()
+            if nxt is None or nxt >= max_cycles:
+                # Nothing (relevant) happens before the deadline: the
+                # dense kernel would spin pure idle-counting cycles up
+                # to max_cycles and raise — replicate that exactly.
+                self._fast_forward(max_cycles)
+                raise self._timeout(max_cycles)
+            self._fast_forward(nxt)
+            self.step()
+        return m.stats()
+
+    def run_cycles(self, n: int) -> "RunResult":
+        m = self.machine
+        end = m.cycle + n
+        while m.cycle < end:
+            nxt = self._next_event_cycle()
+            if nxt is None or nxt >= end:
+                self._fast_forward(end)
+                break
+            self._fast_forward(nxt)
+            self.step()
+        return m.stats()
+
+
+#: Kernel registry keyed by the ``MachineConfig.kernel`` string.
+KERNELS = {
+    DenseKernel.name: DenseKernel,
+    EventKernel.name: EventKernel,
+}
+
+
+def make_kernel(name: str, machine: "Ultracomputer") -> DenseKernel:
+    try:
+        kernel_cls = KERNELS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel {name!r}; choose from {sorted(KERNELS)}"
+        ) from None
+    return kernel_cls(machine)

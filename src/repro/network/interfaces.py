@@ -28,7 +28,7 @@ import dataclasses
 import itertools
 from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterator, Optional
 
 from ..core.memory_ops import Op
 from ..instrumentation import (
@@ -79,6 +79,12 @@ class PNI:
     max_outstanding:
         Pipeline window; ``None`` allows unlimited outstanding requests
         (useful with prefetch-heavy PE models), 1 models a blocking PE.
+    tag_counter:
+        Iterator yielding request tags.  The machine passes one counter
+        shared by all of its PNIs (tags must be unique machine-wide —
+        wait buffers key on them) so that identical runs produce
+        identical tag streams; standalone PNIs default to a process-wide
+        counter for backward compatibility.
     """
 
     def __init__(
@@ -89,11 +95,13 @@ class PNI:
         *,
         max_outstanding: Optional[int] = None,
         instrumentation: Instrumentation = DISABLED,
+        tag_counter: Optional[Iterator[int]] = None,
     ) -> None:
         self.pe_id = pe_id
         self.topology = topology
         self.translation = translation
         self.max_outstanding = max_outstanding
+        self._tags = tag_counter if tag_counter is not None else _tag_counter
         self.outbound: deque[Message] = deque()
         self._outstanding_cells: set[tuple[int, int]] = set()
         self._outstanding_tags: dict[int, Message] = {}
@@ -140,7 +148,7 @@ class PNI:
                 f"module {module} offset {offset}"
             )
         physical_op = dataclasses.replace(op, address=offset)
-        tag = next(_tag_counter)
+        tag = next(self._tags)
         message = Message(
             op=physical_op,
             mm=module,
@@ -207,6 +215,21 @@ class PNI:
         if self.replies_received == 0:
             return 0.0
         return self.total_round_trip / self.replies_received
+
+    # ------------------------------------------------------------------
+    # wake contract (event kernel)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``cycle`` at which :meth:`tick_outbound`
+        could inject; ``None`` when nothing is queued (replies arrive by
+        push, so waiting on them is not a local event)."""
+        if not self.outbound:
+            return None
+        return max(cycle, self._link_busy_until)
+
+    def is_idle(self) -> bool:
+        """True when no request is queued or in flight through this PNI."""
+        return not self.outbound and not self._outstanding_tags
 
 
 class MNI:
@@ -300,3 +323,29 @@ class MNI:
     @property
     def pending(self) -> int:
         return len(self._inbound) + (1 if self._in_service else 0) + len(self.outbound)
+
+    # ------------------------------------------------------------------
+    # wake contract (event kernel)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle >= ``cycle`` at which :meth:`tick` or
+        :meth:`tick_outbound` would change state; ``None`` when empty."""
+        best: Optional[int] = None
+        if self._in_service is not None:
+            best = max(cycle, self._in_service[1])
+        elif self._inbound:
+            best = max(cycle, self._inbound[0][1])
+        if self.outbound:
+            c = max(cycle, self._link_busy_until)
+            best = c if best is None else min(best, c)
+        return best
+
+    def fast_forward(self, delta: int) -> None:
+        """Apply the per-cycle counters ``delta`` quiet cycles would
+        have accumulated (a module mid-access stays busy while idle-
+        waiting for its latency to elapse)."""
+        if self._in_service is not None:
+            self.busy_cycles += delta
+
+    def is_idle(self) -> bool:
+        return self.pending == 0

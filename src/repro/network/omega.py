@@ -81,6 +81,90 @@ class OmegaNetwork:
         self.mm_sink: Optional[Sink] = None
         self.pe_sink: Optional[Sink] = None
         self.cycle = 0
+        # Wake sets for the event kernel: per stage, the indices of
+        # switches that may hold traffic in that direction.  Maintained
+        # by both kernels (marking is cheap and keeps the sets valid if
+        # a test mixes dense stepping with sparse stepping); entries may
+        # be stale (switch already drained) — they are pruned on visit,
+        # which is safe because ticking an empty switch is a no-op.
+        self._fwd_dirty: list[set[int]] = [set() for _ in range(self.topology.stages)]
+        self._ret_dirty: list[set[int]] = [set() for _ in range(self.topology.stages)]
+        self._build_wiring()
+
+    # ------------------------------------------------------------------
+    # static wiring
+    # ------------------------------------------------------------------
+    def _build_wiring(self) -> None:
+        """Precompute one delivery callback per (stage, switch).
+
+        The shuffle wiring is static, so the per-port targets are
+        resolved once here instead of on every cycle; the callbacks also
+        mark the receiving switch's wake set on acceptance, which is how
+        traffic propagates through the event kernel's dirty sets.
+        """
+        topo = self.topology
+        last = topo.stages - 1
+
+        def make_fwd(stage: int, index: int) -> Callable[[int, Message], bool]:
+            if stage == last:
+                mm_lines = [
+                    topo.stage_output_line(index, port) for port in range(topo.k)
+                ]
+
+                def deliver(out_port: int, msg: Message) -> bool:
+                    return self.mm_sink(mm_lines[out_port], msg)  # type: ignore[misc]
+
+            else:
+                targets = [
+                    topo.stage_input(topo.stage_output_line(index, port))
+                    for port in range(topo.k)
+                ]
+                next_row = self.stages[stage + 1]
+                dirty = self._fwd_dirty[stage + 1]
+
+                def deliver(out_port: int, msg: Message) -> bool:
+                    next_switch, next_port = targets[out_port]
+                    if next_row[next_switch].offer_forward(next_port, msg, self.cycle):
+                        dirty.add(next_switch)
+                        return True
+                    return False
+
+            return deliver
+
+        def make_ret(stage: int, index: int) -> Callable[[int, Message], bool]:
+            if stage == 0:
+                pe_lines = [
+                    topo.unshuffle(index * topo.k + port) for port in range(topo.k)
+                ]
+
+                def deliver(out_port: int, msg: Message) -> bool:
+                    return self.pe_sink(pe_lines[out_port], msg)  # type: ignore[misc]
+
+            else:
+                targets = [
+                    divmod(topo.unshuffle(index * topo.k + port), topo.k)
+                    for port in range(topo.k)
+                ]
+                prev_row = self.stages[stage - 1]
+                dirty = self._ret_dirty[stage - 1]
+
+                def deliver(out_port: int, msg: Message) -> bool:
+                    prev_switch, mm_port = targets[out_port]
+                    if prev_row[prev_switch].offer_return(mm_port, msg, self.cycle):
+                        dirty.add(prev_switch)
+                        return True
+                    return False
+
+            return deliver
+
+        self._fwd_deliver = [
+            [make_fwd(stage, index) for index in range(topo.switches_per_stage)]
+            for stage in range(topo.stages)
+        ]
+        self._ret_deliver = [
+            [make_ret(stage, index) for index in range(topo.switches_per_stage)]
+            for stage in range(topo.stages)
+        ]
 
     # ------------------------------------------------------------------
     # endpoint attachment
@@ -95,17 +179,19 @@ class OmegaNetwork:
     def offer_request(self, pe: int, message: Message) -> bool:
         """Inject a request from PE ``pe`` into the first stage."""
         switch_index, in_port = self.topology.stage_input(pe)
-        return self.stages[0][switch_index].offer_forward(
-            in_port, message, self.cycle
-        )
+        if self.stages[0][switch_index].offer_forward(in_port, message, self.cycle):
+            self._fwd_dirty[0].add(switch_index)
+            return True
+        return False
 
     def offer_reply(self, mm: int, message: Message) -> bool:
         """Inject a reply from MM ``mm`` into the last stage."""
         last = self.topology.stages - 1
         switch_index, mm_port = divmod(mm, self.topology.k)
-        return self.stages[last][switch_index].offer_return(
-            mm_port, message, self.cycle
-        )
+        if self.stages[last][switch_index].offer_return(mm_port, message, self.cycle):
+            self._ret_dirty[last].add(switch_index)
+            return True
+        return False
 
     # ------------------------------------------------------------------
     # cycle advance
@@ -116,45 +202,92 @@ class OmegaNetwork:
         queue slots are reusable within the cycle — full pipelining)."""
         if self.mm_sink is None:
             raise RuntimeError("network endpoints not connected")
-        topo = self.topology
-        last = topo.stages - 1
-        for stage in range(last, -1, -1):
+        for stage in range(self.topology.stages - 1, -1, -1):
+            deliver_row = self._fwd_deliver[stage]
             for switch in self.stages[stage]:
-                if stage == last:
-                    def deliver(out_port: int, msg: Message, _sw: Switch = switch) -> bool:
-                        mm = topo.stage_output_line(_sw.index, out_port)
-                        return self.mm_sink(mm, msg)  # type: ignore[misc]
-                else:
-                    def deliver(out_port: int, msg: Message, _sw: Switch = switch, _stage: int = stage) -> bool:
-                        line = topo.stage_output_line(_sw.index, out_port)
-                        next_switch, next_port = topo.stage_input(line)
-                        return self.stages[_stage + 1][next_switch].offer_forward(
-                            next_port, msg, self.cycle
-                        )
-                switch.tick_forward(self.cycle, deliver)
+                switch.tick_forward(self.cycle, deliver_row[switch.index])
 
     def step_return(self) -> None:
         """Move replies one hop toward the PEs (PE-side stages first)."""
         if self.pe_sink is None:
             raise RuntimeError("network endpoints not connected")
-        topo = self.topology
-        for stage in range(topo.stages):
+        for stage in range(self.topology.stages):
+            deliver_row = self._ret_deliver[stage]
             for switch in self.stages[stage]:
-                if stage == 0:
-                    def deliver(out_port: int, msg: Message, _sw: Switch = switch) -> bool:
-                        pe = topo.unshuffle(_sw.index * topo.k + out_port)
-                        return self.pe_sink(pe, msg)  # type: ignore[misc]
-                else:
-                    def deliver(out_port: int, msg: Message, _sw: Switch = switch, _stage: int = stage) -> bool:
-                        line = topo.unshuffle(_sw.index * topo.k + out_port)
-                        prev_switch, mm_port = divmod(line, topo.k)
-                        return self.stages[_stage - 1][prev_switch].offer_return(
-                            mm_port, msg, self.cycle
-                        )
-                switch.tick_return(self.cycle, deliver)
+                switch.tick_return(self.cycle, deliver_row[switch.index])
+
+    def step_forward_sparse(self) -> None:
+        """Like :meth:`step_forward` but visit only woken switches.
+
+        Iteration is over ``sorted(dirty)`` so the offer order — which
+        decides who wins the last slot of a filling downstream queue —
+        matches the dense kernel's ascending-index sweep exactly; the
+        skipped switches hold no requests, so they could not have
+        offered anything.
+        """
+        if self.mm_sink is None:
+            raise RuntimeError("network endpoints not connected")
+        for stage in range(self.topology.stages - 1, -1, -1):
+            dirty = self._fwd_dirty[stage]
+            if not dirty:
+                continue
+            row = self.stages[stage]
+            deliver_row = self._fwd_deliver[stage]
+            for index in sorted(dirty):
+                switch = row[index]
+                if switch.forward_pending() == 0:
+                    dirty.discard(index)  # stale wake
+                    continue
+                switch.tick_forward(self.cycle, deliver_row[index])
+                if switch.forward_pending() == 0:
+                    dirty.discard(index)
+
+    def step_return_sparse(self) -> None:
+        """Like :meth:`step_return` but visit only woken switches."""
+        if self.pe_sink is None:
+            raise RuntimeError("network endpoints not connected")
+        for stage in range(self.topology.stages):
+            dirty = self._ret_dirty[stage]
+            if not dirty:
+                continue
+            row = self.stages[stage]
+            deliver_row = self._ret_deliver[stage]
+            for index in sorted(dirty):
+                switch = row[index]
+                if switch.return_pending() == 0:
+                    dirty.discard(index)  # stale wake
+                    continue
+                switch.tick_return(self.cycle, deliver_row[index])
+                if switch.return_pending() == 0:
+                    dirty.discard(index)
 
     def advance_cycle(self) -> None:
         self.cycle += 1
+
+    # ------------------------------------------------------------------
+    # wake contract (event kernel)
+    # ------------------------------------------------------------------
+    def has_traffic(self) -> bool:
+        """True when some switch may hold a resident message.
+
+        Conservative: a stale wake entry makes this return True for at
+        most one executed cycle (the sparse step prunes it), which costs
+        time but cannot change observable behavior — executing a cycle
+        in which nothing moves is exactly what the dense kernel does.
+        """
+        return any(self._fwd_dirty) or any(self._ret_dirty)
+
+    def is_idle(self) -> bool:
+        return not self.has_traffic()
+
+    def fast_forward(self, delta: int) -> None:
+        """Advance the clock over quiet cycles.
+
+        Only called when :meth:`is_idle` holds: with no resident
+        messages nothing in a switch ticks, so the closed form of
+        ``delta`` dense cycles is just the clock advance.
+        """
+        self.cycle += delta
 
     # ------------------------------------------------------------------
     # introspection

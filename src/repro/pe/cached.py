@@ -272,6 +272,51 @@ class CachedProgramDriver:
             not pe.running and not pe.write_backlog for pe in self.pes
         )
 
+    # ------------------------------------------------------------------
+    # wake contract (event kernel)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Earliest cycle at which :meth:`tick` does more than bump
+        per-cycle counters; ``None`` when every PE waits on a reply.
+
+        A PE holding a deferred ``pending`` op is reported active *now*
+        even though its retry may fail again — the dense kernel retries
+        (and counts an idle cycle) every cycle, and a blocked op implies
+        traffic in flight, so those cycles execute anyway.
+        """
+        best: Optional[int] = None
+        for pe in self.pes:
+            pni = self.machine.pnis[pe.pe_id]
+            if pni.completed:
+                return cycle
+            if pe.write_backlog and pni.can_issue(pe.write_backlog[0]):
+                return cycle
+            if not pe.running:
+                continue
+            if pe.waiting_tag is not None:
+                continue  # woken externally by the reply
+            if pe.resume_value_ready:
+                return cycle
+            if pe.compute_remaining > 0:
+                candidate = cycle + pe.compute_remaining - 1
+                if candidate <= cycle:
+                    return cycle
+                if best is None or candidate < best:
+                    best = candidate
+                continue
+            return cycle  # pending retry, or the program's next advance
+        return best
+
+    def fast_forward(self, delta: int) -> None:
+        """Counters ``delta`` skipped ticks would have accumulated."""
+        for pe in self.pes:
+            if not pe.running:
+                continue
+            if pe.waiting_tag is not None:
+                pe.idle_cycles += delta
+            elif pe.compute_remaining > 0:
+                pe.compute_remaining -= delta
+
     # -- statistics ------------------------------------------------------
     @property
     def return_values(self) -> dict[int, Any]:

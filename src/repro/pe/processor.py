@@ -18,6 +18,7 @@ tests and the quickstart example.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from ..core.memory_ops import FetchAdd, Load, Store
 from ..network.interfaces import PNI
@@ -153,6 +154,59 @@ class Processor:
         """Halted with no memory traffic still in flight."""
         return self.halted and not self._lock_tags
 
+    # ------------------------------------------------------------------
+    # wake contract (event kernel)
+    # ------------------------------------------------------------------
+    def _next_op(self, instr: isa.Instruction):
+        """The memory op the current instruction would issue, if any."""
+        if isinstance(instr, isa.LoadR):
+            return Load(self.registers[instr.ra])
+        if isinstance(instr, isa.FaaR):
+            return FetchAdd(self.registers[instr.ra], self.registers[instr.rv])
+        if isinstance(instr, isa.StoreR):
+            return Store(self.registers[instr.ra], self.registers[instr.rs])
+        return None
+
+    def poll(self) -> str:
+        """Classify what :meth:`step` would do this cycle, without doing it.
+
+        Returns one of:
+
+        * ``"active"`` — the step changes machine state (consumes a
+          reply, executes an instruction, issues a request, or latches
+          ``halted``) and must run on the real clock;
+        * ``"stall"`` — register-locked: the step would only bump
+          ``stats.stall_cycles`` while waiting for a reply;
+        * ``"issue_stall"`` — PNI refuses the op: the step would only
+          bump ``stats.issue_stall_cycles``;
+        * ``"idle"`` — halted: the step is a pure no-op (any in-flight
+          replies wake the PE through ``pni.completed``).
+        """
+        if self.pni.completed:
+            return "active"
+        if self.halted:
+            return "idle"
+        if self.pc >= len(self.program):
+            return "active"  # the step that latches `halted` is an event
+        instr = self.program[self.pc]
+        if self._blocked(instr):
+            return "stall"
+        op = self._next_op(instr)
+        if op is not None and not self.pni.can_issue(op):
+            return "issue_stall"
+        return "active"
+
+    def is_idle(self) -> bool:
+        return self.poll() != "active"
+
+    def fast_forward(self, delta: int) -> None:
+        """Apply the counters ``delta`` skipped steps would have made."""
+        state = self.poll()
+        if state == "stall":
+            self.stats.stall_cycles += delta
+        elif state == "issue_stall":
+            self.stats.issue_stall_cycles += delta
+
 
 @dataclass
 class ProcessorDriver:
@@ -170,3 +224,20 @@ class ProcessorDriver:
 
     def done(self) -> bool:
         return all(p.done() for p in self.processors)
+
+    # ------------------------------------------------------------------
+    # wake contract (event kernel)
+    # ------------------------------------------------------------------
+    def next_event_cycle(self, cycle: int) -> Optional[int]:
+        """Register-locking PEs have no multi-cycle local work: every
+        state change is either due *now* or triggered by a reply (an
+        external stimulus the network/MNI events already cover)."""
+        for processor in self.processors:
+            if not processor.done() and processor.poll() == "active":
+                return cycle
+        return None
+
+    def fast_forward(self, delta: int) -> None:
+        for processor in self.processors:
+            if not processor.done():
+                processor.fast_forward(delta)

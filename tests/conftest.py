@@ -2,6 +2,16 @@
 
 from __future__ import annotations
 
+import sys
+from pathlib import Path
+
+# Make `python -m pytest` work from the repo root without the
+# `PYTHONPATH=src` prefix (the documented invocation keeps working —
+# the insert is a no-op when the path is already present).
+_SRC = str(Path(__file__).resolve().parent.parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
 import pytest
 
 

@@ -1,0 +1,114 @@
+"""Unit tests for the simulation kernels and the component wake contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load
+from repro.core.scheduler import KERNELS, DenseKernel, EventKernel, make_kernel
+
+
+class TestSelection:
+    def test_default_is_dense(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        assert isinstance(machine.kernel, DenseKernel)
+        assert not isinstance(machine.kernel, EventKernel)
+        assert machine.kernel.name == "dense"
+
+    def test_event_selected_by_config(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4, kernel="event"))
+        assert isinstance(machine.kernel, EventKernel)
+        assert machine.kernel.name == "event"
+
+    def test_registry_contents(self):
+        assert set(KERNELS) == {"dense", "event"}
+
+    def test_unknown_kernel_rejected_by_config(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            Ultracomputer(MachineConfig(n_pes=4, kernel="sparse"))
+
+    def test_make_kernel_rejects_unknown_name(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        with pytest.raises(ValueError, match="unknown kernel"):
+            make_kernel("warp", machine)
+
+
+class TestWakeContract:
+    def test_fresh_machine_components_idle(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4))
+        assert all(network.is_idle() for network in machine.networks)
+        assert all(pni.is_idle() for pni in machine.pnis)
+        assert all(mni.is_idle() for mni in machine.mnis)
+        for network in machine.networks:
+            for row in network.stages:
+                for switch in row:
+                    assert switch.is_idle()
+        for module in machine.memory.modules:
+            assert module.is_idle()
+
+    def test_traffic_wakes_and_drain_sleeps(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4, kernel="event"))
+
+        def program(pe_id):
+            yield Load(pe_id)
+
+        machine.spawn_many(4, program)
+        machine.step()  # tick 1 primes the generators (op now pending)
+        machine.step()  # tick 2 issues the ops into the PNIs
+        assert any(not pni.is_idle() for pni in machine.pnis)
+        machine.run()
+        assert all(network.is_idle() for network in machine.networks)
+        assert all(pni.is_idle() for pni in machine.pnis)
+        assert all(mni.is_idle() for mni in machine.mnis)
+
+    def test_next_event_none_on_finished_machine(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4, kernel="event"))
+
+        def program(pe_id):
+            yield Load(0)
+
+        machine.spawn_many(4, program)
+        machine.run()
+        assert machine.kernel._next_event_cycle() is None
+
+    def test_next_event_skips_compute_gap(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4, kernel="event"))
+
+        def program(pe_id):
+            yield 50
+            yield FetchAdd(0, 1)
+
+        machine.spawn_many(4, program)
+        machine.step()  # prime the generators (compute_remaining = 50)
+        nxt = machine.kernel._next_event_cycle()
+        # The interesting tick is the one whose decrement reaches zero.
+        assert nxt == machine.cycle + 50 - 1
+
+
+class TestRunCyclesParity:
+    def test_event_run_cycles_lands_on_exact_cycle(self):
+        for kernel in ("dense", "event"):
+            machine = Ultracomputer(MachineConfig(n_pes=4, kernel=kernel))
+
+            def program(pe_id):
+                yield 30
+                yield FetchAdd(0, 1)
+
+            machine.spawn_many(4, program)
+            machine.run_cycles(10)
+            assert machine.cycle == 10
+            machine.run_cycles(7)
+            assert machine.cycle == 17
+
+    def test_single_step_never_fast_forwards(self):
+        machine = Ultracomputer(MachineConfig(n_pes=4, kernel="event"))
+
+        def program(pe_id):
+            yield 100
+            yield FetchAdd(0, 1)
+
+        machine.spawn_many(4, program)
+        for expected in range(1, 6):
+            machine.step()
+            assert machine.cycle == expected

@@ -83,6 +83,33 @@ class TestDeprecatedShims:
         with pytest.warns(DeprecationWarning):
             assert result.all_finished
 
+    @pytest.mark.parametrize(
+        ("alias", "mirror"),
+        [
+            ("ops_issued", lambda r: r.requests_issued),
+            ("pes", lambda r: len(r.per_pe)),
+            (
+                "finish_times",
+                lambda r: {pe: p.finished_cycle for pe, p in r.per_pe.items()},
+            ),
+            (
+                "return_values",
+                lambda r: {pe: p.return_value for pe, p in r.per_pe.items()},
+            ),
+            (
+                "all_finished",
+                lambda r: all(p.finished for p in r.per_pe.values()),
+            ),
+        ],
+    )
+    def test_every_alias_warns_and_mirrors(self, alias, mirror):
+        """Each deprecated alias must (a) emit DeprecationWarning naming
+        itself and (b) return exactly what the new API returns."""
+        result = _hot_spot_result()
+        with pytest.warns(DeprecationWarning, match=alias):
+            value = getattr(result, alias)
+        assert value == mirror(result)
+
     def test_combining_rate_is_supported(self, recwarn):
         result = _hot_spot_result()
         rate = result.combining_rate

@@ -11,29 +11,31 @@ from __future__ import annotations
 
 from bench_utils import banner
 
-from repro.core.machine import MachineConfig, Ultracomputer
-from repro.core.memory_ops import FetchAdd
+from repro.core.machine import MachineConfig
+from repro.exp import ExperimentSpec, SweepAxis, serial_runner
+
+#: Fetch-and-adds per PE in every ablation run.
+ROUNDS = 6
 
 
-def hotspot(n_pes, *, combining=True, pairwise_only=True, rounds=6):
-    machine = Ultracomputer(
-        MachineConfig(
-            n_pes=n_pes, combining=combining, pairwise_only=pairwise_only
-        )
+def hotspot_sweep(n_pes, axis, values, runner=None, **machine_fields):
+    """One ``machine.hotspot`` spec with a single machine-field axis;
+    returns the run payloads in axis order."""
+    spec = ExperimentSpec(
+        experiment="machine.hotspot",
+        base={"rounds": ROUNDS},
+        machine=MachineConfig(n_pes=n_pes, **machine_fields),
+        axes=(SweepAxis(f"machine.{axis}", tuple(values)),),
     )
-
-    def program(pe_id):
-        for _ in range(rounds):
-            yield FetchAdd(0, 1)
-        return True
-
-    machine.spawn_many(n_pes, program)
-    stats = machine.run()
-    assert machine.peek(0) == n_pes * rounds
-    return stats
+    payloads = (runner or serial_runner()).run(spec).payloads
+    for payload in payloads:
+        # every PE issued all its fetch-and-adds (the counter-correctness
+        # assertion the machine's own tests make on peek(0))
+        assert payload["requests_issued"] == n_pes * ROUNDS
+    return payloads
 
 
-def test_hot_combining_ablation(report, benchmark):
+def test_hot_combining_ablation(report, benchmark, sweep_runner):
     lines = [banner("HOT: combining ablation under hot-spot fetch-and-adds")]
     lines.append(
         f"{'N':>4} | {'rtt(comb)':>10} {'rtt(none)':>10} {'speedup':>8} "
@@ -41,13 +43,16 @@ def test_hot_combining_ablation(report, benchmark):
     )
     speedups = {}
     for n in (4, 8, 16, 32):
-        on = hotspot(n, combining=True)
-        off = hotspot(n, combining=False)
-        speedup = off.mean_round_trip / on.mean_round_trip
+        on, off = hotspot_sweep(
+            n, "combining", (True, False), runner=sweep_runner
+        )
+        speedup = off["mean_round_trip"] / on["mean_round_trip"]
         speedups[n] = speedup
         lines.append(
-            f"{n:>4} | {on.mean_round_trip:>10.1f} {off.mean_round_trip:>10.1f} "
-            f"{speedup:>8.2f} | {on.memory_accesses:>10} {off.memory_accesses:>10}"
+            f"{n:>4} | {on['mean_round_trip']:>10.1f} "
+            f"{off['mean_round_trip']:>10.1f} "
+            f"{speedup:>8.2f} | {on['memory_accesses']:>10} "
+            f"{off['memory_accesses']:>10}"
         )
     report("\n".join(lines))
 
@@ -55,24 +60,30 @@ def test_hot_combining_ablation(report, benchmark):
     assert speedups[32] > speedups[4]
     assert speedups[32] > 3.0
 
-    benchmark.pedantic(hotspot, args=(16,), rounds=3, iterations=1)
+    benchmark.pedantic(
+        hotspot_sweep, args=(16, "combining", (True,)), rounds=3, iterations=1
+    )
 
 
-def test_hot_pairwise_vs_unlimited(report, benchmark):
+def test_hot_pairwise_vs_unlimited(report, benchmark, sweep_runner):
     """Pairwise-only combining (the paper's simplified switch) versus
     unlimited in-switch combining: pairwise already captures most of the
     benefit because combining trees form *across stages*."""
     lines = [banner("HOT companion: pairwise-only vs unlimited combining")]
     lines.append(f"{'N':>4} | {'mem(pairwise)':>14} {'mem(unlimited)':>15}")
-    benchmark.pedantic(hotspot, args=(8,), kwargs={'pairwise_only': False}, rounds=1, iterations=1)
+    benchmark.pedantic(
+        hotspot_sweep, args=(8, "pairwise_only", (False,)),
+        rounds=1, iterations=1,
+    )
     for n in (8, 16, 32):
-        pairwise = hotspot(n, pairwise_only=True)
-        unlimited = hotspot(n, pairwise_only=False)
+        pairwise, unlimited = hotspot_sweep(
+            n, "pairwise_only", (True, False), runner=sweep_runner
+        )
         lines.append(
-            f"{n:>4} | {pairwise.memory_accesses:>14} "
-            f"{unlimited.memory_accesses:>15}"
+            f"{n:>4} | {pairwise['memory_accesses']:>14} "
+            f"{unlimited['memory_accesses']:>15}"
         )
         # both collapse each simultaneous wave to ~one access (6 waves)
-        assert pairwise.memory_accesses <= 8
-        assert unlimited.memory_accesses <= pairwise.memory_accesses
+        assert pairwise["memory_accesses"] <= 8
+        assert unlimited["memory_accesses"] <= pairwise["memory_accesses"]
     report("\n".join(lines))

@@ -13,6 +13,8 @@ configurations and asserts the paper's reading of the figure:
 
 from __future__ import annotations
 
+from functools import partial
+
 import pytest
 from bench_utils import banner
 
@@ -50,9 +52,11 @@ def figure7_table() -> str:
     return "\n".join(lines)
 
 
-def test_fig7_series(report, benchmark):
+def test_fig7_series(report, benchmark, sweep_runner):
+    # One ExperimentSpec (fig7.design_curve over the design axis),
+    # executed through the shared engine.
     report(figure7_table())
-    series = benchmark(figure7_series)
+    series = benchmark(partial(figure7_series, runner=sweep_runner))
     assert len(series) == len(FIGURE7_DESIGNS)
 
     # Paper reading 1: 4x4 duplexed best at reasonable intensity.

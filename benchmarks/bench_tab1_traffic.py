@@ -24,7 +24,7 @@ from __future__ import annotations
 from bench_utils import banner
 
 from repro.apps import poisson, tred2, weather
-from repro.apps.traces import Table1Row, replay
+from repro.apps.traces import Table1Row
 from repro.network.stochastic import StochasticConfig, StochasticNetwork
 
 PAPER_ROWS = {
@@ -44,16 +44,18 @@ def build_all_traces():
     ]
 
 
-def run_table1() -> list[Table1Row]:
-    rows = []
-    for name, traces in build_all_traces():
-        network = StochasticNetwork(StochasticConfig(seed=1))
-        rows.append(replay(name, traces, network))
-    return rows
+def run_table1(runner=None) -> list[Table1Row]:
+    """The Table 1 sweep as an ExperimentSpec through the engine."""
+    from repro.exp import serial_runner, table1_spec
+
+    result = (runner or serial_runner()).run(table1_spec(seed=1))
+    return [Table1Row(**payload) for payload in result.payloads]
 
 
-def test_tab1_traffic(report, benchmark):
-    rows = benchmark.pedantic(run_table1, rounds=1, iterations=1)
+def test_tab1_traffic(report, benchmark, sweep_runner):
+    rows = benchmark.pedantic(
+        run_table1, args=(sweep_runner,), rounds=1, iterations=1
+    )
 
     lines = [banner("TAB1: network traffic and performance (Table 1)")]
     lines.append(Table1Row.header() + "   | paper: avgCM idle% idl/ld")

@@ -38,14 +38,18 @@ MEASURED_PAIRS = [
 ]
 
 
-def fit_model():
-    samples = collect_samples(MEASURED_PAIRS, seed=11)
+def fit_model(runner=None):
+    # The measurement sweep is a tred2_spec run through the engine
+    # (collect_samples builds it); pass a runner to parallelize/cache.
+    samples = collect_samples(MEASURED_PAIRS, seed=11, runner=runner)
     model = fit_cost_model(samples)
     return model, samples
 
 
-def test_tab2_efficiency_table(report, benchmark):
-    model, samples = benchmark.pedantic(fit_model, rounds=1, iterations=1)
+def test_tab2_efficiency_table(report, benchmark, sweep_runner):
+    model, samples = benchmark.pedantic(
+        fit_model, args=(sweep_runner,), rounds=1, iterations=1
+    )
 
     table = efficiency_table(model, include_waiting=True)
     measured = {(n, p) for p, n in MEASURED_PAIRS}

@@ -27,17 +27,17 @@ from repro.apps.tred2 import collect_samples
 from bench_tab2_efficiency import MEASURED_PAIRS
 
 
-def build_tables():
-    samples = collect_samples(MEASURED_PAIRS, seed=11)
+def build_tables(runner=None):
+    samples = collect_samples(MEASURED_PAIRS, seed=11, runner=runner)
     model = fit_cost_model(samples)
     with_wait = efficiency_table(model, include_waiting=True)
     without_wait = efficiency_table(model, include_waiting=False)
     return model, with_wait, without_wait
 
 
-def test_tab3_projected_efficiencies(report, benchmark):
+def test_tab3_projected_efficiencies(report, benchmark, sweep_runner):
     model, with_wait, without_wait = benchmark.pedantic(
-        build_tables, rounds=1, iterations=1
+        build_tables, args=(sweep_runner,), rounds=1, iterations=1
     )
     report(
         banner("TAB3: projected efficiencies without waiting time (Table 3)")

@@ -9,17 +9,10 @@ regression in the reproduction fails the harness, not just the eye.
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-# Same ergonomics as tests/conftest.py: let `python -m pytest benchmarks/`
-# work from the repo root without the `PYTHONPATH=src` prefix.
-_SRC = str(Path(__file__).resolve().parent.parent / "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
-
 import pytest
 
+# The `src` sys.path shim lives in the repo-root conftest.py, shared
+# with tests/; pytest loads it before this file.
 from bench_utils import banner  # noqa: F401  (re-exported for plugins)
 
 
@@ -32,3 +25,19 @@ def report(capsys):
             print(text)
 
     return _report
+
+
+@pytest.fixture
+def sweep_runner():
+    """The engine the sweep-shaped benchmarks execute their specs on.
+
+    Serial and uncached by default so the timings measure simulation
+    work, not pool startup or cache hits; set ``REPRO_BENCH_WORKERS``
+    to fan a local benchmark run out over worker processes.
+    """
+    import os
+
+    from repro.exp import NullCache, SweepRunner
+
+    workers = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
+    return SweepRunner(workers=workers, cache=NullCache())

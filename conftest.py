@@ -1,0 +1,24 @@
+"""Repo-root pytest bootstrap.
+
+One shared ``sys.path`` shim for every suite (tests/, benchmarks/):
+CI installs the package editable, so importing ``repro`` normally just
+works; the shim is the fallback that lets ``python -m pytest`` run from
+a bare checkout without ``PYTHONPATH=src``.  pytest loads this root
+conftest before the per-suite ones, so the path is in place before any
+test module imports ``repro``.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+
+def ensure_src_on_path() -> None:
+    """Idempotently put ``<repo>/src`` at the front of ``sys.path``."""
+    src = str(Path(__file__).resolve().parent / "src")
+    if src not in sys.path:
+        sys.path.insert(0, src)
+
+
+ensure_src_on_path()

@@ -8,10 +8,11 @@ measured entries, packaged for any user workload.
 Run:  python examples/scaling_study.py
 """
 
-from repro.apps.harness import run_study
+from repro.apps.harness import register_workload, run_study
 from repro.core.memory_ops import FetchAdd, Load, Store
 
 
+@register_workload("stencil-3pt")
 def stencil_workload(processors, size):
     """A 1-D three-point smoothing pass over `size` cells: work items
     are dealt out by fetch-and-add; each item reads three shared cells
@@ -37,8 +38,11 @@ def stencil_workload(processors, size):
 
 
 def main() -> None:
+    # Registered workloads run by name through the experiment engine
+    # (repro.exp), so the grid can fan out over worker processes —
+    # pass runner=SweepRunner(workers=N) — and cache its points.
     study = run_study(
-        stencil_workload,
+        "stencil-3pt",
         name="3-point stencil (F&A self-scheduled)",
         processor_counts=[1, 2, 4, 8, 16],
         sizes=[64, 256, 1024],

@@ -24,7 +24,11 @@ Public entry points:
 * :mod:`repro.analysis` — the analytic network-performance and
   packaging models (sections 3.6 and 4.1);
 * :mod:`repro.apps` — the scientific workloads of the evaluation
-  (TRED2, weather PDE, multigrid Poisson, Monte Carlo).
+  (TRED2, weather PDE, multigrid Poisson, Monte Carlo);
+* :mod:`repro.exp` — the experiment subsystem: declarative
+  :class:`~repro.exp.ExperimentSpec` sweeps executed by a parallel
+  :class:`~repro.exp.SweepRunner` over a content-addressed result
+  cache (what ``python -m repro fig7/table1/table2/hotspot`` run on).
 
 Stability contract
 ------------------
@@ -73,7 +77,7 @@ from .instrumentation import (
     TraceEvent,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     # machine models and configuration

@@ -85,17 +85,28 @@ def figure7_series(
     n: int = 4096,
     designs: tuple[NetworkDesign, ...] = FIGURE7_DESIGNS,
     p_grid: tuple[float, ...] = FIGURE7_P_GRID,
+    *,
+    runner=None,
 ) -> dict[str, list[tuple[float, float]]]:
-    """The Figure 7 curves: per design, (p, T) points within capacity."""
-    series: dict[str, list[tuple[float, float]]] = {}
-    for design in designs:
-        points = [
-            (p, design.transit_time(p, n))
-            for p in p_grid
-            if p < design.capacity * 0.999
+    """The Figure 7 curves: per design, (p, T) points within capacity.
+
+    The computation itself lives in the ``fig7.design_curve`` point
+    function of :mod:`repro.exp.experiments`; this wrapper builds the
+    spec and executes it.  By default that happens in-process with no
+    cache (a pure function, as before); pass a configured
+    :class:`~repro.exp.SweepRunner` to fan the designs out over worker
+    processes and/or memoize them on disk, as the CLI does.
+    """
+    from ..exp import figure7_spec, serial_runner
+
+    spec = figure7_spec(n=n, designs=designs, p_grid=p_grid)
+    result = (runner or serial_runner()).run(spec)
+    return {
+        payload["label"]: [
+            (point["p"], point["transit_time"]) for point in payload["points"]
         ]
-        series[design.label()] = points
-    return series
+        for payload in result.payloads
+    }
 
 
 def best_design_at(

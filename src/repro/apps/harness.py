@@ -17,12 +17,71 @@ spawned once per PE.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Dict, Optional, Union
 
+from ..core.memory_ops import FetchAdd
 from ..core.paracomputer import Paracomputer
 
 #: setup(machine) -> None; returns the per-PE program and its args.
 WorkloadFactory = Callable[..., tuple[Callable, Callable, tuple]]
+
+#: Registered workloads: name -> factory.  A *named* workload can cross
+#: a process boundary, so the experiment engine can fan its (P, size)
+#: grid out over workers and cache the points; see :func:`run_study`.
+_WORKLOADS: Dict[str, WorkloadFactory] = {}
+
+
+def register_workload(name: str) -> Callable[[WorkloadFactory], WorkloadFactory]:
+    """Register a workload factory under a stable name.
+
+    ::
+
+        @register_workload("stencil")
+        def stencil_workload(processors, size):
+            ...
+
+    Registered names can be passed to :func:`run_study` (and to
+    :func:`repro.exp.experiments.scaling_spec`) in place of the factory
+    itself, unlocking parallel execution and result caching.
+    """
+
+    def decorate(factory: WorkloadFactory) -> WorkloadFactory:
+        existing = _WORKLOADS.get(name)
+        if existing is not None and existing is not factory:
+            raise ValueError(f"workload {name!r} already registered")
+        _WORKLOADS[name] = factory
+        return factory
+
+    return decorate
+
+
+def resolve_workload(name: str) -> WorkloadFactory:
+    try:
+        return _WORKLOADS[name]
+    except KeyError:
+        known = ", ".join(sorted(_WORKLOADS)) or "(none)"
+        raise KeyError(
+            f"no workload named {name!r}; registered: {known}"
+        ) from None
+
+
+@register_workload("faa-counter")
+def faa_counter_workload(processors: int, size: int):
+    """Built-in reference workload: ``size`` fetch-and-add work items
+    dealt out by a shared dispenser — pure self-scheduling overhead,
+    the harness's smallest meaningful subject."""
+
+    def setup(machine) -> None:
+        machine.poke(0, 0)
+
+    def program(pe_id, items):
+        while True:
+            item = yield FetchAdd(0, 1)
+            if item >= items:
+                return pe_id
+            yield 2  # the work
+
+    return setup, program, (size,)
 
 
 @dataclass(frozen=True)
@@ -105,16 +164,60 @@ def run_point(
 
 
 def run_study(
-    factory: WorkloadFactory,
+    factory: Union[WorkloadFactory, str],
     *,
-    name: str,
+    name: Optional[str] = None,
     processor_counts: list[int],
     sizes: list[int],
     seed: int = 0,
     max_cycles: int = 10_000_000,
+    runner=None,
 ) -> ScalingStudy:
     """Measure the full grid (include 1 in ``processor_counts`` so the
-    efficiency table has its serial baselines)."""
+    efficiency table has its serial baselines).
+
+    ``factory`` is either a workload factory callable or the *name* of
+    a workload registered with :func:`register_workload`.  Named
+    workloads run through the experiment engine — one ``scaling.point``
+    sweep over the (size, processors) grid — so a configured
+    :class:`~repro.exp.SweepRunner` can spread the grid over worker
+    processes and memoize the points; the default runner is in-process
+    and uncached, reproducing the old serial loop exactly.  Callables
+    cannot cross a process boundary, so they always run in-process.
+    """
+    if isinstance(factory, str):
+        workload_name = factory
+        resolve_workload(workload_name)  # fail fast on typos
+        display_name = name or workload_name
+        from ..exp import scaling_spec, serial_runner
+
+        spec = scaling_spec(
+            workload_name,
+            processor_counts,
+            sizes,
+            seed=seed,
+            max_cycles=max_cycles,
+        )
+        result = (runner or serial_runner()).run(spec)
+        study = ScalingStudy(workload_name=display_name)
+        for payload in result.payloads:
+            key = (payload["processors"], payload["size"])
+            study.points[key] = ScalingPoint(
+                processors=payload["processors"],
+                size=payload["size"],
+                cycles=payload["cycles"],
+                ops_issued=payload["ops_issued"],
+            )
+        return study
+
+    if runner is not None:
+        raise ValueError(
+            "a custom runner requires a *registered* workload name "
+            "(callables cannot cross process boundaries); register the "
+            "factory with register_workload() and pass its name"
+        )
+    if name is None:
+        raise ValueError("run_study needs name= when given a bare callable")
     study = ScalingStudy(workload_name=name)
     for size in sizes:
         for processors in processor_counts:

@@ -380,10 +380,29 @@ def measure(
 
 
 def collect_samples(
-    pairs: list[tuple[int, int]], *, seed: int = 0
+    pairs: list[tuple[int, int]], *, seed: int = 0, runner=None
 ) -> list[Tred2Sample]:
-    """Measure a list of (P, N) pairs — Table 2's 'measured' entries."""
-    return [measure(p, n, seed=seed)[0] for p, n in pairs]
+    """Measure a list of (P, N) pairs — Table 2's 'measured' entries.
+
+    Executed through the experiment engine: each pair is one sweep
+    point of a ``tred2.measure`` spec.  The default runner is
+    in-process and uncached (byte-for-byte the old serial loop); pass a
+    :class:`~repro.exp.SweepRunner` to parallelize the pairs over
+    worker processes and cache them on disk — these are the most
+    expensive points in the repository, and they memoize well.
+    """
+    from ..exp import serial_runner, tred2_spec
+
+    result = (runner or serial_runner()).run(tred2_spec(pairs, seed=seed))
+    return [
+        Tred2Sample(
+            processors=payload["processors"],
+            matrix_size=payload["matrix_size"],
+            total_time=payload["total_time"],
+            waiting_time=payload["waiting_time"],
+        )
+        for payload in result.payloads
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -4,7 +4,7 @@
 
     python -m repro demo [--json]       # the quickstart story
     python -m repro fig7 [--json]       # Figure 7 transit-time curves
-    python -m repro table1              # Table 1 traffic study
+    python -m repro table1 [--json]     # Table 1 traffic study
     python -m repro table2 [--quick]    # Tables 2 and 3 (fit + project)
     python -m repro packaging           # section 3.6 chip/board budget
     python -m repro hotspot [--pes N]   # combining ablation
@@ -14,84 +14,161 @@
 
 Each subcommand prints the same table the corresponding benchmark
 asserts on; the CLI exists so a reader can poke at the reproduction
-without learning pytest.  ``--json`` (where offered) emits the same
-data machine-readably via :func:`repro.reporting.render_json`.
+without learning pytest.
+
+The sweep-shaped subcommands (``fig7``, ``table1``, ``table2``,
+``hotspot``) are thin :class:`~repro.exp.ExperimentSpec` definitions
+executed through the shared :class:`~repro.exp.SweepRunner`, so they
+all understand the same execution flags: ``--workers N`` fans the sweep
+over a process pool, results land in the content-addressed cache (a
+rerun is a near-instant cache hit), ``--refresh`` recomputes and
+overwrites, ``--no-cache`` bypasses the cache entirely, and
+``--cache-dir`` relocates it.  The machine-run subcommands accept
+``--seed`` (0, the default, is the paper's lockstep start; any other
+value staggers PE start times reproducibly).
+
+``--json`` (where offered) emits one uniform envelope via
+:func:`repro.reporting.json_envelope`: ``schema_version``, ``command``,
+the spec echo, sweep bookkeeping, and the payload under ``results``.
 """
 
 from __future__ import annotations
 
 import argparse
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 
+# ----------------------------------------------------------------------
+# shared flag groups and helpers
+# ----------------------------------------------------------------------
+def _add_sweep_flags(sub: argparse.ArgumentParser) -> None:
+    """Execution flags shared by every engine-backed subcommand."""
+    group = sub.add_argument_group("sweep execution")
+    group.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="worker processes for the sweep "
+                            "(default: 1; >1 uses a process pool)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache entirely")
+    group.add_argument("--refresh", action="store_true",
+                       help="recompute every point, overwriting cache entries")
+    group.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: $REPRO_EXP_CACHE or "
+                            "~/.cache/repro/exp)")
+
+
+def _add_seed_flag(sub: argparse.ArgumentParser, default: int = 0) -> None:
+    sub.add_argument("--seed", type=int, default=default,
+                     help="experiment seed (0 = lockstep PE start; other "
+                          "values stagger start times reproducibly) "
+                          f"[default: {default}]")
+
+
+def _make_runner(args: argparse.Namespace):
+    """Build the SweepRunner a subcommand's flags describe."""
+    from repro.exp import NullCache, ResultCache, SweepRunner
+
+    if args.no_cache:
+        cache = NullCache()
+    else:
+        cache = ResultCache(args.cache_dir)
+    # The CLI default is one in-process worker: identical to the
+    # pre-engine serial code path, and no pool startup cost for the
+    # small default sweeps.  --workers N opts into the pool.
+    workers = args.workers if args.workers is not None else 1
+    return SweepRunner(workers=workers, cache=cache, refresh=args.refresh)
+
+
+def _emit_envelope(command: str, results: Any, *, spec: Any = None,
+                   sweep: Any = None, extra: Optional[dict] = None) -> int:
+    from repro.reporting import json_envelope, render_json
+
+    print(render_json(json_envelope(
+        command, results, spec=spec, sweep=sweep, extra=extra
+    )))
+    return 0
+
+
+def _metric_by_stage(metrics: list[dict], name: str) -> dict[int, int]:
+    """Per-stage counter table from a payload's metrics sample list."""
+    out: dict[int, int] = {}
+    for sample in metrics:
+        if sample["name"] != name or sample["kind"] != "counter":
+            continue
+        stage = sample["labels"].get("stage")
+        if stage is None:
+            continue
+        stage = int(stage)
+        out[stage] = out.get(stage, 0) + sample["value"]
+    return out
+
+
+def _metric_histogram(metrics: list[dict], name: str) -> Optional[dict]:
+    for sample in metrics:
+        if sample["name"] == name and sample["kind"] == "histogram":
+            return sample["value"]
+    return None
+
+
+def _histogram_quantile(hist: dict, q: float):
+    """Bucket-resolution quantile of a serialized histogram (mirrors
+    :meth:`repro.instrumentation.HistogramData.quantile`)."""
+    target = q * hist["count"]
+    cumulative = 0
+    for bucket in hist["buckets"]:
+        cumulative += bucket["count"]
+        if cumulative >= target and bucket["le"] is not None:
+            return bucket["le"]
+    return hist["max"]
+
+
+# ----------------------------------------------------------------------
+# subcommands
+# ----------------------------------------------------------------------
 def _cmd_demo(args: argparse.Namespace) -> int:
-    from repro import FetchAdd, MachineConfig, Ultracomputer
+    from repro.exp import execute
 
-    def ticket_taker(pe_id, counter, tickets):
-        claimed = []
-        for _ in range(tickets):
-            claimed.append((yield FetchAdd(counter, 1)))
-        return claimed
-
-    machine = Ultracomputer(MachineConfig(n_pes=args.pes))
-    machine.spawn_many(args.pes, ticket_taker, 0, 4)
-    stats = machine.run()
+    payload = execute("machine.demo",
+                      {"pes": args.pes, "tickets": 4, "seed": args.seed})
     if args.json:
-        from repro.reporting import render_json
-
-        payload = stats.to_dict()
-        payload["final_counter"] = machine.peek(0)
-        print(render_json(payload))
-        return 0
+        return _emit_envelope("demo", payload)
     print(f"{args.pes} PEs each claimed 4 tickets from one shared counter")
-    print(f"  final counter:     {machine.peek(0)}")
-    print(f"  requests issued:   {stats.requests_issued}")
-    print(f"  combined en route: {stats.combines}")
-    print(f"  memory accesses:   {stats.memory_accesses}")
-    print(f"  mean round trip:   {stats.mean_round_trip:.1f} cycles")
+    print(f"  final counter:     {payload['final_counter']}")
+    print(f"  requests issued:   {payload['requests_issued']}")
+    print(f"  combined en route: {payload['combines']}")
+    print(f"  memory accesses:   {payload['memory_accesses']}")
+    print(f"  mean round trip:   {payload['mean_round_trip']:.1f} cycles")
     return 0
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    from repro.analysis.configurations import FIGURE7_DESIGNS
-
-    if args.json:
-        from repro.analysis.configurations import figure7_series
-        from repro.reporting import render_json
-
-        series_map = figure7_series(n=args.n)
-        payload = {
-            "n": args.n,
-            "series": [
-                {
-                    "label": design.label(),
-                    "points": [
-                        {"p": p, "transit_time": t}
-                        for p, t in series_map[design.label()]
-                    ],
-                }
-                for design in FIGURE7_DESIGNS
-            ],
-        }
-        print(render_json(payload))
-        return 0
+    from repro.exp import figure7_spec
 
     if args.plot:
         from repro.reporting import figure7_ascii
 
-        print(figure7_ascii(n=args.n))
+        print(figure7_ascii(n=args.n, runner=_make_runner(args)))
         return 0
 
+    spec = figure7_spec(n=args.n)
+    result = _make_runner(args).run(spec)
+    designs = result.payloads
+    if args.json:
+        return _emit_envelope("fig7", designs, spec=spec, sweep=result)
+
     print(f"Figure 7: transit time vs traffic intensity (n={args.n})")
-    header = f"{'p':>6} | " + " ".join(f"{d.label():>14}" for d in FIGURE7_DESIGNS)
+    header = f"{'p':>6} | " + " ".join(
+        f"{d['label']:>14}" for d in designs
+    )
     print(header)
     print("-" * len(header))
+    curves = [{pt["p"]: pt["transit_time"] for pt in d["points"]}
+              for d in designs]
     for i in range(0, 33, 4):
         p = i / 100
         cells = []
-        for design in FIGURE7_DESIGNS:
-            if p < design.capacity * 0.999:
-                cells.append(f"{design.transit_time(p, args.n):>14.2f}")
+        for curve in curves:
+            if p in curve:
+                cells.append(f"{curve[p]:>14.2f}")
             else:
                 cells.append(f"{'sat':>14}")
         print(f"{p:>6.2f} | " + " ".join(cells))
@@ -99,21 +176,19 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    from repro.apps import poisson, tred2, weather
-    from repro.apps.traces import Table1Row, replay
+    from repro.apps.traces import Table1Row
+    from repro.exp import table1_spec
     from repro.network.stochastic import StochasticConfig, StochasticNetwork
 
-    workloads = [
-        ("weather-16", weather.build_traces(16, 8, 16)),
-        ("weather-48", weather.build_traces(48, 4, 48)),
-        ("tred2-16", tred2.build_traces(32, 16)),
-        ("poisson-16", poisson.build_traces(32, 2, 16)),
-    ]
+    spec = table1_spec(seed=args.seed)
+    result = _make_runner(args).run(spec)
+    if args.json:
+        return _emit_envelope("table1", result.payloads,
+                              spec=spec, sweep=result)
     print("Table 1: network traffic and performance")
     print(Table1Row.header())
-    for name, traces in workloads:
-        network = StochasticNetwork(StochasticConfig(seed=1))
-        print(replay(name, traces, network).formatted())
+    for payload in result.payloads:
+        print(Table1Row(**payload).formatted())
     minimum = StochasticNetwork(StochasticConfig()).minimum_round_trip() / 2
     print(f"(minimum CM access time = {minimum:.0f} instruction times)")
     return 0
@@ -135,9 +210,32 @@ def _cmd_table2(args: argparse.Namespace) -> int:
             (2, 12), (2, 16), (4, 12), (4, 16), (4, 20),
             (8, 16), (8, 20), (8, 24), (16, 16), (16, 24),
         ]
-    print(f"simulating {len(pairs)} (P, N) pairs on the paracomputer ...")
-    samples = collect_samples(pairs, seed=11)
+    if not args.json:
+        print(f"simulating {len(pairs)} (P, N) pairs on the paracomputer ...")
+    samples = collect_samples(pairs, seed=args.seed, runner=_make_runner(args))
     model = fit_cost_model(samples)
+    if args.json:
+        from repro.exp import tred2_spec
+
+        results = {
+            "model": {
+                "overhead": model.overhead,
+                "work": model.work,
+                "wait_n": model.wait_n,
+                "wait_p": model.wait_p,
+            },
+            "samples": [
+                {
+                    "processors": s.processors,
+                    "matrix_size": s.matrix_size,
+                    "total_time": s.total_time,
+                    "waiting_time": s.waiting_time,
+                }
+                for s in samples
+            ],
+        }
+        return _emit_envelope("table2", results,
+                              spec=tred2_spec(pairs, seed=args.seed))
     measured = {(n, p) for p, n in pairs}
     print(f"fitted: T = {model.overhead:.1f} N + {model.work:.2f} N^3/P + W")
     print("\nTable 2 (with waiting):")
@@ -155,59 +253,77 @@ def _cmd_packaging(args: argparse.Namespace) -> int:
     from repro.analysis.packaging import package_machine
 
     report = package_machine(args.pes)
+    rows = report.summary_rows()
+    if args.json:
+        return _emit_envelope(
+            "packaging",
+            [{"label": label, "value": value} for label, value in rows],
+            extra={"pes": args.pes},
+        )
     print(f"packaging the {args.pes}-PE machine (section 3.6):")
-    for label, value in report.summary_rows():
+    for label, value in rows:
         print(f"  {label:<32} {value}")
     return 0
 
 
-def _run_hot_spot(pes: int, *, combining: bool = True, rounds: int = 4,
-                  trace_capacity: int = 0):
-    """One instrumented hot-spot run: every PE fetch-and-adds one cell."""
-    from repro import FetchAdd, MachineConfig, Ultracomputer
-
-    machine = Ultracomputer(MachineConfig(
-        n_pes=pes,
-        combining=combining,
-        instrument=True,
-        trace_capacity=trace_capacity,
-    ))
-
-    def program(pe_id):
-        for _ in range(rounds):
-            yield FetchAdd(0, 1)
-
-    machine.spawn_many(pes, program)
-    return machine.run()
-
-
 def _cmd_hotspot(args: argparse.Namespace) -> int:
-    on = _run_hot_spot(args.pes, combining=True)
-    off = _run_hot_spot(args.pes, combining=False)
+    from repro.exp import hotspot_spec
+
+    spec = hotspot_spec(pes=args.pes, seed=args.seed)
+    result = _make_runner(args).run(spec)
+    # Axis order in the spec is (combining=True, combining=False).
+    on, off = result.payloads
+    if args.json:
+        return _emit_envelope(
+            "hotspot", {"combining": on, "serialized": off},
+            spec=spec, sweep=result,
+        )
     print(f"hot-spot fetch-and-adds, {args.pes} PEs x 4 rounds:")
     print(f"  {'':>12} {'combining':>10} {'serialized':>11}")
-    print(f"  {'mem access':>12} {on.memory_accesses:>10} {off.memory_accesses:>11}")
-    print(f"  {'mean rtt':>12} {on.mean_round_trip:>10.1f} {off.mean_round_trip:>11.1f}")
-    by_stage = on.metrics.by_label("network.combines", "stage")
+    print(f"  {'mem access':>12} {on['memory_accesses']:>10} "
+          f"{off['memory_accesses']:>11}")
+    print(f"  {'mean rtt':>12} {on['mean_round_trip']:>10.1f} "
+          f"{off['mean_round_trip']:>11.1f}")
+    by_stage = _metric_by_stage(on["metrics"], "network.combines")
     if by_stage:
         stages = " ".join(
             f"stage{stage}={count}" for stage, count in sorted(by_stage.items())
         )
         print(f"  combines by switch stage (combining on): {stages}")
-    rtt = on.metrics.histogram("machine.round_trip_cycles")
-    if rtt is not None and rtt.count:
-        print(f"  round-trip histogram (combining on): count={rtt.count} "
-              f"mean={rtt.mean:.1f} p90<={rtt.quantile(0.9)} max={rtt.max_value}")
+    rtt = _metric_histogram(on["metrics"], "machine.round_trip_cycles")
+    if rtt is not None and rtt["count"]:
+        print(f"  round-trip histogram (combining on): count={rtt['count']} "
+              f"mean={rtt['mean']:.1f} p90<={_histogram_quantile(rtt, 0.9)} "
+              f"max={rtt['max']}")
     return 0
 
 
-def _cmd_stats(args: argparse.Namespace) -> int:
-    stats = _run_hot_spot(args.pes, rounds=args.rounds)
-    if args.json:
-        from repro.reporting import render_json
+def _run_hot_spot(pes: int, *, rounds: int = 4, trace_capacity: int = 0,
+                  seed: int = 0):
+    """One instrumented hot-spot run, returning the live RunResult.
 
-        print(render_json(stats.to_dict()))
-        return 0
+    ``stats`` and ``trace`` want the real :class:`MetricsSnapshot` and
+    trace-event objects (for table rendering), so they run the machine
+    in-process; the machine itself is assembled by the same
+    :func:`repro.exp.build_hotspot_machine` the cached ``hotspot``
+    sweep uses, keeping the two paths identical.
+    """
+    from repro.core.machine import MachineConfig
+    from repro.exp import build_hotspot_machine
+
+    config = MachineConfig(
+        n_pes=pes, instrument=True, trace_capacity=trace_capacity
+    )
+    machine = build_hotspot_machine({
+        "machine": config.to_dict(), "rounds": rounds, "seed": seed,
+    })
+    return machine.run()
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    stats = _run_hot_spot(args.pes, rounds=args.rounds, seed=args.seed)
+    if args.json:
+        return _emit_envelope("stats", stats.to_dict())
     from repro.reporting import format_metrics
 
     print(f"instrumented hot-spot run, {args.pes} PEs x {args.rounds} "
@@ -224,23 +340,21 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     stats = _run_hot_spot(
-        args.pes, rounds=args.rounds, trace_capacity=args.capacity
+        args.pes, rounds=args.rounds, trace_capacity=args.capacity,
+        seed=args.seed,
     )
     events = stats.trace or []
     if args.limit is not None:
         events = events[: args.limit]
     if args.json:
-        from repro.reporting import render_json
-
-        print(render_json([
+        return _emit_envelope("trace", [
             {k: v for k, v in (
                 ("kind", e.kind), ("cycle", e.cycle), ("tag", e.tag),
                 ("pe", e.pe), ("stage", e.stage), ("mm", e.mm),
                 ("value", e.value),
             ) if v is not None}
             for e in events
-        ]))
-        return 0
+        ])
     print(f"cycle trace, {args.pes} PEs x {args.rounds} hot-spot "
           f"fetch-and-adds ({len(events)} events shown):")
     for e in events:
@@ -257,10 +371,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 def _cmd_queue(args: argparse.Namespace) -> int:
     from repro.workloads.queue_race import lock_free_run, locked_run
 
+    rows = [(n, lock_free_run(n), locked_run(n)) for n in (2, 4, 8, 16)]
+    if args.json:
+        return _emit_envelope("queue", [
+            {"pes": n, "lock_free": lf, "locked": lk} for n, lf, lk in rows
+        ])
     print("parallel queue vs spin-locked queue (cycles, 8 ops/PE):")
     print(f"  {'PEs':>4} {'lock-free':>10} {'locked':>8}")
-    for n in (2, 4, 8, 16):
-        print(f"  {n:>4} {lock_free_run(n):>10} {locked_run(n):>8}")
+    for n, lock_free, locked in rows:
+        print(f"  {n:>4} {lock_free:>10} {locked:>8}")
     return 0
 
 
@@ -274,6 +393,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="combining quickstart")
     demo.add_argument("--pes", type=int, default=8)
+    _add_seed_flag(demo)
     demo.add_argument("--json", action="store_true",
                       help="emit the RunResult as JSON")
     demo.set_defaults(fn=_cmd_demo)
@@ -284,22 +404,37 @@ def build_parser() -> argparse.ArgumentParser:
                       help="ASCII plot instead of a table")
     fig7.add_argument("--json", action="store_true",
                       help="emit the curves as JSON")
+    _add_sweep_flags(fig7)
     fig7.set_defaults(fn=_cmd_fig7)
 
     table1 = subparsers.add_parser("table1", help="Table 1 traffic study")
+    _add_seed_flag(table1, default=1)
+    table1.add_argument("--json", action="store_true",
+                        help="emit the rows as JSON")
+    _add_sweep_flags(table1)
     table1.set_defaults(fn=_cmd_table1)
 
     table2 = subparsers.add_parser("table2", help="Tables 2 and 3")
     table2.add_argument("--quick", action="store_true",
                         help="fewer simulated (P, N) pairs")
+    _add_seed_flag(table2, default=11)
+    table2.add_argument("--json", action="store_true",
+                        help="emit the fitted model and samples as JSON")
+    _add_sweep_flags(table2)
     table2.set_defaults(fn=_cmd_table2)
 
     packaging = subparsers.add_parser("packaging", help="section 3.6 budget")
     packaging.add_argument("--pes", type=int, default=4096)
+    packaging.add_argument("--json", action="store_true",
+                           help="emit the budget rows as JSON")
     packaging.set_defaults(fn=_cmd_packaging)
 
     hotspot = subparsers.add_parser("hotspot", help="combining ablation")
     hotspot.add_argument("--pes", type=int, default=16)
+    _add_seed_flag(hotspot)
+    hotspot.add_argument("--json", action="store_true",
+                         help="emit both runs' RunResults as JSON")
+    _add_sweep_flags(hotspot)
     hotspot.set_defaults(fn=_cmd_hotspot)
 
     stats = subparsers.add_parser(
@@ -308,6 +443,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--pes", type=int, default=16)
     stats.add_argument("--rounds", type=int, default=4,
                        help="fetch-and-adds per PE")
+    _add_seed_flag(stats)
     stats.add_argument("--json", action="store_true",
                        help="emit the RunResult (metrics included) as JSON")
     stats.set_defaults(fn=_cmd_stats)
@@ -322,11 +458,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace ring-buffer capacity")
     trace.add_argument("--limit", type=int, default=None,
                        help="print at most N events")
+    _add_seed_flag(trace)
     trace.add_argument("--json", action="store_true",
                        help="emit the events as JSON")
     trace.set_defaults(fn=_cmd_trace)
 
     queue = subparsers.add_parser("queue", help="parallel queue race")
+    queue.add_argument("--json", action="store_true",
+                       help="emit the race table as JSON")
     queue.set_defaults(fn=_cmd_queue)
     return parser
 

@@ -14,8 +14,8 @@ which is exactly the sense in which the paper claims the Ultracomputer
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Any, Optional, Protocol
+from dataclasses import dataclass, fields
+from typing import Any, Mapping, Optional, Protocol
 
 from ..instrumentation import DISABLED, Instrumentation
 from ..memory.hashing import AddressTranslation, make_translation
@@ -170,6 +170,32 @@ class MachineConfig:
                 f"unknown kernel {self.kernel!r}; choose from "
                 f"{sorted(KERNELS)}"
             )
+
+    # -- canonical serialization (the experiment subsystem rides on
+    # this: specs embed machine configs and hash their JSON form) ------
+    def to_dict(self) -> dict[str, Any]:
+        """Every field, in declaration order, as JSON-ready values.
+
+        The inverse of :meth:`from_dict`:
+        ``MachineConfig.from_dict(cfg.to_dict()) == cfg`` for any valid
+        config, and the dict contains only scalars, so its canonical
+        JSON is a stable content address.
+        """
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MachineConfig":
+        """Rebuild a config from :meth:`to_dict` output (or any mapping
+        of field names; unknown keys are rejected, missing ones take
+        their defaults — ``n_pes`` alone is required)."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown MachineConfig field(s) {sorted(unknown)}; "
+                f"known fields: {sorted(known)}"
+            )
+        return cls(**dict(payload))
 
     def network_config(self) -> NetworkConfig:
         return NetworkConfig(

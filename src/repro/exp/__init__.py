@@ -1,0 +1,73 @@
+"""``repro.exp`` — the unified experiment subsystem.
+
+One declarative shape for every artifact the reproduction regenerates:
+
+* :class:`ExperimentSpec` / :class:`SweepAxis` — frozen, hashable sweep
+  descriptions (machine config + workload + seed + axes) that
+  round-trip through ``to_dict``/``from_dict`` and hash to stable
+  content addresses;
+* :class:`SweepRunner` — executes a spec over a ``multiprocessing``
+  pool (``workers=1`` falls back in-process), streaming results back as
+  points complete and resuming partial sweeps from the cache;
+* :class:`ResultCache` — the content-addressed on-disk store that makes
+  re-running ``fig7``/``table1``/``table2`` a near-instant cache hit
+  (:class:`NullCache` and ``refresh=True`` are the escape hatches);
+* the built-in experiment definitions in
+  :mod:`repro.exp.experiments` (``figure7_spec``, ``table1_spec``,
+  ``tred2_spec``, ``hotspot_spec``, ``scaling_spec``) and the
+  :func:`point_function` registry for defining new ones.
+
+Quickstart::
+
+    from repro.exp import SweepRunner, figure7_spec
+
+    result = SweepRunner(workers=4).run(figure7_spec(n=4096))
+    for payload in result.payloads:
+        print(payload["label"], len(payload["points"]))
+"""
+
+from .cache import NullCache, ResultCache, default_cache_root
+from .engine import PointOutcome, SweepResult, SweepRunner, serial_runner
+from .experiments import (
+    build_hotspot_machine,
+    figure7_spec,
+    hotspot_spec,
+    scaling_spec,
+    start_delays,
+    table1_spec,
+    tred2_spec,
+)
+from .registry import available, execute, point_function, resolve
+from .spec import (
+    RESULTS_VERSION,
+    ExperimentSpec,
+    SweepAxis,
+    SweepPoint,
+    point_hash,
+)
+
+__all__ = [
+    "ExperimentSpec",
+    "NullCache",
+    "PointOutcome",
+    "RESULTS_VERSION",
+    "ResultCache",
+    "SweepAxis",
+    "SweepPoint",
+    "SweepResult",
+    "SweepRunner",
+    "available",
+    "build_hotspot_machine",
+    "default_cache_root",
+    "execute",
+    "figure7_spec",
+    "hotspot_spec",
+    "point_function",
+    "point_hash",
+    "resolve",
+    "scaling_spec",
+    "serial_runner",
+    "start_delays",
+    "table1_spec",
+    "tred2_spec",
+]

@@ -1,0 +1,154 @@
+"""Content-addressed on-disk result cache.
+
+Every completed sweep point is stored as one JSON file whose name is
+the point's content address (:func:`repro.exp.spec.point_hash`): the
+hash covers the experiment name, the full point parameters (seed and
+machine configuration included), and the results version.  Re-running
+any sweep whose points are already on disk is therefore a pure read —
+the near-instant warm path the CLI's ``fig7``/``table1``/``table2``
+reruns ride on — and two different sweeps that share points share the
+entries.
+
+Layout: ``<root>/<hash[:2]>/<hash>.json``, two-level sharding so no
+directory grows unboundedly.  Writes are atomic (temp file + rename),
+so a sweep killed mid-write never leaves a torn entry for the resumed
+run to trip over.  Entries carry the version stamp; a version mismatch
+reads as a miss, which is how invalidation works — nothing is ever
+reinterpreted across versions.
+
+The default root is ``$REPRO_EXP_CACHE`` if set, else
+``$XDG_CACHE_HOME/repro/exp`` (``~/.cache/repro/exp``).  Pass
+``--no-cache`` / ``--refresh`` on the CLI, or :class:`NullCache` /
+``refresh=True`` in code, for the escape hatches.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+from .spec import RESULTS_VERSION
+
+
+def default_cache_root() -> Path:
+    env = os.environ.get("REPRO_EXP_CACHE")
+    if env:
+        return Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "exp"
+
+
+class ResultCache:
+    """File-per-entry content-addressed store for point payloads."""
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_root()
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ValueError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached payload for ``key``, or None on miss.
+
+        Torn/corrupt files and version mismatches read as misses; a
+        corrupt file is removed so it cannot shadow a future write.
+        """
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                entry = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        if entry.get("version") != RESULTS_VERSION or "payload" not in entry:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["payload"]
+
+    def put(self, key: str, payload: Any, *, meta: Optional[dict] = None) -> None:
+        """Store a payload atomically (write temp file, then rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"key": key, "version": RESULTS_VERSION, "payload": payload}
+        if meta:
+            entry["meta"] = meta
+        handle = tempfile.NamedTemporaryFile(
+            "w",
+            dir=path.parent,
+            prefix=f".{key[:8]}-",
+            suffix=".tmp",
+            delete=False,
+            encoding="utf-8",
+        )
+        try:
+            with handle:
+                json.dump(entry, handle, sort_keys=True)
+            os.replace(handle.name, path)
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).is_file()
+
+    def __len__(self) -> int:
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+class NullCache:
+    """The ``--no-cache`` cache: never hits, never writes."""
+
+    root = None
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: str) -> None:
+        self.misses += 1
+        return None
+
+    def put(self, key: str, payload: Any, *, meta: Optional[dict] = None) -> None:
+        return None
+
+    def __contains__(self, key: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def clear(self) -> int:
+        return 0

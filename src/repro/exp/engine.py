@@ -1,0 +1,235 @@
+"""The parallel sweep engine.
+
+:class:`SweepRunner` executes an :class:`~repro.exp.spec.ExperimentSpec`
+point by point:
+
+* points whose content address is already in the cache are served from
+  disk without touching a worker — this is both the warm path and the
+  resume path (a sweep killed halfway restarts with its completed
+  points already paid for);
+* the remaining points fan out over a ``multiprocessing`` pool
+  (``workers`` defaults to the CPU count; ``workers=1`` runs in-process
+  with no pool at all, the debugger-friendly fallback);
+* results stream back in completion order through :meth:`stream`, each
+  one written to the cache the moment it lands, or arrive sorted by
+  point index from :meth:`run`.
+
+Every payload — computed in-process, computed in a worker, or read from
+the cache — passes through one JSON canonicalization, so the three
+paths are byte-identical and the differential tests can assert
+``render_json(cold) == render_json(warm) == render_json(serial)``.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Optional
+
+from .cache import NullCache, ResultCache
+from .spec import ExperimentSpec, SweepPoint, point_hash
+
+
+def _canonical_payload(payload: Any) -> Any:
+    """One JSON round trip: the engine's single output representation."""
+    return json.loads(json.dumps(payload, sort_keys=True, default=repr))
+
+
+def _execute_task(task: tuple[int, str, str]) -> tuple[int, Any, float]:
+    """Worker entry point: run one point, return (index, payload, secs).
+
+    Top-level (picklable) and self-contained: parameters travel as JSON
+    text, and the registry lazily imports the built-in experiments, so
+    this works identically under fork, spawn, and in-process execution.
+    """
+    index, experiment, params_json = task
+    from . import registry
+
+    started = time.perf_counter()
+    payload = registry.execute(experiment, json.loads(params_json))
+    elapsed = time.perf_counter() - started
+    return index, _canonical_payload(payload), elapsed
+
+
+@dataclass(frozen=True)
+class PointOutcome:
+    """One completed sweep point."""
+
+    index: int
+    params: dict[str, Any]
+    payload: Any
+    cached: bool
+    elapsed: float = 0.0
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep execution produced, ordered by point index."""
+
+    spec: ExperimentSpec
+    outcomes: list[PointOutcome] = field(default_factory=list)
+    workers: int = 1
+    wall_time: float = 0.0
+
+    @property
+    def payloads(self) -> list[Any]:
+        return [outcome.payload for outcome in self.outcomes]
+
+    @property
+    def cached_points(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def computed_points(self) -> int:
+        return len(self.outcomes) - self.cached_points
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "spec": self.spec.to_dict(),
+            "spec_hash": self.spec.spec_hash(),
+            "workers": self.workers,
+            "wall_time": self.wall_time,
+            "cached_points": self.cached_points,
+            "computed_points": self.computed_points,
+            "results": self.payloads,
+        }
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork is markedly cheaper where available (Linux); spawn elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+class SweepRunner:
+    """Executes specs: cache lookup, then parallel fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Pool size.  ``None`` means the CPU count; ``1`` means run every
+        point in-process (no pool, plain tracebacks, easy pdb).
+    cache:
+        A :class:`~repro.exp.cache.ResultCache`, ``None`` for the
+        default on-disk location, or :class:`~repro.exp.cache.NullCache`
+        to disable caching entirely.
+    refresh:
+        Ignore existing cache entries (but still write fresh ones) —
+        the CLI's ``--refresh``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        *,
+        refresh: bool = False,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers={workers} is invalid; need >= 1")
+        self.workers = workers
+        self.cache = cache if cache is not None else ResultCache()
+        self.refresh = refresh
+
+    def _effective_workers(self, pending: int) -> int:
+        workers = self.workers or os.cpu_count() or 1
+        return max(1, min(workers, pending))
+
+    def stream(self, spec: ExperimentSpec) -> Iterator[PointOutcome]:
+        """Yield outcomes as points complete (cached points first).
+
+        Each computed point is written to the cache before it is
+        yielded, so breaking out of the iterator — or being killed —
+        leaves a resumable partial sweep behind.
+        """
+        pending: list[tuple[SweepPoint, str]] = []
+        for point in spec.points():
+            key = point_hash(spec.experiment, point)
+            payload = None if self.refresh else self.cache.get(key)
+            if payload is not None:
+                yield PointOutcome(
+                    index=point.index,
+                    params=point.as_dict(),
+                    payload=payload,
+                    cached=True,
+                )
+            else:
+                pending.append((point, key))
+
+        if not pending:
+            return
+
+        by_index = {point.index: (point, key) for point, key in pending}
+        tasks = [
+            (point.index, spec.experiment, json.dumps(point.as_dict(),
+                                                      sort_keys=True))
+            for point, _ in pending
+        ]
+        workers = self._effective_workers(len(pending))
+        if workers == 1:
+            completions = map(_execute_task, tasks)
+            for index, payload, elapsed in completions:
+                yield self._complete(spec, by_index, index, payload, elapsed)
+        else:
+            ctx = _pool_context()
+            with ctx.Pool(processes=workers) as pool:
+                for index, payload, elapsed in pool.imap_unordered(
+                    _execute_task, tasks, chunksize=1
+                ):
+                    yield self._complete(spec, by_index, index, payload,
+                                         elapsed)
+
+    def _complete(
+        self,
+        spec: ExperimentSpec,
+        by_index: dict[int, tuple[SweepPoint, str]],
+        index: int,
+        payload: Any,
+        elapsed: float,
+    ) -> PointOutcome:
+        point, key = by_index[index]
+        self.cache.put(
+            key,
+            payload,
+            meta={"experiment": spec.experiment, "point": point.as_dict()},
+        )
+        return PointOutcome(
+            index=index,
+            params=point.as_dict(),
+            payload=payload,
+            cached=False,
+            elapsed=elapsed,
+        )
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        *,
+        on_point: Optional[Callable[[PointOutcome], None]] = None,
+    ) -> SweepResult:
+        """Execute the whole sweep; outcomes come back sorted by index."""
+        started = time.perf_counter()
+        outcomes: list[PointOutcome] = []
+        for outcome in self.stream(spec):
+            if on_point is not None:
+                on_point(outcome)
+            outcomes.append(outcome)
+        outcomes.sort(key=lambda outcome: outcome.index)
+        return SweepResult(
+            spec=spec,
+            outcomes=outcomes,
+            workers=self._effective_workers(max(1, spec.n_points)),
+            wall_time=time.perf_counter() - started,
+        )
+
+
+def serial_runner() -> SweepRunner:
+    """An in-process, uncached runner — pure-function execution of a
+    spec, used as the default by library entry points that must not
+    touch the filesystem (``figure7_series`` and friends)."""
+    return SweepRunner(workers=1, cache=NullCache())

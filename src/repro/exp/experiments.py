@@ -1,0 +1,310 @@
+"""Built-in experiment definitions: the paper's artifacts as specs.
+
+Each artifact the evaluation regenerates is expressed twice here:
+
+* a **point function** (registered under a dotted name) that evaluates
+  one sweep point from a parameter dict and returns a JSON payload;
+* a **spec builder** (``figure7_spec`` etc.) that assembles the
+  corresponding :class:`~repro.exp.spec.ExperimentSpec` — the
+  declarative object the CLI, the benchmarks, and the tests all hand to
+  a :class:`~repro.exp.engine.SweepRunner`.
+
+The point functions import their subject modules lazily so that worker
+processes only pay for what a given experiment touches, and so this
+module never participates in an import cycle with the layers it drives.
+
+Seeds: every point receives the spec's ``seed``.  For the stochastic
+network replays it seeds the RNG directly.  For the cycle-accurate
+machine runs, which are deterministic, ``seed=0`` reproduces the
+paper's lockstep start exactly, while any other seed staggers PE start
+times by a seeded pseudo-random delay (see :func:`start_delays`) —
+reproducible stochastic arrival patterns from the shell.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Any, Optional, Sequence
+
+from .registry import point_function
+from .spec import ExperimentSpec, SweepAxis
+
+
+def start_delays(seed: int, pes: int) -> list[int]:
+    """Per-PE start delays: all zero for seed 0 (the lockstep default),
+    otherwise a reproducible draw from ``[0, pes)`` per PE."""
+    if seed == 0:
+        return [0] * pes
+    rng = random.Random(seed)
+    return [rng.randrange(0, max(1, pes)) for _ in range(pes)]
+
+
+# ----------------------------------------------------------------------
+# Figure 7: analytic transit-time curves (one point per network design)
+# ----------------------------------------------------------------------
+@point_function("fig7.design_curve")
+def fig7_design_curve(params: dict) -> dict[str, Any]:
+    from ..analysis.configurations import NetworkDesign
+
+    k, d = params["design"]
+    design = NetworkDesign(
+        k=k, d=d, bandwidth_constant=params.get("bandwidth_constant", 1.0)
+    )
+    n = params["n"]
+    points = [
+        {"p": p, "transit_time": design.transit_time(p, n)}
+        for p in params["p_grid"]
+        if p < design.capacity * 0.999
+    ]
+    return {
+        "label": design.label(),
+        "k": k,
+        "d": d,
+        "capacity": design.capacity,
+        "cost_factor": design.cost_factor,
+        "points": points,
+    }
+
+
+def figure7_spec(
+    n: int = 4096,
+    designs: Optional[Sequence] = None,
+    p_grid: Optional[Sequence[float]] = None,
+) -> ExperimentSpec:
+    """The Figure 7 sweep: every candidate design over the p grid."""
+    from ..analysis.configurations import FIGURE7_DESIGNS, FIGURE7_P_GRID
+
+    if designs is None:
+        designs = FIGURE7_DESIGNS
+    if p_grid is None:
+        p_grid = FIGURE7_P_GRID
+    return ExperimentSpec(
+        experiment="fig7.design_curve",
+        base={"n": n, "p_grid": tuple(p_grid)},
+        axes=(SweepAxis("design", tuple((d.k, d.d) for d in designs)),),
+        label=f"Figure 7 transit-time curves (n={n})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1: trace replay through the stochastic queueing network
+# ----------------------------------------------------------------------
+def _table1_traces(workload: str):
+    from ..apps import poisson, tred2, weather
+
+    builders = {
+        "weather-16": lambda: weather.build_traces(16, 8, 16),
+        "weather-48": lambda: weather.build_traces(48, 4, 48),
+        "tred2-16": lambda: tred2.build_traces(32, 16),
+        "poisson-16": lambda: poisson.build_traces(32, 2, 16),
+    }
+    try:
+        return builders[workload]()
+    except KeyError:
+        raise ValueError(
+            f"unknown Table 1 workload {workload!r}; "
+            f"choose from {sorted(builders)}"
+        ) from None
+
+
+TABLE1_WORKLOADS = ("weather-16", "weather-48", "tred2-16", "poisson-16")
+
+
+@point_function("table1.replay")
+def table1_replay(params: dict) -> dict[str, Any]:
+    from ..apps.traces import replay
+    from ..network.stochastic import StochasticConfig, StochasticNetwork
+
+    workload = params["workload"]
+    traces = _table1_traces(workload)
+    network = StochasticNetwork(StochasticConfig(seed=params["seed"]))
+    row = replay(workload, traces, network)
+    return dataclasses.asdict(row)
+
+
+def table1_spec(seed: int = 1) -> ExperimentSpec:
+    """The Table 1 sweep: one point per traced program."""
+    return ExperimentSpec(
+        experiment="table1.replay",
+        axes=(SweepAxis("workload", TABLE1_WORKLOADS),),
+        seed=seed,
+        label="Table 1 network traffic and performance",
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 2/3: parallel TRED2 measurements on the paracomputer
+# ----------------------------------------------------------------------
+@point_function("tred2.measure")
+def tred2_measure(params: dict) -> dict[str, Any]:
+    from ..apps.tred2 import measure
+
+    processors, matrix_size = params["pair"]
+    sample, _, _ = measure(processors, matrix_size, seed=params["seed"])
+    return {
+        "processors": sample.processors,
+        "matrix_size": sample.matrix_size,
+        "total_time": sample.total_time,
+        "waiting_time": sample.waiting_time,
+    }
+
+
+def tred2_spec(
+    pairs: Sequence[tuple[int, int]], seed: int = 0
+) -> ExperimentSpec:
+    """The Table 2 measurement sweep over explicit (P, N) pairs.
+
+    The pairs are one axis (not a Cartesian product): the paper, like
+    us, could only afford the feasible corner of the (P, N) plane.
+    """
+    return ExperimentSpec(
+        experiment="tred2.measure",
+        axes=(SweepAxis("pair", tuple(tuple(p) for p in pairs)),),
+        seed=seed,
+        label=f"TRED2 cost-model measurements ({len(tuple(pairs))} pairs)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Machine runs: hot-spot sweeps and the demo, as cacheable points
+# ----------------------------------------------------------------------
+def build_hotspot_machine(params: dict):
+    """Assemble (without running) the hot-spot machine for ``params``.
+
+    Shared by the ``machine.hotspot`` point function and the CLI's
+    ``stats``/``trace`` subcommands, which need the live machine (for
+    :class:`MetricsSnapshot` / trace objects) rather than the payload.
+    """
+    from ..core.machine import MachineConfig, Ultracomputer
+    from ..core.memory_ops import FetchAdd
+
+    config = MachineConfig.from_dict(params["machine"])
+    rounds = params.get("rounds", 4)
+    delays = start_delays(params["seed"], config.n_pes)
+    machine = Ultracomputer(config)
+
+    def program(pe_id, delay):
+        if delay:
+            yield delay
+        for _ in range(rounds):
+            yield FetchAdd(0, 1)
+
+    for pe in range(config.n_pes):
+        machine.spawn(program, delays[pe])
+    return machine
+
+
+@point_function("machine.hotspot")
+def machine_hotspot(params: dict) -> dict[str, Any]:
+    """One hot-spot run: every PE fetch-and-adds one cell.
+
+    ``params["machine"]`` is a full :class:`MachineConfig` dict (so
+    combining, kernel, instrumentation, and tracing are all sweepable);
+    the payload is the run's ``RunResult.to_dict()``.
+    """
+    machine = build_hotspot_machine(params)
+    return machine.run().to_dict()
+
+
+def hotspot_spec(
+    pes: int = 16,
+    *,
+    rounds: int = 4,
+    combining_values: Sequence[bool] = (True, False),
+    seed: int = 0,
+    instrument: bool = True,
+    trace_capacity: int = 0,
+    kernel: str = "dense",
+) -> ExperimentSpec:
+    """The combining ablation: the same hot spot with and without
+    combining switches (plus any further machine-field axes callers
+    tack on)."""
+    from ..core.machine import MachineConfig
+
+    machine = MachineConfig(
+        n_pes=pes,
+        instrument=instrument,
+        trace_capacity=trace_capacity,
+        kernel=kernel,
+    )
+    return ExperimentSpec(
+        experiment="machine.hotspot",
+        base={"rounds": rounds},
+        axes=(SweepAxis("machine.combining", tuple(combining_values)),),
+        machine=machine,
+        seed=seed,
+        label=f"hot-spot combining ablation ({pes} PEs x {rounds} rounds)",
+    )
+
+
+@point_function("machine.demo")
+def machine_demo(params: dict) -> dict[str, Any]:
+    """The quickstart story: PEs claiming tickets from one counter."""
+    from ..core.machine import MachineConfig, Ultracomputer
+    from ..core.memory_ops import FetchAdd
+
+    pes = params["pes"]
+    tickets = params.get("tickets", 4)
+    delays = start_delays(params["seed"], pes)
+    machine = Ultracomputer(MachineConfig(n_pes=pes))
+
+    def ticket_taker(pe_id, delay):
+        if delay:
+            yield delay
+        claimed = []
+        for _ in range(tickets):
+            claimed.append((yield FetchAdd(0, 1)))
+        return claimed
+
+    for pe in range(pes):
+        machine.spawn(ticket_taker, delays[pe])
+    result = machine.run()
+    payload = result.to_dict()
+    payload["final_counter"] = machine.peek(0)
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Scaling studies: the WASHCLOTH harness grid as a sweep
+# ----------------------------------------------------------------------
+@point_function("scaling.point")
+def scaling_point(params: dict) -> dict[str, Any]:
+    from ..apps.harness import resolve_workload, run_point
+
+    factory = resolve_workload(params["workload"])
+    point = run_point(
+        factory,
+        params["processors"],
+        params["size"],
+        seed=params["seed"],
+        max_cycles=params.get("max_cycles", 10_000_000),
+    )
+    return {
+        "processors": point.processors,
+        "size": point.size,
+        "cycles": point.cycles,
+        "ops_issued": point.ops_issued,
+    }
+
+
+def scaling_spec(
+    workload: str,
+    processor_counts: Sequence[int],
+    sizes: Sequence[int],
+    *,
+    seed: int = 0,
+    max_cycles: int = 10_000_000,
+) -> ExperimentSpec:
+    """A T(P, size) measurement grid for a *registered* workload name
+    (see :func:`repro.apps.harness.register_workload`)."""
+    return ExperimentSpec(
+        experiment="scaling.point",
+        base={"workload": workload, "max_cycles": max_cycles},
+        axes=(
+            SweepAxis("size", tuple(sizes)),
+            SweepAxis("processors", tuple(processor_counts)),
+        ),
+        seed=seed,
+        label=f"scaling study: {workload}",
+    )

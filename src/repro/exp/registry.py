@@ -1,0 +1,76 @@
+"""The point-function registry: names to callables, process-portable.
+
+A spec references its point function by *name* so that sweep points can
+be shipped to worker processes as plain data and so cache keys survive
+process restarts.  Functions register with the :func:`point_function`
+decorator:
+
+::
+
+    @point_function("fig7.design_curve")
+    def fig7_design_curve(params: dict) -> dict:
+        ...
+
+A point function takes the point's parameter dict (JSON-round-tripped —
+tuples arrive as lists) and returns a JSON-expressible payload; whatever
+it returns is canonicalized through JSON by the engine, so a freshly
+computed payload and a cache replay are byte-identical.
+
+:func:`resolve` imports :mod:`repro.exp.experiments` on first use so
+the built-in experiments are always available, including inside
+freshly spawned worker processes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+PointFunction = Callable[[dict], Any]
+
+_REGISTRY: Dict[str, PointFunction] = {}
+_BUILTINS_LOADED = False
+
+
+def point_function(name: str) -> Callable[[PointFunction], PointFunction]:
+    """Register ``fn`` as the point function for ``name``."""
+
+    def decorate(fn: PointFunction) -> PointFunction:
+        if not name:
+            raise ValueError("point-function name must be non-empty")
+        existing = _REGISTRY.get(name)
+        if existing is not None and existing is not fn:
+            raise ValueError(f"point function {name!r} already registered")
+        _REGISTRY[name] = fn
+        return fn
+
+    return decorate
+
+
+def _ensure_builtins() -> None:
+    global _BUILTINS_LOADED
+    if not _BUILTINS_LOADED:
+        _BUILTINS_LOADED = True
+        from . import experiments  # noqa: F401  (registers on import)
+
+
+def resolve(name: str) -> PointFunction:
+    """Look up a point function, loading the built-ins if needed."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "(none)"
+        raise KeyError(
+            f"no point function named {name!r}; registered: {known}"
+        ) from None
+
+
+def available() -> list[str]:
+    """Sorted names of every registered point function."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def execute(name: str, params: dict) -> Any:
+    """Run one point in this process (the worker entry point)."""
+    return resolve(name)(params)

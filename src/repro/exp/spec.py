@@ -1,0 +1,266 @@
+"""Declarative experiment specifications.
+
+Every artifact the paper's evaluation regenerates — the Figure 7
+curves, the Table 1 traffic study, the Table 2/3 efficiency grids, the
+hot-spot ablations — is a *sweep*: one point function evaluated over a
+grid of parameters.  An :class:`ExperimentSpec` captures such a sweep
+declaratively:
+
+* ``experiment`` — the registered name of the point function (see
+  :mod:`repro.exp.registry`); names, not callables, so a spec can cross
+  a process boundary and a cache key can outlive the process;
+* ``base`` — parameters shared by every point;
+* ``axes`` — the sweep dimensions; the grid is their Cartesian product;
+* ``machine`` — an optional canonical machine configuration (from
+  :meth:`repro.core.machine.MachineConfig.to_dict`); axes named
+  ``machine.<field>`` override its fields per point;
+* ``seed`` — the run seed, part of every point's identity.
+
+Specs are frozen and hashable, round-trip through ``to_dict`` /
+``from_dict``, and hash to a stable content address
+(:meth:`ExperimentSpec.spec_hash`).  Each sweep point additionally has
+its own content address (:func:`point_hash`), so a result cache can be
+shared between overlapping sweeps and a partially completed sweep can
+resume from the points already on disk.
+
+Parameter values must be JSON-expressible scalars (``None``, ``bool``,
+``int``, ``float``, ``str``) or nested sequences of them; sequences are
+canonicalized to tuples so the spec stays hashable.  A point function
+receives its parameters after a JSON round trip (tuples become lists),
+which is exactly what it would see when replayed from the cache — the
+two paths are indistinguishable by construction.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional, Sequence
+
+#: Version stamp mixed into every content address.  Bump when a point
+#: function's semantics change so stale cache entries turn into misses
+#: instead of wrong answers.  Tracks the package version by default.
+RESULTS_VERSION = "1.2.0"
+
+_SCALARS = (type(None), bool, int, float, str)
+
+
+def canonical_value(value: Any) -> Any:
+    """Normalize a parameter value to its canonical, hashable form.
+
+    Scalars pass through; lists/tuples become tuples (recursively).
+    Anything else — dicts, sets, callables, arrays — is rejected:
+    parameters must be declarative data, not live objects.
+    """
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, (list, tuple)):
+        return tuple(canonical_value(v) for v in value)
+    raise TypeError(
+        f"parameter value {value!r} of type {type(value).__name__} is not "
+        "JSON-expressible; specs accept scalars and (nested) sequences"
+    )
+
+
+def canonical_items(params: Any) -> tuple[tuple[str, Any], ...]:
+    """Normalize a parameter mapping to sorted, canonical (key, value)s."""
+    if params is None:
+        return ()
+    if isinstance(params, Mapping):
+        items = params.items()
+    else:
+        items = tuple(params)
+    out = []
+    for key, value in items:
+        if not isinstance(key, str):
+            raise TypeError(f"parameter name {key!r} must be a string")
+        out.append((key, canonical_value(value)))
+    out.sort(key=lambda kv: kv[0])
+    names = [k for k, _ in out]
+    if len(set(names)) != len(names):
+        raise ValueError(f"duplicate parameter names in {names}")
+    return tuple(out)
+
+
+def _jsonable(value: Any) -> Any:
+    """Tuples -> lists, recursively (for to_dict / hashing)."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    return value
+
+
+def canonical_json(payload: Any) -> str:
+    """The one JSON encoding used for hashing: sorted keys, no spaces."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One sweep dimension: a named tuple of parameter values."""
+
+    name: str
+    values: tuple = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("axis name must be non-empty")
+        values = canonical_value(tuple(self.values))
+        if not values:
+            raise ValueError(f"axis {self.name!r} has no values")
+        object.__setattr__(self, "values", values)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"name": self.name, "values": _jsonable(self.values)}
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One evaluated position of a sweep: its index and full parameters.
+
+    ``params`` is the merged mapping the point function receives —
+    base parameters, this point's axis values, the (possibly overridden)
+    machine configuration under ``"machine"``, and ``"seed"``.
+    """
+
+    index: int
+    params: tuple[tuple[str, Any], ...]
+
+    def as_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {}
+        for key, value in self.params:
+            if key == "machine":
+                out[key] = {k: _jsonable(v) for k, v in value}
+            else:
+                out[key] = _jsonable(value)
+        return out
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """A frozen, hashable description of one experiment sweep."""
+
+    experiment: str
+    base: Any = ()
+    axes: tuple[SweepAxis, ...] = ()
+    machine: Optional[Any] = None
+    seed: int = 0
+    #: free-form human label carried into envelopes and cache entries
+    label: str = ""
+
+    _RESERVED = ("seed", "machine")
+
+    def __post_init__(self) -> None:
+        if not self.experiment:
+            raise ValueError("experiment name must be non-empty")
+        base = canonical_items(self.base)
+        axes = tuple(
+            axis if isinstance(axis, SweepAxis) else SweepAxis(*axis)
+            for axis in self.axes
+        )
+        machine = self.machine
+        if machine is not None and not isinstance(machine, tuple):
+            # Accept a MachineConfig or a plain mapping.
+            if hasattr(machine, "to_dict"):
+                machine = machine.to_dict()
+            machine = canonical_items(machine)
+        names = [k for k, _ in base] + [a.name for a in axes]
+        for reserved in self._RESERVED:
+            if reserved in names:
+                raise ValueError(
+                    f"{reserved!r} is a reserved parameter name; set it "
+                    "via the spec field instead"
+                )
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                raise ValueError(f"parameter {name!r} defined twice")
+            seen.add(name)
+        object.__setattr__(self, "base", base)
+        object.__setattr__(self, "axes", axes)
+        object.__setattr__(self, "machine", machine)
+
+    # -- the grid ------------------------------------------------------
+    @property
+    def n_points(self) -> int:
+        total = 1
+        for axis in self.axes:
+            total *= len(axis.values)
+        return total
+
+    def points(self) -> Iterator[SweepPoint]:
+        """The full grid, in row-major axis order."""
+        machine_items = self.machine
+        value_lists = [axis.values for axis in self.axes]
+        for index, combo in enumerate(itertools.product(*value_lists)):
+            params = dict(self.base)
+            overrides = {}
+            for axis, value in zip(self.axes, combo):
+                if axis.name.startswith("machine."):
+                    overrides[axis.name[len("machine."):]] = value
+                else:
+                    params[axis.name] = value
+            if machine_items is not None or overrides:
+                machine = dict(machine_items or ())
+                machine.update(overrides)
+                params["machine"] = canonical_items(machine)
+            params["seed"] = self.seed
+            yield SweepPoint(index=index, params=canonical_items(params))
+
+    def point(self, index: int) -> SweepPoint:
+        for pt in self.points():
+            if pt.index == index:
+                return pt
+        raise IndexError(f"sweep has {self.n_points} points, no index {index}")
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "experiment": self.experiment,
+            "base": {k: _jsonable(v) for k, v in self.base},
+            "axes": [axis.to_dict() for axis in self.axes],
+            "seed": self.seed,
+        }
+        if self.machine is not None:
+            out["machine"] = {k: _jsonable(v) for k, v in self.machine}
+        if self.label:
+            out["label"] = self.label
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ExperimentSpec":
+        return cls(
+            experiment=payload["experiment"],
+            base=payload.get("base") or {},
+            axes=tuple(
+                SweepAxis(axis["name"], tuple(axis["values"]))
+                for axis in payload.get("axes", ())
+            ),
+            machine=payload.get("machine"),
+            seed=payload.get("seed", 0),
+            label=payload.get("label", ""),
+        )
+
+    # -- content addressing --------------------------------------------
+    def spec_hash(self) -> str:
+        """Stable content address of the whole sweep (+ results version)."""
+        body = {"version": RESULTS_VERSION, "spec": self.to_dict()}
+        body["spec"].pop("label", None)  # labels are cosmetic
+        return hashlib.sha256(canonical_json(body).encode()).hexdigest()
+
+
+def point_hash(experiment: str, point: SweepPoint) -> str:
+    """Content address of one sweep point.
+
+    Depends only on the experiment name, the point's full parameters,
+    and the results version — NOT on which spec generated the point, so
+    overlapping sweeps share cache entries and a widened sweep resumes
+    from its predecessor's results.
+    """
+    body = {
+        "version": RESULTS_VERSION,
+        "experiment": experiment,
+        "params": point.as_dict(),
+    }
+    return hashlib.sha256(canonical_json(body).encode()).hexdigest()

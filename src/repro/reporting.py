@@ -10,11 +10,17 @@ repository's only hard dependency stays numpy.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Any, Optional, Sequence
 
 #: Glyphs assigned to series, in order.
 SERIES_GLYPHS = "o*x+#@%&"
+
+#: Version of the CLI JSON envelope produced by :func:`json_envelope`.
+#: Bump when the envelope's own keys change meaning; the payload under
+#: ``results`` is versioned by the experiment subsystem instead.
+SCHEMA_VERSION = 1
 
 
 def render_json(payload: object, *, indent: int = 2) -> str:
@@ -26,6 +32,49 @@ def render_json(payload: object, *, indent: int = 2) -> str:
     raising mid-report.
     """
     return json.dumps(payload, indent=indent, sort_keys=True, default=repr)
+
+
+def json_envelope(
+    command: str,
+    results: Any,
+    *,
+    spec: Any = None,
+    sweep: Any = None,
+    extra: Optional[dict[str, Any]] = None,
+) -> dict[str, Any]:
+    """The one envelope every ``--json`` subcommand emits.
+
+    ::
+
+        {"schema_version": 1, "command": "<subcommand>",
+         "spec": {...},          # echo of the ExperimentSpec, if any
+         "sweep": {...},         # engine bookkeeping, if any
+         "results": ...}         # the command's payload
+
+    ``spec`` may be an :class:`~repro.exp.ExperimentSpec` (or anything
+    with ``to_dict``); ``sweep`` a :class:`~repro.exp.SweepResult`,
+    echoed as its cache/worker bookkeeping so scripts can tell a warm
+    rerun from a cold one.  ``extra`` merges additional top-level keys
+    (e.g. ``final_counter``).
+    """
+    payload: dict[str, Any] = {
+        "schema_version": SCHEMA_VERSION,
+        "command": command,
+    }
+    if spec is not None:
+        payload["spec"] = spec.to_dict() if hasattr(spec, "to_dict") else dict(spec)
+    if sweep is not None:
+        payload["sweep"] = {
+            "spec_hash": sweep.spec.spec_hash(),
+            "workers": sweep.workers,
+            "cached_points": sweep.cached_points,
+            "computed_points": sweep.computed_points,
+            "wall_time": sweep.wall_time,
+        }
+    payload["results"] = results
+    if extra:
+        payload.update(extra)
+    return payload
 
 
 def format_metrics(snapshot: object) -> str:
@@ -85,6 +134,16 @@ def ascii_plot(
     Values above ``y_max`` (when given) are clipped to the top row —
     useful for Figure 7, whose curves diverge near saturation.
     """
+    # Drop NaN/inf points rather than corrupting the axis scaling; a
+    # series that loses everything still appears in the legend.
+    series = [
+        Series(
+            label=s.label,
+            points=[(x, y) for x, y in s.points
+                    if math.isfinite(x) and math.isfinite(y)],
+        )
+        for s in series
+    ]
     if not series or all(not s.points for s in series):
         raise ValueError("nothing to plot")
     xs = [x for s in series for x, _ in s.points]
@@ -145,9 +204,17 @@ def format_table(
 
     def render(cell: object) -> str:
         if isinstance(cell, float):
+            if not math.isfinite(cell):
+                return str(cell)  # "nan"/"inf", independent of float_format
             return float_format.format(cell)
         return str(cell)
 
+    for index, row in enumerate(rows):
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {index} has {len(row)} cells; expected "
+                f"{len(headers)} (one per header)"
+            )
     rendered = [[render(cell) for cell in row] for row in rows]
     widths = [
         max(len(headers[i]), *(len(row[i]) for row in rendered)) if rendered
@@ -163,11 +230,15 @@ def format_table(
     return "\n".join(lines)
 
 
-def figure7_ascii(n: int = 4096, y_max: float = 40.0) -> str:
-    """Figure 7 as an ASCII plot (used by ``python -m repro fig7``)."""
+def figure7_ascii(n: int = 4096, y_max: float = 40.0, *, runner=None) -> str:
+    """Figure 7 as an ASCII plot (used by ``python -m repro fig7``).
+
+    ``runner`` is forwarded to :func:`figure7_series` so the CLI's
+    sweep-execution flags (workers, cache) apply to the plot path too.
+    """
     from .analysis.configurations import FIGURE7_DESIGNS, figure7_series
 
-    series_map = figure7_series(n=n)
+    series_map = figure7_series(n=n, runner=runner)
     series = [
         Series(label=design.label(), points=series_map[design.label()])
         for design in FIGURE7_DESIGNS

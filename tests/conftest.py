@@ -1,18 +1,20 @@
-"""Shared fixtures for the test suite (strategies live in helpers.py)."""
+"""Shared fixtures for the test suite (strategies live in helpers.py).
+
+The ``sys.path`` shim that makes ``python -m pytest`` work without
+``PYTHONPATH=src`` lives in the repo-root ``conftest.py`` (shared with
+benchmarks/), which pytest loads before this file.
+"""
 
 from __future__ import annotations
 
-import sys
-from pathlib import Path
-
-# Make `python -m pytest` work from the repo root without the
-# `PYTHONPATH=src` prefix (the documented invocation keeps working —
-# the insert is a no-op when the path is already present).
-_SRC = str(Path(__file__).resolve().parent.parent / "src")
-if _SRC not in sys.path:
-    sys.path.insert(0, _SRC)
-
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_exp_cache(tmp_path, monkeypatch):
+    """Point the experiment result cache at a per-test directory so no
+    test reads or pollutes the user's real ~/.cache/repro/exp."""
+    monkeypatch.setenv("REPRO_EXP_CACHE", str(tmp_path / "exp-cache"))
 
 
 @pytest.fixture

@@ -1,0 +1,107 @@
+"""ResultCache: content addressing, atomicity, invalidation."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.exp import NullCache, ResultCache, default_cache_root
+from repro.exp.spec import RESULTS_VERSION
+
+KEY = "ab" + "0" * 62  # a well-formed 64-hex content address
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+class TestResultCache:
+    def test_get_put_round_trip(self, cache):
+        payload = {"rows": [1, 2, 3], "label": "x"}
+        cache.put(KEY, payload)
+        assert cache.get(KEY) == payload
+        assert cache.hits == 1
+
+    def test_miss_on_absent_key(self, cache):
+        assert cache.get(KEY) is None
+        assert cache.misses == 1
+
+    def test_entries_sharded_by_prefix(self, cache):
+        cache.put(KEY, {"v": 1})
+        assert (cache.root / KEY[:2] / f"{KEY}.json").is_file()
+
+    def test_version_mismatch_reads_as_miss(self, cache):
+        cache.put(KEY, {"v": 1})
+        path = cache.root / KEY[:2] / f"{KEY}.json"
+        entry = json.loads(path.read_text())
+        entry["version"] = "0.0.1"
+        path.write_text(json.dumps(entry))
+        assert cache.get(KEY) is None
+
+    def test_corrupt_entry_is_miss_and_removed(self, cache):
+        cache.put(KEY, {"v": 1})
+        path = cache.root / KEY[:2] / f"{KEY}.json"
+        path.write_text("{torn mid-wri")
+        assert cache.get(KEY) is None
+        assert not path.exists()  # cannot shadow the next write
+
+    def test_put_leaves_no_temp_files(self, cache):
+        cache.put(KEY, {"v": 1})
+        leftovers = [
+            name for name in os.listdir(cache.root / KEY[:2])
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_put_overwrites(self, cache):
+        cache.put(KEY, {"v": 1})
+        cache.put(KEY, {"v": 2})
+        assert cache.get(KEY) == {"v": 2}
+
+    def test_contains_len_clear(self, cache):
+        other = "cd" + "1" * 62
+        cache.put(KEY, {"v": 1})
+        cache.put(other, {"v": 2})
+        assert KEY in cache and other in cache
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert KEY not in cache
+
+    def test_malformed_key_rejected(self, cache):
+        for bad in ("", "xy", "ZZ" + "0" * 62, "../../etc/passwd"):
+            with pytest.raises(ValueError):
+                cache.get(bad)
+
+    def test_entry_records_version_and_meta(self, cache):
+        cache.put(KEY, {"v": 1}, meta={"experiment": "x"})
+        entry = json.loads(
+            (cache.root / KEY[:2] / f"{KEY}.json").read_text()
+        )
+        assert entry["version"] == RESULTS_VERSION
+        assert entry["meta"] == {"experiment": "x"}
+
+
+class TestDefaultRoot:
+    def test_env_var_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_EXP_CACHE", str(tmp_path / "custom"))
+        assert default_cache_root() == tmp_path / "custom"
+
+    def test_xdg_fallback(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_EXP_CACHE", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_root() == tmp_path / "xdg" / "repro" / "exp"
+
+
+class TestNullCache:
+    def test_never_hits_never_writes(self, tmp_path):
+        null = NullCache()
+        null.put(KEY, {"v": 1})
+        assert null.get(KEY) is None
+        assert KEY not in null
+        assert len(null) == 0
+        assert null.clear() == 0
+        assert null.misses == 1

@@ -1,0 +1,132 @@
+"""ExperimentSpec / SweepAxis: canonicalization, points, hashing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.machine import MachineConfig
+from repro.exp import ExperimentSpec, SweepAxis, point_hash
+from repro.exp.spec import canonical_json, canonical_value
+
+
+class TestCanonicalization:
+    def test_scalars_pass_through(self):
+        for value in (1, 2.5, "x", True, None):
+            assert canonical_value(value) == value
+
+    def test_sequences_become_tuples(self):
+        assert canonical_value([1, [2, 3]]) == (1, (2, 3))
+
+    def test_unhashable_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_value({"nested": "dict"})
+
+    def test_canonical_json_is_key_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": (1, 2)}) == '{"a":[1,2],"b":1}'
+
+
+class TestSweepPoints:
+    def test_cartesian_product_row_major(self):
+        spec = ExperimentSpec(
+            experiment="x",
+            axes=(SweepAxis("a", (1, 2)), SweepAxis("b", ("u", "v"))),
+        )
+        combos = [
+            (p.as_dict()["a"], p.as_dict()["b"])
+            for p in spec.points()
+        ]
+        assert combos == [(1, "u"), (1, "v"), (2, "u"), (2, "v")]
+
+    def test_base_params_and_seed_injected(self):
+        spec = ExperimentSpec(
+            experiment="x", base={"n": 4096}, axes=(SweepAxis("a", (1,)),),
+            seed=5,
+        )
+        (point,) = spec.points()
+        params = point.as_dict()
+        assert params["n"] == 4096
+        assert params["seed"] == 5
+
+    def test_machine_axis_overrides_machine_field(self):
+        spec = ExperimentSpec(
+            experiment="x",
+            machine=MachineConfig(n_pes=8),
+            axes=(SweepAxis("machine.combining", (True, False)),),
+        )
+        machines = [p.as_dict()["machine"] for p in spec.points()]
+        assert [m["combining"] for m in machines] == [True, False]
+        assert all(m["n_pes"] == 8 for m in machines)
+
+    def test_reserved_axis_names_rejected(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(experiment="x", axes=(SweepAxis("seed", (1, 2)),))
+
+    def test_no_axes_yields_single_point(self):
+        spec = ExperimentSpec(experiment="x", base={"k": 1})
+        points = list(spec.points())
+        assert len(points) == 1
+        assert points[0].as_dict()["k"] == 1
+
+
+class TestRoundTripAndHash:
+    def _spec(self):
+        return ExperimentSpec(
+            experiment="machine.hotspot",
+            base={"rounds": 4},
+            machine=MachineConfig(n_pes=16, instrument=True),
+            axes=(SweepAxis("machine.combining", (True, False)),),
+            seed=3,
+            label="ablation",
+        )
+
+    def test_to_from_dict_round_trip(self):
+        spec = self._spec()
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    def test_hash_stable_across_dict_ordering(self):
+        a = ExperimentSpec(experiment="x", base={"a": 1, "b": 2})
+        b = ExperimentSpec(experiment="x", base={"b": 2, "a": 1})
+        assert a.spec_hash() == b.spec_hash()
+
+    def test_hash_ignores_label(self):
+        spec = self._spec()
+        relabeled = ExperimentSpec.from_dict(
+            {**spec.to_dict(), "label": "other"}
+        )
+        assert relabeled.spec_hash() == spec.spec_hash()
+
+    def test_hash_changes_with_content(self):
+        spec = self._spec()
+        reseeded = ExperimentSpec.from_dict({**spec.to_dict(), "seed": 4})
+        assert reseeded.spec_hash() != spec.spec_hash()
+
+    def test_spec_is_hashable(self):
+        assert len({self._spec(), self._spec()}) == 1
+
+    def test_point_hash_shared_across_overlapping_sweeps(self):
+        # Two different sweeps containing the same point address the
+        # same cache entry — that is what makes partial sweeps resume.
+        small = ExperimentSpec(experiment="x", axes=(SweepAxis("a", (1,)),))
+        large = ExperimentSpec(
+            experiment="x", axes=(SweepAxis("a", (1, 2)),)
+        )
+        (p_small,) = small.points()
+        p_large = next(iter(large.points()))
+        assert point_hash("x", p_small) == point_hash("x", p_large)
+
+    def test_point_hash_differs_across_experiments(self):
+        spec = ExperimentSpec(experiment="x", axes=(SweepAxis("a", (1,)),))
+        (point,) = spec.points()
+        assert point_hash("x", point) != point_hash("y", point)
+
+
+class TestMachineConfigSerialization:
+    def test_round_trip(self):
+        config = MachineConfig(n_pes=32, combining=False, instrument=True)
+        assert MachineConfig.from_dict(config.to_dict()) == config
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown"):
+            MachineConfig.from_dict({"n_pes": 8, "warp_drive": True})

@@ -1,0 +1,180 @@
+"""Differential tests: the experiment engine vs the pre-engine paths.
+
+The refactor's contract is that moving an artifact onto ``repro.exp``
+changes *where* it runs (worker pools, cache) but not *what* it
+computes: every payload must be bit-identical to the result of calling
+the underlying code directly, whether the point was computed serially,
+computed in a pool, or replayed from the on-disk cache.  Identity is
+asserted on the canonical JSON encoding — the representation cached
+entries actually live in.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+
+import pytest
+
+from repro.exp import (
+    NullCache,
+    ResultCache,
+    SweepRunner,
+    figure7_spec,
+    hotspot_spec,
+    serial_runner,
+    table1_spec,
+    tred2_spec,
+)
+
+
+def canonical(payload):
+    """The engine's one output representation (sorted-key JSON text)."""
+    return json.dumps(payload, sort_keys=True, default=repr)
+
+
+# ----------------------------------------------------------------------
+# pre-refactor reference implementations (direct, engine-free)
+# ----------------------------------------------------------------------
+def fig7_direct():
+    from repro.analysis.configurations import (
+        FIGURE7_DESIGNS,
+        FIGURE7_P_GRID,
+    )
+
+    payloads = []
+    for design in FIGURE7_DESIGNS:
+        points = [
+            {"p": p, "transit_time": design.transit_time(p, 4096)}
+            for p in FIGURE7_P_GRID
+            if p < design.capacity * 0.999
+        ]
+        payloads.append({
+            "label": design.label(),
+            "k": design.k,
+            "d": design.d,
+            "capacity": design.capacity,
+            "cost_factor": design.cost_factor,
+            "points": points,
+        })
+    return payloads
+
+
+def hotspot_direct(pes=8, rounds=4):
+    from repro.core.machine import MachineConfig, Ultracomputer
+    from repro.core.memory_ops import FetchAdd
+
+    results = []
+    for combining in (True, False):
+        machine = Ultracomputer(MachineConfig(
+            n_pes=pes, combining=combining, instrument=True
+        ))
+
+        def program(pe_id):
+            for _ in range(rounds):
+                yield FetchAdd(0, 1)
+
+        machine.spawn_many(pes, program)
+        results.append(machine.run().to_dict())
+    return results
+
+
+def table1_direct():
+    from repro.apps import poisson, tred2, weather
+    from repro.apps.traces import replay
+    from repro.network.stochastic import StochasticConfig, StochasticNetwork
+
+    workloads = [
+        ("weather-16", weather.build_traces(16, 8, 16)),
+        ("weather-48", weather.build_traces(48, 4, 48)),
+        ("tred2-16", tred2.build_traces(32, 16)),
+        ("poisson-16", poisson.build_traces(32, 2, 16)),
+    ]
+    rows = []
+    for name, traces in workloads:
+        network = StochasticNetwork(StochasticConfig(seed=1))
+        rows.append(dataclasses.asdict(replay(name, traces, network)))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# bit-parity: direct == serial engine == pooled engine == cache replay
+# ----------------------------------------------------------------------
+class TestBitParity:
+    def test_fig7_engine_matches_direct(self, tmp_path):
+        direct = canonical(fig7_direct())
+        spec = figure7_spec(n=4096)
+
+        serial = serial_runner().run(spec)
+        assert canonical(serial.payloads) == direct
+
+        cache = ResultCache(tmp_path / "cache")
+        cold = SweepRunner(workers=1, cache=cache).run(spec)
+        warm = SweepRunner(workers=1, cache=cache).run(spec)
+        assert warm.cached_points == spec.n_points
+        assert canonical(cold.payloads) == direct
+        assert canonical(warm.payloads) == direct
+
+    def test_hotspot_engine_matches_direct_machine_run(self, tmp_path):
+        direct = canonical(hotspot_direct(pes=8, rounds=4))
+        spec = hotspot_spec(pes=8, rounds=4)
+
+        assert canonical(serial_runner().run(spec).payloads) == direct
+
+        cache = ResultCache(tmp_path / "cache")
+        SweepRunner(workers=1, cache=cache).run(spec)
+        warm = SweepRunner(workers=1, cache=cache).run(spec)
+        assert canonical(warm.payloads) == direct
+
+    def test_table1_engine_matches_direct_replay(self):
+        assert canonical(serial_runner().run(table1_spec(seed=1)).payloads) \
+            == canonical(table1_direct())
+
+    @pytest.mark.skipif(os.cpu_count() < 2, reason="needs >= 2 CPUs")
+    def test_pooled_hotspot_matches_direct(self):
+        spec = hotspot_spec(pes=8, rounds=4)
+        pooled = SweepRunner(workers=2, cache=NullCache()).run(spec)
+        assert canonical(pooled.payloads) == canonical(
+            hotspot_direct(pes=8, rounds=4)
+        )
+
+
+# ----------------------------------------------------------------------
+# performance: warm cache and parallel speedup
+# ----------------------------------------------------------------------
+class TestPerformance:
+    def test_fig7_warm_rerun_under_one_second(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        spec = figure7_spec(n=4096)
+        SweepRunner(workers=1, cache=cache).run(spec)
+
+        started = time.perf_counter()
+        warm = SweepRunner(workers=1, cache=cache).run(spec)
+        elapsed = time.perf_counter() - started
+        assert warm.cached_points == spec.n_points
+        assert elapsed < 1.0
+
+    @pytest.mark.skipif(
+        (os.cpu_count() or 1) < 4,
+        reason="parallel speedup needs >= 4 CPUs (fig7's analytic points "
+        "are microseconds each, so the speedup subject is a tred2 "
+        "simulation sweep; see EXPERIMENTS.md for measured numbers)",
+    )
+    def test_four_workers_at_least_2_5x_faster_than_serial(self):
+        # Simulation-bound sweep: four independent TRED2 points, each a
+        # few hundred milliseconds of cycle-accurate Python.
+        pairs = [(4, 24), (4, 26), (4, 28), (8, 24)]
+        spec = tred2_spec(pairs, seed=11)
+
+        started = time.perf_counter()
+        serial = SweepRunner(workers=1, cache=NullCache()).run(spec)
+        serial_time = time.perf_counter() - started
+
+        started = time.perf_counter()
+        pooled = SweepRunner(workers=4, cache=NullCache()).run(spec)
+        pooled_time = time.perf_counter() - started
+
+        assert pooled.payloads == serial.payloads
+        assert serial_time / pooled_time >= 2.5

@@ -86,21 +86,67 @@ class TestCommands:
 
 
 class TestJsonOutput:
+    """Every --json path emits the same envelope: schema_version,
+    command, optional spec/sweep echoes, and the payload in results."""
+
+    @staticmethod
+    def _envelope(capsys, command):
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        assert payload["command"] == command
+        return payload
+
     def test_demo_json(self, capsys):
         assert main(["demo", "--pes", "8", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert payload["final_counter"] == 32
-        assert payload["requests_issued"] == 32
+        payload = self._envelope(capsys, "demo")
+        assert payload["results"]["final_counter"] == 32
+        assert payload["results"]["requests_issued"] == 32
 
     def test_fig7_json(self, capsys):
         assert main(["fig7", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
-        assert len(payload["series"]) == 6
-        assert all("points" in s for s in payload["series"])
+        payload = self._envelope(capsys, "fig7")
+        assert payload["spec"]["experiment"] == "fig7.design_curve"
+        assert payload["sweep"]["cached_points"] == 0
+        assert len(payload["results"]) == 6
+        assert all("points" in s for s in payload["results"])
+
+    def test_fig7_json_second_run_is_cached(self, capsys):
+        assert main(["fig7", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["fig7", "--json"]) == 0
+        payload = self._envelope(capsys, "fig7")
+        assert payload["sweep"]["cached_points"] == 6
+        assert payload["sweep"]["computed_points"] == 0
+
+    def test_table1_json(self, capsys):
+        assert main(["table1", "--json"]) == 0
+        payload = self._envelope(capsys, "table1")
+        programs = {row["program"] for row in payload["results"]}
+        assert programs == {
+            "weather-16", "weather-48", "tred2-16", "poisson-16",
+        }
+
+    def test_hotspot_json(self, capsys):
+        assert main(["hotspot", "--pes", "8", "--json"]) == 0
+        payload = self._envelope(capsys, "hotspot")
+        on = payload["results"]["combining"]
+        off = payload["results"]["serialized"]
+        assert on["memory_accesses"] < off["memory_accesses"]
+
+    def test_queue_json(self, capsys):
+        assert main(["queue", "--json"]) == 0
+        payload = self._envelope(capsys, "queue")
+        assert [row["pes"] for row in payload["results"]] == [2, 4, 8, 16]
+
+    def test_packaging_json(self, capsys):
+        assert main(["packaging", "--json"]) == 0
+        payload = self._envelope(capsys, "packaging")
+        assert payload["pes"] == 4096
+        assert any(row["value"] == 4096 for row in payload["results"])
 
     def test_stats_json_carries_metrics(self, capsys):
         assert main(["stats", "--pes", "8", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = self._envelope(capsys, "stats")["results"]
         names = {sample["name"] for sample in payload["metrics"]}
         assert "network.combines" in names
         assert "machine.round_trip_cycles" in names
@@ -112,6 +158,58 @@ class TestJsonOutput:
 
     def test_trace_json(self, capsys):
         assert main(["trace", "--pes", "4", "--limit", "3", "--json"]) == 0
-        payload = json.loads(capsys.readouterr().out)
+        payload = self._envelope(capsys, "trace")["results"]
         assert len(payload) == 3
         assert all(event["kind"] == "issue" for event in payload)
+
+
+class TestSweepFlags:
+    def test_no_cache_never_caches(self, capsys):
+        assert main(["fig7", "--json", "--no-cache"]) == 0
+        capsys.readouterr()
+        assert main(["fig7", "--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"]["cached_points"] == 0
+
+    def test_refresh_recomputes(self, capsys):
+        assert main(["fig7", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["fig7", "--json", "--refresh"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"]["cached_points"] == 0
+        assert payload["sweep"]["computed_points"] == 6
+
+    def test_cache_dir_flag(self, capsys, tmp_path):
+        cache_dir = tmp_path / "elsewhere"
+        assert main(["fig7", "--json", "--cache-dir", str(cache_dir)]) == 0
+        capsys.readouterr()
+        assert any(cache_dir.rglob("*.json"))
+        assert main(["fig7", "--json", "--cache-dir", str(cache_dir)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sweep"]["cached_points"] == 6
+
+
+class TestSeedFlag:
+    def test_seed_zero_is_lockstep_default(self, capsys):
+        assert main(["demo", "--pes", "8", "--seed", "0", "--json"]) == 0
+        zero = json.loads(capsys.readouterr().out)
+        assert main(["demo", "--pes", "8", "--json"]) == 0
+        default = json.loads(capsys.readouterr().out)
+        assert zero == default
+
+    def test_seed_changes_arrival_pattern_reproducibly(self, capsys):
+        assert main(["demo", "--pes", "8", "--seed", "7", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["demo", "--pes", "8", "--seed", "7", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert main(["demo", "--pes", "8", "--json"]) == 0
+        lockstep = json.loads(capsys.readouterr().out)
+        # staggered start changes timing but not correctness
+        assert first["results"]["final_counter"] == 32
+        assert first["results"]["cycles"] != lockstep["results"]["cycles"]
+
+    def test_hotspot_seed_flag(self, capsys):
+        assert main(["hotspot", "--pes", "8", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "combining" in out and "serialized" in out

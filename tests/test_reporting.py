@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.reporting import Series, ascii_plot, figure7_ascii, format_table
+from repro.reporting import (
+    SCHEMA_VERSION,
+    Series,
+    ascii_plot,
+    figure7_ascii,
+    format_table,
+    json_envelope,
+)
 
 
 class TestAsciiPlot:
@@ -56,6 +63,37 @@ class TestAsciiPlot:
         for label in ("k=2 d=1", "k=4 d=2", "k=8 d=6"):
             assert label in plot
 
+    def test_single_point_renders(self):
+        # degenerate ranges (x_hi == x_lo, y_hi == y_lo) must not divide
+        # by zero; the lone point lands on the grid
+        plot = ascii_plot([Series("dot", [(1.0, 2.0)])], width=10, height=4)
+        assert "o" in plot
+        assert "o dot" in plot
+
+    def test_non_finite_points_dropped(self):
+        plot = ascii_plot(
+            [Series("s", [(0, 0), (1, float("nan")), (2, 2),
+                          (float("inf"), 3)])],
+            width=16, height=5,
+        )
+        # the finite points still plot; the axis is not poisoned
+        assert "nan" not in plot and "inf" not in plot
+        assert "o s" in plot
+
+    def test_all_non_finite_rejected(self):
+        with pytest.raises(ValueError, match="nothing to plot"):
+            ascii_plot([Series("s", [(0, float("nan"))])])
+
+    def test_series_that_loses_all_points_keeps_legend(self):
+        plot = ascii_plot(
+            [
+                Series("good", [(0, 0), (1, 1)]),
+                Series("bad", [(0, float("inf"))]),
+            ],
+            width=16, height=5,
+        )
+        assert "* bad" in plot  # in the legend, contributes no glyphs
+
 
 class TestFormatTable:
     def test_alignment_and_floats(self):
@@ -72,3 +110,44 @@ class TestFormatTable:
     def test_empty_rows(self):
         table = format_table(["a", "b"], [])
         assert "a" in table and "b" in table
+
+    def test_mismatched_row_width_rejected(self):
+        with pytest.raises(ValueError, match="row 1 has 3 cells"):
+            format_table(["a", "b"], [[1, 2], [1, 2, 3]])
+
+    def test_non_finite_floats_rendered_literally(self):
+        table = format_table(
+            ["x"], [[float("nan")], [float("inf")]],
+            float_format="{:.4f}",
+        )
+        assert "nan" in table and "inf" in table
+
+    def test_single_cell(self):
+        table = format_table(["only"], [[1.0]])
+        assert "only" in table and "1.00" in table
+
+
+class TestJsonEnvelope:
+    def test_minimal_envelope(self):
+        envelope = json_envelope("demo", {"cycles": 12})
+        assert envelope == {
+            "schema_version": SCHEMA_VERSION,
+            "command": "demo",
+            "results": {"cycles": 12},
+        }
+
+    def test_spec_and_sweep_echoed(self):
+        from repro.exp import figure7_spec, serial_runner
+
+        spec = figure7_spec(n=4096)
+        result = serial_runner().run(spec)
+        envelope = json_envelope(
+            "fig7", result.payloads, spec=spec, sweep=result
+        )
+        assert envelope["spec"]["experiment"] == "fig7.design_curve"
+        assert envelope["sweep"]["spec_hash"] == spec.spec_hash()
+        assert envelope["sweep"]["computed_points"] == spec.n_points
+
+    def test_extra_keys_merge(self):
+        envelope = json_envelope("demo", {}, extra={"final_counter": 32})
+        assert envelope["final_counter"] == 32

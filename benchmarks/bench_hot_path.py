@@ -1,0 +1,156 @@
+"""Hot-path throughput: simulated cycles per second on both kernels.
+
+The data-plane flattening (slotted hot-path classes, interned op forms,
+zero-alloc routing) is a pure host-side optimisation — the simulated
+machine must be bit-identical — so this benchmark measures what it is
+allowed to change: wall-clock throughput.  The workload is 32 PEs at
+moderate offered load (compute gap 4, p ~= 0.25) with a 25% hot-spot
+fetch-and-add mix, exercising combining, decombining, and the wait
+buffers on every round.
+
+Raw cycles/sec depends on the host, so the numbers are normalised by a
+small pure-Python calibration loop (integer adds) timed in the same
+process: ``normalized = cycles_per_sec / calibration_ops_per_sec`` is a
+dimensionless host-independent figure.  Three contracts are asserted:
+
+* the kernels remain **bit-identical** on this workload;
+* the dense kernel is at least **1.5x** the pre-refactor normalised
+  throughput recorded in the committed baseline;
+* neither kernel regresses more than **20%** below the committed
+  baseline (``BENCH_hotpath.json`` at the repo root).
+
+Set ``REPRO_HOTPATH_JSON=<path>`` to write the measured figures as a
+JSON artifact; pointing it at ``BENCH_hotpath.json`` regenerates the
+baseline (the ``pre_refactor`` block is preserved from the old file).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+from bench_utils import banner
+
+from repro import FetchAdd, Load, MachineConfig, Ultracomputer
+
+N_PES = 32
+ROUNDS = 40
+GAP = 4  # moderate offered load: p ~= 0.25
+HOTSPOT_FRACTION = 0.25
+REPEATS = 5  # best-of, to shave scheduler noise
+
+BASELINE_PATH = Path(__file__).resolve().parent.parent / "BENCH_hotpath.json"
+#: committed baseline tolerance: fail on a >20% normalised regression.
+REGRESSION_TOLERANCE = 0.20
+#: acceptance floor vs the pre-refactor snapshot in the baseline file.
+SPEEDUP_FLOOR = 1.5
+
+
+def _program(pe_id, seed=0):
+    rng = random.Random((seed << 20) | pe_id)
+    for _ in range(ROUNDS):
+        yield GAP
+        if rng.random() < HOTSPOT_FRACTION:
+            yield FetchAdd(0, 1)  # hot-spot: exercises combining
+        else:
+            yield Load(rng.randrange(0, 64 * N_PES))
+
+
+def _calibrate(n: int = 2_000_000) -> float:
+    """Host speed reference: integer-add loop throughput (ops/sec)."""
+    start = time.perf_counter()
+    acc = 0
+    for i in range(n):
+        acc += i & 7
+    return n / (time.perf_counter() - start)
+
+
+def _run(kernel: str):
+    machine = Ultracomputer(MachineConfig(n_pes=N_PES, kernel=kernel))
+    machine.spawn_many(N_PES, _program)
+    start = time.perf_counter()
+    result = machine.run()
+    elapsed = time.perf_counter() - start
+    return result, elapsed
+
+
+def _measure() -> dict:
+    calibration = _calibrate()
+    _run("dense")  # warm both code paths before timing
+    _run("event")
+    measured: dict = {
+        "workload": {
+            "n_pes": N_PES,
+            "rounds": ROUNDS,
+            "gap": GAP,
+            "hotspot_fraction": HOTSPOT_FRACTION,
+        },
+        "calibration_ops_per_sec": round(calibration),
+    }
+    dicts = {}
+    for kernel in ("dense", "event"):
+        best = 0.0
+        cycles = 0
+        for _ in range(REPEATS):
+            result, elapsed = _run(kernel)
+            cycles = result.cycles
+            best = max(best, cycles / elapsed)
+        dicts[kernel] = result.to_dict()
+        measured[kernel] = {
+            "cycles": cycles,
+            "cycles_per_sec": round(best),
+            "normalized": round(best / calibration, 6),
+        }
+    assert dicts["dense"] == dicts["event"], (
+        "kernels diverged on the hot-path workload; the flattening must "
+        "be observationally invisible"
+    )
+    return measured
+
+
+def test_hot_path_throughput(report):
+    baseline = json.loads(BASELINE_PATH.read_text())
+    measured = _measure()
+    measured["pre_refactor"] = baseline["pre_refactor"]
+
+    out = os.environ.get("REPRO_HOTPATH_JSON")
+    if out:
+        Path(out).write_text(json.dumps(measured, indent=2) + "\n")
+
+    lines = [
+        banner(f"hot-path throughput ({N_PES} PEs, gap {GAP}, "
+               f"{HOTSPOT_FRACTION:.0%} hot-spot F&A)"),
+        f"{'kernel':>7} {'cycles':>7} {'cyc/s':>9} {'norm':>9} "
+        f"{'baseline':>9} {'vs pre':>7}",
+    ]
+    pre = baseline["pre_refactor"]
+    for kernel in ("dense", "event"):
+        norm = measured[kernel]["normalized"]
+        base_norm = baseline[kernel]["normalized"]
+        speedup = norm / pre[f"{kernel}_normalized"]
+        lines.append(
+            f"{kernel:>7} {measured[kernel]['cycles']:>7} "
+            f"{measured[kernel]['cycles_per_sec']:>9} {norm:>9.6f} "
+            f"{base_norm:>9.6f} {speedup:>6.2f}x"
+        )
+    report("\n".join(lines))
+
+    dense_speedup = (
+        measured["dense"]["normalized"] / pre["dense_normalized"]
+    )
+    assert dense_speedup >= SPEEDUP_FLOOR, (
+        f"dense kernel is only {dense_speedup:.2f}x the pre-refactor "
+        f"normalised throughput (floor: {SPEEDUP_FLOOR}x)"
+    )
+    for kernel in ("dense", "event"):
+        norm = measured[kernel]["normalized"]
+        floor = baseline[kernel]["normalized"] * (1 - REGRESSION_TOLERANCE)
+        assert norm >= floor, (
+            f"{kernel} kernel normalised throughput {norm:.6f} regressed "
+            f">{REGRESSION_TOLERANCE:.0%} below the committed baseline "
+            f"{baseline[kernel]['normalized']:.6f}; rerun with "
+            "REPRO_HOTPATH_JSON=BENCH_hotpath.json if intentional"
+        )

@@ -368,6 +368,80 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """cProfile the simulator's data plane on the hot-path workload.
+
+    The workload matches ``benchmarks/bench_hot_path.py`` (moderate
+    offered load with a hot-spot fetch-and-add mix) so the profile shows
+    the same code paths the throughput gate measures.
+    """
+    import cProfile
+    import pstats
+    import random
+
+    from repro.core.machine import MachineConfig, Ultracomputer
+    from repro.core.memory_ops import FetchAdd, Load
+
+    def program(pe_id, seed=args.seed):
+        rng = random.Random((seed << 20) | pe_id)
+        for _ in range(args.rounds):
+            yield args.gap
+            if rng.random() < 0.25:
+                yield FetchAdd(0, 1)  # hot-spot: exercises combining
+            else:
+                yield Load(rng.randrange(0, 64 * args.pes))
+
+    machine = Ultracomputer(MachineConfig(n_pes=args.pes, kernel=args.kernel))
+    machine.spawn_many(args.pes, program)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    result = machine.run()
+    profiler.disable()
+
+    stats = pstats.Stats(profiler)
+    rows = sorted(
+        (
+            {
+                "function": f"{path}:{line}({name})",
+                "ncalls": ncalls,
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+            for (path, line, name), (_, ncalls, tottime, cumtime, _)
+            in stats.stats.items()
+        ),
+        key=lambda row: row[args.sort],
+        reverse=True,
+    )[: args.top]
+    total_time = stats.total_tt
+
+    if args.json:
+        return _emit_envelope(
+            "profile",
+            {"hotspots": rows},
+            extra={
+                "kernel": args.kernel,
+                "pes": args.pes,
+                "rounds": args.rounds,
+                "gap": args.gap,
+                "cycles": result.cycles,
+                "total_seconds": round(total_time, 6),
+                "cycles_per_sec": round(result.cycles / total_time)
+                if total_time else None,
+                "sort": args.sort,
+            },
+        )
+    print(f"profiled {result.cycles} cycles ({args.kernel} kernel, "
+          f"{args.pes} PEs x {args.rounds} refs, gap {args.gap}) in "
+          f"{total_time:.3f}s")
+    print(f"top {len(rows)} functions by {args.sort}:")
+    print(f"  {'ncalls':>9} {'tottime':>9} {'cumtime':>9}  function")
+    for row in rows:
+        print(f"  {row['ncalls']:>9} {row['tottime']:>9.4f} "
+              f"{row['cumtime']:>9.4f}  {row['function']}")
+    return 0
+
+
 def _cmd_queue(args: argparse.Namespace) -> int:
     from repro.workloads.queue_race import lock_free_run, locked_run
 
@@ -462,6 +536,25 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="emit the events as JSON")
     trace.set_defaults(fn=_cmd_trace)
+
+    profile = subparsers.add_parser(
+        "profile", help="cProfile the simulator on the hot-path workload"
+    )
+    profile.add_argument("--pes", type=int, default=32)
+    profile.add_argument("--rounds", type=int, default=40,
+                         help="memory references per PE")
+    profile.add_argument("--gap", type=int, default=4,
+                         help="compute cycles between references")
+    profile.add_argument("--kernel", choices=["dense", "event"],
+                         default="dense")
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="show the N hottest functions")
+    profile.add_argument("--sort", choices=["tottime", "cumtime"],
+                         default="tottime")
+    _add_seed_flag(profile)
+    profile.add_argument("--json", action="store_true",
+                         help="emit the hotspot table as JSON")
+    profile.set_defaults(fn=_cmd_profile)
 
     queue = subparsers.add_parser("queue", help="parallel queue race")
     queue.add_argument("--json", action="store_true",

@@ -231,7 +231,7 @@ class Driver(Protocol):
         """True when the driver will issue no further traffic."""
 
 
-@dataclass
+@dataclass(slots=True)
 class _ProgramPE:
     """A blocking coroutine PE: issues one reference at a time.
 

@@ -17,6 +17,13 @@ issuing processing element.  The rest of the system — the idealized
 paracomputer, the combining switches, and the memory network interfaces —
 is written against this algebra, so the semantics of an operation live in
 exactly one place.
+
+Operations sit on the simulator's per-packet fast path (every combining
+attempt normalizes both candidate ops), so the metadata a switch consults
+— ``kind``, ``carries_data``, ``expects_value``, ``request_packets`` — is
+stored as plain class attributes rather than computed per call, and
+:func:`as_fetch_phi` dispatches through a table keyed on :class:`OpKind`
+instead of an isinstance chain.
 """
 
 from __future__ import annotations
@@ -24,6 +31,13 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 from typing import Callable, Optional
+
+#: Packet sizes from the paper's network simulation (section 4.2): a
+#: message is one packet when it carries no data word and three otherwise.
+#: Canonical home of these constants; ``repro.network.message`` re-exports
+#: them for its callers.
+PACKETS_WITHOUT_DATA = 1
+PACKETS_WITH_DATA = 3
 
 
 class PhiOperator:
@@ -35,6 +49,8 @@ class PhiOperator:
     serialization order.  Both properties are recorded so the combining
     logic and the property-based tests can consult them.
     """
+
+    __slots__ = ("name", "fn", "associative", "commutative")
 
     def __init__(
         self,
@@ -105,7 +121,7 @@ class OpKind(enum.Enum):
     TEST_AND_SET = "test-and-set"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Effect:
     """Result of applying an operation to an old memory value.
 
@@ -118,34 +134,33 @@ class Effect:
     result: Optional[int]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Op:
-    """Base class for memory operations; subclasses are immutable."""
+    """Base class for memory operations; subclasses are immutable.
+
+    ``kind``, ``carries_data``, ``expects_value``, and ``request_packets``
+    are deliberately plain (un-annotated) class attributes — annotating
+    them would turn them into dataclass fields.  They are constant per
+    operation class, and attribute access keeps the combining fast path
+    free of property calls.
+    """
 
     address: int
 
-    #: kind is overridden per subclass; used for dispatch and display.
     kind = OpKind.LOAD
+    #: Whether the request message carries a data word to memory
+    #: (section 4.2: one packet without data, three with).
+    carries_data = False
+    #: Whether the reply carries a data word back to the PE.
+    expects_value = True
+    #: Packets occupied by a request transporting this operation.
+    request_packets = PACKETS_WITHOUT_DATA
 
     def apply(self, old_value: int) -> Effect:
         raise NotImplementedError
 
-    @property
-    def carries_data(self) -> bool:
-        """Whether the request message carries a data word to memory.
 
-        The paper's simulation (section 4.2) models a request as one
-        packet when it carries no data and three packets otherwise.
-        """
-        return False
-
-    @property
-    def expects_value(self) -> bool:
-        """Whether the reply carries a data word back to the PE."""
-        return True
-
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Load(Op):
     """Read a shared memory cell; equivalent to Fetch&proj1 (section 2.4)."""
 
@@ -155,73 +170,62 @@ class Load(Op):
         return Effect(new_value=old_value, result=old_value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Store(Op):
     """Write a shared memory cell; equivalent to Fetch&proj2 with the
     returned value discarded (section 2.4)."""
 
     value: int
     kind = OpKind.STORE
+    carries_data = True
+    expects_value = False
+    request_packets = PACKETS_WITH_DATA
 
     def apply(self, old_value: int) -> Effect:
         return Effect(new_value=self.value, result=None)
 
-    @property
-    def carries_data(self) -> bool:
-        return True
 
-    @property
-    def expects_value(self) -> bool:
-        return False
-
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchAdd(Op):
     """The paper's central primitive: return V and replace it by V + e."""
 
     increment: int
     kind = OpKind.FETCH_ADD
+    carries_data = True
+    request_packets = PACKETS_WITH_DATA
 
     def apply(self, old_value: int) -> Effect:
         return Effect(new_value=old_value + self.increment, result=old_value)
 
-    @property
-    def carries_data(self) -> bool:
-        return True
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FetchPhi(Op):
     """General fetch-and-phi: return V and replace it by phi(V, e)."""
 
     operand: int
     phi: PhiOperator
     kind = OpKind.FETCH_PHI
+    carries_data = True
+    request_packets = PACKETS_WITH_DATA
 
     def apply(self, old_value: int) -> Effect:
         return Effect(new_value=self.phi(old_value, self.operand), result=old_value)
 
-    @property
-    def carries_data(self) -> bool:
-        return True
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Swap(Op):
     """Exchange a local value with a memory cell: Fetch&proj2 (section 2.4)."""
 
     value: int
     kind = OpKind.SWAP
+    carries_data = True
+    request_packets = PACKETS_WITH_DATA
 
     def apply(self, old_value: int) -> Effect:
         return Effect(new_value=self.value, result=old_value)
 
-    @property
-    def carries_data(self) -> bool:
-        return True
 
-
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TestAndSet(Op):
     """Return the old Boolean value and set the cell: Fetch&or(V, 1)."""
 
@@ -232,6 +236,51 @@ class TestAndSet(Op):
         return Effect(new_value=old_value | 1, result=old_value)
 
 
+# --------------------------------------------------------------------------
+# Fetch-and-phi normalization (section 2.4), table-dispatched on OpKind.
+#
+# Load and TestAndSet normalize to a zero-operand form that depends only on
+# the address, so those FetchPhi instances are interned per address: the
+# combining fast path calls as_fetch_phi on every candidate pair, and the
+# address space is bounded by the machine configuration, so the intern
+# tables stay small while saving an allocation per combining attempt.
+# --------------------------------------------------------------------------
+
+_PHI_PROJ1 = PHI_OPERATORS["proj1"]
+_PHI_PROJ2 = PHI_OPERATORS["proj2"]
+_PHI_ADD = PHI_OPERATORS["add"]
+_PHI_OR = PHI_OPERATORS["or"]
+
+_LOAD_FORMS: dict[int, FetchPhi] = {}
+_TEST_AND_SET_FORMS: dict[int, FetchPhi] = {}
+
+
+def _normalize_load(op: Op) -> FetchPhi:
+    form = _LOAD_FORMS.get(op.address)
+    if form is None:
+        form = FetchPhi(op.address, 0, _PHI_PROJ1)
+        _LOAD_FORMS[op.address] = form
+    return form
+
+
+def _normalize_test_and_set(op: Op) -> FetchPhi:
+    form = _TEST_AND_SET_FORMS.get(op.address)
+    if form is None:
+        form = FetchPhi(op.address, 1, _PHI_OR)
+        _TEST_AND_SET_FORMS[op.address] = form
+    return form
+
+
+_AS_FETCH_PHI: dict[OpKind, Callable[..., FetchPhi]] = {
+    OpKind.FETCH_PHI: lambda op: op,
+    OpKind.LOAD: _normalize_load,
+    OpKind.STORE: lambda op: FetchPhi(op.address, op.value, _PHI_PROJ2),
+    OpKind.SWAP: lambda op: FetchPhi(op.address, op.value, _PHI_PROJ2),
+    OpKind.FETCH_ADD: lambda op: FetchPhi(op.address, op.increment, _PHI_ADD),
+    OpKind.TEST_AND_SET: _normalize_test_and_set,
+}
+
+
 def as_fetch_phi(op: Op) -> FetchPhi:
     """Normalize any operation to its fetch-and-phi form (section 2.4).
 
@@ -239,18 +288,11 @@ def as_fetch_phi(op: Op) -> FetchPhi:
     Fetch&add, and test-and-set Fetch&or.  The normalization underlies
     both the combining rules and the proof in the paper that
     fetch-and-phi suffices as the sole primitive for accessing central
-    memory.
+    memory.  Dispatch is by ``op.kind``; objects without a known kind
+    cannot be normalized.
     """
-    if isinstance(op, FetchPhi):
-        return op
-    if isinstance(op, Load):
-        return FetchPhi(op.address, 0, PHI_OPERATORS["proj1"])
-    if isinstance(op, Store):
-        return FetchPhi(op.address, op.value, PHI_OPERATORS["proj2"])
-    if isinstance(op, Swap):
-        return FetchPhi(op.address, op.value, PHI_OPERATORS["proj2"])
-    if isinstance(op, FetchAdd):
-        return FetchPhi(op.address, op.increment, PHI_OPERATORS["add"])
-    if isinstance(op, TestAndSet):
-        return FetchPhi(op.address, 1, PHI_OPERATORS["or"])
-    raise TypeError(f"cannot normalize {op!r} to fetch-and-phi")
+    try:
+        handler = _AS_FETCH_PHI[op.kind]
+    except (KeyError, AttributeError):
+        raise TypeError(f"cannot normalize {op!r} to fetch-and-phi") from None
+    return handler(op)

@@ -57,7 +57,7 @@ class Segment:
         return self.base <= address < self.base + self.length
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     hits: int = 0
     misses: int = 0
@@ -108,6 +108,21 @@ class WriteBackCache:
         Central-memory access functions.
     """
 
+    __slots__ = (
+        "capacity_lines",
+        "line_size",
+        "_read_backing",
+        "_write_backing",
+        "_lines",
+        "segments",
+        "stats",
+        "_instr",
+        "_instr_on",
+        "_hit_counter",
+        "_miss_counter",
+        "_write_back_counter",
+    )
+
     def __init__(
         self,
         capacity_lines: int,
@@ -131,6 +146,7 @@ class WriteBackCache:
         # CacheStats into the machine-wide registry (labels identify the
         # owning PE when the cached driver wires the machine's context).
         self._instr = instrumentation
+        self._instr_on = instrumentation.enabled
         if instrumentation.enabled:
             label_dict = labels or {}
             self._hit_counter = instrumentation.counter("cache.hits", **label_dict)
@@ -187,17 +203,17 @@ class WriteBackCache:
     # ------------------------------------------------------------------
     def _record_hit(self) -> None:
         self.stats.hits += 1
-        if self._instr.enabled:
+        if self._instr_on:
             self._hit_counter.inc()
 
     def _record_miss(self) -> None:
         self.stats.misses += 1
-        if self._instr.enabled:
+        if self._instr_on:
             self._miss_counter.inc()
 
     def _record_write_backs(self, words: int = 1) -> None:
         self.stats.write_backs += words
-        if self._instr.enabled:
+        if self._instr_on:
             self._write_back_counter.inc(words)
 
     # ------------------------------------------------------------------
@@ -268,40 +284,43 @@ class WriteBackCache:
         """
         if not self._cacheable(address):
             return False, None
-        tag, offset = self._tag_and_offset(address)
+        line_size = self.line_size
+        tag = address // line_size
         if tag not in self._lines:
             self._record_miss()
             return False, None
         self._record_hit()
-        return True, self._touch(tag).words[offset]
+        return True, self._touch(tag).words[address % line_size]
 
     def install(
         self, address: int, value: int, *, dirty: bool = False
-    ) -> list[tuple[int, int]]:
+    ) -> tuple[tuple[int, int], ...]:
         """Place one word in the cache without reading the backing store.
 
         Only supported at ``line_size == 1`` (word-granularity caching,
-        the configuration the machine integration uses).  Returns the
-        dirty (address, value) pairs evicted to make room — the caller
-        is responsible for writing them to central memory.
+        the configuration the machine integration uses, so ``tag`` is the
+        address itself).  Returns the dirty (address, value) pairs
+        evicted to make room — the caller is responsible for writing them
+        to central memory.  The common no-eviction case returns a shared
+        empty tuple (this sits on the cached-PE per-reference path).
         """
         if self.line_size != 1:
             raise ValueError("install() requires line_size == 1")
-        evicted: list[tuple[int, int]] = []
-        tag, _ = self._tag_and_offset(address)
-        if tag not in self._lines and len(self._lines) >= self.capacity_lines:
-            victim_tag, line = self._lines.popitem(last=False)
-            if line.dirty[0]:
-                evicted.append((victim_tag * self.line_size, line.words[0]))
-                self._record_write_backs()
-        if tag in self._lines:
-            line = self._touch(tag)
-            line.words[0] = value
-            line.dirty[0] = line.dirty[0] or dirty
-        else:
+        lines = self._lines
+        evicted: tuple[tuple[int, int], ...] = ()
+        if address not in lines:
+            if len(lines) >= self.capacity_lines:
+                victim_tag, line = lines.popitem(last=False)
+                if line.dirty[0]:
+                    evicted = ((victim_tag, line.words[0]),)
+                    self._record_write_backs()
             line = _Line([value])
             line.dirty[0] = dirty
-            self._lines[tag] = line
+            lines[address] = line
+        else:
+            line = self._touch(address)
+            line.words[0] = value
+            line.dirty[0] = line.dirty[0] or dirty
         return evicted
 
     def invalidate(

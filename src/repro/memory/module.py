@@ -19,7 +19,7 @@ from ..core.memory_ops import Effect, Op
 from ..instrumentation import DISABLED, Instrumentation, OCCUPANCY_BUCKETS
 
 
-@dataclass
+@dataclass(slots=True)
 class ServiceRecord:
     """Trace of one completed memory access (for statistics/tests)."""
 
@@ -39,6 +39,23 @@ class MemoryModule:
         Access time in network cycles; the paper's simulation uses twice
         the network cycle time (section 4.2).
     """
+
+    __slots__ = (
+        "index",
+        "latency",
+        "storage",
+        "_pending",
+        "_busy_until",
+        "_in_service",
+        "accesses",
+        "busy_cycles",
+        "history",
+        "keep_history",
+        "_instr",
+        "_instr_on",
+        "_access_counter",
+        "_queue_histogram",
+    )
 
     def __init__(
         self,
@@ -60,8 +77,9 @@ class MemoryModule:
         self.busy_cycles = 0
         self.history: list[ServiceRecord] = []
         self.keep_history = False
-        # instrumentation (handles cached once; probes gate on .enabled)
+        # instrumentation (handles cached once; probes gate on _instr_on)
         self._instr = instrumentation
+        self._instr_on = instrumentation.enabled
         if instrumentation.enabled:
             self._access_counter = instrumentation.counter(
                 "memory.accesses", module=index
@@ -87,7 +105,7 @@ class MemoryModule:
         old = self.storage.get(op.address, 0)
         effect = op.apply(old)
         self.storage[op.address] = effect.new_value
-        if self._instr.enabled:
+        if self._instr_on:
             self._access_counter.inc()
         return effect
 
@@ -96,7 +114,7 @@ class MemoryModule:
     # ------------------------------------------------------------------
     def enqueue(self, op: Op, cycle: int) -> None:
         self._pending.append((op, cycle))
-        if self._instr.enabled:
+        if self._instr_on:
             self._queue_histogram.observe(self.queue_length)
 
     @property

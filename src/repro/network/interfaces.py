@@ -49,7 +49,7 @@ class OutstandingConflictError(RuntimeError):
     """A PE tried to issue a second reference to an outstanding location."""
 
 
-@dataclass
+@dataclass(slots=True)
 class ReplyRecord:
     """A completed request as seen by the PE side."""
 
@@ -87,6 +87,26 @@ class PNI:
         counter for backward compatibility.
     """
 
+    __slots__ = (
+        "pe_id",
+        "topology",
+        "translation",
+        "max_outstanding",
+        "_tags",
+        "outbound",
+        "_outstanding_cells",
+        "_outstanding_tags",
+        "completed",
+        "_link_busy_until",
+        "requests_issued",
+        "replies_received",
+        "total_round_trip",
+        "_instr",
+        "_instr_on",
+        "_issue_counter",
+        "_rtt_histogram",
+    )
+
     def __init__(
         self,
         pe_id: int,
@@ -111,8 +131,9 @@ class PNI:
         self.requests_issued = 0
         self.replies_received = 0
         self.total_round_trip = 0
-        # instrumentation (handles cached once; probes gate on .enabled)
+        # instrumentation (handles cached once; probes gate on _instr_on)
         self._instr = instrumentation
+        self._instr_on = instrumentation.enabled
         if instrumentation.enabled:
             self._issue_counter = instrumentation.counter("machine.requests_issued")
             self._rtt_histogram = instrumentation.histogram(
@@ -162,7 +183,7 @@ class PNI:
         self._outstanding_cells.add(cell)
         self._outstanding_tags[tag] = message
         self.requests_issued += 1
-        if self._instr.enabled:
+        if self._instr_on:
             self._issue_counter.inc()
             self._instr.record("issue", cycle, tag=tag, pe=self.pe_id, mm=module)
         return tag
@@ -200,7 +221,7 @@ class PNI:
         self.completed.append(record)
         self.replies_received += 1
         self.total_round_trip += record.round_trip
-        if self._instr.enabled:
+        if self._instr_on:
             self._rtt_histogram.observe(record.round_trip)
             self._instr.record(
                 "reply", cycle, tag=message.tag, pe=self.pe_id, value=message.value
@@ -242,6 +263,21 @@ class MNI:
     into the network.
     """
 
+    __slots__ = (
+        "module",
+        "inbound_capacity_packets",
+        "_inbound",
+        "_inbound_packets",
+        "_in_service",
+        "outbound",
+        "_link_busy_until",
+        "requests_served",
+        "busy_cycles",
+        "_instr",
+        "_instr_on",
+        "_inbound_histogram",
+    )
+
     def __init__(
         self,
         module: MemoryModule,
@@ -259,8 +295,9 @@ class MNI:
         # statistics
         self.requests_served = 0
         self.busy_cycles = 0
-        # instrumentation (handles cached once; probes gate on .enabled)
+        # instrumentation (handles cached once; probes gate on _instr_on)
         self._instr = instrumentation
+        self._instr_on = instrumentation.enabled
         if instrumentation.enabled:
             self._inbound_histogram = instrumentation.histogram(
                 "mni.inbound_occupancy_packets",
@@ -282,7 +319,7 @@ class MNI:
         ready = cycle + max(0, message.packets - 1)
         self._inbound.append((message, ready))
         self._inbound_packets += message.packets
-        if self._instr.enabled:
+        if self._instr_on:
             self._inbound_histogram.observe(self._inbound_packets)
         return True
 
@@ -291,6 +328,8 @@ class MNI:
     # ------------------------------------------------------------------
     def tick(self, cycle: int) -> None:
         """Complete / start one memory access (serial server)."""
+        if self._in_service is None and not self._inbound:
+            return  # nothing in service, nothing assembling: a true no-op
         if self._in_service is not None:
             message, done = self._in_service
             if cycle >= done:

@@ -13,6 +13,12 @@ address is available."
 ``k`` for k-by-k switches).  Packet accounting follows the paper's
 simulation model (section 4.2): a message is one packet if it carries no
 data word and three packets otherwise.
+
+Messages are the unit of work on the per-cycle fast path, so the class is
+slotted and the packet count is computed once at construction and
+refreshed only at the two places a message legally mutates in flight: a
+combining queue rewriting ``op`` (:meth:`replace_op`) and a decombining
+switch rewriting a reply's ``value`` (:meth:`set_value`).
 """
 
 from __future__ import annotations
@@ -21,11 +27,14 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional
 
-from ..core.memory_ops import Op
+from ..core.memory_ops import PACKETS_WITH_DATA, PACKETS_WITHOUT_DATA, Op
 
-#: Packet sizes from the paper's network simulation (section 4.2).
-PACKETS_WITHOUT_DATA = 1
-PACKETS_WITH_DATA = 3
+__all__ = [
+    "Message",
+    "PACKETS_WITHOUT_DATA",
+    "PACKETS_WITH_DATA",
+    "packets_for",
+]
 
 _message_ids = itertools.count()
 
@@ -34,7 +43,7 @@ def packets_for(carries_data: bool) -> int:
     return PACKETS_WITH_DATA if carries_data else PACKETS_WITHOUT_DATA
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A request or reply traversing the network.
 
@@ -68,6 +77,9 @@ class Message:
     combine_depth:
         How many pairwise combines formed this request (0 for a pristine
         request); statistics only.
+    packets:
+        Cached packet count (section 4.2 model); kept consistent by
+        :meth:`replace_op` / :meth:`set_value` at the only mutation sites.
     """
 
     op: Op
@@ -81,13 +93,29 @@ class Message:
     combine_depth: int = 0
     issued_cycle: int = 0
     uid: int = field(default_factory=lambda: next(_message_ids))
+    packets: int = field(init=False, default=0)
 
-    @property
-    def packets(self) -> int:
-        """Packets occupied on a link / in a queue (section 4.2 model)."""
+    def __post_init__(self) -> None:
         if self.is_reply:
-            return packets_for(self.value is not None)
-        return packets_for(self.op.carries_data)
+            self.packets = (
+                PACKETS_WITH_DATA if self.value is not None else PACKETS_WITHOUT_DATA
+            )
+        else:
+            self.packets = self.op.request_packets
+
+    def replace_op(self, op: Op) -> None:
+        """Swap the transported operation (combining), refreshing packets."""
+        self.op = op
+        if not self.is_reply:
+            self.packets = op.request_packets
+
+    def set_value(self, value: Optional[int]) -> None:
+        """Rewrite a reply's data word (decombining), refreshing packets."""
+        self.value = value
+        if self.is_reply:
+            self.packets = (
+                PACKETS_WITH_DATA if value is not None else PACKETS_WITHOUT_DATA
+            )
 
     def route_digit(self, stage: int) -> int:
         return self.digits[stage]

@@ -95,67 +95,86 @@ class OmegaNetwork:
     # static wiring
     # ------------------------------------------------------------------
     def _build_wiring(self) -> None:
-        """Precompute one delivery callback per (stage, switch).
+        """Precompute one delivery callback per (stage, switch, port).
 
-        The shuffle wiring is static, so the per-port targets are
-        resolved once here instead of on every cycle; the callbacks also
-        mark the receiving switch's wake set on acceptance, which is how
-        traffic propagates through the event kernel's dirty sets.
+        The shuffle wiring is static, so each output port's target —
+        switch object, input port, dirty-set marker or endpoint line —
+        is resolved once here and prebound into its own callable; the
+        per-cycle hot path then runs with no lookups or tuple unpacking.
+        The callbacks also mark the receiving switch's wake set on
+        acceptance, which is how traffic propagates through the event
+        kernel's dirty sets.
         """
         topo = self.topology
         last = topo.stages - 1
 
-        def make_fwd(stage: int, index: int) -> Callable[[int, Message], bool]:
+        def fwd_sink(line: int) -> Callable[[Message], bool]:
+            def deliver(msg: Message) -> bool:
+                return self.mm_sink(line, msg)  # type: ignore[misc]
+
+            return deliver
+
+        def fwd_hop(
+            target: Switch, in_port: int, mark: Callable[[int], None], index: int
+        ) -> Callable[[Message], bool]:
+            def deliver(msg: Message) -> bool:
+                if target.offer_forward(in_port, msg, self.cycle):
+                    mark(index)
+                    return True
+                return False
+
+            return deliver
+
+        def make_fwd(stage: int, index: int) -> list[Callable[[Message], bool]]:
             if stage == last:
-                mm_lines = [
-                    topo.stage_output_line(index, port) for port in range(topo.k)
-                ]
-
-                def deliver(out_port: int, msg: Message) -> bool:
-                    return self.mm_sink(mm_lines[out_port], msg)  # type: ignore[misc]
-
-            else:
-                targets = [
-                    topo.stage_input(topo.stage_output_line(index, port))
+                return [
+                    fwd_sink(topo.stage_output_line(index, port))
                     for port in range(topo.k)
                 ]
-                next_row = self.stages[stage + 1]
-                dirty = self._fwd_dirty[stage + 1]
+            next_row = self.stages[stage + 1]
+            mark = self._fwd_dirty[stage + 1].add
+            delivers = []
+            for port in range(topo.k):
+                next_switch, next_port = topo.stage_input(
+                    topo.stage_output_line(index, port)
+                )
+                delivers.append(
+                    fwd_hop(next_row[next_switch], next_port, mark, next_switch)
+                )
+            return delivers
 
-                def deliver(out_port: int, msg: Message) -> bool:
-                    next_switch, next_port = targets[out_port]
-                    if next_row[next_switch].offer_forward(next_port, msg, self.cycle):
-                        dirty.add(next_switch)
-                        return True
-                    return False
+        def ret_sink(line: int) -> Callable[[Message], bool]:
+            def deliver(msg: Message) -> bool:
+                return self.pe_sink(line, msg)  # type: ignore[misc]
 
             return deliver
 
-        def make_ret(stage: int, index: int) -> Callable[[int, Message], bool]:
+        def ret_hop(
+            target: Switch, mm_port: int, mark: Callable[[int], None], index: int
+        ) -> Callable[[Message], bool]:
+            def deliver(msg: Message) -> bool:
+                if target.offer_return(mm_port, msg, self.cycle):
+                    mark(index)
+                    return True
+                return False
+
+            return deliver
+
+        def make_ret(stage: int, index: int) -> list[Callable[[Message], bool]]:
             if stage == 0:
-                pe_lines = [
-                    topo.unshuffle(index * topo.k + port) for port in range(topo.k)
-                ]
-
-                def deliver(out_port: int, msg: Message) -> bool:
-                    return self.pe_sink(pe_lines[out_port], msg)  # type: ignore[misc]
-
-            else:
-                targets = [
-                    divmod(topo.unshuffle(index * topo.k + port), topo.k)
+                return [
+                    ret_sink(topo.unshuffle(index * topo.k + port))
                     for port in range(topo.k)
                 ]
-                prev_row = self.stages[stage - 1]
-                dirty = self._ret_dirty[stage - 1]
-
-                def deliver(out_port: int, msg: Message) -> bool:
-                    prev_switch, mm_port = targets[out_port]
-                    if prev_row[prev_switch].offer_return(mm_port, msg, self.cycle):
-                        dirty.add(prev_switch)
-                        return True
-                    return False
-
-            return deliver
+            prev_row = self.stages[stage - 1]
+            mark = self._ret_dirty[stage - 1].add
+            delivers = []
+            for port in range(topo.k):
+                prev_switch, mm_port = divmod(
+                    topo.unshuffle(index * topo.k + port), topo.k
+                )
+                delivers.append(ret_hop(prev_row[prev_switch], mm_port, mark, prev_switch))
+            return delivers
 
         self._fwd_deliver = [
             [make_fwd(stage, index) for index in range(topo.switches_per_stage)]

@@ -21,25 +21,31 @@ packet count (the time-multiplexing factor m of section 4), with
 cut-through so an unqueued message suffers only one cycle of switch
 delay — "the delay at each switch is only one cycle if the queues are
 empty".
+
+Offers are transactional: a refused ``offer_forward`` / ``offer_return``
+leaves the message and the switch exactly as they were (no digit swap, no
+value rewrite to undo) — capacity is verified before the commit point.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
+from ..core.memory_ops import PACKETS_WITH_DATA, PACKETS_WITHOUT_DATA
 from ..instrumentation import DISABLED, Instrumentation, LATENCY_BUCKETS
 from .message import Message
-from .systolic_queue import CombiningQueue, QueueFullError
+from .systolic_queue import CombiningQueue
 from .wait_buffer import WaitBuffer, WaitRecord
 
 #: Signature of the delivery callbacks the network wires between stages:
 #: called with the outgoing message; returns True when the downstream
-#: structure accepted it this cycle.
+#: structure accepted it this cycle.  Ticks take one prebound callable
+#: per output port.
 Deliver = Callable[[Message], bool]
 
 
-@dataclass
+@dataclass(slots=True)
 class SwitchStats:
     """Counters exposed for the experiments and ablations."""
 
@@ -51,7 +57,7 @@ class SwitchStats:
     return_blocked_cycles: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class _Port:
     """One output link with its occupancy bookkeeping."""
 
@@ -69,6 +75,24 @@ class _Port:
 class Switch:
     """A k-by-k combining switch at a given network stage."""
 
+    __slots__ = (
+        "k",
+        "stage",
+        "index",
+        "combining",
+        "to_mm",
+        "wait_buffers",
+        "to_pe",
+        "mm_ports",
+        "pe_ports",
+        "stats",
+        "_instr",
+        "_instr_on",
+        "_combine_counter",
+        "_decombine_counter",
+        "_wait_residency",
+    )
+
     def __init__(
         self,
         k: int,
@@ -85,13 +109,14 @@ class Switch:
         self.stage = stage
         self.index = index
         self.combining = combining
+        enabled = instrumentation.enabled
         self.to_mm = [
             CombiningQueue(
                 queue_capacity_packets,
                 combining=combining,
                 pairwise_only=pairwise_only,
                 instrumentation=instrumentation,
-                labels={"stage": stage, "direction": "to_mm"},
+                labels={"stage": stage, "direction": "to_mm"} if enabled else None,
             )
             for _ in range(k)
         ]
@@ -99,7 +124,7 @@ class Switch:
             WaitBuffer(
                 wait_buffer_capacity,
                 instrumentation=instrumentation,
-                labels={"stage": stage},
+                labels={"stage": stage} if enabled else None,
             )
             for _ in range(k)
         ]
@@ -108,19 +133,21 @@ class Switch:
                 queue_capacity_packets,
                 combining=False,
                 instrumentation=instrumentation,
-                labels={"stage": stage, "direction": "to_pe"},
+                labels={"stage": stage, "direction": "to_pe"} if enabled else None,
             )
             for _ in range(k)
         ]
         self.mm_ports = [_Port() for _ in range(k)]
         self.pe_ports = [_Port() for _ in range(k)]
         self.stats = SwitchStats()
-        # instrumentation (handles cached once; probes gate on .enabled).
-        # Instruments are keyed by stage, not switch index, so every
-        # switch — and every network copy — sharing a registry
-        # aggregates into the same per-stage instruments.
+        # instrumentation (handles cached once; probes gate on _instr_on,
+        # which never flips after construction).  Instruments are keyed
+        # by stage, not switch index, so every switch — and every network
+        # copy — sharing a registry aggregates into the same per-stage
+        # instruments.
         self._instr = instrumentation
-        if instrumentation.enabled:
+        self._instr_on = enabled
+        if enabled:
             self._combine_counter = instrumentation.counter(
                 "network.combines", stage=stage
             )
@@ -144,10 +171,12 @@ class Switch:
         Routes on the current destination digit, swaps in the origin
         digit (the amalgam of section 3.1.1), and inserts into the ToMM
         queue — combining with a queued partner when possible.  Returns
-        False (leaving the message with the caller) when the target
-        queue is full and no combine is possible.
+        False (leaving the message untouched with the caller) when the
+        target queue is full and no combine is possible; the combining
+        search and the capacity check both precede the digit swap, so a
+        refused offer has no side effects to undo.
         """
-        out_port = message.route_digit(self.stage)
+        out_port = message.digits[self.stage]
         if not 0 <= out_port < self.k:
             raise ValueError(
                 f"stage {self.stage} digit {out_port} out of range for k={self.k}"
@@ -158,66 +187,69 @@ class Switch:
         # Combining must be suppressed while the wait buffer is full —
         # there would be nowhere to put the decombining record.
         allow_combine = self.combining and not wait_buffer.is_full()
-        saved_combining = queue.combining
-        queue.combining = allow_combine
-
-        message.record_arrival_port(self.stage, in_port)
-        try:
-            outcome = queue.insert(message)
-        except QueueFullError:
-            # Undo the digit swap; the message will be re-offered.
-            message.digits[self.stage] = out_port
+        partner = queue.find_partner(message, combining=allow_combine)
+        if partner is None and not queue.can_accept(message.packets):
             return False
-        finally:
-            queue.combining = saved_combining
 
-        if outcome.combined_with is not None:
-            assert outcome.plan is not None
+        # Commit point: the offer is known to succeed.
+        message.digits[self.stage] = in_port
+        if partner is not None:
+            slot, plan = partner
+            queue.commit_combine(slot, message, plan)
             wait_buffer.insert(
                 WaitRecord(
-                    key_tag=outcome.combined_with.tag,
-                    plan=outcome.plan,
+                    key_tag=slot.message.tag,
+                    plan=plan,
                     new_message=message,
                     stage=self.stage,
                     created_cycle=cycle,
                 )
             )
             self.stats.combines += 1
-            if self._instr.enabled:
+            if self._instr_on:
                 self._combine_counter.inc()
                 self._instr.record(
                     "combine",
                     cycle,
-                    tag=outcome.combined_with.tag,
+                    tag=slot.message.tag,
                     pe=message.origin,
                     stage=self.stage,
                 )
-        elif self._instr.enabled:
-            self._instr.record(
-                "enqueue", cycle, tag=message.tag, pe=message.origin, stage=self.stage
-            )
+        else:
+            queue.append(message)
+            if self._instr_on:
+                self._instr.record(
+                    "enqueue",
+                    cycle,
+                    tag=message.tag,
+                    pe=message.origin,
+                    stage=self.stage,
+                )
         self.stats.requests_routed += 1
         return True
 
-    def tick_forward(self, cycle: int, deliver: Callable[[int, Message], bool]) -> None:
+    def tick_forward(self, cycle: int, delivers: Sequence[Deliver]) -> None:
         """Try to transmit each ToMM queue head to the next stage.
 
-        ``deliver(out_port, message)`` is the network's wiring callback;
-        it returns False when the downstream queue is full, in which case
-        the head stays (head-of-line blocking, as in the hardware).
+        ``delivers[out_port]`` is the network's prebound wiring callback
+        for that output link; it returns False when the downstream queue
+        is full, in which case the head stays (head-of-line blocking, as
+        in the hardware).
         """
-        for out_port, queue in enumerate(self.to_mm):
-            head = queue.head()
-            if head is None:
-                continue
-            port = self.mm_ports[out_port]
-            if not port.free(cycle):
-                continue
-            if deliver(out_port, head):
-                queue.pop()
-                port.occupy(cycle, head.packets)
-            else:
-                self.stats.forward_blocked_cycles += 1
+        out_port = 0
+        for queue in self.to_mm:
+            slots = queue._slots
+            if slots:
+                port = self.mm_ports[out_port]
+                if cycle >= port.busy_until:
+                    head = slots[0].message
+                    if delivers[out_port](head):
+                        queue.pop()
+                        port.busy_until = cycle + head.packets
+                        port.messages_sent += 1
+                    else:
+                        self.stats.forward_blocked_cycles += 1
+            out_port += 1
 
     # ------------------------------------------------------------------
     # return path: replies MM side -> PE side
@@ -231,50 +263,51 @@ class Switch:
         innermost (most recent) combine first, since its rule applies to
         the raw memory reply — synthesizing one reply per absorbed
         partner plus the rewritten reply for R-old.  Space for every
-        reply is verified before anything commits (otherwise the reply
-        is refused and retried); the paper's pairwise switch is the
-        one-record special case.
+        reply is verified before anything commits — the value rewrite,
+        the wait-buffer removal, and the enqueues happen only past the
+        commit point, so a refused reply retries with no undo needed;
+        the paper's pairwise switch is the one-record special case.
         """
-        out_port = message.route_digit(self.stage)
+        out_port = message.digits[self.stage]
+        to_pe = self.to_pe
         records = self.wait_buffers[mm_port].peek_all(message.tag)
         if not records:
-            if not self.to_pe[out_port].can_accept(message.packets):
+            queue = to_pe[out_port]
+            if not queue.can_accept(message.packets):
                 return False
-            self.to_pe[out_port].insert(message)
+            queue.append(message)
             self.stats.replies_routed += 1
             return True
 
         # Unwind most-recent-first, threading the old-side value down.
-        memory_value = message.value
-        value = memory_value
+        value = message.value
         partner_replies: list[Message] = []
         for record in reversed(records):
             new_value = record.plan.new_rule.materialize(value)
             partner_replies.append(record.new_message.make_reply(new_value))
             value = record.plan.old_rule.materialize(value)
 
-        old_reply = message
-        old_reply.value = value
-
-        # Verify capacity per target ToPE port for the whole fan-out.
+        # Verify capacity per target ToPE port for the whole fan-out,
+        # using the packet count the rewritten R-old reply *will* have.
+        old_packets = PACKETS_WITH_DATA if value is not None else PACKETS_WITHOUT_DATA
         needed: dict[int, int] = {}
-        for reply in (*partner_replies, old_reply):
-            port = reply.route_digit(self.stage)
-            needed[port] = needed.get(port, 0) + reply.packets
-        if not all(
-            self.to_pe[port].can_accept(packets)
-            for port, packets in needed.items()
-        ):
-            old_reply.value = memory_value  # undo the rewrite for retry
-            return False
-
-        self.wait_buffers[mm_port].match_all(message.tag)
         for reply in partner_replies:
-            self.to_pe[reply.route_digit(self.stage)].insert(reply)
+            port = reply.digits[self.stage]
+            needed[port] = needed.get(port, 0) + reply.packets
+        needed[out_port] = needed.get(out_port, 0) + old_packets
+        for port, packets in needed.items():
+            if not to_pe[port].can_accept(packets):
+                return False
+
+        # Commit point: the fan-out is known to fit.
+        self.wait_buffers[mm_port].match_all(message.tag)
+        message.set_value(value)
+        for reply in partner_replies:
+            to_pe[reply.digits[self.stage]].append(reply)
             self.stats.decombines += 1
-        self.to_pe[out_port].insert(old_reply)
+        to_pe[out_port].append(message)
         self.stats.replies_routed += 1 + len(partner_replies)
-        if self._instr.enabled:
+        if self._instr_on:
             self._decombine_counter.inc(len(records))
             for record in records:
                 self._wait_residency.observe(cycle - record.created_cycle)
@@ -287,20 +320,22 @@ class Switch:
                 )
         return True
 
-    def tick_return(self, cycle: int, deliver: Callable[[int, Message], bool]) -> None:
+    def tick_return(self, cycle: int, delivers: Sequence[Deliver]) -> None:
         """Try to transmit each ToPE queue head toward the PE side."""
-        for out_port, queue in enumerate(self.to_pe):
-            head = queue.head()
-            if head is None:
-                continue
-            port = self.pe_ports[out_port]
-            if not port.free(cycle):
-                continue
-            if deliver(out_port, head):
-                queue.pop()
-                port.occupy(cycle, head.packets)
-            else:
-                self.stats.return_blocked_cycles += 1
+        out_port = 0
+        for queue in self.to_pe:
+            slots = queue._slots
+            if slots:
+                port = self.pe_ports[out_port]
+                if cycle >= port.busy_until:
+                    head = slots[0].message
+                    if delivers[out_port](head):
+                        queue.pop()
+                        port.busy_until = cycle + head.packets
+                        port.messages_sent += 1
+                    else:
+                        self.stats.return_blocked_cycles += 1
+            out_port += 1
 
     # ------------------------------------------------------------------
     # introspection
@@ -324,7 +359,13 @@ class Switch:
         only act when a matching reply arrives, and that arrival wakes
         the switch through the network's dirty sets.
         """
-        return self.forward_pending() == 0 and self.return_pending() == 0
+        for queue in self.to_mm:
+            if queue._slots:
+                return False
+        for queue in self.to_pe:
+            if queue._slots:
+                return False
+        return True
 
     def pending_wait_records(self) -> int:
         return sum(len(wb) for wb in self.wait_buffers)

@@ -33,7 +33,7 @@ from ..instrumentation import DISABLED, Instrumentation, OCCUPANCY_BUCKETS
 from .message import Message
 
 
-@dataclass
+@dataclass(slots=True)
 class _Slot:
     """A queued message plus its pairwise-combining status.
 
@@ -47,7 +47,7 @@ class _Slot:
     already_combined: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InsertOutcome:
     """What happened when a message was offered to the queue.
 
@@ -85,7 +85,26 @@ class CombiningQueue:
         owning switch passes its stage and direction), every successful
         append observes the post-insert occupancy in a shared per-stage
         ``network.queue_occupancy_packets`` histogram.
+
+    The queue is on the switch fast path, so besides the classic
+    :meth:`insert` the search and the two commit actions are exposed
+    separately (:meth:`find_partner`, :meth:`commit_combine`,
+    :meth:`append`) — a switch can then search *before* committing any
+    message mutation, which is what makes refused offers side-effect
+    free.
     """
+
+    __slots__ = (
+        "capacity_packets",
+        "combining",
+        "pairwise_only",
+        "_slots",
+        "used_packets",
+        "total_inserted",
+        "total_combined",
+        "peak_packets",
+        "_occupancy_histogram",
+    )
 
     def __init__(
         self,
@@ -126,19 +145,60 @@ class CombiningQueue:
             return True
         return self.used_packets + packets <= self.capacity_packets
 
-    def _find_partner(self, message: Message) -> Optional[tuple[_Slot, Combined]]:
-        if not self.combining or message.is_reply:
+    def find_partner(
+        self, message: Message, *, combining: Optional[bool] = None
+    ) -> Optional[tuple[_Slot, Combined]]:
+        """Search for a queued combinable partner without committing.
+
+        ``combining`` overrides the queue's own flag for this search
+        (switches disable combining stage-locally for ablations without
+        mutating shared queue state).
+        """
+        if combining is None:
+            combining = self.combining
+        if not combining or message.is_reply:
             return None
-        key = message.combining_key()
+        mm = message.mm
+        offset = message.offset
+        pairwise_only = self.pairwise_only
         for slot in self._slots:
-            if self.pairwise_only and slot.already_combined:
+            queued = slot.message
+            if pairwise_only and slot.already_combined:
                 continue
-            if slot.message.combining_key() != key:
+            if queued.mm != mm or queued.offset != offset:
                 continue
-            plan = try_combine(slot.message.op, message.op)
+            plan = try_combine(queued.op, message.op)
             if plan is not None:
                 return slot, plan
         return None
+
+    def commit_combine(self, slot: _Slot, message: Message, plan: Combined) -> None:
+        """Merge ``message`` into the queued partner found by
+        :meth:`find_partner` (the new request is deleted, per the paper)."""
+        queued = slot.message
+        old_packets = queued.packets
+        queued.replace_op(plan.forward)
+        queued.combine_depth = max(queued.combine_depth, message.combine_depth) + 1
+        slot.already_combined = True
+        self.used_packets += queued.packets - old_packets
+        if self.used_packets > self.peak_packets:
+            self.peak_packets = self.used_packets
+        self.total_combined += 1
+
+    def append(self, message: Message) -> None:
+        """Enqueue without a combining search; raises when it cannot fit."""
+        if not self.can_accept(message.packets):
+            raise QueueFullError(
+                f"queue full ({self.used_packets}/{self.capacity_packets} "
+                f"packets) and message tag={message.tag} cannot combine"
+            )
+        self._slots.append(_Slot(message=message))
+        self.used_packets += message.packets
+        if self.used_packets > self.peak_packets:
+            self.peak_packets = self.used_packets
+        self.total_inserted += 1
+        if self._occupancy_histogram is not None:
+            self._occupancy_histogram.observe(self.used_packets)
 
     def insert(self, message: Message) -> InsertOutcome:
         """Offer a message; combine it into a queued partner if possible.
@@ -150,31 +210,12 @@ class CombiningQueue:
         Raises :class:`QueueFullError` when the message cannot combine
         and does not fit.
         """
-        partner = self._find_partner(message)
+        partner = self.find_partner(message)
         if partner is not None:
             slot, plan = partner
-            old_packets = slot.message.packets
-            slot.message.op = plan.forward
-            slot.message.combine_depth = (
-                max(slot.message.combine_depth, message.combine_depth) + 1
-            )
-            slot.already_combined = True
-            self.used_packets += slot.message.packets - old_packets
-            self.peak_packets = max(self.peak_packets, self.used_packets)
-            self.total_combined += 1
+            self.commit_combine(slot, message, plan)
             return InsertOutcome(queued=False, combined_with=slot.message, plan=plan)
-
-        if not self.can_accept(message.packets):
-            raise QueueFullError(
-                f"queue full ({self.used_packets}/{self.capacity_packets} "
-                f"packets) and message tag={message.tag} cannot combine"
-            )
-        self._slots.append(_Slot(message=message))
-        self.used_packets += message.packets
-        self.peak_packets = max(self.peak_packets, self.used_packets)
-        self.total_inserted += 1
-        if self._occupancy_histogram is not None:
-            self._occupancy_histogram.observe(self.used_packets)
+        self.append(message)
         return InsertOutcome(queued=True)
 
     def is_idle(self) -> bool:

@@ -70,6 +70,10 @@ class OmegaTopology:
         self.k = k
         self.stages = stages
         self.switches_per_stage = n_ports // k
+        # Destination -> interned digit tuple; the destination space is
+        # just the module numbers, so this stays small while making
+        # per-message route computation a dict hit (see route_tuple).
+        self._route_cache: dict[int, tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------
     # wiring
@@ -94,9 +98,21 @@ class OmegaTopology:
     # ------------------------------------------------------------------
     # routing
     # ------------------------------------------------------------------
+    def route_tuple(self, destination: int) -> tuple[int, ...]:
+        """Interned destination-digit tuple (PE side first).
+
+        Message creation copies this into its mutable digit vector; the
+        digits themselves are computed once per destination.
+        """
+        cached = self._route_cache.get(destination)
+        if cached is None:
+            cached = tuple(digits_of(destination, self.k, self.stages))
+            self._route_cache[destination] = cached
+        return cached
+
     def route_digits(self, destination: int) -> list[int]:
         """Destination digits consumed stage by stage (PE side first)."""
-        return digits_of(destination, self.k, self.stages)
+        return list(self.route_tuple(destination))
 
     def forward_path(self, source: int, destination: int) -> list[Hop]:
         """The unique source→destination path as a list of switch hops."""

@@ -17,14 +17,14 @@ information is the decombining recipe from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Optional
+from typing import Any, Optional, Sequence
 
 from ..core.combining import Combined
 from ..instrumentation import DISABLED, Instrumentation, OCCUPANCY_BUCKETS
 from .message import Message
 
 
-@dataclass
+@dataclass(slots=True)
 class WaitRecord:
     """Everything needed to regenerate R-new's reply at this switch."""
 
@@ -58,6 +58,15 @@ class WaitBuffer:
     decombine time (the innermost combine is the last one performed, so
     its rule applies to the raw memory reply).
     """
+
+    __slots__ = (
+        "capacity",
+        "_records",
+        "_occupancy",
+        "peak_occupancy",
+        "total_insertions",
+        "_occupancy_histogram",
+    )
 
     def __init__(
         self,
@@ -113,9 +122,14 @@ class WaitBuffer:
         stack = self._records.get(tag)
         return stack[-1] if stack else None
 
-    def peek_all(self, tag: int) -> list[WaitRecord]:
-        """All records for a key, oldest first, without removal."""
-        return list(self._records.get(tag, ()))
+    def peek_all(self, tag: int) -> Sequence[WaitRecord]:
+        """All records for a key, oldest first, without removal.
+
+        Most replies match nothing, so the miss path returns a shared
+        empty tuple instead of allocating a fresh list per lookup.
+        """
+        stack = self._records.get(tag)
+        return list(stack) if stack else ()
 
     def match(self, tag: int) -> Optional[WaitRecord]:
         """Pop the most recent record for a key (innermost combine)."""

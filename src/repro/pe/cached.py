@@ -30,9 +30,10 @@ from ..core.machine import Ultracomputer
 from ..core.memory_ops import Load, Op, Store
 from ..core.paracomputer import Program, ProgramFactory
 from ..memory.cache import Segment, WriteBackCache
+from ..network.interfaces import PNI
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class CacheControl:
     """A cache command a program can yield (costs one cycle)."""
 
@@ -40,11 +41,12 @@ class CacheControl:
     segment: Optional[str] = None
 
 
-@dataclass
+@dataclass(slots=True)
 class _CachedPE:
     pe_id: int
     program: Program
     cache: WriteBackCache
+    pni: Optional[PNI] = None  # bound once at spawn; hot-path alias
     running: bool = True
     compute_remaining: int = 0
     waiting_tag: Optional[int] = None
@@ -98,13 +100,14 @@ class CachedProgramDriver:
             )
 
         backlog: deque = deque()
+        instrumentation = self.machine.instrumentation
         cache = WriteBackCache(
             self.cache_lines,
             1,
             _unused_read,
             lambda address, value: backlog.append(Store(address, value)),
-            instrumentation=self.machine.instrumentation,
-            labels={"pe": pe_id},
+            instrumentation=instrumentation,
+            labels={"pe": pe_id} if instrumentation.enabled else None,
         )
         for segment in self.segments:
             cache.add_segment(segment)
@@ -112,6 +115,7 @@ class CachedProgramDriver:
             pe_id=pe_id,
             program=program_fn(pe_id, *args, **kwargs),
             cache=cache,
+            pni=self.machine.pnis[pe_id],
             write_backlog=backlog,
         )
         self.pes.append(pe)
@@ -146,7 +150,7 @@ class CachedProgramDriver:
 
     def _drain_backlog(self, pe: _CachedPE, cycle: int) -> None:
         """Send queued write-backs through the PNI (fire-and-forget)."""
-        pni = self.machine.pnis[pe.pe_id]
+        pni = pe.pni
         while pe.write_backlog:
             op = pe.write_backlog[0]
             if not pni.can_issue(op):
@@ -157,7 +161,7 @@ class CachedProgramDriver:
 
     def _collect_acks(self, pe: _CachedPE) -> None:
         """Consume store acknowledgements; capture the one awaited fill."""
-        pni = self.machine.pnis[pe.pe_id]
+        pni = pe.pni
         while True:
             reply = pni.pop_reply()
             if reply is None:
@@ -170,7 +174,7 @@ class CachedProgramDriver:
 
     def _handle_op(self, pe: _CachedPE, op: Op, cycle: int) -> bool:
         """Try to perform one memory op; True when the PE may proceed."""
-        pni = self.machine.pnis[pe.pe_id]
+        pni = pe.pni
         cache = pe.cache
         if isinstance(op, Load):
             hit, value = cache.probe(op.address)
@@ -286,7 +290,7 @@ class CachedProgramDriver:
         """
         best: Optional[int] = None
         for pe in self.pes:
-            pni = self.machine.pnis[pe.pe_id]
+            pni = pe.pni
             if pni.completed:
                 return cycle
             if pe.write_backlog and pni.can_issue(pe.write_backlog[0]):

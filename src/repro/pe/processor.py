@@ -25,7 +25,7 @@ from ..network.interfaces import PNI
 from . import isa
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessorStats:
     instructions: int = 0
     stall_cycles: int = 0
@@ -41,6 +41,18 @@ class ProcessorStats:
 
 class Processor:
     """A PE executing a fixed program with register locking."""
+
+    __slots__ = (
+        "pe_id",
+        "program",
+        "pni",
+        "registers",
+        "locked",
+        "_lock_tags",
+        "pc",
+        "halted",
+        "stats",
+    )
 
     def __init__(
         self,
@@ -208,7 +220,7 @@ class Processor:
             self.stats.issue_stall_cycles += delta
 
 
-@dataclass
+@dataclass(slots=True)
 class ProcessorDriver:
     """Machine driver running one :class:`Processor` per PE."""
 

@@ -7,6 +7,11 @@ import pytest
 from repro.core.machine import MachineConfig, Ultracomputer
 from repro.core.memory_ops import FetchAdd, Load
 from repro.core.scheduler import KERNELS, DenseKernel, EventKernel, make_kernel
+from repro.memory.module import MemoryModule
+from repro.network.interfaces import MNI
+from repro.network.message import Message
+from repro.network.switch import Switch
+from repro.network.topology import OmegaTopology
 
 
 class TestSelection:
@@ -84,6 +89,61 @@ class TestWakeContract:
         nxt = machine.kernel._next_event_cycle()
         # The interesting tick is the one whose decrement reaches zero.
         assert nxt == machine.cycle + 50 - 1
+
+
+class TestStaleWakeAfterRefusedOffer:
+    """The wake contract consulted *immediately* after a refused offer.
+
+    A refused offer must leave the target component's idle/next-event
+    answers exactly as they were before the offer: the event kernel
+    reads them in the same tick, and any half-committed state would
+    either lose the retry (sleeping past it) or spin forever."""
+
+    @staticmethod
+    def _request(mm, topo, tag):
+        return Message(
+            op=Load(0),
+            mm=mm,
+            offset=0,
+            origin=0,
+            tag=tag,
+            digits=topo.route_digits(mm),
+        )
+
+    def test_switch_idle_state_unchanged_by_refusal(self):
+        topo = OmegaTopology(8, 2)
+        switch = Switch(2, stage=0, index=0, queue_capacity_packets=1)
+        accepted = self._request(0b100, topo, tag=1)
+        refused = self._request(0b110, topo, tag=2)
+        assert switch.offer_forward(0, accepted, cycle=0)
+        busy_before = not switch.is_idle()
+        assert not switch.offer_forward(0, refused, cycle=0)
+        # Still exactly one queued message: awake for the accepted one,
+        # and nothing phantom queued for the refused one.
+        assert not switch.is_idle()
+        assert busy_before
+        assert sum(len(q) for q in switch.to_mm) == 1
+
+    def test_empty_switch_stays_idle_after_refusal(self):
+        topo = OmegaTopology(8, 2)
+        switch = Switch(2, stage=0, index=0, wait_buffer_capacity=0,
+                        queue_capacity_packets=0)
+        refused = self._request(0b100, topo, tag=1)
+        assert switch.is_idle()
+        assert not switch.offer_forward(0, refused, cycle=0)
+        # The refusal must not have woken the switch: ticking it would
+        # be a no-op, and the event kernel may legitimately skip it.
+        assert switch.is_idle()
+
+    def test_mni_refusal_leaves_idle_and_no_event(self):
+        module = MemoryModule(0)
+        mni = MNI(module, inbound_capacity_packets=0)
+        topo = OmegaTopology(8, 2)
+        refused = self._request(0, topo, tag=7)
+        assert mni.is_idle()
+        assert not mni.offer_inbound(refused, cycle=3)
+        assert mni.is_idle()
+        assert mni.next_event_cycle(3) is None
 
 
 class TestRunCyclesParity:

@@ -22,7 +22,16 @@ from hypothesis import given, settings, strategies as st
 
 from repro.core.combining import try_combine
 from repro.core.machine import MachineConfig, Ultracomputer
-from repro.core.memory_ops import FetchAdd, Load, Store, Swap
+from repro.core.memory_ops import (
+    PHI_OPERATORS,
+    FetchAdd,
+    FetchPhi,
+    Load,
+    Store,
+    Swap,
+    TestAndSet,
+    as_fetch_phi,
+)
 from repro.core.serialization import (
     BatchOutcome,
     fetch_add_outcome_valid,
@@ -108,6 +117,66 @@ class TestCombineAssociativity:
         results[0] = value
 
         assert fetch_add_outcome_valid(initial, increments, results, final)
+
+
+class TestPhiOperatorAlgebra:
+    """The registry's declared algebraic flags, checked on sampled ints.
+
+    Combining correctness leans on these flags (section 2.3 requires phi
+    associative for the switches to fold requests in tree order), so a
+    mislabelled operator would silently corrupt combined results."""
+
+    @given(
+        name=st.sampled_from(sorted(PHI_OPERATORS)),
+        a=st.integers(min_value=-1000, max_value=1000),
+        b=st.integers(min_value=-1000, max_value=1000),
+        c=st.integers(min_value=-1000, max_value=1000),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_declared_flags_hold(self, name, a, b, c):
+        phi = PHI_OPERATORS[name]
+        if phi.associative:
+            assert phi(phi(a, b), c) == phi(a, phi(b, c))
+        if phi.commutative:
+            assert phi(a, b) == phi(b, a)
+
+
+class TestFetchPhiNormalization:
+    """``as_fetch_phi`` preserves semantics for every op kind (section
+    2.4: each primitive is a special case of fetch-and-phi)."""
+
+    @given(
+        address=st.integers(min_value=0, max_value=63),
+        operand=st.integers(min_value=-100, max_value=100),
+        old=st.integers(min_value=-1000, max_value=1000),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_normalized_form_matches_original(self, address, operand, old):
+        ops = [
+            Load(address),
+            Store(address, operand),
+            Swap(address, operand),
+            FetchAdd(address, operand),
+            TestAndSet(address),
+            FetchPhi(address, operand, PHI_OPERATORS["max"]),
+        ]
+        for op in ops:
+            normalized = as_fetch_phi(op)
+            assert isinstance(normalized, FetchPhi)
+            assert normalized.address == op.address
+            direct = op.apply(old)
+            via_phi = normalized.apply(old)
+            assert via_phi.new_value == direct.new_value
+            if op.expects_value:
+                # Store/ack-style ops discard the fetched value; for the
+                # rest the normalized form must return the same result.
+                assert via_phi.result == direct.result
+
+    def test_fetch_phi_is_identity_and_zero_operand_forms_intern(self):
+        phi_op = FetchPhi(3, 5, PHI_OPERATORS["add"])
+        assert as_fetch_phi(phi_op) is phi_op
+        assert as_fetch_phi(Load(7)) is as_fetch_phi(Load(7))
+        assert as_fetch_phi(TestAndSet(9)) is as_fetch_phi(TestAndSet(9))
 
 
 def _mixed_op(draw_kind, value):

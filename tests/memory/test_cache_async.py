@@ -49,7 +49,7 @@ class TestProbe:
         evicted = cache.install(3, 30)
         assert not cache.contains(2)
         assert cache.contains(1)
-        assert evicted == []  # 2 was clean
+        assert evicted == ()  # 2 was clean
 
 
 class TestInstall:
@@ -57,13 +57,13 @@ class TestInstall:
         cache, writes = make_cache(lines=1)
         cache.install(1, 10, dirty=True)
         evicted = cache.install(2, 20)
-        assert evicted == [(1, 10)]
+        assert evicted == ((1, 10),)
         assert writes == []  # caller owns the write-back
 
     def test_clean_eviction_silent(self):
         cache, _ = make_cache(lines=1)
         cache.install(1, 10)
-        assert cache.install(2, 20) == []
+        assert cache.install(2, 20) == ()
 
     def test_reinstall_merges_dirty_bit(self):
         cache, _ = make_cache()

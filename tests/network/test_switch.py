@@ -21,6 +21,17 @@ def make_switch(**kwargs):
     return Switch(2, stage=0, index=0, **kwargs)
 
 
+def delivers_logging(log):
+    """Per-port delivery callbacks that record (port, message) and accept."""
+    return [
+        (lambda msg, _port=port: log.append((_port, msg)) or True)
+        for port in range(2)
+    ]
+
+
+ACCEPT_ALL = [lambda msg: True] * 2
+REJECT_ALL = [lambda msg: False] * 2
+
 TOPO = OmegaTopology(8, 2)
 
 
@@ -53,7 +64,7 @@ class TestForwardRouting:
         message = make_request(Load(0), mm=0b000, topo=TOPO)
         switch.offer_forward(0, message, cycle=0)
         delivered = []
-        switch.tick_forward(1, lambda port, msg: delivered.append((port, msg)) or True)
+        switch.tick_forward(1, delivers_logging(delivered))
         assert delivered == [(0, message)]
         assert switch.to_mm[0].head() is None
 
@@ -66,7 +77,10 @@ class TestForwardRouting:
         switch.offer_forward(0, b, 0)
         sent = []
         for cycle in range(6):
-            switch.tick_forward(cycle, lambda port, msg: sent.append((cycle, msg.tag)) or True)
+            accept = [
+                (lambda msg, _c=cycle: sent.append((_c, msg.tag)) or True)
+            ] * 2
+            switch.tick_forward(cycle, accept)
         assert sent[0][1] == 1
         assert sent[1][1] == 2
         assert sent[1][0] - sent[0][0] >= 3
@@ -75,7 +89,7 @@ class TestForwardRouting:
         switch = make_switch()
         message = make_request(Load(0), mm=0, topo=TOPO)
         switch.offer_forward(0, message, 0)
-        switch.tick_forward(1, lambda port, msg: False)  # downstream full
+        switch.tick_forward(1, REJECT_ALL)  # downstream full
         assert switch.to_mm[0].head() is message
         assert switch.stats.forward_blocked_cycles == 1
 
@@ -171,6 +185,57 @@ class TestCombineAndDecombine:
         # prefix sums of (1, 2, 4) in combine order from 100
         assert values == [100, 101, 103]
         assert switch.pending_wait_records() == 0
+
+    def test_forward_refuse_then_retry_commits_nothing_until_accepted(self):
+        """A refused offer_forward must be side-effect free: no digit
+        swap to undo, no stats, and the identical retry succeeds once
+        the queue drains (regression for the old mutate-then-undo flow)."""
+        switch = make_switch(queue_capacity_packets=1)
+        first = make_request(Load(0), mm=0b100, topo=TOPO, tag=1)
+        blocked = make_request(Load(1), mm=0b110, topo=TOPO, tag=2)
+        assert switch.offer_forward(0, first, cycle=0)
+        digits_before = list(blocked.digits)
+        packets_before = blocked.packets
+        assert not switch.offer_forward(1, blocked, cycle=0)
+        assert blocked.digits == digits_before
+        assert blocked.packets == packets_before
+        assert switch.stats.requests_routed == 1  # only the accepted offer
+        # Drain the blocking head; the very same message then routes in.
+        switch.tick_forward(1, ACCEPT_ALL)
+        assert switch.offer_forward(1, blocked, cycle=2)
+        assert blocked.digits[0] == 1  # arrival port recorded at commit
+        assert switch.to_mm[1].head() is blocked
+
+    def test_return_refuse_then_retry_delivers_full_fanout(self):
+        """A refused offer_return must leave the reply, the wait records,
+        and the queues untouched; once the blocking ToPE head drains the
+        identical retry commits the whole decombine fan-out."""
+        switch = Switch(2, stage=0, index=0, queue_capacity_packets=6)
+        old = make_request(FetchAdd(4, 1), mm=0, topo=TOPO, origin=0, tag=10)
+        new = make_request(FetchAdd(4, 2), mm=0, topo=TOPO, origin=0, tag=20)
+        switch.offer_forward(0, old, 0)
+        switch.offer_forward(0, new, 0)
+        # Fill the target ToPE queue so the 6-packet fan-out cannot fit.
+        filler = make_request(Load(9), mm=0, topo=TOPO, origin=0, tag=99)
+        switch.to_pe[0].insert(filler.make_reply(1))  # 3 packets
+        forwarded = switch.to_mm[0].pop()
+        reply = forwarded.make_reply(100)
+        assert not switch.offer_return(0, reply, 5)
+        assert reply.value == 100  # untouched, not rewritten-then-undone
+        assert reply.packets == 3
+        assert switch.pending_wait_records() == 1
+        assert switch.stats.decombines == 0
+        # Drain the blocker; the same reply then decombines completely.
+        switch.tick_return(6, ACCEPT_ALL)
+        assert switch.offer_return(0, reply, 7)
+        assert switch.pending_wait_records() == 0
+        assert switch.stats.decombines == 1
+        replies = []
+        for queue in switch.to_pe:
+            while queue.head() is not None:
+                replies.append(queue.pop())
+        assert sorted(m.value for m in replies) == [100, 101]
+        assert sorted(m.tag for m in replies) == [10, 20]
 
     def test_heterogeneous_combine_load_satisfied_by_store(self):
         switch = make_switch()

@@ -6,11 +6,21 @@ benchmark times the same hot-spot workload with instrumentation off and
 on, and asserts the disabled run is no more than 5% slower than the
 seed-equivalent path — i.e., the probes themselves are effectively free
 when switched off.
+
+The observability layer (``repro.obs``) rides on the same probe sites
+plus window-boundary sampling, so it gets the same treatment:
+``test_observability_probe_overhead`` asserts that collecting a
+timeline from an uninstrumented machine stays inside the 5% budget,
+and documents the enabled-path cost (tracing plus span reconstruction)
+as a JSON artifact when ``REPRO_OBS_OVERHEAD_JSON`` is set.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
+from pathlib import Path
 
 from bench_utils import banner
 
@@ -58,6 +68,110 @@ def test_disabled_overhead_under_five_percent(report):
         f"disabled-instrumentation run ({disabled * 1e3:.2f} ms) is more "
         f"than 5% slower than the enabled run ({enabled * 1e3:.2f} ms); "
         "a probe site is likely doing work outside its enabled-guard"
+    )
+
+
+OBS_CYCLES = 1500
+OBS_WINDOW = 100
+OBS_RATE = 0.2
+#: sized for ~16 * 0.2 * 1500 requests at ~10 events each, no drops.
+OBS_TRACE_CAPACITY = 1 << 17
+
+
+def _traffic_machine(*, instrument: bool = False, trace_capacity: int = 0):
+    from repro.workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+    machine = Ultracomputer(MachineConfig(
+        n_pes=16, instrument=instrument, trace_capacity=trace_capacity,
+    ))
+    driver = SyntheticTrafficDriver(
+        machine, TrafficSpec(rate=OBS_RATE, seed=3)
+    )
+    machine.attach_driver(driver)
+    return machine
+
+
+def _time_plain() -> float:
+    machine = _traffic_machine()
+    start = time.perf_counter()
+    machine.run_cycles(OBS_CYCLES)
+    return time.perf_counter() - start
+
+
+def _time_timeline() -> float:
+    from repro.obs import collect_timeline
+
+    machine = _traffic_machine()
+    start = time.perf_counter()
+    collect_timeline(machine, cycles=OBS_CYCLES, window=OBS_WINDOW)
+    return time.perf_counter() - start
+
+
+def test_observability_probe_overhead(report):
+    """Timeline sampling on an uninstrumented machine fits the 5% budget;
+    the enabled path (tracing + span reconstruction) is documented."""
+    from repro.obs import reconstruct_spans
+
+    _time_plain()  # warm both code paths before timing
+    _time_timeline()
+    plain = min(_time_plain() for _ in range(5))
+    timeline = min(_time_timeline() for _ in range(5))
+
+    # enabled path: same traffic with the full trace on, then spans
+    traced_machine = _traffic_machine(
+        instrument=True, trace_capacity=OBS_TRACE_CAPACITY
+    )
+    start = time.perf_counter()
+    traced_machine.run_cycles(OBS_CYCLES)
+    traced = time.perf_counter() - start
+    result = traced_machine.stats()
+    start = time.perf_counter()
+    spans = reconstruct_spans(result.trace, dropped=result.trace_dropped)
+    reconstruct = time.perf_counter() - start
+
+    figures = {
+        "workload": {
+            "n_pes": 16, "rate": OBS_RATE,
+            "cycles": OBS_CYCLES, "window": OBS_WINDOW,
+        },
+        "plain_ms": round(plain * 1e3, 3),
+        "timeline_disabled_ms": round(timeline * 1e3, 3),
+        "timeline_disabled_overhead": round(timeline / plain - 1.0, 4),
+        "traced_run_ms": round(traced * 1e3, 3),
+        "traced_overhead": round(traced / plain - 1.0, 4),
+        "span_reconstruct_ms": round(reconstruct * 1e3, 3),
+        "spans": len(spans),
+        "trace_events": len(result.trace),
+        "trace_dropped": result.trace_dropped,
+    }
+    out = os.environ.get("REPRO_OBS_OVERHEAD_JSON")
+    if out:
+        Path(out).write_text(json.dumps(figures, indent=2) + "\n")
+
+    lines = [banner("observability overhead (16 PEs uniform traffic, "
+                    f"{OBS_CYCLES} cycles)")]
+    lines.append(f"{'path':>22} {'ms':>9} {'vs plain':>9}")
+    lines.append(f"{'plain run':>22} {plain * 1e3:>9.2f} {'':>9}")
+    lines.append(f"{'timeline (instr off)':>22} {timeline * 1e3:>9.2f} "
+                 f"{timeline / plain - 1.0:>+9.1%}")
+    lines.append(f"{'traced run (instr on)':>22} {traced * 1e3:>9.2f} "
+                 f"{traced / plain - 1.0:>+9.1%}")
+    lines.append(f"{'span reconstruction':>22} {reconstruct * 1e3:>9.2f} "
+                 f"({len(spans)} spans from {len(result.trace)} events)")
+    report("\n".join(lines))
+
+    assert result.trace_dropped == 0, (
+        "observability benchmark trace ring overflowed; raise "
+        "OBS_TRACE_CAPACITY so the enabled-path figures stay comparable"
+    )
+    # Same contract as the probe sites: sampling between windows reads
+    # component state the simulation maintains anyway, so a timeline on
+    # an uninstrumented machine must stay inside the 5% budget.
+    assert timeline <= plain * 1.05, (
+        f"timeline collection on an uninstrumented machine "
+        f"({timeline * 1e3:.2f} ms) is more than 5% slower than a plain "
+        f"run ({plain * 1e3:.2f} ms); a gauge probe is likely doing work "
+        "inside the cycle loop"
     )
 
 

@@ -10,6 +10,9 @@
     python -m repro hotspot [--pes N]   # combining ablation
     python -m repro stats [--json]      # instrumented run + full metrics
     python -m repro trace [--json]      # cycle-level event trace
+    python -m repro trace --chrome f.json  # ... plus a Perfetto trace file
+    python -m repro timeline [--json]   # windowed queue/MM time series
+    python -m repro drift [--strict]    # sim vs analytic-model drift
     python -m repro queue               # parallel queue vs spin lock
 
 Each subcommand prints the same table the corresponding benchmark
@@ -109,16 +112,15 @@ def _metric_histogram(metrics: list[dict], name: str) -> Optional[dict]:
     return None
 
 
-def _histogram_quantile(hist: dict, q: float):
-    """Bucket-resolution quantile of a serialized histogram (mirrors
-    :meth:`repro.instrumentation.HistogramData.quantile`)."""
-    target = q * hist["count"]
-    cumulative = 0
-    for bucket in hist["buckets"]:
-        cumulative += bucket["count"]
-        if cumulative >= target and bucket["le"] is not None:
-            return bucket["le"]
-    return hist["max"]
+def _histogram_quantile(hist: dict, q: float) -> float:
+    """Interpolated quantile of a serialized histogram (the dict form
+    of :meth:`repro.instrumentation.HistogramData.to_dict`) — same
+    estimator as the live :meth:`Histogram.quantile`."""
+    from repro.instrumentation import _interpolated_quantile
+
+    bounds = tuple(b["le"] for b in hist["buckets"] if b["le"] is not None)
+    counts = [b["count"] for b in hist["buckets"]]
+    return _interpolated_quantile(q, bounds, counts, hist["count"], hist["max"])
 
 
 # ----------------------------------------------------------------------
@@ -293,7 +295,7 @@ def _cmd_hotspot(args: argparse.Namespace) -> int:
     rtt = _metric_histogram(on["metrics"], "machine.round_trip_cycles")
     if rtt is not None and rtt["count"]:
         print(f"  round-trip histogram (combining on): count={rtt['count']} "
-              f"mean={rtt['mean']:.1f} p90<={_histogram_quantile(rtt, 0.9)} "
+              f"mean={rtt['mean']:.1f} p90~{_histogram_quantile(rtt, 0.9):.1f} "
               f"max={rtt['max']}")
     return 0
 
@@ -321,7 +323,10 @@ def _run_hot_spot(pes: int, *, rounds: int = 4, trace_capacity: int = 0,
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    stats = _run_hot_spot(args.pes, rounds=args.rounds, seed=args.seed)
+    stats = _run_hot_spot(
+        args.pes, rounds=args.rounds, seed=args.seed,
+        trace_capacity=args.trace_capacity,
+    )
     if args.json:
         return _emit_envelope("stats", stats.to_dict())
     from repro.reporting import format_metrics
@@ -333,6 +338,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"  combines:        {stats.combines}")
     print(f"  memory accesses: {stats.memory_accesses}")
     print(f"  mean round trip: {stats.mean_round_trip:.1f} cycles")
+    if stats.trace is not None:
+        if stats.trace_dropped:
+            print(f"  WARNING: trace truncated — ring buffer dropped "
+                  f"{stats.trace_dropped} event(s); transit-latency "
+                  f"quantiles unavailable (raise --trace-capacity)")
+        else:
+            lat = stats.latency
+            if lat is not None and lat.count:
+                print(f"  transit latency: p50={lat.p50} p95={lat.p95} "
+                      f"p99={lat.p99} max={lat.max} "
+                      f"({lat.count} completed requests)")
     print()
     print(format_metrics(stats.metrics))
     return 0
@@ -343,29 +359,107 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         args.pes, rounds=args.rounds, trace_capacity=args.capacity,
         seed=args.seed,
     )
-    events = stats.trace or []
-    if args.limit is not None:
-        events = events[: args.limit]
+    events = list(stats.trace or [])
+    dropped = stats.trace_dropped
+    if args.chrome:
+        from repro.obs import write_chrome_trace
+
+        write_chrome_trace(args.chrome, events, dropped=dropped)
+    shown = events if args.limit is None else events[: args.limit]
     if args.json:
-        return _emit_envelope("trace", [
-            {k: v for k, v in (
-                ("kind", e.kind), ("cycle", e.cycle), ("tag", e.tag),
-                ("pe", e.pe), ("stage", e.stage), ("mm", e.mm),
-                ("value", e.value),
-            ) if v is not None}
-            for e in events
-        ])
+        extra: dict[str, Any] = {
+            "dropped": dropped, "total_events": len(events),
+        }
+        if args.chrome:
+            extra["chrome_trace"] = args.chrome
+        return _emit_envelope(
+            "trace", [e.to_dict() for e in shown], extra=extra
+        )
+    if dropped:
+        print(f"WARNING: trace truncated — ring buffer dropped {dropped} "
+              f"event(s); raise --capacity to keep them")
     print(f"cycle trace, {args.pes} PEs x {args.rounds} hot-spot "
-          f"fetch-and-adds ({len(events)} events shown):")
-    for e in events:
+          f"fetch-and-adds ({len(shown)} events shown):")
+    for e in shown:
         fields = " ".join(
             f"{k}={v}" for k, v in (
                 ("tag", e.tag), ("pe", e.pe), ("stage", e.stage),
-                ("mm", e.mm), ("value", e.value),
+                ("mm", e.mm), ("value", e.value), ("tag2", e.tag2),
             ) if v is not None
         )
         print(f"  [{e.cycle:>5}] {e.kind:<9} {fields}")
+    if args.chrome:
+        print(f"chrome trace written to {args.chrome} "
+              f"(open in ui.perfetto.dev)")
     return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.exp import timeline_spec
+
+    spec = timeline_spec(
+        pes=args.pes, rate=args.rate, pattern=args.pattern,
+        cycles=args.cycles, window=args.window, k=args.k, seed=args.seed,
+    )
+    result = _make_runner(args).run(spec)
+    payload = result.payloads[0]
+    if args.json:
+        return _emit_envelope("timeline", payload, spec=spec, sweep=result)
+    from repro.reporting import format_table, timeline_ascii
+
+    print(f"timeline: {args.pattern} traffic at p={args.rate}, "
+          f"{args.pes} PEs, {args.cycles} cycles sampled every "
+          f"{payload['window']}")
+    headers = ("cycle", "fwd pkts", "ret pkts", "wait", "combines",
+               "issued", "replies", "mm util")
+    rows = [
+        (s["cycle"], s["forward_packets"], s["return_packets"],
+         s["wait_records"], s["combines"], s["requests_issued"],
+         s["replies"], s["mm_utilization"])
+        for s in payload["samples"]
+    ]
+    print(format_table(headers, rows))
+    print()
+    print(timeline_ascii(payload))
+    return 0
+
+
+def _cmd_drift(args: argparse.Namespace) -> int:
+    from repro.exp import drift_spec
+
+    spec = drift_spec(
+        pes=args.pes, rates=(args.rate,), cycles=args.cycles, k=args.k,
+        threshold=args.threshold, seed=args.seed,
+    )
+    result = _make_runner(args).run(spec)
+    report = result.payloads[0]
+    exit_code = 0 if report["ok"] or not args.strict else 1
+    if args.json:
+        _emit_envelope("drift", report, spec=spec, sweep=result)
+        return exit_code
+    from repro.reporting import format_table
+
+    print(f"analytic drift monitor: {report['n_pes']} PEs, "
+          f"k={report['k']}, {report['cycles']} cycles")
+    print(f"  offered rate:  {report['offered_rate']:.3f}   "
+          f"observed rate: {report['observed_rate']:.3f}   "
+          f"requests: {report['requests']}")
+    print(format_table(
+        ("stage", "observed", "predicted", "rel error", "samples"),
+        [(s["stage"], s["observed_delay"], s["predicted_delay"],
+          f"{s['rel_error']:.1%}", s["samples"])
+         for s in report["stages"]],
+        float_format="{:.3f}",
+    ))
+    rt = report["round_trip"]
+    print(f"  round trip: observed {rt['observed']:.2f} vs predicted "
+          f"{rt['predicted']:.2f} ({rt['rel_error']:.1%} error)")
+    for warning in report["warnings"]:
+        print(f"  WARNING: {warning}")
+    if report["ok"]:
+        print(f"  ok — every error within the "
+              f"{report['threshold']:.0%} threshold")
+    return exit_code
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -517,6 +611,9 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--pes", type=int, default=16)
     stats.add_argument("--rounds", type=int, default=4,
                        help="fetch-and-adds per PE")
+    stats.add_argument("--trace-capacity", type=int, default=0, metavar="N",
+                       help="also record an N-event cycle trace and report "
+                            "transit-latency quantiles (0 = off)")
     _add_seed_flag(stats)
     stats.add_argument("--json", action="store_true",
                        help="emit the RunResult (metrics included) as JSON")
@@ -532,10 +629,51 @@ def build_parser() -> argparse.ArgumentParser:
                        help="trace ring-buffer capacity")
     trace.add_argument("--limit", type=int, default=None,
                        help="print at most N events")
+    trace.add_argument("--chrome", metavar="PATH", default=None,
+                       help="also write a Chrome/Perfetto trace JSON to "
+                            "PATH (open in ui.perfetto.dev)")
     _add_seed_flag(trace)
     trace.add_argument("--json", action="store_true",
                        help="emit the events as JSON")
     trace.set_defaults(fn=_cmd_trace)
+
+    timeline = subparsers.add_parser(
+        "timeline", help="windowed time-series probes over a traffic run"
+    )
+    timeline.add_argument("--pes", type=int, default=16)
+    timeline.add_argument("--rate", type=float, default=0.2,
+                          help="offered traffic (messages/PE/cycle)")
+    timeline.add_argument("--pattern", default="uniform",
+                          choices=["uniform", "hotspot", "stride",
+                                   "permutation"])
+    timeline.add_argument("--cycles", type=int, default=2000)
+    timeline.add_argument("--window", type=int, default=100,
+                          help="cycles per sample")
+    timeline.add_argument("--k", type=int, default=2, help="switch arity")
+    _add_seed_flag(timeline)
+    timeline.add_argument("--json", action="store_true",
+                          help="emit the sampled series as JSON")
+    _add_sweep_flags(timeline)
+    timeline.set_defaults(fn=_cmd_timeline)
+
+    drift = subparsers.add_parser(
+        "drift", help="simulation vs analytic-model drift monitor"
+    )
+    drift.add_argument("--pes", type=int, default=16)
+    drift.add_argument("--rate", type=float, default=0.08,
+                       help="offered traffic (messages/PE/cycle)")
+    drift.add_argument("--cycles", type=int, default=2000)
+    drift.add_argument("--k", type=int, default=2, help="switch arity")
+    drift.add_argument("--threshold", type=float, default=0.25,
+                       help="max acceptable relative error")
+    drift.add_argument("--strict", action="store_true",
+                       help="exit nonzero when any error exceeds the "
+                            "threshold (for CI)")
+    _add_seed_flag(drift)
+    drift.add_argument("--json", action="store_true",
+                       help="emit the drift report as JSON")
+    _add_sweep_flags(drift)
+    drift.set_defaults(fn=_cmd_drift)
 
     profile = subparsers.add_parser(
         "profile", help="cProfile the simulator on the hot-path workload"

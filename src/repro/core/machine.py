@@ -605,4 +605,5 @@ class Ultracomputer:
             },
             metrics=instr.snapshot(),
             trace=instr.trace.events() if instr.trace is not None else None,
+            trace_dropped=instr.trace.dropped if instr.trace is not None else 0,
         )

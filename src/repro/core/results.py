@@ -88,8 +88,17 @@ class RunResult:
         machine was built with ``instrument=True``.
 
     Supporting fields: ``replies_received``, ``decombines``,
-    ``idle_cycles``, ``compute_cycles``, and ``trace`` (the captured
-    cycle trace, None unless tracing was enabled).
+    ``idle_cycles``, ``compute_cycles``, ``trace`` (the captured cycle
+    trace, None unless tracing was enabled), and ``trace_dropped`` (how
+    many events the trace ring buffer discarded; a non-zero value means
+    ``trace`` is a truncated suffix of the run).
+
+    Derived observability views (computed lazily from ``trace`` by
+    :mod:`repro.obs`): :attr:`spans` reconstructs one
+    :class:`~repro.obs.spans.Span` per request, and :attr:`latency`
+    summarizes end-to-end transit latency (p50/p95/p99/max).  Both raise
+    :class:`~repro.obs.spans.IncompleteTraceError` when the trace was
+    truncated, and are ``None`` when tracing was off.
     """
 
     cycles: int
@@ -104,6 +113,8 @@ class RunResult:
     idle_cycles: int = 0
     compute_cycles: int = 0
     trace: Optional[list[TraceEvent]] = None
+    trace_dropped: int = 0
+    _span_cache: Any = field(default=None, repr=False, compare=False)
 
     # -- supported derived quantities ----------------------------------
     @property
@@ -112,6 +123,29 @@ class RunResult:
         if self.requests_issued == 0:
             return 0.0
         return self.combines / self.requests_issued
+
+    @property
+    def spans(self):
+        """Per-request :class:`~repro.obs.spans.SpanSet`, or ``None``
+        when the run captured no trace.  Reconstructed once and cached.
+        """
+        if self.trace is None:
+            return None
+        if self._span_cache is None:
+            from ..obs.spans import reconstruct_spans
+
+            self._span_cache = reconstruct_spans(
+                self.trace, dropped=self.trace_dropped
+            )
+        return self._span_cache
+
+    @property
+    def latency(self):
+        """End-to-end transit-latency summary
+        (:class:`~repro.obs.spans.LatencySummary`), or ``None`` when the
+        run captured no trace."""
+        spans = self.spans
+        return None if spans is None else spans.latency
 
     # -- deprecated pre-1.1 attribute names ----------------------------
     @property
@@ -168,6 +202,12 @@ class RunResult:
         }
         if self.trace is not None:
             out["trace"] = [event.to_dict() for event in self.trace]
+            out["trace_dropped"] = self.trace_dropped
+            # A truncated trace cannot be joined into complete spans, so
+            # the latency summary is only exported for complete traces.
+            if self.trace_dropped == 0:
+                latency = self.latency
+                out["latency"] = None if latency is None else latency.to_dict()
         return out
 
     def to_json(self, *, indent: Optional[int] = 2) -> str:

@@ -30,11 +30,13 @@ from .cache import NullCache, ResultCache, default_cache_root
 from .engine import PointOutcome, SweepResult, SweepRunner, serial_runner
 from .experiments import (
     build_hotspot_machine,
+    drift_spec,
     figure7_spec,
     hotspot_spec,
     scaling_spec,
     start_delays,
     table1_spec,
+    timeline_spec,
     tred2_spec,
 )
 from .registry import available, execute, point_function, resolve
@@ -59,6 +61,7 @@ __all__ = [
     "available",
     "build_hotspot_machine",
     "default_cache_root",
+    "drift_spec",
     "execute",
     "figure7_spec",
     "hotspot_spec",
@@ -69,5 +72,6 @@ __all__ = [
     "serial_runner",
     "start_delays",
     "table1_spec",
+    "timeline_spec",
     "tred2_spec",
 ]

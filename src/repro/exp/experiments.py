@@ -266,6 +266,93 @@ def machine_demo(params: dict) -> dict[str, Any]:
 
 
 # ----------------------------------------------------------------------
+# Observability: the drift monitor and timeline as cacheable points
+# ----------------------------------------------------------------------
+@point_function("obs.drift")
+def obs_drift(params: dict) -> dict[str, Any]:
+    """One sim-vs-analytic comparison run (see :mod:`repro.obs.drift`)."""
+    from ..obs.drift import measure_drift
+
+    report = measure_drift(
+        n_pes=params["pes"],
+        rate=params["rate"],
+        cycles=params["cycles"],
+        k=params.get("k", 2),
+        threshold=params.get("threshold", 0.25),
+        seed=params["seed"],
+    )
+    return report.to_dict()
+
+
+def drift_spec(
+    *,
+    pes: int = 16,
+    rates: Sequence[float] = (0.08,),
+    cycles: int = 2000,
+    k: int = 2,
+    threshold: float = 0.25,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """The drift-monitor sweep: one comparison run per traffic rate.
+
+    The defaults pin the Figure 7 reference point (k=2, d=1 at low
+    load) that CI asserts stays under threshold.
+    """
+    return ExperimentSpec(
+        experiment="obs.drift",
+        base={"pes": pes, "cycles": cycles, "k": k, "threshold": threshold},
+        axes=(SweepAxis("rate", tuple(rates)),),
+        seed=seed,
+        label=f"analytic drift monitor ({pes} PEs, k={k})",
+    )
+
+
+@point_function("obs.timeline")
+def obs_timeline(params: dict) -> dict[str, Any]:
+    """One windowed time series over a synthetic-traffic run."""
+    from ..core.machine import MachineConfig, Ultracomputer
+    from ..obs.timeline import collect_timeline
+    from ..workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+    machine = Ultracomputer(MachineConfig(
+        n_pes=params["pes"], k=params.get("k", 2)
+    ))
+    driver = SyntheticTrafficDriver(machine, TrafficSpec(
+        rate=params["rate"],
+        pattern=params.get("pattern", "uniform"),
+        seed=params["seed"],
+    ))
+    machine.attach_driver(driver)
+    timeline = collect_timeline(
+        machine, cycles=params["cycles"], window=params["window"]
+    )
+    return timeline.to_dict()
+
+
+def timeline_spec(
+    *,
+    pes: int = 16,
+    rate: float = 0.2,
+    pattern: str = "uniform",
+    cycles: int = 2000,
+    window: int = 100,
+    k: int = 2,
+    seed: int = 0,
+) -> ExperimentSpec:
+    """A single-point timeline sweep (cacheable ``repro timeline`` run)."""
+    return ExperimentSpec(
+        experiment="obs.timeline",
+        base={
+            "pes": pes, "cycles": cycles, "window": window,
+            "k": k, "pattern": pattern,
+        },
+        axes=(SweepAxis("rate", (rate,)),),
+        seed=seed,
+        label=f"timeline: {pattern} traffic at p={rate} ({pes} PEs)",
+    )
+
+
+# ----------------------------------------------------------------------
 # Scaling studies: the WASHCLOTH harness grid as a sweep
 # ----------------------------------------------------------------------
 @point_function("scaling.point")

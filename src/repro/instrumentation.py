@@ -43,9 +43,14 @@ name                                  kind       labels
 ``cache.write_backs``                 counter    ``pe``
 ====================================  =========  ==========================
 
-Trace event kinds: ``issue``, ``enqueue``, ``combine``, ``decombine``,
-``reply`` — the life of a memory reference through the combining
-network, each stamped with the cycle it happened on.
+Trace event kinds: ``issue``, ``enqueue``, ``combine``, ``mm_serve``,
+``decombine``, ``reply`` — the life of a memory reference through the
+combining network, each stamped with the cycle it happened on.  The
+``tag`` field always names the request the event belongs to; combining
+events additionally carry ``tag2``, the other request of the pair (the
+surviving R-old for a ``combine``, the returning reply for a
+``decombine``), which is how :mod:`repro.obs.spans` reconstructs
+combine/decombine trees and the Perfetto exporter draws flow edges.
 """
 
 from __future__ import annotations
@@ -53,7 +58,7 @@ from __future__ import annotations
 from bisect import bisect_left
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterator, Optional, Union
+from typing import Any, Iterator, Optional, Sequence, Union
 
 Number = Union[int, float]
 LabelItems = tuple[tuple[str, Any], ...]
@@ -117,6 +122,47 @@ class Gauge:
         return f"<Gauge {self.name}{dict(self.labels)} = {self.value}>"
 
 
+#: Quantiles reported by :meth:`HistogramData.percentiles` by default —
+#: the latency summary every serving stack prints.
+DEFAULT_PERCENTILES: tuple[float, ...] = (0.5, 0.9, 0.95, 0.99, 1.0)
+
+
+def _interpolated_quantile(
+    q: float,
+    bounds: tuple[Number, ...],
+    bucket_counts: Sequence[int],
+    count: int,
+    max_value: Number,
+) -> float:
+    """Linear-within-bucket quantile estimate shared by the live
+    histogram, its frozen snapshot, and the CLI's serialized form.
+
+    The target rank is located in its bucket, then linearly interpolated
+    between the bucket's lower and upper edges (the overflow bucket
+    interpolates up to the exact ``max_value``).  Estimates are clamped
+    to ``max_value`` so ``quantile(1.0)`` is the true maximum even when
+    the whole mass sits below a coarse bucket edge.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if count == 0:
+        return 0.0
+    target = q * count
+    cumulative = 0
+    lower: Number = 0
+    for index, bucket in enumerate(bucket_counts):
+        if bucket:
+            upper = bounds[index] if index < len(bounds) else max_value
+            if cumulative + bucket >= target:
+                fraction = (target - cumulative) / bucket
+                estimate = lower + fraction * (upper - lower)
+                return float(min(estimate, max_value))
+            cumulative += bucket
+        if index < len(bounds):
+            lower = bounds[index]
+    return float(max_value)
+
+
 class Histogram:
     """A fixed-bucket histogram of observed values.
 
@@ -156,6 +202,18 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate of the live state."""
+        return _interpolated_quantile(
+            q, self.bounds, self.bucket_counts, self.count, self.max_value
+        )
+
+    def percentiles(
+        self, qs: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> dict[float, float]:
+        """``{q: quantile(q)}`` for each requested quantile."""
+        return {q: self.quantile(q) for q in qs}
 
     def data(self) -> "HistogramData":
         """Frozen copy of the current state (what snapshots carry)."""
@@ -272,19 +330,22 @@ class HistogramData:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
-    def quantile(self, q: float) -> Number:
-        """Bucket-resolution quantile estimate (returns an upper edge)."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError("quantile must be in [0, 1]")
-        if self.count == 0:
-            return 0
-        target = q * self.count
-        cumulative = 0
-        for edge, bucket in zip(self.bounds, self.bucket_counts):
-            cumulative += bucket
-            if cumulative >= target:
-                return edge
-        return self.max_value
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate.
+
+        Linear interpolation inside the containing bucket, clamped to
+        the exact tracked maximum — so ``quantile(1.0) == max_value``
+        regardless of bucket resolution.
+        """
+        return _interpolated_quantile(
+            q, self.bounds, self.bucket_counts, self.count, self.max_value
+        )
+
+    def percentiles(
+        self, qs: Sequence[float] = DEFAULT_PERCENTILES
+    ) -> dict[float, float]:
+        """``{q: quantile(q)}`` for each requested quantile."""
+        return {q: self.quantile(q) for q in qs}
 
     def buckets(self) -> list[tuple[Optional[Number], int]]:
         """(upper edge, count) pairs; the overflow bucket's edge is None."""
@@ -410,19 +471,25 @@ class MetricsSnapshot:
 
 @dataclass(frozen=True, slots=True)
 class TraceEvent:
-    """One cycle-stamped event in the life of a memory reference."""
+    """One cycle-stamped event in the life of a memory reference.
 
-    kind: str  # "issue" | "enqueue" | "combine" | "decombine" | "reply"
+    ``tag`` is the request this event belongs to; ``tag2`` (combining
+    events only) is the other request of the pair — the surviving R-old
+    on a ``combine``, the returning reply on a ``decombine``.
+    """
+
+    kind: str  # "issue" | "enqueue" | "combine" | "mm_serve" | "decombine" | "reply"
     cycle: int
     tag: Optional[int] = None
     pe: Optional[int] = None
     stage: Optional[int] = None
     mm: Optional[int] = None
     value: Optional[int] = None
+    tag2: Optional[int] = None
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {"kind": self.kind, "cycle": self.cycle}
-        for name in ("tag", "pe", "stage", "mm", "value"):
+        for name in ("tag", "pe", "stage", "mm", "value", "tag2"):
             attr = getattr(self, name)
             if attr is not None:
                 out[name] = attr

@@ -339,6 +339,10 @@ class MNI:
                 self.module.accesses += 1
                 self.requests_served += 1
                 self._in_service = None
+                if self._instr_on:
+                    self._instr.record(
+                        "mm_serve", cycle, tag=message.tag, mm=self.module.index
+                    )
 
         if self._in_service is None and self._inbound:
             message, ready = self._inbound[0]

@@ -208,12 +208,16 @@ class Switch:
             self.stats.combines += 1
             if self._instr_on:
                 self._combine_counter.inc()
+                # tag = the absorbed R-new (whose lifecycle continues in
+                # the wait buffer); tag2 = the surviving R-old it merged
+                # into.  Span reconstruction joins on exactly this pair.
                 self._instr.record(
                     "combine",
                     cycle,
-                    tag=slot.message.tag,
+                    tag=message.tag,
                     pe=message.origin,
                     stage=self.stage,
+                    tag2=slot.message.tag,
                 )
         else:
             queue.append(message)
@@ -317,6 +321,7 @@ class Switch:
                     tag=record.new_message.tag,
                     pe=record.new_message.origin,
                     stage=self.stage,
+                    tag2=message.tag,
                 )
         return True
 

@@ -1,0 +1,52 @@
+"""Observability: derived views over the instrumentation layer.
+
+:mod:`repro.instrumentation` captures a flat firehose — counters,
+histograms, and a cycle-stamped :class:`~repro.instrumentation.TraceEvent`
+stream.  This package turns that firehose into the per-request and
+per-window views the paper's evaluation is actually about:
+
+* :mod:`repro.obs.spans` — join trace events by tag into per-request
+  :class:`~repro.obs.spans.Span` objects (issue → per-stage hops →
+  combine/decombine tree → MM service → reply), yielding exact
+  per-stage queueing delays and end-to-end transit-latency percentiles;
+* :mod:`repro.obs.perfetto` — export a trace as Chrome trace-event JSON
+  loadable in ``ui.perfetto.dev``, one track per PE / switch stage / MM,
+  with combine→decombine edges as flow events;
+* :mod:`repro.obs.timeline` — windowed time series (queue occupancy,
+  wait-buffer depth, combining rate, MM utilization) sampled from
+  component counters with zero hot-path cost;
+* :mod:`repro.obs.drift` — compare a simulated run against the
+  closed-form queueing model of :mod:`repro.analysis.queueing`
+  (the paper's NETSIM-vs-analytic validation, automated).
+
+Everything here is post-processing: nothing in this package runs inside
+the simulator's cycle loop, so enabling it costs the hot path nothing
+beyond the existing ``_instr_on`` probe guards.
+"""
+
+from .drift import DriftReport, StageDrift, measure_drift
+from .perfetto import chrome_trace, write_chrome_trace
+from .spans import (
+    IncompleteTraceError,
+    LatencySummary,
+    Span,
+    SpanSet,
+    reconstruct_spans,
+)
+from .timeline import Timeline, TimelineSample, collect_timeline
+
+__all__ = [
+    "DriftReport",
+    "IncompleteTraceError",
+    "LatencySummary",
+    "Span",
+    "SpanSet",
+    "StageDrift",
+    "Timeline",
+    "TimelineSample",
+    "chrome_trace",
+    "collect_timeline",
+    "measure_drift",
+    "reconstruct_spans",
+    "write_chrome_trace",
+]

@@ -1,0 +1,167 @@
+"""Chrome trace-event JSON export (loadable in ``ui.perfetto.dev``).
+
+Maps the simulator's cycle trace onto the `Trace Event Format
+<https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU>`_:
+
+* one *process* per component class — PEs, network, memory — with one
+  *thread* (track) per PE, per switch stage, and per MM;
+* a complete ("X") slice per request on its PE track spanning
+  issue → reply, and one per forward-stage residency on the stage
+  tracks (enqueue → departure to the next stage);
+* combining as flow events: an edge from the ``combine`` point (where a
+  request was absorbed) to the matching ``decombine`` point (where its
+  reply was regenerated on the way back), so the wait-buffer dormancy
+  of every absorbed request is a visible arc;
+* memory service as slices on the MM tracks.
+
+One simulated cycle is exported as one microsecond — Perfetto's native
+unit — so cycle arithmetic survives the UI's measurements verbatim.
+
+Unlike :func:`repro.obs.spans.reconstruct_spans` the exporter is
+*tolerant* of truncated traces: a ring-buffered suffix still renders
+(events whose request heads were dropped appear as orphan slices), so
+``repro trace --chrome`` stays usable for eyeballing long runs.  The
+truncation itself is surfaced in the trace metadata.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Optional, Sequence
+
+from ..instrumentation import TraceEvent
+
+#: Exported process ids (Perfetto groups tracks by pid).
+PID_PES = 1
+PID_NETWORK = 2
+PID_MEMORY = 3
+
+
+def _meta(pid: int, name: str, tid: Optional[int] = None,
+          tname: Optional[str] = None) -> list[dict[str, Any]]:
+    out: list[dict[str, Any]] = [{
+        "ph": "M", "pid": pid, "name": "process_name",
+        "args": {"name": name},
+    }]
+    if tid is not None:
+        out.append({
+            "ph": "M", "pid": pid, "tid": tid, "name": "thread_name",
+            "args": {"name": tname},
+        })
+    return out
+
+
+def _slice(pid: int, tid: int, name: str, ts: int, dur: int,
+           cat: str, args: Optional[dict[str, Any]] = None) -> dict[str, Any]:
+    event: dict[str, Any] = {
+        "ph": "X", "pid": pid, "tid": tid, "name": name,
+        "ts": ts, "dur": max(1, dur), "cat": cat,
+    }
+    if args:
+        event["args"] = args
+    return event
+
+
+def chrome_trace(
+    events: Sequence[TraceEvent], *, dropped: int = 0
+) -> dict[str, Any]:
+    """Build the Chrome trace-event JSON document for a cycle trace."""
+    trace_events: list[dict[str, Any]] = []
+    pes: set[int] = set()
+    stages: set[int] = set()
+    mms: set[int] = set()
+
+    # First pass: group each tag's events so slice durations (departure
+    # cycles) can be read off the next event in the request's life.
+    by_tag: dict[int, list[TraceEvent]] = {}
+    for event in events:
+        if event.tag is not None:
+            by_tag.setdefault(event.tag, []).append(event)
+
+    for tag, life in by_tag.items():
+        issue = next((e for e in life if e.kind == "issue"), None)
+        reply = next((e for e in life if e.kind == "reply"), None)
+        if issue is not None:
+            pes.add(issue.pe)
+            end = reply.cycle if reply is not None else life[-1].cycle
+            trace_events.append(_slice(
+                PID_PES, issue.pe, f"req {tag}", issue.cycle,
+                end - issue.cycle, "request",
+                args={"tag": tag, "mm": issue.mm},
+            ))
+        forward = [e for e in life if e.kind in ("enqueue", "combine")]
+        for i, event in enumerate(forward):
+            if event.stage is None:
+                continue
+            stages.add(event.stage)
+            if event.kind == "combine":
+                trace_events.append(_slice(
+                    PID_NETWORK, event.stage, f"combine {tag}",
+                    event.cycle, 1, "combining",
+                    args={"tag": tag, "into": event.tag2},
+                ))
+                trace_events.append({
+                    "ph": "s", "pid": PID_NETWORK, "tid": event.stage,
+                    "ts": event.cycle, "id": tag, "name": "combined",
+                    "cat": "combining",
+                })
+                continue
+            if i + 1 < len(forward):
+                depart = forward[i + 1].cycle
+            else:
+                serve = next((e for e in life if e.kind == "mm_serve"), None)
+                depart = serve.cycle if serve is not None else event.cycle + 1
+            trace_events.append(_slice(
+                PID_NETWORK, event.stage, f"req {tag}", event.cycle,
+                depart - event.cycle, "forward", args={"tag": tag},
+            ))
+        for event in life:
+            if event.kind == "mm_serve" and event.mm is not None:
+                mms.add(event.mm)
+                trace_events.append(_slice(
+                    PID_MEMORY, event.mm, f"serve {tag}", event.cycle, 1,
+                    "memory", args={"tag": tag},
+                ))
+            elif event.kind == "decombine" and event.stage is not None:
+                stages.add(event.stage)
+                trace_events.append(_slice(
+                    PID_NETWORK, event.stage, f"decombine {tag}",
+                    event.cycle, 1, "combining",
+                    args={"tag": tag, "reply_of": event.tag2},
+                ))
+                trace_events.append({
+                    "ph": "f", "pid": PID_NETWORK, "tid": event.stage,
+                    "ts": event.cycle, "id": tag, "name": "combined",
+                    "cat": "combining", "bp": "e",
+                })
+
+    metadata = _meta(PID_PES, "PEs") + _meta(PID_NETWORK, "network") \
+        + _meta(PID_MEMORY, "memory")
+    for pe in sorted(pes):
+        metadata += _meta(PID_PES, "PEs", pe, f"PE {pe}")
+    for stage in sorted(stages):
+        metadata += _meta(PID_NETWORK, "network", stage, f"stage {stage}")
+    for mm in sorted(mms):
+        metadata += _meta(PID_MEMORY, "memory", mm, f"MM {mm}")
+
+    return {
+        "traceEvents": metadata + sorted(
+            trace_events, key=lambda e: (e["ts"], e["pid"], e["tid"])
+        ),
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro cycle trace (1 cycle = 1us)",
+            "events": len(events),
+            "dropped": dropped,
+        },
+    }
+
+
+def write_chrome_trace(
+    path: str, events: Sequence[TraceEvent], *, dropped: int = 0
+) -> dict[str, Any]:
+    """Write :func:`chrome_trace` output to ``path``; returns the doc."""
+    doc = chrome_trace(events, dropped=dropped)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return doc

@@ -230,6 +230,51 @@ def format_table(
     return "\n".join(lines)
 
 
+#: Series drawn by :func:`timeline_ascii`, in display order.
+TIMELINE_PLOT_SERIES = (
+    "forward_packets",
+    "return_packets",
+    "wait_records",
+    "combines",
+    "mm_utilization",
+)
+
+
+def timeline_ascii(
+    payload: dict[str, Any],
+    *,
+    names: Sequence[str] = TIMELINE_PLOT_SERIES,
+    width: int = 64,
+    height: int = 10,
+) -> str:
+    """Render a timeline payload (``Timeline.to_dict``) as stacked plots.
+
+    Each series gets its own plot because the units differ wildly
+    (packet counts vs a 0..1 utilization); a shared y-axis would flatten
+    everything but the largest.  Operates on the serialized dict so the
+    CLI can plot straight from a cached ``obs.timeline`` payload.
+    """
+    samples = payload["samples"]
+    if not samples:
+        raise ValueError("timeline has no samples to plot")
+    blocks = []
+    for name in names:
+        points = [
+            (float(s["cycle"]), float(s[name])) for s in samples
+        ]
+        blocks.append(
+            f"-- {name} --\n"
+            + ascii_plot(
+                [Series(label=name, points=points)],
+                width=width,
+                height=height,
+                x_label="cycle",
+                y_label=name,
+            )
+        )
+    return "\n\n".join(blocks)
+
+
 def figure7_ascii(n: int = 4096, y_max: float = 40.0, *, runner=None) -> str:
     """Figure 7 as an ASCII plot (used by ``python -m repro fig7``).
 

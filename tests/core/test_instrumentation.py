@@ -53,12 +53,53 @@ class TestHistogram:
         assert data.max_value == 9
         assert data.mean == pytest.approx(15 / 4)
 
-    def test_quantile_returns_bucket_edge(self):
+    def test_quantile_interpolates_within_buckets(self):
         histogram = MetricsRegistry().histogram("latency", buckets=(2, 4, 8))
         for value in (1, 1, 3, 7):
             histogram.observe(value)
-        assert histogram.data().quantile(0.5) == 2
-        assert histogram.data().quantile(1.0) == 8
+        data = histogram.data()
+        # rank 2 of 4 sits exactly at the top of the <=2 bucket
+        assert data.quantile(0.5) == pytest.approx(2.0)
+        # clamped to the exact tracked maximum, not the bucket edge (8)
+        assert data.quantile(1.0) == 7.0
+        # the live histogram and its frozen snapshot agree
+        assert histogram.quantile(1.0) == data.quantile(1.0)
+
+    def test_quantile_empty_histogram_is_zero(self):
+        data = MetricsRegistry().histogram("latency", buckets=(2,)).data()
+        assert data.quantile(0.5) == 0.0
+        assert data.quantile(1.0) == 0.0
+
+    def test_quantile_single_bucket_mass(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=(10,))
+        for _ in range(4):
+            histogram.observe(4)
+        data = histogram.data()
+        # all mass in one bucket: interpolation spans [0, 10] but the
+        # estimate never exceeds the tracked max
+        assert data.quantile(1.0) == 4.0
+        assert 0.0 < data.quantile(0.25) <= 4.0
+
+    def test_quantile_overflow_bucket_interpolates_to_max(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=(2,))
+        for value in (30, 40, 50):
+            histogram.observe(value)
+        data = histogram.data()
+        # mass entirely above the last edge: interpolate over [2, max]
+        assert data.quantile(1.0) == 50.0
+        assert 2.0 < data.quantile(0.5) < 50.0
+
+    def test_percentiles_default_set(self):
+        histogram = MetricsRegistry().histogram("latency", buckets=(2, 4))
+        histogram.observe(1)
+        percentiles = histogram.percentiles()
+        assert set(percentiles) == {0.5, 0.9, 0.95, 0.99, 1.0}
+        assert percentiles[1.0] == 1.0
+
+    def test_quantile_out_of_range_rejected(self):
+        data = MetricsRegistry().histogram("latency").data()
+        with pytest.raises(ValueError):
+            data.quantile(1.5)
 
     def test_unsorted_buckets_rejected(self):
         with pytest.raises(ValueError):
@@ -141,6 +182,35 @@ class TestDisabled:
         empty = MetricsSnapshot.empty()
         assert empty.samples == ()
         assert empty.total("anything") == 0
+
+
+class TestTraceEventSerialization:
+    def test_zero_valued_fields_survive_to_dict(self):
+        from repro.instrumentation import TraceEvent
+
+        # 0 is a legal tag, PE index, stage, MM index, and F&A value;
+        # only None means "not applicable" and is omitted.
+        event = TraceEvent(
+            kind="reply", cycle=0, tag=0, pe=0, stage=0, mm=0, value=0
+        )
+        assert event.to_dict() == {
+            "kind": "reply", "cycle": 0, "tag": 0, "pe": 0,
+            "stage": 0, "mm": 0, "value": 0,
+        }
+
+    def test_none_fields_omitted(self):
+        from repro.instrumentation import TraceEvent
+
+        event = TraceEvent(kind="issue", cycle=3, tag=1, pe=2)
+        assert event.to_dict() == {
+            "kind": "issue", "cycle": 3, "tag": 1, "pe": 2,
+        }
+
+    def test_zero_tag2_survives(self):
+        from repro.instrumentation import TraceEvent
+
+        event = TraceEvent(kind="combine", cycle=5, tag=9, stage=1, tag2=0)
+        assert event.to_dict()["tag2"] == 0
 
 
 class TestCycleTrace:

@@ -1,0 +1,76 @@
+"""Analytic drift monitor: simulation vs the closed-form model."""
+
+import json
+
+import pytest
+
+from repro.analysis.queueing import predict_uniform_run, switch_delay
+from repro.obs import measure_drift
+
+
+class TestMeasureDrift:
+    def test_reference_point_within_threshold(self):
+        # The Figure 7 reference point CI gates on, at reduced cycles.
+        report = measure_drift(cycles=800)
+        assert report.ok
+        assert report.max_stage_error < report.threshold
+        assert report.round_trip_error < report.threshold
+        assert report.warnings() == []
+        assert report.requests > 0
+        assert 0.0 < report.observed_rate < 1.0
+        # per-stage comparison covers stages 0..D-2 (the last stage has
+        # no downstream enqueue to pin down its departure)
+        assert [s.stage for s in report.stages] == [0, 1, 2]
+        for stage in report.stages:
+            assert stage.samples == report.requests
+
+    def test_tiny_threshold_flags_warnings(self):
+        report = measure_drift(cycles=400, threshold=1e-9)
+        assert not report.ok
+        warnings = report.warnings()
+        assert warnings
+        assert any("drifts" in w for w in warnings)
+
+    def test_to_dict_round_trips_through_json(self):
+        report = measure_drift(cycles=400)
+        restored = json.loads(json.dumps(report.to_dict()))
+        assert restored["ok"] is True
+        assert restored["round_trip"]["rel_error"] >= 0
+        for stage in restored["stages"]:
+            assert stage["rel_error"] >= 0
+            assert stage["samples"] > 0
+        assert restored["threshold"] == report.threshold
+
+    def test_observed_rate_feeds_the_model(self):
+        report = measure_drift(cycles=400)
+        prediction = predict_uniform_run(
+            report.n_pes, report.k, report.observed_rate
+        )
+        assert report.stages[0].predicted_delay == pytest.approx(
+            prediction.forward_switch_delay
+        )
+        assert report.round_trip_predicted == pytest.approx(
+            prediction.round_trip
+        )
+
+
+class TestPredictUniformRun:
+    def test_forward_delay_uses_request_packets(self):
+        prediction = predict_uniform_run(16, 2, 0.1)
+        # forward queues carry 1-packet requests: m=1, not the m=2
+        # round-trip convention
+        assert prediction.forward_switch_delay == pytest.approx(
+            switch_delay(2, 1, 0.1)
+        )
+
+    def test_round_trip_uses_averaged_m(self):
+        from repro.analysis.queueing import round_trip_time
+
+        prediction = predict_uniform_run(16, 2, 0.1)
+        assert prediction.round_trip == pytest.approx(
+            round_trip_time(16, 2, 2, 0.1)
+        )
+
+    def test_zero_load_degenerates_to_service_only(self):
+        prediction = predict_uniform_run(16, 2, 0.0)
+        assert prediction.forward_switch_delay == 1.0

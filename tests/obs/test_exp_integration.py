@@ -1,0 +1,44 @@
+"""The obs point functions ride the experiment engine and its cache."""
+
+from repro.exp import SweepRunner, available, drift_spec, timeline_spec
+
+
+class TestRegistration:
+    def test_obs_points_registered(self):
+        names = available()
+        assert "obs.drift" in names
+        assert "obs.timeline" in names
+
+
+class TestTimelineSpec:
+    def test_runs_and_caches(self):
+        spec = timeline_spec(pes=8, cycles=200, window=100)
+        cold = SweepRunner(workers=1).run(spec)
+        warm = SweepRunner(workers=1).run(spec)
+        assert cold.cached_points == 0 and cold.computed_points == 1
+        assert warm.cached_points == 1 and warm.computed_points == 0
+        assert cold.payloads == warm.payloads
+        samples = cold.payloads[0]["samples"]
+        assert [s["cycle"] for s in samples] == [100, 200]
+
+    def test_rate_is_the_sweep_axis(self):
+        spec = timeline_spec(rate=0.1)
+        assert spec.axes[0].name == "rate"
+        assert spec.axes[0].values == (0.1,)
+
+
+class TestDriftSpec:
+    def test_runs_through_the_engine(self):
+        spec = drift_spec(cycles=300)
+        result = SweepRunner(workers=1).run(spec)
+        report = result.payloads[0]
+        assert report["ok"] is True
+        assert report["stages"]
+        assert report["offered_rate"] == 0.08
+
+    def test_threshold_parameter_flows_through(self):
+        spec = drift_spec(cycles=300, threshold=1e-9)
+        result = SweepRunner(workers=1).run(spec)
+        report = result.payloads[0]
+        assert report["ok"] is False
+        assert report["warnings"]

@@ -1,0 +1,78 @@
+"""Chrome/Perfetto trace export: document structure and flow pairing."""
+
+import json
+
+from repro import FetchAdd, MachineConfig, Ultracomputer
+from repro.obs import chrome_trace, write_chrome_trace
+from repro.obs.perfetto import PID_MEMORY, PID_NETWORK, PID_PES
+
+
+def _traced_run(pes=8, rounds=2, capacity=4096):
+    machine = Ultracomputer(MachineConfig(
+        n_pes=pes, instrument=True, trace_capacity=capacity,
+    ))
+
+    def program(pe_id):
+        for _ in range(rounds):
+            yield FetchAdd(0, 1)
+
+    machine.spawn_many(pes, program)
+    return machine.run()
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        result = _traced_run()
+        doc = chrome_trace(result.trace)
+        events = doc["traceEvents"]
+        phases = [e["ph"] for e in events]
+        assert "M" in phases and "X" in phases
+        assert doc["otherData"]["dropped"] == 0
+        assert doc["otherData"]["events"] == len(result.trace)
+        for event in events:
+            if event["ph"] == "X":
+                assert {"pid", "tid", "ts", "dur", "name"} <= set(event)
+                assert event["dur"] >= 1
+
+    def test_one_flow_pair_per_combine(self):
+        result = _traced_run()
+        events = chrome_trace(result.trace)["traceEvents"]
+        starts = [e for e in events if e["ph"] == "s"]
+        finishes = [e for e in events if e["ph"] == "f"]
+        assert len(starts) == result.combines
+        assert len(finishes) == result.combines
+        assert {e["id"] for e in starts} == {e["id"] for e in finishes}
+
+    def test_tracks_cover_all_three_layers(self):
+        result = _traced_run()
+        events = chrome_trace(result.trace)["traceEvents"]
+        pids = {e["pid"] for e in events}
+        assert {PID_PES, PID_NETWORK, PID_MEMORY} <= pids
+        names = {
+            e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert len(names) == 3
+
+    def test_write_is_valid_json(self, tmp_path):
+        result = _traced_run()
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, result.trace)
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_tolerates_truncated_trace(self):
+        # Unlike span reconstruction, the exporter renders what survived
+        # (a partial picture is still loadable) and flags the loss.
+        result = _traced_run(capacity=16)
+        assert result.trace_dropped > 0
+        doc = chrome_trace(result.trace, dropped=result.trace_dropped)
+        assert doc["otherData"]["dropped"] == result.trace_dropped
+        assert doc["traceEvents"]
+
+    def test_empty_trace_has_only_metadata(self):
+        doc = chrome_trace([])
+        assert all(e["ph"] == "M" for e in doc["traceEvents"])
+        assert doc["otherData"]["events"] == 0

@@ -1,0 +1,105 @@
+"""Windowed time-series collection over a running machine."""
+
+import json
+
+import pytest
+
+from repro import MachineConfig, Ultracomputer
+from repro.obs import collect_timeline
+from repro.obs.timeline import SERIES_FIELDS
+from repro.workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+
+def _traffic_machine(pes=16, rate=0.25, instrument=False):
+    machine = Ultracomputer(MachineConfig(n_pes=pes, instrument=instrument))
+    driver = SyntheticTrafficDriver(
+        machine, TrafficSpec(rate=rate, pattern="hotspot",
+                             hot_fraction=0.3, seed=5)
+    )
+    machine.attach_driver(driver)
+    return machine
+
+
+class TestCollect:
+    def test_sample_cadence_and_short_final_window(self):
+        machine = _traffic_machine()
+        timeline = collect_timeline(machine, cycles=250, window=100)
+        assert [s.cycle for s in timeline] == [100, 200, 250]
+        assert timeline.window == 100
+        assert len(timeline) == 3
+
+    def test_throughput_deltas_sum_to_machine_totals(self):
+        machine = _traffic_machine()
+        timeline = collect_timeline(machine, cycles=300, window=50)
+        assert sum(s.requests_issued for s in timeline) == sum(
+            pni.requests_issued for pni in machine.pnis
+        )
+        assert sum(s.replies for s in timeline) == sum(
+            pni.replies_received for pni in machine.pnis
+        )
+        assert sum(s.combines for s in timeline) == sum(
+            network.total_combines() for network in machine.networks
+        )
+
+    def test_mm_utilization_is_a_fraction(self):
+        machine = _traffic_machine()
+        timeline = collect_timeline(machine, cycles=200, window=50)
+        assert any(s.mm_utilization > 0 for s in timeline)
+        for sample in timeline:
+            assert 0.0 <= sample.mm_utilization <= 1.0
+
+    def test_per_stage_gauge_matches_total(self):
+        machine = _traffic_machine()
+        timeline = collect_timeline(machine, cycles=200, window=50)
+        for sample in timeline:
+            assert sum(sample.forward_packets_per_stage) == \
+                sample.forward_packets
+
+    def test_works_without_instrumentation(self):
+        machine = _traffic_machine(instrument=False)
+        timeline = collect_timeline(machine, cycles=100, window=50)
+        assert len(timeline) == 2
+        # nothing was registered behind the machine's back
+        assert len(machine.instrumentation.registry) == 0
+
+    def test_resumes_from_current_cycle(self):
+        machine = _traffic_machine()
+        machine.run_cycles(30)
+        timeline = collect_timeline(machine, cycles=100, window=50)
+        assert [s.cycle for s in timeline] == [80, 130]
+
+
+class TestSeriesAccess:
+    def test_series_and_points(self):
+        machine = _traffic_machine()
+        timeline = collect_timeline(machine, cycles=150, window=50)
+        for name in SERIES_FIELDS:
+            assert len(timeline.series(name)) == len(timeline)
+        points = timeline.points("combines")
+        assert [x for x, _ in points] == [50.0, 100.0, 150.0]
+        assert all(isinstance(y, float) for _, y in points)
+
+    def test_unknown_series_rejected(self):
+        machine = _traffic_machine()
+        timeline = collect_timeline(machine, cycles=50, window=50)
+        with pytest.raises(ValueError, match="unknown series"):
+            timeline.series("nonexistent")
+
+
+class TestValidationAndExport:
+    @pytest.mark.parametrize(
+        ("cycles", "window"), [(0, 10), (100, 0), (-5, 10)]
+    )
+    def test_bad_parameters_rejected(self, cycles, window):
+        machine = _traffic_machine()
+        with pytest.raises(ValueError):
+            collect_timeline(machine, cycles=cycles, window=window)
+
+    def test_to_dict_round_trips_through_json(self):
+        machine = _traffic_machine()
+        timeline = collect_timeline(machine, cycles=100, window=50)
+        restored = json.loads(json.dumps(timeline.to_dict()))
+        assert restored["window"] == 50
+        assert len(restored["samples"]) == 2
+        for field in SERIES_FIELDS:
+            assert field in restored["samples"][0]

@@ -15,7 +15,7 @@ class TestParser:
     def test_known_subcommands(self):
         parser = build_parser()
         for command in ("demo", "fig7", "table1", "packaging", "hotspot",
-                        "stats", "trace"):
+                        "stats", "trace", "timeline", "drift"):
             args = parser.parse_args([command])
             assert args.command == command
 
@@ -83,6 +83,59 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "issue" in out
         assert out.count("\n") <= 7  # header + 5 events + trailing
+
+    def test_trace_warns_on_truncation(self, capsys):
+        assert main(["trace", "--pes", "8", "--rounds", "4",
+                     "--capacity", "16", "--limit", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: trace truncated" in out
+        assert "--capacity" in out
+
+    def test_trace_chrome_export(self, capsys, tmp_path):
+        path = tmp_path / "perfetto.json"
+        assert main(["trace", "--pes", "4", "--chrome", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "ui.perfetto.dev" in out
+        doc = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_stats_trace_capacity_reports_latency(self, capsys):
+        assert main(["stats", "--pes", "8", "--trace-capacity", "4096"]) == 0
+        out = capsys.readouterr().out
+        assert "transit latency:" in out
+        assert "p50=" in out and "max=" in out
+
+    def test_stats_warns_on_truncated_trace(self, capsys):
+        assert main(["stats", "--pes", "8", "--trace-capacity", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "WARNING: trace truncated" in out
+
+    def test_timeline_prints_table_and_plots(self, capsys):
+        assert main(["timeline", "--pes", "8", "--cycles", "300",
+                     "--window", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "fwd pkts" in out and "mm util" in out
+        assert "-- forward_packets --" in out
+        assert "x: cycle" in out
+
+    def test_drift_prints_stage_table(self, capsys):
+        assert main(["drift", "--cycles", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "analytic drift monitor" in out
+        assert "rel error" in out
+        assert "round trip:" in out
+        assert "ok — every error within" in out
+
+    def test_drift_strict_fails_on_tiny_threshold(self, capsys):
+        assert main(["drift", "--cycles", "300", "--strict",
+                     "--threshold", "0.000001"]) == 1
+        out = capsys.readouterr().out
+        assert "WARNING:" in out
+
+    def test_drift_non_strict_warns_but_succeeds(self, capsys):
+        assert main(["drift", "--cycles", "300",
+                     "--threshold", "0.000001"]) == 0
+        assert "WARNING:" in capsys.readouterr().out
 
 
 class TestJsonOutput:
@@ -158,9 +211,58 @@ class TestJsonOutput:
 
     def test_trace_json(self, capsys):
         assert main(["trace", "--pes", "4", "--limit", "3", "--json"]) == 0
-        payload = self._envelope(capsys, "trace")["results"]
+        envelope = self._envelope(capsys, "trace")
+        payload = envelope["results"]
         assert len(payload) == 3
         assert all(event["kind"] == "issue" for event in payload)
+        assert envelope["dropped"] == 0
+        assert envelope["total_events"] > 3
+
+    def test_trace_json_surfaces_dropped_count(self, capsys):
+        assert main(["trace", "--pes", "8", "--rounds", "4",
+                     "--capacity", "16", "--json"]) == 0
+        envelope = self._envelope(capsys, "trace")
+        assert envelope["dropped"] > 0
+
+    def test_trace_json_combine_events_carry_tag2(self, capsys):
+        assert main(["trace", "--pes", "4", "--json"]) == 0
+        payload = self._envelope(capsys, "trace")["results"]
+        combines = [e for e in payload if e["kind"] == "combine"]
+        assert combines
+        assert all("tag2" in e for e in combines)
+
+    def test_trace_json_chrome_path_echoed(self, capsys, tmp_path):
+        path = tmp_path / "perfetto.json"
+        assert main(["trace", "--pes", "4", "--chrome", str(path),
+                     "--json"]) == 0
+        envelope = self._envelope(capsys, "trace")
+        assert envelope["chrome_trace"] == str(path)
+        assert path.exists()
+
+    def test_stats_json_carries_latency_and_dropped(self, capsys):
+        assert main(["stats", "--pes", "8", "--trace-capacity", "4096",
+                     "--json"]) == 0
+        payload = self._envelope(capsys, "stats")["results"]
+        assert payload["trace_dropped"] == 0
+        assert payload["latency"]["count"] == payload["requests_issued"]
+        assert payload["latency"]["max"] >= payload["latency"]["p50"]
+
+    def test_timeline_json(self, capsys):
+        assert main(["timeline", "--pes", "8", "--cycles", "300",
+                     "--window", "100", "--json"]) == 0
+        envelope = self._envelope(capsys, "timeline")
+        assert envelope["spec"]["experiment"] == "obs.timeline"
+        samples = envelope["results"]["samples"]
+        assert [s["cycle"] for s in samples] == [100, 200, 300]
+
+    def test_drift_json(self, capsys):
+        assert main(["drift", "--cycles", "500", "--json"]) == 0
+        envelope = self._envelope(capsys, "drift")
+        assert envelope["spec"]["experiment"] == "obs.drift"
+        report = envelope["results"]
+        assert report["ok"] is True
+        assert report["stages"]
+        assert report["round_trip"]["rel_error"] < report["threshold"]
 
 
 class TestSweepFlags:

@@ -4,11 +4,13 @@ import pytest
 
 from repro.reporting import (
     SCHEMA_VERSION,
+    TIMELINE_PLOT_SERIES,
     Series,
     ascii_plot,
     figure7_ascii,
     format_table,
     json_envelope,
+    timeline_ascii,
 )
 
 
@@ -125,6 +127,34 @@ class TestFormatTable:
     def test_single_cell(self):
         table = format_table(["only"], [[1.0]])
         assert "only" in table and "1.00" in table
+
+
+class TestTimelineAscii:
+    PAYLOAD = {
+        "window": 100,
+        "samples": [
+            {"cycle": 100, "forward_packets": 4, "return_packets": 9,
+             "wait_records": 1, "combines": 2, "requests_issued": 30,
+             "replies": 28, "mm_utilization": 0.4},
+            {"cycle": 200, "forward_packets": 6, "return_packets": 12,
+             "wait_records": 0, "combines": 3, "requests_issued": 33,
+             "replies": 31, "mm_utilization": 0.5},
+        ],
+    }
+
+    def test_one_plot_per_series(self):
+        out = timeline_ascii(self.PAYLOAD)
+        for name in TIMELINE_PLOT_SERIES:
+            assert f"-- {name} --" in out
+
+    def test_series_subset(self):
+        out = timeline_ascii(self.PAYLOAD, names=("combines",))
+        assert "-- combines --" in out
+        assert "forward_packets" not in out
+
+    def test_empty_payload_rejected(self):
+        with pytest.raises(ValueError, match="no samples"):
+            timeline_ascii({"window": 100, "samples": []})
 
 
 class TestJsonEnvelope:

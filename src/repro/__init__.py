@@ -35,9 +35,9 @@ Stability contract
 
 Names in ``__all__`` below are the supported surface: they keep working
 across minor versions, and renames go through a deprecation cycle
-(``DeprecationWarning`` for at least one minor version, as the pre-1.1
-stats attributes do now — see :class:`repro.RunResult`).  Key points of
-the contract:
+(``DeprecationWarning`` for at least one minor version — the pre-1.1
+stats aliases completed that cycle and were removed in 1.2).  Key points
+of the contract:
 
 * ``Ultracomputer.run()`` / ``Paracomputer.run()`` return
   :class:`RunResult`; its core fields (``cycles``, ``requests_issued``,

@@ -66,6 +66,15 @@ def _add_seed_flag(sub: argparse.ArgumentParser, default: int = 0) -> None:
                           f"[default: {default}]")
 
 
+def _add_kernel_flag(sub: argparse.ArgumentParser) -> None:
+    from repro.core.scheduler import kernel_names
+
+    sub.add_argument("--kernel", choices=kernel_names(), default="dense",
+                     help="simulation kernel (all are bit-identical; "
+                          "'batch' needs numpy and pays off at 1024+ PEs) "
+                          "[default: dense]")
+
+
 def _make_runner(args: argparse.Namespace):
     """Build the SweepRunner a subcommand's flags describe."""
     from repro.exp import NullCache, ResultCache, SweepRunner
@@ -130,7 +139,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.exp import execute
 
     payload = execute("machine.demo",
-                      {"pes": args.pes, "tickets": 4, "seed": args.seed})
+                      {"pes": args.pes, "tickets": 4, "seed": args.seed,
+                       "kernel": args.kernel})
     if args.json:
         return _emit_envelope("demo", payload)
     print(f"{args.pes} PEs each claimed 4 tickets from one shared counter")
@@ -143,7 +153,30 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig7(args: argparse.Namespace) -> int:
-    from repro.exp import figure7_spec
+    from repro.exp import figure7_simulated_spec, figure7_spec
+
+    if args.simulate:
+        rates = tuple(args.rate) if args.rate else (0.02, 0.05)
+        spec = figure7_simulated_spec(
+            pes=args.pes, rates=rates, cycles=args.cycles,
+            kernel=args.kernel, seed=args.seed,
+        )
+        result = _make_runner(args).run(spec)
+        points = result.payloads
+        if args.json:
+            return _emit_envelope("fig7", points, spec=spec, sweep=result)
+        print(f"Figure 7 simulated points ({args.pes} PEs, "
+              f"kernel={args.kernel}, {args.cycles} offered cycles):")
+        print(f"  {'p':>6} {'issued':>8} {'mean rtt':>9} {'max':>5} "
+              f"{'analytic transit':>16}")
+        for point in points:
+            print(f"  {point['rate']:>6.3f} {point['issued']:>8} "
+                  f"{point['observed_mean_round_trip']:>9.1f} "
+                  f"{point['observed_max_round_trip']:>5} "
+                  f"{point['analytic_transit_time']:>16.2f}")
+        print("(observed rtt is the full round trip; the analytic column "
+              "is the figure's one-way transit)")
+        return 0
 
     if args.plot:
         from repro.reporting import figure7_ascii
@@ -271,7 +304,7 @@ def _cmd_packaging(args: argparse.Namespace) -> int:
 def _cmd_hotspot(args: argparse.Namespace) -> int:
     from repro.exp import hotspot_spec
 
-    spec = hotspot_spec(pes=args.pes, seed=args.seed)
+    spec = hotspot_spec(pes=args.pes, seed=args.seed, kernel=args.kernel)
     result = _make_runner(args).run(spec)
     # Axis order in the spec is (combining=True, combining=False).
     on, off = result.payloads
@@ -301,7 +334,7 @@ def _cmd_hotspot(args: argparse.Namespace) -> int:
 
 
 def _run_hot_spot(pes: int, *, rounds: int = 4, trace_capacity: int = 0,
-                  seed: int = 0):
+                  seed: int = 0, kernel: str = "dense"):
     """One instrumented hot-spot run, returning the live RunResult.
 
     ``stats`` and ``trace`` want the real :class:`MetricsSnapshot` and
@@ -314,7 +347,8 @@ def _run_hot_spot(pes: int, *, rounds: int = 4, trace_capacity: int = 0,
     from repro.exp import build_hotspot_machine
 
     config = MachineConfig(
-        n_pes=pes, instrument=True, trace_capacity=trace_capacity
+        n_pes=pes, instrument=True, trace_capacity=trace_capacity,
+        kernel=kernel,
     )
     machine = build_hotspot_machine({
         "machine": config.to_dict(), "rounds": rounds, "seed": seed,
@@ -325,7 +359,7 @@ def _run_hot_spot(pes: int, *, rounds: int = 4, trace_capacity: int = 0,
 def _cmd_stats(args: argparse.Namespace) -> int:
     stats = _run_hot_spot(
         args.pes, rounds=args.rounds, seed=args.seed,
-        trace_capacity=args.trace_capacity,
+        trace_capacity=args.trace_capacity, kernel=args.kernel,
     )
     if args.json:
         return _emit_envelope("stats", stats.to_dict())
@@ -561,6 +595,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = subparsers.add_parser("demo", help="combining quickstart")
     demo.add_argument("--pes", type=int, default=8)
+    _add_kernel_flag(demo)
     _add_seed_flag(demo)
     demo.add_argument("--json", action="store_true",
                       help="emit the RunResult as JSON")
@@ -570,6 +605,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--n", type=int, default=4096)
     fig7.add_argument("--plot", action="store_true",
                       help="ASCII plot instead of a table")
+    fig7.add_argument("--simulate", action="store_true",
+                      help="run cycle-accurate points alongside the "
+                           "analytic curves (see --pes/--rate/--kernel)")
+    fig7.add_argument("--pes", type=int, default=4096,
+                      help="machine size for --simulate [default: 4096]")
+    fig7.add_argument("--rate", type=float, action="append", metavar="P",
+                      help="offered load for --simulate; repeatable "
+                           "[default: 0.02 0.05]")
+    fig7.add_argument("--cycles", type=int, default=200,
+                      help="offered-traffic window for --simulate "
+                           "[default: 200]")
+    _add_kernel_flag(fig7)
+    _add_seed_flag(fig7, default=1)
     fig7.add_argument("--json", action="store_true",
                       help="emit the curves as JSON")
     _add_sweep_flags(fig7)
@@ -599,6 +647,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     hotspot = subparsers.add_parser("hotspot", help="combining ablation")
     hotspot.add_argument("--pes", type=int, default=16)
+    _add_kernel_flag(hotspot)
     _add_seed_flag(hotspot)
     hotspot.add_argument("--json", action="store_true",
                          help="emit both runs' RunResults as JSON")
@@ -614,6 +663,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--trace-capacity", type=int, default=0, metavar="N",
                        help="also record an N-event cycle trace and report "
                             "transit-latency quantiles (0 = off)")
+    _add_kernel_flag(stats)
     _add_seed_flag(stats)
     stats.add_argument("--json", action="store_true",
                        help="emit the RunResult (metrics included) as JSON")
@@ -683,8 +733,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="memory references per PE")
     profile.add_argument("--gap", type=int, default=4,
                          help="compute cycles between references")
-    profile.add_argument("--kernel", choices=["dense", "event"],
-                         default="dense")
+    _add_kernel_flag(profile)
     profile.add_argument("--top", type=int, default=15, metavar="N",
                          help="show the N hottest functions")
     profile.add_argument("--sort", choices=["tottime", "cumtime"],

@@ -1,7 +1,7 @@
 """Core model: operation algebra, serialization, combining, machines."""
 
 from .combining import Combined, ReplyMode, ReplyRule, decombine, try_combine
-from .machine import MachineConfig, MachineStats, Ultracomputer
+from .machine import MachineConfig, Ultracomputer
 from .results import PEResult, RunResult
 from .memory_ops import (
     Effect,
@@ -18,7 +18,7 @@ from .memory_ops import (
     as_fetch_phi,
     get_phi,
 )
-from .paracomputer import DeadlockError, Paracomputer, ParacomputerStats
+from .paracomputer import DeadlockError, Paracomputer
 from .serialization import (
     BatchOutcome,
     all_serial_outcomes,
@@ -36,13 +36,11 @@ __all__ = [
     "FetchPhi",
     "Load",
     "MachineConfig",
-    "MachineStats",
     "Op",
     "OpKind",
     "PEResult",
     "PHI_OPERATORS",
     "Paracomputer",
-    "ParacomputerStats",
     "PhiOperator",
     "ReplyMode",
     "ReplyRule",

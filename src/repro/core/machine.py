@@ -25,13 +25,12 @@ from ..network.message import Message
 from ..network.omega import NetworkConfig, OmegaNetwork
 from .memory_ops import Op
 from .paracomputer import Program, ProgramFactory
-from .results import MachineStats, PEResult, RunResult
-from .scheduler import KERNELS, make_kernel
+from .results import PEResult, RunResult
+from .scheduler import kernel_names, make_kernel
 
 __all__ = [
     "Driver",
     "MachineConfig",
-    "MachineStats",
     "ProgramDriver",
     "RunResult",
     "Ultracomputer",
@@ -79,8 +78,12 @@ class MachineConfig:
     trace_capacity: int = 0
     #: simulation kernel: ``"dense"`` ticks every component every cycle
     #: (the reference semantics); ``"event"`` skips idle components and
-    #: fast-forwards globally quiet cycles, producing bit-identical
-    #: results faster.  See :mod:`repro.core.scheduler`.
+    #: fast-forwards globally quiet cycles; ``"batch"`` (requires numpy,
+    #: the ``repro[batch]`` extra) mirrors per-stage switch state into
+    #: struct-of-arrays form and advances whole stages per vectorized
+    #: step — the 1024–4096-PE scaling kernel.  All kernels produce
+    #: bit-identical results; valid names come from the pluggable
+    #: registry in :mod:`repro.core.scheduler`.
     kernel: str = "dense"
 
     def validate(self) -> None:
@@ -165,10 +168,10 @@ class MachineConfig:
                 "trace_capacity > 0 requires instrument=True; the cycle "
                 "trace rides on the instrumentation layer"
             )
-        if self.kernel not in KERNELS:
+        if self.kernel not in kernel_names():
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; choose from "
-                f"{sorted(KERNELS)}"
+                f"{sorted(kernel_names())}"
             )
 
     # -- canonical serialization (the experiment subsystem rides on

@@ -33,7 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Generator, Iterable, Optional
 
 from .memory_ops import Op
-from .results import ParacomputerStats, PEResult, RunResult  # noqa: F401  (re-export)
+from .results import PEResult, RunResult  # noqa: F401  (re-export)
 from .serialization import SerializationWitness, serialize_batch
 
 #: The coroutine protocol: programs yield Ops, None, or positive ints and

@@ -11,17 +11,17 @@ Both machine models return a :class:`RunResult` from ``run()``:
   machine's view of the same fields (every access is one cycle, nothing
   combines because nothing queues).
 
-The pre-1.1 ad-hoc stats objects (``MachineStats``, the paracomputer's
-``ParacomputerStats``) are aliases of :class:`RunResult`; their renamed
-attributes (``ops_issued``, ``pes``, ``finish_times``,
-``return_values``, ``all_finished``) keep working as properties that
-emit :class:`DeprecationWarning`.
+The pre-1.1 ad-hoc stats objects (``MachineStats``,
+``ParacomputerStats``) and the renamed attributes they carried
+(``ops_issued``, ``pes``, ``finish_times``, ``return_values``,
+``all_finished``) completed their one-minor-version deprecation window
+and were removed in 1.2; the replacement spellings are the core fields
+documented on :class:`RunResult`.
 """
 
 from __future__ import annotations
 
 import json
-import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -53,14 +53,6 @@ class PEResult:
             "finished_cycle": self.finished_cycle,
             "return_value": self.return_value,
         }
-
-
-def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
-        f"RunResult.{old} is deprecated; use {new} instead",
-        DeprecationWarning,
-        stacklevel=3,
-    )
 
 
 @dataclass
@@ -147,40 +139,6 @@ class RunResult:
         spans = self.spans
         return None if spans is None else spans.latency
 
-    # -- deprecated pre-1.1 attribute names ----------------------------
-    @property
-    def ops_issued(self) -> int:
-        _deprecated("ops_issued", "requests_issued")
-        return self.requests_issued
-
-    @property
-    def pes(self) -> int:
-        _deprecated("pes", "len(per_pe)")
-        return len(self.per_pe)
-
-    @property
-    def finish_times(self) -> dict[int, int]:
-        _deprecated("finish_times", "per_pe[pe].finished_cycle")
-        return {
-            pe_id: result.finished_cycle
-            for pe_id, result in self.per_pe.items()
-            if result.finished_cycle is not None
-        }
-
-    @property
-    def return_values(self) -> dict[int, Any]:
-        _deprecated("return_values", "per_pe[pe].return_value")
-        return {
-            pe_id: result.return_value
-            for pe_id, result in self.per_pe.items()
-            if result.finished
-        }
-
-    @property
-    def all_finished(self) -> bool:
-        _deprecated("all_finished", "all(r.finished for r in per_pe.values())")
-        return all(result.finished for result in self.per_pe.values())
-
     # -- export --------------------------------------------------------
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready dictionary of the whole result."""
@@ -214,9 +172,3 @@ class RunResult:
         # Program return values are arbitrary Python objects; repr() any
         # that JSON cannot express rather than failing the export.
         return json.dumps(self.to_dict(), indent=indent, default=repr)
-
-
-#: Pre-1.1 names for the run-result type, kept as aliases so existing
-#: ``isinstance`` checks and imports continue to work.
-MachineStats = RunResult
-ParacomputerStats = RunResult

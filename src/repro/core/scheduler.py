@@ -1,4 +1,4 @@
-"""Simulation kernels: dense reference loop and event-driven wake-list loop.
+"""Simulation kernels: the pluggable registry and the two object kernels.
 
 The Ultracomputer's cycle loop originally ticked every component — every
 switch of every network copy, every PNI/MNI, every PE — on every cycle,
@@ -28,8 +28,16 @@ the *semantics* of a cycle from the *schedule* that executes it:
      gain ``idle_cycles``, computing PEs burn ``compute_remaining``,
      busy MNIs gain ``busy_cycles``.
 
-The contract, enforced by ``tests/integration/test_kernel_equivalence.py``:
-for any workload, ``MachineConfig(kernel="event")`` produces a
+A third kernel lives in :mod:`repro.core.batch_kernel`:
+``MachineConfig(kernel="batch")`` keeps per-stage switch state mirrored
+in numpy arrays and advances whole stages per vectorized step — the
+1024–4096-PE scaling kernel.  Kernels are *pluggable*: each registers a
+factory under its config name via :func:`register_kernel`, and both
+``MachineConfig.validate()`` and the CLI's ``--kernel`` choices derive
+from the registry, so new kernels need no config or CLI changes.
+
+The contract, enforced by ``tests/integration/test_kernel_equivalence.py``
+for every registered kernel: for any workload, the kernel produces a
 :class:`~repro.core.results.RunResult` whose ``to_dict()`` — cycles,
 combines, per-PE finish times and return values, instrumentation
 snapshot, cycle trace — is bit-identical to ``kernel="dense"``.
@@ -52,13 +60,87 @@ Driver wake contract (optional; see :class:`repro.core.machine.Driver`):
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, runtime_checkable
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .machine import Ultracomputer
     from .results import RunResult
 
-__all__ = ["DenseKernel", "EventKernel", "KERNELS", "make_kernel"]
+__all__ = [
+    "DenseKernel",
+    "EventKernel",
+    "KERNELS",
+    "Kernel",
+    "KernelFactory",
+    "kernel_names",
+    "make_kernel",
+    "register_kernel",
+]
+
+
+@runtime_checkable
+class Kernel(Protocol):
+    """What the machine requires of a simulation kernel.
+
+    A kernel owns the cycle loop of one :class:`Ultracomputer`; the
+    machine delegates ``step``/``run``/``run_cycles`` to it.  Any
+    registered kernel must be *observationally invisible*: for any
+    workload its ``RunResult.to_dict()`` — cycles, combines, per-PE
+    stats, instrumentation snapshot, cycle trace — must be bit-identical
+    to :class:`DenseKernel`, the reference semantics.  The differential
+    grid in ``tests/integration/test_kernel_equivalence.py`` enforces
+    this for every kernel in the registry.
+    """
+
+    name: str
+
+    def step(self) -> None:
+        """Execute exactly one machine cycle."""
+
+    def run(self, max_cycles: int = 1_000_000) -> "RunResult":
+        """Run to quiescence (or raise RuntimeError at ``max_cycles``)."""
+
+    def run_cycles(self, n: int) -> "RunResult":
+        """Advance exactly ``n`` simulated cycles."""
+
+
+#: A kernel factory receives the fully wired machine and returns a
+#: :class:`Kernel` bound to it.  Factories run at machine construction
+#: time, so they may import optional dependencies lazily and raise an
+#: informative error when one is missing (the ``batch`` kernel gates its
+#: numpy import this way) — registration alone must stay import-free so
+#: ``MachineConfig.validate()`` and the CLI can list every kernel name.
+KernelFactory = Callable[["Ultracomputer"], "Kernel"]
+
+#: Kernel registry keyed by the ``MachineConfig.kernel`` string.  Extend
+#: it with :func:`register_kernel`; read names with :func:`kernel_names`.
+KERNELS: dict[str, KernelFactory] = {}
+
+
+def register_kernel(
+    name: str, factory: KernelFactory, *, replace: bool = False
+) -> None:
+    """Register a simulation kernel under ``MachineConfig.kernel=name``.
+
+    ``MachineConfig.validate()`` and the CLI's ``--kernel`` choices both
+    derive from this registry, so a plugged-in kernel is selectable
+    everywhere without touching config or CLI code.  Re-registering a
+    name is an error unless ``replace=True`` (tests use ``replace`` to
+    install instrumented stand-ins).
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"kernel name must be a non-empty string, got {name!r}")
+    if not replace and name in KERNELS:
+        raise ValueError(
+            f"kernel {name!r} is already registered; pass replace=True to "
+            "override it"
+        )
+    KERNELS[name] = factory
+
+
+def kernel_names() -> tuple[str, ...]:
+    """Registered kernel names, sorted (the valid ``--kernel`` choices)."""
+    return tuple(sorted(KERNELS))
 
 
 class DenseKernel:
@@ -245,18 +327,24 @@ class EventKernel(DenseKernel):
         return m.stats()
 
 
-#: Kernel registry keyed by the ``MachineConfig.kernel`` string.
-KERNELS = {
-    DenseKernel.name: DenseKernel,
-    EventKernel.name: EventKernel,
-}
-
-
-def make_kernel(name: str, machine: "Ultracomputer") -> DenseKernel:
+def make_kernel(name: str, machine: "Ultracomputer") -> "Kernel":
     try:
-        kernel_cls = KERNELS[name]
+        factory = KERNELS[name]
     except KeyError:
         raise ValueError(
             f"unknown kernel {name!r}; choose from {sorted(KERNELS)}"
         ) from None
-    return kernel_cls(machine)
+    return factory(machine)
+
+
+def _batch_factory(machine: "Ultracomputer") -> "Kernel":
+    # Imported lazily: the batch kernel needs numpy (the optional
+    # ``repro[batch]`` extra), but its *name* must be listable without it.
+    from .batch_kernel import BatchKernel
+
+    return BatchKernel(machine)
+
+
+register_kernel(DenseKernel.name, DenseKernel)
+register_kernel(EventKernel.name, EventKernel)
+register_kernel("batch", _batch_factory)

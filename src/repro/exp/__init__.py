@@ -31,6 +31,7 @@ from .engine import PointOutcome, SweepResult, SweepRunner, serial_runner
 from .experiments import (
     build_hotspot_machine,
     drift_spec,
+    figure7_simulated_spec,
     figure7_spec,
     hotspot_spec,
     scaling_spec,
@@ -63,6 +64,7 @@ __all__ = [
     "default_cache_root",
     "drift_spec",
     "execute",
+    "figure7_simulated_spec",
     "figure7_spec",
     "hotspot_spec",
     "point_function",

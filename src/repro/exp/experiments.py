@@ -87,6 +87,78 @@ def figure7_spec(
     )
 
 
+@point_function("fig7.simulated")
+def fig7_simulated(params: dict) -> dict[str, Any]:
+    """One cycle-accurate point under Figure 7's workload model.
+
+    Runs uniform Bernoulli(p) traffic through the real machine (any
+    kernel — this is the 4096-PE case the batch kernel exists for),
+    then drains, and reports the observed mean round trip next to the
+    analytic transit time the figure plots.  The observed number is a
+    full round trip (request transit + memory service + reply transit)
+    where the analytic curve is one-way queueing transit, so the
+    payload carries both rather than pretending they share units; what
+    the comparison checks is the *shape* — that simulated latency at a
+    given p sits in the regime the closed form predicts.
+    """
+    from ..analysis.configurations import NetworkDesign
+    from ..core.machine import MachineConfig, Ultracomputer
+    from ..workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+    pes = params["pes"]
+    rate = params["rate"]
+    cycles = params.get("cycles", 200)
+    kernel = params.get("kernel", "dense")
+    config = MachineConfig(n_pes=pes, kernel=kernel)
+    machine = Ultracomputer(config)
+    driver = SyntheticTrafficDriver(
+        machine,
+        TrafficSpec(rate=rate, pattern="uniform", seed=params["seed"]),
+    )
+    machine.attach_driver(driver)
+    machine.run_cycles(cycles)
+    # Stop offering and drain in-flight requests so latencies are
+    # complete; the bound keeps a saturated point from hanging the run.
+    driver.spec = dataclasses.replace(driver.spec, rate=0.0)
+    for _ in range(cycles * 4):
+        if all(pni.outstanding() == 0 for pni in machine.pnis):
+            break
+        machine.step()
+    traffic = driver.stats()
+    design = NetworkDesign(k=config.k, d=config.copies)
+    return {
+        "pes": pes,
+        "kernel": kernel,
+        "rate": rate,
+        "cycles_offered": cycles,
+        "cycles_total": machine.cycle,
+        "issued": traffic.issued,
+        "completed": traffic.completed,
+        "blocked_attempts": traffic.blocked_attempts,
+        "observed_mean_round_trip": traffic.mean_latency,
+        "observed_max_round_trip": traffic.max_latency,
+        "analytic_transit_time": design.transit_time(rate, pes),
+    }
+
+
+def figure7_simulated_spec(
+    pes: int = 4096,
+    rates: Sequence[float] = (0.02, 0.05),
+    *,
+    cycles: int = 200,
+    kernel: str = "batch",
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Simulated companion points for Figure 7's analytic curves."""
+    return ExperimentSpec(
+        experiment="fig7.simulated",
+        base={"pes": pes, "cycles": cycles, "kernel": kernel},
+        axes=(SweepAxis("rate", tuple(rates)),),
+        seed=seed,
+        label=f"Figure 7 simulated points ({pes} PEs, kernel={kernel})",
+    )
+
+
 # ----------------------------------------------------------------------
 # Table 1: trace replay through the stochastic queueing network
 # ----------------------------------------------------------------------
@@ -247,7 +319,9 @@ def machine_demo(params: dict) -> dict[str, Any]:
     pes = params["pes"]
     tickets = params.get("tickets", 4)
     delays = start_delays(params["seed"], pes)
-    machine = Ultracomputer(MachineConfig(n_pes=pes))
+    machine = Ultracomputer(
+        MachineConfig(n_pes=pes, kernel=params.get("kernel", "dense"))
+    )
 
     def ticket_taker(pe_id, delay):
         if delay:

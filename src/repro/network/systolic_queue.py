@@ -110,6 +110,16 @@ class CombiningQueue:
     :meth:`append`) — a switch can then search *before* committing any
     message mutation, which is what makes refused offers side-effect
     free.
+
+    The associative search is served by a keyed-address index: a dict
+    from ``(mm, offset)`` to the queued slots carrying that address, in
+    FIFO order.  :meth:`find_partner` therefore probes one key instead
+    of scanning the whole queue — the same candidates in the same order
+    as the linear scan (any earlier slot with the key precedes it in the
+    per-key list too), so outcomes are identical; only the cost changes.
+    Under pairwise combining a slot that absorbs its partner can never
+    match again, so it is dropped from the index at commit time, keeping
+    hot-spot key lists short even when the queue is deep.
     """
 
     __slots__ = (
@@ -117,6 +127,7 @@ class CombiningQueue:
         "combining",
         "pairwise_only",
         "_slots",
+        "_by_key",
         "used_packets",
         "total_inserted",
         "total_combined",
@@ -137,6 +148,7 @@ class CombiningQueue:
         self.combining = combining
         self.pairwise_only = pairwise_only
         self._slots: deque[_Slot] = deque()
+        self._by_key: dict[tuple[int, int], list[_Slot]] = {}
         self.used_packets = 0
         # statistics
         self.total_inserted = 0
@@ -176,19 +188,27 @@ class CombiningQueue:
             combining = self.combining
         if not combining or message.is_reply:
             return None
-        mm = message.mm
-        offset = message.offset
+        candidates = self._by_key.get((message.mm, message.offset))
+        if not candidates:
+            return None
         pairwise_only = self.pairwise_only
-        for slot in self._slots:
-            queued = slot.message
+        for slot in candidates:
             if pairwise_only and slot.already_combined:
                 continue
-            if queued.mm != mm or queued.offset != offset:
-                continue
-            plan = try_combine(queued.op, message.op)
+            plan = try_combine(slot.message.op, message.op)
             if plan is not None:
                 return slot, plan
         return None
+
+    def _unindex(self, slot: _Slot) -> None:
+        key = (slot.message.mm, slot.message.offset)
+        candidates = self._by_key[key]
+        if candidates[0] is slot:  # pops always hit the oldest of a key
+            del candidates[0]
+        else:
+            candidates.remove(slot)
+        if not candidates:
+            del self._by_key[key]
 
     def commit_combine(self, slot: _Slot, message: Message, plan: Combined) -> None:
         """Merge ``message`` into the queued partner found by
@@ -198,6 +218,10 @@ class CombiningQueue:
         queued.replace_op(plan.forward)
         queued.combine_depth = max(queued.combine_depth, message.combine_depth) + 1
         slot.already_combined = True
+        if self.pairwise_only:
+            # A pairwise slot can never match again; drop it from the
+            # keyed index so hot-spot searches stay short.
+            self._unindex(slot)
         self.used_packets += queued.packets - old_packets
         if self.used_packets > self.peak_packets:
             self.peak_packets = self.used_packets
@@ -210,7 +234,9 @@ class CombiningQueue:
                 f"queue full ({self.used_packets}/{self.capacity_packets} "
                 f"packets) and message tag={message.tag} cannot combine"
             )
-        self._slots.append(_Slot(message=message))
+        slot = _Slot(message=message)
+        self._slots.append(slot)
+        self._by_key.setdefault((message.mm, message.offset), []).append(slot)
         self.used_packets += message.packets
         if self.used_packets > self.peak_packets:
             self.peak_packets = self.used_packets
@@ -255,6 +281,8 @@ class CombiningQueue:
 
     def pop(self) -> Message:
         slot = self._slots.popleft()
+        if not (self.pairwise_only and slot.already_combined):
+            self._unindex(slot)
         self.used_packets -= slot.message.packets
         return slot.message
 

@@ -43,7 +43,7 @@ class TestCorrectness:
 
         para.spawn_many(8, program)
         stats = para.run(10_000)
-        assert sorted(stats.return_values.values()) == list(range(8))
+        assert sorted(r.return_value for r in stats.per_pe.values()) == list(range(8))
 
     def test_reusable_across_many_generations(self):
         barrier = Barrier(base=0, participants=4)
@@ -56,7 +56,7 @@ class TestCorrectness:
 
         para.spawn_many(4, program)
         stats = para.run(100_000)
-        assert stats.all_finished
+        assert all(r.finished for r in stats.per_pe.values())
         assert para.peek(barrier.sense) == 20
 
     def test_works_on_the_real_machine(self):
@@ -91,7 +91,7 @@ class TestFuzzyBarrier:
 
         para.spawn_many(4, program)
         stats = para.run(20_000)
-        assert stats.all_finished
+        assert all(r.finished for r in stats.per_pe.values())
 
     def test_fuzzy_overlaps_useful_work(self):
         """The fuzzy barrier hides the wait behind local computation:

@@ -25,24 +25,24 @@ def tdr_program(pe_id, counter, delta):
 class TestSemantics:
     def test_tir_succeeds_under_bound(self):
         para, stats = run_programs([(tir_program, (0, 1, 5))])
-        assert stats.return_values[0] is True
+        assert stats.per_pe[0].return_value is True
         assert para.peek(0) == 1
 
     def test_tir_fails_at_bound(self):
         para, stats = run_programs(
             [(tir_program, (0, 1, 5))], memory={0: 5}
         )
-        assert stats.return_values[0] is False
+        assert stats.per_pe[0].return_value is False
         assert para.peek(0) == 5  # unchanged
 
     def test_tdr_succeeds_when_positive(self):
         para, stats = run_programs([(tdr_program, (0, 2))], memory={0: 3})
-        assert stats.return_values[0] is True
+        assert stats.per_pe[0].return_value is True
         assert para.peek(0) == 1
 
     def test_tdr_fails_at_zero(self):
         para, stats = run_programs([(tdr_program, (0, 1))])
-        assert stats.return_values[0] is False
+        assert stats.per_pe[0].return_value is False
         assert para.peek(0) == 0
 
     def test_bad_delta_rejected(self):
@@ -61,7 +61,7 @@ class TestConcurrentSafety:
         para, stats = run_programs(
             [(tir_program, (0, 1, 10))] * 32, seed=3
         )
-        winners = sum(1 for v in stats.return_values.values() if v)
+        winners = sum(1 for r in stats.per_pe.values() if r.return_value)
         assert winners == 10
         assert para.peek(0) == 10
 
@@ -69,7 +69,7 @@ class TestConcurrentSafety:
         para, stats = run_programs(
             [(tdr_program, (0, 1))] * 32, seed=4, memory={0: 7}
         )
-        winners = sum(1 for v in stats.return_values.values() if v)
+        winners = sum(1 for r in stats.per_pe.values() if r.return_value)
         assert winners == 7
         assert para.peek(0) == 0
 
@@ -89,7 +89,7 @@ class TestConcurrentSafety:
         para, stats = run_programs(
             [(repeat_tir, (0, 5, 20))] * 16, seed=5
         )
-        total_wins = sum(stats.return_values.values())
+        total_wins = sum(r.return_value for r in stats.per_pe.values())
         assert total_wins == 5
         assert para.peek(0) == 5
 

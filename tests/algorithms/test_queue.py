@@ -48,7 +48,7 @@ class TestSequential:
 
         para.spawn(program)
         stats = para.run(5000)
-        assert stats.return_values[0] == (42, 43)  # FIFO
+        assert stats.per_pe[0].return_value == (42, 43)  # FIFO
 
     def test_underflow_returns_none(self):
         para = Paracomputer(seed=1)
@@ -59,7 +59,7 @@ class TestSequential:
 
         para.spawn(program)
         stats = para.run(5000)
-        assert stats.return_values[0] is None
+        assert stats.per_pe[0].return_value is None
 
     def test_overflow_returns_false(self):
         para = Paracomputer(seed=1)
@@ -73,7 +73,7 @@ class TestSequential:
 
         para.spawn(program)
         stats = para.run(50_000)
-        outcomes = stats.return_values[0]
+        outcomes = stats.per_pe[0].return_value
         assert outcomes == [True] * QUEUE.capacity + [False, False]
 
     def test_wraparound_rounds(self):
@@ -93,7 +93,7 @@ class TestSequential:
         para.spawn(program)
         stats = para.run(100_000)
         expected = [r * 100 + i for r in range(4) for i in range(QUEUE.capacity)]
-        assert stats.return_values[0] == expected
+        assert stats.per_pe[0].return_value == expected
 
     def test_raising_helpers(self):
         para = Paracomputer(seed=1)
@@ -110,7 +110,7 @@ class TestSequential:
 
         para.spawn(program)
         stats = para.run(5000)
-        assert stats.return_values[0] == 5
+        assert stats.per_pe[0].return_value == 5
 
 
 class TestConcurrent:
@@ -192,7 +192,7 @@ class TestConcurrent:
 
         para.spawn(program)
         stats = para.run(10_000)
-        assert stats.return_values[0] == (3, 3)
+        assert stats.per_pe[0].return_value == (3, 3)
 
     def test_full_queue_insert_delete_churn(self):
         """Keep the queue at capacity while concurrent inserts and

@@ -109,7 +109,7 @@ class TestFastPath:
 
         para.spawn_many(16, probe)
         stats = para.run(5000)
-        assert all(v == 0 for v in stats.return_values.values())
+        assert all(v == 0 for v in (r.return_value for r in stats.per_pe.values()))
 
     def test_reader_backs_off_during_write(self):
         para = Paracomputer(seed=3)
@@ -135,7 +135,7 @@ class TestFastPath:
         para.spawn(late_reader)
         stats = para.run(20_000)
         assert monitor.violations == []
-        assert stats.return_values[1] >= 1  # had to back off at least once
+        assert stats.per_pe[1].return_value >= 1  # had to back off at least once
 
 
 class TestSectionHelpers:
@@ -153,7 +153,7 @@ class TestSectionHelpers:
         para.poke(50, 77)
         para.spawn(program)
         stats = para.run(5000)
-        assert stats.return_values[0] == 77
+        assert stats.per_pe[0].return_value == 77
         assert para.peek(LOCK.address) == 0
 
     def test_write_section_wraps(self):

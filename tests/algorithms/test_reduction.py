@@ -27,7 +27,7 @@ class TestAllReduce:
 
         para.spawn_many(8, program)
         stats = para.run(20_000)
-        assert all(v == 36 for v in stats.return_values.values())
+        assert all(v == 36 for v in (r.return_value for r in stats.per_pe.values()))
 
     def test_all_reduce_on_the_machine_combines(self):
         machine = Ultracomputer(MachineConfig(n_pes=8))
@@ -59,7 +59,7 @@ class TestAllReduce:
 
         para.spawn_many(4, program)
         stats = para.run(100_000)
-        for values in stats.return_values.values():
+        for values in (r.return_value for r in stats.per_pe.values()):
             assert values == [6, 10, 14]  # sums of pe_id + r over pe_id
 
 
@@ -73,9 +73,9 @@ class TestOrderedPrefix:
 
         para.spawn_many(16, program)
         stats = para.run(10_000)
-        prefixes = sorted(v[0] for v in stats.return_values.values())
+        prefixes = sorted(v[0] for v in (r.return_value for r in stats.per_pe.values()))
         assert prefixes == list(range(16))
-        for prefix, after in stats.return_values.values():
+        for prefix, after in (r.return_value for r in stats.per_pe.values()):
             assert after == prefix + 1
 
     def test_weighted_prefix_sums(self):
@@ -91,7 +91,7 @@ class TestOrderedPrefix:
         # the multiset of prefixes equals the prefix sums of SOME order
         from repro.core.serialization import fetch_add_outcome_valid
 
-        results = [stats.return_values[pe] for pe in range(4)]
+        results = [stats.per_pe[pe].return_value for pe in range(4)]
         assert fetch_add_outcome_valid(0, weights, results, para.peek(0))
 
 
@@ -113,7 +113,7 @@ class TestBroadcast:
         para.spawn_many(6, lambda pe_id: subscriber(pe_id))
         stats = para.run(10_000)
         for pe in range(1, 7):
-            assert stats.return_values[pe] == (1234, 1)
+            assert stats.per_pe[pe].return_value == (1234, 1)
 
     def test_generations_distinguish_messages(self):
         para = Paracomputer(seed=10)
@@ -133,7 +133,7 @@ class TestBroadcast:
         para.spawn(owner)
         para.spawn(subscriber)
         stats = para.run(20_000)
-        assert stats.return_values[1] == (111, 222)
+        assert stats.per_pe[1].return_value == (111, 222)
 
     def test_footprints(self):
         assert Broadcast(base=0).footprint == 2

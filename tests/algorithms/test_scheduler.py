@@ -27,7 +27,7 @@ class TestCorrectness:
         para.spawn_many(8, run_worker, layout, task_fn)
         stats = para.run(500_000)
         executed = sorted(
-            t for v in stats.return_values.values() for t in v.executed
+            t for v in (r.return_value for r in stats.per_pe.values()) for t in v.executed
         )
         assert executed == list(range(total))
 
@@ -54,7 +54,7 @@ class TestCorrectness:
         seed_direct(layout, roots, para.poke)
         para.spawn_many(8, run_worker, layout, task_fn)
         stats = para.run(500_000)
-        per_pe = [len(v.executed) for v in stats.return_values.values()]
+        per_pe = [len(v.executed) for v in (r.return_value for r in stats.per_pe.values())]
         assert all(count > 0 for count in per_pe)
         assert sum(per_pe) == total
 
@@ -64,8 +64,8 @@ class TestCorrectness:
         seed_direct(layout, [0], para.poke)
         para.spawn_many(12, run_worker, layout, lambda task: (1, []))
         stats = para.run(100_000)
-        assert stats.all_finished
-        executed = [t for v in stats.return_values.values() for t in v.executed]
+        assert all(r.finished for r in stats.per_pe.values())
+        executed = [t for v in (r.return_value for r in stats.per_pe.values()) for t in v.executed]
         assert executed == [0]
 
 
@@ -86,7 +86,7 @@ class TestSeeding:
 
         para.spawn(seeder_then_work)
         stats = para.run(100_000)
-        executed = sorted(stats.return_values[0].executed)
+        executed = sorted(stats.per_pe[0].return_value.executed)
         assert executed == [0, 1, 2, 3]
 
     def test_seed_direct_rejects_oversize(self):

@@ -23,7 +23,7 @@ class TestCountingSemaphore:
 
         para.spawn(program)
         stats = para.run(5000)
-        assert stats.return_values[0] is True
+        assert stats.per_pe[0].return_value is True
         assert para.peek(0) == 2
 
     def test_try_acquire_fails_empty(self):
@@ -36,7 +36,7 @@ class TestCountingSemaphore:
 
         para.spawn(program)
         stats = para.run(5000)
-        assert stats.return_values[0] is False
+        assert stats.per_pe[0].return_value is False
         assert para.peek(0) == 0
 
     def test_capacity_respected_under_contention(self):
@@ -57,7 +57,7 @@ class TestCountingSemaphore:
 
         para.spawn_many(10, program)
         stats = para.run(100_000)
-        assert stats.all_finished
+        assert all(r.finished for r in stats.per_pe.values())
         assert holders["peak"] <= 3
         assert para.peek(0) == 3
 
@@ -71,7 +71,7 @@ class TestCountingSemaphore:
 
         para.spawn_many(2, program)
         stats = para.run(10_000)
-        outcomes = sorted(stats.return_values.values())
+        outcomes = sorted((r.return_value for r in stats.per_pe.values()))
         assert outcomes == [False, True]  # only one 4-unit claim fits
         assert para.peek(0) == 1
 
@@ -96,7 +96,7 @@ class TestSpinLock:
 
         para.spawn_many(6, program)
         stats = para.run(200_000)
-        assert stats.all_finished
+        assert all(r.finished for r in stats.per_pe.values())
         assert section["violations"] == 0
         assert section["entries"] == 18
         assert para.peek(0) == 0
@@ -118,4 +118,4 @@ class TestSpinLock:
         para.spawn(contender)
         para.spawn(releaser)
         stats = para.run(10_000)
-        assert stats.return_values[0] >= 1  # lock was initially held
+        assert stats.per_pe[0].return_value >= 1  # lock was initially held

@@ -96,4 +96,4 @@ class TestParallel:
         layout = TallyLayout(base=0)
         para.spawn_many(4, parallel_tracker, layout, SlabProblem(), 100)
         stats = para.run(100_000)
-        assert sum(stats.return_values.values()) == 100
+        assert sum((r.return_value for r in stats.per_pe.values())) == 100

@@ -27,7 +27,7 @@ class TestSelection:
         assert machine.kernel.name == "event"
 
     def test_registry_contents(self):
-        assert set(KERNELS) == {"dense", "event"}
+        assert set(KERNELS) == {"batch", "dense", "event"}
 
     def test_unknown_kernel_rejected_by_config(self):
         with pytest.raises(ValueError, match="unknown kernel"):

@@ -25,7 +25,7 @@ class TestProtocol:
         para = Paracomputer()
         para.spawn(program)
         stats = para.run(100)
-        assert stats.return_values[0] == 42
+        assert stats.per_pe[0].return_value == 42
         assert para.peek(0) == 42
 
     def test_compute_delay_costs_cycles(self):
@@ -40,7 +40,7 @@ class TestProtocol:
         para.spawn(fast)
         para.spawn(slow)
         stats = para.run(200)
-        assert stats.finish_times[1] - stats.finish_times[0] >= 45
+        assert stats.per_pe[1].finished_cycle - stats.per_pe[0].finished_cycle >= 45
 
     def test_yield_none_is_one_cycle(self):
         def program(pe_id):
@@ -91,7 +91,7 @@ class TestSerializationSemantics:
         para = Paracomputer(seed=7)
         para.spawn_many(16, incrementer, 0, 1)
         stats = para.run(100)
-        results = [stats.return_values[pe][0] for pe in range(16)]
+        results = [stats.per_pe[pe].return_value[0] for pe in range(16)]
         assert fetch_add_outcome_valid(0, [1] * 16, results, para.peek(0))
         # single-cycle shared access: one round of 16 simultaneous F&As
         # should complete in a handful of cycles, not 16.
@@ -103,7 +103,7 @@ class TestSerializationSemantics:
         para = Paracomputer(seed=3)
         para.spawn_many(32, incrementer, 0, 4)
         stats = para.run(1000)
-        everything = [v for pe in range(32) for v in stats.return_values[pe]]
+        everything = [v for pe in range(32) for v in stats.per_pe[pe].return_value]
         assert sorted(everything) == list(range(128))
         assert para.peek(0) == 128
 
@@ -118,7 +118,7 @@ class TestSerializationSemantics:
             para.spawn(swapper, 0, pe)
         stats = para.run(100)
         got = sorted(
-            [stats.return_values[pe] for pe in range(8)] + [para.peek(0)]
+            [stats.per_pe[pe].return_value for pe in range(8)] + [para.peek(0)]
         )
         assert got == sorted([999] + list(range(8)))
 
@@ -127,7 +127,7 @@ class TestSerializationSemantics:
             para = Paracomputer(seed=seed)
             para.spawn_many(8, incrementer, 0, 5)
             stats = para.run(500)
-            return [stats.return_values[pe] for pe in range(8)]
+            return [stats.per_pe[pe].return_value for pe in range(8)]
 
         assert run(42) == run(42)
         # different seed should (overwhelmingly) produce a different
@@ -163,6 +163,6 @@ class TestHelpers:
         para = Paracomputer()
         para.spawn_many(4, incrementer, 0, 3)
         stats = para.run(100)
-        assert stats.ops_issued == 12
-        assert stats.pes == 4
-        assert stats.all_finished
+        assert stats.requests_issued == 12
+        assert len(stats.per_pe) == 4
+        assert all(r.finished for r in stats.per_pe.values())

@@ -1,4 +1,4 @@
-"""Tests for the RunResult API: real fields, deprecated shims, export."""
+"""Tests for the RunResult API: real fields, removed aliases, export."""
 
 import json
 
@@ -51,64 +51,30 @@ class TestFields:
         assert result.mean_round_trip == 1.0
 
 
-class TestDeprecatedShims:
-    def test_ops_issued_warns_and_maps(self):
-        result = _hot_spot_result()
-        with pytest.warns(DeprecationWarning, match="requests_issued"):
-            assert result.ops_issued == result.requests_issued
+class TestRemovedAliases:
+    """The pre-1.1 names completed their deprecation cycle in 1.2.
 
-    def test_pes_warns_and_maps(self):
-        result = _hot_spot_result()
-        with pytest.warns(DeprecationWarning, match="per_pe"):
-            assert result.pes == len(result.per_pe)
-
-    def test_finish_times_warns_and_maps(self):
-        result = _hot_spot_result()
-        with pytest.warns(DeprecationWarning):
-            times = result.finish_times
-        assert times == {
-            pe: r.finished_cycle for pe, r in result.per_pe.items()
-        }
-
-    def test_return_values_warns_and_maps(self):
-        result = _hot_spot_result()
-        with pytest.warns(DeprecationWarning):
-            values = result.return_values
-        assert len(values) == 8
-        # fetch-and-add returns the pre-increment value: tickets 0..31
-        assert sorted(values.values())[-1] == 31
-
-    def test_all_finished_warns(self):
-        result = _hot_spot_result()
-        with pytest.warns(DeprecationWarning):
-            assert result.all_finished
+    They spent the promised one-minor-version window as
+    DeprecationWarning shims; the API redesign removed them, so any
+    leftover use must now fail loudly rather than silently resolve.
+    """
 
     @pytest.mark.parametrize(
-        ("alias", "mirror"),
-        [
-            ("ops_issued", lambda r: r.requests_issued),
-            ("pes", lambda r: len(r.per_pe)),
-            (
-                "finish_times",
-                lambda r: {pe: p.finished_cycle for pe, p in r.per_pe.items()},
-            ),
-            (
-                "return_values",
-                lambda r: {pe: p.return_value for pe, p in r.per_pe.items()},
-            ),
-            (
-                "all_finished",
-                lambda r: all(p.finished for p in r.per_pe.values()),
-            ),
-        ],
+        "alias",
+        ["ops_issued", "pes", "finish_times", "return_values", "all_finished"],
     )
-    def test_every_alias_warns_and_mirrors(self, alias, mirror):
-        """Each deprecated alias must (a) emit DeprecationWarning naming
-        itself and (b) return exactly what the new API returns."""
+    def test_removed_attribute_raises(self, alias):
         result = _hot_spot_result()
-        with pytest.warns(DeprecationWarning, match=alias):
-            value = getattr(result, alias)
-        assert value == mirror(result)
+        with pytest.raises(AttributeError):
+            getattr(result, alias)
+
+    def test_type_aliases_removed(self):
+        import repro.core
+        import repro.core.results
+
+        for module in (repro.core, repro.core.results):
+            for name in ("MachineStats", "ParacomputerStats"):
+                assert not hasattr(module, name)
 
     def test_combining_rate_is_supported(self, recwarn):
         result = _hot_spot_result()

@@ -30,7 +30,7 @@ class TestDynamicSpawning:
 
         para.spawn(parent)
         stats = para.run(10_000)
-        assert stats.all_finished
+        assert all(r.finished for r in stats.per_pe.values())
         assert para.peek(0) == 31
         assert para.n_pes == 3
 
@@ -161,4 +161,4 @@ class TestExceptionSafety:
 
         para.spawn(program)
         stats = para.run(10_000)
-        assert stats.return_values[0] == 0  # lock fully released
+        assert stats.per_pe[0].return_value == 0  # lock fully released

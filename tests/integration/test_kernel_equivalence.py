@@ -1,12 +1,13 @@
-"""Differential regression: the event kernel must be invisible.
+"""Differential regression: the optimized kernels must be invisible.
 
-``MachineConfig(kernel="event")`` is an optimization, not a model
-change: for any workload it must produce a ``RunResult`` whose
-``to_dict()`` — cycles, combines, per-PE outcomes, the full
-instrumentation snapshot, and the cycle trace — is bit-identical to the
-dense reference kernel.  These tests sweep a seeded grid of machine
-sizes, traffic shapes, and cache settings and compare the two kernels
-pairwise; any divergence is a kernel bug by definition.
+``MachineConfig(kernel="event")`` and ``MachineConfig(kernel="batch")``
+are optimizations, not model changes: for any workload each must
+produce a ``RunResult`` whose ``to_dict()`` — cycles, combines, per-PE
+outcomes, the full instrumentation snapshot, and the cycle trace — is
+bit-identical to the dense reference kernel.  These tests sweep a
+seeded grid of machine sizes, traffic shapes, and cache settings and
+compare each optimized kernel against dense; any divergence is a
+kernel bug by definition.
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ from repro.pe.cached import CachedProgramDriver
 from repro.workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
 
 GRID_N_PES = [4, 16, 64]
+OPTIMIZED_KERNELS = ["event", "batch"]
 ROUNDS = 6
 
 
@@ -85,46 +87,49 @@ def _run_cached(n_pes: int, kernel: str, pattern: str, seed: int):
     return result
 
 
+@pytest.mark.parametrize("kernel", OPTIMIZED_KERNELS)
 class TestUncachedGrid:
     @pytest.mark.parametrize("n_pes", GRID_N_PES)
     @pytest.mark.parametrize("pattern", ["hotspot", "uniform"])
-    def test_dense_event_identical(self, n_pes, pattern):
+    def test_identical_to_dense(self, kernel, n_pes, pattern):
         dense = _run_programs(n_pes, "dense", pattern, seed=11)
-        event = _run_programs(n_pes, "event", pattern, seed=11)
-        assert dense == event
+        other = _run_programs(n_pes, kernel, pattern, seed=11)
+        assert dense == other
 
     @pytest.mark.parametrize("n_pes", [4, 16])
-    def test_identical_with_finite_queues_and_window(self, n_pes):
+    def test_identical_with_finite_queues_and_window(self, kernel, n_pes):
         kwargs = dict(queue_capacity_packets=4, max_outstanding=2)
         dense = _run_programs(n_pes, "dense", "uniform", seed=5, **kwargs)
-        event = _run_programs(n_pes, "event", "uniform", seed=5, **kwargs)
-        assert dense == event
+        other = _run_programs(n_pes, kernel, "uniform", seed=5, **kwargs)
+        assert dense == other
 
-    def test_identical_across_network_copies(self):
+    def test_identical_across_network_copies(self, kernel):
         dense = _run_programs(16, "dense", "hotspot", seed=9, copies=2)
-        event = _run_programs(16, "event", "hotspot", seed=9, copies=2)
-        assert dense == event
+        other = _run_programs(16, kernel, "hotspot", seed=9, copies=2)
+        assert dense == other
 
 
+@pytest.mark.parametrize("kernel", OPTIMIZED_KERNELS)
 class TestCachedGrid:
     @pytest.mark.parametrize("n_pes", GRID_N_PES)
     @pytest.mark.parametrize("pattern", ["hotspot", "uniform"])
-    def test_dense_event_identical(self, n_pes, pattern):
+    def test_identical_to_dense(self, kernel, n_pes, pattern):
         dense = _run_cached(n_pes, "dense", pattern, seed=23)
-        event = _run_cached(n_pes, "event", pattern, seed=23)
-        assert dense == event
+        other = _run_cached(n_pes, kernel, pattern, seed=23)
+        assert dense == other
 
 
 class TestOpenLoopTraffic:
-    """Stochastic open-loop drivers have no wake contract: the event
-    kernel must fall back to executing every cycle, keeping the RNG
+    """Stochastic open-loop drivers have no wake contract: the sparse
+    kernels must fall back to executing every cycle, keeping the RNG
     draw sequence — and therefore everything downstream — identical."""
 
+    @pytest.mark.parametrize("kernel", OPTIMIZED_KERNELS)
     @pytest.mark.parametrize("pattern", ["uniform", "hotspot"])
-    def test_run_cycles_identical(self, pattern):
+    def test_run_cycles_identical(self, kernel, pattern):
         results = []
-        for kernel in ("dense", "event"):
-            machine = _machine(16, kernel)
+        for name in ("dense", kernel):
+            machine = _machine(16, name)
             machine.attach_driver(
                 SyntheticTrafficDriver(
                     machine, TrafficSpec(rate=0.05, pattern=pattern, seed=7)
@@ -142,15 +147,15 @@ class TestTimeoutParity:
 
         messages = []
         counters = []
-        for kernel in ("dense", "event"):
+        for kernel in ("dense", "event", "batch"):
             machine = _machine(4, kernel)
             machine.spawn_many(4, stuck)
             with pytest.raises(RuntimeError) as excinfo:
                 machine.run(max_cycles=500)
             messages.append(str(excinfo.value))
             counters.append((machine.cycle, machine.stats().to_dict()))
-        assert messages[0] == messages[1]
-        assert counters[0] == counters[1]
+        assert messages[0] == messages[1] == messages[2]
+        assert counters[0] == counters[1] == counters[2]
 
 
 class TestKernelProgress:

@@ -129,7 +129,11 @@ class TestSchedulerEquivalence:
             machine.spawn_many(8, run_worker)
             run(machine)
             if isinstance(machine, Paracomputer):
-                values = machine.stats().return_values.values()
+                values = [
+                    r.return_value
+                    for r in machine.stats().per_pe.values()
+                    if r.finished
+                ]
             else:
                 values = machine.programs.return_values.values()
             executed = sorted(t for v in values for t in v.executed)

@@ -1,0 +1,337 @@
+"""SERVE — load generator for the serving front end.
+
+Boots a real server (ephemeral port, process pool, fresh cache) and
+drives it with many simultaneous clients from one event loop, the shape
+production traffic takes:
+
+* a **hot phase**: batches of concurrent *identical* submissions — the
+  software analogue of the paper's hot-spot traffic.  The pending-
+  interest table must collapse each batch into one computation, so the
+  coalescing ratio is gated at >= 0.9 exactly like the combining
+  network's hot-spot claim;
+* a **Zipf phase**: requests sampled from a Zipf-skewed catalogue of
+  distinct specs (a few hot keys, a long cold tail) under bounded
+  concurrency — mixing coalesced, cached, and computed service classes.
+
+Reports client-side p50/p99 and the server's own ``/stats`` view, and
+checks every response for bit parity with a direct
+:class:`~repro.exp.SweepRunner` run of the same spec.
+
+Run modes::
+
+    python benchmarks/bench_serve.py                # full load run
+    python benchmarks/bench_serve.py --smoke \
+        --out artifacts/serve-smoke.json            # CI smoke + artifact
+
+The smoke mode is the CI `serve-smoke` job: 50 concurrent identical
+submissions (exactly one computation) plus 50 distinct ones, with the
+latency summary written as a JSON artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+_REPO = Path(__file__).resolve().parent.parent
+if str(_REPO / "src") not in sys.path:  # script mode; pytest has conftest
+    sys.path.insert(0, str(_REPO / "src"))
+
+from repro.exp import ExperimentSpec, NullCache, ResultCache, SweepRunner
+from repro.obs.spans import LatencySummary
+from repro.serve import AsyncServeClient, ServeApp, SweepService
+
+
+def banner(title: str) -> str:
+    rule = "=" * max(64, len(title) + 4)
+    return f"\n{rule}\n{title}\n{rule}"
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+# -- server lifecycle --------------------------------------------------
+
+class ServerHandle:
+    def __init__(self) -> None:
+        self.app: ServeApp = None
+        self.loop: asyncio.AbstractEventLoop = None
+        self._stop: asyncio.Event = None
+        self._thread: threading.Thread = None
+
+    @property
+    def port(self) -> int:
+        return self.app.port
+
+    def stop(self) -> None:
+        self.loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+def boot_server(cache_dir: Path, workers: int) -> ServerHandle:
+    handle = ServerHandle()
+    ready = threading.Event()
+
+    def body() -> None:
+        async def main() -> None:
+            service = SweepService(
+                workers=workers, cache=ResultCache(cache_dir)
+            )
+            app = ServeApp(service)
+            await app.start("127.0.0.1", 0)
+            handle.app = app
+            handle.loop = asyncio.get_running_loop()
+            handle._stop = asyncio.Event()
+            ready.set()
+            forever = asyncio.ensure_future(app.serve_forever())
+            await handle._stop.wait()
+            forever.cancel()
+            await app.stop()
+
+        asyncio.run(main())
+
+    handle._thread = threading.Thread(target=body, daemon=True)
+    handle._thread.start()
+    if not ready.wait(15):
+        raise RuntimeError("server failed to boot")
+    return handle
+
+
+# -- workload ----------------------------------------------------------
+
+def sleep_spec(tag: int, seconds: float) -> dict:
+    return {
+        "experiment": "debug.sleep",
+        "base": {"seconds": seconds, "value": tag},
+        "seed": tag,
+    }
+
+
+def echo_spec(tag: int) -> dict:
+    return {
+        "experiment": "debug.echo",
+        "base": {"key": tag},
+        "axes": [{"name": "n", "values": [1, 2]}],
+        "seed": 0,
+    }
+
+
+def zipf_schedule(n_requests: int, catalogue: int, *,
+                  exponent: float, seed: int) -> list[int]:
+    """Zipf-skewed spec indices: rank r drawn with weight 1/r^s."""
+    weights = [1.0 / (rank ** exponent) for rank in range(1, catalogue + 1)]
+    rng = random.Random(seed)
+    return rng.choices(range(catalogue), weights=weights, k=n_requests)
+
+
+async def fire(host: str, port: int, specs: list[dict],
+               concurrency: int) -> list[dict]:
+    """Submit every spec concurrently (bounded); returns per-request
+    records {elapsed, served_by, env} in submission order."""
+    client = AsyncServeClient(host, port)
+    gate = asyncio.Semaphore(concurrency)
+
+    async def one(spec: dict) -> dict:
+        async with gate:
+            started = time.perf_counter()
+            env = await client.run(spec)
+            elapsed = time.perf_counter() - started
+        return {"elapsed": elapsed, "served_by": env["served_by"],
+                "env": env}
+
+    return list(await asyncio.gather(*(one(s) for s in specs)))
+
+
+def summarize(records: list[dict]) -> dict:
+    latency = LatencySummary.from_values(
+        int(r["elapsed"] * 1_000_000) for r in records
+    ).to_dict()
+    by_class: dict = {}
+    for record in records:
+        by_class[record["served_by"]] = by_class.get(
+            record["served_by"], 0) + 1
+    served = len(records)
+    absorbed = served - by_class.get("computed", 0)
+    return {
+        "requests": served,
+        "by_class": by_class,
+        "coalescing_ratio": absorbed / served if served else 0.0,
+        "latency_us": latency,
+    }
+
+
+def assert_bit_parity(records: list[dict], spec: dict) -> None:
+    direct = SweepRunner(workers=1, cache=NullCache()).run(
+        ExperimentSpec.from_dict(spec)
+    ).to_dict()
+    want = canonical(direct["results"])
+    for record in records:
+        got = canonical(record["env"]["results"])
+        assert got == want, (
+            f"served results diverged from direct runner for "
+            f"{record['env']['spec_hash'][:12]}"
+        )
+
+
+# -- phases ------------------------------------------------------------
+
+async def hot_phase(handle: ServerHandle, *, batches: int,
+                    clients: int, seconds: float) -> dict:
+    """Concurrent identical submissions: each batch must collapse to
+    exactly one computation."""
+    host, port = "127.0.0.1", handle.port
+    all_records: list[dict] = []
+    for batch in range(batches):
+        spec = sleep_spec(1000 + batch, seconds)
+        records = await fire(host, port, [spec] * clients, clients)
+        computed = sum(
+            1 for r in records if r["served_by"] == "computed")
+        assert computed == 1, (
+            f"hot batch {batch}: {computed} computations for "
+            f"{clients} identical concurrent submissions"
+        )
+        assert_bit_parity(records, spec)
+        all_records.extend(records)
+    summary = summarize(all_records)
+    summary["batches"] = batches
+    summary["clients_per_batch"] = clients
+    return summary
+
+
+async def zipf_phase(handle: ServerHandle, *, requests: int,
+                     catalogue: int, concurrency: int,
+                     exponent: float) -> dict:
+    """Zipf-skewed mixed traffic over a catalogue of distinct specs."""
+    schedule = zipf_schedule(
+        requests, catalogue, exponent=exponent, seed=11
+    )
+    specs = [echo_spec(i) for i in schedule]
+    records = await fire("127.0.0.1", handle.port, specs, concurrency)
+    # parity spot-check on the hottest key
+    hottest = max(set(schedule), key=schedule.count)
+    assert_bit_parity(
+        [r for r, i in zip(records, schedule) if i == hottest],
+        echo_spec(hottest),
+    )
+    summary = summarize(records)
+    summary["catalogue"] = catalogue
+    summary["distinct_requested"] = len(set(schedule))
+    summary["exponent"] = exponent
+    return summary
+
+
+async def smoke_phase(handle: ServerHandle) -> dict:
+    """The CI acceptance check: 50 concurrent identical submissions →
+    exactly one computation; 50 distinct → 50 computations; every
+    response bit-identical to the direct runner."""
+    host, port = "127.0.0.1", handle.port
+    hot = sleep_spec(7000, 0.4)
+    identical = await fire(host, port, [hot] * 50, 50)
+    computed = sum(1 for r in identical if r["served_by"] == "computed")
+    assert computed == 1, (
+        f"{computed} computations for 50 identical concurrent submissions"
+    )
+    assert sum(
+        1 for r in identical if r["served_by"] == "coalesced"
+    ) == 49
+    assert_bit_parity(identical, hot)
+
+    distinct_specs = [echo_spec(8000 + i) for i in range(50)]
+    distinct = await fire(host, port, distinct_specs, 50)
+    assert all(r["served_by"] == "computed" for r in distinct)
+    assert_bit_parity([distinct[0]], distinct_specs[0])
+
+    identical_summary = summarize(identical)
+    assert identical_summary["coalescing_ratio"] >= 0.9
+    return {
+        "identical": identical_summary,
+        "distinct": summarize(distinct),
+    }
+
+
+# -- driver ------------------------------------------------------------
+
+def print_summary(title: str, summary: dict) -> None:
+    latency = summary["latency_us"]
+    print(
+        f"{title:<12} {summary['requests']:>5} reqs  "
+        f"ratio {summary['coalescing_ratio']:.3f}  "
+        f"p50 {latency['p50'] / 1000:.1f} ms  "
+        f"p99 {latency['p99'] / 1000:.1f} ms  "
+        f"classes {summary['by_class']}"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: 50 identical + 50 distinct")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="write the latency/ratio JSON artifact here")
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batches", type=int, default=4)
+    parser.add_argument("--clients", type=int, default=100)
+    parser.add_argument("--requests", type=int, default=600)
+    parser.add_argument("--catalogue", type=int, default=32)
+    parser.add_argument("--concurrency", type=int, default=200)
+    parser.add_argument("--exponent", type=float, default=1.2)
+    args = parser.parse_args(argv)
+
+    report: dict = {"mode": "smoke" if args.smoke else "load"}
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        handle = boot_server(Path(tmp) / "cache", args.workers)
+        try:
+            print(banner(
+                "SERVE: pending-interest coalescing under concurrent load"
+            ))
+            if args.smoke:
+                phases = asyncio.run(smoke_phase(handle))
+                report["phases"] = phases
+                print_summary("identical", phases["identical"])
+                print_summary("distinct", phases["distinct"])
+            else:
+                hot = asyncio.run(hot_phase(
+                    handle, batches=args.batches,
+                    clients=args.clients, seconds=0.2,
+                ))
+                zipf = asyncio.run(zipf_phase(
+                    handle, requests=args.requests,
+                    catalogue=args.catalogue,
+                    concurrency=args.concurrency,
+                    exponent=args.exponent,
+                ))
+                report["phases"] = {"hot": hot, "zipf": zipf}
+                print_summary("hot", hot)
+                print_summary("zipf", zipf)
+                assert hot["coalescing_ratio"] >= 0.9, (
+                    f"hot-key coalescing ratio {hot['coalescing_ratio']:.3f}"
+                    " fell below the 0.9 gate"
+                )
+            # the server's own view, for the artifact
+            async def server_stats():
+                return await AsyncServeClient(
+                    "127.0.0.1", handle.port).stats()
+            report["server_stats"] = asyncio.run(server_stats())
+        finally:
+            handle.stop()
+
+    ratio = report["server_stats"]["coalescing_ratio"]
+    print(f"\nserver-side coalescing ratio {ratio:.3f} across "
+          f"{report['server_stats']['requests']} requests")
+    if args.out:
+        args.out.parent.mkdir(parents=True, exist_ok=True)
+        args.out.write_text(json.dumps(report, indent=2, sort_keys=True))
+        print(f"artifact written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

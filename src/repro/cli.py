@@ -14,6 +14,7 @@
     python -m repro timeline [--json]   # windowed queue/MM time series
     python -m repro drift [--strict]    # sim vs analytic-model drift
     python -m repro queue               # parallel queue vs spin lock
+    python -m repro serve [--port N]    # simulation-as-a-service server
 
 Each subcommand prints the same table the corresponding benchmark
 asserts on; the CLI exists so a reader can poke at the reproduction
@@ -585,6 +586,30 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.exp import NullCache, ResultCache
+    from repro.serve import run_server
+
+    cache = NullCache() if args.no_cache else ResultCache(args.cache_dir)
+
+    def ready(app) -> None:
+        root = getattr(cache, "root", None)
+        print(f"repro serve listening on http://{args.host}:{app.port}")
+        print(f"  workers: {app.service.workers}   cache: {root or 'off'}")
+        print("  endpoints: GET /healthz /experiments /stats; POST /run "
+              "[?stream=1]", flush=True)
+
+    run_server(
+        args.host,
+        args.port,
+        workers=args.workers,
+        cache=cache,
+        refresh=args.refresh,
+        ready=ready,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -747,6 +772,33 @@ def build_parser() -> argparse.ArgumentParser:
     queue.add_argument("--json", action="store_true",
                        help="emit the race table as JSON")
     queue.set_defaults(fn=_cmd_queue)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="long-lived HTTP/JSON server with request coalescing",
+        description="Boot the simulation-as-a-service front end: accepts "
+        "ExperimentSpec submissions on POST /run, coalesces identical "
+        "concurrent requests into one computation (Pending-Interest "
+        "Table keyed by spec hash), serves repeats from the result "
+        "cache, and fans work over a persistent process pool.  See "
+        "GET /healthz, /experiments, /stats, and POST /run?stream=1 "
+        "for NDJSON progress.",
+    )
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address [default: 127.0.0.1]")
+    serve.add_argument("--port", type=int, default=8600,
+                       help="bind port (0 = ephemeral) [default: 8600]")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="persistent pool size [default: CPU count]")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="bypass the on-disk result cache entirely")
+    serve.add_argument("--refresh", action="store_true",
+                       help="recompute cached points (still writes fresh "
+                            "entries)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: $REPRO_EXP_CACHE or "
+                            "~/.cache/repro/exp)")
+    serve.set_defaults(fn=_cmd_serve)
     return parser
 
 

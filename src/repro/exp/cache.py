@@ -64,22 +64,42 @@ class ResultCache:
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as handle:
-                entry = json.load(handle)
-        except FileNotFoundError:
+                stamp = os.fstat(handle.fileno())
+                raw = handle.read()
+        except (FileNotFoundError, OSError):
             self.misses += 1
             return None
-        except (json.JSONDecodeError, OSError):
+        try:
+            entry = json.loads(raw)
+        except json.JSONDecodeError:
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._discard_corrupt(path, stamp)
             return None
         if entry.get("version") != RESULTS_VERSION or "payload" not in entry:
             self.misses += 1
             return None
         self.hits += 1
         return entry["payload"]
+
+    @staticmethod
+    def _discard_corrupt(path: Path, stamp: os.stat_result) -> None:
+        """Remove a corrupt entry — but only the exact file we read.
+
+        Between our read and this unlink a concurrent ``put`` may have
+        renamed a fresh, valid entry into place; unlinking blindly would
+        delete that writer's work.  The rename gives the path a new
+        inode, so an inode/device comparison distinguishes "still the
+        corpse we read" from "already replaced".
+        """
+        try:
+            current = os.stat(path)
+        except OSError:
+            return
+        if (current.st_ino, current.st_dev) == (stamp.st_ino, stamp.st_dev):
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def put(self, key: str, payload: Any, *, meta: Optional[dict] = None) -> None:
         """Store a payload atomically (write temp file, then rename)."""

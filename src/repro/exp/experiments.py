@@ -469,3 +469,41 @@ def scaling_spec(
         seed=seed,
         label=f"scaling study: {workload}",
     )
+
+
+# ----------------------------------------------------------------------
+# Serving-tier scaffolding: tiny point functions with controllable cost
+# ----------------------------------------------------------------------
+# These exist for the serve test pyramid and the load generator: they
+# must live here (not in a test module) so freshly spawned pool workers
+# can resolve them through the registry's built-in import.
+@point_function("debug.echo")
+def debug_echo(params: dict) -> dict[str, Any]:
+    """Return the parameters untouched — the zero-cost serving probe."""
+    return {"echo": params}
+
+
+@point_function("debug.sleep")
+def debug_sleep(params: dict) -> dict[str, Any]:
+    """Hold a worker for ``seconds`` — a controllable service time.
+
+    The serve tests use this to keep a computation in flight while a
+    batch of identical requests piles onto the pending table.
+    """
+    import time as _time
+
+    seconds = float(params.get("seconds", 0.05))
+    _time.sleep(seconds)
+    return {"slept": seconds, "value": params.get("value")}
+
+
+@point_function("debug.crash")
+def debug_crash(params: dict) -> dict[str, Any]:
+    """Kill the worker process outright (fault-injection probe).
+
+    ``os._exit`` skips every cleanup handler, which is exactly the
+    shape of a segfault/OOM-kill from the pool's point of view.
+    """
+    import os as _os
+
+    _os._exit(int(params.get("code", 3)))

@@ -36,6 +36,7 @@ from __future__ import annotations
 import hashlib
 import itertools
 import json
+import math
 from dataclasses import dataclass, field
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
@@ -55,6 +56,14 @@ def canonical_value(value: Any) -> Any:
     parameters must be declarative data, not live objects.
     """
     if isinstance(value, _SCALARS):
+        if isinstance(value, float) and not math.isfinite(value):
+            # NaN/inf are not strict-JSON interchange values, and NaN
+            # breaks equality — a spec containing one could never hit
+            # its own cache entry.
+            raise ValueError(
+                f"parameter value {value!r} is not a finite number; "
+                "specs must round-trip through strict JSON"
+            )
         return value
     if isinstance(value, (list, tuple)):
         return tuple(canonical_value(v) for v in value)

@@ -1,0 +1,201 @@
+"""Clients for the serving front end.
+
+Two flavours, both stdlib-only:
+
+* :class:`ServeClient` — a synchronous ``http.client`` wrapper for
+  tests, scripts, and the CI smoke: one call per request, optional
+  connection reuse, streaming iterator for ``/run?stream=1``;
+* :class:`AsyncServeClient` — an asyncio-streams client the load
+  generator uses to hold hundreds of concurrent requests open from a
+  single process.
+
+Both speak exactly the subset :mod:`repro.serve.http` implements, and
+both return parsed JSON with the HTTP status attached, so callers can
+assert on coalescing metadata (``served_by``, ``spec_hash``) directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from typing import Any, Iterator, Optional
+
+from ..exp.spec import ExperimentSpec
+
+
+def _spec_body(spec: Any) -> bytes:
+    if isinstance(spec, ExperimentSpec):
+        spec = spec.to_dict()
+    return json.dumps(spec, sort_keys=True).encode()
+
+
+class ServeError(RuntimeError):
+    """A non-2xx response, carrying the parsed error payload."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        message = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.payload = payload
+
+
+class ServeClient:
+    """Blocking client; one :class:`http.client.HTTPConnection` inside."""
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: Optional[bytes] = None
+    ) -> tuple[int, Any]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            return response.status, json.loads(data) if data else None
+        finally:
+            conn.close()
+
+    def _checked(self, method: str, path: str,
+                 body: Optional[bytes] = None) -> Any:
+        status, payload = self._request(method, path, body)
+        if status != 200:
+            raise ServeError(status, payload)
+        return payload
+
+    # -- endpoints -----------------------------------------------------
+    def health(self) -> dict[str, Any]:
+        return self._checked("GET", "/healthz")
+
+    def experiments(self) -> list[str]:
+        return self._checked("GET", "/experiments")["experiments"]
+
+    def stats(self) -> dict[str, Any]:
+        return self._checked("GET", "/stats")
+
+    def run(self, spec: Any) -> dict[str, Any]:
+        """Submit a spec; blocks until the sweep envelope comes back."""
+        return self._checked("POST", "/run", _spec_body(spec))
+
+    def run_stream(self, spec: Any) -> Iterator[dict[str, Any]]:
+        """Submit with ``?stream=1``; yields each NDJSON event.
+
+        The final event has ``event == "result"`` and carries the same
+        envelope :meth:`run` returns.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request(
+                "POST", "/run?stream=1", body=_spec_body(spec),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            if response.status != 200:
+                payload = json.loads(response.read() or b"null")
+                raise ServeError(response.status, payload)
+            # http.client undoes the chunking; events are JSON lines.
+            buffer = b""
+            while True:
+                chunk = response.read(4096)
+                if not chunk:
+                    break
+                buffer += chunk
+                while b"\n" in buffer:
+                    line, buffer = buffer.split(b"\n", 1)
+                    if line.strip():
+                        yield json.loads(line)
+        finally:
+            conn.close()
+
+
+class AsyncServeClient:
+    """One request per call over asyncio streams (no connection reuse —
+    the load generator's point is many *simultaneous* requests, and one
+    socket per in-flight request is exactly the realistic shape)."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+
+    async def _request(
+        self, method: str, path: str, body: bytes = b""
+    ) -> tuple[int, bytes, dict[str, str]]:
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            head = (
+                f"{method} {path} HTTP/1.1\r\n"
+                f"host: {self.host}:{self.port}\r\n"
+                "connection: close\r\n"
+            )
+            if body:
+                head += (
+                    "content-type: application/json\r\n"
+                    f"content-length: {len(body)}\r\n"
+                )
+            writer.write(head.encode() + b"\r\n" + body)
+            await writer.drain()
+            # Read by declared framing, never "until EOF": a process
+            # pool forked while this connection is open duplicates its
+            # fd into every worker, and EOF would then wait on the
+            # workers' copies too.
+            header_blob = (
+                await reader.readuntil(b"\r\n\r\n")
+            )[: -len(b"\r\n\r\n")]
+            lines = header_blob.decode("latin-1").split("\r\n")
+            status = int(lines[0].split()[1])
+            headers: dict[str, str] = {}
+            for line in lines[1:]:
+                name, _, value = line.partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if headers.get("transfer-encoding") == "chunked":
+                payload = await self._read_chunked(reader)
+            elif "content-length" in headers:
+                payload = await reader.readexactly(
+                    int(headers["content-length"])
+                )
+            else:
+                payload = await reader.read()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+        return status, payload, headers
+
+    @staticmethod
+    async def _read_chunked(reader: asyncio.StreamReader) -> bytes:
+        chunks: list[bytes] = []
+        while True:
+            size_line = await reader.readuntil(b"\r\n")
+            size = int(size_line.strip().split(b";")[0], 16)
+            if size == 0:
+                await reader.readuntil(b"\r\n")  # trailer terminator
+                return b"".join(chunks)
+            data = await reader.readexactly(size + 2)
+            chunks.append(data[:-2])
+
+    async def run(self, spec: Any) -> dict[str, Any]:
+        status, payload, _ = await self._request(
+            "POST", "/run", _spec_body(spec)
+        )
+        parsed = json.loads(payload) if payload else None
+        if status != 200:
+            raise ServeError(status, parsed)
+        return parsed
+
+    async def stats(self) -> dict[str, Any]:
+        status, payload, _ = await self._request("GET", "/stats")
+        parsed = json.loads(payload) if payload else None
+        if status != 200:
+            raise ServeError(status, parsed)
+        return parsed

@@ -1,0 +1,226 @@
+"""The Pending-Interest Table: request coalescing for the serving tier.
+
+This is the software analogue of the combining queue in the paper's
+switches (section 3.1): when an interest for a key is already in
+flight, a newly arriving identical interest does not start a second
+computation — it *joins* the pending one and receives the same answer
+when it lands, exactly as two fetch-and-adds for one cell merge in a
+ToMM queue and are decombined on the return trip.
+
+Semantics, all load-bearing and pinned by ``tests/serve/``:
+
+* the first :meth:`PendingTable.join` for a key becomes the **leader**:
+  it creates the entry and starts the computation as a table-owned
+  :class:`asyncio.Task`;
+* every later join for the same key while it is pending becomes a
+  **follower** and awaits the same future; followers are counted so the
+  server can report its coalescing ratio;
+* the computation is owned by the *table*, not by any requester —
+  cancelling a waiting client (disconnect) never cancels the
+  computation, and the eventual result still lands in the content
+  store for the next requester;
+* the entry is removed from the table *before* the shared future
+  resolves, so a request arriving after completion starts fresh (and
+  normally hits the result cache instead);
+* errors fan out: every waiter sees the same exception, and the table
+  is left empty for a clean retry.
+
+Progress events published by the leader's computation are buffered in
+the entry and replayed to late subscribers, so a coalesced client that
+joined mid-sweep still sees the full progress stream.
+
+The ``clock`` is injectable (a ``time.monotonic``-like callable) so the
+deterministic tests measure service times against a manual fake clock.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Any, Awaitable, Callable, Optional
+
+
+class ManualClock:
+    """A controllable monotonic clock for deterministic tests.
+
+    Call it like ``time.monotonic``; advance it explicitly with
+    :meth:`advance`.  Nothing in the serve package ever sleeps on the
+    clock — it is read only at span boundaries — so tests can interleave
+    arrivals and completions however they like and still get exact
+    service times.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("a monotonic clock cannot run backwards")
+        self.now += dt
+        return self.now
+
+
+@dataclass
+class _PendingEntry:
+    """One in-flight computation: the PIT row for a key."""
+
+    key: str
+    future: asyncio.Future
+    started_at: float
+    task: Optional[asyncio.Task] = None
+    #: followers that joined while pending (the leader is not counted)
+    followers: int = 0
+    #: progress events already published (replayed to late subscribers)
+    events: list[Any] = field(default_factory=list)
+    subscribers: list[asyncio.Queue] = field(default_factory=list)
+
+
+@dataclass(frozen=True)
+class CoalesceOutcome:
+    """What one joiner got back.
+
+    ``role`` is ``"leader"`` for the request that started the
+    computation and ``"follower"`` for every coalesced one;
+    ``service_time`` is measured on the injected clock from this
+    joiner's arrival to the shared resolution.
+    """
+
+    payload: Any
+    role: str
+    service_time: float
+
+
+class PendingTable:
+    """In-flight request deduplication keyed by content hash."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self._pending: dict[str, _PendingEntry] = {}
+        self._clock = clock
+        #: cumulative: computations started (leaders)
+        self.computations = 0
+        #: cumulative: joins absorbed into a pending computation
+        self.coalesced = 0
+
+    # -- introspection -------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        return len(self._pending)
+
+    def pending_keys(self) -> list[str]:
+        return list(self._pending)
+
+    def is_pending(self, key: str) -> bool:
+        return key in self._pending
+
+    # -- the one entry point -------------------------------------------
+    async def join(
+        self,
+        key: str,
+        compute: Callable[[Callable[[Any], None]], Awaitable[Any]],
+        *,
+        events: Optional[asyncio.Queue] = None,
+    ) -> CoalesceOutcome:
+        """Get the result for ``key``, computing it at most once.
+
+        ``compute`` is called (by the leader only) with one argument: a
+        ``publish(event)`` callable that fans progress events out to
+        every subscribed joiner.  ``events``, when given, subscribes
+        this joiner: buffered events are replayed into the queue first,
+        then live ones are appended as they are published, and ``None``
+        is enqueued as the end-of-stream marker.
+
+        Cancellation of any joiner — leader or follower — leaves the
+        computation running; only the cancelled joiner stops waiting.
+        """
+        arrived = self._clock()
+        entry = self._pending.get(key)
+        if entry is None:
+            role = "leader"
+            self.computations += 1
+            loop = asyncio.get_running_loop()
+            entry = _PendingEntry(
+                key=key, future=loop.create_future(), started_at=arrived
+            )
+            # If every waiter disconnects, nobody retrieves the result;
+            # touching the exception keeps asyncio's "exception was
+            # never retrieved" warning out of the server log.
+            entry.future.add_done_callback(
+                lambda f: f.exception() if not f.cancelled() else None
+            )
+            self._pending[key] = entry
+            entry.task = loop.create_task(
+                self._run(entry, compute), name=f"pit-{key[:12]}"
+            )
+        else:
+            role = "follower"
+            entry.followers += 1
+            self.coalesced += 1
+        if events is not None:
+            for past in entry.events:
+                events.put_nowait(past)
+            entry.subscribers.append(events)
+        payload = await asyncio.shield(entry.future)
+        return CoalesceOutcome(
+            payload=payload, role=role, service_time=self._clock() - arrived
+        )
+
+    async def _run(
+        self,
+        entry: _PendingEntry,
+        compute: Callable[[Callable[[Any], None]], Awaitable[Any]],
+    ) -> None:
+        """The table-owned computation wrapper (the leader's task)."""
+
+        def publish(event: Any) -> None:
+            entry.events.append(event)
+            for queue in entry.subscribers:
+                queue.put_nowait(event)
+
+        try:
+            payload = await compute(publish)
+        except asyncio.CancelledError:
+            # Table shutdown: resolve waiters with a clear error rather
+            # than leaking a forever-pending future.
+            self._resolve(entry, error=RuntimeError(
+                f"computation for {entry.key} was cancelled"))
+            raise
+        except BaseException as exc:  # fan the failure out to waiters
+            self._resolve(entry, error=exc)
+        else:
+            self._resolve(entry, payload=payload)
+
+    def _resolve(
+        self,
+        entry: _PendingEntry,
+        *,
+        payload: Any = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        # Remove from the table BEFORE resolving the future: there is no
+        # await between the two, so no join can observe a resolved entry
+        # still in the table (a later identical request must start — or
+        # cache-hit — fresh).
+        self._pending.pop(entry.key, None)
+        for queue in entry.subscribers:
+            queue.put_nowait(None)  # end-of-stream marker
+        if entry.future.done():  # pragma: no cover - defensive
+            return
+        if error is not None:
+            entry.future.set_exception(error)
+        else:
+            entry.future.set_result(payload)
+
+    async def shutdown(self) -> None:
+        """Cancel every pending computation and fail its waiters."""
+        tasks = [e.task for e in self._pending.values() if e.task is not None]
+        for task in tasks:
+            task.cancel()
+        for task in tasks:
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass

@@ -1,0 +1,211 @@
+"""A minimal HTTP/1.1 layer over asyncio streams.
+
+The container bakes in no third-party HTTP stack, and the server needs
+very little: JSON request/response bodies, one streaming (chunked
+NDJSON) response shape for progress, and keep-alive so a load
+generator can reuse connections.  This module implements exactly that
+— a strict, small subset of HTTP/1.1 — rather than gating the whole
+serving tier on an optional dependency.
+
+Limits are deliberate and tested: request line and each header capped
+at 8 KiB, at most 100 headers, bodies capped at 8 MiB, only
+``Content-Length`` bodies are accepted (no chunked *requests*).
+Anything outside the subset raises :class:`HttpError` with the right
+status code, which the server turns into a JSON error response.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+from urllib.parse import parse_qsl, urlsplit
+
+MAX_LINE = 8192
+MAX_HEADERS = 100
+MAX_BODY = 8 * 1024 * 1024
+
+#: one canonical reason phrase per status the server emits
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the parser (or a handler) rejects, with its status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class Request:
+    """One parsed request: the handler-facing view."""
+
+    method: str
+    path: str
+    query: dict[str, str] = field(default_factory=dict)
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> Any:
+        """The body parsed as JSON; :class:`HttpError` 400 on garbage."""
+        if not self.body:
+            raise HttpError(400, "expected a JSON body")
+        try:
+            return json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(400, f"invalid JSON body: {exc}") from None
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the stream; None on a clean EOF."""
+    try:
+        line = await reader.readuntil(b"\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean close between requests
+        raise HttpError(400, "truncated request line") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long") from None
+    if len(line) > MAX_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise HttpError(400, f"malformed request line {line!r}")
+    method, target, version = parts
+    if not version.startswith("HTTP/1."):
+        raise HttpError(400, f"unsupported protocol {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        try:
+            line = await reader.readuntil(b"\n")
+        except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+            raise HttpError(400, "truncated headers") from None
+        if len(line) > MAX_LINE:
+            raise HttpError(400, "header line too long")
+        text = line.decode("latin-1").strip()
+        if not text:
+            break
+        if len(headers) >= MAX_HEADERS:
+            raise HttpError(400, "too many headers")
+        name, sep, value = text.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header {text!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HttpError(400, "malformed Content-Length") from None
+        if length < 0:
+            raise HttpError(400, "malformed Content-Length")
+        if length > MAX_BODY:
+            raise HttpError(413, f"body exceeds {MAX_BODY} bytes")
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated body") from None
+
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=query,
+        headers=headers,
+        body=body,
+    )
+
+
+def _head(status: int, extra: dict[str, str], *, close: bool) -> bytes:
+    reason = REASONS.get(status, "Unknown")
+    lines = [f"HTTP/1.1 {status} {reason}"]
+    headers = {"connection": "close" if close else "keep-alive"}
+    headers.update(extra)
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+def json_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: Any,
+    *,
+    close: bool = False,
+) -> None:
+    """Write one complete JSON response (sorted keys, canonical)."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    writer.write(_head(status, {
+        "content-type": "application/json",
+        "content-length": str(len(body)),
+    }, close=close))
+    writer.write(body)
+
+
+class ChunkedNdjsonWriter:
+    """A ``Transfer-Encoding: chunked`` stream of JSON lines.
+
+    Each :meth:`send` writes one JSON document as one chunk, so a
+    client can parse event-by-event without waiting for the close.
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter, *, close: bool = False):
+        self._writer = writer
+        self._started = False
+        self._close = close
+
+    def _start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._writer.write(_head(200, {
+                "content-type": "application/x-ndjson",
+                "transfer-encoding": "chunked",
+            }, close=self._close))
+
+    def send(self, event: Any) -> None:
+        self._start()
+        data = (json.dumps(event, sort_keys=True) + "\n").encode()
+        self._writer.write(f"{len(data):x}\r\n".encode() + data + b"\r\n")
+
+    async def finish(self) -> None:
+        self._start()
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()
+
+
+def parse_chunked_body(data: bytes) -> bytes:
+    """Decode a chunked transfer-encoded body (client-side helper)."""
+    out = bytearray()
+    view = memoryview(data)
+    pos = 0
+    while True:
+        eol = data.find(b"\r\n", pos)
+        if eol < 0:
+            raise ValueError("truncated chunk header")
+        size = int(data[pos:eol].split(b";")[0], 16)
+        pos = eol + 2
+        if size == 0:
+            break
+        out += view[pos:pos + size]
+        pos += size + 2  # skip the chunk's trailing CRLF
+    return bytes(out)

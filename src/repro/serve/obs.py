@@ -1,0 +1,187 @@
+"""Server-side request spans and the serving-tier stats surface.
+
+The simulator's observability (PR 5) reconstructs per-request spans
+from the cycle trace; the serving tier records the same shape one layer
+up: one :class:`ServerSpan` per HTTP request, classified by how it was
+served —
+
+* ``"computed"`` — this request was the leader that triggered the
+  underlying sweep computation;
+* ``"coalesced"`` — it joined a computation already in flight (a
+  Pending-Interest-Table hit, the serving-tier combine);
+* ``"cache"`` — every point came straight off the content store
+  (:class:`~repro.exp.ResultCache`), no worker touched;
+* ``"error"`` — the request failed (bad spec, worker crash, ...).
+
+:class:`ServeStats` aggregates the spans and reuses the simulator's
+:class:`~repro.obs.spans.LatencySummary` (nearest-rank order
+statistics) for the p50/p95/p99 the load benchmark and ``GET /stats``
+report — latencies are recorded in integer microseconds, the summary's
+native unit discipline.
+
+The **coalescing ratio** is the serving-tier analogue of the combining
+rate: the fraction of answered sweep submissions that did *not* trigger
+a computation, ``(coalesced + cache) / served``.  The hot-key load
+benchmark gates this at >= 0.9, mirroring the paper's claim that
+combining absorbs hot-spot traffic before it reaches memory.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..obs.spans import LatencySummary
+
+#: span classifications, in display order
+SERVED_BY = ("computed", "coalesced", "cache", "error")
+
+
+@dataclass(frozen=True)
+class ServerSpan:
+    """One finished HTTP request, timed on the server's clock."""
+
+    method: str
+    path: str
+    status: int
+    served_by: str
+    #: arrival and finish on the injected monotonic clock (seconds)
+    arrival: float
+    finish: float
+    #: the spec hash for /run requests ("" otherwise)
+    key: str = ""
+
+    @property
+    def service_time(self) -> float:
+        return self.finish - self.arrival
+
+    @property
+    def service_us(self) -> int:
+        return max(0, round(self.service_time * 1_000_000))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "method": self.method,
+            "path": self.path,
+            "status": self.status,
+            "served_by": self.served_by,
+            "arrival": self.arrival,
+            "finish": self.finish,
+            "service_us": self.service_us,
+            "key": self.key,
+        }
+
+
+class ServeStats:
+    """Aggregated spans: counters plus per-class latency populations."""
+
+    def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
+        self.clock = clock
+        self.started_at = clock()
+        self.requests = 0
+        self.by_class: dict[str, int] = {name: 0 for name in SERVED_BY}
+        self._latency_us: dict[str, list[int]] = {
+            name: [] for name in SERVED_BY
+        }
+        #: most recent spans, newest last (bounded ring for debugging)
+        self.recent: list[ServerSpan] = []
+        self.recent_cap = 64
+
+    def span(
+        self,
+        method: str,
+        path: str,
+        *,
+        key: str = "",
+        arrival: Optional[float] = None,
+    ) -> "_OpenSpan":
+        """Open a span at ``arrival`` (defaults to now on the clock)."""
+        return _OpenSpan(
+            stats=self,
+            method=method,
+            path=path,
+            key=key,
+            arrival=self.clock() if arrival is None else arrival,
+        )
+
+    def record(self, span: ServerSpan) -> None:
+        if span.served_by not in self.by_class:
+            raise ValueError(f"unknown span class {span.served_by!r}")
+        self.requests += 1
+        self.by_class[span.served_by] += 1
+        self._latency_us[span.served_by].append(span.service_us)
+        self.recent.append(span)
+        if len(self.recent) > self.recent_cap:
+            del self.recent[: len(self.recent) - self.recent_cap]
+
+    # -- derived -------------------------------------------------------
+    @property
+    def served(self) -> int:
+        """Successfully answered sweep-bearing requests."""
+        return (self.by_class["computed"] + self.by_class["coalesced"]
+                + self.by_class["cache"])
+
+    @property
+    def coalescing_ratio(self) -> float:
+        """Fraction of served submissions that triggered no computation."""
+        served = self.served
+        if served == 0:
+            return 0.0
+        return (self.by_class["coalesced"] + self.by_class["cache"]) / served
+
+    def latency(self, served_by: Optional[str] = None) -> LatencySummary:
+        """Nearest-rank latency summary in microseconds.
+
+        ``served_by=None`` pools every class (errors included: a fast
+        failure is still a serviced request).
+        """
+        if served_by is None:
+            values: list[int] = []
+            for population in self._latency_us.values():
+                values.extend(population)
+        else:
+            values = self._latency_us[served_by]
+        return LatencySummary.from_values(values)
+
+    def to_dict(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "uptime": self.clock() - self.started_at,
+            "requests": self.requests,
+            "served": self.served,
+            "coalescing_ratio": self.coalescing_ratio,
+            "by_class": dict(self.by_class),
+            "latency_us": {"all": self.latency().to_dict()},
+        }
+        for name in SERVED_BY:
+            if self._latency_us[name]:
+                out["latency_us"][name] = self.latency(name).to_dict()
+        return out
+
+
+@dataclass
+class _OpenSpan:
+    """A span being timed; :meth:`close` records it exactly once."""
+
+    stats: ServeStats
+    method: str
+    path: str
+    key: str
+    arrival: float
+    closed: bool = False
+
+    def close(self, status: int, served_by: str) -> ServerSpan:
+        if self.closed:
+            raise RuntimeError("span already closed")
+        self.closed = True
+        span = ServerSpan(
+            method=self.method,
+            path=self.path,
+            status=status,
+            served_by=served_by,
+            arrival=self.arrival,
+            finish=self.stats.clock(),
+            key=self.key,
+        )
+        self.stats.record(span)
+        return span

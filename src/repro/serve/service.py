@@ -1,0 +1,208 @@
+"""Async sweep execution over a persistent process pool.
+
+:class:`SweepService` is the serving-tier counterpart of
+:class:`~repro.exp.SweepRunner`: the same point-level execution
+contract (cache probe by content address, fan the residual points out
+to workers, canonical-JSON payloads), but shaped for a long-lived
+asyncio server —
+
+* the worker pool is a **persistent** :class:`ProcessPoolExecutor`
+  created once and reused across requests, so a request never pays pool
+  start-up cost (the runner's per-sweep ``multiprocessing.Pool`` would);
+* execution is ``await``-able and never blocks the event loop: cached
+  points are disk reads, computed points run in workers via
+  ``loop.run_in_executor``;
+* per-point completions are reported through an ``on_progress``
+  callback as they land (completion order), feeding the server's
+  progress streams;
+* a worker crash (the pool's processes are killed or die mid-task)
+  raises :class:`WorkerCrashError` and **rebuilds the pool**, so one
+  poisoned request cannot brick the server.
+
+Bit parity with the runner is load-bearing: the payload list this
+service produces for a spec is byte-identical to
+``SweepRunner.run(spec).to_dict()["results"]`` — both funnel every
+point through :func:`repro.exp.engine._execute_task`'s canonical JSON
+round trip, and the differential tests assert it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import multiprocessing
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Optional
+
+from ..exp.cache import ResultCache
+from ..exp.engine import _execute_task
+from ..exp.spec import ExperimentSpec, point_hash
+
+
+class WorkerCrashError(RuntimeError):
+    """A pool worker died mid-computation (crash, OOM-kill, exit)."""
+
+
+def _pool_mp_context() -> multiprocessing.context.BaseContext:
+    # Mirror the engine's choice: fork where available, spawn elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _warm_task(_: int) -> None:
+    """No-op submitted at warm-up to force worker processes to exist."""
+    return None
+
+
+class SweepService:
+    """Executes specs for the server: cache probe, then pooled fan-out.
+
+    Parameters
+    ----------
+    workers:
+        Persistent pool size (``None`` = CPU count).
+    cache:
+        The content store shared with every other execution path —
+        a :class:`~repro.exp.ResultCache` (default on-disk location
+        when ``None``) or :class:`~repro.exp.NullCache`.
+    refresh:
+        Recompute even when a point is cached (still writes fresh
+        entries) — the server's ``--refresh``.
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        *,
+        refresh: bool = False,
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers={workers} is invalid; need >= 1")
+        self.workers = workers or os.cpu_count() or 1
+        self.cache = cache if cache is not None else ResultCache()
+        self.refresh = refresh
+        self._executor: Optional[ProcessPoolExecutor] = None
+        #: pool rebuilds after worker crashes (surfaced in /stats)
+        self.pool_rebuilds = 0
+
+    # -- pool lifecycle ------------------------------------------------
+    def _pool(self) -> ProcessPoolExecutor:
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=_pool_mp_context()
+            )
+        return self._executor
+
+    def warm(self) -> None:
+        """Spawn every worker process now, before traffic arrives.
+
+        Forking lazily under load duplicates whatever connection fds
+        happen to be open into the children (where they linger for the
+        pool's lifetime), and puts the fork cost on the first request's
+        latency.  Warming at start-up forks from a quiescent process.
+        """
+        list(self._pool().map(_warm_task, range(self.workers)))
+
+    def _rebuild_pool(self) -> None:
+        """Tear down a broken pool; the next request gets a fresh one."""
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+        self.pool_rebuilds += 1
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # -- execution -----------------------------------------------------
+    async def execute(
+        self,
+        spec: ExperimentSpec,
+        on_progress: Optional[Callable[[dict[str, Any]], None]] = None,
+    ) -> dict[str, Any]:
+        """Run a whole spec; returns the sweep payload dict.
+
+        The returned dict has the :meth:`~repro.exp.SweepResult.to_dict`
+        shape (``spec``/``spec_hash``/``workers``/``wall_time``/
+        ``cached_points``/``computed_points``/``results``), with
+        ``results`` ordered by point index and byte-identical to a
+        direct runner execution of the same spec.
+        """
+        started = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        total = spec.n_points
+
+        payload_by_index: dict[int, Any] = {}
+        pending: list[tuple[int, str, str]] = []  # (index, key, params_json)
+        cached_points = 0
+        for point in spec.points():
+            key = point_hash(spec.experiment, point)
+            payload = None if self.refresh else self.cache.get(key)
+            if payload is not None:
+                cached_points += 1
+                payload_by_index[point.index] = payload
+                if on_progress is not None:
+                    on_progress({
+                        "event": "point", "index": point.index,
+                        "cached": True, "done": len(payload_by_index),
+                        "total": total,
+                    })
+            else:
+                params_json = json.dumps(point.as_dict(), sort_keys=True)
+                pending.append((point.index, key, params_json))
+
+        if pending:
+            key_by_index = {index: key for index, key, _ in pending}
+            meta_by_index = {
+                index: json.loads(params_json)
+                for index, _, params_json in pending
+            }
+            executor = self._pool()
+            futures = [
+                loop.run_in_executor(
+                    executor, _execute_task,
+                    (index, spec.experiment, params_json),
+                )
+                for index, _, params_json in pending
+            ]
+            try:
+                for completion in asyncio.as_completed(futures):
+                    index, payload, elapsed = await completion
+                    self.cache.put(
+                        key_by_index[index],
+                        payload,
+                        meta={"experiment": spec.experiment,
+                              "point": meta_by_index[index]},
+                    )
+                    payload_by_index[index] = payload
+                    if on_progress is not None:
+                        on_progress({
+                            "event": "point", "index": index,
+                            "cached": False, "elapsed": elapsed,
+                            "done": len(payload_by_index), "total": total,
+                        })
+            except BrokenProcessPool as exc:
+                for future in futures:
+                    future.cancel()
+                self._rebuild_pool()
+                raise WorkerCrashError(
+                    f"a worker crashed while computing "
+                    f"{spec.experiment!r}; the pool has been rebuilt"
+                ) from exc
+
+        return {
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash(),
+            "workers": self.workers,
+            "wall_time": time.perf_counter() - started,
+            "cached_points": cached_points,
+            "computed_points": total - cached_points,
+            "results": [payload_by_index[i] for i in range(total)],
+        }

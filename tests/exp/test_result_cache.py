@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
@@ -83,6 +85,90 @@ class TestResultCache:
         )
         assert entry["version"] == RESULTS_VERSION
         assert entry["meta"] == {"experiment": "x"}
+
+
+def _full_payload(writer: int) -> dict:
+    # Large enough that a non-atomic write would be observably torn.
+    return {"writer": writer, "rows": list(range(writer, writer + 2000))}
+
+
+def _stress_writer(args):
+    root, writer, rounds = args
+    cache = ResultCache(root)
+    for _ in range(rounds):
+        cache.put(KEY, _full_payload(writer))
+    return writer
+
+
+def _stress_reader(args):
+    root, rounds = args
+    cache = ResultCache(root)
+    torn = []
+    observed = 0
+    for _ in range(rounds):
+        payload = cache.get(KEY)
+        if payload is None:
+            continue
+        observed += 1
+        expected = _full_payload(payload.get("writer", -1))
+        if payload != expected:
+            torn.append(payload)
+    return observed, torn
+
+
+class TestConcurrentWriters:
+    """Atomicity under contention: many processes writing the *same*
+    key must end last-writer-wins with no reader ever seeing a torn
+    entry (the serving tier races exactly like this on shared points).
+    """
+
+    def test_corrupt_unlink_spares_a_concurrent_replacement(self, cache):
+        """The get()-side race, deterministically: a reader that found
+        a corrupt file must not unlink the valid entry a concurrent
+        put() renamed into place after the read."""
+        path = cache.root / KEY[:2] / f"{KEY}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn mid-wri")
+        stale = os.stat(path)  # what the reader's open handle saw
+        cache.put(KEY, {"v": "fresh"})  # concurrent writer replaces it
+        cache._discard_corrupt(path, stale)  # reader reacts to the corpse
+        assert cache.get(KEY) == {"v": "fresh"}  # fresh write survived
+
+    def test_corrupt_unlink_still_removes_unreplaced_corpse(self, cache):
+        path = cache.root / KEY[:2] / f"{KEY}.json"
+        path.parent.mkdir(parents=True)
+        path.write_text("{torn mid-wri")
+        cache._discard_corrupt(path, os.stat(path))
+        assert not path.exists()
+
+    def test_multiprocess_same_key_stress(self, tmp_path):
+        root = tmp_path / "stress"
+        n_writers, n_readers, rounds = 4, 3, 40
+        ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=n_writers + n_readers, mp_context=ctx
+        ) as pool:
+            readers = [
+                pool.submit(_stress_reader, (root, rounds * 3))
+                for _ in range(n_readers)
+            ]
+            writers = [
+                pool.submit(_stress_writer, (root, writer, rounds))
+                for writer in range(n_writers)
+            ]
+            writer_ids = [f.result(timeout=120) for f in writers]
+            outcomes = [f.result(timeout=120) for f in readers]
+        assert sorted(writer_ids) == list(range(n_writers))
+        for observed, torn in outcomes:
+            assert torn == [], torn  # no reader ever saw a torn entry
+        # last-writer-wins: the surviving entry is SOME writer's
+        # complete payload, never an interleaving of two
+        final = ResultCache(root).get(KEY)
+        assert final == _full_payload(final["writer"])
+        assert final["writer"] in set(writer_ids)
+        # and no temp droppings survived the stampede
+        leftovers = list(root.glob("**/*.tmp"))
+        assert leftovers == []
 
 
 class TestDefaultRoot:

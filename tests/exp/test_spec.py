@@ -2,7 +2,12 @@
 
 from __future__ import annotations
 
+import json
+import math
+
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.machine import MachineConfig
 from repro.exp import ExperimentSpec, SweepAxis, point_hash
@@ -120,6 +125,133 @@ class TestRoundTripAndHash:
         spec = ExperimentSpec(experiment="x", axes=(SweepAxis("a", (1,)),))
         (point,) = spec.points()
         assert point_hash("x", point) != point_hash("y", point)
+
+
+class TestNonFiniteRejection:
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), float("-inf")]
+    )
+    def test_non_finite_scalars_rejected(self, bad):
+        with pytest.raises(ValueError, match="finite"):
+            canonical_value(bad)
+
+    def test_non_finite_nested_in_sequence_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            canonical_value([1.0, [2.0, float("nan")]])
+
+    def test_spec_with_non_finite_base_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            ExperimentSpec(experiment="x", base={"rho": float("inf")})
+
+    def test_axis_with_non_finite_value_rejected(self):
+        with pytest.raises(ValueError, match="finite"):
+            SweepAxis("rho", (0.5, float("nan")))
+
+
+# -- adversarial round-trip properties ---------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10 ** 30), max_value=10 ** 30),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+_values = st.recursive(
+    _scalars, lambda inner: st.lists(inner, max_size=4), max_leaves=10
+)
+_keys = st.text(min_size=1, max_size=20).filter(
+    lambda s: s not in ExperimentSpec._RESERVED
+)
+_params = st.dictionaries(_keys, _values, max_size=5)
+_axis_values = st.lists(_scalars, min_size=1, max_size=4)
+
+
+@st.composite
+def _specs(draw):
+    base = draw(_params)
+    axis_names = draw(
+        st.lists(
+            _keys.filter(
+                lambda s: s not in base and not s.startswith("machine.")
+            ),
+            max_size=2,
+            unique=True,
+        )
+    )
+    axes = tuple(
+        SweepAxis(name, tuple(draw(_axis_values))) for name in axis_names
+    )
+    seed = draw(st.integers(min_value=0, max_value=2 ** 31))
+    label = draw(st.text(max_size=10))
+    return ExperimentSpec(
+        experiment="prop.echo", base=base, axes=axes, seed=seed, label=label
+    )
+
+
+class TestSpecRoundTripProperties:
+    """Canonical-JSON round trips under adversarial parameters: unicode
+    keys, deeply nested sequences, huge ints, float edge values."""
+
+    @given(spec=_specs())
+    @settings(max_examples=120, deadline=None)
+    def test_dict_round_trip_is_identity(self, spec):
+        clone = ExperimentSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    @given(spec=_specs())
+    @settings(max_examples=120, deadline=None)
+    def test_survives_strict_json_wire_format(self, spec):
+        # allow_nan=False is the strict interchange profile every peer
+        # (curl, browsers, other languages) actually speaks.
+        wire = json.dumps(spec.to_dict(), allow_nan=False)
+        clone = ExperimentSpec.from_dict(json.loads(wire))
+        assert clone == spec
+        assert clone.spec_hash() == spec.spec_hash()
+
+    @given(spec=_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_hash_independent_of_base_insertion_order(self, spec):
+        payload = spec.to_dict()
+        reordered = dict(payload)
+        reordered["base"] = dict(reversed(list(payload["base"].items())))
+        assert (
+            ExperimentSpec.from_dict(reordered).spec_hash()
+            == spec.spec_hash()
+        )
+
+    @given(spec=_specs())
+    @settings(max_examples=60, deadline=None)
+    def test_point_params_survive_json_round_trip(self, spec):
+        # What a worker receives (params after a JSON round trip) must
+        # re-encode to the identical canonical string — the cache-replay
+        # indistinguishability contract.
+        for point in spec.points():
+            if point.index > 2:
+                break  # grids can be large; the property is per-point
+            params = point.as_dict()
+            assert canonical_json(json.loads(canonical_json(params))) == (
+                canonical_json(params)
+            )
+
+    @given(value=_values)
+    @settings(max_examples=120, deadline=None)
+    def test_canonical_value_idempotent(self, value):
+        once = canonical_value(value)
+        assert canonical_value(once) == once
+
+    @given(
+        value=st.floats(allow_nan=False, allow_infinity=False),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_float_edge_values_hash_stably(self, value):
+        a = ExperimentSpec(experiment="x", base={"v": value})
+        b = ExperimentSpec.from_dict(a.to_dict())
+        assert math.copysign(1.0, dict(b.base)["v"]) == math.copysign(
+            1.0, value
+        )  # -0.0 keeps its sign through the round trip
+        assert a.spec_hash() == b.spec_hash()
 
 
 class TestMachineConfigSerialization:

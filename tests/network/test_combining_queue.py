@@ -140,3 +140,135 @@ class TestCombining:
         reply.is_reply = True
         outcome = queue.insert(reply)
         assert outcome.combined_with is None
+
+
+class TestKeyedIndexEdgeCases:
+    """Edge cases of the ``(mm, offset)`` keyed-address index (PR 6).
+
+    The index must present exactly the candidates a linear scan of the
+    FIFO would, in the same order, across every slot lifecycle:
+    append, combine (which under pairwise rules unindexes the slot),
+    pop, and re-append of a previously consumed message.
+    """
+
+    def _index_of(self, queue):
+        return queue._by_key
+
+    def assert_index_consistent(self, queue):
+        """The index is exactly the un-matchable-filtered FIFO."""
+        expected: dict = {}
+        for slot in queue._slots:
+            if queue.pairwise_only and slot.already_combined:
+                continue  # unindexed at commit time
+            key = (slot.message.mm, slot.message.offset)
+            expected.setdefault(key, []).append(slot)
+        actual = self._index_of(queue)
+        assert {k: [id(s) for s in v] for k, v in actual.items()} == {
+            k: [id(s) for s in v] for k, v in expected.items()
+        }
+
+    def test_partner_order_after_pop_and_reappend(self):
+        """A message popped and re-appended goes to the *back* of its
+        key's candidate list: a later combinable arrival must pair with
+        the older queued request, exactly as a linear FIFO scan would."""
+        queue = CombiningQueue()
+        first = msg(FetchAdd(4, 1), offset=4, tag=1)
+        queue.insert(first)
+        popped = queue.pop()
+        assert popped is first
+        self.assert_index_consistent(queue)
+        assert not self._index_of(queue)  # fully unindexed after pop
+
+        second = msg(FetchAdd(4, 2), offset=4, tag=2)
+        queue.insert(second)
+        # re-append via the search-free path (else it would combine):
+        # the recycled message is now YOUNGER than second
+        queue.append(first)
+        self.assert_index_consistent(queue)
+
+        probe = msg(FetchAdd(4, 8), offset=4, tag=3)
+        partner = queue.find_partner(probe)
+        assert partner is not None
+        slot, _ = partner
+        assert slot.message is second  # oldest-first, not the re-append
+
+    def test_reappend_after_consume_matches_once_per_slot(self):
+        """Pop the partner-consumed slot, re-append its message, and
+        the fresh slot must be independently combinable (the old slot's
+        already_combined state must not leak through the index)."""
+        queue = CombiningQueue()
+        first = msg(FetchAdd(4, 1), offset=4, tag=1)
+        queue.insert(first)
+        assert queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2)).combined_with
+        # the combined slot was unindexed at commit; pop it
+        consumed = queue.pop()
+        assert consumed is first
+        self.assert_index_consistent(queue)
+        assert len(queue) == 0 and not self._index_of(queue)
+
+        queue.insert(first)  # same Message object re-enters
+        self.assert_index_consistent(queue)
+        outcome = queue.insert(msg(FetchAdd(4, 4), offset=4, tag=4))
+        assert outcome.combined_with is first  # fresh slot, fresh pairing
+        self.assert_index_consistent(queue)
+
+    def test_commit_combine_on_full_queue_keeps_index_consistent(self):
+        """Combining into a full queue (legal: R-new is deleted, no
+        space needed) must unindex the consumed slot even though no
+        append happened, and later arrivals must neither match the
+        consumed slot nor corrupt the index when refused for space."""
+        queue = CombiningQueue(capacity_packets=3)
+        first = msg(FetchAdd(4, 1), offset=4, tag=1)
+        queue.insert(first)  # 3 packets: full
+        assert not queue.can_accept(1)
+        outcome = queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2))
+        assert outcome.combined_with is first
+        self.assert_index_consistent(queue)
+        assert not self._index_of(queue)  # pairwise slot dropped from index
+
+        # an identical arrival now finds no partner (slot consumed) and
+        # no space — refused with the index untouched
+        with pytest.raises(QueueFullError):
+            queue.insert(msg(FetchAdd(4, 8), offset=4, tag=3))
+        self.assert_index_consistent(queue)
+        assert len(queue) == 1
+
+        # popping the combined slot must not double-unindex
+        queue.pop()
+        self.assert_index_consistent(queue)
+        assert queue.used_packets == 0 and not self._index_of(queue)
+
+    def test_commit_combine_full_queue_unlimited_keeps_slot_indexed(self):
+        """Without the pairwise rule the combined slot stays indexed on
+        a full queue and keeps absorbing; pop must then unindex it."""
+        queue = CombiningQueue(capacity_packets=3, pairwise_only=False)
+        first = msg(FetchAdd(4, 1), offset=4, tag=1)
+        queue.insert(first)
+        assert queue.insert(msg(FetchAdd(4, 2), offset=4, tag=2)).combined_with
+        self.assert_index_consistent(queue)
+        assert list(self._index_of(queue)) == [(0, 4)]  # still matchable
+        assert queue.insert(msg(FetchAdd(4, 4), offset=4, tag=3)).combined_with
+        assert queue.head().op.increment == 7
+        queue.pop()
+        self.assert_index_consistent(queue)
+        assert not self._index_of(queue)
+
+    def test_interleaved_lifecycle_stays_consistent(self):
+        """A randomized-ish mixed workload: append/combine/pop across
+        two keys, checking index == FIFO-filter at every step."""
+        queue = CombiningQueue()
+        ops = [
+            msg(FetchAdd(4, 1), offset=4, tag=10),
+            msg(FetchAdd(9, 1), offset=9, tag=11),
+            msg(FetchAdd(4, 2), offset=4, tag=12),   # combines into tag 10
+            msg(FetchAdd(4, 4), offset=4, tag=13),   # queued (pairwise)
+            msg(FetchAdd(9, 2), offset=9, tag=14),   # combines into tag 11
+        ]
+        for message in ops:
+            queue.insert(message)
+            self.assert_index_consistent(queue)
+        assert queue.total_combined == 2
+        while len(queue):
+            queue.pop()
+            self.assert_index_consistent(queue)
+        assert not self._index_of(queue)

@@ -1,0 +1,72 @@
+"""Fixtures for the serving-tier suite: a real server on a real port.
+
+The server runs in a background thread with its own event loop (the
+tests themselves stay synchronous, driving it over real sockets — the
+same path production clients take).  Every fixture instance gets a
+fresh ephemeral port and a per-test cache directory, so tests are
+hermetic and parallel-safe.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.exp import ResultCache
+from repro.serve import ServeApp, ServeClient, SweepService
+
+
+class ServeHandle:
+    """The running server plus ready-made clients for it."""
+
+    def __init__(self, app: ServeApp, loop: asyncio.AbstractEventLoop):
+        self.app = app
+        self.loop = loop
+        self.host = "127.0.0.1"
+        self.port = app.port
+
+    def client(self, *, timeout: float = 30.0) -> ServeClient:
+        return ServeClient(self.host, self.port, timeout=timeout)
+
+    @property
+    def stats(self):
+        return self.app.stats
+
+    @property
+    def table(self):
+        return self.app.table
+
+
+@pytest.fixture
+def serve_app(tmp_path):
+    """Boot a 2-worker server on an ephemeral port; tear it down after."""
+    ready = threading.Event()
+    holder: dict = {}
+
+    def boot() -> None:
+        async def main() -> None:
+            service = SweepService(
+                workers=2, cache=ResultCache(tmp_path / "serve-cache")
+            )
+            app = ServeApp(service)
+            await app.start("127.0.0.1", 0)
+            holder["app"] = app
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stop"] = asyncio.Event()
+            ready.set()
+            serve = asyncio.ensure_future(app.serve_forever())
+            await holder["stop"].wait()
+            serve.cancel()
+            await app.stop()
+
+        asyncio.run(main())
+
+    thread = threading.Thread(target=boot, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server failed to boot"
+    handle = ServeHandle(holder["app"], holder["loop"])
+    yield handle
+    holder["loop"].call_soon_threadsafe(holder["stop"].set)
+    thread.join(timeout=10)

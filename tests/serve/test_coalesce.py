@@ -1,0 +1,326 @@
+"""Deterministic coalescing semantics of the Pending-Interest Table.
+
+Every test drives a fresh event loop via ``asyncio.run`` with
+computations gated on explicit events, so interleavings are exact —
+no sleeps, no real clock.  Timing assertions use the injected
+:class:`~repro.serve.ManualClock`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import ManualClock, PendingTable
+
+
+class Gate:
+    """A compute function whose completion the test controls.
+
+    ``calls`` counts invocations — the property under test is that any
+    interleaving of identical keys produces exactly one.
+    """
+
+    def __init__(self, payload="payload"):
+        self.calls = 0
+        self.release = asyncio.Event()
+        self.started = asyncio.Event()
+        self.payload = payload
+
+    async def __call__(self, publish):
+        self.calls += 1
+        self.started.set()
+        await self.release.wait()
+        return self.payload
+
+    def open(self):
+        self.release.set()
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestSingleFlight:
+    def test_one_waiter_leader_role(self):
+        async def scenario():
+            table = PendingTable()
+            gate = Gate({"x": 1})
+            join = asyncio.ensure_future(table.join("k", gate))
+            await gate.started.wait()
+            assert table.in_flight == 1 and table.is_pending("k")
+            gate.open()
+            outcome = await join
+            assert outcome.role == "leader"
+            assert outcome.payload == {"x": 1}
+            assert table.in_flight == 0
+            assert table.computations == 1 and table.coalesced == 0
+
+        run(scenario())
+
+    def test_concurrent_identical_keys_compute_once(self):
+        async def scenario():
+            table = PendingTable()
+            gate = Gate(["same", "object"])
+            joins = [
+                asyncio.ensure_future(table.join("k", gate))
+                for _ in range(16)
+            ]
+            await gate.started.wait()
+            gate.open()
+            outcomes = await asyncio.gather(*joins)
+            assert gate.calls == 1
+            roles = sorted(o.role for o in outcomes)
+            assert roles == ["follower"] * 15 + ["leader"]
+            # every joiner gets the *same object*, hence bit-identical
+            assert all(o.payload is outcomes[0].payload for o in outcomes)
+            assert table.computations == 1 and table.coalesced == 15
+
+        run(scenario())
+
+    def test_distinct_keys_do_not_coalesce(self):
+        async def scenario():
+            table = PendingTable()
+            gates = {k: Gate(k) for k in ("a", "b", "c")}
+            joins = {
+                k: asyncio.ensure_future(table.join(k, gates[k]))
+                for k in gates
+            }
+            for gate in gates.values():
+                await gate.started.wait()
+            assert table.in_flight == 3
+            for gate in gates.values():
+                gate.open()
+            for key, join in joins.items():
+                outcome = await join
+                assert outcome.role == "leader"
+                assert outcome.payload == key
+            assert table.computations == 3 and table.coalesced == 0
+
+        run(scenario())
+
+    def test_entry_removed_before_resolution_next_join_recomputes(self):
+        async def scenario():
+            table = PendingTable()
+            first = Gate("one")
+            join = asyncio.ensure_future(table.join("k", first))
+            await first.started.wait()
+            first.open()
+            assert (await join).payload == "one"
+            assert not table.is_pending("k")
+            second = Gate("two")
+            second.open()
+            outcome = await table.join("k", second)
+            assert outcome.role == "leader" and outcome.payload == "two"
+            assert table.computations == 2
+
+        run(scenario())
+
+
+class TestErrorFanOut:
+    def test_exception_reaches_every_waiter_and_table_empties(self):
+        async def scenario():
+            table = PendingTable()
+            started = asyncio.Event()
+
+            async def explode(publish):
+                started.set()
+                await asyncio.sleep(0)
+                raise ValueError("boom")
+
+            joins = [
+                asyncio.ensure_future(table.join("k", explode))
+                for _ in range(5)
+            ]
+            results = await asyncio.gather(*joins, return_exceptions=True)
+            assert all(isinstance(r, ValueError) for r in results)
+            assert {str(r) for r in results} == {"boom"}
+            assert table.in_flight == 0
+
+        run(scenario())
+
+    def test_failed_key_can_be_retried_fresh(self):
+        async def scenario():
+            table = PendingTable()
+
+            async def explode(publish):
+                raise RuntimeError("first attempt dies")
+
+            with pytest.raises(RuntimeError):
+                await table.join("k", explode)
+            retry = Gate("recovered")
+            retry.open()
+            outcome = await table.join("k", retry)
+            assert outcome.payload == "recovered"
+
+        run(scenario())
+
+
+class TestCancellation:
+    """Client-disconnect semantics: a cancelled waiter never cancels
+    the computation — it is owned by the table."""
+
+    def test_cancelled_follower_leaves_computation_running(self):
+        async def scenario():
+            table = PendingTable()
+            gate = Gate("survives")
+            leader = asyncio.ensure_future(table.join("k", gate))
+            await gate.started.wait()
+            follower = asyncio.ensure_future(table.join("k", gate))
+            await asyncio.sleep(0)
+            follower.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await follower
+            gate.open()
+            outcome = await leader
+            assert outcome.payload == "survives"
+            assert gate.calls == 1
+
+        run(scenario())
+
+    def test_cancelled_leader_waiter_still_computes_for_follower(self):
+        async def scenario():
+            table = PendingTable()
+            gate = Gate("for the follower")
+            leader = asyncio.ensure_future(table.join("k", gate))
+            await gate.started.wait()
+            follower = asyncio.ensure_future(table.join("k", gate))
+            await asyncio.sleep(0)
+            leader.cancel()  # the leader's *wait* dies, not the compute
+            with pytest.raises(asyncio.CancelledError):
+                await leader
+            gate.open()
+            outcome = await follower
+            assert outcome.payload == "for the follower"
+            assert gate.calls == 1
+
+        run(scenario())
+
+    def test_shutdown_fails_pending_waiters(self):
+        async def scenario():
+            table = PendingTable()
+            gate = Gate("never delivered")
+            join = asyncio.ensure_future(table.join("k", gate))
+            await gate.started.wait()
+            await table.shutdown()
+            with pytest.raises(RuntimeError, match="cancelled"):
+                await join
+            assert table.in_flight == 0
+
+        run(scenario())
+
+
+class TestFakeClock:
+    def test_service_time_measured_on_injected_clock(self):
+        async def scenario():
+            clock = ManualClock()
+            table = PendingTable(clock=clock)
+            gate = Gate("timed")
+            leader = asyncio.ensure_future(table.join("k", gate))
+            await gate.started.wait()
+            clock.advance(3.0)
+            follower = asyncio.ensure_future(table.join("k", gate))
+            await asyncio.sleep(0)
+            clock.advance(2.0)
+            gate.open()
+            leader_out, follower_out = await asyncio.gather(leader, follower)
+            # leader waited 3 + 2 on the fake clock, follower only 2
+            assert leader_out.service_time == pytest.approx(5.0)
+            assert follower_out.service_time == pytest.approx(2.0)
+
+        run(scenario())
+
+    def test_manual_clock_rejects_backward_time(self):
+        clock = ManualClock(10.0)
+        with pytest.raises(ValueError):
+            clock.advance(-1)
+        assert clock() == 10.0
+
+
+class TestProgressEvents:
+    def test_events_fan_out_live_and_replay_to_late_subscribers(self):
+        async def scenario():
+            table = PendingTable()
+            release = asyncio.Event()
+            published = asyncio.Event()
+
+            async def compute(publish):
+                publish({"n": 1})
+                publish({"n": 2})
+                published.set()
+                await release.wait()
+                publish({"n": 3})
+                return "done"
+
+            early: asyncio.Queue = asyncio.Queue()
+            leader = asyncio.ensure_future(
+                table.join("k", compute, events=early)
+            )
+            await published.wait()
+            # late subscriber: replay of {1,2} then live {3}
+            late: asyncio.Queue = asyncio.Queue()
+            follower = asyncio.ensure_future(
+                table.join("k", compute, events=late)
+            )
+            await asyncio.sleep(0)
+            release.set()
+            await asyncio.gather(leader, follower)
+
+            async def drain(queue):
+                items = []
+                while True:
+                    item = await queue.get()
+                    if item is None:
+                        return items
+                    items.append(item)
+
+            assert await drain(early) == [{"n": 1}, {"n": 2}, {"n": 3}]
+            assert await drain(late) == [{"n": 1}, {"n": 2}, {"n": 3}]
+
+        run(scenario())
+
+
+class TestInterleavingProperties:
+    """Hypothesis: ANY interleaving of identical-key joins yields
+    exactly one computation per pending generation, and every joiner of
+    a generation receives the identical payload object."""
+
+    @given(
+        n_before=st.integers(min_value=1, max_value=8),
+        n_after=st.integers(min_value=0, max_value=8),
+        yields=st.lists(st.integers(min_value=0, max_value=3),
+                        min_size=0, max_size=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_one_computation_per_generation(self, n_before, n_after, yields):
+        async def scenario():
+            table = PendingTable()
+            gate = Gate(("gen1",))
+            joins = []
+            for i in range(n_before):
+                joins.append(asyncio.ensure_future(table.join("k", gate)))
+                # arbitrary scheduling noise between arrivals
+                for _ in range(yields[i % len(yields)] if yields else 0):
+                    await asyncio.sleep(0)
+            await gate.started.wait()
+            gate.open()
+            first_gen = await asyncio.gather(*joins)
+            assert gate.calls == 1
+            assert len({id(o.payload) for o in first_gen}) == 1
+            assert [o.role for o in first_gen].count("leader") == 1
+
+            # a second wave after resolution is a fresh generation
+            gate2 = Gate(("gen2",))
+            gate2.open()
+            second_gen = await asyncio.gather(*[
+                table.join("k", gate2) for _ in range(n_after)
+            ])
+            assert gate2.calls == (1 if n_after else 0)
+            assert table.computations == 1 + (1 if n_after else 0)
+            for outcome in second_gen:
+                assert outcome.payload == ("gen2",)
+
+        run(scenario())

@@ -1,0 +1,202 @@
+"""Fault injection against the running server.
+
+Three failure families the serving tier must contain:
+
+* a **worker crash** mid-computation (the pool process dies) fails the
+  request cleanly, fans the failure out to every coalesced waiter,
+  rebuilds the pool, and leaves the server healthy;
+* a **client disconnect** while its request is pending abandons only
+  that client's wait — the computation is table-owned, completes, and
+  lands in the content store for the next requester;
+* **concurrent writers of overlapping specs** race on shared cache
+  keys without torn reads (point-level last-writer-wins).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.exp import ExperimentSpec, NullCache, SweepRunner
+from repro.serve import ServeError
+
+CRASH_SPEC = {"experiment": "debug.crash", "base": {"code": 5}, "seed": 0}
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+class TestWorkerCrash:
+    def test_crash_returns_500_and_rebuilds_pool(self, serve_app):
+        client = serve_app.client()
+        with pytest.raises(ServeError) as err:
+            client.run(CRASH_SPEC)
+        assert err.value.status == 500
+        assert "crashed" in str(err.value)
+        assert serve_app.app.service.pool_rebuilds == 1
+        # the server survives and the fresh pool works
+        env = client.run({"experiment": "debug.echo",
+                          "base": {"alive": True}, "seed": 0})
+        assert env["served_by"] == "computed"
+        stats = client.stats()
+        assert stats["by_class"]["error"] == 1
+        assert stats["pool"]["rebuilds"] == 1
+
+    def test_crash_fans_out_to_coalesced_waiters(self, serve_app):
+        # several identical crash submissions: one computation, every
+        # waiter sees the same 500
+        statuses: list = []
+        lock = threading.Lock()
+
+        def hit():
+            try:
+                serve_app.client().run(CRASH_SPEC)
+                status = 200
+            except ServeError as exc:
+                status = exc.status
+            with lock:
+                statuses.append(status)
+
+        threads = [threading.Thread(target=hit) for _ in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert statuses == [500] * 6
+        # crashing leaves nothing pending; a retry starts fresh
+        assert serve_app.table.in_flight == 0
+
+    def test_crashed_key_is_not_poisoned(self, serve_app):
+        client = serve_app.client()
+        with pytest.raises(ServeError):
+            client.run(CRASH_SPEC)
+        with pytest.raises(ServeError):
+            client.run(CRASH_SPEC)  # crashes again — still a clean 500
+        assert serve_app.app.service.pool_rebuilds == 2
+
+
+class TestClientDisconnect:
+    SPEC = {
+        "experiment": "debug.sleep",
+        "base": {"seconds": 0.6, "value": 11},
+        "seed": 4,
+    }
+
+    def _post_and_hang_up(self, serve_app, spec) -> None:
+        body = json.dumps(spec).encode()
+        sock = socket.create_connection(
+            (serve_app.host, serve_app.port), timeout=10
+        )
+        sock.sendall(
+            b"POST /run HTTP/1.1\r\nhost: t\r\n"
+            b"content-length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        time.sleep(0.15)  # long enough for the server to start the sweep
+        sock.close()
+
+    def test_disconnect_while_pending_completes_computation(self, serve_app):
+        self._post_and_hang_up(serve_app, self.SPEC)
+        deadline = time.monotonic() + 10
+        while serve_app.table.in_flight and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert serve_app.table.in_flight == 0
+        # the abandoned computation landed in the content store:
+        env = serve_app.client().run(self.SPEC)
+        assert env["served_by"] == "cache"
+        assert serve_app.table.computations == 2  # sleep + cache replay
+        direct = SweepRunner(workers=1, cache=NullCache()).run(
+            ExperimentSpec.from_dict(self.SPEC)
+        ).to_dict()
+        assert canonical(env["results"]) == canonical(direct["results"])
+
+    def test_disconnected_follower_leaves_leader_unharmed(self, serve_app):
+        spec = {
+            "experiment": "debug.sleep",
+            "base": {"seconds": 0.6, "value": 12},
+            "seed": 5,
+        }
+        leader_result: dict = {}
+
+        def leader():
+            leader_result["env"] = serve_app.client().run(spec)
+
+        thread = threading.Thread(target=leader)
+        thread.start()
+        deadline = time.monotonic() + 5
+        while not serve_app.table.in_flight and time.monotonic() < deadline:
+            time.sleep(0.01)
+        self._post_and_hang_up(serve_app, spec)  # follower joins, dies
+        thread.join(timeout=60)
+        env = leader_result["env"]
+        assert env["served_by"] == "computed"
+        assert env["results"][0]["value"] == 12
+        assert serve_app.table.computations == 1
+
+    def test_disconnect_mid_stream_keeps_server_responsive(self, serve_app):
+        spec = {
+            "experiment": "debug.sleep",
+            "base": {"seconds": 0.5, "value": 13},
+            "seed": 6,
+        }
+        body = json.dumps(spec).encode()
+        sock = socket.create_connection(
+            (serve_app.host, serve_app.port), timeout=10
+        )
+        sock.sendall(
+            b"POST /run?stream=1 HTTP/1.1\r\nhost: t\r\n"
+            b"content-length: %d\r\n\r\n%s" % (len(body), body)
+        )
+        sock.recv(256)  # read part of the accepted event, then vanish
+        sock.close()
+        # server still answers; the stream's sweep completes off-line
+        assert serve_app.client().health()["ok"]
+        deadline = time.monotonic() + 10
+        while serve_app.table.in_flight and time.monotonic() < deadline:
+            time.sleep(0.05)
+        env = serve_app.client().run(spec)
+        assert env["served_by"] == "cache"
+
+
+class TestOverlappingSpecsCacheRace:
+    def test_concurrent_overlapping_sweeps_share_points_cleanly(
+        self, serve_app
+    ):
+        """Two distinct specs whose grids overlap race on the shared
+        point keys; both must come back complete and correct."""
+        spec_a = {
+            "experiment": "debug.echo",
+            "axes": [{"name": "n", "values": [1, 2, 3, 4]}],
+            "seed": 0,
+        }
+        spec_b = {
+            "experiment": "debug.echo",
+            "axes": [{"name": "n", "values": [3, 4, 5, 6]}],
+            "seed": 0,
+        }
+        results: dict = {}
+
+        def hit(name, spec):
+            results[name] = serve_app.client().run(spec)
+
+        threads = [
+            threading.Thread(target=hit, args=("a", spec_a)),
+            threading.Thread(target=hit, args=("b", spec_b)),
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for name, spec in (("a", spec_a), ("b", spec_b)):
+            direct = SweepRunner(workers=1, cache=NullCache()).run(
+                ExperimentSpec.from_dict(spec)
+            ).to_dict()
+            assert canonical(results[name]["results"]) == canonical(
+                direct["results"]
+            ), name
+        # distinct spec hashes: no coalescing between the two
+        assert serve_app.table.computations == 2

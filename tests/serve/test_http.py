@@ -1,0 +1,174 @@
+"""Unit tests for the minimal HTTP/1.1 layer.
+
+The parser is fed through a real :class:`asyncio.StreamReader` (no
+sockets), so byte-level edge cases — truncation, oversized limits,
+malformed framing — are exact.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve.http import (
+    MAX_BODY,
+    ChunkedNdjsonWriter,
+    HttpError,
+    json_response,
+    parse_chunked_body,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    async def scenario():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(scenario())
+
+
+class _SinkWriter:
+    """Just enough of StreamWriter for response-side unit tests."""
+
+    def __init__(self):
+        self.data = bytearray()
+
+    def write(self, chunk: bytes) -> None:
+        self.data += chunk
+
+    async def drain(self) -> None:
+        pass
+
+
+class TestRequestParsing:
+    def test_get_with_query(self):
+        req = parse(b"GET /run?stream=1&x=a%20b HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/run"
+        assert req.query == {"stream": "1", "x": "a b"}
+        assert req.headers["host"] == "h"
+        assert req.body == b""
+
+    def test_post_with_content_length_body(self):
+        body = b'{"a": 1}'
+        req = parse(
+            b"POST /run HTTP/1.1\r\ncontent-length: %d\r\n\r\n%s"
+            % (len(body), body)
+        )
+        assert req.method == "POST"
+        assert req.body == body
+        assert req.json() == {"a": 1}
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_header_names_lowercased_and_trimmed(self):
+        req = parse(b"GET / HTTP/1.1\r\n  X-Thing :  v  \r\n\r\n")
+        assert req.headers["x-thing"] == "v"
+
+    def test_keep_alive_default_and_close(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive
+        req = parse(b"GET / HTTP/1.1\r\nconnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_bare_lf_line_endings_accepted(self):
+        req = parse(b"GET /x HTTP/1.1\nhost: h\n\n")
+        assert req.path == "/x"
+
+
+class TestRequestRejection:
+    @pytest.mark.parametrize("raw,fragment", [
+        (b"GARBAGE\r\n\r\n", "malformed request line"),
+        (b"GET /x HTTP/2\r\n\r\n", "unsupported protocol"),
+        (b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n", "malformed header"),
+        (b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+         "malformed Content-Length"),
+        (b"POST /x HTTP/1.1\r\ncontent-length: -4\r\n\r\n",
+         "malformed Content-Length"),
+        (b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+         "chunked request"),
+        (b"POST /x HTTP/1.1\r\ncontent-length: 10\r\n\r\nshort",
+         "truncated body"),
+        (b"GET /x HTT", "truncated request line"),
+    ])
+    def test_malformed_requests_raise_400(self, raw, fragment):
+        with pytest.raises(HttpError) as err:
+            parse(raw)
+        assert err.value.status == 400
+        assert fragment in err.value.message
+
+    def test_oversized_body_rejected_413(self):
+        head = b"POST /x HTTP/1.1\r\ncontent-length: %d\r\n\r\n" % (
+            MAX_BODY + 1
+        )
+        with pytest.raises(HttpError) as err:
+            parse(head)
+        assert err.value.status == 413
+
+    def test_too_many_headers_rejected(self):
+        headers = b"".join(b"h%d: v\r\n" % i for i in range(101))
+        with pytest.raises(HttpError) as err:
+            parse(b"GET / HTTP/1.1\r\n" + headers + b"\r\n")
+        assert err.value.status == 400
+        assert "too many headers" in err.value.message
+
+    def test_json_body_required_and_validated(self):
+        req = parse(b"POST /x HTTP/1.1\r\ncontent-length: 3\r\n\r\nnot")
+        with pytest.raises(HttpError) as err:
+            req.json()
+        assert err.value.status == 400
+        with pytest.raises(HttpError):
+            parse(b"POST /x HTTP/1.1\r\n\r\n").json()  # empty body
+
+
+class TestResponses:
+    def test_json_response_framing(self):
+        sink = _SinkWriter()
+        json_response(sink, 200, {"b": 2, "a": 1})
+        raw = bytes(sink.data)
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"content-type: application/json" in head
+        # canonical: sorted keys
+        assert body == b'{"a": 1, "b": 2}\n'
+        assert b"content-length: %d" % len(body) in head
+
+    def test_json_response_close_header(self):
+        sink = _SinkWriter()
+        json_response(sink, 400, {"error": "x"}, close=True)
+        assert b"connection: close" in bytes(sink.data)
+        assert b"400 Bad Request" in bytes(sink.data)
+
+    def test_chunked_ndjson_round_trip(self):
+        async def scenario():
+            sink = _SinkWriter()
+            stream = ChunkedNdjsonWriter(sink)
+            stream.send({"event": "a"})
+            stream.send({"event": "b", "n": 2})
+            await stream.finish()
+            return bytes(sink.data)
+
+        raw = asyncio.run(scenario())
+        head, _, payload = raw.partition(b"\r\n\r\n")
+        assert b"transfer-encoding: chunked" in head
+        body = parse_chunked_body(payload)
+        events = [json.loads(line) for line in body.splitlines() if line]
+        assert events == [{"event": "a"}, {"event": "b", "n": 2}]
+
+    def test_empty_stream_still_terminates(self):
+        async def scenario():
+            sink = _SinkWriter()
+            await ChunkedNdjsonWriter(sink).finish()
+            return bytes(sink.data)
+
+        raw = asyncio.run(scenario())
+        assert raw.endswith(b"0\r\n\r\n")
+
+    def test_parse_chunked_body_rejects_truncation(self):
+        with pytest.raises(ValueError):
+            parse_chunked_body(b"5")  # no CRLF after size

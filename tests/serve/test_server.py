@@ -1,0 +1,233 @@
+"""End-to-end serving tests over real sockets.
+
+The acceptance-critical property lives here: N concurrent identical
+``ExperimentSpec`` submissions trigger exactly one underlying
+computation, and every response is bit-identical to a direct
+:class:`~repro.exp.SweepRunner` run of the same spec.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.exp import ExperimentSpec, NullCache, SweepRunner
+from repro.serve import ServeError
+
+
+def canonical(payload) -> str:
+    return json.dumps(payload, sort_keys=True)
+
+
+ECHO_SPEC = {
+    "experiment": "debug.echo",
+    "base": {"workload": "ticket"},
+    "axes": [{"name": "n", "values": [1, 2, 3]}],
+    "seed": 3,
+}
+
+DEMO_SPEC = {
+    "experiment": "machine.demo",
+    "base": {"pes": 4, "tickets": 2},
+    "seed": 0,
+}
+
+
+class TestEndpoints:
+    def test_healthz(self, serve_app):
+        payload = serve_app.client().health()
+        assert payload["ok"] is True
+        assert payload["uptime"] >= 0
+
+    def test_experiments_lists_registry(self, serve_app):
+        names = serve_app.client().experiments()
+        assert "debug.echo" in names
+        assert "machine.demo" in names
+        assert "fig7.design_curve" in names
+
+    def test_unknown_route_404(self, serve_app):
+        with pytest.raises(ServeError) as err:
+            serve_app.client()._checked("GET", "/nope")
+        assert err.value.status == 404
+
+    def test_wrong_method_405(self, serve_app):
+        with pytest.raises(ServeError) as err:
+            serve_app.client()._checked("GET", "/run")
+        assert err.value.status == 405
+
+    def test_stats_shape(self, serve_app):
+        stats = serve_app.client().stats()
+        assert stats["requests"] == 0
+        assert stats["by_class"] == {
+            "computed": 0, "coalesced": 0, "cache": 0, "error": 0,
+        }
+        assert stats["pool"]["workers"] == 2
+        assert "latency_us" in stats and "pending" in stats
+
+
+class TestRunEnvelope:
+    def test_run_computes_and_echoes_spec(self, serve_app):
+        env = serve_app.client().run(ECHO_SPEC)
+        assert env["command"] == "serve.run"
+        assert env["served_by"] == "computed"
+        assert env["coalesced"] is False
+        assert env["spec"]["experiment"] == "debug.echo"
+        spec = ExperimentSpec.from_dict(ECHO_SPEC)
+        assert env["spec_hash"] == spec.spec_hash()
+        assert env["sweep"]["computed_points"] == 3
+
+    def test_spec_wrapper_key_accepted(self, serve_app):
+        env = serve_app.client().run({"spec": ECHO_SPEC})
+        assert env["served_by"] == "computed"
+
+    def test_results_bit_identical_to_direct_runner(self, serve_app):
+        env = serve_app.client().run(DEMO_SPEC)
+        direct = SweepRunner(workers=1, cache=NullCache()).run(
+            ExperimentSpec.from_dict(DEMO_SPEC)
+        ).to_dict()
+        assert canonical(env["results"]) == canonical(direct["results"])
+
+    def test_repeat_is_served_from_content_store(self, serve_app):
+        client = serve_app.client()
+        first = client.run(ECHO_SPEC)
+        second = client.run(ECHO_SPEC)
+        assert first["served_by"] == "computed"
+        assert second["served_by"] == "cache"
+        assert second["sweep"]["cached_points"] == 3
+        assert second["sweep"]["computed_points"] == 0
+        assert canonical(first["results"]) == canonical(second["results"])
+        assert serve_app.table.computations <= 2  # second never computed
+
+    def test_bad_spec_rejected_400(self, serve_app):
+        with pytest.raises(ServeError) as err:
+            serve_app.client().run({"base": {"x": 1}})  # no experiment
+        assert err.value.status == 400
+        assert "invalid spec" in str(err.value)
+
+    def test_unknown_experiment_rejected_400(self, serve_app):
+        with pytest.raises(ServeError) as err:
+            serve_app.client().run({"experiment": "no.such.thing", "seed": 0})
+        assert err.value.status == 400
+        assert "unknown experiment" in str(err.value)
+
+    def test_error_spans_recorded(self, serve_app):
+        with pytest.raises(ServeError):
+            serve_app.client().run({"experiment": "no.such.thing", "seed": 0})
+        stats = serve_app.client().stats()
+        assert stats["by_class"]["error"] == 1
+
+
+class TestCoalescing:
+    """The acceptance criterion, asserted deterministically."""
+
+    def _fire_concurrent(self, serve_app, spec, n):
+        results: list = [None] * n
+        errors: list = []
+
+        def hit(i):
+            try:
+                results[i] = serve_app.client().run(spec)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hit, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        return results
+
+    def test_concurrent_identical_specs_compute_exactly_once(self, serve_app):
+        spec = {
+            "experiment": "debug.sleep",
+            "base": {"seconds": 0.5, "value": 7},
+            "seed": 9,
+        }
+        results = self._fire_concurrent(serve_app, spec, 12)
+        # exactly one computation: debug.sleep holds a worker for 0.5 s,
+        # far longer than 12 local submissions take to arrive
+        assert serve_app.table.computations == 1
+        assert serve_app.table.coalesced == 11
+        served = sorted(r["served_by"] for r in results)
+        assert served == ["coalesced"] * 11 + ["computed"]
+        # bit-identical payloads for every response
+        blobs = {canonical(r["results"]) for r in results}
+        assert len(blobs) == 1
+        stats = serve_app.client().stats()
+        assert stats["by_class"]["computed"] == 1
+        assert stats["by_class"]["coalesced"] == 11
+        assert stats["coalescing_ratio"] == pytest.approx(11 / 12)
+
+    def test_coalesced_payload_matches_direct_runner(self, serve_app):
+        spec = {
+            "experiment": "debug.sleep",
+            "base": {"seconds": 0.4, "value": [1, 2]},
+            "seed": 2,
+        }
+        results = self._fire_concurrent(serve_app, spec, 6)
+        direct = SweepRunner(workers=1, cache=NullCache()).run(
+            ExperimentSpec.from_dict(spec)
+        ).to_dict()
+        for env in results:
+            assert canonical(env["results"]) == canonical(direct["results"])
+
+    def test_distinct_specs_compute_independently(self, serve_app):
+        specs = [
+            {"experiment": "debug.echo", "base": {"i": i}, "seed": 0}
+            for i in range(5)
+        ]
+        results: list = [None] * 5
+
+        def hit(i):
+            results[i] = serve_app.client().run(specs[i])
+
+        threads = [
+            threading.Thread(target=hit, args=(i,)) for i in range(5)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert serve_app.table.computations == 5
+        assert serve_app.table.coalesced == 0
+        for i, env in enumerate(results):
+            assert env["results"][0]["echo"]["i"] == i
+
+
+class TestStreaming:
+    def test_stream_emits_progress_then_result(self, serve_app):
+        events = list(serve_app.client().run_stream(ECHO_SPEC))
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "accepted"
+        assert kinds[-1] == "result"
+        points = [e for e in events if e["event"] == "point"]
+        assert len(points) == 3
+        assert {p["index"] for p in points} == {0, 1, 2}
+        assert points[-1]["done"] == 3 and points[-1]["total"] == 3
+        final = events[-1]
+        assert final["served_by"] == "computed"
+        direct = SweepRunner(workers=1, cache=NullCache()).run(
+            ExperimentSpec.from_dict(ECHO_SPEC)
+        ).to_dict()
+        assert canonical(final["results"]) == canonical(direct["results"])
+
+    def test_stream_error_event_on_unknown_experiment(self, serve_app):
+        with pytest.raises(ServeError) as err:
+            list(serve_app.client().run_stream(
+                {"experiment": "no.such", "seed": 0}
+            ))
+        assert err.value.status == 400
+
+    def test_cached_rerun_streams_cached_points(self, serve_app):
+        client = serve_app.client()
+        client.run(ECHO_SPEC)
+        events = list(client.run_stream(ECHO_SPEC))
+        final = events[-1]
+        assert final["served_by"] == "cache"
+        points = [e for e in events if e["event"] == "point"]
+        assert all(p["cached"] for p in points)

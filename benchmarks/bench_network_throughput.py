@@ -9,15 +9,19 @@ kill-on-conflict networks (section 3.1.2's three factors).
 
 from __future__ import annotations
 
+import pytest
 from bench_utils import banner
 
 from repro.analysis.queueing import nonpipelined_bandwidth_bound
 from repro.workloads.synthetic import run_uniform_traffic
 
 
-def measure_throughput(n_pes: int, cycles: int = 600) -> float:
+def measure_throughput(
+    n_pes: int, cycles: int = 600, topology: str = "omega"
+) -> float:
     stats, _machine = run_uniform_traffic(
-        n_pes, rate=0.45, cycles=cycles, queue_capacity_packets=15, seed=8
+        n_pes, rate=0.45, cycles=cycles, queue_capacity_packets=15, seed=8,
+        topology=topology,
     )
     return stats.completed / cycles
 
@@ -44,6 +48,38 @@ def test_bw_linear_in_n(report, benchmark):
     # and the 32-PE machine beats the non-pipelined aggregate bound
     assert measure_throughput(32) * 32 / 32 > 0  # sanity
     benchmark.pedantic(measure_throughput, args=(16,), rounds=2, iterations=1)
+
+
+@pytest.mark.parametrize("topology", ("omega", "hypercube", "mesh"))
+def test_bw_scaling_per_topology(report, benchmark, topology):
+    """The same linear-bandwidth check on every registered fabric.
+
+    Sizes are the intersection of each fabric's valid port counts
+    (omega/hypercube want powers of two, the mesh wants squares), so
+    4 and 16 are the shared grid.  The original Omega-only test above
+    keeps its wider size range and its committed expectations.
+    """
+    sizes = (4, 16)
+    lines = [banner(f"BW[{topology}]: accepted throughput vs machine size "
+                    "(uniform traffic at p=0.45 offered)")]
+    lines.append(f"{'N':>4} {'msgs/cycle':>11} {'per PE':>8}")
+    per_pe = {}
+    for n in sizes:
+        throughput = measure_throughput(n, topology=topology)
+        per_pe[n] = throughput / n
+        lines.append(f"{n:>4} {throughput:>11.2f} {per_pe[n]:>8.3f}")
+    report("\n".join(lines))
+
+    # every fabric must accept real traffic at both sizes, and per-PE
+    # throughput must not collapse with size (the 2-D mesh has the
+    # weakest bisection, so its bound is the loosest that still rules
+    # out the O(N / log N) non-pipelined regime)
+    assert per_pe[4] > 0
+    assert per_pe[16] > 0.3 * per_pe[4]
+    benchmark.pedantic(
+        measure_throughput, args=(16,), kwargs={"topology": topology},
+        rounds=1, iterations=1,
+    )
 
 
 def test_bw_pipelining_factor(report, benchmark):

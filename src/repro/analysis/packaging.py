@@ -167,6 +167,37 @@ class ModulePartition:
         return 2 * self.modules * self.switches_per_module
 
 
+def topology_chip_budget(
+    topology,
+    *,
+    pe_chips: int = CHIPS_PER_PE_PNI,
+    mm_chips: int = CHIPS_PER_MM_MNI,
+    switch_chip_density: float = CHIPS_PER_4X4_SWITCH / 16,
+) -> dict[str, float]:
+    """Chip/wire budget from the structural facts any topology exposes.
+
+    Unlike :func:`package_machine` (pinned to the paper's two-chip 4x4
+    estimate), this prices switches by crosspoint count: the paper's
+    figure works out to ``2 / 16`` chips per crosspoint, and an
+    ``a``-port switch has ``a**2`` crosspoints.  Direct networks (one
+    router per node, arity links + a local port) and multistage ones
+    are budgeted on the same footing, which is the comparison the
+    cross-topology Figure 7 needs alongside latency.
+    """
+    arity = topology.switch_arity
+    switch_chips = arity * arity * switch_chip_density
+    network = topology.n_switches * switch_chips
+    n = topology.n_ports
+    return {
+        "pe": n * pe_chips,
+        "mm": n * mm_chips,
+        "switches": topology.n_switches,
+        "links": topology.n_links,
+        "network": network,
+        "total": n * (pe_chips + mm_chips) + network,
+    }
+
+
 def chip_budget(
     n_pes: int,
     *,

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Iterable, Optional, Union
 
 
 class CapacityExceededError(ValueError):
@@ -78,6 +79,42 @@ def round_trip_time(
 ) -> float:
     """Request + memory access + reply: the full CM access time."""
     return 2 * network_transit_time(n, k, m, p, d) + mm_latency
+
+
+#: One hop class of a topology: (label, mean traversals per message,
+#: per-queue intensity factor).  See ``Topology.hop_classes``.
+HopClass = tuple[str, float, float]
+
+
+def hop_transit_time(
+    hop_classes: Iterable[HopClass], arity: int, m: int, p: float, d: int = 1
+) -> float:
+    """One-way traversal time for an arbitrary topology's hop profile.
+
+    The Omega closed form ``stages * delay + m - 1`` is the special case
+    of one hop class traversed ``stages`` times at full intensity.  For
+    a direct network each hop class contributes its mean traversal count
+    times the Kruskal-Snir switch delay evaluated at the *per-queue*
+    intensity ``p * factor`` (uniform traffic spreads over many links,
+    so each queue sees only a fraction of a PE's injection rate).
+    """
+    total = 0.0
+    for _label, traversals, intensity in hop_classes:
+        total += traversals * switch_delay(arity, m, p * intensity, d)
+    return total + m - 1
+
+
+def hop_round_trip_time(
+    hop_classes: Iterable[HopClass],
+    arity: int,
+    m: int,
+    p: float,
+    d: int = 1,
+    mm_latency: float = 2.0,
+) -> float:
+    """Request + memory access + reply over an arbitrary hop profile."""
+    hops = tuple(hop_classes)
+    return 2 * hop_transit_time(hops, arity, m, p, d) + mm_latency
 
 
 def _validate(k: int, m: int, p: float, d: int) -> None:
@@ -170,14 +207,49 @@ def predict_uniform_run(
     *,
     request_packets: int = 1,
     reply_packets: int = 3,
+    topology: Optional[Union[str, object]] = None,
 ) -> UniformRunPrediction:
     """Model predictions for a uniform run (see
-    :class:`UniformRunPrediction` for the m mapping)."""
+    :class:`UniformRunPrediction` for the m mapping).
+
+    ``topology`` accepts a registered topology name or a built
+    :class:`~repro.network.topology.Topology` instance; ``None`` (and
+    ``"omega"``) use the original per-stage Omega closed forms.  Other
+    topologies go through :func:`hop_transit_time` on their declared hop
+    classes, with ``forward_switch_delay`` reported as the hop-count-
+    weighted mean per-traversal delay so per-stage drift comparisons
+    stay meaningful.
+    """
     m_round = max(1, (request_packets + reply_packets) // 2)
+    if (
+        topology is None
+        or topology == "omega"
+        or getattr(topology, "name", None) == "omega"
+    ):
+        return UniformRunPrediction(
+            p=p,
+            forward_switch_delay=switch_delay(k, request_packets, p, d),
+            round_trip=round_trip_time(n, k, m_round, p, d, mm_latency),
+        )
+    topo = topology
+    if isinstance(topology, str):
+        from ..network.topology import make_topology
+
+        topo = make_topology(topology, n, k)
+    classes = tuple(topo.hop_classes())
+    arity = topo.switch_arity
+    total_hops = sum(traversals for _label, traversals, _f in classes)
+    forward = (
+        sum(
+            traversals * switch_delay(arity, request_packets, p * intensity, d)
+            for _label, traversals, intensity in classes
+        )
+        / total_hops
+    )
     return UniformRunPrediction(
         p=p,
-        forward_switch_delay=switch_delay(k, request_packets, p, d),
-        round_trip=round_trip_time(n, k, m_round, p, d, mm_latency),
+        forward_switch_delay=forward,
+        round_trip=hop_round_trip_time(classes, arity, m_round, p, d, mm_latency),
     )
 
 

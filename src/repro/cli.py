@@ -156,18 +156,23 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 def _cmd_fig7(args: argparse.Namespace) -> int:
     from repro.exp import figure7_simulated_spec, figure7_spec
 
+    if args.topology:
+        return _fig7_cross_topology(args)
+
     if args.simulate:
         rates = tuple(args.rate) if args.rate else (0.02, 0.05)
+        pes = args.pes if args.pes is not None else 4096
+        cycles = args.cycles if args.cycles is not None else 200
         spec = figure7_simulated_spec(
-            pes=args.pes, rates=rates, cycles=args.cycles,
+            pes=pes, rates=rates, cycles=cycles,
             kernel=args.kernel, seed=args.seed,
         )
         result = _make_runner(args).run(spec)
         points = result.payloads
         if args.json:
             return _emit_envelope("fig7", points, spec=spec, sweep=result)
-        print(f"Figure 7 simulated points ({args.pes} PEs, "
-              f"kernel={args.kernel}, {args.cycles} offered cycles):")
+        print(f"Figure 7 simulated points ({pes} PEs, "
+              f"kernel={args.kernel}, {cycles} offered cycles):")
         print(f"  {'p':>6} {'issued':>8} {'mean rtt':>9} {'max':>5} "
               f"{'analytic transit':>16}")
         for point in points:
@@ -208,6 +213,58 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
             else:
                 cells.append(f"{'sat':>14}")
         print(f"{p:>6.2f} | " + " ".join(cells))
+    return 0
+
+
+def _fig7_cross_topology(args: argparse.Namespace) -> int:
+    """``fig7 --topology ...``: the same figure with the fabric swapped."""
+    from repro.exp import CROSS_TOPOLOGY_RATES, figure7_cross_topology_spec
+
+    topologies = tuple(dict.fromkeys(args.topology))
+    rates = tuple(args.rate) if args.rate else CROSS_TOPOLOGY_RATES
+    pes = args.pes if args.pes is not None else 16
+    cycles = args.cycles if args.cycles is not None else 600
+    spec = figure7_cross_topology_spec(
+        topologies=topologies, pes=pes, rates=rates,
+        cycles=cycles, kernel=args.kernel, seed=args.seed,
+    )
+    result = _make_runner(args).run(spec)
+    points = result.payloads
+    if args.json:
+        return _emit_envelope("fig7", points, spec=spec, sweep=result)
+
+    from repro.reporting import Series, ascii_plot, format_table
+
+    print(f"Figure 7 across fabrics ({pes} PEs, kernel={args.kernel}, "
+          f"{cycles} offered cycles):")
+    rows = []
+    for point in points:
+        predicted = point["predicted_round_trip"]
+        rows.append((
+            point["topology"], point["rate"], point["issued"],
+            point["observed_mean_round_trip"],
+            "sat" if predicted is None else f"{predicted:.2f}",
+            point["combines"], point["n_switches"], point["n_links"],
+        ))
+    print(format_table(
+        ("fabric", "p", "issued", "mean rtt", "predicted",
+         "combines", "switches", "links"),
+        rows,
+    ))
+    series = [
+        Series(
+            label=topology,
+            points=[(pt["rate"], pt["observed_mean_round_trip"])
+                    for pt in points if pt["topology"] == topology],
+        )
+        for topology in topologies
+    ]
+    print()
+    print(ascii_plot(
+        series,
+        x_label="p (messages/PE/cycle)",
+        y_label="mean round trip (cycles)",
+    ))
     return 0
 
 
@@ -464,7 +521,7 @@ def _cmd_drift(args: argparse.Namespace) -> int:
 
     spec = drift_spec(
         pes=args.pes, rates=(args.rate,), cycles=args.cycles, k=args.k,
-        threshold=args.threshold, seed=args.seed,
+        threshold=args.threshold, seed=args.seed, topology=args.topology,
     )
     result = _make_runner(args).run(spec)
     report = result.payloads[0]
@@ -475,7 +532,8 @@ def _cmd_drift(args: argparse.Namespace) -> int:
     from repro.reporting import format_table
 
     print(f"analytic drift monitor: {report['n_pes']} PEs, "
-          f"k={report['k']}, {report['cycles']} cycles")
+          f"k={report['k']}, {report['topology']} fabric, "
+          f"{report['cycles']} cycles")
     print(f"  offered rate:  {report['offered_rate']:.3f}   "
           f"observed rate: {report['observed_rate']:.3f}   "
           f"requests: {report['requests']}")
@@ -633,14 +691,20 @@ def build_parser() -> argparse.ArgumentParser:
     fig7.add_argument("--simulate", action="store_true",
                       help="run cycle-accurate points alongside the "
                            "analytic curves (see --pes/--rate/--kernel)")
-    fig7.add_argument("--pes", type=int, default=4096,
-                      help="machine size for --simulate [default: 4096]")
+    fig7.add_argument("--topology", action="append", metavar="NAME",
+                      help="cycle-accurate latency-vs-load comparison on "
+                           "the named fabric (omega, hypercube, mesh); "
+                           "repeatable for one chart across fabrics")
+    fig7.add_argument("--pes", type=int, default=None,
+                      help="machine size for --simulate/--topology "
+                           "[default: 4096 simulated, 16 cross-topology]")
     fig7.add_argument("--rate", type=float, action="append", metavar="P",
-                      help="offered load for --simulate; repeatable "
-                           "[default: 0.02 0.05]")
-    fig7.add_argument("--cycles", type=int, default=200,
-                      help="offered-traffic window for --simulate "
-                           "[default: 200]")
+                      help="offered load for --simulate/--topology; "
+                           "repeatable [default: 0.02 0.05]")
+    fig7.add_argument("--cycles", type=int, default=None,
+                      help="offered-traffic window for --simulate/"
+                           "--topology [default: 200 simulated, "
+                           "600 cross-topology]")
     _add_kernel_flag(fig7)
     _add_seed_flag(fig7, default=1)
     fig7.add_argument("--json", action="store_true",
@@ -739,6 +803,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="offered traffic (messages/PE/cycle)")
     drift.add_argument("--cycles", type=int, default=2000)
     drift.add_argument("--k", type=int, default=2, help="switch arity")
+    drift.add_argument("--topology", default="omega", metavar="NAME",
+                       help="network fabric to compare against the "
+                            "generalized model [default: omega]")
     drift.add_argument("--threshold", type=float, default=0.25,
                        help="max acceptable relative error")
     drift.add_argument("--strict", action="store_true",

@@ -22,11 +22,12 @@ from ..memory.hashing import AddressTranslation, make_translation
 from ..memory.module import BankedMemory
 from ..network.interfaces import MNI, PNI
 from ..network.message import Message
-from ..network.omega import NetworkConfig, OmegaNetwork
+from ..network.multistage import MultistageNetwork, NetworkConfig
+from ..network.topology import make_topology, topology_names, validate_topology_size
 from .memory_ops import Op
 from .paracomputer import Program, ProgramFactory
 from .results import PEResult, RunResult
-from .scheduler import kernel_names, make_kernel
+from .scheduler import kernel_names, kernel_topologies, make_kernel
 
 __all__ = [
     "Driver",
@@ -85,35 +86,33 @@ class MachineConfig:
     #: bit-identical results; valid names come from the pluggable
     #: registry in :mod:`repro.core.scheduler`.
     kernel: str = "dense"
+    #: network geometry, resolved through the topology registry in
+    #: :mod:`repro.network.topology`: ``"omega"`` (the paper's machine),
+    #: ``"hypercube"`` (binary, dimension-order routing), or ``"mesh"``
+    #: (square 2-D, XY routing).  All run the same combining switches;
+    #: each constrains ``n_pes`` to its own valid sizes.
+    topology: str = "omega"
 
     def validate(self) -> None:
         """Reject inconsistent configurations with actionable messages.
 
         Called from :class:`Ultracomputer.__init__`, so a bad config
-        fails here instead of deep inside the Omega-network wiring.
+        fails here instead of deep inside the network wiring.
         """
         if self.k < 2:
             raise ValueError(
                 f"switch arity k={self.k} is invalid; the network needs "
                 "k >= 2 (the paper's switches are 2x2)"
             )
-        if self.n_pes < self.k:
+        if self.topology not in topology_names():
             raise ValueError(
-                f"n_pes={self.n_pes} is smaller than k={self.k}; the "
-                f"machine needs at least one {self.k}x{self.k} switch stage"
+                f"unknown topology {self.topology!r}; choose from "
+                f"{sorted(topology_names())}"
             )
-        n = self.n_pes
-        while n % self.k == 0:
-            n //= self.k
-        if n != 1:
-            nearest = self.k
-            while nearest * self.k <= self.n_pes:
-                nearest *= self.k
-            raise ValueError(
-                f"n_pes={self.n_pes} is not a power of k={self.k}; an "
-                f"Omega network requires N = k**D (nearest valid sizes: "
-                f"{nearest} or {nearest * self.k})"
-            )
+        # Per-topology port-count rules (each names the nearest valid
+        # sizes in its error, e.g. "n_pes=100 ... nearest valid sizes
+        # are 64 and 128" for omega at k=2).
+        validate_topology_size(self.topology, self.n_pes, self.k)
         if self.copies < 1:
             raise ValueError(
                 f"copies={self.copies} is invalid; the machine needs at "
@@ -172,6 +171,15 @@ class MachineConfig:
             raise ValueError(
                 f"unknown kernel {self.kernel!r}; choose from "
                 f"{sorted(kernel_names())}"
+            )
+        allowed = kernel_topologies(self.kernel)
+        if allowed is not None and self.topology not in allowed:
+            raise ValueError(
+                f"kernel {self.kernel!r} supports only the "
+                f"{sorted(allowed)} topolog{'y' if len(allowed) == 1 else 'ies'}, "
+                f"not topology={self.topology!r}; run this topology under "
+                "an unrestricted kernel (e.g. kernel='dense' or "
+                "kernel='event')"
             )
 
     # -- canonical serialization (the experiment subsystem rides on
@@ -413,8 +421,15 @@ class Ultracomputer:
             if config.instrument
             else DISABLED
         )
+        # One topology instance shared by every network copy: it is pure
+        # combinatorics, and sharing it shares the interned route cache.
+        self.topology = make_topology(config.topology, config.n_pes, config.k)
         self.networks = [
-            OmegaNetwork(config.network_config(), instrumentation=self.instrumentation)
+            MultistageNetwork(
+                config.network_config(),
+                self.topology,
+                instrumentation=self.instrumentation,
+            )
             for _ in range(config.copies)
         ]
         self.memory = BankedMemory(
@@ -441,7 +456,7 @@ class Ultracomputer:
         self.pnis = [
             PNI(
                 pe,
-                self.network.topology,
+                self.topology,
                 self.translation,
                 max_outstanding=config.max_outstanding,
                 instrumentation=self.instrumentation,
@@ -460,7 +475,7 @@ class Ultracomputer:
         self.kernel = make_kernel(config.kernel, self)
 
     @property
-    def network(self) -> OmegaNetwork:
+    def network(self) -> MultistageNetwork:
         """The first network copy (the whole network when copies == 1)."""
         return self.networks[0]
 
@@ -486,7 +501,7 @@ class Ultracomputer:
             )
         self._healthy_copies.remove(index)
 
-    def _copy_for_request(self, message: Message) -> OmegaNetwork:
+    def _copy_for_request(self, message: Message) -> MultistageNetwork:
         """Stripe new requests over the healthy copies; remember the
         choice so the reply returns on the same copy (its switches hold
         the amalgam digits and wait-buffer records)."""

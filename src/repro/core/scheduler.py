@@ -73,6 +73,7 @@ __all__ = [
     "Kernel",
     "KernelFactory",
     "kernel_names",
+    "kernel_topologies",
     "make_kernel",
     "register_kernel",
 ]
@@ -116,15 +117,28 @@ KernelFactory = Callable[["Ultracomputer"], "Kernel"]
 #: it with :func:`register_kernel`; read names with :func:`kernel_names`.
 KERNELS: dict[str, KernelFactory] = {}
 
+#: Per-kernel topology restrictions, parallel to :data:`KERNELS` (kept
+#: out of the factory values so callers that stash and re-register
+#: factories keep working).  Absent or ``None`` means the kernel runs
+#: any registered topology; a tuple names the only ones it supports.
+KERNEL_TOPOLOGIES: dict[str, Optional[tuple[str, ...]]] = {}
+
 
 def register_kernel(
-    name: str, factory: KernelFactory, *, replace: bool = False
+    name: str,
+    factory: KernelFactory,
+    *,
+    topologies: Optional[tuple[str, ...]] = None,
+    replace: bool = False,
 ) -> None:
     """Register a simulation kernel under ``MachineConfig.kernel=name``.
 
     ``MachineConfig.validate()`` and the CLI's ``--kernel`` choices both
     derive from this registry, so a plugged-in kernel is selectable
-    everywhere without touching config or CLI code.  Re-registering a
+    everywhere without touching config or CLI code.  ``topologies``
+    restricts the kernel to named network geometries (the batch kernel
+    vectorizes the shuffle wiring specifically, so it declares
+    ``("omega",)``); ``None`` supports every topology.  Re-registering a
     name is an error unless ``replace=True`` (tests use ``replace`` to
     install instrumented stand-ins).
     """
@@ -136,11 +150,21 @@ def register_kernel(
             "override it"
         )
     KERNELS[name] = factory
+    KERNEL_TOPOLOGIES[name] = tuple(topologies) if topologies is not None else None
 
 
 def kernel_names() -> tuple[str, ...]:
     """Registered kernel names, sorted (the valid ``--kernel`` choices)."""
     return tuple(sorted(KERNELS))
+
+
+def kernel_topologies(name: str) -> Optional[tuple[str, ...]]:
+    """Topologies kernel ``name`` supports; ``None`` means all of them."""
+    if name not in KERNELS:
+        raise ValueError(
+            f"unknown kernel {name!r}; choose from {sorted(KERNELS)}"
+        )
+    return KERNEL_TOPOLOGIES.get(name)
 
 
 class DenseKernel:
@@ -347,4 +371,8 @@ def _batch_factory(machine: "Ultracomputer") -> "Kernel":
 
 register_kernel(DenseKernel.name, DenseKernel)
 register_kernel(EventKernel.name, EventKernel)
-register_kernel("batch", _batch_factory)
+# The batch kernel mirrors the perfect-shuffle wiring into per-stage
+# numpy arrays; it is Omega-specific by construction, and the registry
+# records that so MachineConfig.validate() rejects the combination with
+# an actionable error instead of failing inside the mirror build.
+register_kernel("batch", _batch_factory, topologies=("omega",))

@@ -29,8 +29,10 @@ Quickstart::
 from .cache import NullCache, ResultCache, default_cache_root
 from .engine import PointOutcome, SweepResult, SweepRunner, serial_runner
 from .experiments import (
+    CROSS_TOPOLOGY_RATES,
     build_hotspot_machine,
     drift_spec,
+    figure7_cross_topology_spec,
     figure7_simulated_spec,
     figure7_spec,
     hotspot_spec,
@@ -50,6 +52,7 @@ from .spec import (
 )
 
 __all__ = [
+    "CROSS_TOPOLOGY_RATES",
     "ExperimentSpec",
     "NullCache",
     "PointOutcome",
@@ -64,6 +67,7 @@ __all__ = [
     "default_cache_root",
     "drift_spec",
     "execute",
+    "figure7_cross_topology_spec",
     "figure7_simulated_spec",
     "figure7_spec",
     "hotspot_spec",

@@ -159,6 +159,133 @@ def figure7_simulated_spec(
     )
 
 
+@point_function("fig7.cross_topology")
+def fig7_cross_topology(params: dict) -> dict[str, Any]:
+    """One latency-vs-load point on a named fabric (Figure 7, but with
+    the network plane swapped).
+
+    The paper's Figure 7 compares Omega design points (k, d); this
+    experiment holds the design fixed and varies the *topology* —
+    Omega, binary hypercube, 2-D mesh — running the same uniform
+    Bernoulli(p) workload through the cycle-accurate machine with
+    tracing on.  The payload pairs the observed round trip and
+    span-derived per-hop delay with the generalized hop-class
+    prediction, plus the structural facts (switches, links, crosspoint
+    chip budget) a cost-per-latency comparison needs.
+    """
+    from ..analysis.packaging import topology_chip_budget
+    from ..analysis.queueing import CapacityExceededError, predict_uniform_run
+    from ..core.machine import MachineConfig, Ultracomputer
+    from ..network.topology import make_topology
+    from ..obs.spans import reconstruct_spans
+    from ..workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
+
+    pes = params["pes"]
+    rate = params["rate"]
+    cycles = params.get("cycles", 600)
+    kernel = params.get("kernel", "dense")
+    topology = params.get("topology", "omega")
+    k = params.get("k", 2)
+
+    topo = make_topology(topology, pes, k)
+    expected_requests = max(1, int(pes * rate * cycles))
+    trace_capacity = expected_requests * (topo.stages + 6) * 2 + 4096
+    machine = Ultracomputer(MachineConfig(
+        n_pes=pes,
+        k=k,
+        kernel=kernel,
+        topology=topology,
+        instrument=True,
+        trace_capacity=trace_capacity,
+    ))
+    driver = SyntheticTrafficDriver(
+        machine,
+        TrafficSpec(rate=rate, pattern="uniform", seed=params["seed"]),
+    )
+    machine.attach_driver(driver)
+    machine.run_cycles(cycles)
+    driver.spec = dataclasses.replace(driver.spec, rate=0.0)
+    for _ in range(cycles * 4):
+        if all(pni.outstanding() == 0 for pni in machine.pnis):
+            break
+        machine.step()
+
+    result = machine.stats()
+    traffic = driver.stats()
+    spans = reconstruct_spans(result.trace, dropped=result.trace_dropped)
+    pooled = spans.stage_delays()
+    delays = [d for stage_delays in pooled.values() for d in stage_delays]
+    observed_rate = result.requests_issued / (pes * cycles)
+    try:
+        prediction = predict_uniform_run(pes, k, observed_rate, topology=topo)
+        predicted_round_trip = prediction.round_trip
+        predicted_switch_delay = prediction.forward_switch_delay
+    except CapacityExceededError:
+        # Past saturation the closed form has no finite answer; the
+        # observed numbers still chart the saturated regime.
+        predicted_round_trip = None
+        predicted_switch_delay = None
+    budget = topology_chip_budget(topo)
+    return {
+        "topology": topology,
+        "pes": pes,
+        "kernel": kernel,
+        "rate": rate,
+        "observed_rate": observed_rate,
+        "cycles_offered": cycles,
+        "cycles_total": machine.cycle,
+        "issued": traffic.issued,
+        "completed": traffic.completed,
+        "blocked_attempts": traffic.blocked_attempts,
+        "combines": result.combines,
+        "observed_mean_round_trip": result.mean_round_trip,
+        "observed_max_round_trip": traffic.max_latency,
+        "observed_mean_stage_delay": (
+            sum(delays) / len(delays) if delays else None
+        ),
+        "predicted_round_trip": predicted_round_trip,
+        "predicted_switch_delay": predicted_switch_delay,
+        "stages": topo.stages,
+        "switch_arity": topo.switch_arity,
+        "n_switches": topo.n_switches,
+        "n_links": topo.n_links,
+        "network_chips": budget["network"],
+    }
+
+
+#: The rate grid the cross-topology Figure 7 sweeps by default: low
+#: load through the knee of the 16-port fabrics.
+CROSS_TOPOLOGY_RATES = (0.02, 0.05, 0.10, 0.15, 0.20)
+
+
+def figure7_cross_topology_spec(
+    topologies: Sequence[str] = ("omega", "hypercube", "mesh"),
+    pes: int = 16,
+    rates: Sequence[float] = CROSS_TOPOLOGY_RATES,
+    *,
+    cycles: int = 600,
+    kernel: str = "dense",
+    k: int = 2,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """The cross-topology Figure 7: every fabric over the load grid.
+
+    The default 16 PEs is the largest size valid for all three fabrics
+    that still traces comfortably (omega/hypercube need powers of two,
+    the mesh needs squares; 16 = 2**4 = 4**2 satisfies both).
+    """
+    return ExperimentSpec(
+        experiment="fig7.cross_topology",
+        base={"pes": pes, "cycles": cycles, "kernel": kernel, "k": k},
+        axes=(
+            SweepAxis("topology", tuple(topologies)),
+            SweepAxis("rate", tuple(rates)),
+        ),
+        seed=seed,
+        label=f"Figure 7 across fabrics ({pes} PEs, kernel={kernel})",
+    )
+
+
 # ----------------------------------------------------------------------
 # Table 1: trace replay through the stochastic queueing network
 # ----------------------------------------------------------------------
@@ -354,6 +481,7 @@ def obs_drift(params: dict) -> dict[str, Any]:
         k=params.get("k", 2),
         threshold=params.get("threshold", 0.25),
         seed=params["seed"],
+        topology=params.get("topology", "omega"),
     )
     return report.to_dict()
 
@@ -366,18 +494,26 @@ def drift_spec(
     k: int = 2,
     threshold: float = 0.25,
     seed: int = 0,
+    topology: str = "omega",
 ) -> ExperimentSpec:
     """The drift-monitor sweep: one comparison run per traffic rate.
 
     The defaults pin the Figure 7 reference point (k=2, d=1 at low
     load) that CI asserts stays under threshold.
     """
+    base: dict[str, Any] = {
+        "pes": pes, "cycles": cycles, "k": k, "threshold": threshold,
+    }
+    # Only widen the base dict off the default so every pre-existing
+    # Omega spec keeps its content address (and thus its cache entries).
+    if topology != "omega":
+        base["topology"] = topology
     return ExperimentSpec(
         experiment="obs.drift",
-        base={"pes": pes, "cycles": cycles, "k": k, "threshold": threshold},
+        base=base,
         axes=(SweepAxis("rate", tuple(rates)),),
         seed=seed,
-        label=f"analytic drift monitor ({pes} PEs, k={k})",
+        label=f"analytic drift monitor ({pes} PEs, k={k}, {topology})",
     )
 
 

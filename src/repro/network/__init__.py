@@ -3,8 +3,10 @@
 from .circuit import CircuitStats, CircuitSwitchedOmega, sustained_throughput
 from .interfaces import MNI, PNI, OutstandingConflictError, ReplyRecord
 from .message import Message, PACKETS_WITH_DATA, PACKETS_WITHOUT_DATA
+from .multistage import MultistageNetwork
 from .omega import NetworkConfig, OmegaNetwork
 from .switch import Switch, SwitchStats
+from .topologies import HypercubeTopology, MeshTopology
 from .systolic_queue import (
     CombiningQueue,
     InsertOutcome,
@@ -12,7 +14,17 @@ from .systolic_queue import (
     SystolicExit,
     SystolicQueue,
 )
-from .topology import Hop, OmegaTopology, digits_of, from_digits
+from .topology import (
+    Hop,
+    OmegaTopology,
+    Topology,
+    digits_of,
+    from_digits,
+    make_topology,
+    register_topology,
+    topology_names,
+    validate_topology_size,
+)
 from .wait_buffer import WaitBuffer, WaitBufferFullError, WaitRecord
 
 __all__ = [
@@ -21,12 +33,16 @@ __all__ = [
     "CombiningQueue",
     "sustained_throughput",
     "Hop",
+    "HypercubeTopology",
     "InsertOutcome",
     "MNI",
+    "MeshTopology",
     "Message",
+    "MultistageNetwork",
     "NetworkConfig",
     "OmegaNetwork",
     "OmegaTopology",
+    "Topology",
     "OutstandingConflictError",
     "PACKETS_WITHOUT_DATA",
     "PACKETS_WITH_DATA",
@@ -42,4 +58,8 @@ __all__ = [
     "WaitRecord",
     "digits_of",
     "from_digits",
+    "make_topology",
+    "register_topology",
+    "topology_names",
+    "validate_topology_size",
 ]

@@ -40,7 +40,7 @@ from ..instrumentation import (
 from ..memory.hashing import AddressTranslation
 from ..memory.module import MemoryModule
 from .message import Message
-from .topology import OmegaTopology
+from .topology import Topology
 
 _tag_counter = itertools.count(1)
 
@@ -110,7 +110,7 @@ class PNI:
     def __init__(
         self,
         pe_id: int,
-        topology: OmegaTopology,
+        topology: Topology,
         translation: AddressTranslation,
         *,
         max_outstanding: Optional[int] = None,
@@ -176,7 +176,7 @@ class PNI:
             offset=offset,
             origin=self.pe_id,
             tag=tag,
-            digits=self.topology.route_digits(module),
+            digits=self.topology.route_digits(module, self.pe_id),
             issued_cycle=cycle,
         )
         self.outbound.append(message)

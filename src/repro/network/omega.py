@@ -1,7 +1,12 @@
-"""The pipelined, message-switched combining Omega network (section 3.1).
+"""The combining Omega network (section 3.1).
 
-Assembles D stages of :class:`~repro.network.switch.Switch` with k-ary
-perfect-shuffle wiring, achieving the paper's five design objectives:
+Historically this module held the whole network assembly; the generic
+machinery now lives in :class:`~repro.network.multistage.MultistageNetwork`
+(one class per the pluggable-topology refactor), and
+:class:`OmegaNetwork` is that network pinned to the
+:class:`~repro.network.topology.OmegaTopology` geometry — D stages of
+k-by-k combining switches joined by the k-ary perfect shuffle, the
+paper's five design objectives intact:
 
 1. bandwidth linear in N (pipelining + queues + combining);
 2. latency logarithmic in N (D = log_k N stages, one cycle per stage
@@ -11,46 +16,20 @@ perfect-shuffle wiring, achieving the paper's five design objectives:
 5. no performance penalty for concurrent access to a single cell
    (pairwise combining at every stage).
 
-The network proper owns only the switches and the wiring; endpoints
-(PNIs on the PE side, MNIs on the memory side) are connected through
-sink callbacks so the same network serves the full machine, the
-synthetic-traffic benchmarks, and the unit tests.
+``NetworkConfig`` and ``Sink`` are re-exported here for compatibility
+with pre-refactor imports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Optional
-
 from ..instrumentation import DISABLED, Instrumentation
-from .message import Message
-from .switch import Switch
+from .multistage import MultistageNetwork, NetworkConfig, Sink
 from .topology import OmegaTopology
 
-#: Endpoint sinks: called with (endpoint index, message); return True to
-#: accept the message this cycle.
-Sink = Callable[[int, Message], bool]
+__all__ = ["NetworkConfig", "OmegaNetwork", "Sink"]
 
 
-@dataclass
-class NetworkConfig:
-    """Knobs of a network instance (the k/m/d space of section 4).
-
-    ``queue_capacity_packets=None`` models the infinite queues of the
-    analytic study; the paper's simulations use 15 packets.  ``copies``
-    (the d of section 4.1) is realized by the machine layer instantiating
-    several networks and striping traffic across them.
-    """
-
-    n_ports: int
-    k: int = 2
-    queue_capacity_packets: Optional[int] = None
-    wait_buffer_capacity: Optional[int] = None
-    combining: bool = True
-    pairwise_only: bool = True
-
-
-class OmegaNetwork:
+class OmegaNetwork(MultistageNetwork):
     """D-stage combining Omega network between N PEs and N MMs."""
 
     def __init__(
@@ -59,273 +38,8 @@ class OmegaNetwork:
         *,
         instrumentation: Instrumentation = DISABLED,
     ) -> None:
-        self.config = config
-        self.topology = OmegaTopology(config.n_ports, config.k)
-        self.instrumentation = instrumentation
-        self.stages: list[list[Switch]] = [
-            [
-                Switch(
-                    config.k,
-                    stage,
-                    index,
-                    queue_capacity_packets=config.queue_capacity_packets,
-                    wait_buffer_capacity=config.wait_buffer_capacity,
-                    combining=config.combining,
-                    pairwise_only=config.pairwise_only,
-                    instrumentation=instrumentation,
-                )
-                for index in range(self.topology.switches_per_stage)
-            ]
-            for stage in range(self.topology.stages)
-        ]
-        self.mm_sink: Optional[Sink] = None
-        self.pe_sink: Optional[Sink] = None
-        self.cycle = 0
-        # Wake sets for the event kernel: per stage, the indices of
-        # switches that may hold traffic in that direction.  Maintained
-        # by both kernels (marking is cheap and keeps the sets valid if
-        # a test mixes dense stepping with sparse stepping); entries may
-        # be stale (switch already drained) — they are pruned on visit,
-        # which is safe because ticking an empty switch is a no-op.
-        self._fwd_dirty: list[set[int]] = [set() for _ in range(self.topology.stages)]
-        self._ret_dirty: list[set[int]] = [set() for _ in range(self.topology.stages)]
-        self._build_wiring()
-
-    # ------------------------------------------------------------------
-    # static wiring
-    # ------------------------------------------------------------------
-    def _build_wiring(self) -> None:
-        """Precompute one delivery callback per (stage, switch, port).
-
-        The shuffle wiring is static, so each output port's target —
-        switch object, input port, dirty-set marker or endpoint line —
-        is resolved once here and prebound into its own callable; the
-        per-cycle hot path then runs with no lookups or tuple unpacking.
-        The callbacks also mark the receiving switch's wake set on
-        acceptance, which is how traffic propagates through the event
-        kernel's dirty sets.
-        """
-        topo = self.topology
-        last = topo.stages - 1
-
-        def fwd_sink(line: int) -> Callable[[Message], bool]:
-            def deliver(msg: Message) -> bool:
-                return self.mm_sink(line, msg)  # type: ignore[misc]
-
-            return deliver
-
-        def fwd_hop(
-            target: Switch, in_port: int, mark: Callable[[int], None], index: int
-        ) -> Callable[[Message], bool]:
-            def deliver(msg: Message) -> bool:
-                if target.offer_forward(in_port, msg, self.cycle):
-                    mark(index)
-                    return True
-                return False
-
-            return deliver
-
-        def make_fwd(stage: int, index: int) -> list[Callable[[Message], bool]]:
-            if stage == last:
-                return [
-                    fwd_sink(topo.stage_output_line(index, port))
-                    for port in range(topo.k)
-                ]
-            next_row = self.stages[stage + 1]
-            mark = self._fwd_dirty[stage + 1].add
-            delivers = []
-            for port in range(topo.k):
-                next_switch, next_port = topo.stage_input(
-                    topo.stage_output_line(index, port)
-                )
-                delivers.append(
-                    fwd_hop(next_row[next_switch], next_port, mark, next_switch)
-                )
-            return delivers
-
-        def ret_sink(line: int) -> Callable[[Message], bool]:
-            def deliver(msg: Message) -> bool:
-                return self.pe_sink(line, msg)  # type: ignore[misc]
-
-            return deliver
-
-        def ret_hop(
-            target: Switch, mm_port: int, mark: Callable[[int], None], index: int
-        ) -> Callable[[Message], bool]:
-            def deliver(msg: Message) -> bool:
-                if target.offer_return(mm_port, msg, self.cycle):
-                    mark(index)
-                    return True
-                return False
-
-            return deliver
-
-        def make_ret(stage: int, index: int) -> list[Callable[[Message], bool]]:
-            if stage == 0:
-                return [
-                    ret_sink(topo.unshuffle(index * topo.k + port))
-                    for port in range(topo.k)
-                ]
-            prev_row = self.stages[stage - 1]
-            mark = self._ret_dirty[stage - 1].add
-            delivers = []
-            for port in range(topo.k):
-                prev_switch, mm_port = divmod(
-                    topo.unshuffle(index * topo.k + port), topo.k
-                )
-                delivers.append(ret_hop(prev_row[prev_switch], mm_port, mark, prev_switch))
-            return delivers
-
-        self._fwd_deliver = [
-            [make_fwd(stage, index) for index in range(topo.switches_per_stage)]
-            for stage in range(topo.stages)
-        ]
-        self._ret_deliver = [
-            [make_ret(stage, index) for index in range(topo.switches_per_stage)]
-            for stage in range(topo.stages)
-        ]
-
-    # ------------------------------------------------------------------
-    # endpoint attachment
-    # ------------------------------------------------------------------
-    def connect(self, *, mm_sink: Sink, pe_sink: Sink) -> None:
-        self.mm_sink = mm_sink
-        self.pe_sink = pe_sink
-
-    # ------------------------------------------------------------------
-    # injection (PNI -> stage 0, MNI -> stage D-1)
-    # ------------------------------------------------------------------
-    def offer_request(self, pe: int, message: Message) -> bool:
-        """Inject a request from PE ``pe`` into the first stage."""
-        switch_index, in_port = self.topology.stage_input(pe)
-        if self.stages[0][switch_index].offer_forward(in_port, message, self.cycle):
-            self._fwd_dirty[0].add(switch_index)
-            return True
-        return False
-
-    def offer_reply(self, mm: int, message: Message) -> bool:
-        """Inject a reply from MM ``mm`` into the last stage."""
-        last = self.topology.stages - 1
-        switch_index, mm_port = divmod(mm, self.topology.k)
-        if self.stages[last][switch_index].offer_return(mm_port, message, self.cycle):
-            self._ret_dirty[last].add(switch_index)
-            return True
-        return False
-
-    # ------------------------------------------------------------------
-    # cycle advance
-    # ------------------------------------------------------------------
-    def step_forward(self) -> None:
-        """Move requests one hop toward memory (downstream stages first,
-        so a message advances at most one stage per cycle while freed
-        queue slots are reusable within the cycle — full pipelining)."""
-        if self.mm_sink is None:
-            raise RuntimeError("network endpoints not connected")
-        for stage in range(self.topology.stages - 1, -1, -1):
-            deliver_row = self._fwd_deliver[stage]
-            for switch in self.stages[stage]:
-                switch.tick_forward(self.cycle, deliver_row[switch.index])
-
-    def step_return(self) -> None:
-        """Move replies one hop toward the PEs (PE-side stages first)."""
-        if self.pe_sink is None:
-            raise RuntimeError("network endpoints not connected")
-        for stage in range(self.topology.stages):
-            deliver_row = self._ret_deliver[stage]
-            for switch in self.stages[stage]:
-                switch.tick_return(self.cycle, deliver_row[switch.index])
-
-    def step_forward_sparse(self) -> None:
-        """Like :meth:`step_forward` but visit only woken switches.
-
-        Iteration is over ``sorted(dirty)`` so the offer order — which
-        decides who wins the last slot of a filling downstream queue —
-        matches the dense kernel's ascending-index sweep exactly; the
-        skipped switches hold no requests, so they could not have
-        offered anything.
-        """
-        if self.mm_sink is None:
-            raise RuntimeError("network endpoints not connected")
-        for stage in range(self.topology.stages - 1, -1, -1):
-            dirty = self._fwd_dirty[stage]
-            if not dirty:
-                continue
-            row = self.stages[stage]
-            deliver_row = self._fwd_deliver[stage]
-            for index in sorted(dirty):
-                switch = row[index]
-                if switch.forward_pending() == 0:
-                    dirty.discard(index)  # stale wake
-                    continue
-                switch.tick_forward(self.cycle, deliver_row[index])
-                if switch.forward_pending() == 0:
-                    dirty.discard(index)
-
-    def step_return_sparse(self) -> None:
-        """Like :meth:`step_return` but visit only woken switches."""
-        if self.pe_sink is None:
-            raise RuntimeError("network endpoints not connected")
-        for stage in range(self.topology.stages):
-            dirty = self._ret_dirty[stage]
-            if not dirty:
-                continue
-            row = self.stages[stage]
-            deliver_row = self._ret_deliver[stage]
-            for index in sorted(dirty):
-                switch = row[index]
-                if switch.return_pending() == 0:
-                    dirty.discard(index)  # stale wake
-                    continue
-                switch.tick_return(self.cycle, deliver_row[index])
-                if switch.return_pending() == 0:
-                    dirty.discard(index)
-
-    def advance_cycle(self) -> None:
-        self.cycle += 1
-
-    # ------------------------------------------------------------------
-    # wake contract (event kernel)
-    # ------------------------------------------------------------------
-    def has_traffic(self) -> bool:
-        """True when some switch may hold a resident message.
-
-        Conservative: a stale wake entry makes this return True for at
-        most one executed cycle (the sparse step prunes it), which costs
-        time but cannot change observable behavior — executing a cycle
-        in which nothing moves is exactly what the dense kernel does.
-        """
-        return any(self._fwd_dirty) or any(self._ret_dirty)
-
-    def is_idle(self) -> bool:
-        return not self.has_traffic()
-
-    def fast_forward(self, delta: int) -> None:
-        """Advance the clock over quiet cycles.
-
-        Only called when :meth:`is_idle` holds: with no resident
-        messages nothing in a switch ticks, so the closed form of
-        ``delta`` dense cycles is just the clock advance.
-        """
-        self.cycle += delta
-
-    # ------------------------------------------------------------------
-    # introspection
-    # ------------------------------------------------------------------
-    def pending_messages(self) -> int:
-        return sum(
-            switch.pending_messages() for row in self.stages for switch in row
+        super().__init__(
+            config,
+            OmegaTopology(config.n_ports, config.k),
+            instrumentation=instrumentation,
         )
-
-    def pending_wait_records(self) -> int:
-        return sum(
-            switch.pending_wait_records() for row in self.stages for switch in row
-        )
-
-    def total_combines(self) -> int:
-        return sum(switch.stats.combines for row in self.stages for switch in row)
-
-    def total_decombines(self) -> int:
-        return sum(switch.stats.decombines for row in self.stages for switch in row)
-
-    def is_drained(self) -> bool:
-        return self.pending_messages() == 0 and self.pending_wait_records() == 0

@@ -1,0 +1,371 @@
+"""Direct-network topologies: binary hypercube and 2-D mesh.
+
+These are the two concrete design points the related machines realize —
+RTNN's hypercube of transputer nodes and the Columbia 0.8-Teraflops
+grid — expressed in the :class:`~repro.network.topology.Topology`
+protocol so they run under the same combining switches, kernels, and
+observability as the paper's Omega network.
+
+**The hop-indexed unrolling.**  A direct network has one physical
+switch per node; a message crosses a variable number of them.  The
+simulator's stage grid is the *unrolled* form: stage ``j`` holds a full
+row of node-switches and carries every message's ``j``-th switch
+traversal.  Routing, arrival-port amalgams, pairwise combining, and
+wait-buffer decombining all work unchanged because they only ever ask
+local questions of one queue — and the protocol invariant (the
+remaining route depends only on the current node and the destination)
+holds for both dimension-order and XY routing, so messages meeting in a
+queue share their whole remaining path and can combine soundly.
+
+The unrolling is an approximation in one respect: traffic that would
+contend at one physical node from *different hop counts* lands in
+different stage rows here, i.e. each hop index gets its own virtual
+copy of the node's queues.  Contention within a hop class is modeled
+exactly; cross-hop-class contention at a shared physical router is
+relaxed.  The analytic side (:meth:`hop_classes`) describes the
+physical fabric, so observed queueing sits at or below it.
+
+Port conventions (``switch_arity = links + 1``):
+
+* hypercube: port ``j`` is the dimension-``j`` link (its own reverse —
+  linked nodes differ in exactly bit ``j``); the last port ejects to
+  the node's MM ("local").
+* mesh: ports 0..3 are +x, -x, +y, -y (reverse pairs 0↔1 and 2↔3);
+  port 4 is local.  XY routing resolves the x offset first.
+
+Forward paths take one link hop per stage and eject through the local
+port at the stage equal to their hop distance; replies re-enter at that
+same stage (:meth:`reply_entry`, computable from the surviving
+message's origin) and retrace the recorded amalgam ports.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .topology import Hop, HopClass, ForwardTarget, ReturnTarget
+
+
+class DirectTopology:
+    """Shared machinery for unrolled direct (node-per-switch) networks.
+
+    Subclasses define the physical graph via ``_neighbor(node, port)``
+    (``None`` for a dangling edge port), ``_reverse(port)``, and
+    ``_link_route(source, destination)`` (the link-port sequence of the
+    deterministic route); everything the simulator consumes is derived
+    here.
+    """
+
+    name = "direct"
+
+    def __init__(self, n_ports: int, links: int, stages: int) -> None:
+        self.n_ports = n_ports
+        self.links = links
+        self.local_port = links
+        self.stages = stages
+        self.switches_per_stage = n_ports
+        # (route key) -> interned padded digit tuple; see route_tuple.
+        self._route_cache: dict = {}
+
+    @property
+    def switch_arity(self) -> int:
+        return self.links + 1
+
+    # -- subclass interface --------------------------------------------
+    def _neighbor(self, node: int, port: int) -> int | None:
+        raise NotImplementedError
+
+    def _reverse(self, port: int) -> int:
+        raise NotImplementedError
+
+    def _link_route(self, source: int, destination: int) -> tuple[int, ...]:
+        raise NotImplementedError
+
+    def _route_key(self, source: int, destination: int):
+        """Interning key: routes are usually translation-invariant, so
+        subclasses key the cache by the source→destination offset."""
+        raise NotImplementedError
+
+    def _check_endpoints(self, source: int, destination: int) -> None:
+        if not 0 <= source < self.n_ports:
+            raise ValueError(f"source {source} out of range")
+        if not 0 <= destination < self.n_ports:
+            raise ValueError(f"destination {destination} out of range")
+
+    # -- routing -------------------------------------------------------
+    def route_tuple(self, destination: int, source: int = 0) -> tuple[int, ...]:
+        """Link ports, then the local (eject) digit, padded with the
+        local port to the full stage depth — padding digits are never
+        consulted (the message has left the grid) but keep every
+        message's digit vector one fixed length."""
+        self._check_endpoints(source, destination)
+        key = self._route_key(source, destination)
+        cached = self._route_cache.get(key)
+        if cached is None:
+            hops = self._link_route(source, destination)
+            cached = hops + (self.local_port,) * (self.stages - len(hops))
+            self._route_cache[key] = cached
+        return cached
+
+    def route_digits(self, destination: int, source: int = 0) -> list[int]:
+        return list(self.route_tuple(destination, source))
+
+    def hop_count(self, source: int, destination: int) -> int:
+        """Link hops of the deterministic route (the eject stage)."""
+        return len(self._link_route(source, destination))
+
+    def forward_path(self, source: int, destination: int) -> list[Hop]:
+        self._check_endpoints(source, destination)
+        node = source
+        in_port = self.local_port
+        hops: list[Hop] = []
+        for stage, out_port in enumerate(self._link_route(source, destination)):
+            hops.append(Hop(stage=stage, switch=node, in_port=in_port, out_port=out_port))
+            nxt = self._neighbor(node, out_port)
+            assert nxt is not None, "route used a dangling edge port"
+            node = nxt
+            in_port = self._reverse(out_port)
+        hops.append(
+            Hop(stage=len(hops), switch=node, in_port=in_port, out_port=self.local_port)
+        )
+        if node != destination:
+            raise AssertionError(
+                f"routing invariant violated: {source}->{destination} "
+                f"landed on {node}"
+            )
+        return hops
+
+    def return_path(self, source: int, destination: int) -> list[Hop]:
+        """Reply hops, memory side first, mirroring the amalgam scheme:
+        each return traversal leaves through the port the request
+        arrived on."""
+        forward = self.forward_path(source, destination)
+        return [
+            Hop(stage=h.stage, switch=h.switch, in_port=h.out_port, out_port=h.in_port)
+            for h in reversed(forward)
+        ]
+
+    # -- wiring --------------------------------------------------------
+    def inject_point(self, source: int) -> tuple[int, int]:
+        """A PE injects into its own node-switch through the local port
+        (so stage 0's amalgam digit already routes the reply home)."""
+        return source, self.local_port
+
+    def reply_entry(self, mm: int, origin: int) -> tuple[int, int, int]:
+        """The request from ``origin`` ejected at its hop-distance stage
+        through ``mm``'s local port; the reply starts in that queue's
+        wait-buffer row.  Messages combined en route share this stage:
+        partners meet at one (stage, node) and their remaining routes —
+        hence remaining hop counts — coincide."""
+        return self.hop_count(origin, mm), mm, self.local_port
+
+    def forward_target(self, stage: int, switch: int, out_port: int) -> ForwardTarget:
+        if out_port == self.local_port:
+            return ("mm", switch)
+        if stage == self.stages - 1:
+            return None  # only the local digit can survive to the last stage
+        neighbor = self._neighbor(switch, out_port)
+        if neighbor is None:
+            return None  # dangling edge port (mesh boundary)
+        return ("switch", neighbor, self._reverse(out_port))
+
+    def return_target(self, stage: int, switch: int, out_port: int) -> ReturnTarget:
+        if out_port == self.local_port:
+            # The stage-0 amalgam digit is the injection port, so this
+            # is exactly the origin PE's node.
+            return ("pe", switch) if stage == 0 else None
+        if stage == 0:
+            return None  # stage-0 arrivals always entered via local
+        neighbor = self._neighbor(switch, out_port)
+        if neighbor is None:
+            return None
+        # The request arrived here from ``neighbor`` leaving through the
+        # reverse port — that port's queue holds its wait records.
+        return ("switch", neighbor, self._reverse(out_port))
+
+    # -- structural facts ----------------------------------------------
+    @property
+    def n_switches(self) -> int:
+        """One physical router per node."""
+        return self.n_ports
+
+    @property
+    def n_links(self) -> int:
+        raise NotImplementedError
+
+    def paths_through_switch(self, stage: int, switch: int) -> int:
+        """Exact (PE, MM)-pair count whose path is at ``switch`` on its
+        ``stage``-th traversal.  O(N^2) enumeration — this feeds tests
+        and packaging displays, not the simulation hot path."""
+        if not 0 <= stage < self.stages:
+            raise ValueError(
+                f"stage {stage} out of range for a {self.stages}-stage network"
+            )
+        if not 0 <= switch < self.switches_per_stage:
+            raise ValueError(
+                f"switch {switch} out of range for "
+                f"{self.switches_per_stage} switches per stage"
+            )
+        count = 0
+        for source in range(self.n_ports):
+            for destination in range(self.n_ports):
+                path = self.forward_path(source, destination)
+                if stage < len(path) and path[stage].switch == switch:
+                    count += 1
+        return count
+
+    def hop_classes(self) -> tuple[HopClass, ...]:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+
+class HypercubeTopology(DirectTopology):
+    """Binary hypercube with dimension-order (e-cube) routing.
+
+    ``N = 2**D`` nodes; node numbers differ from a neighbor's in exactly
+    one bit, and port ``j`` carries dimension ``j`` (bit ``j``), so a
+    link's two endpoints name it by the same port — every port is its
+    own reverse.  Routes correct the differing bits of ``source ^
+    destination`` lowest dimension first: ``hops = popcount(s ^ d)``,
+    at most D, giving a D+1-stage unrolled grid including the eject
+    traversal.
+    """
+
+    name = "hypercube"
+
+    def __init__(self, n_ports: int) -> None:
+        if n_ports < 2 or n_ports & (n_ports - 1):
+            raise ValueError(
+                f"n_ports={n_ports} is not a power of 2; a binary "
+                "hypercube needs N = 2**D"
+            )
+        dimensions = n_ports.bit_length() - 1
+        super().__init__(n_ports, links=dimensions, stages=dimensions + 1)
+        self.dimensions = dimensions
+
+    def _neighbor(self, node: int, port: int) -> int | None:
+        return node ^ (1 << port)
+
+    def _reverse(self, port: int) -> int:
+        return port
+
+    def _link_route(self, source: int, destination: int) -> tuple[int, ...]:
+        differing = source ^ destination
+        return tuple(j for j in range(self.dimensions) if differing >> j & 1)
+
+    def _route_key(self, source: int, destination: int) -> int:
+        # Dimension-order routes depend only on the XOR offset.
+        return source ^ destination
+
+    def hop_count(self, source: int, destination: int) -> int:
+        return (source ^ destination).bit_count()
+
+    @property
+    def n_links(self) -> int:
+        """D links per node, each shared by two nodes: N*D/2."""
+        return self.n_ports * self.dimensions // 2
+
+    def hop_classes(self) -> tuple[HopClass, ...]:
+        """Uniform destinations flip each bit with probability 1/2:
+        D/2 expected link hops, and each physical link queue sees half
+        the node's injection rate per direction; every message ends
+        with one eject traversal at full intensity."""
+        return (
+            ("link", self.dimensions / 2, 0.5),
+            ("eject", 1.0, 1.0),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"binary {self.dimensions}-cube: {self.n_ports} nodes, "
+            f"{self.n_links} links, dimension-order routing "
+            f"({self.switch_arity}-port routers, <= {self.dimensions} hops)"
+        )
+
+
+class MeshTopology(DirectTopology):
+    """Square 2-D mesh with XY (dimension-ordered) routing.
+
+    ``N = r*r`` nodes at coordinates ``(x, y) = (node % r, node // r)``;
+    no wraparound links (boundary ports dangle), so the worst-case
+    route is ``2*(r-1)`` hops and the unrolled grid has ``2r - 1``
+    stages.  XY routing retires the x offset before the y offset —
+    deterministic, so two messages for one destination meeting at a
+    node share their remaining path (the combining invariant).
+    """
+
+    name = "mesh"
+
+    EAST, WEST, SOUTH, NORTH = 0, 1, 2, 3
+
+    def __init__(self, n_ports: int) -> None:
+        side = math.isqrt(max(0, n_ports))
+        if n_ports < 4 or side * side != n_ports:
+            raise ValueError(
+                f"n_ports={n_ports} is not a perfect square >= 4; a 2-D "
+                "mesh needs N = r*r with r >= 2"
+            )
+        super().__init__(n_ports, links=4, stages=2 * (side - 1) + 1)
+        self.side = side
+
+    def _neighbor(self, node: int, port: int) -> int | None:
+        x, y = node % self.side, node // self.side
+        if port == self.EAST:
+            return node + 1 if x + 1 < self.side else None
+        if port == self.WEST:
+            return node - 1 if x > 0 else None
+        if port == self.SOUTH:
+            return node + self.side if y + 1 < self.side else None
+        if port == self.NORTH:
+            return node - self.side if y > 0 else None
+        raise ValueError(f"port {port} is not a mesh link port")
+
+    def _reverse(self, port: int) -> int:
+        return port ^ 1  # EAST<->WEST, SOUTH<->NORTH
+
+    def _link_route(self, source: int, destination: int) -> tuple[int, ...]:
+        dx = destination % self.side - source % self.side
+        dy = destination // self.side - source // self.side
+        x_port = self.EAST if dx > 0 else self.WEST
+        y_port = self.SOUTH if dy > 0 else self.NORTH
+        return (x_port,) * abs(dx) + (y_port,) * abs(dy)
+
+    def _route_key(self, source: int, destination: int) -> tuple[int, int]:
+        # XY routes depend only on the signed coordinate offsets.
+        return (
+            destination % self.side - source % self.side,
+            destination // self.side - source // self.side,
+        )
+
+    def hop_count(self, source: int, destination: int) -> int:
+        return abs(destination % self.side - source % self.side) + abs(
+            destination // self.side - source // self.side
+        )
+
+    @property
+    def n_links(self) -> int:
+        """r-1 links per row and per column, in both axes: 2*r*(r-1)."""
+        return 2 * self.side * (self.side - 1)
+
+    def hop_classes(self) -> tuple[HopClass, ...]:
+        """Uniform destinations give E|dx| = E|dy| = (r^2 - 1) / (3r)
+        expected hops per axis.  Bisection-style load counting puts the
+        mean per-direction link intensity at p*(r + 1)/6 of the per-PE
+        rate — rising with r, which is exactly why the mesh saturates
+        before the logarithmic fabrics at equal load."""
+        mean_axis_hops = (self.side * self.side - 1) / (3 * self.side)
+        link_intensity = (self.side + 1) / 6
+        return (
+            ("x-link", mean_axis_hops, link_intensity),
+            ("y-link", mean_axis_hops, link_intensity),
+            ("eject", 1.0, 1.0),
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.side}x{self.side} mesh: {self.n_ports} nodes, "
+            f"{self.n_links} links, XY routing "
+            f"({self.switch_arity}-port routers, <= {2 * (self.side - 1)} hops)"
+        )

@@ -29,7 +29,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional
 
-from ..analysis.queueing import predict_uniform_run, stage_count
+from ..analysis.queueing import predict_uniform_run
+from ..network.topology import make_topology
 from .spans import reconstruct_spans
 
 #: Default acceptable relative error — matches the VALID benchmark's
@@ -67,6 +68,7 @@ class DriftReport:
     n_pes: int
     k: int
     cycles: int
+    topology: str
     offered_rate: float
     observed_rate: float
     requests: int
@@ -119,6 +121,7 @@ class DriftReport:
             "n_pes": self.n_pes,
             "k": self.k,
             "cycles": self.cycles,
+            "topology": self.topology,
             "offered_rate": self.offered_rate,
             "observed_rate": self.observed_rate,
             "requests": self.requests,
@@ -145,6 +148,7 @@ def measure_drift(
     threshold: float = DEFAULT_THRESHOLD,
     queue_capacity_packets: Optional[int] = None,
     mm_latency: int = 2,
+    topology: str = "omega",
 ) -> DriftReport:
     """Run uniform traffic and compare against the analytic model.
 
@@ -157,7 +161,7 @@ def measure_drift(
     from ..core.machine import MachineConfig, Ultracomputer
     from ..workloads.synthetic import SyntheticTrafficDriver, TrafficSpec
 
-    stages = stage_count(n_pes, k)
+    stages = make_topology(topology, n_pes, k).stages
     expected_requests = max(1, int(n_pes * rate * cycles))
     trace_capacity = expected_requests * (stages + 6) * 2 + 4096
 
@@ -168,6 +172,7 @@ def measure_drift(
         queue_capacity_packets=queue_capacity_packets,
         instrument=True,
         trace_capacity=trace_capacity,
+        topology=topology,
     ))
     driver = SyntheticTrafficDriver(machine, TrafficSpec(rate=rate, seed=seed))
     machine.attach_driver(driver)
@@ -183,7 +188,8 @@ def measure_drift(
     spans = reconstruct_spans(result.trace, dropped=result.trace_dropped)
     observed_rate = result.requests_issued / (n_pes * cycles)
     prediction = predict_uniform_run(
-        n_pes, k, observed_rate, mm_latency=mm_latency
+        n_pes, k, observed_rate, mm_latency=mm_latency,
+        topology=machine.topology,
     )
     pooled = spans.stage_delays()
     stage_drifts = tuple(
@@ -200,6 +206,7 @@ def measure_drift(
         n_pes=n_pes,
         k=k,
         cycles=cycles,
+        topology=topology,
         offered_rate=rate,
         observed_rate=observed_rate,
         requests=result.requests_issued,

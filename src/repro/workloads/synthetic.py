@@ -169,6 +169,7 @@ def run_uniform_traffic(
     combining: bool = True,
     translation: str = "interleaved",
     seed: int = 0,
+    topology: str = "omega",
 ) -> tuple[TrafficStats, Ultracomputer]:
     """Convenience harness: build a machine, run uniform traffic, then
     drain, returning (stats, machine) for further inspection."""
@@ -181,6 +182,7 @@ def run_uniform_traffic(
             queue_capacity_packets=queue_capacity_packets,
             combining=combining,
             translation=translation,
+            topology=topology,
         )
     )
     driver = SyntheticTrafficDriver(machine, TrafficSpec(rate=rate, seed=seed))

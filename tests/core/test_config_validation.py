@@ -24,13 +24,41 @@ class TestTopology:
             MachineConfig(n_pes=1).validate()
 
     def test_non_power_of_k_suggests_neighbors(self):
-        with pytest.raises(ValueError, match="8 or 16"):
+        with pytest.raises(ValueError, match="nearest valid sizes are 8 and 16"):
             MachineConfig(n_pes=12).validate()
+
+    def test_non_power_of_k_suggests_neighbors_k2_100(self):
+        with pytest.raises(ValueError, match="nearest valid sizes are 64 and 128"):
+            MachineConfig(n_pes=100).validate()
 
     def test_power_of_three_for_k_three(self):
         MachineConfig(n_pes=27, k=3).validate()
         with pytest.raises(ValueError, match="power of k"):
             MachineConfig(n_pes=24, k=3).validate()
+
+    def test_unknown_topology_lists_choices(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            MachineConfig(n_pes=16, topology="torus9d").validate()
+
+    def test_hypercube_suggests_nearest_powers_of_two(self):
+        MachineConfig(n_pes=16, topology="hypercube").validate()
+        with pytest.raises(ValueError, match="nearest valid sizes: 64 and 128"):
+            MachineConfig(n_pes=100, topology="hypercube").validate()
+
+    def test_mesh_suggests_nearest_squares(self):
+        MachineConfig(n_pes=16, topology="mesh").validate()
+        with pytest.raises(ValueError, match="nearest valid sizes: 100 and 121"):
+            MachineConfig(n_pes=108, topology="mesh").validate()
+
+    def test_mesh_accepts_non_power_of_two_squares(self):
+        MachineConfig(n_pes=9, topology="mesh").validate()
+
+    def test_batch_kernel_is_omega_only(self):
+        with pytest.raises(ValueError, match="kernel 'batch' supports only"):
+            MachineConfig(n_pes=16, topology="mesh", kernel="batch").validate()
+        with pytest.raises(ValueError, match="dense"):
+            MachineConfig(n_pes=16, topology="hypercube", kernel="batch").validate()
+        MachineConfig(n_pes=16, topology="omega", kernel="batch").validate()
 
 
 class TestComponentBounds:

@@ -1,0 +1,68 @@
+"""The cross-topology Figure 7 experiment: spec shape and point payloads."""
+
+from __future__ import annotations
+
+from repro.exp import (
+    CROSS_TOPOLOGY_RATES,
+    drift_spec,
+    execute,
+    figure7_cross_topology_spec,
+)
+
+
+class TestSpec:
+    def test_grid_is_topology_by_rate(self):
+        spec = figure7_cross_topology_spec(rates=(0.05, 0.1))
+        assert spec.n_points == 3 * 2
+        params = [pt.as_dict() for pt in spec.points()]
+        assert {p["topology"] for p in params} == {
+            "omega", "hypercube", "mesh",
+        }
+        assert all(p["pes"] == 16 for p in params)
+
+    def test_default_rates_cover_the_knee(self):
+        spec = figure7_cross_topology_spec()
+        assert spec.n_points == 3 * len(CROSS_TOPOLOGY_RATES)
+
+    def test_spec_hash_stable_across_processes(self):
+        a = figure7_cross_topology_spec().spec_hash()
+        b = figure7_cross_topology_spec().spec_hash()
+        assert a == b
+
+    def test_drift_spec_omega_base_unwidened(self):
+        """The default drift spec must not grow a topology key — every
+        pre-existing Omega sweep keeps its content address."""
+        base = dict(drift_spec().base)
+        assert "topology" not in base
+        widened = dict(drift_spec(topology="mesh").base)
+        assert widened["topology"] == "mesh"
+
+
+class TestPointFunction:
+    def _point(self, topology):
+        return execute("fig7.cross_topology", {
+            "pes": 16, "rate": 0.05, "cycles": 150,
+            "topology": topology, "seed": 1,
+        })
+
+    def test_payload_pairs_observation_with_prediction(self):
+        for topology in ("omega", "hypercube", "mesh"):
+            payload = self._point(topology)
+            assert payload["topology"] == topology
+            assert payload["issued"] == payload["completed"] > 0
+            assert payload["observed_mean_round_trip"] > 0
+            assert payload["predicted_round_trip"] > 0
+            # low load: simulation within the drift monitor's tolerance
+            rel = abs(
+                payload["observed_mean_round_trip"]
+                - payload["predicted_round_trip"]
+            ) / payload["predicted_round_trip"]
+            assert rel < 0.25
+            assert payload["n_switches"] > 0
+            assert payload["n_links"] > 0
+
+    def test_structural_facts_differ_by_fabric(self):
+        omega = self._point("omega")
+        mesh = self._point("mesh")
+        assert omega["stages"] != mesh["stages"]
+        assert omega["n_links"] != mesh["n_links"]

@@ -1,0 +1,125 @@
+"""Differential regression: topologies are fabrics, kernels stay invisible.
+
+Two guarantees at once.  First, the event kernel must remain a pure
+optimization on *every* fabric: for any workload on the hypercube or
+mesh, ``RunResult.to_dict()`` — cycles, combines, per-PE outcomes, the
+instrumentation snapshot, and the cycle trace — must be bit-identical
+to the dense reference kernel.  Second, the machine itself must behave
+on the new fabrics: combining fires on hotspot traffic, fetch-and-add
+totals are exact, and the batch kernel's Omega-only restriction is
+enforced with an actionable error.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.machine import MachineConfig, Ultracomputer
+from repro.core.memory_ops import FetchAdd, Load, Store
+
+TOPOLOGIES = ["hypercube", "mesh"]
+GRID_N_PES = [4, 16]
+ROUNDS = 5
+
+
+def hotspot_program(pe_id, rounds=ROUNDS, seed=0):
+    rng = random.Random((seed << 16) | pe_id)
+    total = 0
+    for _ in range(rounds):
+        yield rng.randrange(1, 40)
+        total += yield FetchAdd(0, 1)
+    return total
+
+
+def uniform_program(pe_id, rounds=ROUNDS, seed=0):
+    rng = random.Random((seed << 16) | (pe_id + 1))
+    base = 4096 + pe_id * 64
+    acc = 0
+    for i in range(rounds):
+        yield rng.randrange(1, 25)
+        yield Store(base + (i % 8), acc + i)
+        acc += yield Load(base + (i % 8))
+        acc += yield FetchAdd(rng.randrange(256, 512), pe_id + 1)
+    return acc
+
+
+PROGRAMS = {"hotspot": hotspot_program, "uniform": uniform_program}
+
+
+def _run(topology, n_pes, kernel, pattern, seed, **overrides):
+    machine = Ultracomputer(MachineConfig(
+        n_pes=n_pes,
+        topology=topology,
+        kernel=kernel,
+        instrument=True,
+        trace_capacity=1 << 14,
+        **overrides,
+    ))
+    machine.spawn_many(n_pes, PROGRAMS[pattern], ROUNDS, seed)
+    return machine.run().to_dict()
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+class TestKernelEquivalenceOffOmega:
+    @pytest.mark.parametrize("n_pes", GRID_N_PES)
+    @pytest.mark.parametrize("pattern", ["hotspot", "uniform"])
+    def test_event_identical_to_dense(self, topology, n_pes, pattern):
+        dense = _run(topology, n_pes, "dense", pattern, seed=11)
+        event = _run(topology, n_pes, "event", pattern, seed=11)
+        assert dense == event
+
+    def test_identical_with_finite_queues_and_window(self, topology):
+        kwargs = dict(queue_capacity_packets=4, max_outstanding=2)
+        dense = _run(topology, 16, "dense", "uniform", seed=5, **kwargs)
+        event = _run(topology, 16, "event", "uniform", seed=5, **kwargs)
+        assert dense == event
+
+    def test_identical_without_combining(self, topology):
+        dense = _run(topology, 16, "dense", "hotspot", seed=3, combining=False)
+        event = _run(topology, 16, "event", "hotspot", seed=3, combining=False)
+        assert dense == event
+
+
+@pytest.mark.parametrize("topology", TOPOLOGIES)
+class TestFabricSemantics:
+    def test_hotspot_totals_exact_and_combining_fires(self, topology):
+        machine = Ultracomputer(MachineConfig(n_pes=16, topology=topology))
+
+        def program(pe_id):
+            for _ in range(4):
+                yield FetchAdd(0, 1)
+
+        machine.spawn_many(16, program)
+        result = machine.run()
+        assert machine.peek(0) == 64
+        assert result.combines > 0
+
+    def test_combining_ablation_changes_traffic_not_results(self, topology):
+        totals = {}
+        for combining in (True, False):
+            machine = Ultracomputer(MachineConfig(
+                n_pes=16, topology=topology, combining=combining,
+            ))
+
+            def program(pe_id):
+                values = []
+                for _ in range(3):
+                    values.append((yield FetchAdd(7, 1)))
+                return values
+
+            machine.spawn_many(16, program)
+            result = machine.run()
+            totals[combining] = machine.peek(7)
+            if combining:
+                assert result.combines > 0
+            else:
+                assert result.combines == 0
+        assert totals[True] == totals[False] == 48
+
+
+def test_batch_kernel_rejected_off_omega():
+    with pytest.raises(ValueError, match="kernel 'batch' supports only"):
+        Ultracomputer(MachineConfig(n_pes=16, topology="hypercube",
+                                    kernel="batch"))

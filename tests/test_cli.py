@@ -64,6 +64,35 @@ class TestCommands:
         assert "T (cycles)" in out
         assert "k=4 d=2" in out
 
+    def test_fig7_cross_topology_table_and_chart(self, capsys):
+        assert main(["fig7", "--topology", "omega", "--topology", "mesh",
+                     "--rate", "0.05", "--cycles", "120", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 7 across fabrics" in out
+        assert "fabric" in out and "mesh" in out and "omega" in out
+        # the latency-vs-load chart with one legend entry per fabric
+        assert "mean round trip (cycles)" in out
+
+    def test_fig7_cross_topology_json(self, capsys):
+        assert main(["fig7", "--topology", "hypercube", "--rate", "0.05",
+                     "--cycles", "120", "--json", "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (point,) = payload["results"]
+        assert point["topology"] == "hypercube"
+        assert point["issued"] == point["completed"] > 0
+        assert point["predicted_round_trip"] > 0
+
+    def test_fig7_invalid_topology_size_is_actionable(self, capsys):
+        with pytest.raises(ValueError, match="nearest valid sizes"):
+            main(["fig7", "--topology", "mesh", "--pes", "8",
+                  "--rate", "0.05", "--no-cache"])
+
+    def test_drift_topology_flag(self, capsys):
+        assert main(["drift", "--topology", "hypercube", "--cycles", "400",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "hypercube fabric" in out
+
     def test_queue_race(self, capsys, monkeypatch):
         import pathlib
 

@@ -58,6 +58,12 @@ def _add_sweep_flags(sub: argparse.ArgumentParser) -> None:
     group.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache location (default: $REPRO_EXP_CACHE or "
                             "~/.cache/repro/exp)")
+    group.add_argument("--backend", default=None, metavar="NAME",
+                       help="execution backend: serial, pool, or sharded "
+                            "(default: serial for --workers 1, pool above)")
+    group.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="worker processes for --backend sharded "
+                            "(default: --workers)")
 
 
 def _add_seed_flag(sub: argparse.ArgumentParser, default: int = 0) -> None:
@@ -86,9 +92,25 @@ def _make_runner(args: argparse.Namespace):
         cache = ResultCache(args.cache_dir)
     # The CLI default is one in-process worker: identical to the
     # pre-engine serial code path, and no pool startup cost for the
-    # small default sweeps.  --workers N opts into the pool.
+    # small default sweeps.  --workers N opts into the pool, and
+    # --backend NAME picks the execution plane explicitly.
     workers = args.workers if args.workers is not None else 1
-    return SweepRunner(workers=workers, cache=cache, refresh=args.refresh)
+    backend = getattr(args, "backend", None)
+    shards = getattr(args, "shards", None)
+    if backend is not None:
+        from repro.exp import backend_names
+
+        if backend not in backend_names():
+            raise SystemExit(
+                f"unknown backend {backend!r}; choose from "
+                f"{', '.join(backend_names())}"
+            )
+    if backend == "sharded" and shards is not None and workers == 1 \
+            and args.workers is None:
+        # --shards N alone should mean N-way parallelism.
+        workers = shards
+    return SweepRunner(workers=workers, cache=cache, refresh=args.refresh,
+                       backend=backend, shards=shards)
 
 
 def _emit_envelope(command: str, results: Any, *, spec: Any = None,
@@ -644,6 +666,121 @@ def _cmd_queue(args: argparse.Namespace) -> int:
     return 0
 
 
+_SWEEP_PRESETS = ("fig7", "cross-topology", "table1", "hotspot", "drift")
+
+
+def _sweep_spec(args: argparse.Namespace):
+    """Resolve the spec a ``repro sweep`` invocation describes."""
+    import json as _json
+
+    from repro.exp import (
+        ExperimentSpec,
+        drift_spec,
+        figure7_cross_topology_spec,
+        figure7_spec,
+        hotspot_spec,
+        table1_spec,
+    )
+
+    if args.spec_json:
+        with open(args.spec_json, encoding="utf-8") as handle:
+            return ExperimentSpec.from_dict(_json.load(handle))
+    if args.preset == "fig7":
+        return figure7_spec(n=args.pes or 4096)
+    if args.preset == "cross-topology":
+        from repro.exp import CROSS_TOPOLOGY_RATES
+
+        rates = tuple(args.rate) if args.rate else CROSS_TOPOLOGY_RATES
+        return figure7_cross_topology_spec(
+            pes=args.pes or 16,
+            rates=rates,
+            cycles=args.cycles or 600,
+            seed=args.seed,
+        )
+    if args.preset == "table1":
+        return table1_spec(seed=args.seed)
+    if args.preset == "hotspot":
+        return hotspot_spec(pes=args.pes or 16, seed=args.seed)
+    if args.preset == "drift":
+        return drift_spec(pes=args.pes or 16, seed=args.seed)
+    raise SystemExit(f"sweep needs a preset {_SWEEP_PRESETS} or --spec-json")
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    """Run any spec through a chosen backend (optionally adaptively)."""
+    spec = _sweep_spec(args)
+    runner = _make_runner(args)
+
+    if args.adaptive:
+        from repro.exp import AdaptiveSampler
+
+        report = AdaptiveSampler(
+            runner, threshold=args.threshold, audit_fraction=args.audit
+        ).run(spec)
+        if args.json:
+            return _emit_envelope("sweep", report.to_dict(), spec=spec)
+        print(f"adaptive sweep of {spec.experiment!r} "
+              f"({report.total_points} grid points, "
+              f"quantity={report.quantity}):")
+        by_source: dict[str, int] = {}
+        for point in report.points:
+            by_source[point.source] = by_source.get(point.source, 0) + 1
+        for source in ("seed", "forced", "refined", "audit", "model"):
+            if source in by_source:
+                print(f"  {source:>8}: {by_source[source]}")
+        print(f"  simulated {report.simulated_points}, skipped "
+              f"{report.skipped_points} "
+              f"({report.skipped_fraction:.0%} of the grid)")
+        print(f"  audited estimate error: mean "
+              f"{report.aggregate_rel_error:.2%}, max "
+              f"{report.max_audit_rel_error:.2%} "
+              f"(threshold {report.threshold:.0%})")
+        print(f"  wall time: {report.wall_time:.2f}s")
+        return 0
+
+    result = runner.run(spec)
+    backend_stats = runner.backend.stats() if runner.backend else None
+    if args.json:
+        return _emit_envelope(
+            "sweep", result.payloads, spec=spec, sweep=result,
+            extra={"backend_stats": backend_stats} if backend_stats else None,
+        )
+    print(f"sweep of {spec.experiment!r}: {len(result.outcomes)} points "
+          f"via backend={result.backend} (workers={result.workers})")
+    print(f"  cached {result.cached_points}, computed "
+          f"{result.computed_points}, wall time {result.wall_time:.2f}s")
+    if backend_stats:
+        interesting = {k: v for k, v in backend_stats.items()
+                       if k in ("steals", "respawns", "rebuilds",
+                                "blocks", "resumed_blocks") and v}
+        if interesting:
+            print(f"  backend events: {interesting}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the content-addressed result cache."""
+    from repro.exp import ResultCache
+
+    cache = ResultCache(args.cache_dir)
+    if args.clear:
+        removed = cache.clear()
+        if args.json:
+            return _emit_envelope("cache", {"cleared": removed,
+                                            "root": str(cache.root)})
+        print(f"removed {removed} entries from {cache.root}")
+        return 0
+    disk = cache.disk_stats()
+    payload = {"root": str(cache.root), "disk": disk,
+               "session": cache.stats()}
+    if args.json:
+        return _emit_envelope("cache", payload)
+    print(f"result cache at {cache.root}:")
+    print(f"  entries: {disk['entries']}")
+    print(f"  bytes:   {disk['bytes']}")
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.exp import NullCache, ResultCache
     from repro.serve import run_server
@@ -653,7 +790,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     def ready(app) -> None:
         root = getattr(cache, "root", None)
         print(f"repro serve listening on http://{args.host}:{app.port}")
-        print(f"  workers: {app.service.workers}   cache: {root or 'off'}")
+        print(f"  backend: {app.service.backend.name}   "
+              f"workers: {app.service.workers}   cache: {root or 'off'}")
         print("  endpoints: GET /healthz /experiments /stats; POST /run "
               "[?stream=1]", flush=True)
 
@@ -663,6 +801,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         cache=cache,
         refresh=args.refresh,
+        backend=args.backend,
+        shards=args.shards,
         ready=ready,
     )
     return 0
@@ -840,6 +980,60 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the race table as JSON")
     queue.set_defaults(fn=_cmd_queue)
 
+    sweep = subparsers.add_parser(
+        "sweep",
+        help="run any spec through a chosen execution backend",
+        description="Generic sweep driver: pick a preset spec (or load "
+        "one from JSON), choose the execution backend (--backend serial|"
+        "pool|sharded, --shards N), and optionally sample adaptively — "
+        "simulate only where the queueing model's calibrated prediction "
+        "is uncertain, with an audited error bound (--adaptive).",
+    )
+    sweep.add_argument("preset", nargs="?", choices=_SWEEP_PRESETS,
+                       help="which built-in spec to run")
+    sweep.add_argument("--spec-json", metavar="FILE", default=None,
+                       help="load an ExperimentSpec from a JSON file "
+                            "instead of a preset")
+    sweep.add_argument("--pes", type=int, default=None,
+                       help="machine size where the preset takes one")
+    sweep.add_argument("--rate", type=float, action="append", metavar="P",
+                       help="offered-load grid for cross-topology; "
+                            "repeatable")
+    sweep.add_argument("--cycles", type=int, default=None,
+                       help="offered-traffic window where the preset "
+                            "takes one")
+    sweep.add_argument("--adaptive", action="store_true",
+                       help="adaptive sampling: simulate seeds + "
+                            "uncertain points only, estimate the rest "
+                            "from the calibrated analytic prior")
+    sweep.add_argument("--threshold", type=float, default=0.05,
+                       help="relative neighbor-disagreement above which "
+                            "an adaptive point is simulated exactly "
+                            "[default: 0.05]")
+    sweep.add_argument("--audit", type=float, default=0.25,
+                       help="fraction of skipped points simulated anyway "
+                            "to measure the model error [default: 0.25]")
+    _add_seed_flag(sweep, default=1)
+    sweep.add_argument("--json", action="store_true",
+                       help="emit results (or the adaptive coverage "
+                            "report) as JSON")
+    _add_sweep_flags(sweep)
+    sweep.set_defaults(fn=_cmd_sweep)
+
+    cache = subparsers.add_parser(
+        "cache", help="inspect or clear the on-disk result cache"
+    )
+    cache.add_argument("--stats", action="store_true",
+                       help="show entry/byte counts (the default action)")
+    cache.add_argument("--clear", action="store_true",
+                       help="delete every cache entry")
+    cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="cache location (default: $REPRO_EXP_CACHE or "
+                            "~/.cache/repro/exp)")
+    cache.add_argument("--json", action="store_true",
+                       help="emit the stats as JSON")
+    cache.set_defaults(fn=_cmd_cache)
+
     serve = subparsers.add_parser(
         "serve",
         help="long-lived HTTP/JSON server with request coalescing",
@@ -865,6 +1059,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-dir", default=None, metavar="DIR",
                        help="cache location (default: $REPRO_EXP_CACHE or "
                             "~/.cache/repro/exp)")
+    serve.add_argument("--backend", default="pool", metavar="NAME",
+                       help="execution backend: serial, pool, or sharded "
+                            "[default: pool]")
+    serve.add_argument("--shards", type=int, default=None, metavar="N",
+                       help="worker processes for --backend sharded "
+                            "(default: --workers)")
     serve.set_defaults(fn=_cmd_serve)
     return parser
 

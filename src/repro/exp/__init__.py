@@ -6,9 +6,14 @@ One declarative shape for every artifact the reproduction regenerates:
   descriptions (machine config + workload + seed + axes) that
   round-trip through ``to_dict``/``from_dict`` and hash to stable
   content addresses;
-* :class:`SweepRunner` — executes a spec over a ``multiprocessing``
-  pool (``workers=1`` falls back in-process), streaming results back as
-  points complete and resuming partial sweeps from the cache;
+* :class:`SweepRunner` — executes a spec through a pluggable
+  :class:`ExecutionBackend` (``serial``, ``pool``, or the
+  work-stealing ``sharded`` backend; see :mod:`repro.exp.backend`),
+  streaming results back as points complete and resuming partial
+  sweeps from the cache;
+* :class:`AdaptiveSampler` — spends exact-simulation cycles only where
+  the :mod:`repro.analysis.queueing` prior is uncertain, turning dense
+  grids into sparse ones with an audited error bound;
 * :class:`ResultCache` — the content-addressed on-disk store that makes
   re-running ``fig7``/``table1``/``table2`` a near-instant cache hit
   (:class:`NullCache` and ``refresh=True`` are the escape hatches);
@@ -26,8 +31,33 @@ Quickstart::
         print(payload["label"], len(payload["points"]))
 """
 
+from .adaptive import (
+    AdaptiveProfile,
+    AdaptiveReport,
+    AdaptiveSampler,
+    adaptive_profile,
+    adaptive_profiles,
+    register_adaptive_profile,
+)
+from .backend import (
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    ShardedBackend,
+    ShardedSweepError,
+    WorkerCrashError,
+    backend_names,
+    make_backend,
+    register_backend,
+)
 from .cache import NullCache, ResultCache, default_cache_root
-from .engine import PointOutcome, SweepResult, SweepRunner, serial_runner
+from .engine import (
+    PayloadSerializationError,
+    PointOutcome,
+    SweepResult,
+    SweepRunner,
+    serial_runner,
+)
 from .experiments import (
     CROSS_TOPOLOGY_RATES,
     build_hotspot_machine,
@@ -52,17 +82,30 @@ from .spec import (
 )
 
 __all__ = [
+    "AdaptiveProfile",
+    "AdaptiveReport",
+    "AdaptiveSampler",
     "CROSS_TOPOLOGY_RATES",
+    "ExecutionBackend",
     "ExperimentSpec",
     "NullCache",
+    "PayloadSerializationError",
     "PointOutcome",
+    "PoolBackend",
     "RESULTS_VERSION",
     "ResultCache",
+    "SerialBackend",
+    "ShardedBackend",
+    "ShardedSweepError",
     "SweepAxis",
     "SweepPoint",
     "SweepResult",
     "SweepRunner",
+    "WorkerCrashError",
+    "adaptive_profile",
+    "adaptive_profiles",
     "available",
+    "backend_names",
     "build_hotspot_machine",
     "default_cache_root",
     "drift_spec",
@@ -71,8 +114,11 @@ __all__ = [
     "figure7_simulated_spec",
     "figure7_spec",
     "hotspot_spec",
+    "make_backend",
     "point_function",
     "point_hash",
+    "register_adaptive_profile",
+    "register_backend",
     "resolve",
     "scaling_spec",
     "serial_runner",

@@ -49,6 +49,10 @@ class ResultCache:
         self.root = Path(root) if root is not None else default_cache_root()
         self.hits = 0
         self.misses = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.evicted_corrupt = 0
 
     def _path(self, key: str) -> Path:
         if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
@@ -69,6 +73,7 @@ class ResultCache:
         except (FileNotFoundError, OSError):
             self.misses += 1
             return None
+        self.bytes_read += len(raw.encode("utf-8", errors="replace"))
         try:
             entry = json.loads(raw)
         except json.JSONDecodeError:
@@ -81,8 +86,7 @@ class ResultCache:
         self.hits += 1
         return entry["payload"]
 
-    @staticmethod
-    def _discard_corrupt(path: Path, stamp: os.stat_result) -> None:
+    def _discard_corrupt(self, path: Path, stamp: os.stat_result) -> None:
         """Remove a corrupt entry — but only the exact file we read.
 
         Between our read and this unlink a concurrent ``put`` may have
@@ -98,6 +102,7 @@ class ResultCache:
         if (current.st_ino, current.st_dev) == (stamp.st_ino, stamp.st_dev):
             try:
                 path.unlink()
+                self.evicted_corrupt += 1
             except OSError:
                 pass
 
@@ -108,6 +113,7 @@ class ResultCache:
         entry = {"key": key, "version": RESULTS_VERSION, "payload": payload}
         if meta:
             entry["meta"] = meta
+        text = json.dumps(entry, sort_keys=True)
         handle = tempfile.NamedTemporaryFile(
             "w",
             dir=path.parent,
@@ -118,7 +124,7 @@ class ResultCache:
         )
         try:
             with handle:
-                json.dump(entry, handle, sort_keys=True)
+                handle.write(text)
             os.replace(handle.name, path)
         except BaseException:
             try:
@@ -126,6 +132,8 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self.writes += 1
+        self.bytes_written += len(text.encode("utf-8"))
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).is_file()
@@ -147,6 +155,31 @@ class ResultCache:
                     pass
         return removed
 
+    # -- observability -------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        """This process's cumulative traffic counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "evicted_corrupt": self.evicted_corrupt,
+        }
+
+    def disk_stats(self) -> dict[str, int]:
+        """What is on disk right now (scan; O(entries))."""
+        entries = 0
+        size = 0
+        if self.root.is_dir():
+            for path in self.root.glob("??/*.json"):
+                try:
+                    size += path.stat().st_size
+                except OSError:
+                    continue
+                entries += 1
+        return {"entries": entries, "bytes": size}
+
 
 class NullCache:
     """The ``--no-cache`` cache: never hits, never writes."""
@@ -156,6 +189,10 @@ class NullCache:
     def __init__(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.writes = 0
+        self.bytes_read = 0
+        self.bytes_written = 0
+        self.evicted_corrupt = 0
 
     def get(self, key: str) -> None:
         self.misses += 1
@@ -172,3 +209,16 @@ class NullCache:
 
     def clear(self) -> int:
         return 0
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+            "evicted_corrupt": 0,
+        }
+
+    def disk_stats(self) -> dict[str, int]:
+        return {"entries": 0, "bytes": 0}

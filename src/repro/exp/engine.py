@@ -7,35 +7,93 @@ point by point:
   disk without touching a worker — this is both the warm path and the
   resume path (a sweep killed halfway restarts with its completed
   points already paid for);
-* the remaining points fan out over a ``multiprocessing`` pool
-  (``workers`` defaults to the CPU count; ``workers=1`` runs in-process
-  with no pool at all, the debugger-friendly fallback);
+* the remaining points fan out through a pluggable
+  :class:`~repro.exp.backend.ExecutionBackend` (``serial``, ``pool``,
+  or ``sharded`` — see :mod:`repro.exp.backend`); with no backend
+  named, ``workers=1`` runs serially in-process (plain tracebacks,
+  easy pdb) and ``workers>1`` uses the process pool, preserving the
+  pre-backend defaults exactly;
 * results stream back in completion order through :meth:`stream`, each
   one written to the cache the moment it lands, or arrive sorted by
   point index from :meth:`run`.
 
 Every payload — computed in-process, computed in a worker, or read from
-the cache — passes through one JSON canonicalization, so the three
-paths are byte-identical and the differential tests can assert
-``render_json(cold) == render_json(warm) == render_json(serial)``.
+the cache — passes through one JSON canonicalization, so all the
+execution paths are byte-identical and the differential tests can
+assert ``render_json(cold) == render_json(warm) == render_json(serial)``.
 """
 
 from __future__ import annotations
 
 import json
-import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
+from .backend import (
+    ExecutionBackend,
+    PoolBackend,
+    SerialBackend,
+    make_backend,
+)
 from .cache import NullCache, ResultCache
 from .spec import ExperimentSpec, SweepPoint, point_hash
 
 
-def _canonical_payload(payload: Any) -> Any:
-    """One JSON round trip: the engine's single output representation."""
-    return json.loads(json.dumps(payload, sort_keys=True, default=repr))
+class PayloadSerializationError(TypeError):
+    """A point function returned a payload that is not strict JSON.
+
+    The engine's whole identity story — content-addressed cache
+    entries, bit-identical replay, cross-process transport — rests on
+    payloads surviving a strict JSON round trip.  ``repr``-stringifying
+    offenders (the old behavior) silently produced values that changed
+    with Python versions and never compared equal to a recomputation,
+    so now the offense is named and raised at the source.
+    """
+
+    def __init__(self, experiment: str, path: str, value: Any) -> None:
+        self.experiment = experiment
+        self.path = path
+        self.value = value
+        super().__init__(
+            f"experiment {experiment!r} returned a non-JSON payload: "
+            f"key {path!r} holds {value!r} of type {type(value).__name__}; "
+            "point functions must return strict-JSON data"
+        )
+
+
+def _find_unserializable(payload: Any, path: str = "$") -> tuple[str, Any]:
+    """Locate the first non-JSON value in a payload, depth first."""
+    if payload is None or isinstance(payload, (bool, int, float, str)):
+        return path, payload  # scalars only fail for inf/nan
+    if isinstance(payload, (list, tuple)):
+        for position, value in enumerate(payload):
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                return _find_unserializable(value, f"{path}[{position}]")
+        return path, payload
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            if not isinstance(key, str):
+                return f"{path}.{key!r}", key
+            try:
+                json.dumps(value)
+            except (TypeError, ValueError):
+                return _find_unserializable(value, f"{path}.{key}")
+        return path, payload
+    return path, payload
+
+
+def _canonical_payload(payload: Any, *, experiment: str = "") -> Any:
+    """One strict JSON round trip: the engine's single output form."""
+    try:
+        text = json.dumps(payload, sort_keys=True)
+    except (TypeError, ValueError) as exc:
+        path, value = _find_unserializable(payload)
+        raise PayloadSerializationError(experiment, path, value) from exc
+    return json.loads(text)
 
 
 def _execute_task(task: tuple[int, str, str]) -> tuple[int, Any, float]:
@@ -46,12 +104,13 @@ def _execute_task(task: tuple[int, str, str]) -> tuple[int, Any, float]:
     this works identically under fork, spawn, and in-process execution.
     """
     index, experiment, params_json = task
+
     from . import registry
 
     started = time.perf_counter()
     payload = registry.execute(experiment, json.loads(params_json))
     elapsed = time.perf_counter() - started
-    return index, _canonical_payload(payload), elapsed
+    return index, _canonical_payload(payload, experiment=experiment), elapsed
 
 
 @dataclass(frozen=True)
@@ -73,6 +132,7 @@ class SweepResult:
     outcomes: list[PointOutcome] = field(default_factory=list)
     workers: int = 1
     wall_time: float = 0.0
+    backend: str = "serial"
 
     @property
     def payloads(self) -> list[Any]:
@@ -90,6 +150,7 @@ class SweepResult:
         return {
             "spec": self.spec.to_dict(),
             "spec_hash": self.spec.spec_hash(),
+            "backend": self.backend,
             "workers": self.workers,
             "wall_time": self.wall_time,
             "cached_points": self.cached_points,
@@ -98,22 +159,15 @@ class SweepResult:
         }
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork is markedly cheaper where available (Linux); spawn elsewhere.
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-
-
 class SweepRunner:
-    """Executes specs: cache lookup, then parallel fan-out.
+    """Executes specs: cache lookup, then backend fan-out.
 
     Parameters
     ----------
     workers:
-        Pool size.  ``None`` means the CPU count; ``1`` means run every
-        point in-process (no pool, plain tracebacks, easy pdb).
+        Degree of parallelism.  ``None`` means the CPU count; ``1``
+        means run every point in-process (no pool, plain tracebacks,
+        easy pdb).
     cache:
         A :class:`~repro.exp.cache.ResultCache`, ``None`` for the
         default on-disk location, or :class:`~repro.exp.cache.NullCache`
@@ -121,6 +175,14 @@ class SweepRunner:
     refresh:
         Ignore existing cache entries (but still write fresh ones) —
         the CLI's ``--refresh``.
+    backend:
+        ``None`` (choose ``serial``/``pool`` from ``workers``, the
+        pre-backend defaults), a registered backend name (the runner
+        owns its lifecycle), or an :class:`ExecutionBackend` instance
+        (the caller owns its lifecycle).
+    shards:
+        Worker-process count for the ``sharded`` backend; defaults to
+        ``workers``.
     """
 
     def __init__(
@@ -129,26 +191,58 @@ class SweepRunner:
         cache: Optional[ResultCache] = None,
         *,
         refresh: bool = False,
+        backend: Union[None, str, ExecutionBackend] = None,
+        shards: Optional[int] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers={workers} is invalid; need >= 1")
         self.workers = workers
         self.cache = cache if cache is not None else ResultCache()
         self.refresh = refresh
+        self.shards = shards
+        self._owns_backend = isinstance(backend, str)
+        if isinstance(backend, str):
+            self.backend: Optional[ExecutionBackend] = make_backend(
+                backend, workers=workers, shards=shards or workers
+            )
+        else:
+            self.backend = backend
+        self._last_backend_name = (
+            self.backend.name if self.backend is not None else "serial"
+        )
 
     def _effective_workers(self, pending: int) -> int:
         workers = self.workers or os.cpu_count() or 1
         return max(1, min(workers, pending))
 
-    def stream(self, spec: ExperimentSpec) -> Iterator[PointOutcome]:
+    def _backend_for(self, pending: int) -> tuple[ExecutionBackend, bool]:
+        """The backend to fan out over, and whether this call owns it."""
+        if self.backend is not None:
+            return self.backend, self._owns_backend
+        workers = self._effective_workers(pending)
+        if workers == 1:
+            return SerialBackend(), True
+        return PoolBackend(workers), True
+
+    def stream(
+        self,
+        spec: ExperimentSpec,
+        *,
+        indices: Optional[Iterable[int]] = None,
+    ) -> Iterator[PointOutcome]:
         """Yield outcomes as points complete (cached points first).
 
         Each computed point is written to the cache before it is
         yielded, so breaking out of the iterator — or being killed —
-        leaves a resumable partial sweep behind.
+        leaves a resumable partial sweep behind.  ``indices`` restricts
+        the sweep to a subset of the grid (the adaptive sampler's
+        refinement path).
         """
+        wanted = None if indices is None else set(indices)
         pending: list[tuple[SweepPoint, str]] = []
         for point in spec.points():
+            if wanted is not None and point.index not in wanted:
+                continue
             key = point_hash(spec.experiment, point)
             payload = None if self.refresh else self.cache.get(key)
             if payload is not None:
@@ -170,19 +264,17 @@ class SweepRunner:
                                                       sort_keys=True))
             for point, _ in pending
         ]
-        workers = self._effective_workers(len(pending))
-        if workers == 1:
-            completions = map(_execute_task, tasks)
-            for index, payload, elapsed in completions:
+        keys = [key for _, key in pending]
+        backend, owned = self._backend_for(len(pending))
+        self._last_backend_name = backend.name
+        try:
+            for index, payload, elapsed in backend.run_tasks(
+                tasks, batch_id=spec.spec_hash(), keys=keys
+            ):
                 yield self._complete(spec, by_index, index, payload, elapsed)
-        else:
-            ctx = _pool_context()
-            with ctx.Pool(processes=workers) as pool:
-                for index, payload, elapsed in pool.imap_unordered(
-                    _execute_task, tasks, chunksize=1
-                ):
-                    yield self._complete(spec, by_index, index, payload,
-                                         elapsed)
+        finally:
+            if owned:
+                backend.shutdown()
 
     def _complete(
         self,
@@ -211,20 +303,26 @@ class SweepRunner:
         spec: ExperimentSpec,
         *,
         on_point: Optional[Callable[[PointOutcome], None]] = None,
+        indices: Optional[Iterable[int]] = None,
     ) -> SweepResult:
         """Execute the whole sweep; outcomes come back sorted by index."""
         started = time.perf_counter()
         outcomes: list[PointOutcome] = []
-        for outcome in self.stream(spec):
+        for outcome in self.stream(spec, indices=indices):
             if on_point is not None:
                 on_point(outcome)
             outcomes.append(outcome)
         outcomes.sort(key=lambda outcome: outcome.index)
+        if self.backend is not None:
+            workers = self.backend.workers
+        else:
+            workers = self._effective_workers(max(1, spec.n_points))
         return SweepResult(
             spec=spec,
             outcomes=outcomes,
-            workers=self._effective_workers(max(1, spec.n_points)),
+            workers=workers,
             wall_time=time.perf_counter() - started,
+            backend=self._last_backend_name,
         )
 
 

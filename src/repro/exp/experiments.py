@@ -643,3 +643,41 @@ def debug_crash(params: dict) -> dict[str, Any]:
     import os as _os
 
     _os._exit(int(params.get("code", 3)))
+
+
+@point_function("debug.crash_once")
+def debug_crash_once(params: dict) -> dict[str, Any]:
+    """Kill the worker the *first* time this point runs, succeed after.
+
+    A ``marker`` file records the first attempt; the attempt that finds
+    it completes normally.  This is the lease-recovery probe: the first
+    claimant of the point's block dies mid-lease, and the sweep only
+    finishes if another worker detects the expired lease and steals the
+    block.
+    """
+    import os as _os
+
+    marker = params["marker"]
+    try:
+        fd = _os.open(marker, _os.O_CREAT | _os.O_EXCL | _os.O_WRONLY)
+    except FileExistsError:
+        return {"survived": True, "value": params.get("value")}
+    _os.close(fd)
+    _os._exit(int(params.get("code", 3)))
+
+
+@point_function("bench.spin")
+def bench_spin(params: dict) -> dict[str, Any]:
+    """Burn a deterministic amount of CPU — the scaling-benchmark point.
+
+    A linear-congruential loop: pure integer arithmetic, no
+    allocation, no I/O, and a result that depends on every iteration,
+    so the interpreter cannot skip work and the payload is reproducible
+    bit-for-bit on every backend.
+    """
+    iters = int(params.get("iters", 1000))
+    value = int(params.get("value", 0))
+    acc = (value * 2654435761 + 1) % 4294967296
+    for _ in range(iters):
+        acc = (acc * 1664525 + 1013904223) % 4294967296
+    return {"value": value, "iters": iters, "acc": acc}

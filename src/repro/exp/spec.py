@@ -43,7 +43,7 @@ from typing import Any, Iterator, Mapping, Optional, Sequence
 #: Version stamp mixed into every content address.  Bump when a point
 #: function's semantics change so stale cache entries turn into misses
 #: instead of wrong answers.  Tracks the package version by default.
-RESULTS_VERSION = "1.4.0"
+RESULTS_VERSION = "1.5.0"
 
 _SCALARS = (type(None), bool, int, float, str)
 

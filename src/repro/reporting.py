@@ -66,6 +66,7 @@ def json_envelope(
     if sweep is not None:
         payload["sweep"] = {
             "spec_hash": sweep.spec.spec_hash(),
+            "backend": getattr(sweep, "backend", "serial"),
             "workers": sweep.workers,
             "cached_points": sweep.cached_points,
             "computed_points": sweep.computed_points,

@@ -168,9 +168,10 @@ class ServeApp:
                 "workers": self.service.workers,
                 "rebuilds": self.service.pool_rebuilds,
             },
+            "backend": self.service.backend.stats(),
             "cache": {
-                "hits": self.service.cache.hits,
-                "misses": self.service.cache.misses,
+                **self.service.cache.stats(),
+                "disk": self.service.cache.disk_stats(),
             },
         })
         return payload
@@ -211,6 +212,7 @@ class ServeApp:
             "served_by": served_by,
             "coalesced": served_by == "coalesced",
             "sweep": {
+                "backend": payload.get("backend", "pool"),
                 "workers": payload["workers"],
                 "wall_time": payload["wall_time"],
                 "cached_points": payload["cached_points"],
@@ -319,10 +321,13 @@ def run_server(
     workers: Optional[int] = None,
     cache=None,
     refresh: bool = False,
+    backend: str = "pool",
+    shards: Optional[int] = None,
     ready: Optional[Callable[[ServeApp], None]] = None,
 ) -> None:
     """Build the app and serve until interrupted (the CLI entry)."""
-    service = SweepService(workers=workers, cache=cache, refresh=refresh)
+    service = SweepService(workers=workers, cache=cache, refresh=refresh,
+                           backend=backend, shards=shards)
     app = ServeApp(service)
     try:
         asyncio.run(_run_app(app, host, port, ready))

@@ -1,23 +1,28 @@
-"""Async sweep execution over a persistent process pool.
+"""Async sweep execution over the shared execution backend.
 
 :class:`SweepService` is the serving-tier counterpart of
 :class:`~repro.exp.SweepRunner`: the same point-level execution
 contract (cache probe by content address, fan the residual points out
 to workers, canonical-JSON payloads), but shaped for a long-lived
-asyncio server —
+asyncio server.  Since the backend refactor both tiers drive the same
+execution plane — :mod:`repro.exp.backend` — so the service no longer
+owns a private ``ProcessPoolExecutor``:
 
-* the worker pool is a **persistent** :class:`ProcessPoolExecutor`
-  created once and reused across requests, so a request never pays pool
-  start-up cost (the runner's per-sweep ``multiprocessing.Pool`` would);
+* the default backend is a **persistent** ``pool``
+  (:class:`~repro.exp.backend.PoolBackend`) created once and reused
+  across requests, so a request never pays pool start-up cost; any
+  registered backend (``serial``, ``sharded``) drops in via the
+  ``--backend`` flag;
 * execution is ``await``-able and never blocks the event loop: cached
-  points are disk reads, computed points run in workers via
-  ``loop.run_in_executor``;
+  points are disk reads in the loop, and the backend's completion
+  stream is driven from a small thread pool, each completion hopped
+  back onto the loop;
 * per-point completions are reported through an ``on_progress``
   callback as they land (completion order), feeding the server's
   progress streams;
-* a worker crash (the pool's processes are killed or die mid-task)
-  raises :class:`WorkerCrashError` and **rebuilds the pool**, so one
-  poisoned request cannot brick the server.
+* a worker crash raises
+  :class:`~repro.exp.backend.WorkerCrashError` after the backend has
+  rebuilt its pool, so one poisoned request cannot brick the server.
 
 Bit parity with the runner is load-bearing: the payload list this
 service produces for a spec is byte-identical to
@@ -30,42 +35,24 @@ from __future__ import annotations
 
 import asyncio
 import json
-import multiprocessing
-import os
 import time
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Optional
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Optional, Union
 
+from ..exp.backend import ExecutionBackend, WorkerCrashError, make_backend
 from ..exp.cache import ResultCache
-from ..exp.engine import _execute_task
 from ..exp.spec import ExperimentSpec, point_hash
 
-
-class WorkerCrashError(RuntimeError):
-    """A pool worker died mid-computation (crash, OOM-kill, exit)."""
-
-
-def _pool_mp_context() -> multiprocessing.context.BaseContext:
-    # Mirror the engine's choice: fork where available, spawn elsewhere.
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context(
-        "fork" if "fork" in methods else "spawn"
-    )
-
-
-def _warm_task(_: int) -> None:
-    """No-op submitted at warm-up to force worker processes to exist."""
-    return None
+__all__ = ["SweepService", "WorkerCrashError"]
 
 
 class SweepService:
-    """Executes specs for the server: cache probe, then pooled fan-out.
+    """Executes specs for the server: cache probe, then backend fan-out.
 
     Parameters
     ----------
     workers:
-        Persistent pool size (``None`` = CPU count).
+        Backend parallelism (``None`` = CPU count).
     cache:
         The content store shared with every other execution path —
         a :class:`~repro.exp.ResultCache` (default on-disk location
@@ -73,6 +60,12 @@ class SweepService:
     refresh:
         Recompute even when a point is cached (still writes fresh
         entries) — the server's ``--refresh``.
+    backend:
+        A registered backend name (default ``"pool"``) or a
+        caller-constructed :class:`ExecutionBackend` instance.
+    shards:
+        Worker-process count for the ``sharded`` backend; defaults to
+        ``workers``.
     """
 
     def __init__(
@@ -81,45 +74,50 @@ class SweepService:
         cache: Optional[ResultCache] = None,
         *,
         refresh: bool = False,
+        backend: Union[str, ExecutionBackend] = "pool",
+        shards: Optional[int] = None,
     ) -> None:
         if workers is not None and workers < 1:
             raise ValueError(f"workers={workers} is invalid; need >= 1")
-        self.workers = workers or os.cpu_count() or 1
+        if isinstance(backend, str):
+            backend = make_backend(
+                backend, workers=workers, shards=shards or workers
+            )
+        self.backend = backend
+        self.workers = backend.workers
         self.cache = cache if cache is not None else ResultCache()
         self.refresh = refresh
-        self._executor: Optional[ProcessPoolExecutor] = None
-        #: pool rebuilds after worker crashes (surfaced in /stats)
-        self.pool_rebuilds = 0
+        self._drivers: Optional[ThreadPoolExecutor] = None
 
-    # -- pool lifecycle ------------------------------------------------
-    def _pool(self) -> ProcessPoolExecutor:
-        if self._executor is None:
-            self._executor = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=_pool_mp_context()
-            )
-        return self._executor
+    @property
+    def pool_rebuilds(self) -> int:
+        """Pool rebuilds after worker crashes (surfaced in /stats)."""
+        return getattr(self.backend, "rebuilds", 0)
 
+    # -- lifecycle -----------------------------------------------------
     def warm(self) -> None:
-        """Spawn every worker process now, before traffic arrives.
+        """Acquire execution resources now, before traffic arrives.
 
-        Forking lazily under load duplicates whatever connection fds
-        happen to be open into the children (where they linger for the
-        pool's lifetime), and puts the fork cost on the first request's
-        latency.  Warming at start-up forks from a quiescent process.
+        For the pool backend this forks every worker process from a
+        quiescent parent — forking lazily under load would duplicate
+        whatever connection fds happen to be open into the children and
+        put the fork cost on the first request's latency.
         """
-        list(self._pool().map(_warm_task, range(self.workers)))
+        self.backend.start()
 
-    def _rebuild_pool(self) -> None:
-        """Tear down a broken pool; the next request gets a fresh one."""
-        executor, self._executor = self._executor, None
-        if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
-        self.pool_rebuilds += 1
+    def _driver_pool(self) -> ThreadPoolExecutor:
+        if self._drivers is None:
+            self._drivers = ThreadPoolExecutor(
+                max_workers=max(8, 2 * self.workers),
+                thread_name_prefix="sweep-drive",
+            )
+        return self._drivers
 
     def shutdown(self) -> None:
-        if self._executor is not None:
-            self._executor.shutdown(wait=False, cancel_futures=True)
-            self._executor = None
+        self.backend.shutdown()
+        if self._drivers is not None:
+            self._drivers.shutdown(wait=False, cancel_futures=True)
+            self._drivers = None
 
     # -- execution -----------------------------------------------------
     async def execute(
@@ -130,10 +128,10 @@ class SweepService:
         """Run a whole spec; returns the sweep payload dict.
 
         The returned dict has the :meth:`~repro.exp.SweepResult.to_dict`
-        shape (``spec``/``spec_hash``/``workers``/``wall_time``/
-        ``cached_points``/``computed_points``/``results``), with
-        ``results`` ordered by point index and byte-identical to a
-        direct runner execution of the same spec.
+        shape (``spec``/``spec_hash``/``backend``/``workers``/
+        ``wall_time``/``cached_points``/``computed_points``/
+        ``results``), with ``results`` ordered by point index and
+        byte-identical to a direct runner execution of the same spec.
         """
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
@@ -164,42 +162,60 @@ class SweepService:
                 index: json.loads(params_json)
                 for index, _, params_json in pending
             }
-            executor = self._pool()
-            futures = [
-                loop.run_in_executor(
-                    executor, _execute_task,
-                    (index, spec.experiment, params_json),
-                )
+            tasks = [
+                (index, spec.experiment, params_json)
                 for index, _, params_json in pending
             ]
-            try:
-                for completion in asyncio.as_completed(futures):
-                    index, payload, elapsed = await completion
-                    self.cache.put(
-                        key_by_index[index],
-                        payload,
-                        meta={"experiment": spec.experiment,
-                              "point": meta_by_index[index]},
-                    )
-                    payload_by_index[index] = payload
-                    if on_progress is not None:
-                        on_progress({
-                            "event": "point", "index": index,
-                            "cached": False, "elapsed": elapsed,
-                            "done": len(payload_by_index), "total": total,
-                        })
-            except BrokenProcessPool as exc:
-                for future in futures:
-                    future.cancel()
-                self._rebuild_pool()
-                raise WorkerCrashError(
-                    f"a worker crashed while computing "
-                    f"{spec.experiment!r}; the pool has been rebuilt"
-                ) from exc
+            keys = [key for _, key, _ in pending]
+            batch_id = spec.spec_hash()
+            queue: asyncio.Queue = asyncio.Queue()
+
+            def drive() -> None:
+                # Runs in a driver thread: consume the backend's
+                # completion stream, hop each item onto the loop.
+                try:
+                    for completion in self.backend.run_tasks(
+                        tasks, batch_id=batch_id, keys=keys
+                    ):
+                        loop.call_soon_threadsafe(
+                            queue.put_nowait, ("point", completion))
+                except BaseException as exc:
+                    loop.call_soon_threadsafe(
+                        queue.put_nowait, ("error", exc))
+                else:
+                    loop.call_soon_threadsafe(
+                        queue.put_nowait, ("done", None))
+
+            driver = loop.run_in_executor(self._driver_pool(), drive)
+            while True:
+                kind, item = await queue.get()
+                if kind == "done":
+                    # drive() has returned; this await is instantaneous
+                    # and keeps the executor future retrieved.
+                    await driver
+                    break
+                if kind == "error":
+                    await driver
+                    raise item
+                index, payload, elapsed = item
+                self.cache.put(
+                    key_by_index[index],
+                    payload,
+                    meta={"experiment": spec.experiment,
+                          "point": meta_by_index[index]},
+                )
+                payload_by_index[index] = payload
+                if on_progress is not None:
+                    on_progress({
+                        "event": "point", "index": index,
+                        "cached": False, "elapsed": elapsed,
+                        "done": len(payload_by_index), "total": total,
+                    })
 
         return {
             "spec": spec.to_dict(),
             "spec_hash": spec.spec_hash(),
+            "backend": self.backend.name,
             "workers": self.workers,
             "wall_time": time.perf_counter() - started,
             "cached_points": cached_points,

@@ -15,6 +15,7 @@ def _isolated_exp_cache(tmp_path, monkeypatch):
     """Point the experiment result cache at a per-test directory so no
     test reads or pollutes the user's real ~/.cache/repro/exp."""
     monkeypatch.setenv("REPRO_EXP_CACHE", str(tmp_path / "exp-cache"))
+    monkeypatch.setenv("REPRO_EXP_SHARDS", str(tmp_path / "exp-shards"))
 
 
 @pytest.fixture

@@ -27,6 +27,11 @@ def _boom(params):
     raise RuntimeError("point exploded")
 
 
+@point_function("enginetest.unserializable")
+def _unserializable(params):
+    return {"ok": 1, "nested": {"handle": object()}}
+
+
 def double_spec(values=(1, 2, 3), seed=0):
     return ExperimentSpec(
         experiment="enginetest.double",
@@ -121,6 +126,42 @@ class TestCachingAndResume:
             double_spec(), on_point=lambda outcome: seen.append(outcome.index)
         )
         assert sorted(seen) == [0, 1, 2]
+
+
+class TestPayloadSerialization:
+    """Regression: a non-JSON payload used to be ``repr``-stringified
+    silently, poisoning the content-addressed cache with values that
+    never compared equal across runs.  Now it raises, naming the
+    experiment and the offending key."""
+
+    def test_unserializable_payload_raises_typed_error(self):
+        from repro.exp import PayloadSerializationError
+
+        spec = ExperimentSpec(experiment="enginetest.unserializable")
+        with pytest.raises(PayloadSerializationError) as excinfo:
+            serial_runner().run(spec)
+        err = excinfo.value
+        assert err.experiment == "enginetest.unserializable"
+        assert err.path == "$.nested.handle"
+        assert "object" in str(err)
+        assert isinstance(err, TypeError)  # old call sites still catch
+
+    def test_nan_payload_is_not_rejected(self):
+        # json.dumps allows NaN by default; the engine keeps that
+        # behavior — only genuinely unencodable types raise.
+        from repro.exp.engine import _canonical_payload
+
+        out = _canonical_payload({"v": float("nan")}, experiment="x")
+        assert out["v"] != out["v"]
+
+    def test_locator_finds_nested_offender(self):
+        from repro.exp.engine import _find_unserializable
+
+        path, value = _find_unserializable(
+            {"a": [1, {"b": {1, 2}}], "c": "fine"}
+        )
+        assert path == "$.a[1].b"
+        assert value == {1, 2}
 
 
 class TestPoolExecution:

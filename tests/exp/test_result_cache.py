@@ -171,6 +171,44 @@ class TestConcurrentWriters:
         assert leftovers == []
 
 
+class TestCounters:
+    def test_traffic_counters_track_each_operation(self, cache):
+        cache.get(KEY)                      # miss
+        cache.put(KEY, {"v": 1})            # write
+        cache.get(KEY)                      # hit
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["writes"] == 1
+        assert stats["bytes_written"] > 0
+        assert stats["bytes_read"] >= stats["bytes_written"]
+
+    def test_corrupt_eviction_counted(self, cache):
+        cache.put(KEY, {"v": 1})
+        path = cache.root / KEY[:2] / f"{KEY}.json"
+        path.write_text("{torn mid-wri")
+        cache.get(KEY)
+        assert cache.stats()["evicted_corrupt"] == 1
+
+    def test_disk_stats_reflect_contents(self, cache):
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+        cache.put(KEY, {"v": 1})
+        cache.put("cd" + "1" * 62, {"v": 2})
+        disk = cache.disk_stats()
+        assert disk["entries"] == 2
+        assert disk["bytes"] > 0
+        cache.clear()
+        assert cache.disk_stats() == {"entries": 0, "bytes": 0}
+
+    def test_null_cache_stats_stay_zero_except_misses(self):
+        null = NullCache()
+        null.put(KEY, {"v": 1})
+        null.get(KEY)
+        assert null.stats()["misses"] == 1
+        assert null.stats()["writes"] == 0
+        assert null.disk_stats() == {"entries": 0, "bytes": 0}
+
+
 class TestDefaultRoot:
     def test_env_var_wins(self, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_EXP_CACHE", str(tmp_path / "custom"))

@@ -121,5 +121,6 @@ class TestValidation:
 
     def test_pool_is_lazy(self, tmp_path):
         service = SweepService(workers=2, cache=ResultCache(tmp_path / "h"))
-        assert service._executor is None  # no pool until first compute
+        # no pool until first compute (or an explicit warm())
+        assert service.backend._executor is None
         service.shutdown()

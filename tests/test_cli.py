@@ -344,3 +344,103 @@ class TestSeedFlag:
         assert main(["hotspot", "--pes", "8", "--seed", "3"]) == 0
         out = capsys.readouterr().out
         assert "combining" in out and "serialized" in out
+
+
+class TestSweepCommand:
+    def test_parser_knows_sweep_and_cache(self):
+        parser = build_parser()
+        assert parser.parse_args(["sweep", "fig7"]).command == "sweep"
+        assert parser.parse_args(["cache"]).command == "cache"
+
+    def test_sweep_fig7_serial_text_summary(self, capsys):
+        assert main(["sweep", "fig7", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=serial" in out
+        assert "computed 6" in out
+
+    def test_sweep_backend_parity_serial_vs_sharded(self, capsys, tmp_path):
+        assert main(["sweep", "fig7", "--json",
+                     "--cache-dir", str(tmp_path / "a")]) == 0
+        serial = json.loads(capsys.readouterr().out)
+        assert main(["sweep", "fig7", "--json", "--backend", "sharded",
+                     "--shards", "2", "--cache-dir", str(tmp_path / "b")]) == 0
+        sharded = json.loads(capsys.readouterr().out)
+        assert serial["sweep"]["backend"] == "serial"
+        assert sharded["sweep"]["backend"] == "sharded"
+        assert json.dumps(serial["results"], sort_keys=True) \
+            == json.dumps(sharded["results"], sort_keys=True)
+        assert sharded["backend_stats"]["workers"] == 2
+
+    def test_sweep_unknown_backend_is_actionable(self):
+        with pytest.raises(SystemExit, match="sharded"):
+            main(["sweep", "fig7", "--backend", "bogus", "--no-cache"])
+
+    def test_sweep_shards_alone_implies_parallelism(self, capsys):
+        assert main(["sweep", "fig7", "--backend", "sharded", "--shards", "2",
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "workers=2" in out
+
+    def test_sweep_spec_json_file(self, capsys, tmp_path):
+        spec_file = tmp_path / "spec.json"
+        spec_file.write_text(json.dumps({
+            "experiment": "debug.echo",
+            "base": {"tag": "cli"},
+            "axes": [{"name": "n", "values": [1, 2, 3]}],
+            "seed": 4,
+        }))
+        assert main(["sweep", "--spec-json", str(spec_file), "--json",
+                     "--no-cache"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [r["echo"]["n"] for r in payload["results"]] == [1, 2, 3]
+
+    def test_sweep_without_preset_or_spec_exits(self):
+        with pytest.raises(SystemExit, match="preset"):
+            main(["sweep", "--no-cache"])
+
+    def test_sweep_adaptive_cross_topology(self, capsys, tmp_path):
+        assert main(["sweep", "cross-topology", "--adaptive",
+                     "--cycles", "120",
+                     "--rate", "0.02", "--rate", "0.05", "--rate", "0.08",
+                     "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive sweep" in out
+        assert "seed" in out and "audited estimate error" in out
+
+    def test_sweep_adaptive_json_report(self, capsys, tmp_path):
+        assert main(["sweep", "cross-topology", "--adaptive", "--json",
+                     "--cycles", "120",
+                     "--rate", "0.02", "--rate", "0.05", "--rate", "0.08",
+                     "--cache-dir", str(tmp_path / "d")]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        report = payload["results"]
+        assert report["total_points"] == 9  # 3 topologies x 3 rates
+        assert report["simulated_points"] + report["skipped_points"] == 9
+        assert len(report["points"]) == 9
+
+
+class TestCacheCommand:
+    def test_stats_on_empty_cache(self, capsys, tmp_path):
+        assert main(["cache", "--cache-dir", str(tmp_path / "c")]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 0" in out
+
+    def test_stats_json_after_sweep(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        assert main(["sweep", "fig7", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--json", "--cache-dir", cache_dir]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"]["disk"]["entries"] == 6
+        assert payload["results"]["disk"]["bytes"] > 0
+        assert "session" in payload["results"]
+
+    def test_clear_removes_entries(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "c")
+        assert main(["sweep", "fig7", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--clear", "--cache-dir", cache_dir]) == 0
+        assert "removed 6 entries" in capsys.readouterr().out
+        assert main(["cache", "--json", "--cache-dir", cache_dir]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["results"]["disk"]["entries"] == 0

@@ -78,6 +78,38 @@ def test_backend_parity_small_sweep(report):
     assert serial.computed_points == sharded.computed_points == 64
 
 
+def test_event_log_overhead(report, monkeypatch):
+    """The fleet event log costs <= 5% of sharded sweep wall time.
+
+    Same sweep, logging on vs off (``REPRO_FLEET_LOG=0``), best of
+    three runs each; the workload is sized so point execution dominates
+    the file protocol, which is the regime the observability tax is
+    specified against.
+    """
+    spec = spin_spec(256, iters=20_000)
+    _run("sharded", spin_spec(64, iters=100), shards=2)  # warm fork
+
+    def best(enabled: bool) -> float:
+        monkeypatch.setenv("REPRO_FLEET_LOG", "1" if enabled else "0")
+        return min(_run("sharded", spec, shards=2)[1] for _ in range(3))
+
+    off_s = best(False)
+    on_s = best(True)
+    overhead = on_s / off_s - 1.0
+
+    report("\n".join([
+        banner("fleet event-log overhead, 256 x bench.spin(20k), "
+               "2 shards"),
+        f"  logging off: {off_s * 1e3:8.1f} ms",
+        f"  logging on:  {on_s * 1e3:8.1f} ms  "
+        f"({overhead:+.1%} overhead)",
+    ]))
+    assert overhead <= 0.05, (
+        f"fleet event log costs {overhead:.1%} > 5% "
+        f"(on {on_s:.3f}s vs off {off_s:.3f}s)"
+    )
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < 4,
     reason="4-shard speedup needs >= 4 CPUs",

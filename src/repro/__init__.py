@@ -77,7 +77,7 @@ from .instrumentation import (
     TraceEvent,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     # machine models and configuration

@@ -64,6 +64,10 @@ def _add_sweep_flags(sub: argparse.ArgumentParser) -> None:
     group.add_argument("--shards", type=int, default=None, metavar="N",
                        help="worker processes for --backend sharded "
                             "(default: --workers)")
+    group.add_argument("--keep-events", action="store_true",
+                       help="with --backend sharded: preserve the batch "
+                            "directory (fleet event logs included) after "
+                            "completion, for 'repro fleet status/trace'")
 
 
 def _add_seed_flag(sub: argparse.ArgumentParser, default: int = 0) -> None:
@@ -109,6 +113,17 @@ def _make_runner(args: argparse.Namespace):
             and args.workers is None:
         # --shards N alone should mean N-way parallelism.
         workers = shards
+    if getattr(args, "keep_events", False):
+        if backend != "sharded":
+            raise SystemExit("--keep-events requires --backend sharded")
+        from repro.exp.backend import ShardedBackend
+
+        return SweepRunner(
+            workers=workers, cache=cache, refresh=args.refresh,
+            backend=ShardedBackend(shards=shards or workers,
+                                   keep_events=True),
+            shards=shards,
+        )
     return SweepRunner(workers=workers, cache=cache, refresh=args.refresh,
                        backend=backend, shards=shards)
 
@@ -808,6 +823,157 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _fleet_status_payload(batch: Any, trace: Optional[str]) -> dict:
+    """One snapshot of a batch directory's fleet state."""
+    import json as _json
+    from pathlib import Path
+
+    from repro.obs.events import iter_batch_events
+
+    batch = Path(batch)
+    manifest: dict = {}
+    try:
+        with open(batch / "manifest.json", encoding="utf-8") as handle:
+            loaded = _json.load(handle)
+        if isinstance(loaded, dict):
+            manifest = loaded
+    except (OSError, ValueError):
+        pass
+    events = iter_batch_events(batch, trace=trace)
+    workers: dict[str, dict] = {}
+    kinds: dict[str, int] = {}
+    for event in events:
+        kinds[event.kind] = kinds.get(event.kind, 0) + 1
+        entry = workers.setdefault(
+            event.worker, {"events": 0, "last_kind": "", "last_ts": 0.0}
+        )
+        entry["events"] += 1
+        if event.ts >= entry["last_ts"]:
+            entry["last_ts"] = event.ts
+            entry["last_kind"] = event.kind
+    return {
+        "batch": batch.name,
+        "trace": trace or manifest.get("trace", ""),
+        "traces": sorted({e.trace for e in events if e.trace}),
+        "tasks": manifest.get("tasks"),
+        "done": (batch / "done").exists(),
+        "queued_blocks": len(list(batch.glob("queue/*.json"))),
+        "leased_blocks": len(list(batch.glob("leases/*"))),
+        "result_blocks": len(list(batch.glob("results/block-*.json"))),
+        "dumps": sorted(p.name for p in batch.glob("dumps/crash-*.json")),
+        "events": len(events),
+        "by_kind": dict(sorted(kinds.items())),
+        "workers": {name: workers[name] for name in sorted(workers)},
+    }
+
+
+def _print_fleet_status(payload: dict) -> None:
+    state = "done" if payload["done"] else "running"
+    print(f"batch {payload['batch']} [{state}]  "
+          f"trace={payload['trace'] or '-'}")
+    print(f"  blocks: {payload['result_blocks']} done, "
+          f"{payload['queued_blocks']} queued, "
+          f"{payload['leased_blocks']} leased"
+          + (f"  (tasks: {payload['tasks']})"
+             if payload["tasks"] is not None else ""))
+    if payload["by_kind"]:
+        counts = ", ".join(f"{k}={v}" for k, v in payload["by_kind"].items())
+        print(f"  events: {payload['events']}  ({counts})")
+    for name, entry in payload["workers"].items():
+        print(f"  {name:>12}: {entry['events']:>4} events, "
+              f"last {entry['last_kind']}")
+    for name in payload["dumps"]:
+        print(f"  dump: {name}")
+
+
+def _cmd_fleet_status(args: argparse.Namespace) -> int:
+    """Tail a live (or preserved) sharded batch directory."""
+    import time as _time
+    from pathlib import Path
+
+    batch = Path(args.batch_dir)
+    if not batch.is_dir():
+        raise SystemExit(f"{batch} is not a directory")
+    while True:
+        payload = _fleet_status_payload(batch, args.trace)
+        if args.json:
+            from repro.reporting import render_json
+
+            print(render_json(payload), flush=True)
+        else:
+            _print_fleet_status(payload)
+        if not args.watch or payload["done"]:
+            return 0
+        _time.sleep(args.interval)
+
+
+def _cmd_fleet_dump(args: argparse.Namespace) -> int:
+    """Pretty-print one flight-recorder crash dump."""
+    from pathlib import Path
+
+    from repro.obs.events import read_dump
+
+    path = Path(args.path)
+    if path.is_dir():
+        candidates = sorted(
+            list(path.glob("crash-*.json"))
+            + list(path.glob("dumps/crash-*.json")),
+            key=lambda p: p.stat().st_mtime,
+        )
+        if not candidates:
+            raise SystemExit(f"no crash-*.json dumps under {path}")
+        path = candidates[-1]
+    payload = read_dump(path)
+    if args.json:
+        from repro.reporting import render_json
+
+        print(render_json(payload))
+        return 0
+    print(f"flight dump {path.name}  ({payload['schema']})")
+    print(f"  reason: {payload['reason']}   trace: "
+          f"{payload['trace'] or '-'}")
+    for key in sorted(payload):
+        if key not in ("schema", "reason", "trace", "written_at", "events"):
+            print(f"  {key}: {payload[key]}")
+    events = payload.get("events", [])
+    print(f"  last {len(events)} events:")
+    t0 = events[0]["ts"] if events else 0.0
+    for raw in events:
+        extras = {k: v for k, v in raw.items()
+                  if k not in ("ts", "kind", "trace", "worker", "span",
+                               "parent")}
+        span = f" span={raw['span']}" if raw.get("span") else ""
+        tail = f"  {extras}" if extras else ""
+        print(f"    +{raw['ts'] - t0:8.3f}s  {raw['worker']:>12}  "
+              f"{raw['kind']}{span}{tail}")
+    return 0
+
+
+def _cmd_fleet_trace(args: argparse.Namespace) -> int:
+    """Merge a batch dir's event logs into one Chrome/Perfetto trace."""
+    from pathlib import Path
+
+    from repro.obs.events import iter_batch_events
+    from repro.obs.perfetto import fleet_chrome_trace
+
+    batch = Path(args.batch_dir)
+    if not batch.is_dir():
+        raise SystemExit(f"{batch} is not a directory")
+    events = iter_batch_events(batch, trace=args.trace)
+    if not events:
+        raise SystemExit(f"no fleet events under {batch}/events")
+    document = fleet_chrome_trace(events, trace=args.trace)
+    import json as _json
+
+    with open(args.out, "w", encoding="utf-8") as handle:
+        _json.dump(document, handle)
+    workers = document["otherData"]["workers"]
+    print(f"wrote {args.out}: {len(document['traceEvents'])} trace events "
+          f"from {len(events)} log events across {len(workers)} processes")
+    print("  open in https://ui.perfetto.dev or chrome://tracing")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1066,6 +1232,57 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes for --backend sharded "
                             "(default: --workers)")
     serve.set_defaults(fn=_cmd_serve)
+
+    fleet = subparsers.add_parser(
+        "fleet",
+        help="inspect fleet event logs, crash dumps, and merged traces",
+        description="Observability for the distributed execution plane: "
+        "tail a sharded batch directory's structured event logs "
+        "(status), pretty-print a flight-recorder crash dump (dump), or "
+        "merge the per-process logs of one sweep into a single "
+        "Chrome/Perfetto trace with steal flow arrows (trace).  Run "
+        "sweeps with --backend sharded --keep-events to preserve logs "
+        "past completion.",
+    )
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    fstatus = fleet_sub.add_parser(
+        "status", help="summarize a batch directory's fleet state"
+    )
+    fstatus.add_argument("batch_dir",
+                         help="a sharded batch directory (under "
+                              "$REPRO_SHARD_ROOT or the default root)")
+    fstatus.add_argument("--trace", default=None, metavar="ID",
+                         help="filter to one sweep's trace id")
+    fstatus.add_argument("--watch", action="store_true",
+                         help="re-poll until the batch's done sentinel "
+                              "appears")
+    fstatus.add_argument("--interval", type=float, default=1.0, metavar="S",
+                         help="poll interval for --watch [default: 1.0]")
+    fstatus.add_argument("--json", action="store_true",
+                         help="emit each snapshot as JSON")
+    fstatus.set_defaults(fn=_cmd_fleet_status)
+
+    fdump = fleet_sub.add_parser(
+        "dump", help="pretty-print a flight-recorder crash dump"
+    )
+    fdump.add_argument("path",
+                       help="a crash-*.json file, or a directory to "
+                            "search (latest dump wins)")
+    fdump.add_argument("--json", action="store_true",
+                       help="emit the raw dump payload as JSON")
+    fdump.set_defaults(fn=_cmd_fleet_dump)
+
+    ftrace = fleet_sub.add_parser(
+        "trace", help="merge per-process event logs into a Chrome trace"
+    )
+    ftrace.add_argument("batch_dir",
+                        help="a batch directory with events/*.jsonl logs")
+    ftrace.add_argument("--out", required=True, metavar="FILE",
+                        help="output path for the Chrome trace JSON")
+    ftrace.add_argument("--trace", default=None, metavar="ID",
+                        help="filter to one sweep's trace id")
+    ftrace.set_defaults(fn=_cmd_fleet_trace)
     return parser
 
 

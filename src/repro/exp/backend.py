@@ -39,7 +39,8 @@ Shard directory protocol (one directory per sweep batch)::
         queue/block-B.sS.gG.json # unclaimed blocks of tasks
         leases/block-...json     # claimed blocks; mtime = heartbeat
         results/block-B.json     # finished blocks (atomic writes)
-        events/steal-....json    # work-stealing audit trail
+        events/*.jsonl           # per-process structured event logs
+        dumps/crash-*.json       # flight-recorder snapshots
         done                     # sentinel: workers may exit
 
 A worker claims a block with ``os.rename(queue/x, leases/x)`` — atomic
@@ -68,6 +69,15 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterator, Optional, Sequence
+
+from ..obs.events import (
+    EventLog,
+    default_dump_dir,
+    flight_dump,
+    iter_batch_events,
+    new_span_id,
+    new_trace_id,
+)
 
 #: One unit of work: ``(point index, experiment name, params JSON)``.
 Task = tuple[int, str, str]
@@ -166,13 +176,17 @@ class ExecutionBackend:
         *,
         batch_id: str = "",
         keys: Optional[Sequence[str]] = None,
+        trace_id: str = "",
     ) -> Iterator[Completion]:
         """Execute ``tasks``, yielding completions as they finish.
 
         ``batch_id`` is a stable identity for the batch (the engine
         passes the spec hash) so crash-resumable backends can re-adopt
         partial state; ``keys`` are the per-task content addresses
-        (aligned with ``tasks``) used for shard placement.
+        (aligned with ``tasks``) used for shard placement; ``trace_id``
+        is the sweep-level fleet-trace id minted by the caller — every
+        event the backend logs carries it, and backends mint their own
+        when it is empty so direct callers still get coherent logs.
         """
         raise NotImplementedError
 
@@ -210,6 +224,7 @@ class SerialBackend(ExecutionBackend):
         *,
         batch_id: str = "",
         keys: Optional[Sequence[str]] = None,
+        trace_id: str = "",
     ) -> Iterator[Completion]:
         self._batches += 1
         for task in tasks:
@@ -317,9 +332,16 @@ class PoolBackend(ExecutionBackend):
         *,
         batch_id: str = "",
         keys: Optional[Sequence[str]] = None,
+        trace_id: str = "",
     ) -> Iterator[Completion]:
         executor = self._ensure_executor()
         self._batches += 1
+        trace = trace_id or new_trace_id()
+        # In-memory ring only: the pool has no batch directory, so the
+        # log's sole consumer is the crash dump written on pool death.
+        log = EventLog(trace, "pool-driver")
+        log.emit("batch_start", batch=batch_id, tasks=len(tasks),
+                 workers=self._workers)
         submitted = time.perf_counter()
         futures = {executor.submit(_execute, task): task for task in tasks}
         pending = set(futures)
@@ -333,12 +355,33 @@ class PoolBackend(ExecutionBackend):
                     self._queue_wait_s += max(
                         0.0, time.perf_counter() - submitted - elapsed
                     )
+                    log.emit("point", span=new_span_id(),
+                             index=index, dur=elapsed)
                     yield index, payload, elapsed
+            log.emit("batch_done", batch=batch_id, complete=True)
         except BrokenProcessPool as exc:
+            victim_task = futures and next(iter(futures.values()))[1]
+            log.emit("pool_crash", batch=batch_id,
+                     task=str(victim_task),
+                     pending=len(pending))
+            # The flight dump must land *before* the rebuild: a rebuild
+            # that itself wedges would otherwise take the evidence with
+            # it.  rebuilds_at_dump pins the ordering for the tests.
+            if log.enabled:
+                try:
+                    flight_dump(
+                        default_dump_dir(), "pool-crash", log.tail(),
+                        trace=trace,
+                        extra={"rebuilds_at_dump": self.rebuilds,
+                               "batch": batch_id},
+                    )
+                except OSError:
+                    pass
             self._rebuild(executor)
+            log.emit("pool_rebuild", rebuilds=self.rebuilds)
             raise WorkerCrashError(
                 f"a worker process crashed while executing "
-                f"{futures and next(iter(futures.values()))[1]!r}; "
+                f"{victim_task!r}; "
                 f"the pool has been rebuilt"
             ) from exc
         except GeneratorExit:
@@ -421,10 +464,16 @@ class _Heartbeat(threading.Thread):
     the whole crash-detection mechanism.
     """
 
-    def __init__(self, path: Path, interval: float) -> None:
+    def __init__(
+        self,
+        path: Path,
+        interval: float,
+        on_beat: Optional[Callable[[], None]] = None,
+    ) -> None:
         super().__init__(daemon=True, name=f"lease-heartbeat:{path.name}")
         self._path = path
         self._interval = interval
+        self._on_beat = on_beat
         self._stop_event = threading.Event()
 
     def run(self) -> None:
@@ -435,6 +484,11 @@ class _Heartbeat(threading.Thread):
                 # Lease stolen out from under us; stop heartbeating.
                 # Our execution continues — the duplicate is benign.
                 return
+            if self._on_beat is not None:
+                try:
+                    self._on_beat()
+                except Exception:
+                    pass  # observability must never kill the lease clock
 
     def stop(self) -> None:
         self._stop_event.set()
@@ -474,11 +528,17 @@ def _claim_block(
 def _steal_expired(
     lease_dir: Path,
     queue_dir: Path,
-    events_dir: Path,
+    log: EventLog,
     worker_id: int,
     lease_ttl: float,
 ) -> bool:
-    """Re-enqueue one expired lease (bumped generation); True if stolen."""
+    """Re-enqueue one expired lease (bumped generation); True if stolen.
+
+    The steal is recorded in the thief's structured event log (span =
+    the re-enqueued block's new generation, parent = the dead lease's
+    generation) — what used to be an ad-hoc ``events/steal-*.json``
+    file, now one line in the single fleet-event format.
+    """
     now = time.time()
     try:
         names = sorted(n for n in os.listdir(lease_dir)
@@ -507,21 +567,21 @@ def _steal_expired(
             pass
         if block is None:
             continue
-        generation = int(block.get("gen", 1)) + 1
+        old_generation = int(block.get("gen", 1))
+        generation = old_generation + 1
         block["gen"] = generation
         match = _BLOCK_RE.match(name)
         fresh = f"block-{match.group(1)}.s{match.group(2)}.g{generation}.json"
         _atomic_write_json(queue_dir / fresh, block)
-        _atomic_write_json(
-            events_dir / f"steal-b{match.group(1)}-g{generation}.json",
-            {
-                "event": "steal",
-                "block": int(match.group(1)),
-                "gen": generation,
-                "thief": worker_id,
-                "stale_s": now - mtime,
-                "at": now,
-            },
+        block_id = int(match.group(1))
+        log.emit(
+            "steal",
+            span=f"b{block_id}.g{generation}",
+            parent=f"b{block_id}.g{old_generation}",
+            block=block_id,
+            gen=generation,
+            victim_gen=old_generation,
+            stale_s=now - mtime,
         )
         return True
     return False
@@ -543,10 +603,19 @@ def _shard_worker_main(
     events_dir = base / "events"
     done_file = base / "done"
 
+    manifest = _read_json(base / "manifest.json")
+    trace = manifest.get("trace", "") if isinstance(manifest, dict) else ""
+    log = EventLog(
+        trace, f"shard-{worker_id}",
+        path=events_dir / f"shard-{worker_id}.jsonl",
+    )
+    log.emit("worker_start", pid=os.getpid(), shards=shards)
+    exit_reason = "done"
+
     while not done_file.exists():
         claimed = _claim_block(queue_dir, lease_dir, worker_id, shards)
         if claimed is None:
-            if _steal_expired(lease_dir, queue_dir, events_dir,
+            if _steal_expired(lease_dir, queue_dir, log,
                               worker_id, lease_ttl):
                 continue
             try:
@@ -555,6 +624,7 @@ def _shard_worker_main(
                 leases_empty = not any(
                     _BLOCK_RE.match(n) for n in os.listdir(lease_dir))
             except OSError:
+                exit_reason = "torn_down"
                 break  # directory torn down under us: batch is over
             if queue_empty and leases_empty:
                 break  # every block has a result; we are done
@@ -563,7 +633,19 @@ def _shard_worker_main(
 
         lease_path, block = claimed
         claimed_at = time.time()
-        heartbeat = _Heartbeat(lease_path, max(0.05, lease_ttl / 4.0))
+        block_id = int(block["block"])
+        generation = int(block.get("gen", 1))
+        block_span = f"b{block_id}.g{generation}"
+        log.emit("claim", span=block_span, block=block_id,
+                 gen=generation, shard=int(block.get("shard", -1)),
+                 tasks=len(block.get("tasks", ())))
+        heartbeat = _Heartbeat(
+            lease_path, max(0.05, lease_ttl / 4.0),
+            on_beat=lambda: log.emit(
+                "heartbeat", span=block_span, block=block_id,
+                gen=generation,
+            ),
+        )
         heartbeat.start()
         completions: list[list[Any]] = []
         error: Optional[dict[str, str]] = None
@@ -571,13 +653,15 @@ def _shard_worker_main(
             for raw_task in block["tasks"]:
                 index, payload, elapsed = _execute(tuple(raw_task))
                 completions.append([index, payload, elapsed])
+                log.emit("point", span=new_span_id(), parent=block_span,
+                         index=index, dur=elapsed)
         except BaseException as exc:  # the *driver* decides to re-raise
             error = {"type": type(exc).__name__, "message": str(exc)}
         finally:
             heartbeat.stop()
         result: dict[str, Any] = {
-            "block": int(block["block"]),
-            "gen": int(block.get("gen", 1)),
+            "block": block_id,
+            "gen": generation,
             "worker": worker_id,
             "enqueued": block.get("enqueued", claimed_at),
             "claimed": claimed_at,
@@ -587,12 +671,18 @@ def _shard_worker_main(
         if error is not None:
             result["error"] = error
         _atomic_write_json(
-            results_dir / f"block-{int(block['block']):05d}.json", result
+            results_dir / f"block-{block_id:05d}.json", result
         )
+        log.emit("result_write", span=block_span, block=block_id,
+                 gen=generation, points=len(completions),
+                 **({"error": error["type"]} if error else {}))
         try:
             os.unlink(lease_path)
         except OSError:
             pass
+
+    log.emit("worker_exit", reason=exit_reason)
+    log.close()
 
 
 class ShardedBackend(ExecutionBackend):
@@ -618,6 +708,7 @@ class ShardedBackend(ExecutionBackend):
         poll: float = 0.02,
         block_size: Optional[int] = None,
         max_respawns: Optional[int] = None,
+        keep_events: bool = False,
         **_ignored: Any,
     ) -> None:
         shards = shards if shards is not None else os.cpu_count() or 1
@@ -631,6 +722,11 @@ class ShardedBackend(ExecutionBackend):
         self.max_respawns = (
             max_respawns if max_respawns is not None else 2 * shards
         )
+        #: keep the batch directory (event logs included) after a clean
+        #: completion instead of reclaiming it — ``repro fleet trace``
+        #: and the CLI's ``--keep-events`` read the preserved logs.
+        self.keep_events = keep_events
+        self.last_trace = ""
         self._stop = threading.Event()
         self._batches = 0
         self._tasks = 0
@@ -740,17 +836,50 @@ class ShardedBackend(ExecutionBackend):
                 self._queue_wait_s += max(0.0, claimed - enqueued)
         return fresh, result.get("error")
 
+    def _dump_once(
+        self,
+        batch: Path,
+        reason: str,
+        dumped: set[str],
+        log: EventLog,
+        trace: str,
+    ) -> None:
+        """Write one flight dump per (batch, reason); never fatal.
+
+        The dump merges every per-process log in the batch directory —
+        so a dead worker's final heartbeats are in it even though the
+        driver never saw them — and its existence flips the batch dir
+        to *preserved* (see :meth:`_finish`).
+        """
+        if reason in dumped or not log.enabled:
+            return
+        dumped.add(reason)
+        try:
+            # Unfiltered: a resume dump's whole point is the *previous*
+            # fleet's final moments, which carry that fleet's trace id.
+            path = flight_dump(
+                batch / "dumps", reason,
+                iter_batch_events(batch),
+                trace=trace, extra={"batch": batch.name},
+            )
+        except OSError:
+            return
+        log.emit("dump", reason=reason, path=str(path))
+
     def run_tasks(
         self,
         tasks: Sequence[Task],
         *,
         batch_id: str = "",
         keys: Optional[Sequence[str]] = None,
+        trace_id: str = "",
     ) -> Iterator[Completion]:
         if not tasks:
             return
         self.start()
         self._batches += 1
+        trace = trace_id or new_trace_id()
+        self.last_trace = trace
         expected: dict[int, Task] = {task[0]: task for task in tasks}
         done: set[int] = set()
 
@@ -767,17 +896,32 @@ class ShardedBackend(ExecutionBackend):
         except OSError:
             pass
 
+        log = EventLog(trace, "driver", path=events_dir / "driver.jsonl")
+        dumped: set[str] = set()
+        prior_state = (batch / "manifest.json").exists()
+        log.emit("batch_start", batch=batch.name, tasks=len(tasks),
+                 shards=self._shards)
+
         # Resume: adopt results a previous (killed) driver's workers
         # already finished, then clear stale queue/lease state.
         seen_results: set[str] = set()
         error: Optional[dict] = None
+        resumed_here = 0
         for path in sorted(results_dir.glob("block-*.json")):
             seen_results.add(path.name)
             fresh, err = self._harvest_file(path, expected, done)
             if fresh:
                 self._resumed_blocks += 1
+                resumed_here += 1
             error = error or err
             yield from fresh
+        if prior_state or seen_results:
+            # A previous driver left state behind: record the adoption
+            # and snapshot its final moments before we clear anything.
+            log.emit("resume", batch=batch.name,
+                     adopted_blocks=resumed_here,
+                     adopted_points=len(done))
+            self._dump_once(batch, "resume", dumped, log, trace)
         for directory in (queue_dir, lease_dir):
             for stale in directory.iterdir():
                 try:
@@ -792,7 +936,11 @@ class ShardedBackend(ExecutionBackend):
 
         missing = [expected[i] for i in sorted(set(expected) - done)]
         if not missing:
-            self._finish(batch, done_file, [], complete=True)
+            log.emit("batch_done", batch=batch.name, complete=True,
+                     points=len(done))
+            log.close()
+            self._finish(batch, done_file, [], complete=True,
+                         keep=self.keep_events or bool(dumped))
             return
         missing_keys = None
         if keys is not None:
@@ -823,8 +971,11 @@ class ShardedBackend(ExecutionBackend):
                 "blocks": next_block - first_block,
                 "next_block": next_block,
                 "lease_ttl": self.lease_ttl,
+                "trace": trace,
             },
         )
+        log.emit("enqueue", blocks=next_block - first_block,
+                 tasks=len(missing), first_block=first_block)
 
         ctx = _pool_context()
         procs: list[multiprocessing.process.BaseProcess] = []
@@ -839,6 +990,7 @@ class ShardedBackend(ExecutionBackend):
             )
             proc.start()
             procs.append(proc)
+            log.emit("spawn", worker=worker_id, pid=proc.pid)
 
         for worker_id in range(self._shards):
             spawn(worker_id)
@@ -859,6 +1011,12 @@ class ShardedBackend(ExecutionBackend):
                             f"sweep point failed: {err.get('type')}: "
                             f"{err.get('message')}"
                         )
+                    log.emit("harvest", file=path.name,
+                             points=len(fresh))
+                    if self._result_was_stolen(path):
+                        # First driver-side evidence of a lease steal:
+                        # snapshot the fleet for the postmortem trail.
+                        self._dump_once(batch, "steal", dumped, log, trace)
                     progressed = progressed or bool(fresh)
                     yield from fresh
                 if len(done) >= len(expected):
@@ -868,6 +1026,9 @@ class ShardedBackend(ExecutionBackend):
                 else:
                     dead = [p for p in procs if not p.is_alive()
                             and p.exitcode not in (0, None)]
+                    if dead:
+                        self._dump_once(
+                            batch, "worker-crash", dumped, log, trace)
                     for proc in dead:
                         procs.remove(proc)
                         if respawns >= self.max_respawns:
@@ -877,15 +1038,8 @@ class ShardedBackend(ExecutionBackend):
                             )
                         respawns += 1
                         self._respawns += 1
-                        _atomic_write_json(
-                            events_dir / f"respawn-{next_worker_id:03d}.json",
-                            {
-                                "event": "respawn",
-                                "exitcode": proc.exitcode,
-                                "worker": next_worker_id,
-                                "at": time.time(),
-                            },
-                        )
+                        log.emit("respawn", exitcode=proc.exitcode,
+                                 worker=next_worker_id)
                         spawn(next_worker_id)
                         next_worker_id += 1
                     if not any(p.is_alive() for p in procs) and not dead:
@@ -902,9 +1056,22 @@ class ShardedBackend(ExecutionBackend):
                     time.sleep(self.poll)
         finally:
             complete = len(done) >= len(expected)
+            if not complete:
+                self._dump_once(batch, "incomplete", dumped, log, trace)
             self._steals += sum(
-                1 for _ in events_dir.glob("steal-*.json"))
-            self._finish(batch, done_file, procs, complete=complete)
+                1 for event in iter_batch_events(batch, trace=trace)
+                if event.kind == "steal"
+            )
+            log.emit("batch_done", batch=batch.name, complete=complete,
+                     points=len(done), respawns=respawns)
+            log.close()
+            self._finish(batch, done_file, procs, complete=complete,
+                         keep=self.keep_events or bool(dumped))
+
+    @staticmethod
+    def _result_was_stolen(path: Path) -> bool:
+        result = _read_json(path)
+        return isinstance(result, dict) and int(result.get("gen", 1)) > 1
 
     def _finish(
         self,
@@ -913,6 +1080,7 @@ class ShardedBackend(ExecutionBackend):
         procs: Sequence[multiprocessing.process.BaseProcess],
         *,
         complete: bool,
+        keep: bool = False,
     ) -> None:
         try:
             done_file.touch()
@@ -924,8 +1092,9 @@ class ShardedBackend(ExecutionBackend):
             if proc.is_alive():
                 proc.terminate()
                 proc.join(timeout=2.0)
-        if complete:
-            # Nothing left to resume; reclaim the coordination dir.
+        if complete and not keep:
+            # Nothing left to resume, nothing flight-recorded worth
+            # keeping; reclaim the coordination dir.
             shutil.rmtree(batch, ignore_errors=True)
 
     def stats(self) -> dict[str, Any]:

@@ -31,6 +31,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Optional, Union
 
+from ..obs.events import new_trace_id
 from .backend import (
     ExecutionBackend,
     PoolBackend,
@@ -133,6 +134,11 @@ class SweepResult:
     workers: int = 1
     wall_time: float = 0.0
     backend: str = "serial"
+    #: the fleet-trace id this sweep's events were logged under (see
+    #: :mod:`repro.obs.events`); deliberately *not* part of
+    #: :meth:`to_dict` — rendered output stays bit-identical across
+    #: backends and replays, which the differential tests assert.
+    trace_id: str = ""
 
     @property
     def payloads(self) -> list[Any]:
@@ -210,6 +216,7 @@ class SweepRunner:
         self._last_backend_name = (
             self.backend.name if self.backend is not None else "serial"
         )
+        self._last_trace_id = ""
 
     def _effective_workers(self, pending: int) -> int:
         workers = self.workers or os.cpu_count() or 1
@@ -239,6 +246,7 @@ class SweepRunner:
         refinement path).
         """
         wanted = None if indices is None else set(indices)
+        self._last_trace_id = ""  # fully-cached sweeps touch no backend
         pending: list[tuple[SweepPoint, str]] = []
         for point in spec.points():
             if wanted is not None and point.index not in wanted:
@@ -267,9 +275,14 @@ class SweepRunner:
         keys = [key for _, key in pending]
         backend, owned = self._backend_for(len(pending))
         self._last_backend_name = backend.name
+        # One trace per sweep: every fleet event the backend (and its
+        # workers) log for this batch carries this id.
+        trace_id = new_trace_id()
+        self._last_trace_id = trace_id
         try:
             for index, payload, elapsed in backend.run_tasks(
-                tasks, batch_id=spec.spec_hash(), keys=keys
+                tasks, batch_id=spec.spec_hash(), keys=keys,
+                trace_id=trace_id,
             ):
                 yield self._complete(spec, by_index, index, payload, elapsed)
         finally:
@@ -323,6 +336,7 @@ class SweepRunner:
             workers=workers,
             wall_time=time.perf_counter() - started,
             backend=self._last_backend_name,
+            trace_id=self._last_trace_id,
         )
 
 

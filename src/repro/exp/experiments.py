@@ -666,6 +666,31 @@ def debug_crash_once(params: dict) -> dict[str, Any]:
     _os._exit(int(params.get("code", 3)))
 
 
+@point_function("debug.heartbeat_crash_once")
+def debug_heartbeat_crash_once(params: dict) -> dict[str, Any]:
+    """Heartbeat for ``delay`` seconds, then SIGKILL — once.
+
+    Like ``debug.crash_once`` but the first victim lingers past at
+    least one lease-heartbeat interval before dying, so its event log
+    ends with a ``heartbeat`` for the doomed block.  The flight-recorder
+    tests use this to assert the crash dump preserves the victim's last
+    heartbeat alongside the subsequent steal.
+    """
+    import os as _os
+    import signal as _signal
+    import time as _time
+
+    marker = params["marker"]
+    try:
+        fd = _os.open(marker, _os.O_CREAT | _os.O_EXCL | _os.O_WRONLY)
+    except FileExistsError:
+        return {"survived": True, "value": params.get("value")}
+    _os.close(fd)
+    _time.sleep(float(params.get("delay", 0.6)))
+    _os.kill(_os.getpid(), _signal.SIGKILL)
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
 @point_function("bench.spin")
 def bench_spin(params: dict) -> dict[str, Any]:
     """Burn a deterministic amount of CPU — the scaling-benchmark point.

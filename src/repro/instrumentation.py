@@ -364,6 +364,41 @@ class HistogramData:
         }
 
 
+def merge_histograms(items: Sequence[HistogramData]) -> HistogramData:
+    """Pool same-bounds histograms into one aggregate distribution.
+
+    Bucket counts, totals, and counts add; the max is the max of
+    maxes — so pooled quantiles come from the same bucket-interpolated
+    estimator as per-label ones (:func:`_interpolated_quantile`), and a
+    "latency over all classes" summary agrees with its per-class parts.
+    All inputs must share identical bucket bounds.
+    """
+    items = [item for item in items if item is not None]
+    if not items:
+        return HistogramData(
+            bounds=LATENCY_BUCKETS, bucket_counts=(0,) * (len(LATENCY_BUCKETS) + 1),
+            count=0, total=0, max_value=0,
+        )
+    bounds = items[0].bounds
+    for item in items[1:]:
+        if item.bounds != bounds:
+            raise ValueError(
+                f"cannot merge histograms with different bounds: "
+                f"{item.bounds!r} != {bounds!r}"
+            )
+    merged = [0] * (len(bounds) + 1)
+    for item in items:
+        for index, count in enumerate(item.bucket_counts):
+            merged[index] += count
+    return HistogramData(
+        bounds=bounds,
+        bucket_counts=tuple(merged),
+        count=sum(item.count for item in items),
+        total=sum(item.total for item in items),
+        max_value=max(item.max_value for item in items),
+    )
+
+
 @dataclass(frozen=True)
 class MetricSample:
     """One instrument's state inside a snapshot."""

@@ -17,7 +17,13 @@ per-window views the paper's evaluation is actually about:
   component counters with zero hot-path cost;
 * :mod:`repro.obs.drift` — compare a simulated run against the
   closed-form queueing model of :mod:`repro.analysis.queueing`
-  (the paper's NETSIM-vs-analytic validation, automated).
+  (the paper's NETSIM-vs-analytic validation, automated);
+* :mod:`repro.obs.events` — the *fleet* event log: cross-process
+  structured tracing for the distributed execution plane (driver,
+  shard workers, pool workers), with a flight recorder for crash
+  postmortems;
+* :mod:`repro.obs.prometheus` — text-format exposition of the metrics
+  registry, serving ``GET /metrics`` on the serve tier.
 
 Everything here is post-processing: nothing in this package runs inside
 the simulator's cycle loop, so enabling it costs the hot path nothing
@@ -25,7 +31,25 @@ beyond the existing ``_instr_on`` probe guards.
 """
 
 from .drift import DriftReport, StageDrift, measure_drift
-from .perfetto import chrome_trace, write_chrome_trace
+from .events import (
+    EventLog,
+    FleetEvent,
+    flight_dump,
+    iter_batch_events,
+    new_span_id,
+    new_trace_id,
+    read_dump,
+    read_events,
+    validate_event,
+)
+from .perfetto import (
+    chrome_trace,
+    fleet_chrome_trace,
+    fleet_trace_from_batch,
+    write_chrome_trace,
+    write_fleet_trace,
+)
+from .prometheus import render_prometheus
 from .spans import (
     IncompleteTraceError,
     LatencySummary,
@@ -37,6 +61,8 @@ from .timeline import Timeline, TimelineSample, collect_timeline
 
 __all__ = [
     "DriftReport",
+    "EventLog",
+    "FleetEvent",
     "IncompleteTraceError",
     "LatencySummary",
     "Span",
@@ -46,7 +72,18 @@ __all__ = [
     "TimelineSample",
     "chrome_trace",
     "collect_timeline",
+    "fleet_chrome_trace",
+    "fleet_trace_from_batch",
+    "flight_dump",
+    "iter_batch_events",
     "measure_drift",
+    "new_span_id",
+    "new_trace_id",
+    "read_dump",
+    "read_events",
     "reconstruct_spans",
+    "render_prometheus",
+    "validate_event",
     "write_chrome_trace",
+    "write_fleet_trace",
 ]

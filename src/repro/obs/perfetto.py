@@ -27,9 +27,11 @@ truncation itself is surfaced in the trace metadata.
 from __future__ import annotations
 
 import json
+import os
 from typing import Any, Optional, Sequence
 
 from ..instrumentation import TraceEvent
+from .events import FleetEvent, iter_batch_events
 
 #: Exported process ids (Perfetto groups tracks by pid).
 PID_PES = 1
@@ -162,6 +164,179 @@ def write_chrome_trace(
 ) -> dict[str, Any]:
     """Write :func:`chrome_trace` output to ``path``; returns the doc."""
     doc = chrome_trace(events, dropped=dropped)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, separators=(",", ":"))
+    return doc
+
+
+# ---------------------------------------------------------------------------
+# fleet traces: the distributed execution plane as one timeline
+# ---------------------------------------------------------------------------
+#
+# The same Trace Event Format, one level up: instead of PEs and switch
+# stages, the *processes* of a sharded sweep — the driver plus every
+# shard (or pool) worker — each get a Perfetto process track, built by
+# merging their per-process fleet event logs (repro.obs.events) on the
+# shared trace id.  A stolen block renders as a flow arc from the
+# ``steal`` event on the thief's track to the bumped-generation
+# ``claim`` on whichever worker re-executes it — the fleet-level
+# combine/decombine edge.
+
+#: tid used for every fleet track (one thread per process track).
+_FLEET_TID = 0
+
+
+def _fleet_us(ts: float, t0: float) -> int:
+    return max(0, int(round((ts - t0) * 1_000_000)))
+
+
+def _worker_order(workers: set[str]) -> list[str]:
+    """driver first, then shard/pool workers in numeric order."""
+    def rank(name: str) -> tuple[int, str, int]:
+        if name == "driver":
+            return (0, "", 0)
+        head, _, tail = name.rpartition("-")
+        if tail.isdigit():
+            return (1, head, int(tail))
+        return (2, name, 0)
+    return sorted(workers, key=rank)
+
+
+def fleet_chrome_trace(
+    events: Sequence[FleetEvent], *, trace: Optional[str] = None
+) -> dict[str, Any]:
+    """Merge fleet events into one Chrome trace-event document.
+
+    One Perfetto *process* per fleet worker (``driver``, ``shard-N``,
+    ``pool``, ...); slices are reconstructed pairwise — ``claim`` →
+    ``result_write`` frames a block slice, a ``point`` event (which
+    carries its duration) becomes a ``[ts - dur, ts]`` slice — and
+    ``steal`` → bumped-generation ``claim`` pairs become flow arcs
+    keyed by block id.  ``trace`` filters a multi-resume log to one
+    sweep's events.
+    """
+    if trace is not None:
+        events = [e for e in events if e.trace == trace or not e.trace]
+    events = sorted(events, key=lambda e: e.ts)
+    if not events:
+        return {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+            "otherData": {"source": "repro fleet trace", "events": 0},
+        }
+
+    t0 = events[0].ts
+    workers = {e.worker for e in events if e.worker}
+    ordered = _worker_order(workers)
+    pid_of = {name: pid for pid, name in enumerate(ordered, start=1)}
+
+    trace_events: list[dict[str, Any]] = []
+    for name in ordered:
+        trace_events.extend(
+            _meta(pid_of[name], name, _FLEET_TID, name)
+        )
+
+    open_blocks: dict[tuple[str, str], FleetEvent] = {}
+    flow_open: dict[int, int] = {}  # block id -> steal ts (us)
+    for event in events:
+        pid = pid_of.get(event.worker)
+        if pid is None:
+            continue
+        ts = _fleet_us(event.ts, t0)
+        kind = event.kind
+        if kind == "claim" and event.span is not None:
+            open_blocks[(event.worker, event.span)] = event
+            generation = int(event.fields.get("gen", 1))
+            block = event.fields.get("block")
+            if generation > 1 and isinstance(block, int) \
+                    and block in flow_open:
+                trace_events.append({
+                    "ph": "f", "pid": pid, "tid": _FLEET_TID, "ts": ts,
+                    "id": block, "name": "stolen", "cat": "steal",
+                    "bp": "e",
+                })
+                del flow_open[block]
+        elif kind == "result_write" and event.span is not None:
+            start = open_blocks.pop((event.worker, event.span), None)
+            start_ts = _fleet_us(start.ts, t0) if start is not None else ts
+            trace_events.append(_slice(
+                pid, _FLEET_TID,
+                f"block {event.fields.get('block', '?')}",
+                start_ts, ts - start_ts, "block",
+                args={**event.fields, "span": event.span},
+            ))
+        elif kind == "point":
+            dur = max(1, int(round(
+                float(event.fields.get("dur", 0.0)) * 1_000_000)))
+            trace_events.append(_slice(
+                pid, _FLEET_TID,
+                f"point {event.fields.get('index', '?')}",
+                max(0, ts - dur), dur, "point",
+                args={**event.fields, "span": event.span or ""},
+            ))
+        elif kind == "steal":
+            block = event.fields.get("block")
+            trace_events.append(_slice(
+                pid, _FLEET_TID, f"steal b{block}", ts, 1, "steal",
+                args=dict(event.fields),
+            ))
+            if isinstance(block, int):
+                trace_events.append({
+                    "ph": "s", "pid": pid, "tid": _FLEET_TID, "ts": ts,
+                    "id": block, "name": "stolen", "cat": "steal",
+                })
+                flow_open[block] = ts
+        elif kind in ("batch_start", "worker_start"):
+            open_blocks[(event.worker, f"__life_{kind}")] = event
+        elif kind in ("batch_done", "worker_exit"):
+            start_key = (
+                event.worker,
+                "__life_batch_start" if kind == "batch_done"
+                else "__life_worker_start",
+            )
+            start = open_blocks.pop(start_key, None)
+            start_ts = _fleet_us(start.ts, t0) if start is not None else ts
+            trace_events.append(_slice(
+                pid, _FLEET_TID, event.worker, start_ts,
+                ts - start_ts, "lifecycle", args=dict(event.fields),
+            ))
+        elif kind in ("heartbeat", "spawn", "respawn", "resume",
+                      "dump", "harvest", "pool_crash", "pool_rebuild"):
+            trace_events.append({
+                "ph": "i", "pid": pid, "tid": _FLEET_TID, "ts": ts,
+                "name": kind, "s": "t", "cat": "lifecycle",
+                "args": dict(event.fields),
+            })
+
+    return {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro fleet trace (1 second = 1e6 us)",
+            "events": len(events),
+            "workers": ordered,
+            "trace": trace or "",
+        },
+    }
+
+
+def fleet_trace_from_batch(
+    batch_dir: os.PathLike, *, trace: Optional[str] = None
+) -> dict[str, Any]:
+    """Merge a batch directory's event logs into one Chrome trace."""
+    return fleet_chrome_trace(
+        iter_batch_events(batch_dir, trace=trace), trace=trace
+    )
+
+
+def write_fleet_trace(
+    path: str,
+    events: Sequence[FleetEvent],
+    *,
+    trace: Optional[str] = None,
+) -> dict[str, Any]:
+    """Write :func:`fleet_chrome_trace` output to ``path``."""
+    doc = fleet_chrome_trace(events, trace=trace)
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh, separators=(",", ":"))
     return doc

@@ -1,0 +1,155 @@
+"""Prometheus text-format exposition for the metrics registry.
+
+Renders :class:`~repro.instrumentation.MetricsSnapshot` samples (or a
+live :class:`~repro.instrumentation.MetricsRegistry`) as `text format
+0.0.4 <https://prometheus.io/docs/instrumenting/exposition_formats/>`_,
+the wire shape every scraper understands — with zero dependencies,
+matching the rest of the stack.
+
+Mapping rules:
+
+* metric names are namespaced (default ``repro_``) and sanitized to
+  the legal charset ``[a-zA-Z_:][a-zA-Z0-9_:]*`` (dots become
+  underscores, so ``serve.latency_us`` exports as
+  ``repro_serve_latency_us``);
+* counters get the conventional ``_total`` suffix;
+* label *values* are escaped per the spec (backslash, double quote,
+  newline); label *names* are sanitized like metric names;
+* histograms export the full conventional triple: cumulative
+  ``_bucket{le="..."}`` series ending in ``le="+Inf"``, plus ``_sum``
+  and ``_count`` — Prometheus's ``histogram_quantile`` works on the
+  result unmodified.
+
+``GET /metrics`` on the serve tier is this module applied to
+:class:`~repro.serve.obs.ServeStats`'s registry plus a handful of
+gauges synthesized from the pending table, backend, and cache
+counters.  The golden-file test in ``tests/obs/test_prometheus.py``
+pins the exact output bytes.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Iterable, Union
+
+from ..instrumentation import (
+    HistogramData,
+    MetricSample,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+
+_NAME_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_SANITIZE_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_name(name: str) -> str:
+    """Coerce a metric name into the Prometheus charset."""
+    name = _NAME_SANITIZE_RE.sub("_", name)
+    if not name or name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-format spec."""
+    return (
+        value.replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_value(value: Union[int, float]) -> str:
+    """Render a sample value: integers exact, floats via repr."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: Iterable[tuple[str, Any]]) -> str:
+    parts = [
+        f'{_LABEL_SANITIZE_RE.sub("_", str(key))}='
+        f'"{escape_label_value(str(value))}"'
+        for key, value in labels
+    ]
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _bucket_edge(edge: Union[int, float]) -> str:
+    return format_value(float(edge)) if isinstance(edge, float) \
+        else str(edge)
+
+
+def render_prometheus(
+    samples: Union[MetricsSnapshot, MetricsRegistry, Iterable[MetricSample]],
+    *,
+    namespace: str = "repro",
+) -> str:
+    """Render metric samples as Prometheus text format 0.0.4.
+
+    Samples sharing a name are grouped under one ``# TYPE`` line (the
+    format requires it); within a group the original sample order is
+    preserved.  The output always ends with a newline, as scrapers
+    expect.
+    """
+    if isinstance(samples, MetricsRegistry):
+        samples = samples.snapshot()
+    if isinstance(samples, MetricsSnapshot):
+        samples = samples.samples
+
+    groups: dict[str, list[MetricSample]] = {}
+    kinds: dict[str, str] = {}
+    order: list[str] = []
+    for sample in samples:
+        if sample.name not in groups:
+            groups[sample.name] = []
+            kinds[sample.name] = sample.kind
+            order.append(sample.name)
+        groups[sample.name].append(sample)
+
+    prefix = sanitize_name(namespace) + "_" if namespace else ""
+    lines: list[str] = []
+    for name in order:
+        kind = kinds[name]
+        base = prefix + sanitize_name(name)
+        if kind == "counter":
+            base += "_total"
+        lines.append(f"# TYPE {base} {kind}")
+        for sample in groups[name]:
+            if sample.kind != kind:
+                continue  # name reuse across kinds: first kind wins
+            labels = _labels_text(sample.labels)
+            if kind in ("counter", "gauge"):
+                lines.append(f"{base}{labels} "
+                             f"{format_value(sample.value)}")
+                continue
+            data: HistogramData = sample.value
+            cumulative = 0
+            for edge, count in zip(data.bounds, data.bucket_counts):
+                cumulative += count
+                edge_labels = _labels_text(
+                    tuple(sample.labels) + (("le", _bucket_edge(edge)),)
+                )
+                lines.append(f"{base}_bucket{edge_labels} {cumulative}")
+            inf_labels = _labels_text(
+                tuple(sample.labels) + (("le", "+Inf"),)
+            )
+            lines.append(f"{base}_bucket{inf_labels} {data.count}")
+            lines.append(f"{base}_sum{labels} {format_value(data.total)}")
+            lines.append(f"{base}_count{labels} {data.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+#: Content type a ``/metrics`` response must carry.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"

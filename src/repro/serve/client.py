@@ -80,6 +80,24 @@ class ServeClient:
     def stats(self) -> dict[str, Any]:
         return self._checked("GET", "/stats")
 
+    def metrics(self) -> str:
+        """The raw Prometheus text from ``GET /metrics`` (not JSON)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            data = response.read()
+            if response.status != 200:
+                raise ServeError(
+                    response.status,
+                    json.loads(data) if data else None,
+                )
+            return data.decode("utf-8")
+        finally:
+            conn.close()
+
     def run(self, spec: Any) -> dict[str, Any]:
         """Submit a spec; blocks until the sweep envelope comes back."""
         return self._checked("POST", "/run", _spec_body(spec))

@@ -146,6 +146,23 @@ def _head(status: int, extra: dict[str, str], *, close: bool) -> bytes:
     return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
 
 
+def text_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    *,
+    content_type: str = "text/plain; charset=utf-8",
+    close: bool = False,
+) -> None:
+    """Write one complete plain-text response (``GET /metrics``)."""
+    body = text.encode("utf-8")
+    writer.write(_head(status, {
+        "content-type": content_type,
+        "content-length": str(len(body)),
+    }, close=close))
+    writer.write(body)
+
+
 def json_response(
     writer: asyncio.StreamWriter,
     status: int,

@@ -13,11 +13,17 @@ served —
   (:class:`~repro.exp.ResultCache`), no worker touched;
 * ``"error"`` — the request failed (bad spec, worker crash, ...).
 
-:class:`ServeStats` aggregates the spans and reuses the simulator's
-:class:`~repro.obs.spans.LatencySummary` (nearest-rank order
-statistics) for the p50/p95/p99 the load benchmark and ``GET /stats``
-report — latencies are recorded in integer microseconds, the summary's
-native unit discipline.
+:class:`ServeStats` aggregates the spans into the simulator's own
+instrument types — a :class:`~repro.instrumentation.MetricsRegistry`
+of per-class counters (``serve.requests``) and fixed-bucket latency
+histograms (``serve.latency_us``) — so ``GET /stats`` and the
+Prometheus exposition at ``GET /metrics`` are two renderings of *one*
+store, and both report the same bucket-interpolated
+p50/p90/p95/p99 (:meth:`~repro.instrumentation.Histogram.percentiles`)
+rather than a private nearest-rank estimate over an unbounded
+population list.  Pooled ("all") latency merges the per-class
+histograms (:func:`~repro.instrumentation.merge_histograms`), so the
+aggregate agrees with its parts by construction.
 
 The **coalescing ratio** is the serving-tier analogue of the combining
 rate: the fraction of answered sweep submissions that did *not* trigger
@@ -29,13 +35,28 @@ combining absorbs hot-spot traffic before it reaches memory.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
-from ..obs.spans import LatencySummary
+from ..instrumentation import (
+    HistogramData,
+    MetricsRegistry,
+    merge_histograms,
+)
 
 #: span classifications, in display order
 SERVED_BY = ("computed", "coalesced", "cache", "error")
+
+#: Bucket upper edges for request latency in microseconds — spanning
+#: a cache hit (~100us) to a multi-second cold sweep.
+SERVE_LATENCY_BUCKETS_US: tuple[int, ...] = (
+    100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000,
+    100_000, 250_000, 500_000, 1_000_000, 2_500_000, 5_000_000,
+    10_000_000,
+)
+
+#: Quantiles both ``/stats`` and ``/metrics`` consumers read.
+SERVE_QUANTILES: tuple[float, ...] = (0.5, 0.9, 0.95, 0.99)
 
 
 @dataclass(frozen=True)
@@ -73,20 +94,45 @@ class ServerSpan:
         }
 
 
+def _summary_dict(data: HistogramData) -> dict[str, Any]:
+    """The latency summary shape ``/stats`` serves per class."""
+    quantiles = data.percentiles(SERVE_QUANTILES)
+    out: dict[str, Any] = {
+        "count": data.count,
+        "mean": data.mean,
+    }
+    for q in SERVE_QUANTILES:
+        out[f"p{int(q * 100)}"] = quantiles[q]
+    out["max"] = data.max_value
+    return out
+
+
 class ServeStats:
-    """Aggregated spans: counters plus per-class latency populations."""
+    """Aggregated spans: a metrics registry of counters + histograms."""
 
     def __init__(self, *, clock: Callable[[], float] = time.monotonic) -> None:
         self.clock = clock
         self.started_at = clock()
         self.requests = 0
-        self.by_class: dict[str, int] = {name: 0 for name in SERVED_BY}
-        self._latency_us: dict[str, list[int]] = {
-            name: [] for name in SERVED_BY
+        self.registry = MetricsRegistry()
+        self._counters = {
+            name: self.registry.counter("serve.requests", **{"class": name})
+            for name in SERVED_BY
+        }
+        self._histograms = {
+            name: self.registry.histogram(
+                "serve.latency_us", SERVE_LATENCY_BUCKETS_US,
+                **{"class": name},
+            )
+            for name in SERVED_BY
         }
         #: most recent spans, newest last (bounded ring for debugging)
         self.recent: list[ServerSpan] = []
         self.recent_cap = 64
+
+    @property
+    def by_class(self) -> dict[str, int]:
+        return {name: self._counters[name].value for name in SERVED_BY}
 
     def span(
         self,
@@ -106,11 +152,11 @@ class ServeStats:
         )
 
     def record(self, span: ServerSpan) -> None:
-        if span.served_by not in self.by_class:
+        if span.served_by not in self._counters:
             raise ValueError(f"unknown span class {span.served_by!r}")
         self.requests += 1
-        self.by_class[span.served_by] += 1
-        self._latency_us[span.served_by].append(span.service_us)
+        self._counters[span.served_by].inc()
+        self._histograms[span.served_by].observe(span.service_us)
         self.recent.append(span)
         if len(self.recent) > self.recent_cap:
             del self.recent[: len(self.recent) - self.recent_cap]
@@ -119,8 +165,8 @@ class ServeStats:
     @property
     def served(self) -> int:
         """Successfully answered sweep-bearing requests."""
-        return (self.by_class["computed"] + self.by_class["coalesced"]
-                + self.by_class["cache"])
+        counts = self.by_class
+        return counts["computed"] + counts["coalesced"] + counts["cache"]
 
     @property
     def coalescing_ratio(self) -> float:
@@ -128,21 +174,22 @@ class ServeStats:
         served = self.served
         if served == 0:
             return 0.0
-        return (self.by_class["coalesced"] + self.by_class["cache"]) / served
+        counts = self.by_class
+        return (counts["coalesced"] + counts["cache"]) / served
 
-    def latency(self, served_by: Optional[str] = None) -> LatencySummary:
-        """Nearest-rank latency summary in microseconds.
+    def latency(self, served_by: Optional[str] = None) -> HistogramData:
+        """The latency distribution in microseconds, as histogram data.
 
         ``served_by=None`` pools every class (errors included: a fast
-        failure is still a serviced request).
+        failure is still a serviced request) by merging the per-class
+        histograms — quantiles come from the shared bucket-interpolated
+        estimator either way.
         """
         if served_by is None:
-            values: list[int] = []
-            for population in self._latency_us.values():
-                values.extend(population)
-        else:
-            values = self._latency_us[served_by]
-        return LatencySummary.from_values(values)
+            return merge_histograms(
+                [self._histograms[name].data() for name in SERVED_BY]
+            )
+        return self._histograms[served_by].data()
 
     def to_dict(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -150,12 +197,13 @@ class ServeStats:
             "requests": self.requests,
             "served": self.served,
             "coalescing_ratio": self.coalescing_ratio,
-            "by_class": dict(self.by_class),
-            "latency_us": {"all": self.latency().to_dict()},
+            "by_class": self.by_class,
+            "latency_us": {"all": _summary_dict(self.latency())},
         }
         for name in SERVED_BY:
-            if self._latency_us[name]:
-                out["latency_us"][name] = self.latency(name).to_dict()
+            data = self._histograms[name].data()
+            if data.count:
+                out["latency_us"][name] = _summary_dict(data)
         return out
 
 

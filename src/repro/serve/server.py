@@ -38,6 +38,10 @@ from typing import Any, Callable, Optional
 
 from ..exp import registry
 from ..exp.spec import ExperimentSpec
+from ..instrumentation import MetricSample, _label_key
+from ..obs.events import EventLog, new_span_id, new_trace_id
+from ..obs.prometheus import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE
+from ..obs.prometheus import render_prometheus
 from ..reporting import SCHEMA_VERSION
 from .coalesce import PendingTable
 from .http import (
@@ -46,6 +50,7 @@ from .http import (
     Request,
     json_response,
     read_request,
+    text_response,
 )
 from .obs import ServeStats
 from .service import SweepService, WorkerCrashError
@@ -69,6 +74,11 @@ class ServeApp:
         self.table = PendingTable(clock=clock)
         self.stats = ServeStats(clock=clock)
         self.clock = clock
+        # The serve tier's own fleet log: an in-memory ring of request
+        # lifecycle events (coalesce leader/follower, cache hits) under
+        # one server-lifetime trace; each sweep's computation runs under
+        # its own trace minted by the service, carried in ``sweep_trace``.
+        self.fleet = EventLog(new_trace_id(), "serve")
         self._server: Optional[asyncio.base_events.Server] = None
 
     # -- lifecycle -----------------------------------------------------
@@ -145,9 +155,14 @@ class ServeApp:
         if route == ("GET", "/stats"):
             json_response(writer, 200, self._stats_payload())
             return request.keep_alive
+        if route == ("GET", "/metrics"):
+            text_response(writer, 200, self._metrics_text(),
+                          content_type=PROMETHEUS_CONTENT_TYPE)
+            return request.keep_alive
         if route == ("POST", "/run"):
             return await self._handle_run(request, writer)
-        if request.path in ("/healthz", "/experiments", "/stats", "/run"):
+        if request.path in ("/healthz", "/experiments", "/stats",
+                            "/metrics", "/run"):
             json_response(writer, 405, _error_payload(
                 405, f"{request.method} not allowed on {request.path}"))
             return request.keep_alive
@@ -176,7 +191,62 @@ class ServeApp:
         })
         return payload
 
+    def _metrics_text(self) -> str:
+        """Prometheus text format: the stats registry plus gauges and
+        counters synthesized from the pending table, execution backend,
+        and content store — one scrapeable surface for the whole tier."""
+        def sample(kind: str, name: str, value: Any,
+                   **labels: Any) -> MetricSample:
+            return MetricSample(kind, name, _label_key(labels), value)
+
+        samples = list(self.stats.registry.snapshot().samples)
+        backend_stats = self.service.backend.stats()
+        backend_name = backend_stats.get("backend", "?")
+        cache_stats = self.service.cache.stats()
+        samples += [
+            sample("gauge", "serve.uptime_seconds",
+                   self.clock() - self.stats.started_at),
+            sample("gauge", "serve.pending_in_flight",
+                   self.table.in_flight),
+            sample("counter", "serve.computations",
+                   self.table.computations),
+            sample("counter", "serve.coalesced", self.table.coalesced),
+            sample("gauge", "pool.workers", self.service.workers),
+            sample("counter", "pool.rebuilds", self.service.pool_rebuilds),
+        ]
+        for key in ("batches", "tasks", "steals", "respawns"):
+            if key in backend_stats:
+                samples.append(sample(
+                    "counter", f"backend.{key}",
+                    int(backend_stats[key]), backend=backend_name,
+                ))
+        if "execute_s" in backend_stats:
+            samples.append(sample(
+                "counter", "backend.execute_seconds",
+                float(backend_stats["execute_s"]), backend=backend_name,
+            ))
+        for key in ("hits", "misses", "writes",
+                    "bytes_read", "bytes_written"):
+            samples.append(sample(
+                "counter", f"cache.{key}", int(cache_stats.get(key, 0)),
+            ))
+        return render_prometheus(samples)
+
     # -- /run ----------------------------------------------------------
+    def _close_span(self, span, status: int, served_by: str,
+                    payload: Optional[dict[str, Any]] = None) -> None:
+        """Close a request span and mirror it into the fleet log —
+        the serve tier's coalesce-leader/-follower/cache/error event,
+        linked to the sweep's own trace when one was computed."""
+        finished = span.close(status, served_by)
+        fields: dict[str, Any] = {
+            "key": finished.key, "status": status,
+            "served_by": served_by, "dur": finished.service_time,
+        }
+        if payload is not None and payload.get("trace_id"):
+            fields["sweep_trace"] = payload["trace_id"]
+        self.fleet.emit("served", span=new_span_id(), **fields)
+
     def _parse_spec(self, request: Request) -> ExperimentSpec:
         payload = request.json()
         if isinstance(payload, dict) and isinstance(payload.get("spec"), dict):
@@ -217,6 +287,7 @@ class ServeApp:
                 "wall_time": payload["wall_time"],
                 "cached_points": payload["cached_points"],
                 "computed_points": payload["computed_points"],
+                "trace_id": payload.get("trace_id", ""),
             },
             "results": payload["results"],
         }
@@ -229,7 +300,7 @@ class ServeApp:
         try:
             spec = self._parse_spec(request)
         except HttpError as exc:
-            span.close(exc.status, "error")
+            self._close_span(span, exc.status, "error")
             json_response(writer, exc.status,
                           _error_payload(exc.status, exc.message))
             return request.keep_alive
@@ -243,16 +314,16 @@ class ServeApp:
             try:
                 outcome = await self.table.join(key, compute)
             except WorkerCrashError as exc:
-                span.close(500, "error")
+                self._close_span(span, 500, "error")
                 json_response(writer, 500, _error_payload(500, str(exc)))
                 return request.keep_alive
             except Exception as exc:
-                span.close(500, "error")
+                self._close_span(span, 500, "error")
                 json_response(writer, 500, _error_payload(
                     500, f"sweep failed: {exc}"))
                 return request.keep_alive
             served_by = self._classify(outcome.role, outcome.payload)
-            span.close(200, served_by)
+            self._close_span(span, 200, served_by, outcome.payload)
             json_response(
                 writer, 200, self._envelope(outcome.payload, served_by)
             )
@@ -279,21 +350,21 @@ class ServeApp:
         except (ConnectionResetError, BrokenPipeError):
             # The computation is table-owned; drop only our wait.
             join_task.cancel()
-            span.close(500, "error")
+            self._close_span(span, 500, "error")
             raise
         except WorkerCrashError as exc:
-            span.close(500, "error")
+            self._close_span(span, 500, "error")
             stream.send({"event": "error", "error": str(exc), "status": 500})
             await stream.finish()
             return request.keep_alive
         except Exception as exc:
-            span.close(500, "error")
+            self._close_span(span, 500, "error")
             stream.send({"event": "error",
                          "error": f"sweep failed: {exc}", "status": 500})
             await stream.finish()
             return request.keep_alive
         served_by = self._classify(outcome.role, outcome.payload)
-        span.close(200, served_by)
+        self._close_span(span, 200, served_by, outcome.payload)
         final = self._envelope(outcome.payload, served_by)
         final["event"] = "result"
         stream.send(final)

@@ -42,6 +42,7 @@ from typing import Any, Callable, Optional, Union
 from ..exp.backend import ExecutionBackend, WorkerCrashError, make_backend
 from ..exp.cache import ResultCache
 from ..exp.spec import ExperimentSpec, point_hash
+from ..obs.events import new_trace_id
 
 __all__ = ["SweepService", "WorkerCrashError"]
 
@@ -136,6 +137,9 @@ class SweepService:
         started = time.perf_counter()
         loop = asyncio.get_running_loop()
         total = spec.n_points
+        # One fleet trace per computation: coalesced followers share the
+        # leader's, since they share the execution.
+        trace_id = new_trace_id()
 
         payload_by_index: dict[int, Any] = {}
         pending: list[tuple[int, str, str]] = []  # (index, key, params_json)
@@ -175,7 +179,8 @@ class SweepService:
                 # completion stream, hop each item onto the loop.
                 try:
                     for completion in self.backend.run_tasks(
-                        tasks, batch_id=batch_id, keys=keys
+                        tasks, batch_id=batch_id, keys=keys,
+                        trace_id=trace_id,
                     ):
                         loop.call_soon_threadsafe(
                             queue.put_nowait, ("point", completion))
@@ -220,5 +225,6 @@ class SweepService:
             "wall_time": time.perf_counter() - started,
             "cached_points": cached_points,
             "computed_points": total - cached_points,
+            "trace_id": trace_id,
             "results": [payload_by_index[i] for i in range(total)],
         }

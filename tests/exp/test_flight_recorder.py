@@ -1,0 +1,173 @@
+"""The flight recorder: crash dumps on worker death, lease steals,
+driver resume, and pool collapse — driven by real killed processes."""
+
+import json
+
+import pytest
+
+from repro.exp.backend import (
+    PoolBackend,
+    ShardedBackend,
+    WorkerCrashError,
+)
+from repro.obs.events import iter_batch_events, read_dump
+
+
+def _echo_tasks(n, start=0):
+    return [(i, "debug.echo", json.dumps({"value": i}))
+            for i in range(start, start + n)]
+
+
+def _dumps(batch_dir, reason=None):
+    pattern = f"crash-{reason}-*.json" if reason else "crash-*.json"
+    return sorted((batch_dir / "dumps").glob(pattern))
+
+
+class TestShardedFlightRecorder:
+    def test_sigkilled_worker_leaves_heartbeat_and_steal_in_dump(
+        self, tmp_path
+    ):
+        """SIGKILL one shard worker mid-block: the sweep completes via a
+        lease steal, and the steal dump preserves the victim's final
+        heartbeat next to the thief's steal event."""
+        backend = ShardedBackend(
+            shards=2, root=tmp_path / "shards", lease_ttl=0.3,
+            poll=0.01, block_size=1,
+        )
+        backend.start()
+        marker = tmp_path / "victim-marker"
+        tasks = [
+            (0, "debug.heartbeat_crash_once",
+             json.dumps({"marker": str(marker), "delay": 0.5,
+                         "value": 0}, sort_keys=True)),
+            (1, "debug.echo", json.dumps({"value": 1})),
+        ]
+        completions = sorted(backend.run_tasks(tasks, batch_id="fr-kill"))
+        backend.shutdown()
+
+        assert len(completions) == 2
+        assert completions[0][1] == {"survived": True, "value": 0}
+        assert marker.exists()
+
+        batch = tmp_path / "shards" / "fr-kill"
+        assert batch.is_dir(), "a dumped batch dir must be preserved"
+        steal_dumps = _dumps(batch, "steal")
+        assert steal_dumps, "harvesting a gen>1 result must dump"
+        payload = read_dump(steal_dumps[-1])
+        assert payload["trace"] == backend.last_trace
+
+        events = [e for e in payload["events"]]
+        steals = [e for e in events if e["kind"] == "steal"]
+        assert steals, "dump must contain the thief's steal event"
+        victim_span = steals[0]["parent"]          # b<block>.g<old gen>
+        heartbeats = [e for e in events
+                      if e["kind"] == "heartbeat"
+                      and e.get("span") == victim_span]
+        assert heartbeats, \
+            "dump must contain the victim's last heartbeat(s)"
+        victim = heartbeats[-1]["worker"]
+        assert victim != steals[0]["worker"], \
+            "thief and victim are different workers"
+        # the victim's log ends before the steal: SIGKILL left a
+        # truthful, flushed JSONL trail
+        assert heartbeats[-1]["ts"] <= steals[0]["ts"]
+
+        # the driver also noticed the dead process and dumped for it
+        assert _dumps(batch, "worker-crash")
+        kinds = {e.kind for e in iter_batch_events(
+            batch, trace=backend.last_trace)}
+        assert "respawn" in kinds and "dump" in kinds
+        assert backend.stats()["steals"] >= 1
+
+    def test_resume_adoption_writes_resume_dump(self, tmp_path):
+        """A second driver over a completed batch adopts the results and
+        snapshots the prior fleet's final moments."""
+        root = tmp_path / "shards"
+        first = ShardedBackend(shards=1, root=root, poll=0.01,
+                               keep_events=True)
+        first.start()
+        assert len(list(first.run_tasks(_echo_tasks(3),
+                                        batch_id="fr-resume"))) == 3
+        first.shutdown()
+        batch = root / "fr-resume"
+        assert batch.is_dir()
+        assert not _dumps(batch), "clean run dumps nothing"
+
+        second = ShardedBackend(shards=1, root=root, poll=0.01)
+        second.start()
+        adopted = sorted(second.run_tasks(_echo_tasks(3),
+                                          batch_id="fr-resume"))
+        second.shutdown()
+        assert len(adopted) == 3
+        resume_dumps = _dumps(batch, "resume")
+        assert resume_dumps
+        payload = read_dump(resume_dumps[-1])
+        assert payload["reason"] == "resume"
+        assert payload["batch"] == "fr-resume"
+        # the prior fleet's events are in the snapshot
+        kinds = {e["kind"] for e in payload["events"]}
+        assert {"worker_start", "result_write"} <= kinds
+        # a dump preserves the dir even without keep_events
+        assert batch.is_dir()
+
+    def test_disabled_logging_writes_no_dumps(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_FLEET_LOG", "0")
+        root = tmp_path / "shards"
+        first = ShardedBackend(shards=1, root=root, poll=0.01,
+                               keep_events=True)
+        first.start()
+        list(first.run_tasks(_echo_tasks(2), batch_id="fr-off"))
+        first.shutdown()
+        second = ShardedBackend(shards=1, root=root, poll=0.01)
+        second.start()
+        list(second.run_tasks(_echo_tasks(2), batch_id="fr-off"))
+        second.shutdown()
+        batch = root / "fr-off"
+        assert not _dumps(batch)
+        assert iter_batch_events(batch) == []
+
+
+class TestPoolFlightRecorder:
+    def test_pool_crash_dumps_before_rebuild(self, tmp_path, monkeypatch):
+        """A BrokenProcessPool dump lands *before* the pool rebuild —
+        ``rebuilds_at_dump`` pins the ordering."""
+        monkeypatch.setenv("REPRO_FLEET_DUMPS", str(tmp_path / "dumps"))
+        backend = PoolBackend(workers=1)
+        backend.start()
+        try:
+            with pytest.raises(WorkerCrashError):
+                list(backend.run_tasks(
+                    [(0, "debug.crash", json.dumps({"code": 3}))],
+                    batch_id="fr-pool",
+                ))
+            assert backend.rebuilds == 1
+            dumps = sorted((tmp_path / "dumps").glob(
+                "crash-pool-crash-*.json"))
+            assert dumps
+            payload = read_dump(dumps[-1])
+            assert payload["reason"] == "pool-crash"
+            assert payload["batch"] == "fr-pool"
+            assert payload["rebuilds_at_dump"] == 0, \
+                "dump must be written before the rebuild"
+            kinds = [e["kind"] for e in payload["events"]]
+            assert kinds[0] == "batch_start"
+            assert kinds[-1] == "pool_crash"
+        finally:
+            backend.shutdown()
+
+    def test_pool_crash_dump_disabled_by_kill_switch(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_FLEET_DUMPS", str(tmp_path / "dumps"))
+        monkeypatch.setenv("REPRO_FLEET_LOG", "0")
+        backend = PoolBackend(workers=1)
+        backend.start()
+        try:
+            with pytest.raises(WorkerCrashError):
+                list(backend.run_tasks(
+                    [(0, "debug.crash", json.dumps({"code": 3}))],
+                    batch_id="fr-pool-off",
+                ))
+            assert not (tmp_path / "dumps").exists()
+        finally:
+            backend.shutdown()

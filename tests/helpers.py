@@ -44,3 +44,64 @@ def operations(draw, address_strategy=addresses):
 def operation_batches(draw, max_size=5):
     """A small batch of simultaneous operations (same cycle)."""
     return draw(st.lists(operations(), min_size=1, max_size=max_size))
+
+
+# ----------------------------------------------------------------------
+# Prometheus text-format parsing (for the /metrics exposition tests)
+# ----------------------------------------------------------------------
+import re as _re
+
+_PROM_LINE_RE = _re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{(.*)\})?\s+(\S+)$"
+)
+_PROM_LABEL_RE = _re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _prom_unescape(value):
+    return (
+        value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+    )
+
+
+def _prom_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_prometheus(text):
+    """Minimal text-format 0.0.4 parser: returns (types, samples).
+
+    ``types`` maps metric name -> declared type; ``samples`` maps
+    ``(name, frozenset(labels.items()))`` -> float value.  Raises
+    ``ValueError`` on any line that is neither a comment, blank, nor a
+    well-formed sample — the exposition tests use this as the format
+    validity check.
+    """
+    types = {}
+    samples = {}
+    for line in text.splitlines():
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        match = _PROM_LINE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {line!r}")
+        name, labels_text, value = match.groups()
+        labels = {}
+        if labels_text:
+            consumed = _PROM_LABEL_RE.sub("", labels_text)
+            if consumed.strip(", "):
+                raise ValueError(f"malformed labels in: {line!r}")
+            for label_match in _PROM_LABEL_RE.finditer(labels_text):
+                labels[label_match.group(1)] = _prom_unescape(
+                    label_match.group(2)
+                )
+        samples[(name, frozenset(labels.items()))] = _prom_value(value)
+    return types, samples

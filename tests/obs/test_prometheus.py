@@ -1,0 +1,127 @@
+"""Prometheus text-format exposition: escaping, grouping, histograms,
+and the golden-file pin of the exact output bytes."""
+
+from pathlib import Path
+
+import pytest
+
+from helpers import parse_prometheus
+from repro.instrumentation import MetricsRegistry
+from repro.obs.prometheus import (
+    CONTENT_TYPE,
+    escape_label_value,
+    format_value,
+    render_prometheus,
+    sanitize_name,
+)
+
+GOLDEN = Path(__file__).parent / "goldens" / "metrics.prom"
+
+
+def _golden_registry() -> MetricsRegistry:
+    """The fixed registry the golden file pins."""
+    reg = MetricsRegistry()
+    reg.counter("serve.requests", **{"class": "computed"}).inc(3)
+    reg.counter("serve.requests", **{"class": "error"}).inc()
+    reg.gauge("pool.workers").set(2)
+    hist = reg.histogram(
+        "serve.latency_us", (100, 1000, 10000), **{"class": "computed"}
+    )
+    for value in (50, 700, 900, 5000, 20000):
+        hist.observe(value)
+    return reg
+
+
+class TestNamesAndValues:
+    def test_sanitize_name(self):
+        assert sanitize_name("serve.latency_us") == "serve_latency_us"
+        assert sanitize_name("a-b c") == "a_b_c"
+        assert sanitize_name("9lives") == "_9lives"
+        assert sanitize_name("ok:subsystem_x") == "ok:subsystem_x"
+
+    @pytest.mark.parametrize("raw,expected", [
+        ('say "hi"', 'say \\"hi\\"'),
+        ("back\\slash", "back\\\\slash"),
+        ("two\nlines", "two\\nlines"),
+        ("plain", "plain"),
+    ])
+    def test_escape_label_value(self, raw, expected):
+        assert escape_label_value(raw) == expected
+
+    def test_format_value(self):
+        assert format_value(7) == "7"
+        assert format_value(7.0) == "7"
+        assert format_value(0.25) == "0.25"
+        assert format_value(True) == "1"
+        assert format_value(float("nan")) == "NaN"
+        assert format_value(float("inf")) == "+Inf"
+
+
+class TestRender:
+    def test_counters_get_total_suffix_and_type_line(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits").inc(5)
+        text = render_prometheus(reg)
+        types, samples = parse_prometheus(text)
+        assert types["repro_cache_hits_total"] == "counter"
+        assert samples[("repro_cache_hits_total", frozenset())] == 5
+
+    def test_escaped_labels_survive_a_parse(self):
+        reg = MetricsRegistry()
+        reg.counter("odd", key='quo"te\\path\nx').inc(2)
+        text = render_prometheus(reg)
+        _, samples = parse_prometheus(text)
+        assert samples[("repro_odd_total",
+                        frozenset({("key", 'quo"te\\path\nx')}))] == 2
+
+    def test_counter_monotonicity_across_snapshots(self):
+        reg = MetricsRegistry()
+        counter = reg.counter("serve.requests", **{"class": "computed"})
+        label = frozenset({("class", "computed")})
+        seen = []
+        for _ in range(3):
+            counter.inc(2)
+            _, samples = parse_prometheus(render_prometheus(reg))
+            seen.append(samples[("repro_serve_requests_total", label)])
+        assert seen == sorted(seen)
+        assert seen[-1] > seen[0]
+
+    def test_histogram_buckets_are_cumulative_and_capped_by_inf(self):
+        text = render_prometheus(_golden_registry())
+        _, samples = parse_prometheus(text)
+        base = "repro_serve_latency_us_bucket"
+        edges = ["100", "1000", "10000", "+Inf"]
+        counts = [
+            samples[(base, frozenset({("class", "computed"),
+                                      ("le", edge)}))]
+            for edge in edges
+        ]
+        assert counts == sorted(counts)
+        count = samples[("repro_serve_latency_us_count",
+                         frozenset({("class", "computed")}))]
+        assert counts[-1] == count == 5
+
+    def test_namespace_and_trailing_newline(self):
+        reg = MetricsRegistry()
+        reg.gauge("x").set(1)
+        assert render_prometheus(reg, namespace="other") \
+            .startswith("# TYPE other_x gauge")
+        assert render_prometheus(reg).endswith("\n")
+        assert render_prometheus([]) == ""
+
+    def test_content_type_is_text_format_004(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+
+class TestGoldenFile:
+    def test_exact_bytes(self):
+        assert render_prometheus(_golden_registry()) == GOLDEN.read_text()
+
+    def test_golden_file_parses(self):
+        types, samples = parse_prometheus(GOLDEN.read_text())
+        assert types == {
+            "repro_serve_requests_total": "counter",
+            "repro_pool_workers": "gauge",
+            "repro_serve_latency_us": "histogram",
+        }
+        assert len(samples) == 9

@@ -1,0 +1,123 @@
+"""The ``repro fleet`` command family: status, dump, trace — plus the
+``--keep-events`` sweep flag that preserves logs for them."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.exp.backend import ShardedBackend
+from repro.obs.events import FleetEvent, flight_dump
+
+
+@pytest.fixture
+def finished_batch(tmp_path):
+    """A real 2-shard sweep, logs preserved; returns the batch dir."""
+    backend = ShardedBackend(shards=2, root=tmp_path / "shards",
+                             poll=0.01, keep_events=True)
+    backend.start()
+    tasks = [(i, "debug.echo", json.dumps({"value": i})) for i in range(4)]
+    completions = list(backend.run_tasks(tasks, batch_id="cli-batch"))
+    backend.shutdown()
+    assert len(completions) == 4
+    batch = tmp_path / "shards" / "cli-batch"
+    assert batch.is_dir()
+    return batch, backend.last_trace
+
+
+class TestFleetParser:
+    def test_subcommands_parse(self):
+        parser = build_parser()
+        args = parser.parse_args(["fleet", "status", "/x", "--watch",
+                                  "--interval", "0.5"])
+        assert args.fleet_command == "status" and args.interval == 0.5
+        args = parser.parse_args(["fleet", "dump", "/y", "--json"])
+        assert args.fleet_command == "dump"
+        args = parser.parse_args(["fleet", "trace", "/z", "--out", "o.json"])
+        assert args.fleet_command == "trace"
+
+    def test_keep_events_needs_sharded(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["sweep", "table1", "--keep-events",
+                  "--cache-dir", str(tmp_path / "c")])
+
+
+class TestFleetStatus:
+    def test_summarizes_finished_batch(self, finished_batch, capsys):
+        batch, _trace = finished_batch
+        assert main(["fleet", "status", str(batch)]) == 0
+        out = capsys.readouterr().out
+        assert "cli-batch" in out and "[done]" in out
+        assert "driver" in out and "shard-0" in out
+
+    def test_json_snapshot(self, finished_batch, capsys):
+        batch, trace = finished_batch
+        assert main(["fleet", "status", str(batch), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["done"] is True
+        assert payload["trace"] == trace
+        assert payload["by_kind"]["batch_done"] == 1
+        assert payload["by_kind"]["result_write"] >= 1
+        assert set(payload["workers"]) >= {"driver", "shard-0", "shard-1"}
+
+    def test_watch_exits_when_done(self, finished_batch, capsys):
+        batch, _trace = finished_batch
+        assert main(["fleet", "status", str(batch), "--watch",
+                     "--interval", "0.01"]) == 0
+
+    def test_missing_dir_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fleet", "status", str(tmp_path / "nope")])
+
+
+class TestFleetDump:
+    def _write_dump(self, directory):
+        events = [FleetEvent(ts=float(i), kind="heartbeat", trace="t",
+                             worker="shard-0", span="b0.g1",
+                             fields={"block": 0})
+                  for i in range(3)]
+        return flight_dump(directory, "worker-crash", events, trace="t")
+
+    def test_pretty_prints_file(self, tmp_path, capsys):
+        path = self._write_dump(tmp_path)
+        assert main(["fleet", "dump", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "worker-crash" in out
+        assert "heartbeat" in out and "shard-0" in out
+
+    def test_directory_picks_latest(self, tmp_path, capsys):
+        self._write_dump(tmp_path)
+        assert main(["fleet", "dump", str(tmp_path)]) == 0
+        assert "worker-crash" in capsys.readouterr().out
+
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        path = self._write_dump(tmp_path)
+        assert main(["fleet", "dump", str(path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["reason"] == "worker-crash"
+        assert len(payload["events"]) == 3
+
+    def test_empty_directory_errors(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["fleet", "dump", str(tmp_path)])
+
+
+class TestFleetTrace:
+    def test_writes_chrome_trace(self, finished_batch, tmp_path, capsys):
+        batch, trace = finished_batch
+        out_path = tmp_path / "fleet.json"
+        assert main(["fleet", "trace", str(batch), "--out", str(out_path),
+                     "--trace", trace]) == 0
+        assert "wrote" in capsys.readouterr().out
+        document = json.loads(out_path.read_text())
+        meta = [e for e in document["traceEvents"] if e["ph"] == "M"
+                and e.get("name") == "process_name"]
+        assert {e["args"]["name"] for e in meta} \
+            >= {"driver", "shard-0", "shard-1"}
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+    def test_empty_batch_errors(self, tmp_path):
+        (tmp_path / "events").mkdir()
+        with pytest.raises(SystemExit):
+            main(["fleet", "trace", str(tmp_path), "--out",
+                  str(tmp_path / "o.json")])
